@@ -1,0 +1,93 @@
+//! Ablations over the design choices DESIGN.md calls out: each §VI
+//! optimization is disabled in isolation and the selective-scan latency
+//! re-measured. Full SHC should be fastest; each ablation should cost
+//! something; the generic baseline bounds the worst case.
+//!
+//! `cargo bench -p shc-bench --bench ablations`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_core::catalog::HBaseTableCatalog;
+use shc_core::conf::SHCConf;
+use shc_core::generic::GenericHBaseRelation;
+use shc_core::relation::HBaseRelation;
+use shc_engine::prelude::*;
+use shc_kvstore::cluster::{ClusterConfig, HBaseCluster};
+use shc_kvstore::network::NetworkSim;
+use shc_tpcds::{queries, Generator, Provider, Scale, Table};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // One loaded cluster; each variant is a differently-configured
+    // relation over the same data.
+    let generator = Generator::new(Scale::from_gb(2.0), 2018);
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 5,
+        network: NetworkSim::gigabit(),
+        ..Default::default()
+    });
+    let session_config = SessionConfig {
+        executors: ExecutorConfig {
+            num_executors: 5,
+            hosts: cluster.hostnames(),
+        },
+        broadcast_threshold: 0,
+        ..Default::default()
+    };
+    let loader_session = Session::new(session_config.clone());
+    shc_tpcds::load_into_hbase(
+        &loader_session,
+        &cluster,
+        &generator,
+        &[Table::Inventory],
+        "PrimitiveType",
+        &SHCConf::default(),
+        Provider::Shc,
+    )
+    .unwrap();
+    let catalog = Arc::new(
+        HBaseTableCatalog::parse_simple(&Table::Inventory.catalog_json("PrimitiveType"))
+            .unwrap(),
+    );
+
+    // A selective scan: row-key range + value predicate — the query shape
+    // every §VI optimization targets.
+    let sql = queries::inventory_range_scan(
+        generator.scale().days as i64 / 10,
+        150,
+    );
+
+    let variants: Vec<(&str, SHCConf)> = vec![
+        ("full", SHCConf::default()),
+        ("no_pruning", SHCConf::default().without_pruning()),
+        ("no_pushdown", SHCConf::default().without_pushdown()),
+        ("no_fusion", SHCConf::default().without_fusion()),
+        ("no_conn_cache", SHCConf::default().without_connection_cache()),
+    ];
+    for (name, conf) in variants {
+        let session = Session::new(session_config.clone());
+        session.register_table(
+            "inventory",
+            HBaseRelation::new(Arc::clone(&cluster), Arc::clone(&catalog), conf),
+        );
+        group.bench_with_input(BenchmarkId::new("shc", name), &sql, |b, sql| {
+            b.iter(|| session.sql(sql).unwrap().collect().unwrap())
+        });
+    }
+    // The everything-off bound.
+    let session = Session::new(session_config);
+    session.register_table(
+        "inventory",
+        GenericHBaseRelation::new(Arc::clone(&cluster), catalog),
+    );
+    group.bench_with_input(BenchmarkId::new("baseline", "generic"), &sql, |b, sql| {
+        b.iter(|| session.sql(sql).unwrap().collect().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 4: query latency, SHC vs the generic-source baseline, across
+//! data sizes, for TPC-DS q39a and q39b.
+//!
+//! `cargo bench -p shc-bench --bench fig4_query_latency`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Env, EnvConfig, System};
+use shc_tpcds::queries;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_query_latency");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (panel, sql) in [
+        ("q39a", queries::q39a(2001, 1)),
+        ("q39b", queries::q39b(2001, 1)),
+    ] {
+        for gb in [1.0f64, 2.0] {
+            let env = Env::build(&EnvConfig {
+                nominal_gb: gb,
+                ..Default::default()
+            });
+            for system in [System::Shc, System::SparkSql] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{panel}/{}", system.label()), gb as u64),
+                    &sql,
+                    |b, sql| {
+                        b.iter(|| {
+                            env.session(system)
+                                .sql(sql)
+                                .unwrap()
+                                .collect()
+                                .unwrap()
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 5: shuffle cost. Shuffle volume is a deterministic byte count,
+//! not a timing, so this bench reports the measured KB per configuration
+//! to stderr once, then times the exchange-dominated execution (network
+//! off) as the Criterion measurement.
+//!
+//! `cargo bench -p shc-bench --bench fig5_shuffle`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{measure_query, Env, EnvConfig, System};
+use shc_kvstore::network::NetworkSim;
+use shc_tpcds::queries;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_shuffle");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for gb in [1.0f64, 2.0] {
+        let env = Env::build(&EnvConfig {
+            nominal_gb: gb,
+            network: NetworkSim::off(),
+            ..Default::default()
+        });
+        let sql = queries::q39a(2001, 1);
+        for system in [System::Shc, System::SparkSql] {
+            let m = measure_query(&env, system, &sql);
+            eprintln!(
+                "fig5 {} @ {gb} GB: shuffle = {:.1} KB",
+                system.label(),
+                m.shuffle_bytes as f64 / 1024.0
+            );
+            group.bench_with_input(
+                BenchmarkId::new(system.label(), gb as u64),
+                &sql,
+                |b, sql| {
+                    b.iter(|| {
+                        env.session(system)
+                            .sql(sql)
+                            .unwrap()
+                            .collect()
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 6: query time as the executor count grows (both systems improve,
+//! then plateau at the parallelism the data supports).
+//!
+//! `cargo bench -p shc-bench --bench fig6_executors`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Env, EnvConfig, System};
+use shc_tpcds::queries;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_executors");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let sql = queries::q39a(2001, 1);
+    for executors in [2usize, 4, 8] {
+        let env = Env::build(&EnvConfig {
+            nominal_gb: 2.0,
+            num_executors: executors,
+            ..Default::default()
+        });
+        for system in [System::Shc, System::SparkSql] {
+            group.bench_with_input(
+                BenchmarkId::new(system.label(), executors),
+                &sql,
+                |b, sql| {
+                    b.iter(|| {
+                        env.session(system)
+                            .sql(sql)
+                            .unwrap()
+                            .collect()
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

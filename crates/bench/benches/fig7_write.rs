@@ -1,0 +1,65 @@
+//! Figure 7: write path — SHC's typed, region-batched, pre-split writes
+//! vs the schema-blind single-region baseline.
+//!
+//! `cargo bench -p shc-bench --bench fig7_write`
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use shc_bench::{generic_write, System};
+use shc_core::catalog::HBaseTableCatalog;
+use shc_core::conf::SHCConf;
+use shc_core::writer::write_rows;
+use shc_kvstore::cluster::{ClusterConfig, HBaseCluster};
+use shc_kvstore::network::NetworkSim;
+use shc_tpcds::{Generator, Scale, Table};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_write");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let generator = Generator::new(Scale::from_gb(1.0), 2018);
+    let rows = generator.rows(Table::Inventory);
+    let catalog_json = Table::Inventory.catalog_json("PrimitiveType");
+
+    for system in [System::Shc, System::SparkSql] {
+        group.bench_with_input(
+            BenchmarkId::new("inventory", system.label()),
+            &system,
+            |b, &system| {
+                b.iter_batched(
+                    // Fresh cluster per iteration: writes are stateful.
+                    || {
+                        let cluster = HBaseCluster::start(ClusterConfig {
+                            num_servers: 5,
+                            network: NetworkSim::gigabit(),
+                            ..Default::default()
+                        });
+                        let catalog = Arc::new(
+                            HBaseTableCatalog::parse_simple(&catalog_json).unwrap(),
+                        );
+                        (cluster, catalog)
+                    },
+                    |(cluster, catalog)| match system {
+                        System::Shc => {
+                            write_rows(
+                                &cluster,
+                                &catalog,
+                                &SHCConf::default().with_new_table_regions(5),
+                                &rows,
+                            )
+                            .unwrap();
+                        }
+                        System::SparkSql => {
+                            generic_write(&cluster, &catalog, &rows);
+                        }
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Table II: the three data coders. Two levels:
+//!
+//! * micro — raw encode/decode throughput per codec, which exposes the
+//!   Native ≤ Phoenix < Avro cost ordering the paper reports;
+//! * macro — q39a end to end per table coder.
+//!
+//! `cargo bench -p shc-bench --bench table2_encodings`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{Env, EnvConfig, System};
+use shc_core::encoder::TableCoder;
+use shc_engine::value::{DataType, Value};
+use shc_tpcds::queries;
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_codec_micro");
+    let values: Vec<(Value, DataType)> = (0..1000)
+        .map(|i| match i % 3 {
+            0 => (Value::Int64(i as i64 * 7919 - 500), DataType::Int64),
+            1 => (Value::Float64(i as f64 * 0.37 - 50.0), DataType::Float64),
+            _ => (Value::Utf8(format!("value-{i}-payload")), DataType::Utf8),
+        })
+        .collect();
+    for coder in [TableCoder::PrimitiveType, TableCoder::Phoenix, TableCoder::Avro] {
+        let codec = coder.codec();
+        // Pre-encode for the decode bench.
+        let encoded: Vec<(Vec<u8>, DataType)> = values
+            .iter()
+            .map(|(v, dt)| (codec.encode(v, *dt).unwrap(), *dt))
+            .collect();
+        group.bench_function(BenchmarkId::new("encode", codec.name()), |b| {
+            b.iter(|| {
+                for (v, dt) in &values {
+                    std::hint::black_box(codec.encode(v, *dt).unwrap());
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("decode", codec.name()), |b| {
+            b.iter(|| {
+                for (bytes, dt) in &encoded {
+                    std::hint::black_box(codec.decode(bytes, *dt).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn macro_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_q39a_by_coder");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let sql = queries::q39a(2001, 1);
+    for coder in ["PrimitiveType", "Phoenix", "Avro"] {
+        let env = Env::build(&EnvConfig {
+            nominal_gb: 1.0,
+            coder,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("SHC", coder), &sql, |b, sql| {
+            b.iter(|| {
+                env.session(System::Shc)
+                    .sql(sql)
+                    .unwrap()
+                    .collect()
+                    .unwrap()
+            })
+        });
+    }
+    // The baseline only reads the native coder (its Phoenix/Avro cells are
+    // the paper's 'x').
+    let env = Env::build(&EnvConfig {
+        nominal_gb: 1.0,
+        coder: "PrimitiveType",
+        ..Default::default()
+    });
+    group.bench_with_input(
+        BenchmarkId::new("SparkSQL", "PrimitiveType"),
+        &sql,
+        |b, sql| {
+            b.iter(|| {
+                env.session(System::SparkSql)
+                    .sql(sql)
+                    .unwrap()
+                    .collect()
+                    .unwrap()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, micro, macro_query);
+criterion_main!(benches);

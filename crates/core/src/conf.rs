@@ -1,0 +1,305 @@
+//! Connector configuration — the `HBaseSparkConf` analog, including the
+//! four timestamp/version parameters of paper §IV.C, the connection-cache
+//! delay of §V.B.1, the security switches of §V.B.2, and per-optimization
+//! toggles used by the ablation benchmarks.
+
+use crate::error::{Result, ShcError};
+use std::collections::HashMap;
+
+/// Option keys accepted by [`SHCConf::from_options`], mirroring
+/// `HBaseSparkConf`.
+pub mod keys {
+    pub const TIMESTAMP: &str = "hbase.spark.query.timestamp";
+    pub const MIN_TIMESTAMP: &str = "hbase.spark.query.timerange.start";
+    pub const MAX_TIMESTAMP: &str = "hbase.spark.query.timerange.end";
+    pub const MAX_VERSIONS: &str = "hbase.spark.query.maxVersions";
+    pub const CACHING: &str = "hbase.spark.query.caching";
+    pub const CONNECTION_CLOSE_DELAY: &str = "spark.hbase.connector.connectionCloseDelay";
+    pub const SECURITY_ENABLED: &str = "spark.hbase.connector.security.credentials.enabled";
+    pub const PRINCIPAL: &str = "spark.yarn.principal";
+    pub const KEYTAB: &str = "spark.yarn.keytab";
+    pub const NEW_TABLE: &str = "newtable";
+}
+
+/// Partition-pruning mode. The paper prunes on the first row-key dimension
+/// only (§VI.1) and names all-dimension pruning as future work; both are
+/// implemented.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PruningMode {
+    Disabled,
+    FirstDimension,
+    AllDimensions,
+}
+
+/// Security settings (paper Code 6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecurityConf {
+    pub principal: String,
+    pub keytab: String,
+}
+
+/// Connector configuration.
+#[derive(Clone, Debug)]
+pub struct SHCConf {
+    /// Point-in-time query: only cells with exactly this timestamp.
+    pub timestamp: Option<u64>,
+    /// Time-range query `[min, max)`.
+    pub min_timestamp: Option<u64>,
+    pub max_timestamp: Option<u64>,
+    /// Versions returned per column.
+    pub max_versions: u32,
+    /// Scanner caching (rows per round trip).
+    pub caching: usize,
+    /// How long a zero-reference connection stays cached (ms). Paper
+    /// default: 10 minutes.
+    pub connection_close_delay_ms: u64,
+    /// Kerberos-style credentials; `None` disables secure mode (the
+    /// paper's default).
+    pub security: Option<SecurityConf>,
+    /// §VI.1 partition pruning.
+    pub partition_pruning: PruningMode,
+    /// §VI.3 selective predicate pushdown.
+    pub predicate_pushdown: bool,
+    /// §VI.4 fusion of Scans/Gets into one task per region server.
+    pub operator_fusion: bool,
+    /// §V.B.1 connection caching.
+    pub use_connection_cache: bool,
+    /// Pre-split region count used when `save` creates a new table
+    /// (`HBaseTableCatalog.newTable`).
+    pub new_table_regions: usize,
+}
+
+impl Default for SHCConf {
+    fn default() -> Self {
+        SHCConf {
+            timestamp: None,
+            min_timestamp: None,
+            max_timestamp: None,
+            max_versions: 1,
+            caching: 1024,
+            connection_close_delay_ms: 10 * 60 * 1000,
+            security: None,
+            partition_pruning: PruningMode::FirstDimension,
+            predicate_pushdown: true,
+            operator_fusion: true,
+            use_connection_cache: true,
+            new_table_regions: 0,
+        }
+    }
+}
+
+impl SHCConf {
+    /// Parse from string options, as a Spark user would pass them.
+    pub fn from_options(options: &HashMap<String, String>) -> Result<SHCConf> {
+        let mut conf = SHCConf::default();
+        let get = |k: &str| options.get(k).map(String::as_str);
+        let parse_u64 = |k: &str, v: &str| -> Result<u64> {
+            v.parse::<u64>()
+                .map_err(|_| ShcError::Config(format!("{k} must be an integer, got {v:?}")))
+        };
+        if let Some(v) = get(keys::TIMESTAMP) {
+            conf.timestamp = Some(parse_u64(keys::TIMESTAMP, v)?);
+        }
+        if let Some(v) = get(keys::MIN_TIMESTAMP) {
+            conf.min_timestamp = Some(parse_u64(keys::MIN_TIMESTAMP, v)?);
+        }
+        if let Some(v) = get(keys::MAX_TIMESTAMP) {
+            conf.max_timestamp = Some(parse_u64(keys::MAX_TIMESTAMP, v)?);
+        }
+        if let Some(v) = get(keys::MAX_VERSIONS) {
+            conf.max_versions = parse_u64(keys::MAX_VERSIONS, v)? as u32;
+        }
+        if let Some(v) = get(keys::CACHING) {
+            conf.caching = parse_u64(keys::CACHING, v)? as usize;
+        }
+        if let Some(v) = get(keys::CONNECTION_CLOSE_DELAY) {
+            conf.connection_close_delay_ms = parse_u64(keys::CONNECTION_CLOSE_DELAY, v)?;
+        }
+        if let Some(v) = get(keys::NEW_TABLE) {
+            conf.new_table_regions = parse_u64(keys::NEW_TABLE, v)? as usize;
+        }
+        if get(keys::SECURITY_ENABLED) == Some("true") {
+            let principal = get(keys::PRINCIPAL).ok_or_else(|| {
+                ShcError::Config(format!(
+                    "{} required when security is enabled",
+                    keys::PRINCIPAL
+                ))
+            })?;
+            let keytab = get(keys::KEYTAB).ok_or_else(|| {
+                ShcError::Config(format!(
+                    "{} required when security is enabled",
+                    keys::KEYTAB
+                ))
+            })?;
+            conf.security = Some(SecurityConf {
+                principal: principal.to_string(),
+                keytab: keytab.to_string(),
+            });
+        }
+        conf.validate()?;
+        Ok(conf)
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if let (Some(min), Some(max)) = (self.min_timestamp, self.max_timestamp) {
+            if min >= max {
+                return Err(ShcError::Config(format!(
+                    "empty time range [{min}, {max})"
+                )));
+            }
+        }
+        if self.timestamp.is_some()
+            && (self.min_timestamp.is_some() || self.max_timestamp.is_some())
+        {
+            return Err(ShcError::Config(
+                "TIMESTAMP and MIN/MAX_TIMESTAMP are mutually exclusive".into(),
+            ));
+        }
+        if self.max_versions == 0 {
+            return Err(ShcError::Config("maxVersions must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// The effective kvstore time range implied by the timestamp options.
+    pub fn time_range(&self) -> shc_kvstore::types::TimeRange {
+        use shc_kvstore::types::TimeRange;
+        if let Some(ts) = self.timestamp {
+            TimeRange::at(ts)
+        } else {
+            TimeRange::new(
+                self.min_timestamp.unwrap_or(0),
+                self.max_timestamp.unwrap_or(u64::MAX),
+            )
+        }
+    }
+
+    /// Builder-style setters, for programmatic use.
+    pub fn with_timestamp(mut self, ts: u64) -> Self {
+        self.timestamp = Some(ts);
+        self
+    }
+    pub fn with_time_range(mut self, min: u64, max: u64) -> Self {
+        self.min_timestamp = Some(min);
+        self.max_timestamp = Some(max);
+        self
+    }
+    pub fn with_max_versions(mut self, v: u32) -> Self {
+        self.max_versions = v;
+        self
+    }
+    pub fn with_security(mut self, principal: &str, keytab: &str) -> Self {
+        self.security = Some(SecurityConf {
+            principal: principal.to_string(),
+            keytab: keytab.to_string(),
+        });
+        self
+    }
+    pub fn with_new_table_regions(mut self, n: usize) -> Self {
+        self.new_table_regions = n;
+        self
+    }
+    pub fn without_pushdown(mut self) -> Self {
+        self.predicate_pushdown = false;
+        self
+    }
+    pub fn without_pruning(mut self) -> Self {
+        self.partition_pruning = PruningMode::Disabled;
+        self
+    }
+    pub fn without_fusion(mut self) -> Self {
+        self.operator_fusion = false;
+        self
+    }
+    pub fn without_connection_cache(mut self) -> Self {
+        self.use_connection_cache = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SHCConf::default();
+        assert_eq!(c.connection_close_delay_ms, 600_000); // 10 minutes
+        assert_eq!(c.max_versions, 1);
+        assert_eq!(c.partition_pruning, PruningMode::FirstDimension);
+        assert!(c.predicate_pushdown);
+        assert!(c.security.is_none());
+    }
+
+    #[test]
+    fn parse_timestamp_options() {
+        let mut opts = HashMap::new();
+        opts.insert(keys::MIN_TIMESTAMP.to_string(), "0".to_string());
+        opts.insert(keys::MAX_TIMESTAMP.to_string(), "5000".to_string());
+        opts.insert(keys::MAX_VERSIONS.to_string(), "3".to_string());
+        let c = SHCConf::from_options(&opts).unwrap();
+        assert_eq!(c.min_timestamp, Some(0));
+        assert_eq!(c.max_timestamp, Some(5000));
+        assert_eq!(c.max_versions, 3);
+        let tr = c.time_range();
+        assert!(tr.contains(4999));
+        assert!(!tr.contains(5000));
+    }
+
+    #[test]
+    fn point_timestamp_time_range() {
+        let c = SHCConf::default().with_timestamp(42);
+        let tr = c.time_range();
+        assert!(tr.contains(42));
+        assert!(!tr.contains(41));
+        assert!(!tr.contains(43));
+    }
+
+    #[test]
+    fn conflicting_timestamp_options_rejected() {
+        let c = SHCConf::default().with_timestamp(1).with_time_range(0, 10);
+        assert!(c.validate().is_err());
+        let c = SHCConf::default().with_time_range(10, 10);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn security_requires_principal_and_keytab() {
+        let mut opts = HashMap::new();
+        opts.insert(keys::SECURITY_ENABLED.to_string(), "true".to_string());
+        assert!(SHCConf::from_options(&opts).is_err());
+        opts.insert(
+            keys::PRINCIPAL.to_string(),
+            "ambari-qa@EXAMPLE.COM".to_string(),
+        );
+        opts.insert(
+            keys::KEYTAB.to_string(),
+            "smokeuser.headless.keytab".to_string(),
+        );
+        let c = SHCConf::from_options(&opts).unwrap();
+        assert_eq!(
+            c.security.unwrap().principal,
+            "ambari-qa@EXAMPLE.COM"
+        );
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        let mut opts = HashMap::new();
+        opts.insert(keys::MAX_VERSIONS.to_string(), "lots".to_string());
+        assert!(SHCConf::from_options(&opts).is_err());
+    }
+
+    #[test]
+    fn ablation_toggles() {
+        let c = SHCConf::default()
+            .without_pushdown()
+            .without_pruning()
+            .without_fusion()
+            .without_connection_cache();
+        assert!(!c.predicate_pushdown);
+        assert_eq!(c.partition_pruning, PruningMode::Disabled);
+        assert!(!c.operator_fusion);
+        assert!(!c.use_connection_cache);
+    }
+}

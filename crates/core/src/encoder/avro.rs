@@ -1,0 +1,532 @@
+//! A minimal Apache-Avro binary implementation: schema parsing (from the
+//! JSON form), zig-zag varint primitives, and record/union encoding —
+//! enough to "persist Avro records in HBase directly" (paper §IV.B.2).
+//!
+//! Avro's binary form is compact but **not** byte-order-preserving
+//! (varints reorder negatives), so SHC never pushes range predicates on
+//! Avro-typed columns down to the store; they are reported as unhandled
+//! and re-applied engine-side.
+
+use super::FieldCodec;
+use crate::error::{Result, ShcError};
+use crate::json::{parse_json, Json};
+use shc_engine::value::{DataType, Value};
+
+/// An Avro schema node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AvroSchema {
+    Null,
+    Boolean,
+    Int,
+    Long,
+    Float,
+    Double,
+    String,
+    Bytes,
+    /// Tagged union, e.g. `["null", "double"]`.
+    Union(Vec<AvroSchema>),
+    Record {
+        name: String,
+        fields: Vec<(String, AvroSchema)>,
+    },
+}
+
+impl AvroSchema {
+    /// Parse the JSON schema form.
+    pub fn parse(text: &str) -> Result<AvroSchema> {
+        let json = parse_json(text)?;
+        Self::from_json(&json)
+    }
+
+    pub fn from_json(json: &Json) -> Result<AvroSchema> {
+        match json {
+            Json::String(name) => Self::primitive(name),
+            Json::Array(branches) => Ok(AvroSchema::Union(
+                branches
+                    .iter()
+                    .map(Self::from_json)
+                    .collect::<Result<_>>()?,
+            )),
+            Json::Object(_) => {
+                let ty = json
+                    .get_str("type")
+                    .ok_or_else(|| ShcError::Codec("schema object missing type".into()))?;
+                if ty == "record" {
+                    let name = json
+                        .get_str("name")
+                        .ok_or_else(|| ShcError::Codec("record missing name".into()))?
+                        .to_string();
+                    let fields = json
+                        .get("fields")
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| ShcError::Codec("record missing fields".into()))?
+                        .iter()
+                        .map(|f| {
+                            let fname = f
+                                .get_str("name")
+                                .ok_or_else(|| {
+                                    ShcError::Codec("field missing name".into())
+                                })?
+                                .to_string();
+                            let ftype = f.get("type").ok_or_else(|| {
+                                ShcError::Codec("field missing type".into())
+                            })?;
+                            Ok((fname, Self::from_json(ftype)?))
+                        })
+                        .collect::<Result<_>>()?;
+                    Ok(AvroSchema::Record { name, fields })
+                } else {
+                    Self::primitive(ty)
+                }
+            }
+            other => Err(ShcError::Codec(format!("invalid schema node {other:?}"))),
+        }
+    }
+
+    fn primitive(name: &str) -> Result<AvroSchema> {
+        Ok(match name {
+            "null" => AvroSchema::Null,
+            "boolean" => AvroSchema::Boolean,
+            "int" => AvroSchema::Int,
+            "long" => AvroSchema::Long,
+            "float" => AvroSchema::Float,
+            "double" => AvroSchema::Double,
+            "string" => AvroSchema::String,
+            "bytes" => AvroSchema::Bytes,
+            other => {
+                return Err(ShcError::Codec(format!(
+                    "unsupported Avro type {other}"
+                )))
+            }
+        })
+    }
+
+    /// The engine type this schema decodes to.
+    pub fn to_data_type(&self) -> DataType {
+        match self {
+            AvroSchema::Null => DataType::Utf8, // standalone null is odd; degrade
+            AvroSchema::Boolean => DataType::Boolean,
+            AvroSchema::Int => DataType::Int32,
+            AvroSchema::Long => DataType::Int64,
+            AvroSchema::Float => DataType::Float32,
+            AvroSchema::Double => DataType::Float64,
+            AvroSchema::String => DataType::Utf8,
+            AvroSchema::Bytes | AvroSchema::Record { .. } => DataType::Binary,
+            AvroSchema::Union(branches) => branches
+                .iter()
+                .find(|b| !matches!(b, AvroSchema::Null))
+                .map(|b| b.to_data_type())
+                .unwrap_or(DataType::Utf8),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Binary primitives (Avro spec)
+// ----------------------------------------------------------------------
+
+pub fn write_long(value: i64, out: &mut Vec<u8>) {
+    // Zig-zag then LEB128 varint.
+    let mut zz = ((value << 1) ^ (value >> 63)) as u64;
+    loop {
+        let byte = (zz & 0x7f) as u8;
+        zz >>= 7;
+        if zz == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+pub fn read_long(bytes: &[u8], pos: &mut usize) -> Result<i64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| ShcError::Codec("truncated varint".into()))?;
+        *pos += 1;
+        value |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(ShcError::Codec("varint too long".into()));
+        }
+    }
+    Ok(((value >> 1) as i64) ^ -((value & 1) as i64))
+}
+
+fn write_bytes(data: &[u8], out: &mut Vec<u8>) {
+    write_long(data.len() as i64, out);
+    out.extend_from_slice(data);
+}
+
+fn read_bytes<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
+    let len = read_long(bytes, pos)?;
+    if len < 0 {
+        return Err(ShcError::Codec("negative length".into()));
+    }
+    let len = len as usize;
+    let slice = bytes
+        .get(*pos..*pos + len)
+        .ok_or_else(|| ShcError::Codec("truncated bytes".into()))?;
+    *pos += len;
+    Ok(slice)
+}
+
+// ----------------------------------------------------------------------
+// Value encoding
+// ----------------------------------------------------------------------
+
+/// Encode one engine value per an Avro schema node.
+pub fn encode_value(schema: &AvroSchema, value: &Value, out: &mut Vec<u8>) -> Result<()> {
+    match (schema, value) {
+        (AvroSchema::Union(branches), v) => {
+            // Pick the first branch that accepts the value.
+            let index = if v.is_null() {
+                branches
+                    .iter()
+                    .position(|b| matches!(b, AvroSchema::Null))
+                    .ok_or_else(|| ShcError::Codec("union has no null branch".into()))?
+            } else {
+                branches
+                    .iter()
+                    .position(|b| !matches!(b, AvroSchema::Null))
+                    .ok_or_else(|| {
+                        ShcError::Codec("union has no value branch".into())
+                    })?
+            };
+            write_long(index as i64, out);
+            encode_value(&branches[index], v, out)
+        }
+        (AvroSchema::Null, Value::Null) => Ok(()),
+        (AvroSchema::Boolean, Value::Boolean(b)) => {
+            out.push(*b as u8);
+            Ok(())
+        }
+        (AvroSchema::Int | AvroSchema::Long, v) => {
+            let i = v
+                .as_i64()
+                .ok_or_else(|| ShcError::Codec(format!("expected integer, got {v:?}")))?;
+            write_long(i, out);
+            Ok(())
+        }
+        (AvroSchema::Float, v) => {
+            let f = v
+                .as_f64()
+                .ok_or_else(|| ShcError::Codec(format!("expected float, got {v:?}")))?;
+            out.extend_from_slice(&(f as f32).to_le_bytes());
+            Ok(())
+        }
+        (AvroSchema::Double, v) => {
+            let f = v
+                .as_f64()
+                .ok_or_else(|| ShcError::Codec(format!("expected double, got {v:?}")))?;
+            out.extend_from_slice(&f.to_le_bytes());
+            Ok(())
+        }
+        (AvroSchema::String, Value::Utf8(s)) => {
+            write_bytes(s.as_bytes(), out);
+            Ok(())
+        }
+        (AvroSchema::Bytes, Value::Binary(b)) => {
+            write_bytes(b, out);
+            Ok(())
+        }
+        (s, v) => Err(ShcError::Codec(format!(
+            "cannot encode {v:?} as Avro {s:?}"
+        ))),
+    }
+}
+
+/// Decode one value per a schema node.
+pub fn decode_value(schema: &AvroSchema, bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    match schema {
+        AvroSchema::Union(branches) => {
+            let index = read_long(bytes, pos)? as usize;
+            let branch = branches
+                .get(index)
+                .ok_or_else(|| ShcError::Codec("union index out of range".into()))?;
+            decode_value(branch, bytes, pos)
+        }
+        AvroSchema::Null => Ok(Value::Null),
+        AvroSchema::Boolean => {
+            let b = *bytes
+                .get(*pos)
+                .ok_or_else(|| ShcError::Codec("truncated boolean".into()))?;
+            *pos += 1;
+            Ok(Value::Boolean(b != 0))
+        }
+        AvroSchema::Int => Ok(Value::Int32(read_long(bytes, pos)? as i32)),
+        AvroSchema::Long => Ok(Value::Int64(read_long(bytes, pos)?)),
+        AvroSchema::Float => {
+            let slice = bytes
+                .get(*pos..*pos + 4)
+                .ok_or_else(|| ShcError::Codec("truncated float".into()))?;
+            *pos += 4;
+            Ok(Value::Float32(f32::from_le_bytes(slice.try_into().unwrap())))
+        }
+        AvroSchema::Double => {
+            let slice = bytes
+                .get(*pos..*pos + 8)
+                .ok_or_else(|| ShcError::Codec("truncated double".into()))?;
+            *pos += 8;
+            Ok(Value::Float64(f64::from_le_bytes(slice.try_into().unwrap())))
+        }
+        AvroSchema::String => {
+            let data = read_bytes(bytes, pos)?;
+            Ok(Value::Utf8(
+                std::str::from_utf8(data)
+                    .map_err(|_| ShcError::Codec("invalid UTF-8 in Avro string".into()))?
+                    .to_string(),
+            ))
+        }
+        AvroSchema::Bytes => Ok(Value::Binary(read_bytes(bytes, pos)?.to_vec())),
+        AvroSchema::Record { .. } => Err(ShcError::Codec(
+            "nested records decode via encode_record/decode_record".into(),
+        )),
+    }
+}
+
+/// Encode a full record (field values in schema order).
+pub fn encode_record(schema: &AvroSchema, values: &[Value]) -> Result<Vec<u8>> {
+    let AvroSchema::Record { fields, .. } = schema else {
+        return Err(ShcError::Codec("encode_record needs a record schema".into()));
+    };
+    if fields.len() != values.len() {
+        return Err(ShcError::Codec(format!(
+            "record has {} fields, got {} values",
+            fields.len(),
+            values.len()
+        )));
+    }
+    let mut out = Vec::new();
+    for ((_, ftype), value) in fields.iter().zip(values) {
+        encode_value(ftype, value, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Decode a full record.
+pub fn decode_record(schema: &AvroSchema, bytes: &[u8]) -> Result<Vec<Value>> {
+    let AvroSchema::Record { fields, .. } = schema else {
+        return Err(ShcError::Codec("decode_record needs a record schema".into()));
+    };
+    let mut pos = 0;
+    let mut out = Vec::with_capacity(fields.len());
+    for (_, ftype) in fields {
+        out.push(decode_value(ftype, bytes, &mut pos)?);
+    }
+    if pos != bytes.len() {
+        return Err(ShcError::Codec("trailing bytes after record".into()));
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// FieldCodec adapter
+// ----------------------------------------------------------------------
+
+/// Per-column Avro codec: encodes single values as a nullable union of the
+/// column's logical type (`["null", T]`), which is the common Avro idiom.
+#[derive(Debug, Clone)]
+pub struct AvroValueCodec {
+    /// Explicit schema; when `None`, the schema is derived from the
+    /// declared engine type at encode/decode time.
+    schema: Option<AvroSchema>,
+}
+
+impl AvroValueCodec {
+    pub fn with_schema(schema: AvroSchema) -> Self {
+        AvroValueCodec {
+            schema: Some(schema),
+        }
+    }
+
+    pub fn for_any() -> Self {
+        AvroValueCodec { schema: None }
+    }
+
+    fn effective_schema(&self, dt: DataType) -> AvroSchema {
+        self.schema.clone().unwrap_or_else(|| {
+            let base = match dt {
+                DataType::Boolean => AvroSchema::Boolean,
+                DataType::Int8 | DataType::Int16 | DataType::Int32 => AvroSchema::Int,
+                DataType::Int64 | DataType::Timestamp => AvroSchema::Long,
+                DataType::Float32 => AvroSchema::Float,
+                DataType::Float64 => AvroSchema::Double,
+                DataType::Utf8 => AvroSchema::String,
+                DataType::Binary => AvroSchema::Bytes,
+            };
+            AvroSchema::Union(vec![AvroSchema::Null, base])
+        })
+    }
+}
+
+impl FieldCodec for AvroValueCodec {
+    fn encode(&self, value: &Value, data_type: DataType) -> Result<Vec<u8>> {
+        let schema = self.effective_schema(data_type);
+        let mut out = Vec::new();
+        encode_value(&schema, value, &mut out)?;
+        Ok(out)
+    }
+
+    fn decode(&self, bytes: &[u8], data_type: DataType) -> Result<Value> {
+        let schema = self.effective_schema(data_type);
+        let mut pos = 0;
+        let value = decode_value(&schema, bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(ShcError::Codec("trailing bytes after Avro value".into()));
+        }
+        // Narrow integers back to the declared width.
+        Ok(match (data_type, &value) {
+            (DataType::Int8, v) | (DataType::Int16, v) | (DataType::Timestamp, v) => {
+                v.cast_to(data_type).unwrap_or(value)
+            }
+            _ => value,
+        })
+    }
+
+    fn order_preserving(&self) -> bool {
+        false // varints break byte-order comparisons
+    }
+
+    fn name(&self) -> &'static str {
+        "Avro"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::assert_roundtrips;
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, 64, 300, -300, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_long(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(read_long(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_matches_avro_spec_examples() {
+        // Spec: 0→00, -1→01, 1→02, -2→03, 2→04.
+        let enc = |v: i64| {
+            let mut b = Vec::new();
+            write_long(v, &mut b);
+            b
+        };
+        assert_eq!(enc(0), vec![0x00]);
+        assert_eq!(enc(-1), vec![0x01]);
+        assert_eq!(enc(1), vec![0x02]);
+        assert_eq!(enc(-2), vec![0x03]);
+        assert_eq!(enc(2), vec![0x04]);
+        assert_eq!(enc(64), vec![0x80, 0x01]);
+    }
+
+    #[test]
+    fn value_codec_roundtrips() {
+        assert_roundtrips(&AvroValueCodec::for_any());
+    }
+
+    #[test]
+    fn null_roundtrips_through_union() {
+        let c = AvroValueCodec::for_any();
+        let bytes = c.encode(&Value::Null, DataType::Float64).unwrap();
+        assert_eq!(c.decode(&bytes, DataType::Float64).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn schema_parsing_from_json() {
+        let schema = AvroSchema::parse(
+            r#"{"type":"record","name":"Active","fields":[
+                {"name":"user","type":"string"},
+                {"name":"visits","type":"int"},
+                {"name":"stay","type":["null","double"]}
+            ]}"#,
+        )
+        .unwrap();
+        match &schema {
+            AvroSchema::Record { name, fields } => {
+                assert_eq!(name, "Active");
+                assert_eq!(fields.len(), 3);
+                assert_eq!(fields[2].1, AvroSchema::Union(vec![
+                    AvroSchema::Null,
+                    AvroSchema::Double
+                ]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(schema.to_data_type(), DataType::Binary);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let schema = AvroSchema::parse(
+            r#"{"type":"record","name":"R","fields":[
+                {"name":"a","type":"string"},
+                {"name":"b","type":"long"},
+                {"name":"c","type":["null","double"]}
+            ]}"#,
+        )
+        .unwrap();
+        let values = vec![
+            Value::Utf8("hello".into()),
+            Value::Int64(-42),
+            Value::Null,
+        ];
+        let bytes = encode_record(&schema, &values).unwrap();
+        assert_eq!(decode_record(&schema, &bytes).unwrap(), values);
+
+        let values2 = vec![
+            Value::Utf8("".into()),
+            Value::Int64(7),
+            Value::Float64(1.5),
+        ];
+        let bytes2 = encode_record(&schema, &values2).unwrap();
+        assert_eq!(decode_record(&schema, &bytes2).unwrap(), values2);
+    }
+
+    #[test]
+    fn record_field_count_mismatch() {
+        let schema = AvroSchema::parse(
+            r#"{"type":"record","name":"R","fields":[{"name":"a","type":"int"}]}"#,
+        )
+        .unwrap();
+        assert!(encode_record(&schema, &[]).is_err());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let c = AvroValueCodec::for_any();
+        let bytes = c
+            .encode(&Value::Utf8("hello".into()), DataType::Utf8)
+            .unwrap();
+        assert!(c.decode(&bytes[..2], DataType::Utf8).is_err());
+        assert!(c.decode(&[], DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn avro_is_not_order_preserving() {
+        // Demonstrate why range pushdown is disabled: zig-zag makes -2
+        // encode to a byte string greater than that of 1.
+        let c = AvroValueCodec::for_any();
+        let neg = c.encode(&Value::Int64(-2), DataType::Int64).unwrap();
+        let pos = c.encode(&Value::Int64(1), DataType::Int64).unwrap();
+        assert!(neg > pos);
+        assert!(!c.order_preserving());
+    }
+
+    #[test]
+    fn bad_schema_rejected() {
+        assert!(AvroSchema::parse(r#""unicorn""#).is_err());
+        assert!(AvroSchema::parse(r#"{"type":"record","name":"R"}"#).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Data encoding and decoding (paper §IV.B).
+//!
+//! HBase stores nothing but byte arrays, so the connector owns all typing.
+//! Three codecs are provided, as in SHC:
+//!
+//! * [`primitive`] — `PrimitiveType`: a native encoding that *resolves the
+//!   order inconsistency between Java primitive types and HBase's byte
+//!   order* (sign-bit flips for integers, the IEEE monotone transform for
+//!   floats), so range predicates can be evaluated on raw bytes inside the
+//!   region server;
+//! * [`phoenix`] — Apache-Phoenix-compatible layout, letting SHC read and
+//!   write tables shared with Phoenix;
+//! * [`avro`] — Avro binary records for structured payloads; compact but
+//!   **not** order-preserving, so value predicates on Avro columns cannot
+//!   be pushed down.
+
+pub mod avro;
+pub mod phoenix;
+pub mod primitive;
+
+use crate::error::Result;
+use shc_engine::value::{DataType, Value};
+use std::sync::Arc;
+
+/// A field-level codec: `Value` ⇄ HBase byte array.
+pub trait FieldCodec: Send + Sync {
+    /// Encode a non-null value of the given logical type.
+    fn encode(&self, value: &Value, data_type: DataType) -> Result<Vec<u8>>;
+
+    /// Decode bytes back into a value of the given logical type.
+    fn decode(&self, bytes: &[u8], data_type: DataType) -> Result<Value>;
+
+    /// Whether byte-order comparisons agree with value-order comparisons.
+    /// Only order-preserving codecs allow range-predicate pushdown.
+    fn order_preserving(&self) -> bool;
+
+    /// Codec name as written in catalogs (`tableCoder`).
+    fn name(&self) -> &'static str;
+}
+
+/// The table-level coder choice (`"tableCoder"` in the catalog).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableCoder {
+    PrimitiveType,
+    Phoenix,
+    Avro,
+}
+
+impl TableCoder {
+    pub fn from_name(name: &str) -> Option<TableCoder> {
+        match name.to_ascii_lowercase().as_str() {
+            "primitivetype" | "primitive" => Some(TableCoder::PrimitiveType),
+            "phoenixtype" | "phoenix" => Some(TableCoder::Phoenix),
+            "avro" => Some(TableCoder::Avro),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the codec for a plain (non-Avro-schema) column.
+    pub fn codec(self) -> Arc<dyn FieldCodec> {
+        match self {
+            TableCoder::PrimitiveType => Arc::new(primitive::PrimitiveCodec),
+            TableCoder::Phoenix => Arc::new(phoenix::PhoenixCodec),
+            // A bare Avro coder encodes single values as one-field records.
+            TableCoder::Avro => Arc::new(avro::AvroValueCodec::for_any()),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// Round-trip a representative matrix of values through a codec.
+    pub fn assert_roundtrips(codec: &dyn FieldCodec) {
+        #[allow(clippy::type_complexity)]
+        let cases: Vec<(Value, DataType)> = vec![
+            (Value::Boolean(true), DataType::Boolean),
+            (Value::Boolean(false), DataType::Boolean),
+            (Value::Int8(-5), DataType::Int8),
+            (Value::Int8(127), DataType::Int8),
+            (Value::Int16(-300), DataType::Int16),
+            (Value::Int32(123_456), DataType::Int32),
+            (Value::Int32(-123_456), DataType::Int32),
+            (Value::Int64(i64::MAX), DataType::Int64),
+            (Value::Int64(i64::MIN), DataType::Int64),
+            (Value::Float32(3.25), DataType::Float32),
+            (Value::Float32(-7.5), DataType::Float32),
+            (Value::Float64(2.718281828), DataType::Float64),
+            (Value::Float64(-0.001), DataType::Float64),
+            (Value::Utf8("row120".into()), DataType::Utf8),
+            (Value::Utf8("".into()), DataType::Utf8),
+            (Value::Binary(vec![0, 255, 7]), DataType::Binary),
+            (Value::Timestamp(1_500_000_000_123), DataType::Timestamp),
+        ];
+        for (value, dt) in cases {
+            let bytes = codec.encode(&value, dt).unwrap();
+            let back = codec.decode(&bytes, dt).unwrap();
+            assert_eq!(back, value, "{} roundtrip of {value:?}", codec.name());
+        }
+    }
+
+    /// For order-preserving codecs: byte order must match value order.
+    pub fn assert_order_preserved(codec: &dyn FieldCodec) {
+        assert!(codec.order_preserving());
+        let int_cases: Vec<i64> = vec![i64::MIN, -100, -1, 0, 1, 7, 100, i64::MAX];
+        let encoded: Vec<Vec<u8>> = int_cases
+            .iter()
+            .map(|v| codec.encode(&Value::Int64(*v), DataType::Int64).unwrap())
+            .collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1], "{}: int byte order broken", codec.name());
+        }
+        let float_cases: Vec<f64> =
+            vec![f64::NEG_INFINITY, -1e9, -1.5, -0.0, 0.0, 0.25, 2.0, 1e9];
+        let encoded: Vec<Vec<u8>> = float_cases
+            .iter()
+            .map(|v| {
+                codec
+                    .encode(&Value::Float64(*v), DataType::Float64)
+                    .unwrap()
+            })
+            .collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] <= w[1], "{}: float byte order broken", codec.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_coder_parsing() {
+        assert_eq!(
+            TableCoder::from_name("PrimitiveType"),
+            Some(TableCoder::PrimitiveType)
+        );
+        assert_eq!(TableCoder::from_name("phoenix"), Some(TableCoder::Phoenix));
+        assert_eq!(TableCoder::from_name("Avro"), Some(TableCoder::Avro));
+        assert_eq!(TableCoder::from_name("protobuf"), None);
+    }
+
+    #[test]
+    fn coder_instances_report_names() {
+        assert_eq!(TableCoder::PrimitiveType.codec().name(), "PrimitiveType");
+        assert_eq!(TableCoder::Phoenix.codec().name(), "Phoenix");
+        assert_eq!(TableCoder::Avro.codec().name(), "Avro");
+    }
+
+    #[test]
+    fn only_binary_coders_are_not_order_preserving() {
+        assert!(TableCoder::PrimitiveType.codec().order_preserving());
+        assert!(TableCoder::Phoenix.codec().order_preserving());
+        assert!(!TableCoder::Avro.codec().order_preserving());
+    }
+}

@@ -1,0 +1,262 @@
+//! The `PrimitiveType` codec: SHC's native, order-preserving encoding.
+//!
+//! Java primitive types serialized naively (two's-complement big-endian)
+//! do **not** sort correctly as unsigned byte arrays — negative numbers
+//! compare greater than positives. HBase compares raw bytes, so SHC "does
+//! extra work to resolve the order inconsistency" (paper §IV.B.1):
+//!
+//! * integers: big-endian with the sign bit flipped;
+//! * floats: IEEE-754 bits with the sign bit flipped for non-negatives and
+//!   **all** bits flipped for negatives (the standard monotone transform);
+//! * strings/binary: raw bytes (UTF-8 already sorts correctly);
+//! * booleans: one byte, `0`/`1`.
+
+use super::FieldCodec;
+use crate::error::{Result, ShcError};
+use shc_engine::value::{DataType, Value};
+
+/// The native order-preserving codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PrimitiveCodec;
+
+#[inline]
+fn flip_sign_u64(v: i64) -> u64 {
+    (v as u64) ^ (1 << 63)
+}
+
+#[inline]
+fn unflip_sign_u64(v: u64) -> i64 {
+    (v ^ (1 << 63)) as i64
+}
+
+/// Monotone transform of an f64's bits.
+#[inline]
+pub fn f64_to_ordered_bits(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits & (1 << 63) == 0 {
+        bits ^ (1 << 63) // non-negative: flip sign bit
+    } else {
+        !bits // negative: flip everything
+    }
+}
+
+#[inline]
+pub fn ordered_bits_to_f64(bits: u64) -> f64 {
+    if bits & (1 << 63) != 0 {
+        f64::from_bits(bits ^ (1 << 63))
+    } else {
+        f64::from_bits(!bits)
+    }
+}
+
+#[inline]
+fn f32_to_ordered_bits(v: f32) -> u32 {
+    let bits = v.to_bits();
+    if bits & (1 << 31) == 0 {
+        bits ^ (1 << 31)
+    } else {
+        !bits
+    }
+}
+
+#[inline]
+fn ordered_bits_to_f32(bits: u32) -> f32 {
+    if bits & (1 << 31) != 0 {
+        f32::from_bits(bits ^ (1 << 31))
+    } else {
+        f32::from_bits(!bits)
+    }
+}
+
+fn type_error(expected: DataType, got: &Value) -> ShcError {
+    ShcError::Codec(format!("expected a {expected} value, got {got:?}"))
+}
+
+fn width_error(dt: DataType, len: usize) -> ShcError {
+    ShcError::Codec(format!("{dt} expects a different width than {len} bytes"))
+}
+
+impl FieldCodec for PrimitiveCodec {
+    fn encode(&self, value: &Value, data_type: DataType) -> Result<Vec<u8>> {
+        Ok(match (data_type, value) {
+            (DataType::Boolean, Value::Boolean(b)) => vec![*b as u8],
+            (DataType::Int8, Value::Int8(v)) => vec![(*v as u8) ^ 0x80],
+            (DataType::Int16, Value::Int16(v)) => {
+                ((*v as u16) ^ 0x8000).to_be_bytes().to_vec()
+            }
+            (DataType::Int32, Value::Int32(v)) => {
+                ((*v as u32) ^ 0x8000_0000).to_be_bytes().to_vec()
+            }
+            (DataType::Int64, Value::Int64(v)) => {
+                flip_sign_u64(*v).to_be_bytes().to_vec()
+            }
+            (DataType::Timestamp, Value::Timestamp(v)) => {
+                flip_sign_u64(*v).to_be_bytes().to_vec()
+            }
+            (DataType::Float32, Value::Float32(v)) => {
+                f32_to_ordered_bits(*v).to_be_bytes().to_vec()
+            }
+            (DataType::Float64, Value::Float64(v)) => {
+                f64_to_ordered_bits(*v).to_be_bytes().to_vec()
+            }
+            (DataType::Utf8, Value::Utf8(s)) => s.as_bytes().to_vec(),
+            (DataType::Binary, Value::Binary(b)) => b.clone(),
+            // Numeric flexibility: encode a compatible numeric value into
+            // the column's declared type (e.g. an Int64 literal into an
+            // Int32 column).
+            (dt, v) if dt.is_numeric() || dt == DataType::Timestamp => {
+                let coerced = v
+                    .cast_to(dt)
+                    .ok_or_else(|| type_error(dt, v))?;
+                if coerced.is_null() {
+                    return Err(type_error(dt, v));
+                }
+                return self.encode(&coerced, dt);
+            }
+            (dt, v) => return Err(type_error(dt, v)),
+        })
+    }
+
+    fn decode(&self, bytes: &[u8], data_type: DataType) -> Result<Value> {
+        Ok(match data_type {
+            DataType::Boolean => match bytes {
+                [0] => Value::Boolean(false),
+                [1] => Value::Boolean(true),
+                _ => return Err(width_error(data_type, bytes.len())),
+            },
+            DataType::Int8 => {
+                let [b] = bytes else {
+                    return Err(width_error(data_type, bytes.len()));
+                };
+                Value::Int8((b ^ 0x80) as i8)
+            }
+            DataType::Int16 => {
+                let arr: [u8; 2] = bytes
+                    .try_into()
+                    .map_err(|_| width_error(data_type, bytes.len()))?;
+                Value::Int16((u16::from_be_bytes(arr) ^ 0x8000) as i16)
+            }
+            DataType::Int32 => {
+                let arr: [u8; 4] = bytes
+                    .try_into()
+                    .map_err(|_| width_error(data_type, bytes.len()))?;
+                Value::Int32((u32::from_be_bytes(arr) ^ 0x8000_0000) as i32)
+            }
+            DataType::Int64 => {
+                let arr: [u8; 8] = bytes
+                    .try_into()
+                    .map_err(|_| width_error(data_type, bytes.len()))?;
+                Value::Int64(unflip_sign_u64(u64::from_be_bytes(arr)))
+            }
+            DataType::Timestamp => {
+                let arr: [u8; 8] = bytes
+                    .try_into()
+                    .map_err(|_| width_error(data_type, bytes.len()))?;
+                Value::Timestamp(unflip_sign_u64(u64::from_be_bytes(arr)))
+            }
+            DataType::Float32 => {
+                let arr: [u8; 4] = bytes
+                    .try_into()
+                    .map_err(|_| width_error(data_type, bytes.len()))?;
+                Value::Float32(ordered_bits_to_f32(u32::from_be_bytes(arr)))
+            }
+            DataType::Float64 => {
+                let arr: [u8; 8] = bytes
+                    .try_into()
+                    .map_err(|_| width_error(data_type, bytes.len()))?;
+                Value::Float64(ordered_bits_to_f64(u64::from_be_bytes(arr)))
+            }
+            DataType::Utf8 => Value::Utf8(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| ShcError::Codec("invalid UTF-8".into()))?
+                    .to_string(),
+            ),
+            DataType::Binary => Value::Binary(bytes.to_vec()),
+        })
+    }
+
+    fn order_preserving(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "PrimitiveType"
+    }
+}
+
+/// Fixed encoded width of a type under the primitive/phoenix codecs;
+/// `None` for variable-width types (strings, binary).
+pub fn fixed_width(dt: DataType) -> Option<usize> {
+    Some(match dt {
+        DataType::Boolean | DataType::Int8 => 1,
+        DataType::Int16 => 2,
+        DataType::Int32 | DataType::Float32 => 4,
+        DataType::Int64 | DataType::Float64 | DataType::Timestamp => 8,
+        DataType::Utf8 | DataType::Binary => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{assert_order_preserved, assert_roundtrips};
+    use super::*;
+
+    #[test]
+    fn roundtrips_all_types() {
+        assert_roundtrips(&PrimitiveCodec);
+    }
+
+    #[test]
+    fn preserves_order() {
+        assert_order_preserved(&PrimitiveCodec);
+    }
+
+    #[test]
+    fn int32_order_across_sign() {
+        let c = PrimitiveCodec;
+        let neg = c.encode(&Value::Int32(-1), DataType::Int32).unwrap();
+        let zero = c.encode(&Value::Int32(0), DataType::Int32).unwrap();
+        let pos = c.encode(&Value::Int32(1), DataType::Int32).unwrap();
+        assert!(neg < zero);
+        assert!(zero < pos);
+    }
+
+    #[test]
+    fn float_special_values_ordered() {
+        let c = PrimitiveCodec;
+        let enc = |v: f64| c.encode(&Value::Float64(v), DataType::Float64).unwrap();
+        assert!(enc(f64::NEG_INFINITY) < enc(-1.0));
+        assert!(enc(-1.0) < enc(1.0));
+        assert!(enc(1.0) < enc(f64::INFINITY));
+    }
+
+    #[test]
+    fn numeric_coercion_into_declared_type() {
+        let c = PrimitiveCodec;
+        // An Int64 literal written into an Int32 column.
+        let bytes = c.encode(&Value::Int64(7), DataType::Int32).unwrap();
+        assert_eq!(c.decode(&bytes, DataType::Int32).unwrap(), Value::Int32(7));
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let c = PrimitiveCodec;
+        assert!(c.encode(&Value::Utf8("x".into()), DataType::Int32).is_err());
+        assert!(c.encode(&Value::Boolean(true), DataType::Utf8).is_err());
+    }
+
+    #[test]
+    fn wrong_width_is_an_error() {
+        let c = PrimitiveCodec;
+        assert!(c.decode(&[1, 2, 3], DataType::Int32).is_err());
+        assert!(c.decode(&[2], DataType::Boolean).is_err());
+        assert!(c.decode(&[0xff, 0xfe], DataType::Utf8).is_err()); // bad UTF-8
+    }
+
+    #[test]
+    fn fixed_widths() {
+        assert_eq!(fixed_width(DataType::Int64), Some(8));
+        assert_eq!(fixed_width(DataType::Boolean), Some(1));
+        assert_eq!(fixed_width(DataType::Utf8), None);
+    }
+}

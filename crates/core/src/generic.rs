@@ -1,0 +1,259 @@
+//! The comparison baseline: HBase accessed as a *general* data source.
+//!
+//! This models the paper's "Spark SQL" competitor — a `HadoopRDD` +
+//! `TableInputFormat` path that "fails to understand the schema of data and
+//! performs redundant data processing while scanning tables" (§III.C):
+//!
+//! * **no filter pushdown** — every scan reads every region end to end and
+//!   the engine re-applies all predicates;
+//! * **no column pruning** — `supports_projection()` is false, so the scan
+//!   always decodes and ships full-width rows;
+//! * **no partition pruning** — one task per region, always;
+//! * **no data locality** — partitions carry no preferred host;
+//! * **no connection caching** — every task opens a fresh heavy-weight
+//!   connection, the behaviour SHC's cache (§V.B.1) was built to fix.
+//!
+//! It still decodes correctly through the same catalog, so results always
+//! match the SHC path — only the work differs.
+
+use crate::catalog::HBaseTableCatalog;
+use crate::error::ShcError;
+use crate::rowkey::decode_rowkey;
+use shc_engine::datasource::{ScanPartition, TableProvider};
+use shc_engine::error::{EngineError, Result as EngineResult};
+use shc_engine::row::Row;
+use shc_engine::schema::Schema;
+use shc_engine::source_filter::SourceFilter;
+use shc_engine::value::Value;
+use shc_kvstore::client::Connection;
+use shc_kvstore::cluster::HBaseCluster;
+use shc_kvstore::master::RegionLocation;
+use shc_kvstore::types::{RowResult, Scan};
+use std::sync::Arc;
+
+/// The generic-source baseline provider.
+pub struct GenericHBaseRelation {
+    pub catalog: Arc<HBaseTableCatalog>,
+    cluster: Arc<HBaseCluster>,
+}
+
+impl GenericHBaseRelation {
+    pub fn new(
+        cluster: Arc<HBaseCluster>,
+        catalog: Arc<HBaseTableCatalog>,
+    ) -> Arc<GenericHBaseRelation> {
+        Arc::new(GenericHBaseRelation { cluster, catalog })
+    }
+}
+
+impl TableProvider for GenericHBaseRelation {
+    fn schema(&self) -> Schema {
+        self.catalog.schema()
+    }
+
+    /// A generic source cannot prune columns at the store.
+    fn supports_projection(&self) -> bool {
+        false
+    }
+
+    // unhandled_filters: default — everything unhandled.
+
+    fn scan(
+        &self,
+        _projection: Option<&[usize]>,
+        _filters: &[SourceFilter],
+    ) -> EngineResult<Vec<Arc<dyn ScanPartition>>> {
+        let connection = Connection::open(Arc::clone(&self.cluster), None);
+        let regions = connection
+            .locate_regions(&self.catalog.table)
+            .map_err(|e| EngineError::DataSource(e.to_string()))?;
+        Ok(regions
+            .into_iter()
+            .map(|location| {
+                Arc::new(GenericScanPartition {
+                    cluster: Arc::clone(&self.cluster),
+                    catalog: Arc::clone(&self.catalog),
+                    location,
+                }) as Arc<dyn ScanPartition>
+            })
+            .collect())
+    }
+
+    fn name(&self) -> String {
+        format!("generic-hbase:{}", self.catalog.table)
+    }
+}
+
+struct GenericScanPartition {
+    cluster: Arc<HBaseCluster>,
+    catalog: Arc<HBaseTableCatalog>,
+    location: RegionLocation,
+}
+
+impl GenericScanPartition {
+    fn decode_full(&self, row: &RowResult) -> Result<Row, ShcError> {
+        let key_values = decode_rowkey(&self.catalog, &row.row)?;
+        let mut values = Vec::with_capacity(self.catalog.columns.len());
+        for (idx, col) in self.catalog.columns.iter().enumerate() {
+            if col.is_rowkey() {
+                let dim = self
+                    .catalog
+                    .row_key
+                    .iter()
+                    .position(|&k| k == idx)
+                    .expect("rowkey column is a key dimension");
+                values.push(key_values[dim].clone());
+            } else {
+                match row.value(col.family.as_bytes(), col.qualifier.as_bytes()) {
+                    Some(bytes) => values.push(col.codec.decode(bytes, col.data_type)?),
+                    None => values.push(Value::Null),
+                }
+            }
+        }
+        Ok(Row::new(values))
+    }
+}
+
+impl ScanPartition for GenericScanPartition {
+    // No preferred_host: the generic path has no locality information.
+
+    fn execute(&self, _running_on: &str) -> EngineResult<Vec<Row>> {
+        // A fresh connection per task: the costly pattern SHC's cache
+        // eliminates.
+        let connection = Connection::open(Arc::clone(&self.cluster), None);
+        let table = connection.table(self.catalog.table.clone());
+        // Full, unfiltered, unprojected region scan; `from_host: None`
+        // charges the remote-read penalty.
+        let result = table
+            .scan_region(&self.location, &Scan::new(), None)
+            .map_err(|e| EngineError::DataSource(e.to_string()))?;
+        result
+            .rows
+            .iter()
+            .map(|r| self.decode_full(r).map_err(EngineError::from))
+            .collect()
+    }
+
+    fn describe(&self) -> String {
+        format!("generic-hbase[region {}]", self.location.info.region_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::actives_catalog_json;
+    use crate::conf::SHCConf;
+    use crate::relation::HBaseRelation;
+    use crate::writer::write_rows;
+    use shc_kvstore::cluster::ClusterConfig;
+
+    fn setup() -> (Arc<HBaseCluster>, Arc<GenericHBaseRelation>, Arc<HBaseRelation>) {
+        let cluster = HBaseCluster::start(ClusterConfig {
+            num_servers: 3,
+            ..Default::default()
+        });
+        let catalog =
+            Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
+        let rows: Vec<Row> = (0..30)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Utf8(format!("row{i:02}")),
+                    Value::Int8(i as i8),
+                    Value::Utf8(format!("/p/{i}")),
+                    Value::Float64(i as f64),
+                    Value::Timestamp(i as i64),
+                ])
+            })
+            .collect();
+        let conf = SHCConf::default().with_new_table_regions(3);
+        write_rows(&cluster, &catalog, &conf, &rows).unwrap();
+        let generic = GenericHBaseRelation::new(Arc::clone(&cluster), Arc::clone(&catalog));
+        let shc = HBaseRelation::new(Arc::clone(&cluster), catalog, SHCConf::default());
+        (cluster, generic, shc)
+    }
+
+    #[test]
+    fn generic_reports_everything_unhandled_and_unprunable() {
+        let (_c, generic, _shc) = setup();
+        let filters = vec![SourceFilter::Eq(
+            "col0".into(),
+            Value::Utf8("row05".into()),
+        )];
+        assert_eq!(generic.unhandled_filters(&filters), filters);
+        assert!(!generic.supports_projection());
+    }
+
+    #[test]
+    fn generic_scans_every_region_regardless_of_filter() {
+        let (_c, generic, shc) = setup();
+        let filters = vec![SourceFilter::Eq(
+            "col0".into(),
+            Value::Utf8("row05".into()),
+        )];
+        let generic_parts = generic.scan(None, &filters).unwrap();
+        let shc_parts = shc.scan(None, &filters).unwrap();
+        assert_eq!(generic_parts.len(), 3); // one per region, no pruning
+        assert_eq!(shc_parts.len(), 1); // pruned to the owning server
+        assert!(generic_parts[0].preferred_host().is_none());
+    }
+
+    #[test]
+    fn generic_and_shc_agree_on_results() {
+        let (_c, generic, shc) = setup();
+        let collect = |parts: Vec<Arc<dyn ScanPartition>>| {
+            let mut rows: Vec<Row> = parts
+                .into_iter()
+                .flat_map(|p| p.execute("host-0").unwrap())
+                .collect();
+            rows.sort_by(|a, b| a.get(0).as_str().cmp(&b.get(0).as_str()));
+            rows
+        };
+        let g = collect(generic.scan(None, &[]).unwrap());
+        let s = collect(shc.scan(None, &[]).unwrap());
+        assert_eq!(g.len(), 30);
+        assert_eq!(g, s);
+    }
+
+    #[test]
+    fn generic_does_far_more_server_work_for_selective_queries() {
+        let (cluster, generic, shc) = setup();
+        let filters = vec![SourceFilter::Eq(
+            "col0".into(),
+            Value::Utf8("row05".into()),
+        )];
+        let run = |parts: Vec<Arc<dyn ScanPartition>>| {
+            for p in parts {
+                p.execute("host-0").unwrap();
+            }
+        };
+        let before = cluster.metrics.snapshot();
+        run(shc.scan(None, &filters).unwrap());
+        let shc_delta = cluster.metrics.snapshot().delta_since(&before);
+
+        let before = cluster.metrics.snapshot();
+        run(generic.scan(None, &filters).unwrap());
+        let generic_delta = cluster.metrics.snapshot().delta_since(&before);
+
+        assert!(
+            generic_delta.cells_scanned > 10 * shc_delta.cells_scanned.max(1),
+            "generic {} vs shc {}",
+            generic_delta.cells_scanned,
+            shc_delta.cells_scanned
+        );
+        assert!(generic_delta.bytes_returned > shc_delta.bytes_returned);
+    }
+
+    #[test]
+    fn generic_creates_connections_per_task() {
+        let (cluster, generic, _) = setup();
+        let before = cluster.metrics.snapshot().connections_created;
+        let parts = generic.scan(None, &[]).unwrap();
+        for p in &parts {
+            p.execute("host-0").unwrap();
+        }
+        let created = cluster.metrics.snapshot().connections_created - before;
+        // One at planning + one per task.
+        assert!(created > parts.len() as u64);
+    }
+}

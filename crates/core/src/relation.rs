@@ -1,0 +1,846 @@
+//! `HBaseRelation`: the connector's table provider — the plug-in that SHC
+//! registers with the engine's data source API.
+//!
+//! The scan path implements the full §VI pipeline:
+//!
+//! 1. pushed filters → [`crate::pruning::plan_pushdown`] → row-key ranges +
+//!    server-side filters + the handled/unhandled split;
+//! 2. ranges are clipped against region boundaries; regions left with no
+//!    range get **no task** (partition pruning);
+//! 3. the per-region work (range scans and point gets) is **fused** into
+//!    one task per region server (§VI.4), whose preferred host is that
+//!    server's hostname (§VI.2 data locality);
+//! 4. each task acquires its connection through the connection cache
+//!    (§V.B.1) and a security token through the credentials manager
+//!    (§V.B.2), issues Scans/BulkGets, and decodes the returned byte
+//!    arrays into engine rows using the catalog's codecs.
+
+use crate::catalog::HBaseTableCatalog;
+use crate::conf::{PruningMode, SHCConf};
+use crate::conn_cache::ConnectionCache;
+use crate::credentials::SHCCredentialsManager;
+use crate::error::{Result as ShcResult, ShcError};
+use crate::pruning::plan_pushdown;
+use crate::ranges::RangeSet;
+use crate::rowkey::decode_rowkey;
+use shc_engine::datasource::{ScanPartition, TableProvider};
+use shc_engine::error::{EngineError, Result as EngineResult};
+use shc_engine::row::Row;
+use shc_engine::schema::Schema;
+use shc_engine::source_filter::SourceFilter;
+use shc_engine::value::Value;
+use shc_kvstore::client::Connection;
+use shc_kvstore::cluster::HBaseCluster;
+use shc_kvstore::filter::{Filter, RowRange};
+use shc_kvstore::master::RegionLocation;
+use shc_kvstore::security::AuthToken;
+use shc_kvstore::types::{Get, Projection, RowResult, Scan};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// The SHC table provider.
+pub struct HBaseRelation {
+    pub catalog: Arc<HBaseTableCatalog>,
+    pub conf: SHCConf,
+    cluster: Arc<HBaseCluster>,
+    cache: Arc<ConnectionCache>,
+    credentials: Arc<SHCCredentialsManager>,
+}
+
+impl HBaseRelation {
+    pub fn new(
+        cluster: Arc<HBaseCluster>,
+        catalog: Arc<HBaseTableCatalog>,
+        conf: SHCConf,
+    ) -> Arc<HBaseRelation> {
+        Arc::new(HBaseRelation {
+            catalog,
+            conf,
+            cluster,
+            cache: ConnectionCache::global(),
+            credentials: SHCCredentialsManager::new_default(),
+        })
+    }
+
+    /// Use explicit cache/credentials instances (tests, ablations).
+    pub fn with_services(
+        cluster: Arc<HBaseCluster>,
+        catalog: Arc<HBaseTableCatalog>,
+        conf: SHCConf,
+        cache: Arc<ConnectionCache>,
+        credentials: Arc<SHCCredentialsManager>,
+    ) -> Arc<HBaseRelation> {
+        Arc::new(HBaseRelation {
+            catalog,
+            conf,
+            cluster,
+            cache,
+            credentials,
+        })
+    }
+
+    pub fn cluster(&self) -> &Arc<HBaseCluster> {
+        &self.cluster
+    }
+
+    pub fn credentials(&self) -> &Arc<SHCCredentialsManager> {
+        &self.credentials
+    }
+
+    fn token(&self) -> ShcResult<Option<AuthToken>> {
+        match &self.conf.security {
+            Some(sec) => self.credentials.get_token_for_cluster(&self.cluster, sec),
+            None => {
+                if self.cluster.security.is_some() {
+                    Err(ShcError::Security(
+                        "cluster is secure but connector security is disabled \
+                         (set spark.hbase.connector.security.credentials.enabled)"
+                            .into(),
+                    ))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    fn acquire_connection(&self, token: Option<AuthToken>) -> ConnectionLease {
+        if self.conf.use_connection_cache {
+            ConnectionLease::Cached(self.cache.acquire(&self.cluster, token))
+        } else {
+            ConnectionLease::Fresh(Connection::open(Arc::clone(&self.cluster), token))
+        }
+    }
+
+    /// Columns selected by an engine projection (indices into the catalog
+    /// schema); `None` selects everything.
+    fn projected_indices(&self, projection: Option<&[usize]>) -> Vec<usize> {
+        match projection {
+            Some(indices) => indices.to_vec(),
+            None => (0..self.catalog.columns.len()).collect(),
+        }
+    }
+}
+
+/// A connection lease: cached (ref-counted) or private.
+enum ConnectionLease {
+    Cached(crate::conn_cache::CachedConnection),
+    Fresh(Arc<Connection>),
+}
+
+impl ConnectionLease {
+    fn connection(&self) -> &Arc<Connection> {
+        match self {
+            ConnectionLease::Cached(lease) => lease.connection(),
+            ConnectionLease::Fresh(conn) => conn,
+        }
+    }
+}
+
+impl TableProvider for HBaseRelation {
+    fn schema(&self) -> Schema {
+        self.catalog.schema()
+    }
+
+    fn supports_projection(&self) -> bool {
+        true
+    }
+
+    /// Spark's `unhandledFilters`: everything the pushdown plan does not
+    /// fully absorb must be re-applied by the engine (§VI.3's second
+    /// filtering layer).
+    fn unhandled_filters(&self, filters: &[SourceFilter]) -> Vec<SourceFilter> {
+        plan_pushdown(&self.catalog, &self.conf, filters).unhandled(filters)
+    }
+
+    fn scan(
+        &self,
+        projection: Option<&[usize]>,
+        filters: &[SourceFilter],
+    ) -> EngineResult<Vec<Arc<dyn ScanPartition>>> {
+        let plan = plan_pushdown(&self.catalog, &self.conf, filters);
+        if plan.ranges.is_empty() {
+            return Ok(Vec::new()); // provably empty result
+        }
+        let token = self.token().map_err(EngineError::from)?;
+        let lease = self.acquire_connection(token.clone());
+        let regions = lease
+            .connection()
+            .locate_regions(&self.catalog.table)
+            .map_err(|e| EngineError::DataSource(e.to_string()))?;
+
+        // Clip ranges per region; prune regions with no remaining range.
+        let mut per_region: Vec<(RegionLocation, RangeSet)> = Vec::new();
+        for location in regions {
+            let clipped = if self.conf.partition_pruning == PruningMode::Disabled {
+                RangeSet::from_range(RowRange {
+                    start: location.info.start_key.clone(),
+                    stop: location.info.end_key.clone(),
+                })
+            } else {
+                plan.ranges
+                    .clip(&location.info.start_key, &location.info.end_key)
+            };
+            if clipped.is_empty() {
+                continue; // §VI.1: no task for this region
+            }
+            per_region.push((location, clipped));
+        }
+
+        let projected = self.projected_indices(projection);
+        let decoder = Arc::new(RowDecoder::new(&self.catalog, &projected));
+        let kv_projection = build_kv_projection(&self.catalog, &projected, &plan.kv_filter);
+
+        // §VI.4 operator fusion: group regions by hosting server so each
+        // server receives exactly one task.
+        let mut partitions: Vec<Arc<dyn ScanPartition>> = Vec::new();
+        if self.conf.operator_fusion {
+            type ServerGroup = (u64, String, Vec<(RegionLocation, RangeSet)>);
+            let mut by_server: Vec<ServerGroup> = Vec::new();
+            for (location, ranges) in per_region {
+                match by_server
+                    .iter_mut()
+                    .find(|(sid, _, _)| *sid == location.server_id)
+                {
+                    Some((_, _, group)) => group.push((location, ranges)),
+                    None => by_server.push((
+                        location.server_id,
+                        location.hostname.clone(),
+                        vec![(location, ranges)],
+                    )),
+                }
+            }
+            for (_, hostname, group) in by_server {
+                partitions.push(Arc::new(HBaseScanPartition {
+                    relation: self.clone_handle(),
+                    token: token.clone(),
+                    hostname,
+                    work: group,
+                    kv_filter: plan.kv_filter.clone(),
+                    kv_projection: kv_projection.clone(),
+                    decoder: Arc::clone(&decoder),
+                }));
+            }
+        } else {
+            // One task per (region, range) — the unfused baseline the
+            // paper describes as wasteful.
+            for (location, ranges) in per_region {
+                for range in ranges.ranges() {
+                    partitions.push(Arc::new(HBaseScanPartition {
+                        relation: self.clone_handle(),
+                        token: token.clone(),
+                        hostname: location.hostname.clone(),
+                        work: vec![(
+                            location.clone(),
+                            RangeSet::from_range(range.clone()),
+                        )],
+                        kv_filter: plan.kv_filter.clone(),
+                        kv_projection: kv_projection.clone(),
+                        decoder: Arc::clone(&decoder),
+                    }));
+                }
+            }
+        }
+        Ok(partitions)
+    }
+
+    fn insert(&self, rows: &[Row]) -> EngineResult<u64> {
+        crate::writer::write_rows(
+            &self.cluster,
+            &self.catalog,
+            &self.conf,
+            rows,
+        )
+        .map_err(EngineError::from)
+    }
+
+    fn name(&self) -> String {
+        format!("shc:{}", self.catalog.table)
+    }
+}
+
+impl HBaseRelation {
+    /// A cheap handle for partitions (shares the Arc'd services).
+    fn clone_handle(&self) -> Arc<HBaseRelation> {
+        Arc::new(HBaseRelation {
+            catalog: Arc::clone(&self.catalog),
+            conf: self.conf.clone(),
+            cluster: Arc::clone(&self.cluster),
+            cache: Arc::clone(&self.cache),
+            credentials: Arc::clone(&self.credentials),
+        })
+    }
+}
+
+/// Column-family projection sent to the store: projected value columns
+/// plus any columns the server-side filter needs to see.
+fn build_kv_projection(
+    catalog: &HBaseTableCatalog,
+    projected: &[usize],
+    kv_filter: &Option<Filter>,
+) -> Projection {
+    let mut projection = Projection::all();
+    let mut any_value_column = false;
+    for &idx in projected {
+        let col = &catalog.columns[idx];
+        if !col.is_rowkey() {
+            any_value_column = true;
+            projection = projection.column(col.family.clone(), col.qualifier.clone());
+        }
+    }
+    if let Some(filter) = kv_filter {
+        collect_filter_columns(filter, &mut projection, &mut any_value_column);
+    }
+    if !any_value_column {
+        // Key-only projection: fetch one designated cell per row so rows
+        // materialize (the FirstKeyOnly idiom).
+        if let Some(col) = catalog.value_columns().first() {
+            projection = projection.column(col.family.clone(), col.qualifier.clone());
+        }
+    }
+    projection
+}
+
+fn collect_filter_columns(filter: &Filter, projection: &mut Projection, any: &mut bool) {
+    match filter {
+        Filter::ColumnValue {
+            family, qualifier, ..
+        }
+        | Filter::ColumnPrefix {
+            family, qualifier, ..
+        } => {
+            *any = true;
+            *projection = projection
+                .clone()
+                .column(family.clone(), qualifier.clone());
+        }
+        Filter::And(children) | Filter::Or(children) => {
+            for c in children {
+                collect_filter_columns(c, projection, any);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ----------------------------------------------------------------------
+// Row decoding
+// ----------------------------------------------------------------------
+
+/// Decodes store rows into engine rows for a fixed projection.
+struct RowDecoder {
+    catalog: Arc<HBaseTableCatalog>,
+    /// Projected catalog column indices, in output order.
+    columns: Vec<usize>,
+    /// Does any projected column come from the row key?
+    needs_rowkey: bool,
+}
+
+impl RowDecoder {
+    fn new(catalog: &Arc<HBaseTableCatalog>, projected: &[usize]) -> RowDecoder {
+        RowDecoder {
+            catalog: Arc::clone(catalog),
+            columns: projected.to_vec(),
+            needs_rowkey: projected
+                .iter()
+                .any(|&i| catalog.columns[i].is_rowkey()),
+        }
+    }
+
+    fn decode(&self, row: &RowResult) -> ShcResult<Row> {
+        let key_values: Option<Vec<Value>> = if self.needs_rowkey {
+            Some(decode_rowkey(&self.catalog, &row.row)?)
+        } else {
+            None
+        };
+        let mut values = Vec::with_capacity(self.columns.len());
+        for &idx in &self.columns {
+            let col = &self.catalog.columns[idx];
+            if col.is_rowkey() {
+                let dim = self
+                    .catalog
+                    .row_key
+                    .iter()
+                    .position(|&k| k == idx)
+                    .expect("rowkey column is a key dimension");
+                values.push(
+                    key_values
+                        .as_ref()
+                        .expect("row key decoded when needed")[dim]
+                        .clone(),
+                );
+            } else {
+                match row.value(col.family.as_bytes(), col.qualifier.as_bytes()) {
+                    Some(bytes) => {
+                        values.push(col.codec.decode(bytes, col.data_type)?)
+                    }
+                    // Absent cell = SQL NULL.
+                    None => values.push(Value::Null),
+                }
+            }
+        }
+        Ok(Row::new(values))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scan partition
+// ----------------------------------------------------------------------
+
+/// Is this range a single-row point (`[k, k ‖ 0x00)`)?
+fn point_row(range: &RowRange) -> Option<bytes::Bytes> {
+    if !range.is_unbounded_stop()
+        && range.stop.len() == range.start.len() + 1
+        && range.stop.last() == Some(&0)
+        && range.stop[..range.start.len()] == range.start[..]
+    {
+        Some(range.start.clone())
+    } else {
+        None
+    }
+}
+
+/// One fused task: all the scans and bulk-gets targeting one region
+/// server.
+struct HBaseScanPartition {
+    relation: Arc<HBaseRelation>,
+    token: Option<AuthToken>,
+    hostname: String,
+    /// (region, clipped ranges) pairs served by this server.
+    work: Vec<(RegionLocation, RangeSet)>,
+    kv_filter: Option<Filter>,
+    kv_projection: Projection,
+    decoder: Arc<RowDecoder>,
+}
+
+impl HBaseScanPartition {
+    /// All ranges this partition is responsible for, independent of the
+    /// (possibly stale) region assignment.
+    fn merged_ranges(&self) -> RangeSet {
+        let mut out = RangeSet::none();
+        for (_, ranges) in &self.work {
+            out = out.union(ranges);
+        }
+        out
+    }
+
+    /// Re-derive (region, ranges) work against the current region layout,
+    /// after a split or move invalidated the planned one.
+    fn relocate(
+        &self,
+        connection: &Arc<Connection>,
+    ) -> EngineResult<Vec<(RegionLocation, RangeSet)>> {
+        connection.invalidate_locations(&self.relation.catalog.table);
+        let regions = connection
+            .locate_regions(&self.relation.catalog.table)
+            .map_err(|e| EngineError::DataSource(e.to_string()))?;
+        let ranges = self.merged_ranges();
+        let mut out = Vec::new();
+        for location in regions {
+            let clipped = ranges.clip(&location.info.start_key, &location.info.end_key);
+            if !clipped.is_empty() {
+                out.push((location, clipped));
+            }
+        }
+        Ok(out)
+    }
+
+    fn run_work(
+        &self,
+        table: &shc_kvstore::client::Table,
+        work: &[(RegionLocation, RangeSet)],
+        running_on: &str,
+    ) -> EngineResult<Vec<Row>> {
+        let conf = &self.relation.conf;
+        let mut out: Vec<Row> = Vec::new();
+        for (location, ranges) in work {
+            // Fuse point lookups into one BulkGet per region.
+            let mut gets: Vec<Get> = Vec::new();
+            for range in ranges.ranges() {
+                if let Some(row_key) = point_row(range) {
+                    let mut get = Get::new(row_key);
+                    get.projection = self.kv_projection.clone();
+                    get.time_range = conf.time_range();
+                    get.max_versions = conf.max_versions;
+                    get.filter = self.kv_filter.clone();
+                    get.include_empty_rows = true;
+                    gets.push(get);
+                    continue;
+                }
+                let scan = Scan {
+                    start: Bound::Included(range.start.clone()),
+                    stop: if range.is_unbounded_stop() {
+                        Bound::Unbounded
+                    } else {
+                        Bound::Excluded(range.stop.clone())
+                    },
+                    projection: self.kv_projection.clone(),
+                    filter: self.kv_filter.clone(),
+                    time_range: conf.time_range(),
+                    max_versions: conf.max_versions,
+                    limit: 0,
+                    caching: conf.caching,
+                    include_empty_rows: true,
+                };
+                let result = table
+                    .scan_region(location, &scan, Some(running_on))
+                    .map_err(|e| EngineError::DataSource(e.to_string()))?;
+                for row in &result.rows {
+                    out.push(self.decoder.decode(row).map_err(EngineError::from)?);
+                }
+            }
+            if !gets.is_empty() {
+                let rows = table
+                    .bulk_get_region(location, &gets, Some(running_on))
+                    .map_err(|e| EngineError::DataSource(e.to_string()))?;
+                for row in &rows {
+                    // Empty key = row not found; empty cells with a key =
+                    // a live row whose projected columns are all NULL.
+                    if row.row.is_empty() {
+                        continue;
+                    }
+                    out.push(self.decoder.decode(row).map_err(EngineError::from)?);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl ScanPartition for HBaseScanPartition {
+    fn preferred_host(&self) -> Option<&str> {
+        Some(&self.hostname)
+    }
+
+    fn execute(&self, running_on: &str) -> EngineResult<Vec<Row>> {
+        // Each task acquires its connection — through the cache when
+        // enabled, freshly otherwise (this is the §V.B.1 cost).
+        let lease = self.relation.acquire_connection(self.token.clone());
+        let table = lease
+            .connection()
+            .table(self.relation.catalog.table.clone());
+        match self.run_work(&table, &self.work, running_on) {
+            Ok(rows) => Ok(rows),
+            // The planned region layout went stale (split/move between
+            // planning and execution): refresh locations and retry once,
+            // exactly like the HBase client's NotServingRegion handling.
+            Err(EngineError::DataSource(msg)) if msg.contains("not serving") => {
+                let work = self.relocate(lease.connection())?;
+                self.run_work(&table, &work, running_on)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "hbase[{} region(s) on {}]",
+            self.work.len(),
+            self.hostname
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::actives_catalog_json;
+    use crate::writer;
+    use shc_kvstore::cluster::ClusterConfig;
+
+    fn setup() -> (Arc<HBaseCluster>, Arc<HBaseRelation>) {
+        let cluster = HBaseCluster::start(ClusterConfig {
+            num_servers: 3,
+            ..Default::default()
+        });
+        let catalog =
+            Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
+        let conf = SHCConf::default().with_new_table_regions(3);
+        // Seed 30 rows: row00..row29.
+        let schema = catalog.schema();
+        let rows: Vec<Row> = (0..30)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Utf8(format!("row{i:02}")),
+                    Value::Int8((i % 100) as i8),
+                    Value::Utf8(format!("/page/{i}")),
+                    Value::Float64(i as f64 * 1.5),
+                    Value::Timestamp(1_000_000 + i as i64),
+                ])
+            })
+            .collect();
+        let _ = schema;
+        let relation = HBaseRelation::new(Arc::clone(&cluster), catalog, conf);
+        writer::write_rows(&cluster, &relation.catalog, &relation.conf, &rows).unwrap();
+        (cluster, relation)
+    }
+
+    fn run_partitions(parts: &[Arc<dyn ScanPartition>]) -> Vec<Row> {
+        let mut out = Vec::new();
+        for p in parts {
+            out.extend(p.execute("host-0").unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn full_scan_decodes_every_row() {
+        let (_cluster, relation) = setup();
+        let parts = relation.scan(None, &[]).unwrap();
+        let mut rows = run_partitions(&parts);
+        rows.sort_by(|a, b| a.get(0).as_str().cmp(&b.get(0).as_str()));
+        assert_eq!(rows.len(), 30);
+        assert_eq!(rows[0].get(0).as_str(), Some("row00"));
+        assert_eq!(rows[0].get(3), &Value::Float64(0.0));
+        assert_eq!(rows[12].get(2).as_str(), Some("/page/12"));
+    }
+
+    #[test]
+    fn fusion_yields_one_partition_per_server() {
+        let (cluster, relation) = setup();
+        let parts = relation.scan(None, &[]).unwrap();
+        assert!(parts.len() <= cluster.num_servers());
+        // Preferred hosts are region-server hostnames.
+        for p in &parts {
+            let host = p.preferred_host().unwrap();
+            assert!(cluster.hostnames().iter().any(|h| h == host));
+        }
+    }
+
+    #[test]
+    fn partition_pruning_skips_regions() {
+        let (cluster, relation) = setup();
+        let before = cluster.metrics.snapshot();
+        let filters = vec![SourceFilter::Eq(
+            "col0".into(),
+            Value::Utf8("row05".into()),
+        )];
+        let parts = relation.scan(None, &filters).unwrap();
+        let rows = run_partitions(&parts);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0).as_str(), Some("row05"));
+        let delta = cluster.metrics.snapshot().delta_since(&before);
+        // A point query fuses into a single BulkGet RPC.
+        assert_eq!(delta.rpc_count, 1);
+        // The server shipped a single row's cells.
+        assert!(delta.cells_returned <= 5);
+    }
+
+    #[test]
+    fn range_filter_prunes_and_limits_scanning() {
+        let (cluster, relation) = setup();
+        let before = cluster.metrics.snapshot();
+        let filters = vec![SourceFilter::GtEq(
+            "col0".into(),
+            Value::Utf8("row25".into()),
+        )];
+        let parts = relation.scan(None, &filters).unwrap();
+        let rows = run_partitions(&parts);
+        assert_eq!(rows.len(), 5);
+        let delta = cluster.metrics.snapshot().delta_since(&before);
+        // Far fewer cells scanned than a full table scan (30 rows × 4
+        // value cells).
+        assert!(delta.cells_scanned < 60, "scanned {}", delta.cells_scanned);
+    }
+
+    #[test]
+    fn value_filter_is_executed_server_side() {
+        let (cluster, relation) = setup();
+        let filters = vec![SourceFilter::Gt(
+            "stay-time".into(),
+            Value::Float64(40.0),
+        )];
+        assert!(relation.unhandled_filters(&filters).is_empty());
+        let before = cluster.metrics.snapshot();
+        let parts = relation.scan(None, &filters).unwrap();
+        let rows = run_partitions(&parts);
+        // stay-time = i * 1.5 > 40 → i >= 27.
+        assert_eq!(rows.len(), 3);
+        let delta = cluster.metrics.snapshot().delta_since(&before);
+        assert!(delta.filtered_scans > 0);
+        // Only matching rows were shipped back.
+        assert!(delta.cells_returned < delta.cells_scanned);
+    }
+
+    #[test]
+    fn not_in_reported_unhandled() {
+        let (_cluster, relation) = setup();
+        let filters = vec![SourceFilter::NotIn(
+            "user-id".into(),
+            vec![Value::Int8(1)],
+        )];
+        assert_eq!(relation.unhandled_filters(&filters), filters);
+        // The scan itself returns everything; the engine re-filters.
+        let parts = relation.scan(None, &filters).unwrap();
+        assert_eq!(run_partitions(&parts).len(), 30);
+    }
+
+    #[test]
+    fn projection_decodes_only_selected_columns() {
+        let (_cluster, relation) = setup();
+        // Project stay-time (index 3) and col0 (index 0).
+        let parts = relation.scan(Some(&[3, 0]), &[]).unwrap();
+        let rows = run_partitions(&parts);
+        assert_eq!(rows.len(), 30);
+        assert_eq!(rows[0].len(), 2);
+        assert!(matches!(rows[0].get(0), Value::Float64(_)));
+        assert!(matches!(rows[0].get(1), Value::Utf8(_)));
+    }
+
+    #[test]
+    fn rowkey_only_projection_works() {
+        let (_cluster, relation) = setup();
+        let parts = relation.scan(Some(&[0]), &[]).unwrap();
+        let rows = run_partitions(&parts);
+        assert_eq!(rows.len(), 30);
+        assert!(rows.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn empty_range_produces_no_partitions() {
+        let (_cluster, relation) = setup();
+        // col0 > "z" AND col0 < "a" is unsatisfiable.
+        let filters = vec![
+            SourceFilter::Gt("col0".into(), Value::Utf8("z".into())),
+            SourceFilter::Lt("col0".into(), Value::Utf8("a".into())),
+        ];
+        let parts = relation.scan(None, &filters).unwrap();
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn in_list_becomes_bulk_get() {
+        let (cluster, relation) = setup();
+        let before = cluster.metrics.snapshot();
+        let filters = vec![SourceFilter::In(
+            "col0".into(),
+            vec![
+                Value::Utf8("row01".into()),
+                Value::Utf8("row02".into()),
+                Value::Utf8("row17".into()),
+            ],
+        )];
+        let parts = relation.scan(None, &filters).unwrap();
+        let rows = run_partitions(&parts);
+        assert_eq!(rows.len(), 3);
+        let delta = cluster.metrics.snapshot().delta_since(&before);
+        // Points fused into (at most one) BulkGet per region touched.
+        assert!(delta.rpc_count <= 3, "rpcs = {}", delta.rpc_count);
+    }
+
+    #[test]
+    fn disabling_fusion_multiplies_tasks() {
+        let (cluster, _) = setup();
+        let catalog =
+            Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
+        let fused = HBaseRelation::new(
+            Arc::clone(&cluster),
+            Arc::clone(&catalog),
+            SHCConf::default(),
+        );
+        let unfused = HBaseRelation::new(
+            Arc::clone(&cluster),
+            catalog,
+            SHCConf::default().without_fusion(),
+        );
+        let filters = vec![SourceFilter::In(
+            "col0".into(),
+            vec![
+                Value::Utf8("row01".into()),
+                Value::Utf8("row12".into()),
+                Value::Utf8("row22".into()),
+            ],
+        )];
+        let fused_parts = fused.scan(None, &filters).unwrap();
+        let unfused_parts = unfused.scan(None, &filters).unwrap();
+        assert!(unfused_parts.len() >= fused_parts.len());
+        assert_eq!(run_partitions(&unfused_parts).len(), 3);
+    }
+
+    #[test]
+    fn secure_cluster_requires_configured_credentials() {
+        let cluster = HBaseCluster::start(ClusterConfig {
+            num_servers: 1,
+            secure_token_lifetime_ms: Some(1_000_000),
+            ..Default::default()
+        });
+        cluster
+            .security
+            .as_ref()
+            .unwrap()
+            .register_principal("p", "k");
+        let catalog =
+            Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
+        // Without credentials: scan fails up front.
+        let no_sec = HBaseRelation::new(
+            Arc::clone(&cluster),
+            Arc::clone(&catalog),
+            SHCConf::default(),
+        );
+        assert!(no_sec.scan(None, &[]).is_err());
+        // With credentials: works.
+        let with_sec = HBaseRelation::new(
+            Arc::clone(&cluster),
+            catalog,
+            SHCConf::default().with_security("p", "k"),
+        );
+        // Table does not exist yet; create it via writer.
+        writer::write_rows(
+            &cluster,
+            &with_sec.catalog,
+            &with_sec.conf,
+            &[Row::new(vec![
+                Value::Utf8("r1".into()),
+                Value::Int8(1),
+                Value::Utf8("p".into()),
+                Value::Float64(0.5),
+                Value::Timestamp(1),
+            ])],
+        )
+        .unwrap();
+        let parts = with_sec.scan(None, &[]).unwrap();
+        assert_eq!(run_partitions(&parts).len(), 1);
+    }
+
+    #[test]
+    fn timestamp_conf_filters_versions() {
+        let (cluster, relation) = setup();
+        // Overwrite row00's stay-time at a later logical time.
+        let conn = Connection::open(Arc::clone(&cluster), None);
+        let table = conn.table(relation.catalog.table.clone());
+        let write_time = cluster.clock.peek_ms();
+        table
+            .put(
+                shc_kvstore::types::Put::new("row00").add_at(
+                    "cf3",
+                    "col3",
+                    write_time + 1000,
+                    relation.catalog.columns[3]
+                        .codec
+                        .encode(&Value::Float64(999.0), shc_engine::value::DataType::Float64)
+                        .unwrap(),
+                ),
+            )
+            .unwrap();
+
+        // Unbounded: sees the newest version.
+        let parts = relation
+            .scan(None, &[SourceFilter::Eq("col0".into(), Value::Utf8("row00".into()))])
+            .unwrap();
+        let rows = run_partitions(&parts);
+        assert_eq!(rows[0].get(3), &Value::Float64(999.0));
+
+        // Bounded below the overwrite: sees the original.
+        let catalog = Arc::clone(&relation.catalog);
+        let old = HBaseRelation::new(
+            Arc::clone(&cluster),
+            catalog,
+            SHCConf::default().with_time_range(0, write_time),
+        );
+        let parts = old
+            .scan(None, &[SourceFilter::Eq("col0".into(), Value::Utf8("row00".into()))])
+            .unwrap();
+        let rows = run_partitions(&parts);
+        assert_eq!(rows[0].get(3), &Value::Float64(0.0));
+    }
+}

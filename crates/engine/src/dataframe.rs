@@ -1,0 +1,358 @@
+//! The DataFrame API: lazily-built logical plans with Spark-style
+//! transformations (`select`, `filter`, `join`, `group_by().agg()`, …) that
+//! execute through the session's optimizer and physical engine on
+//! `collect`.
+
+use crate::aggregate::AggFunc;
+use crate::datasource::TableProvider;
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::logical::{AggExpr, JoinType, LogicalPlan};
+use crate::optimizer::optimize;
+use crate::physical;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::session::Session;
+use std::sync::Arc;
+
+/// Shorthand constructor for a column reference (`col("t.a")`).
+pub fn col(name: &str) -> Expr {
+    Expr::col(name)
+}
+
+/// Shorthand constructor for a literal.
+pub fn lit(value: impl Into<crate::value::Value>) -> Expr {
+    Expr::lit(value)
+}
+
+/// A lazily evaluated, plan-backed table of rows.
+#[derive(Clone)]
+pub struct DataFrame {
+    session: Arc<Session>,
+    plan: LogicalPlan,
+}
+
+impl DataFrame {
+    pub fn new(session: Arc<Session>, plan: LogicalPlan) -> DataFrame {
+        DataFrame { session, plan }
+    }
+
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    pub fn schema(&self) -> Result<Schema> {
+        self.plan.schema()
+    }
+
+    /// Project expressions: `df.select(vec![(col("a"), "a".into())])`.
+    pub fn select(&self, exprs: Vec<(Expr, String)>) -> DataFrame {
+        self.with_plan(LogicalPlan::Projection {
+            exprs,
+            input: Box::new(self.plan.clone()),
+        })
+    }
+
+    /// Project existing columns by name.
+    pub fn select_cols(&self, names: &[&str]) -> DataFrame {
+        self.select(
+            names
+                .iter()
+                .map(|n| {
+                    let e = Expr::col(*n);
+                    let out = match &e {
+                        Expr::Column { name, .. } => name.clone(),
+                        _ => n.to_string(),
+                    };
+                    (e, out)
+                })
+                .collect(),
+        )
+    }
+
+    pub fn filter(&self, predicate: Expr) -> DataFrame {
+        self.with_plan(LogicalPlan::Filter {
+            predicate,
+            input: Box::new(self.plan.clone()),
+        })
+    }
+
+    /// Equi-join on key pairs.
+    pub fn join(&self, right: &DataFrame, on: Vec<(Expr, Expr)>, join_type: JoinType) -> DataFrame {
+        self.with_plan(LogicalPlan::Join {
+            left: Box::new(self.plan.clone()),
+            right: Box::new(right.plan.clone()),
+            on,
+            join_type,
+        })
+    }
+
+    /// Start a grouped aggregation.
+    pub fn group_by(&self, keys: Vec<Expr>) -> GroupedData {
+        GroupedData {
+            df: self.clone(),
+            keys,
+        }
+    }
+
+    /// Global aggregation (no grouping keys).
+    pub fn agg(&self, aggs: Vec<(AggExpr, String)>) -> DataFrame {
+        self.with_plan(LogicalPlan::Aggregate {
+            group: vec![],
+            aggs,
+            input: Box::new(self.plan.clone()),
+        })
+    }
+
+    pub fn sort(&self, keys: Vec<(Expr, bool)>) -> DataFrame {
+        self.with_plan(LogicalPlan::Sort {
+            keys,
+            input: Box::new(self.plan.clone()),
+        })
+    }
+
+    pub fn limit(&self, n: usize) -> DataFrame {
+        self.with_plan(LogicalPlan::Limit {
+            n,
+            input: Box::new(self.plan.clone()),
+        })
+    }
+
+    /// Re-qualify the output columns (named subquery).
+    pub fn alias(&self, alias: &str) -> DataFrame {
+        self.with_plan(LogicalPlan::SubqueryAlias {
+            alias: alias.to_string(),
+            input: Box::new(self.plan.clone()),
+        })
+    }
+
+    /// Register this DataFrame's plan as a temp view in the session.
+    pub fn create_or_replace_temp_view(&self, name: &str) {
+        self.session.register_view(name, self.plan.clone());
+    }
+
+    /// The optimized logical plan (what `collect` will run).
+    pub fn optimized_plan(&self) -> Result<LogicalPlan> {
+        let cfg = self.session.config();
+        optimize(self.plan.clone(), &cfg.optimizer)
+    }
+
+    pub fn explain(&self) -> Result<String> {
+        Ok(format!(
+            "== Logical Plan ==\n{}\n== Optimized Plan ==\n{}",
+            self.plan.explain(),
+            self.optimized_plan()?.explain()
+        ))
+    }
+
+    /// Optimize and execute, returning all rows.
+    pub fn collect(&self) -> Result<Vec<Row>> {
+        let plan = self.optimized_plan()?;
+        let ctx = self.session.exec_context();
+        physical::collect(&plan, &ctx)
+    }
+
+    pub fn count(&self) -> Result<usize> {
+        Ok(self.collect()?.len())
+    }
+
+    /// Execute and append every result row into a table provider — the
+    /// DataFrame write path. Returns bytes written.
+    pub fn write_to(&self, provider: &dyn TableProvider) -> Result<u64> {
+        let rows = self.collect()?;
+        provider.insert(&rows)
+    }
+
+    fn with_plan(&self, plan: LogicalPlan) -> DataFrame {
+        DataFrame {
+            session: Arc::clone(&self.session),
+            plan,
+        }
+    }
+}
+
+/// Builder returned by [`DataFrame::group_by`].
+pub struct GroupedData {
+    df: DataFrame,
+    keys: Vec<Expr>,
+}
+
+impl GroupedData {
+    /// Finish the aggregation with the given aggregate expressions.
+    pub fn agg(self, aggs: Vec<(AggExpr, String)>) -> DataFrame {
+        let group = self
+            .keys
+            .into_iter()
+            .map(|e| {
+                let name = e.default_name();
+                (e, name)
+            })
+            .collect();
+        let plan = LogicalPlan::Aggregate {
+            group,
+            aggs,
+            input: Box::new(self.df.plan.clone()),
+        };
+        DataFrame {
+            session: self.df.session,
+            plan,
+        }
+    }
+
+    /// Count rows per group.
+    pub fn count(self) -> DataFrame {
+        self.agg(vec![(AggExpr::count_star(), "count".to_string())])
+    }
+}
+
+/// Convenience constructors for aggregate expressions.
+pub fn avg(e: Expr) -> AggExpr {
+    AggExpr::new(AggFunc::Avg, e)
+}
+pub fn sum(e: Expr) -> AggExpr {
+    AggExpr::new(AggFunc::Sum, e)
+}
+pub fn count(e: Expr) -> AggExpr {
+    AggExpr::new(AggFunc::Count, e)
+}
+pub fn count_star() -> AggExpr {
+    AggExpr::count_star()
+}
+pub fn min(e: Expr) -> AggExpr {
+    AggExpr::new(AggFunc::Min, e)
+}
+pub fn max(e: Expr) -> AggExpr {
+    AggExpr::new(AggFunc::Max, e)
+}
+pub fn stddev(e: Expr) -> AggExpr {
+    AggExpr::new(AggFunc::Stddev, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::MemTable;
+    use crate::schema::Field;
+    use crate::value::{DataType, Value};
+
+    fn session() -> Arc<Session> {
+        let s = Session::new_default();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("dept", DataType::Utf8),
+            Field::new("score", DataType::Float64),
+        ]);
+        let rows: Vec<Row> = (0..12)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int64(i),
+                    Value::Utf8(["a", "b", "c"][(i % 3) as usize].into()),
+                    Value::Float64((i * i) as f64),
+                ])
+            })
+            .collect();
+        s.register_table("t", Arc::new(MemTable::with_rows(schema, rows, 3)));
+        s
+    }
+
+    #[test]
+    fn filter_select_collect() {
+        let s = session();
+        let df = s
+            .read_table("t")
+            .unwrap()
+            .filter(col("id").gt_eq(lit(10i64)))
+            .select_cols(&["id", "score"]);
+        let mut rows = df.collect().unwrap();
+        rows.sort_by_key(|r| r.get(0).as_i64());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get(1), &Value::Float64(121.0));
+    }
+
+    #[test]
+    fn group_by_agg() {
+        let s = session();
+        let df = s
+            .read_table("t")
+            .unwrap()
+            .group_by(vec![col("dept")])
+            .agg(vec![
+                (count_star(), "n".into()),
+                (max(col("score")), "mx".into()),
+            ])
+            .sort(vec![(col("dept"), true)]);
+        let rows = df.collect().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get(1), &Value::Int64(4));
+        assert_eq!(rows[0].get(2), &Value::Float64(81.0)); // dept a: 0,3,6,9
+    }
+
+    #[test]
+    fn join_via_api() {
+        let s = session();
+        let left = s.read_table("t").unwrap().alias("l");
+        let right = s.read_table("t").unwrap().alias("r");
+        let joined = left
+            .join(
+                &right,
+                vec![(col("l.id"), col("r.id"))],
+                JoinType::Inner,
+            )
+            .filter(col("l.id").lt(lit(3i64)));
+        assert_eq!(joined.count().unwrap(), 3);
+    }
+
+    #[test]
+    fn sort_limit_pipeline() {
+        let s = session();
+        let df = s
+            .read_table("t")
+            .unwrap()
+            .sort(vec![(col("score"), false)])
+            .limit(1);
+        let rows = df.collect().unwrap();
+        assert_eq!(rows[0].get(2), &Value::Float64(121.0));
+    }
+
+    #[test]
+    fn write_to_another_table() {
+        let s = session();
+        let sink = MemTable::new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("dept", DataType::Utf8),
+                Field::new("score", DataType::Float64),
+            ]),
+            2,
+        );
+        let bytes = s.read_table("t").unwrap().write_to(&sink).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(sink.row_count(), 12);
+    }
+
+    #[test]
+    fn explain_shows_pushdown() {
+        let s = session();
+        let df = s
+            .read_table("t")
+            .unwrap()
+            .filter(col("id").gt(lit(5i64)))
+            .select_cols(&["dept"]);
+        let text = df.explain().unwrap();
+        assert!(text.contains("Optimized Plan"));
+        // After optimization the filter lives in the scan node.
+        let optimized = text.split("Optimized Plan").nth(1).unwrap();
+        assert!(optimized.contains("filters=(id > 5)"), "{optimized}");
+    }
+
+    #[test]
+    fn global_agg() {
+        let s = session();
+        let df = s
+            .read_table("t")
+            .unwrap()
+            .agg(vec![(sum(col("id")), "s".into())]);
+        let rows = df.collect().unwrap();
+        assert_eq!(rows[0].get(0), &Value::Int64(66));
+    }
+}

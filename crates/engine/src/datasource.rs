@@ -1,0 +1,126 @@
+//! The data source API — the engine-side contract SHC plugs into.
+//!
+//! This mirrors Spark's `PrunedFilteredScan` + `unhandledFilters`
+//! (SPARK-3247): the engine offers a projection and a set of translated
+//! filters; the provider returns partitioned scan tasks (with preferred
+//! hosts for locality) and declares which filters it did NOT fully apply so
+//! the engine can re-apply exactly those.
+
+use crate::error::Result;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::source_filter::SourceFilter;
+use std::sync::Arc;
+
+/// One partition of a source scan: an independently executable unit with an
+/// optional preferred host. SHC emits one of these per (pruned) HBase
+/// region, fusing all Scans/Gets that target the same region server.
+pub trait ScanPartition: Send + Sync {
+    /// Host this partition would rather run on (region-server hostname).
+    fn preferred_host(&self) -> Option<&str> {
+        None
+    }
+
+    /// Execute the partition. `running_on` is the hostname of the executor
+    /// actually running the task; providers use it for locality-aware I/O.
+    fn execute(&self, running_on: &str) -> Result<Vec<Row>>;
+
+    /// Short description for plan explanations.
+    fn describe(&self) -> String {
+        "partition".to_string()
+    }
+}
+
+/// A table that can be scanned through the data source API.
+pub trait TableProvider: Send + Sync {
+    /// Full schema of the table.
+    fn schema(&self) -> Schema;
+
+    /// Can this provider honor column projection at the source? Providers
+    /// that return `false` (the paper's "general data source" baseline)
+    /// always produce full-width rows and the engine keeps the full schema
+    /// on the scan node.
+    fn supports_projection(&self) -> bool {
+        true
+    }
+
+    /// Which of the pushed filters the provider will NOT fully apply.
+    /// Default: all of them (the engine re-applies everything). This is
+    /// Spark's `unhandledFilters` contract.
+    fn unhandled_filters(&self, filters: &[SourceFilter]) -> Vec<SourceFilter> {
+        filters.to_vec()
+    }
+
+    /// Build scan partitions. `projection` holds indices into `schema()`
+    /// (already ignored by providers that don't support projection).
+    /// `filters` are best-effort hints: correctness never depends on the
+    /// provider applying them.
+    fn scan(
+        &self,
+        projection: Option<&[usize]>,
+        filters: &[SourceFilter],
+    ) -> Result<Vec<Arc<dyn ScanPartition>>>;
+
+    /// Append rows (the write path). Returns bytes written. Providers that
+    /// are read-only may keep the default error.
+    fn insert(&self, _rows: &[Row]) -> Result<u64> {
+        Err(crate::error::EngineError::Plan(
+            "table provider is read-only".to_string(),
+        ))
+    }
+
+    /// Provider name for plan explanations.
+    fn name(&self) -> String {
+        "table".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::{DataType, Value};
+
+    struct OnePartition;
+    impl ScanPartition for OnePartition {
+        fn execute(&self, _running_on: &str) -> Result<Vec<Row>> {
+            Ok(vec![Row::new(vec![Value::Int32(1)])])
+        }
+    }
+
+    struct Fixed;
+    impl TableProvider for Fixed {
+        fn schema(&self) -> Schema {
+            Schema::new(vec![Field::new("x", DataType::Int32)])
+        }
+        fn scan(
+            &self,
+            _projection: Option<&[usize]>,
+            _filters: &[SourceFilter],
+        ) -> Result<Vec<Arc<dyn ScanPartition>>> {
+            Ok(vec![Arc::new(OnePartition)])
+        }
+    }
+
+    #[test]
+    fn default_unhandled_is_everything() {
+        let p = Fixed;
+        let filters = vec![SourceFilter::Eq("x".into(), Value::Int32(1))];
+        assert_eq!(p.unhandled_filters(&filters), filters);
+        assert!(p.supports_projection());
+    }
+
+    #[test]
+    fn default_insert_is_readonly() {
+        assert!(Fixed.insert(&[]).is_err());
+    }
+
+    #[test]
+    fn partitions_execute() {
+        let parts = Fixed.scan(None, &[]).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].preferred_host(), None);
+        let rows = parts[0].execute("anywhere").unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the query engine.
+
+use std::fmt;
+
+/// Errors raised during parsing, analysis, planning or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// Name resolution or type checking failed.
+    Analysis(String),
+    /// The plan is valid but cannot be executed (unsupported shape).
+    Plan(String),
+    /// Runtime failure while executing a physical plan.
+    Execution(String),
+    /// A referenced table is not registered in the session catalog.
+    TableNotFound(String),
+    /// Underlying data source failure (e.g. the key-value store).
+    DataSource(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+            EngineError::Analysis(m) => write!(f, "analysis error: {m}"),
+            EngineError::Plan(m) => write!(f, "planning error: {m}"),
+            EngineError::Execution(m) => write!(f, "execution error: {m}"),
+            EngineError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            EngineError::DataSource(m) => write!(f, "data source error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            EngineError::Parse("bad token".into()).to_string(),
+            "parse error: bad token"
+        );
+        assert_eq!(
+            EngineError::TableNotFound("inventory".into()).to_string(),
+            "table not found: inventory"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! # shc-engine
+//!
+//! An in-memory relational query engine modelled on Spark SQL, built as the
+//! compute substrate for the SHC reproduction. It provides:
+//!
+//! * a SQL parser, analyzer and rule-based (Catalyst-style) optimizer with
+//!   predicate pushdown, constant folding and column pruning
+//!   ([`parser`], [`analyzer`], [`optimizer`]);
+//! * a DataFrame API mirroring Spark's ([`dataframe`], [`session`]);
+//! * the data source API that connectors plug into — `scan(projection,
+//!   filters)` plus `unhandled_filters`, exactly Spark's
+//!   `PrunedFilteredScan` contract ([`datasource`], [`source_filter`]);
+//! * physical execution with a locality-aware executor pool, broadcast and
+//!   shuffle hash joins, two-phase hash aggregation, and shuffle/memory
+//!   accounting ([`physical`], [`scheduler`], [`shuffle`], [`metrics`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use shc_engine::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let session = Session::new_default();
+//! let schema = Schema::new(vec![
+//!     Field::new("id", DataType::Int64),
+//!     Field::new("name", DataType::Utf8),
+//! ]);
+//! let rows = vec![
+//!     Row::new(vec![Value::Int64(1), Value::Utf8("ada".into())]),
+//!     Row::new(vec![Value::Int64(2), Value::Utf8("bob".into())]),
+//! ];
+//! session.register_table("people", Arc::new(MemTable::with_rows(schema, rows, 1)));
+//!
+//! let df = session.sql("SELECT name FROM people WHERE id = 2").unwrap();
+//! let out = df.collect().unwrap();
+//! assert_eq!(out[0].get(0).as_str(), Some("bob"));
+//! ```
+
+pub mod aggregate;
+pub mod analyzer;
+pub mod dataframe;
+pub mod datasource;
+pub mod error;
+pub mod expr;
+pub mod logical;
+pub mod memtable;
+pub mod metrics;
+pub mod optimizer;
+pub mod parser;
+pub mod physical;
+pub mod row;
+pub mod scheduler;
+pub mod schema;
+pub mod session;
+pub mod shuffle;
+pub mod source_filter;
+pub mod value;
+
+/// Common imports for engine users.
+pub mod prelude {
+    pub use crate::aggregate::AggFunc;
+    pub use crate::dataframe::{
+        avg, col, count, count_star, lit, max, min, stddev, sum, DataFrame,
+    };
+    pub use crate::datasource::{ScanPartition, TableProvider};
+    pub use crate::error::{EngineError, Result};
+    pub use crate::expr::{BinaryOp, BoundExpr, Expr};
+    pub use crate::logical::{AggExpr, JoinType, LogicalPlan};
+    pub use crate::memtable::MemTable;
+    pub use crate::metrics::{QueryMetrics, QueryMetricsSnapshot};
+    pub use crate::optimizer::OptimizerConfig;
+    pub use crate::row::Row;
+    pub use crate::scheduler::ExecutorConfig;
+    pub use crate::schema::{Field, Schema};
+    pub use crate::session::{Session, SessionConfig};
+    pub use crate::source_filter::SourceFilter;
+    pub use crate::value::{DataType, Value};
+}

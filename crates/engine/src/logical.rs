@@ -1,0 +1,465 @@
+//! Logical query plans. Produced by the analyzer (from SQL) or the
+//! DataFrame API, rewritten by the optimizer, compiled by the physical
+//! planner.
+
+use crate::aggregate::AggFunc;
+use crate::datasource::TableProvider;
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::schema::{Field, Schema};
+use crate::value::DataType;
+use std::fmt;
+use std::sync::Arc;
+
+/// Join types supported by the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    Left,
+}
+
+/// An aggregate call: function plus argument (`None` for `COUNT(*)`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub arg: Option<Expr>,
+}
+
+impl AggExpr {
+    pub fn count_star() -> Self {
+        AggExpr {
+            func: AggFunc::CountStar,
+            arg: None,
+        }
+    }
+
+    pub fn new(func: AggFunc, arg: Expr) -> Self {
+        AggExpr {
+            func,
+            arg: Some(arg),
+        }
+    }
+
+    pub fn default_name(&self) -> String {
+        match (&self.func, &self.arg) {
+            (AggFunc::CountStar, _) => "count(*)".to_string(),
+            (f, Some(a)) => format!("{}({})", format!("{f:?}").to_lowercase(), a),
+            (f, None) => format!("{}()", format!("{f:?}").to_lowercase()),
+        }
+    }
+
+    pub fn output_type(&self, input: &Schema) -> Result<DataType> {
+        let arg_type = match &self.arg {
+            Some(e) => e.data_type(input)?,
+            None => DataType::Int64,
+        };
+        Ok(self.func.output_type(arg_type))
+    }
+}
+
+/// A logical plan node.
+#[derive(Clone)]
+pub enum LogicalPlan {
+    /// A data source scan with pushed-down projection and filters.
+    Scan {
+        table_name: String,
+        /// Qualifier applied to output fields (alias, or the table name).
+        qualifier: String,
+        provider: Arc<dyn TableProvider>,
+        /// Pushed projection: indices into the provider schema. `None`
+        /// scans every column.
+        projection: Option<Vec<usize>>,
+        /// Predicates pushed toward the source. Correctness never depends
+        /// on the source applying them — the physical planner re-applies
+        /// whatever the provider reports as unhandled.
+        filters: Vec<Expr>,
+    },
+    Filter {
+        predicate: Expr,
+        input: Box<LogicalPlan>,
+    },
+    Projection {
+        /// (expression, output name) pairs.
+        exprs: Vec<(Expr, String)>,
+        input: Box<LogicalPlan>,
+    },
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        /// Equi-join keys: (left expr, right expr).
+        on: Vec<(Expr, Expr)>,
+        join_type: JoinType,
+    },
+    Aggregate {
+        /// (group expression, output name).
+        group: Vec<(Expr, String)>,
+        /// (aggregate, output name).
+        aggs: Vec<(AggExpr, String)>,
+        input: Box<LogicalPlan>,
+    },
+    Sort {
+        /// (key, ascending).
+        keys: Vec<(Expr, bool)>,
+        input: Box<LogicalPlan>,
+    },
+    Limit {
+        n: usize,
+        input: Box<LogicalPlan>,
+    },
+    /// Re-qualifies the input's columns: `FROM (SELECT ...) alias`.
+    SubqueryAlias {
+        alias: String,
+        input: Box<LogicalPlan>,
+    },
+    /// Literal rows, for tests and VALUES-style sources.
+    Values {
+        schema: Schema,
+        rows: Vec<Vec<crate::value::Value>>,
+    },
+}
+
+impl LogicalPlan {
+    /// The output schema of this node. For scans this respects both the
+    /// pushed projection and the provider's ability to honor it: a provider
+    /// without projection support always emits full-width rows (the paper's
+    /// generic-source baseline).
+    pub fn schema(&self) -> Result<Schema> {
+        match self {
+            LogicalPlan::Scan {
+                qualifier,
+                provider,
+                projection,
+                ..
+            } => {
+                let full = provider.schema().with_qualifier(qualifier);
+                Ok(match projection {
+                    Some(indices) if provider.supports_projection() => full.project(indices),
+                    _ => full,
+                })
+            }
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Projection { exprs, input } => {
+                let input_schema = input.schema()?;
+                let fields = exprs
+                    .iter()
+                    .map(|(e, name)| {
+                        Ok(Field::new(name.clone(), e.data_type(&input_schema)?))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                Ok(left.schema()?.join(&right.schema()?))
+            }
+            LogicalPlan::Aggregate { group, aggs, input } => {
+                let input_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(group.len() + aggs.len());
+                for (e, name) in group {
+                    fields.push(Field::new(name.clone(), e.data_type(&input_schema)?));
+                }
+                for (agg, name) in aggs {
+                    fields.push(Field::new(name.clone(), agg.output_type(&input_schema)?));
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::SubqueryAlias { alias, input } => {
+                Ok(input.schema()?.with_qualifier(alias))
+            }
+            LogicalPlan::Values { schema, .. } => Ok(schema.clone()),
+        }
+    }
+
+    /// Pretty-print the plan tree, one node per line.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Scan {
+                table_name,
+                projection,
+                filters,
+                provider,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Scan: {table_name} [{}] projection={:?} filters={}\n",
+                    provider.name(),
+                    projection,
+                    filters
+                        .iter()
+                        .map(|f| f.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" AND ")
+                ));
+            }
+            LogicalPlan::Filter { predicate, input } => {
+                out.push_str(&format!("{pad}Filter: {predicate}\n"));
+                input.explain_into(indent + 1, out);
+            }
+            LogicalPlan::Projection { exprs, input } => {
+                let items: Vec<String> = exprs
+                    .iter()
+                    .map(|(e, n)| format!("{e} AS {n}"))
+                    .collect();
+                out.push_str(&format!("{pad}Projection: {}\n", items.join(", ")));
+                input.explain_into(indent + 1, out);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
+                let keys: Vec<String> =
+                    on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                out.push_str(&format!(
+                    "{pad}Join({join_type:?}): {}\n",
+                    keys.join(" AND ")
+                ));
+                left.explain_into(indent + 1, out);
+                right.explain_into(indent + 1, out);
+            }
+            LogicalPlan::Aggregate { group, aggs, input } => {
+                let g: Vec<String> = group.iter().map(|(e, _)| e.to_string()).collect();
+                let a: Vec<String> =
+                    aggs.iter().map(|(e, _)| e.default_name()).collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate: group=[{}] aggs=[{}]\n",
+                    g.join(", "),
+                    a.join(", ")
+                ));
+                input.explain_into(indent + 1, out);
+            }
+            LogicalPlan::Sort { keys, input } => {
+                let k: Vec<String> = keys
+                    .iter()
+                    .map(|(e, asc)| format!("{e} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                out.push_str(&format!("{pad}Sort: {}\n", k.join(", ")));
+                input.explain_into(indent + 1, out);
+            }
+            LogicalPlan::Limit { n, input } => {
+                out.push_str(&format!("{pad}Limit: {n}\n"));
+                input.explain_into(indent + 1, out);
+            }
+            LogicalPlan::SubqueryAlias { alias, input } => {
+                out.push_str(&format!("{pad}SubqueryAlias: {alias}\n"));
+                input.explain_into(indent + 1, out);
+            }
+            LogicalPlan::Values { rows, .. } => {
+                out.push_str(&format!("{pad}Values: {} rows\n", rows.len()));
+            }
+        }
+    }
+
+    /// Validate that every expression in the tree resolves and type-checks.
+    pub fn check(&self) -> Result<()> {
+        match self {
+            LogicalPlan::Scan {
+                filters, provider, qualifier, ..
+            } => {
+                let schema = provider.schema().with_qualifier(qualifier);
+                for f in filters {
+                    let t = f.data_type(&schema)?;
+                    if t != DataType::Boolean {
+                        return Err(EngineError::Analysis(format!(
+                            "pushed filter {f} is not boolean"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            LogicalPlan::Filter { predicate, input } => {
+                input.check()?;
+                let t = predicate.data_type(&input.schema()?)?;
+                if t != DataType::Boolean {
+                    return Err(EngineError::Analysis(format!(
+                        "filter predicate {predicate} has type {t}, expected boolean"
+                    )));
+                }
+                Ok(())
+            }
+            LogicalPlan::Projection { exprs, input } => {
+                input.check()?;
+                let schema = input.schema()?;
+                for (e, _) in exprs {
+                    e.data_type(&schema)?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Join {
+                left, right, on, ..
+            } => {
+                left.check()?;
+                right.check()?;
+                let (ls, rs) = (left.schema()?, right.schema()?);
+                for (l, r) in on {
+                    let lt = l.data_type(&ls)?;
+                    let rt = r.data_type(&rs)?;
+                    if !lt.comparable_with(rt) {
+                        return Err(EngineError::Analysis(format!(
+                            "join keys {l} ({lt}) and {r} ({rt}) are not comparable"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            LogicalPlan::Aggregate { group, aggs, input } => {
+                input.check()?;
+                let schema = input.schema()?;
+                for (e, _) in group {
+                    e.data_type(&schema)?;
+                }
+                for (a, _) in aggs {
+                    a.output_type(&schema)?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Sort { keys, input } => {
+                input.check()?;
+                let schema = input.schema()?;
+                for (e, _) in keys {
+                    e.data_type(&schema)?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Limit { input, .. } => input.check(),
+            LogicalPlan::SubqueryAlias { input, .. } => input.check(),
+            LogicalPlan::Values { .. } => Ok(()),
+        }
+    }
+}
+
+impl fmt::Debug for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::MemTable;
+    use crate::value::Value;
+
+    fn scan() -> LogicalPlan {
+        let table = MemTable::new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+                Field::new("score", DataType::Float64),
+            ]),
+            1,
+        );
+        LogicalPlan::Scan {
+            table_name: "t".into(),
+            qualifier: "t".into(),
+            provider: Arc::new(table),
+            projection: None,
+            filters: vec![],
+        }
+    }
+
+    #[test]
+    fn scan_schema_is_qualified() {
+        let s = scan().schema().unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.field(0).qualifier.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn projection_schema_infers_types() {
+        let plan = LogicalPlan::Projection {
+            exprs: vec![
+                (Expr::col("id").add(Expr::lit(1i64)), "id1".into()),
+                (Expr::col("score").div(Expr::lit(2i64)), "half".into()),
+            ],
+            input: Box::new(scan()),
+        };
+        let s = plan.schema().unwrap();
+        assert_eq!(s.field(0).data_type, DataType::Int64);
+        assert_eq!(s.field(1).data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn aggregate_schema_groups_then_aggs() {
+        let plan = LogicalPlan::Aggregate {
+            group: vec![(Expr::col("name"), "name".into())],
+            aggs: vec![
+                (AggExpr::new(AggFunc::Avg, Expr::col("score")), "m".into()),
+                (AggExpr::count_star(), "n".into()),
+            ],
+            input: Box::new(scan()),
+        };
+        let s = plan.schema().unwrap();
+        assert_eq!(s.field_names(), vec!["name", "m", "n"]);
+        assert_eq!(s.field(1).data_type, DataType::Float64);
+        assert_eq!(s.field(2).data_type, DataType::Int64);
+    }
+
+    #[test]
+    fn check_rejects_non_boolean_filter() {
+        let plan = LogicalPlan::Filter {
+            predicate: Expr::col("id").add(Expr::lit(1i64)),
+            input: Box::new(scan()),
+        };
+        assert!(plan.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_incomparable_join_keys() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(LogicalPlan::SubqueryAlias {
+                alias: "u".into(),
+                input: Box::new(scan()),
+            }),
+            on: vec![(Expr::col("t.id"), Expr::col("u.name"))],
+            join_type: JoinType::Inner,
+        };
+        assert!(plan.check().is_err());
+    }
+
+    #[test]
+    fn subquery_alias_requalifies() {
+        let plan = LogicalPlan::SubqueryAlias {
+            alias: "x".into(),
+            input: Box::new(scan()),
+        };
+        let s = plan.schema().unwrap();
+        assert!(s.fields.iter().all(|f| f.qualifier.as_deref() == Some("x")));
+        assert_eq!(s.resolve(Some("x"), "id").unwrap(), 0);
+    }
+
+    #[test]
+    fn values_schema_passthrough() {
+        let plan = LogicalPlan::Values {
+            schema: Schema::new(vec![Field::new("v", DataType::Int32)]),
+            rows: vec![vec![Value::Int32(1)]],
+        };
+        assert_eq!(plan.schema().unwrap().len(), 1);
+        assert!(plan.check().is_ok());
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = LogicalPlan::Limit {
+            n: 10,
+            input: Box::new(LogicalPlan::Filter {
+                predicate: Expr::col("id").gt(Expr::lit(1i64)),
+                input: Box::new(scan()),
+            }),
+        };
+        let text = plan.explain();
+        assert!(text.contains("Limit: 10"));
+        assert!(text.contains("Filter:"));
+        assert!(text.contains("Scan: t"));
+    }
+}

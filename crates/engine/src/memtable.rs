@@ -1,0 +1,265 @@
+//! An in-memory table provider — the engine's native source, standing in
+//! for Hive/Parquet tables in the experiments. Fully supports projection
+//! and filter pushdown.
+
+use crate::datasource::{ScanPartition, TableProvider};
+use crate::error::Result;
+use crate::expr::BoundExpr;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::source_filter::SourceFilter;
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// An in-memory, partitioned table.
+pub struct MemTable {
+    schema: Schema,
+    partitions: RwLock<Vec<Vec<Row>>>,
+}
+
+impl MemTable {
+    pub fn new(schema: Schema, num_partitions: usize) -> Self {
+        MemTable {
+            schema,
+            partitions: RwLock::new(vec![Vec::new(); num_partitions.max(1)]),
+        }
+    }
+
+    pub fn with_rows(schema: Schema, rows: Vec<Row>, num_partitions: usize) -> Self {
+        let table = MemTable::new(schema, num_partitions);
+        table.insert(&rows).expect("insert into fresh memtable");
+        table
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.partitions.read().iter().map(Vec::len).sum()
+    }
+}
+
+/// Evaluate a source filter directly against a row of the full schema.
+fn filter_matches(filter: &SourceFilter, row: &Row, schema: &Schema) -> bool {
+    let col = |name: &str| -> Option<Value> {
+        schema
+            .resolve(None, name)
+            .ok()
+            .map(|i| row.get(i).clone())
+    };
+    match filter {
+        SourceFilter::Eq(c, v) => {
+            col(c).is_some_and(|x| x.sql_cmp(v) == Some(Ordering::Equal))
+        }
+        SourceFilter::Gt(c, v) => {
+            col(c).is_some_and(|x| x.sql_cmp(v) == Some(Ordering::Greater))
+        }
+        SourceFilter::GtEq(c, v) => col(c).is_some_and(|x| {
+            matches!(x.sql_cmp(v), Some(Ordering::Greater | Ordering::Equal))
+        }),
+        SourceFilter::Lt(c, v) => {
+            col(c).is_some_and(|x| x.sql_cmp(v) == Some(Ordering::Less))
+        }
+        SourceFilter::LtEq(c, v) => col(c).is_some_and(|x| {
+            matches!(x.sql_cmp(v), Some(Ordering::Less | Ordering::Equal))
+        }),
+        SourceFilter::In(c, vs) => col(c).is_some_and(|x| {
+            vs.iter().any(|v| x.sql_cmp(v) == Some(Ordering::Equal))
+        }),
+        SourceFilter::NotIn(c, vs) => col(c).is_some_and(|x| {
+            !x.is_null() && vs.iter().all(|v| x.sql_cmp(v) != Some(Ordering::Equal))
+        }),
+        SourceFilter::StringStartsWith(c, p) => col(c)
+            .and_then(|x| x.as_str().map(|s| s.starts_with(p.as_str())))
+            .unwrap_or(false),
+        SourceFilter::IsNull(c) => col(c).is_some_and(|x| x.is_null()),
+        SourceFilter::IsNotNull(c) => col(c).is_some_and(|x| !x.is_null()),
+        SourceFilter::And(a, b) => {
+            filter_matches(a, row, schema) && filter_matches(b, row, schema)
+        }
+        SourceFilter::Or(a, b) => {
+            filter_matches(a, row, schema) || filter_matches(b, row, schema)
+        }
+    }
+}
+
+struct MemPartition {
+    rows: Vec<Row>,
+    schema: Schema,
+    projection: Option<Vec<usize>>,
+    filters: Vec<SourceFilter>,
+}
+
+impl ScanPartition for MemPartition {
+    fn execute(&self, _running_on: &str) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if self
+                .filters
+                .iter()
+                .all(|f| filter_matches(f, row, &self.schema))
+            {
+                out.push(match &self.projection {
+                    Some(indices) => row.project(indices),
+                    None => row.clone(),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        format!("mem[{} rows]", self.rows.len())
+    }
+}
+
+impl TableProvider for MemTable {
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    /// MemTable applies every filter it is handed.
+    fn unhandled_filters(&self, _filters: &[SourceFilter]) -> Vec<SourceFilter> {
+        Vec::new()
+    }
+
+    fn scan(
+        &self,
+        projection: Option<&[usize]>,
+        filters: &[SourceFilter],
+    ) -> Result<Vec<Arc<dyn ScanPartition>>> {
+        let partitions = self.partitions.read();
+        Ok(partitions
+            .iter()
+            .map(|rows| {
+                Arc::new(MemPartition {
+                    rows: rows.clone(),
+                    schema: self.schema.clone(),
+                    projection: projection.map(|p| p.to_vec()),
+                    filters: filters.to_vec(),
+                }) as Arc<dyn ScanPartition>
+            })
+            .collect())
+    }
+
+    fn insert(&self, rows: &[Row]) -> Result<u64> {
+        let mut partitions = self.partitions.write();
+        let n = partitions.len();
+        let mut bytes = 0u64;
+        // Round-robin starting from the current total, for even spread.
+        let offset = partitions.iter().map(Vec::len).sum::<usize>();
+        for (i, row) in rows.iter().enumerate() {
+            bytes += row.byte_size() as u64;
+            partitions[(offset + i) % n].push(row.clone());
+        }
+        Ok(bytes)
+    }
+
+    fn name(&self) -> String {
+        "memory".to_string()
+    }
+}
+
+/// Helper: evaluate a bound predicate over rows (used by tests and the
+/// physical filter operator).
+pub fn filter_rows(rows: Vec<Row>, predicate: &BoundExpr) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if predicate.eval_predicate(&row)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn table() -> MemTable {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]);
+        let rows: Vec<Row> = (0..10)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int64(i),
+                    Value::Utf8(format!("name{i}")),
+                ])
+            })
+            .collect();
+        MemTable::with_rows(schema, rows, 3)
+    }
+
+    fn collect(parts: Vec<Arc<dyn ScanPartition>>) -> Vec<Row> {
+        parts
+            .into_iter()
+            .flat_map(|p| p.execute("host").unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rows_spread_across_partitions() {
+        let t = table();
+        let parts = t.scan(None, &[]).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(collect(parts).len(), 10);
+        assert_eq!(t.row_count(), 10);
+    }
+
+    #[test]
+    fn projection_pushdown_narrows_rows() {
+        let t = table();
+        let rows = collect(t.scan(Some(&[1]), &[]).unwrap());
+        assert!(rows.iter().all(|r| r.len() == 1));
+        assert!(matches!(rows[0].get(0), Value::Utf8(_)));
+    }
+
+    #[test]
+    fn filter_pushdown_applies() {
+        let t = table();
+        let rows = collect(
+            t.scan(None, &[SourceFilter::Gt("id".into(), Value::Int64(6))])
+                .unwrap(),
+        );
+        assert_eq!(rows.len(), 3);
+        assert!(t.unhandled_filters(&[]).is_empty());
+    }
+
+    #[test]
+    fn compound_filters() {
+        let t = table();
+        let f = SourceFilter::Or(
+            Box::new(SourceFilter::Eq("id".into(), Value::Int64(1))),
+            Box::new(SourceFilter::StringStartsWith("name".into(), "name9".into())),
+        );
+        let rows = collect(t.scan(None, &[f]).unwrap());
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn not_in_excludes() {
+        let t = table();
+        let f = SourceFilter::NotIn(
+            "id".into(),
+            vec![Value::Int64(0), Value::Int64(1), Value::Int64(2)],
+        );
+        let rows = collect(t.scan(None, &[f]).unwrap());
+        assert_eq!(rows.len(), 7);
+    }
+
+    #[test]
+    fn insert_appends_round_robin() {
+        let t = table();
+        let added = t
+            .insert(&[Row::new(vec![
+                Value::Int64(100),
+                Value::Utf8("new".into()),
+            ])])
+            .unwrap();
+        assert!(added > 0);
+        assert_eq!(t.row_count(), 11);
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-query execution metrics. Figures 5 and 6 and Table II of the paper
+//! are read directly off these counters: shuffle bytes, task locality, and
+//! peak materialized memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe counters shared by all operators of one session.
+#[derive(Debug, Default)]
+pub struct QueryMetrics {
+    /// Rows produced by scans (post source-side filtering).
+    pub scan_rows: AtomicU64,
+    /// Bytes produced by scans.
+    pub scan_bytes: AtomicU64,
+    /// Rows moved through exchanges.
+    pub shuffle_rows: AtomicU64,
+    /// Serialized bytes moved through exchanges — the paper's Fig. 5 metric.
+    pub shuffle_bytes: AtomicU64,
+    /// Bytes shipped by broadcast joins (not counted as shuffle).
+    pub broadcast_bytes: AtomicU64,
+    /// Tasks launched.
+    pub tasks: AtomicU64,
+    /// Tasks that carried a locality preference (scan tasks).
+    pub preferred_tasks: AtomicU64,
+    /// Preferred tasks that actually ran on their preferred host.
+    pub local_tasks: AtomicU64,
+    /// Total bytes materialized in operators (memory-usage proxy).
+    pub materialized_bytes: AtomicU64,
+    /// High-water mark of bytes held at once across pipeline stages.
+    pub peak_bytes: AtomicU64,
+}
+
+impl QueryMetrics {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub fn add(&self, counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a stage materializing `bytes` at once; updates the peak.
+    pub fn record_materialized(&self, bytes: u64) {
+        self.materialized_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> QueryMetricsSnapshot {
+        QueryMetricsSnapshot {
+            scan_rows: self.scan_rows.load(Ordering::Relaxed),
+            scan_bytes: self.scan_bytes.load(Ordering::Relaxed),
+            shuffle_rows: self.shuffle_rows.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            preferred_tasks: self.preferred_tasks.load(Ordering::Relaxed),
+            local_tasks: self.local_tasks.load(Ordering::Relaxed),
+            materialized_bytes: self.materialized_bytes.load(Ordering::Relaxed),
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.scan_rows.store(0, Ordering::Relaxed);
+        self.scan_bytes.store(0, Ordering::Relaxed);
+        self.shuffle_rows.store(0, Ordering::Relaxed);
+        self.shuffle_bytes.store(0, Ordering::Relaxed);
+        self.broadcast_bytes.store(0, Ordering::Relaxed);
+        self.tasks.store(0, Ordering::Relaxed);
+        self.preferred_tasks.store(0, Ordering::Relaxed);
+        self.local_tasks.store(0, Ordering::Relaxed);
+        self.materialized_bytes.store(0, Ordering::Relaxed);
+        self.peak_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Frozen view of [`QueryMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryMetricsSnapshot {
+    pub scan_rows: u64,
+    pub scan_bytes: u64,
+    pub shuffle_rows: u64,
+    pub shuffle_bytes: u64,
+    pub broadcast_bytes: u64,
+    pub tasks: u64,
+    pub preferred_tasks: u64,
+    pub local_tasks: u64,
+    pub materialized_bytes: u64,
+    pub peak_bytes: u64,
+}
+
+impl QueryMetricsSnapshot {
+    pub fn delta_since(&self, earlier: &QueryMetricsSnapshot) -> QueryMetricsSnapshot {
+        QueryMetricsSnapshot {
+            scan_rows: self.scan_rows - earlier.scan_rows,
+            scan_bytes: self.scan_bytes - earlier.scan_bytes,
+            shuffle_rows: self.shuffle_rows - earlier.shuffle_rows,
+            shuffle_bytes: self.shuffle_bytes - earlier.shuffle_bytes,
+            broadcast_bytes: self.broadcast_bytes - earlier.broadcast_bytes,
+            tasks: self.tasks - earlier.tasks,
+            preferred_tasks: self.preferred_tasks - earlier.preferred_tasks,
+            local_tasks: self.local_tasks - earlier.local_tasks,
+            materialized_bytes: self.materialized_bytes - earlier.materialized_bytes,
+            peak_bytes: self.peak_bytes.max(earlier.peak_bytes),
+        }
+    }
+
+    /// Fraction of locality-preferring tasks that ran data-local.
+    pub fn locality_ratio(&self) -> f64 {
+        if self.preferred_tasks == 0 {
+            0.0
+        } else {
+            self.local_tasks as f64 / self.preferred_tasks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_peak() {
+        let m = QueryMetrics::new();
+        m.add(&m.shuffle_bytes, 100);
+        m.record_materialized(500);
+        m.record_materialized(200);
+        let s = m.snapshot();
+        assert_eq!(s.shuffle_bytes, 100);
+        assert_eq!(s.materialized_bytes, 700);
+        assert_eq!(s.peak_bytes, 500);
+    }
+
+    #[test]
+    fn locality_ratio() {
+        let m = QueryMetrics::new();
+        m.add(&m.tasks, 10);
+        m.add(&m.preferred_tasks, 4);
+        m.add(&m.local_tasks, 3);
+        assert!((m.snapshot().locality_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(QueryMetricsSnapshot::default().locality_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = QueryMetrics::new();
+        m.add(&m.tasks, 9);
+        m.reset();
+        assert_eq!(m.snapshot(), QueryMetricsSnapshot::default());
+    }
+}

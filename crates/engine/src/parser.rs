@@ -1,0 +1,996 @@
+//! SQL parser: a hand-written lexer and recursive-descent parser for the
+//! subset the experiments need —
+//!
+//! ```sql
+//! SELECT [DISTINCT] item [, item ...]
+//! FROM table_or_subquery [alias]
+//! [JOIN table_or_subquery [alias] ON a = b [AND c = d ...]] ...
+//! [WHERE predicate]
+//! [GROUP BY expr [, ...]] [HAVING predicate]
+//! [ORDER BY expr [ASC|DESC] [, ...]] [LIMIT n]
+//! ```
+//!
+//! with full expression support (arithmetic, comparisons, AND/OR/NOT,
+//! IN/NOT IN, LIKE, BETWEEN, IS \[NOT\] NULL, CASE WHEN, CAST, scalar and
+//! aggregate functions). Aggregate calls are allowed as top-level select
+//! items; nested aggregates belong in a derived table, which is also how
+//! the TPC-DS q39 self-join is expressed.
+
+use crate::aggregate::AggFunc;
+use crate::error::{EngineError, Result};
+use crate::expr::{BinaryOp, Expr, ScalarFunc};
+use crate::logical::AggExpr;
+use crate::value::{DataType, Value};
+
+// ----------------------------------------------------------------------
+// AST
+// ----------------------------------------------------------------------
+
+/// A table reference in FROM/JOIN.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableFactor {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    Derived {
+        subquery: Box<Query>,
+        alias: String,
+    },
+}
+
+/// One JOIN clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    pub relation: TableFactor,
+    pub on: Expr,
+    pub left_outer: bool,
+}
+
+/// A select item: `*`, a scalar expression, or an aggregate call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    Star,
+    Scalar { expr: Expr, alias: Option<String> },
+    Agg { agg: AggExpr, alias: Option<String> },
+}
+
+/// A parsed SELECT query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: TableFactor,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<(Expr, bool)>,
+    pub limit: Option<usize>,
+}
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Symbol(&'static str),
+    Eof,
+}
+
+fn lex(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(EngineError::Parse(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '"' | '`' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != quote {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(EngineError::Parse("unterminated quoted identifier".into()));
+                }
+                i += 1;
+                tokens.push(Token::Ident(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut saw_dot = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot))
+                {
+                    if chars[i] == '.' {
+                        // Don't eat `1.alias` style (not valid anyway) —
+                        // only treat as decimal when a digit follows.
+                        if !chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                            break;
+                        }
+                        saw_dot = true;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Number(s));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_')
+                {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Ident(s));
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Symbol("<>"));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Symbol("<>"));
+                    i += 2;
+                } else {
+                    return Err(EngineError::Parse("unexpected '!'".into()));
+                }
+            }
+            '=' => {
+                tokens.push(Token::Symbol("="));
+                i += 1;
+            }
+            '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '%' => {
+                let sym = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    _ => "%",
+                };
+                tokens.push(Token::Symbol(sym));
+                i += 1;
+            }
+            other => {
+                return Err(EngineError::Parse(format!(
+                    "unexpected character {other:?}"
+                )))
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos += 1;
+        t
+    }
+
+    /// Does the upcoming token match a keyword (case-insensitive)?
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Token::Symbol(s) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(EngineError::Parse(format!(
+                "expected '{sym}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn parse_identifier(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(EngineError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    // --- query ---------------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_symbol(",") {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.parse_table_factor()?;
+        let mut joins = Vec::new();
+        loop {
+            let left_outer = if self.peek_keyword("LEFT") {
+                self.eat_keyword("LEFT");
+                self.eat_keyword("OUTER");
+                self.expect_keyword("JOIN")?;
+                true
+            } else if self.peek_keyword("INNER") {
+                self.eat_keyword("INNER");
+                self.expect_keyword("JOIN")?;
+                false
+            } else if self.peek_keyword("JOIN") {
+                self.eat_keyword("JOIN");
+                false
+            } else {
+                break;
+            };
+            let relation = self.parse_table_factor()?;
+            self.expect_keyword("ON")?;
+            let on = self.parse_expr()?;
+            joins.push(JoinClause {
+                relation,
+                on,
+                left_outer,
+            });
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.parse_expr()?);
+            while self.eat_symbol(",") {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let e = self.parse_expr()?;
+                let asc = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Token::Number(n) => Some(n.parse::<usize>().map_err(|_| {
+                    EngineError::Parse(format!("invalid LIMIT value {n}"))
+                })?),
+                other => {
+                    return Err(EngineError::Parse(format!(
+                        "expected number after LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableFactor> {
+        if self.eat_symbol("(") {
+            let subquery = self.parse_query()?;
+            self.expect_symbol(")")?;
+            self.eat_keyword("AS");
+            let alias = self.parse_identifier()?;
+            Ok(TableFactor::Derived {
+                subquery: Box::new(subquery),
+                alias,
+            })
+        } else {
+            let name = self.parse_identifier()?;
+            let alias = self.maybe_alias()?;
+            Ok(TableFactor::Table { name, alias })
+        }
+    }
+
+    /// An optional alias: `AS x`, or a bare identifier that is not a
+    /// clause keyword.
+    fn maybe_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_keyword("AS") {
+            return Ok(Some(self.parse_identifier()?));
+        }
+        const CLAUSE_KEYWORDS: &[&str] = &[
+            "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "LEFT", "INNER", "ON",
+            "FROM", "SELECT", "AND", "OR", "ASC", "DESC", "UNION",
+        ];
+        if let Token::Ident(s) = self.peek() {
+            if !CLAUSE_KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                let alias = s.clone();
+                self.pos += 1;
+                return Ok(Some(alias));
+            }
+        }
+        Ok(None)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate call? AGGNAME '(' ...
+        if let Token::Ident(name) = self.peek().clone() {
+            if AggFunc::from_name(&name).is_some()
+                && matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol("(")))
+            {
+                self.pos += 2; // consume name and '('
+                let func = AggFunc::from_name(&name).unwrap();
+                let agg = if self.eat_symbol("*") {
+                    self.expect_symbol(")")?;
+                    if func != AggFunc::Count {
+                        return Err(EngineError::Parse(format!(
+                            "{name}(*) is only valid for COUNT"
+                        )));
+                    }
+                    AggExpr::count_star()
+                } else {
+                    let arg = self.parse_expr()?;
+                    self.expect_symbol(")")?;
+                    // COUNT(1) ≡ COUNT(*).
+                    if func == AggFunc::Count
+                        && matches!(arg, Expr::Literal(ref v) if !v.is_null())
+                    {
+                        AggExpr::count_star()
+                    } else {
+                        AggExpr::new(func, arg)
+                    }
+                };
+                // An aggregate used inside a larger expression
+                // (`avg(a) / stddev(a)`) is not supported at this level.
+                if matches!(
+                    self.peek(),
+                    Token::Symbol("+" | "-" | "*" | "/" | "%" | "=" | "<" | ">" | "<=" | ">=" | "<>")
+                ) {
+                    return Err(EngineError::Parse(
+                        "aggregates cannot be combined in expressions here; \
+                         compute them in a derived table first"
+                            .into(),
+                    ));
+                }
+                let alias = self.maybe_alias()?;
+                return Ok(SelectItem::Agg { agg, alias });
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.maybe_alias()?;
+        Ok(SelectItem::Scalar { expr, alias })
+    }
+
+    // --- expressions (precedence climbing) ------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(if negated {
+                left.is_not_null()
+            } else {
+                left.is_null()
+            });
+        }
+        // [NOT] IN / LIKE / BETWEEN
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect_symbol("(")?;
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_symbol(",") {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_symbol(")")?;
+            return Ok(left.in_list(list, negated));
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.next() {
+                Token::Str(s) => s,
+                other => {
+                    return Err(EngineError::Parse(format!(
+                        "expected string after LIKE, found {other:?}"
+                    )))
+                }
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(EngineError::Parse(
+                "expected IN, LIKE or BETWEEN after NOT".into(),
+            ));
+        }
+        let op = match self.peek() {
+            Token::Symbol("=") => Some(BinaryOp::Eq),
+            Token::Symbol("<>") => Some(BinaryOp::NotEq),
+            Token::Symbol("<") => Some(BinaryOp::Lt),
+            Token::Symbol("<=") => Some(BinaryOp::LtEq),
+            Token::Symbol(">") => Some(BinaryOp::Gt),
+            Token::Symbol(">=") => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::BinaryOp {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol("+") => BinaryOp::Plus,
+                Token::Symbol("-") => BinaryOp::Minus,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::BinaryOp {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol("*") => BinaryOp::Multiply,
+                Token::Symbol("/") => BinaryOp::Divide,
+                Token::Symbol("%") => BinaryOp::Modulo,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::BinaryOp {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol("-") {
+            let inner = self.parse_unary()?;
+            // Fold negative literals immediately.
+            if let Expr::Literal(Value::Int64(v)) = inner {
+                return Ok(Expr::Literal(Value::Int64(-v)));
+            }
+            if let Expr::Literal(Value::Float64(v)) = inner {
+                return Ok(Expr::Literal(Value::Float64(-v)));
+            }
+            return Ok(Expr::Negate(Box::new(inner)));
+        }
+        self.eat_symbol("+");
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Token::Number(n) => {
+                if n.contains('.') {
+                    n.parse::<f64>()
+                        .map(|v| Expr::Literal(Value::Float64(v)))
+                        .map_err(|_| EngineError::Parse(format!("bad number {n}")))
+                } else {
+                    n.parse::<i64>()
+                        .map(|v| Expr::Literal(Value::Int64(v)))
+                        .map_err(|_| EngineError::Parse(format!("bad number {n}")))
+                }
+            }
+            Token::Str(s) => Ok(Expr::Literal(Value::Utf8(s))),
+            Token::Symbol("(") => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                let upper = name.to_ascii_uppercase();
+                match upper.as_str() {
+                    "TRUE" => return Ok(Expr::Literal(Value::Boolean(true))),
+                    "FALSE" => return Ok(Expr::Literal(Value::Boolean(false))),
+                    "NULL" => return Ok(Expr::Literal(Value::Null)),
+                    "CASE" => return self.parse_case(),
+                    "CAST" => return self.parse_cast(),
+                    _ => {}
+                }
+                // Function call?
+                if matches!(self.peek(), Token::Symbol("(")) {
+                    if let Some(func) = ScalarFunc::from_name(&name) {
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        if !self.eat_symbol(")") {
+                            args.push(self.parse_expr()?);
+                            while self.eat_symbol(",") {
+                                args.push(self.parse_expr()?);
+                            }
+                            self.expect_symbol(")")?;
+                        }
+                        return Ok(Expr::ScalarFunc { func, args });
+                    }
+                    if AggFunc::from_name(&name).is_some() {
+                        return Err(EngineError::Parse(format!(
+                            "aggregate {name}() is only allowed as a top-level \
+                             select item; wrap inner aggregates in a derived table"
+                        )));
+                    }
+                    return Err(EngineError::Parse(format!("unknown function {name}")));
+                }
+                // Qualified column?
+                if self.eat_symbol(".") {
+                    let col = self.parse_identifier()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => Err(EngineError::Parse(format!(
+                "unexpected token {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let value = self.parse_expr()?;
+            branches.push((cond, value));
+        }
+        if branches.is_empty() {
+            return Err(EngineError::Parse("CASE requires at least one WHEN".into()));
+        }
+        let else_expr = if self.eat_keyword("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case {
+            branches,
+            else_expr,
+        })
+    }
+
+    fn parse_cast(&mut self) -> Result<Expr> {
+        self.expect_symbol("(")?;
+        let expr = self.parse_expr()?;
+        self.expect_keyword("AS")?;
+        let type_name = self.parse_identifier()?;
+        let to = parse_type_name(&type_name)?;
+        self.expect_symbol(")")?;
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            to,
+        })
+    }
+}
+
+/// Map a SQL type name to a [`DataType`].
+pub fn parse_type_name(name: &str) -> Result<DataType> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "boolean" | "bool" => DataType::Boolean,
+        "tinyint" => DataType::Int8,
+        "smallint" => DataType::Int16,
+        "int" | "integer" => DataType::Int32,
+        "bigint" | "long" => DataType::Int64,
+        "float" => DataType::Float32,
+        "double" => DataType::Float64,
+        "string" | "varchar" | "text" => DataType::Utf8,
+        "binary" => DataType::Binary,
+        "timestamp" | "time" => DataType::Timestamp,
+        other => {
+            return Err(EngineError::Parse(format!("unknown type {other}")))
+        }
+    })
+}
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = lex(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.parse_query()?;
+    if !matches!(parser.peek(), Token::Eof) {
+        return Err(EngineError::Parse(format!(
+            "trailing input after query: {:?}",
+            parser.peek()
+        )));
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let q = parse("SELECT a FROM t").unwrap();
+        assert_eq!(q.items.len(), 1);
+        assert!(matches!(
+            q.from,
+            TableFactor::Table { ref name, .. } if name == "t"
+        ));
+        assert!(!q.distinct);
+    }
+
+    #[test]
+    fn star_and_aliases() {
+        let q = parse("SELECT *, a AS x, b y FROM t u").unwrap();
+        assert_eq!(q.items.len(), 3);
+        assert!(matches!(q.items[0], SelectItem::Star));
+        assert!(
+            matches!(&q.items[1], SelectItem::Scalar { alias: Some(a), .. } if a == "x")
+        );
+        assert!(
+            matches!(&q.items[2], SelectItem::Scalar { alias: Some(a), .. } if a == "y")
+        );
+        assert!(
+            matches!(&q.from, TableFactor::Table { alias: Some(a), .. } if a == "u")
+        );
+    }
+
+    #[test]
+    fn where_with_precedence() {
+        let q = parse("SELECT a FROM t WHERE a > 1 AND b = 'x' OR c < 2.5").unwrap();
+        // OR binds loosest: (a>1 AND b='x') OR (c<2.5)
+        match q.where_clause.unwrap() {
+            Expr::BinaryOp { op: BinaryOp::Or, .. } => {}
+            other => panic!("expected OR at top: {other}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse("SELECT a + b * 2 FROM t").unwrap();
+        match &q.items[0] {
+            SelectItem::Scalar {
+                expr: Expr::BinaryOp { op: BinaryOp::Plus, right, .. },
+                ..
+            } => {
+                assert!(matches!(
+                    **right,
+                    Expr::BinaryOp { op: BinaryOp::Multiply, .. }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_in_select() {
+        let q = parse(
+            "SELECT dept, COUNT(*) AS n, AVG(score) m, STDDEV_SAMP(score) \
+             FROM t GROUP BY dept HAVING n > 1",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert!(matches!(
+            &q.items[1],
+            SelectItem::Agg { agg, .. } if agg.func == AggFunc::CountStar
+        ));
+        assert!(matches!(
+            &q.items[3],
+            SelectItem::Agg { agg, .. } if agg.func == AggFunc::Stddev
+        ));
+    }
+
+    #[test]
+    fn count_one_is_count_star() {
+        let q = parse("SELECT COUNT(1) FROM t").unwrap();
+        assert!(matches!(
+            &q.items[0],
+            SelectItem::Agg { agg, .. } if agg.func == AggFunc::CountStar
+        ));
+    }
+
+    #[test]
+    fn joins_parse() {
+        let q = parse(
+            "SELECT a FROM t JOIN u ON t.id = u.id AND t.x = u.y \
+             LEFT JOIN v ON u.id = v.id",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 2);
+        assert!(!q.joins[0].left_outer);
+        assert!(q.joins[1].left_outer);
+    }
+
+    #[test]
+    fn derived_table() {
+        let q = parse(
+            "SELECT x.m FROM (SELECT AVG(a) AS m FROM t GROUP BY b) AS x WHERE x.m > 0",
+        )
+        .unwrap();
+        match &q.from {
+            TableFactor::Derived { alias, subquery } => {
+                assert_eq!(alias, "x");
+                assert_eq!(subquery.group_by.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_like_between_null() {
+        let q = parse(
+            "SELECT a FROM t WHERE a IN (1, 2) AND b NOT IN (3) \
+             AND c LIKE 'x%' AND d BETWEEN 1 AND 5 AND e IS NOT NULL",
+        )
+        .unwrap();
+        let text = format!("{}", q.where_clause.unwrap());
+        assert!(text.contains("IN (1, 2)"));
+        assert!(text.contains("NOT IN (3)"));
+        assert!(text.contains("LIKE 'x%'"));
+        assert!(text.contains("BETWEEN 1 AND 5"));
+        assert!(text.contains("IS NOT NULL"));
+    }
+
+    #[test]
+    fn case_and_cast() {
+        let q = parse(
+            "SELECT CASE WHEN a = 0 THEN NULL ELSE b / a END, CAST(a AS double) FROM t",
+        )
+        .unwrap();
+        assert!(matches!(
+            &q.items[0],
+            SelectItem::Scalar { expr: Expr::Case { .. }, .. }
+        ));
+        assert!(matches!(
+            &q.items[1],
+            SelectItem::Scalar {
+                expr: Expr::Cast { to: DataType::Float64, .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let q = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].1);
+        assert!(q.order_by[1].1);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn distinct_flag() {
+        assert!(parse("SELECT DISTINCT a, b FROM t").unwrap().distinct);
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = parse("SELECT a FROM t WHERE a > -5 AND b < -2.5").unwrap();
+        let text = format!("{}", q.where_clause.unwrap());
+        assert!(text.contains("-5"));
+        assert!(text.contains("-2.5"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let q = parse("SELECT a FROM t WHERE b = 'it''s'").unwrap();
+        let text = format!("{}", q.where_clause.unwrap());
+        assert!(text.contains("it's"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = parse("SELECT a -- comment here\nFROM t").unwrap();
+        assert_eq!(q.items.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t extra garbage ,").is_err());
+        assert!(parse("SELECT a FROM t WHERE a = 'unterminated").is_err());
+        // Aggregate nested in expression is rejected with a helpful hint.
+        let err = parse("SELECT avg(a) / stddev(a) FROM t").unwrap_err();
+        assert!(err.to_string().contains("derived table"), "{err}");
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let q = parse("SELECT t.a, u.b FROM t JOIN u ON t.id = u.id").unwrap();
+        assert!(matches!(
+            &q.items[0],
+            SelectItem::Scalar {
+                expr: Expr::Column { qualifier: Some(q), .. },
+                ..
+            } if q == "t"
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+//! Rows: the engine's tuple representation.
+
+use crate::value::Value;
+
+/// A tuple of values, positionally aligned with a [`crate::schema::Schema`].
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Row {
+    pub values: Vec<Value>,
+}
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Approximate serialized footprint — the unit of shuffle accounting.
+    pub fn byte_size(&self) -> usize {
+        8 + self.values.iter().map(Value::byte_size).sum::<usize>()
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend(self.values.iter().cloned());
+        values.extend(other.values.iter().cloned());
+        Row { values }
+    }
+
+    /// Keep only the listed positions, in order.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+}
+
+/// Total bytes across a slice of rows.
+pub fn rows_byte_size(rows: &[Row]) -> usize {
+    rows.iter().map(Row::byte_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_project() {
+        let a = Row::new(vec![Value::Int32(1), Value::Utf8("x".into())]);
+        let b = Row::new(vec![Value::Boolean(true)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values, vec![Value::Boolean(true), Value::Int32(1)]);
+    }
+
+    #[test]
+    fn byte_size_sums_values() {
+        let r = Row::new(vec![Value::Int64(1), Value::Utf8("abc".into())]);
+        assert_eq!(r.byte_size(), 8 + 8 + 7);
+        assert_eq!(rows_byte_size(&[r.clone(), r]), 2 * 23);
+    }
+}

@@ -1,0 +1,248 @@
+//! The session: catalog of tables and temp views, configuration, metrics,
+//! and the SQL entry point — the `SparkSession` analog.
+
+use crate::analyzer::{analyze, Catalog};
+use crate::dataframe::DataFrame;
+use crate::datasource::TableProvider;
+use crate::error::{EngineError, Result};
+use crate::logical::LogicalPlan;
+use crate::metrics::QueryMetrics;
+use crate::optimizer::OptimizerConfig;
+use crate::parser::parse;
+use crate::physical::ExecContext;
+use crate::scheduler::ExecutorConfig;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Session-level configuration.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    pub executors: ExecutorConfig,
+    pub shuffle_partitions: usize,
+    pub broadcast_threshold: usize,
+    pub partial_agg: bool,
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            executors: ExecutorConfig::default(),
+            shuffle_partitions: 8,
+            broadcast_threshold: 512 * 1024,
+            partial_agg: true,
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+}
+
+/// A query session.
+pub struct Session {
+    config: RwLock<SessionConfig>,
+    tables: RwLock<HashMap<String, Arc<dyn TableProvider>>>,
+    views: RwLock<HashMap<String, LogicalPlan>>,
+    pub metrics: Arc<QueryMetrics>,
+}
+
+impl Session {
+    pub fn new(config: SessionConfig) -> Arc<Session> {
+        Arc::new(Session {
+            config: RwLock::new(config),
+            tables: RwLock::new(HashMap::new()),
+            views: RwLock::new(HashMap::new()),
+            metrics: QueryMetrics::new(),
+        })
+    }
+
+    pub fn new_default() -> Arc<Session> {
+        Session::new(SessionConfig::default())
+    }
+
+    pub fn config(&self) -> SessionConfig {
+        self.config.read().clone()
+    }
+
+    pub fn update_config(&self, f: impl FnOnce(&mut SessionConfig)) {
+        f(&mut self.config.write());
+    }
+
+    /// Register (or replace) a table provider under a name.
+    pub fn register_table(&self, name: impl Into<String>, provider: Arc<dyn TableProvider>) {
+        self.tables
+            .write()
+            .insert(name.into().to_ascii_lowercase(), provider);
+    }
+
+    pub fn deregister_table(&self, name: &str) -> bool {
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .is_some()
+    }
+
+    pub fn table_provider(&self, name: &str) -> Option<Arc<dyn TableProvider>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Register a temp view (a named logical plan).
+    pub fn register_view(&self, name: impl Into<String>, plan: LogicalPlan) {
+        self.views
+            .write()
+            .insert(name.into().to_ascii_lowercase(), plan);
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Parse, analyze and wrap a SQL query as a DataFrame. Execution is
+    /// lazy — nothing runs until `collect`.
+    pub fn sql(self: &Arc<Self>, query: &str) -> Result<DataFrame> {
+        let ast = parse(query)?;
+        let plan = analyze(&ast, &SessionCatalog { session: self })?;
+        Ok(DataFrame::new(Arc::clone(self), plan))
+    }
+
+    /// A DataFrame over a registered table.
+    pub fn read_table(self: &Arc<Self>, name: &str) -> Result<DataFrame> {
+        let provider = self
+            .table_provider(name)
+            .ok_or_else(|| EngineError::TableNotFound(name.to_string()))?;
+        Ok(DataFrame::new(
+            Arc::clone(self),
+            LogicalPlan::Scan {
+                table_name: name.to_string(),
+                qualifier: name.to_string(),
+                provider,
+                projection: None,
+                filters: vec![],
+            },
+        ))
+    }
+
+    /// The execution context derived from the current configuration.
+    pub fn exec_context(&self) -> ExecContext {
+        let cfg = self.config.read();
+        ExecContext {
+            executors: cfg.executors.clone(),
+            metrics: Arc::clone(&self.metrics),
+            shuffle_partitions: cfg.shuffle_partitions,
+            broadcast_threshold: cfg.broadcast_threshold,
+            partial_agg: cfg.partial_agg,
+        }
+    }
+}
+
+struct SessionCatalog<'a> {
+    session: &'a Arc<Session>,
+}
+
+impl Catalog for SessionCatalog<'_> {
+    fn table(&self, name: &str) -> Option<Arc<dyn TableProvider>> {
+        self.session.table_provider(name)
+    }
+
+    fn view(&self, name: &str) -> Option<LogicalPlan> {
+        self.session
+            .views
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::MemTable;
+    use crate::row::Row;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn session_with_data() -> Arc<Session> {
+        let session = Session::new_default();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("dept", DataType::Utf8),
+            Field::new("score", DataType::Float64),
+        ]);
+        let rows: Vec<Row> = (0..10)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int64(i),
+                    Value::Utf8(if i < 5 { "a" } else { "b" }.into()),
+                    Value::Float64(i as f64),
+                ])
+            })
+            .collect();
+        session.register_table("users", Arc::new(MemTable::with_rows(schema, rows, 2)));
+        session
+    }
+
+    #[test]
+    fn sql_end_to_end() {
+        let s = session_with_data();
+        let df = s.sql("SELECT id FROM users WHERE id >= 8").unwrap();
+        let mut rows = df.collect().unwrap();
+        rows.sort_by_key(|r| r.get(0).as_i64());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), &Value::Int64(8));
+    }
+
+    #[test]
+    fn sql_aggregate_end_to_end() {
+        let s = session_with_data();
+        let df = s
+            .sql("SELECT dept, COUNT(*) AS n, AVG(score) m FROM users GROUP BY dept ORDER BY dept")
+            .unwrap();
+        let rows = df.collect().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0).as_str(), Some("a"));
+        assert_eq!(rows[0].get(1), &Value::Int64(5));
+        assert_eq!(rows[0].get(2), &Value::Float64(2.0));
+        assert_eq!(rows[1].get(2), &Value::Float64(7.0));
+    }
+
+    #[test]
+    fn temp_view_is_queryable() {
+        let s = session_with_data();
+        let df = s.sql("SELECT id, score FROM users WHERE score > 5").unwrap();
+        df.create_or_replace_temp_view("hot");
+        let count = s
+            .sql("SELECT COUNT(*) FROM hot")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(count[0].get(0), &Value::Int64(4));
+    }
+
+    #[test]
+    fn missing_table_is_reported() {
+        let s = Session::new_default();
+        assert!(matches!(
+            s.sql("SELECT a FROM ghosts"),
+            Err(EngineError::TableNotFound(_))
+        ));
+        assert!(s.read_table("ghosts").is_err());
+    }
+
+    #[test]
+    fn register_and_deregister() {
+        let s = session_with_data();
+        assert!(s.table_provider("USERS").is_some()); // case-insensitive
+        assert!(s.deregister_table("users"));
+        assert!(!s.deregister_table("users"));
+        assert!(s.table_provider("users").is_none());
+    }
+
+    #[test]
+    fn config_updates_apply() {
+        let s = session_with_data();
+        s.update_config(|c| c.shuffle_partitions = 3);
+        assert_eq!(s.exec_context().shuffle_partitions, 3);
+    }
+}

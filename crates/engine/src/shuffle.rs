@@ -1,0 +1,127 @@
+//! Shuffle (exchange): hash-repartition rows by key across N partitions,
+//! charging the serialized bytes to the query metrics. This is the cost the
+//! paper measures in Figure 5 — SHC's pushdown shrinks what reaches the
+//! exchange.
+
+use crate::error::Result;
+use crate::expr::BoundExpr;
+use crate::metrics::QueryMetrics;
+use crate::row::Row;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Hash a key tuple for partitioning; consistent with `Value::group_eq`.
+pub fn hash_key(values: &[crate::value::Value]) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    for v in values {
+        v.group_hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Repartition `partitions` into `num_output` partitions by the hash of the
+/// key expressions, recording shuffle volume.
+pub fn shuffle_by_key(
+    partitions: Vec<Vec<Row>>,
+    keys: &[BoundExpr],
+    num_output: usize,
+    metrics: &Arc<QueryMetrics>,
+) -> Result<Vec<Vec<Row>>> {
+    let num_output = num_output.max(1);
+    let mut out: Vec<Vec<Row>> = vec![Vec::new(); num_output];
+    let mut bytes = 0u64;
+    let mut rows = 0u64;
+    for partition in partitions {
+        for row in partition {
+            let key: Vec<_> = keys
+                .iter()
+                .map(|k| k.eval(&row))
+                .collect::<Result<_>>()?;
+            let target = (hash_key(&key) % num_output as u64) as usize;
+            bytes += row.byte_size() as u64;
+            rows += 1;
+            out[target].push(row);
+        }
+    }
+    metrics.add(&metrics.shuffle_bytes, bytes);
+    metrics.add(&metrics.shuffle_rows, rows);
+    Ok(out)
+}
+
+/// Coalesce every partition into one (a gather to the driver). Not counted
+/// as shuffle — mirrors Spark's `collect`.
+pub fn gather(partitions: Vec<Vec<Row>>) -> Vec<Row> {
+    let total: usize = partitions.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in partitions {
+        out.extend(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int64(i % 5), Value::Int64(i)]))
+            .collect()
+    }
+
+    fn key0() -> BoundExpr {
+        BoundExpr::Column(0, DataType::Int64)
+    }
+
+    #[test]
+    fn same_key_lands_in_same_partition() {
+        let metrics = QueryMetrics::new();
+        let parts = shuffle_by_key(vec![rows(100)], &[key0()], 4, &metrics).unwrap();
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+        // Each output partition must contain complete key groups.
+        for p in &parts {
+            let keys: std::collections::HashSet<i64> =
+                p.iter().map(|r| r.get(0).as_i64().unwrap()).collect();
+            for other in &parts {
+                if std::ptr::eq(p, other) {
+                    continue;
+                }
+                for r in other.iter() {
+                    assert!(!keys.contains(&r.get(0).as_i64().unwrap()) || p.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_records_bytes_and_rows() {
+        let metrics = QueryMetrics::new();
+        shuffle_by_key(vec![rows(10)], &[key0()], 2, &metrics).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.shuffle_rows, 10);
+        assert_eq!(snap.shuffle_bytes, 10 * (8 + 8 + 8));
+    }
+
+    #[test]
+    fn gather_flattens_in_order() {
+        let parts = vec![rows(2), rows(3)];
+        assert_eq!(gather(parts).len(), 5);
+    }
+
+    #[test]
+    fn single_output_partition() {
+        let metrics = QueryMetrics::new();
+        let parts = shuffle_by_key(vec![rows(7)], &[key0()], 1, &metrics).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 7);
+    }
+
+    #[test]
+    fn hash_key_consistency_across_widths() {
+        assert_eq!(
+            hash_key(&[Value::Int32(5)]),
+            hash_key(&[Value::Int64(5)])
+        );
+    }
+}

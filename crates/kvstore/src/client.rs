@@ -1,0 +1,499 @@
+//! Client library: heavy-weight connections, table handles, and the
+//! region-routed read/write operations. The connection setup cost and the
+//! per-RPC network charges modelled here are exactly what SHC's connection
+//! cache and operator fusion optimize away.
+
+use crate::cluster::HBaseCluster;
+use crate::error::{KvError, Result};
+use crate::master::RegionLocation;
+use crate::region::ScanStats;
+use crate::security::AuthToken;
+use crate::types::{Delete, Get, Put, RowResult, Scan, TableName};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_CONNECTION_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A heavy-weight connection, analogous to HBase's `Connection`. Creation
+/// performs ZooKeeper lookups and pays the simulated setup latency; reuse is
+/// what the connector's connection cache buys.
+pub struct Connection {
+    pub id: u64,
+    cluster: Arc<HBaseCluster>,
+    token: Option<AuthToken>,
+    /// Client-side region location cache, per table.
+    location_cache: Mutex<HashMap<TableName, Vec<RegionLocation>>>,
+}
+
+impl Connection {
+    /// Open a connection. This is deliberately expensive: it reads the
+    /// master and the server list from ZooKeeper and pays
+    /// `connection_setup` on the simulated network.
+    pub fn open(cluster: Arc<HBaseCluster>, token: Option<AuthToken>) -> Arc<Connection> {
+        let network = *cluster.network();
+        // ZooKeeper traffic of a real connection handshake.
+        let _ = cluster.zk.get("/hbase/master");
+        let _ = cluster.zk.children("/hbase/rs");
+        network.charge(network.connection_setup);
+        cluster
+            .metrics
+            .add(&cluster.metrics.connections_created, 1);
+        Arc::new(Connection {
+            id: NEXT_CONNECTION_ID.fetch_add(1, Ordering::Relaxed),
+            cluster,
+            token,
+            location_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub fn cluster(&self) -> &Arc<HBaseCluster> {
+        &self.cluster
+    }
+
+    pub fn cluster_id(&self) -> &str {
+        self.cluster.cluster_id()
+    }
+
+    pub fn token(&self) -> Option<&AuthToken> {
+        self.token.as_ref()
+    }
+
+    /// A table handle (cheap; the connection is the heavy object).
+    pub fn table(self: &Arc<Self>, name: TableName) -> Table {
+        Table {
+            connection: Arc::clone(self),
+            name,
+        }
+    }
+
+    /// Region locations of a table, from the client cache or the master.
+    pub fn locate_regions(&self, table: &TableName) -> Result<Vec<RegionLocation>> {
+        if let Some(cached) = self.location_cache.lock().get(table) {
+            return Ok(cached.clone());
+        }
+        let regions = self.cluster.master.regions_of(table)?;
+        self.location_cache
+            .lock()
+            .insert(table.clone(), regions.clone());
+        Ok(regions)
+    }
+
+    /// Drop cached locations (after splits/moves).
+    pub fn invalidate_locations(&self, table: &TableName) {
+        self.location_cache.lock().remove(table);
+    }
+
+    fn locate_row(&self, table: &TableName, row: &[u8]) -> Result<RegionLocation> {
+        // Fast path: search the cache in place (no list clone per lookup —
+        // batched writes locate once per put).
+        if let Some(regions) = self.location_cache.lock().get(table) {
+            return regions
+                .iter()
+                .find(|loc| loc.info.contains_row(row))
+                .cloned()
+                .ok_or_else(|| KvError::NoRegionForRow {
+                    table: table.to_string(),
+                    row: row.to_vec(),
+                });
+        }
+        let regions = self.locate_regions(table)?;
+        regions
+            .into_iter()
+            .find(|loc| loc.info.contains_row(row))
+            .ok_or_else(|| KvError::NoRegionForRow {
+                table: table.to_string(),
+                row: row.to_vec(),
+            })
+    }
+}
+
+/// The result of a region-scoped scan: rows plus server work stats plus the
+/// number of simulated RPC batches used to fetch them.
+#[derive(Clone, Debug, Default)]
+pub struct RegionScanResult {
+    pub rows: Vec<RowResult>,
+    pub stats: ScanStats,
+    pub rpc_batches: u64,
+}
+
+/// A handle for one table over one connection.
+pub struct Table {
+    connection: Arc<Connection>,
+    name: TableName,
+}
+
+impl Table {
+    pub fn name(&self) -> &TableName {
+        &self.name
+    }
+
+    /// Write a batch of puts, grouped by owning region, one RPC per region.
+    /// Region batches dispatch concurrently, like the HBase client's
+    /// AsyncProcess — this is what makes writing into a pre-split table
+    /// faster than hammering a single region.
+    pub fn put_batch(&self, puts: Vec<Put>) -> Result<()> {
+        match self.try_put_batch(&puts) {
+            // Cached locations went stale (split/move between batches):
+            // refresh and retry once, like the HBase client.
+            Err(KvError::RegionNotServing(_)) => {
+                self.connection.invalidate_locations(&self.name);
+                self.try_put_batch(&puts)
+            }
+            other => other,
+        }
+    }
+
+    fn try_put_batch(&self, puts: &[Put]) -> Result<()> {
+        let mut by_region: HashMap<u64, (RegionLocation, Vec<Put>)> = HashMap::new();
+        for put in puts {
+            let loc = self.connection.locate_row(&self.name, &put.row)?;
+            by_region
+                .entry(loc.info.region_id)
+                .or_insert_with(|| (loc, Vec::new()))
+                .1
+                .push(put.clone());
+        }
+        let network = *self.connection.cluster.network();
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = by_region
+                .into_iter()
+                .map(|(region_id, (loc, batch))| {
+                    let connection = &self.connection;
+                    scope.spawn(move || -> Result<()> {
+                        let bytes: usize = batch.iter().map(Put::payload_bytes).sum();
+                        let server = connection.cluster.server(loc.server_id)?;
+                        server.put(region_id, &batch, connection.token())?;
+                        network.charge(network.transfer_cost(bytes as u64, false));
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("put batch thread"))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    pub fn put(&self, put: Put) -> Result<()> {
+        self.put_batch(vec![put])
+    }
+
+    pub fn delete(&self, delete: Delete) -> Result<()> {
+        let loc = self.connection.locate_row(&self.name, &delete.row)?;
+        let server = self.connection.cluster.server(loc.server_id)?;
+        let network = *self.connection.cluster.network();
+        server.delete(loc.info.region_id, &[delete], self.connection.token())?;
+        network.charge(network.rpc_latency);
+        Ok(())
+    }
+
+    /// Point read routed to the owning region.
+    pub fn get(&self, get: Get) -> Result<RowResult> {
+        let loc = self.connection.locate_row(&self.name, &get.row)?;
+        let server = self.connection.cluster.server(loc.server_id)?;
+        let row = server.get(loc.info.region_id, &get, self.connection.token())?;
+        let network = *self.connection.cluster.network();
+        network.charge(network.transfer_cost(row.payload_bytes() as u64, false));
+        Ok(row)
+    }
+
+    /// Batched gets grouped per region server — HBase `BulkGet`. Results
+    /// come back in request order.
+    pub fn bulk_get(&self, gets: Vec<Get>) -> Result<Vec<RowResult>> {
+        let mut grouped: HashMap<u64, (RegionLocation, Vec<(usize, Get)>)> = HashMap::new();
+        for (idx, get) in gets.into_iter().enumerate() {
+            let loc = self.connection.locate_row(&self.name, &get.row)?;
+            grouped
+                .entry(loc.info.region_id)
+                .or_insert_with(|| (loc, Vec::new()))
+                .1
+                .push((idx, get));
+        }
+        let network = *self.connection.cluster.network();
+        let mut out: Vec<(usize, RowResult)> = Vec::new();
+        for (region_id, (loc, indexed)) in grouped {
+            let server = self.connection.cluster.server(loc.server_id)?;
+            let (indices, batch): (Vec<usize>, Vec<Get>) = indexed.into_iter().unzip();
+            let rows = server.bulk_get(region_id, &batch, self.connection.token())?;
+            let bytes: usize = rows.iter().map(RowResult::payload_bytes).sum();
+            network.charge(network.transfer_cost(bytes as u64, false));
+            out.extend(indices.into_iter().zip(rows));
+        }
+        out.sort_by_key(|(idx, _)| *idx);
+        Ok(out.into_iter().map(|(_, row)| row).collect())
+    }
+
+    /// Whole-table scan: split across every overlapping region, executed in
+    /// region order from the client (no locality — this is the naive path
+    /// that the connector's distributed scan RDD improves on).
+    pub fn scan(&self, scan: &Scan) -> Result<Vec<RowResult>> {
+        let regions = self.connection.locate_regions(&self.name)?;
+        let (start, stop) = scan_bounds_bytes(scan);
+        let mut rows = Vec::new();
+        let mut remaining = scan.limit;
+        for loc in regions {
+            if !loc.info.overlaps(&start, &stop) {
+                continue;
+            }
+            let mut region_scan = scan.clone();
+            if scan.limit > 0 {
+                if remaining == 0 {
+                    break;
+                }
+                region_scan.limit = remaining;
+            }
+            let result =
+                self.scan_region(&loc, &region_scan, None)?;
+            if scan.limit > 0 {
+                remaining = remaining.saturating_sub(result.rows.len());
+            }
+            rows.extend(result.rows);
+        }
+        Ok(rows)
+    }
+
+    /// Scan a single region — the building block of SHC's partition-per-
+    /// region execution. `from_host` is the hostname of the requesting
+    /// compute task; co-located requests skip the remote-hop penalty.
+    pub fn scan_region(
+        &self,
+        location: &RegionLocation,
+        scan: &Scan,
+        from_host: Option<&str>,
+    ) -> Result<RegionScanResult> {
+        let server = self.connection.cluster.server(location.server_id)?;
+        let (rows, stats) =
+            server.scan(location.info.region_id, scan, self.connection.token())?;
+        let local = from_host == Some(location.hostname.as_str());
+        let network = *self.connection.cluster.network();
+        // Model scanner caching: one round trip per `caching` rows.
+        let batches = (rows.len().max(1) as u64).div_ceil(scan.caching.max(1) as u64);
+        let bytes: usize = rows.iter().map(RowResult::payload_bytes).sum();
+        for _ in 0..batches {
+            network.charge(network.transfer_cost(
+                bytes as u64 / batches.max(1),
+                local,
+            ));
+        }
+        if batches > 1 {
+            // The first RPC was counted by the server; account the rest.
+            self.connection
+                .cluster
+                .metrics
+                .add(&self.connection.cluster.metrics.rpc_count, batches - 1);
+        }
+        Ok(RegionScanResult {
+            rows,
+            stats,
+            rpc_batches: batches,
+        })
+    }
+
+    /// Bulk gets against one region only (used by fused partition tasks).
+    pub fn bulk_get_region(
+        &self,
+        location: &RegionLocation,
+        gets: &[Get],
+        from_host: Option<&str>,
+    ) -> Result<Vec<RowResult>> {
+        let server = self.connection.cluster.server(location.server_id)?;
+        let rows = server.bulk_get(location.info.region_id, gets, self.connection.token())?;
+        let local = from_host == Some(location.hostname.as_str());
+        let network = *self.connection.cluster.network();
+        let bytes: usize = rows.iter().map(RowResult::payload_bytes).sum();
+        network.charge(network.transfer_cost(bytes as u64, local));
+        Ok(rows)
+    }
+}
+
+/// Extract `[start, stop)` byte bounds from a scan for region overlap tests.
+pub fn scan_bounds_bytes(scan: &Scan) -> (bytes::Bytes, bytes::Bytes) {
+    use std::ops::Bound;
+    let start = match &scan.start {
+        Bound::Unbounded => bytes::Bytes::new(),
+        Bound::Included(s) => s.clone(),
+        Bound::Excluded(s) => {
+            let mut v = s.to_vec();
+            v.push(0);
+            bytes::Bytes::from(v)
+        }
+    };
+    let stop = match &scan.stop {
+        Bound::Unbounded => bytes::Bytes::new(),
+        Bound::Excluded(s) => s.clone(),
+        Bound::Included(s) => {
+            let mut v = s.to_vec();
+            v.push(0);
+            bytes::Bytes::from(v)
+        }
+    };
+    (start, stop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::types::{FamilyDescriptor, TableDescriptor};
+    use bytes::Bytes;
+    use std::ops::Bound;
+
+    fn cluster_with_table(splits: &[&str]) -> (Arc<HBaseCluster>, Arc<Connection>, Table) {
+        let cluster = HBaseCluster::start(ClusterConfig {
+            num_servers: 3,
+            ..Default::default()
+        });
+        cluster
+            .create_table(
+                TableDescriptor::new(TableName::default_ns("t"))
+                    .with_family(FamilyDescriptor::new("cf"))
+                    .with_split_keys(
+                        splits
+                            .iter()
+                            .map(|s| Bytes::copy_from_slice(s.as_bytes()))
+                            .collect(),
+                    ),
+            )
+            .unwrap();
+        let conn = Connection::open(Arc::clone(&cluster), None);
+        let table = conn.table(TableName::default_ns("t"));
+        (cluster, conn, table)
+    }
+
+    #[test]
+    fn put_get_across_regions() {
+        let (_cluster, _conn, table) = cluster_with_table(&["h", "p"]);
+        table.put(Put::new("apple").add("cf", "q", "1")).unwrap();
+        table.put(Put::new("mango").add("cf", "q", "2")).unwrap();
+        table.put(Put::new("zebra").add("cf", "q", "3")).unwrap();
+        assert_eq!(
+            table
+                .get(Get::new("mango"))
+                .unwrap()
+                .value(b"cf", b"q")
+                .unwrap()
+                .as_ref(),
+            b"2"
+        );
+    }
+
+    #[test]
+    fn scan_merges_regions_in_key_order() {
+        let (_cluster, _conn, table) = cluster_with_table(&["h", "p"]);
+        for key in ["zebra", "apple", "mango", "banana", "tiger"] {
+            table.put(Put::new(key).add("cf", "q", key)).unwrap();
+        }
+        let rows = table.scan(&Scan::new()).unwrap();
+        let keys: Vec<&[u8]> = rows.iter().map(|r| r.row.as_ref()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                b"apple".as_ref(),
+                b"banana".as_ref(),
+                b"mango".as_ref(),
+                b"tiger".as_ref(),
+                b"zebra".as_ref()
+            ]
+        );
+    }
+
+    #[test]
+    fn ranged_scan_skips_regions() {
+        let (cluster, _conn, table) = cluster_with_table(&["h", "p"]);
+        for key in ["a", "i", "q"] {
+            table.put(Put::new(key).add("cf", "q", "v")).unwrap();
+        }
+        let before = cluster.metrics.snapshot();
+        let rows = table
+            .scan(&Scan::new().with_range(
+                Bound::Included(Bytes::from_static(b"q")),
+                Bound::Unbounded,
+            ))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        let delta = cluster.metrics.snapshot().delta_since(&before);
+        // Only the third region should have been contacted.
+        assert_eq!(delta.rpc_count, 1);
+    }
+
+    #[test]
+    fn bulk_get_preserves_request_order() {
+        let (_cluster, _conn, table) = cluster_with_table(&["h", "p"]);
+        for key in ["a", "i", "q"] {
+            table.put(Put::new(key).add("cf", "q", key)).unwrap();
+        }
+        let rows = table
+            .bulk_get(vec![Get::new("q"), Get::new("a"), Get::new("i")])
+            .unwrap();
+        assert_eq!(rows[0].value(b"cf", b"q").unwrap().as_ref(), b"q");
+        assert_eq!(rows[1].value(b"cf", b"q").unwrap().as_ref(), b"a");
+        assert_eq!(rows[2].value(b"cf", b"q").unwrap().as_ref(), b"i");
+    }
+
+    #[test]
+    fn delete_removes_row() {
+        let (_cluster, _conn, table) = cluster_with_table(&[]);
+        table.put(Put::new("a").add("cf", "q", "v")).unwrap();
+        table.delete(Delete::row("a")).unwrap();
+        assert!(table.get(Get::new("a")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn connection_creation_is_counted() {
+        let cluster = HBaseCluster::start_default();
+        let before = cluster.metrics.snapshot().connections_created;
+        let _c1 = Connection::open(Arc::clone(&cluster), None);
+        let _c2 = Connection::open(Arc::clone(&cluster), None);
+        assert_eq!(
+            cluster.metrics.snapshot().connections_created,
+            before + 2
+        );
+    }
+
+    #[test]
+    fn scan_limit_stops_early() {
+        let (_cluster, _conn, table) = cluster_with_table(&["h", "p"]);
+        for i in 0..20 {
+            table
+                .put(Put::new(format!("k{i:02}")).add("cf", "q", "v"))
+                .unwrap();
+        }
+        let rows = table.scan(&Scan::new().with_limit(5)).unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn scan_region_reports_stats_and_batches() {
+        let (_cluster, conn, table) = cluster_with_table(&[]);
+        for i in 0..10 {
+            table
+                .put(Put::new(format!("k{i}")).add("cf", "q", "v"))
+                .unwrap();
+        }
+        let loc = conn.locate_regions(&TableName::default_ns("t")).unwrap()[0].clone();
+        let mut scan = Scan::new();
+        scan.caching = 3;
+        let result = table.scan_region(&loc, &scan, Some("host-0")).unwrap();
+        assert_eq!(result.rows.len(), 10);
+        assert_eq!(result.rpc_batches, 4); // ceil(10/3)
+        assert!(result.stats.cells_scanned >= 10);
+    }
+
+    #[test]
+    fn location_cache_survives_and_invalidates() {
+        let (_cluster, conn, _table) = cluster_with_table(&["m"]);
+        let name = TableName::default_ns("t");
+        let first = conn.locate_regions(&name).unwrap();
+        assert_eq!(first.len(), 2);
+        conn.invalidate_locations(&name);
+        let second = conn.locate_regions(&name).unwrap();
+        assert_eq!(first.len(), second.len());
+    }
+}

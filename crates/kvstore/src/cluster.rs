@@ -1,0 +1,213 @@
+//! Cluster assembly: ZooKeeper + master + region servers + metrics +
+//! simulated network, behind a single handle.
+
+use crate::clock::Clock;
+use crate::error::{KvError, Result};
+use crate::master::Master;
+use crate::metrics::ClusterMetrics;
+use crate::network::NetworkSim;
+use crate::region::RegionConfig;
+use crate::region_server::RegionServer;
+use crate::security::TokenService;
+use crate::types::TableDescriptor;
+use crate::zookeeper::ZooKeeper;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Construction-time settings for a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Logical cluster name; appears in security tokens.
+    pub cluster_id: String,
+    /// Number of region servers ("nodes"). The paper's testbed uses 5.
+    pub num_servers: usize,
+    pub network: NetworkSim,
+    pub region_config: RegionConfig,
+    /// When set, the cluster runs in secure mode and every RPC must carry a
+    /// valid token with this lifetime (milliseconds).
+    pub secure_token_lifetime_ms: Option<u64>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            cluster_id: "hbase".to_string(),
+            num_servers: 5,
+            network: NetworkSim::off(),
+            region_config: RegionConfig::default(),
+            secure_token_lifetime_ms: None,
+        }
+    }
+}
+
+/// A running simulated HBase cluster.
+pub struct HBaseCluster {
+    /// Unique per-process instance number; distinguishes clusters that
+    /// share a `cluster_id` (e.g. in tests) for connection caching.
+    pub instance_id: u64,
+    pub config: ClusterConfig,
+    pub zk: Arc<ZooKeeper>,
+    pub master: Arc<Master>,
+    servers: Arc<RwLock<Vec<Arc<RegionServer>>>>,
+    pub metrics: Arc<ClusterMetrics>,
+    pub clock: Clock,
+    pub security: Option<Arc<TokenService>>,
+}
+
+impl HBaseCluster {
+    /// Start a cluster: register servers in ZooKeeper, elect the master.
+    pub fn start(config: ClusterConfig) -> Arc<Self> {
+        let zk = Arc::new(ZooKeeper::new());
+        let metrics = ClusterMetrics::new();
+        let clock = Clock::default();
+        let security = config.secure_token_lifetime_ms.map(|life| {
+            Arc::new(TokenService::new(
+                config.cluster_id.clone(),
+                clock.clone(),
+                life,
+            ))
+        });
+        let servers: Vec<Arc<RegionServer>> = (0..config.num_servers.max(1))
+            .map(|i| {
+                let hostname = format!("host-{i}");
+                zk.set(&format!("/hbase/rs/{hostname}"), hostname.clone());
+                Arc::new(RegionServer::new(
+                    i as u64,
+                    hostname,
+                    Arc::clone(&metrics),
+                    security.clone(),
+                ))
+            })
+            .collect();
+        let servers = Arc::new(RwLock::new(servers));
+        let master = Arc::new(Master::new(
+            Arc::clone(&zk),
+            Arc::clone(&servers),
+            config.region_config.clone(),
+            clock.clone(),
+        ));
+        static NEXT_INSTANCE: std::sync::atomic::AtomicU64 =
+            std::sync::atomic::AtomicU64::new(1);
+        Arc::new(HBaseCluster {
+            instance_id: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            config,
+            zk,
+            master,
+            servers,
+            metrics,
+            clock,
+            security,
+        })
+    }
+
+    /// Default 5-node insecure cluster with no simulated network cost.
+    pub fn start_default() -> Arc<Self> {
+        Self::start(ClusterConfig::default())
+    }
+
+    pub fn cluster_id(&self) -> &str {
+        &self.config.cluster_id
+    }
+
+    /// A key that uniquely identifies this cluster *instance* within the
+    /// process — what connection caches should key on.
+    pub fn instance_key(&self) -> String {
+        format!("{}@{}", self.config.cluster_id, self.instance_id)
+    }
+
+    pub fn server(&self, server_id: u64) -> Result<Arc<RegionServer>> {
+        self.servers
+            .read()
+            .iter()
+            .find(|s| s.server_id == server_id)
+            .cloned()
+            .ok_or(KvError::ServerNotFound(server_id))
+    }
+
+    pub fn server_by_host(&self, hostname: &str) -> Result<Arc<RegionServer>> {
+        self.servers
+            .read()
+            .iter()
+            .find(|s| s.hostname == hostname)
+            .cloned()
+            .ok_or(KvError::ServerNotFound(u64::MAX))
+    }
+
+    pub fn hostnames(&self) -> Vec<String> {
+        self.servers
+            .read()
+            .iter()
+            .map(|s| s.hostname.clone())
+            .collect()
+    }
+
+    pub fn num_servers(&self) -> usize {
+        self.servers.read().len()
+    }
+
+    /// Administrative convenience: create a table through the master.
+    pub fn create_table(&self, descriptor: TableDescriptor) -> Result<()> {
+        self.master.create_table(descriptor)
+    }
+
+    /// Flush every region on every server.
+    pub fn flush_all(&self) -> Result<()> {
+        for server in self.servers.read().iter() {
+            server.flush_all()?;
+        }
+        Ok(())
+    }
+
+    pub fn network(&self) -> &NetworkSim {
+        &self.config.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FamilyDescriptor, TableName};
+
+    #[test]
+    fn start_registers_servers_in_zk() {
+        let cluster = HBaseCluster::start_default();
+        assert_eq!(cluster.num_servers(), 5);
+        let mut hosts = cluster.zk.children("/hbase/rs");
+        hosts.sort();
+        assert_eq!(hosts.len(), 5);
+        assert_eq!(hosts[0], "host-0");
+        assert!(cluster.zk.exists("/hbase/master"));
+    }
+
+    #[test]
+    fn server_lookup_by_id_and_host() {
+        let cluster = HBaseCluster::start_default();
+        assert_eq!(cluster.server(2).unwrap().hostname, "host-2");
+        assert_eq!(cluster.server_by_host("host-3").unwrap().server_id, 3);
+        assert!(cluster.server(99).is_err());
+        assert!(cluster.server_by_host("nope").is_err());
+    }
+
+    #[test]
+    fn secure_cluster_exposes_token_service() {
+        let cluster = HBaseCluster::start(ClusterConfig {
+            secure_token_lifetime_ms: Some(60_000),
+            ..Default::default()
+        });
+        assert!(cluster.security.is_some());
+        let insecure = HBaseCluster::start_default();
+        assert!(insecure.security.is_none());
+    }
+
+    #[test]
+    fn create_table_via_cluster_handle() {
+        let cluster = HBaseCluster::start_default();
+        cluster
+            .create_table(
+                TableDescriptor::new(TableName::default_ns("t"))
+                    .with_family(FamilyDescriptor::new("cf")),
+            )
+            .unwrap();
+        assert!(cluster.master.table_exists(&TableName::default_ns("t")));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the key-value store substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the store, its master, or the client library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The named table does not exist in the cluster's meta registry.
+    TableNotFound(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The table exists but is disabled and cannot serve requests.
+    TableDisabled(String),
+    /// A column family referenced by a mutation or scan is not part of the
+    /// table's schema. Families are fixed at table-creation time, as in HBase.
+    NoSuchColumnFamily { table: String, family: String },
+    /// A row key fell outside every region of the table — indicates a hole in
+    /// region metadata and is always a bug.
+    NoRegionForRow { table: String, row: Vec<u8> },
+    /// The region has been closed/moved since the client cached its location.
+    RegionNotServing(u64),
+    /// The target region server is not (or no longer) online.
+    ServerNotFound(u64),
+    /// A scan or mutation carried malformed parameters.
+    InvalidRequest(String),
+    /// The write-ahead log rejected an append (e.g. after a simulated crash).
+    WalClosed,
+    /// Authentication failed: missing or expired security token.
+    AccessDenied(String),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            KvError::TableExists(t) => write!(f, "table already exists: {t}"),
+            KvError::TableDisabled(t) => write!(f, "table is disabled: {t}"),
+            KvError::NoSuchColumnFamily { table, family } => {
+                write!(f, "no such column family {family:?} in table {table}")
+            }
+            KvError::NoRegionForRow { table, row } => {
+                write!(f, "no region for row {row:?} in table {table}")
+            }
+            KvError::RegionNotServing(id) => write!(f, "region {id} is not serving"),
+            KvError::ServerNotFound(id) => write!(f, "region server {id} not found"),
+            KvError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            KvError::WalClosed => write!(f, "write-ahead log is closed"),
+            KvError::AccessDenied(msg) => write!(f, "access denied: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, KvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = KvError::TableNotFound("actives".into());
+        assert_eq!(e.to_string(), "table not found: actives");
+        let e = KvError::NoSuchColumnFamily {
+            table: "t".into(),
+            family: "cf9".into(),
+        };
+        assert!(e.to_string().contains("cf9"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(KvError::WalClosed, KvError::WalClosed);
+        assert_ne!(
+            KvError::RegionNotServing(1),
+            KvError::RegionNotServing(2)
+        );
+    }
+}

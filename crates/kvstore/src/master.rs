@@ -1,0 +1,545 @@
+//! The HMaster: table administration, region assignment and load balancing.
+//! It never touches data-path requests, matching the paper's description —
+//! clients go straight to region servers once they know the layout.
+
+use crate::clock::Clock;
+use crate::error::{KvError, Result};
+use crate::region::{Region, RegionConfig, RegionInfo};
+use crate::region_server::RegionServer;
+use crate::types::{TableDescriptor, TableName};
+use crate::zookeeper::ZooKeeper;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where one region lives: its key range plus the hosting server. This is
+/// the "meta table" row a client caches, and the hostname is what SHC uses
+/// for data locality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionLocation {
+    pub info: RegionInfo,
+    pub server_id: u64,
+    pub hostname: String,
+}
+
+#[derive(Debug)]
+struct TableMeta {
+    descriptor: TableDescriptor,
+    /// Sorted by start key; contiguous and covering the whole key space.
+    regions: Vec<RegionLocation>,
+    enabled: bool,
+}
+
+/// Cluster master.
+pub struct Master {
+    zk: Arc<ZooKeeper>,
+    servers: Arc<RwLock<Vec<Arc<RegionServer>>>>,
+    tables: RwLock<HashMap<TableName, TableMeta>>,
+    next_region_id: AtomicU64,
+    region_config: RegionConfig,
+    clock: Clock,
+    assign_cursor: AtomicU64,
+}
+
+impl Master {
+    pub fn new(
+        zk: Arc<ZooKeeper>,
+        servers: Arc<RwLock<Vec<Arc<RegionServer>>>>,
+        region_config: RegionConfig,
+        clock: Clock,
+    ) -> Self {
+        zk.set("/hbase/master", "active");
+        Master {
+            zk,
+            servers,
+            tables: RwLock::new(HashMap::new()),
+            next_region_id: AtomicU64::new(1),
+            region_config,
+            clock,
+            assign_cursor: AtomicU64::new(0),
+        }
+    }
+
+    fn next_server(&self) -> Arc<RegionServer> {
+        let servers = self.servers.read();
+        let idx = self.assign_cursor.fetch_add(1, Ordering::Relaxed) as usize % servers.len();
+        Arc::clone(&servers[idx])
+    }
+
+    /// Create a table. `split_keys` pre-split the key space into
+    /// `split_keys.len() + 1` regions assigned round-robin across servers —
+    /// this is what SHC's `HBaseTableCatalog.newTable` option drives.
+    pub fn create_table(&self, descriptor: TableDescriptor) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&descriptor.name) {
+            return Err(KvError::TableExists(descriptor.name.to_string()));
+        }
+        if descriptor.families.is_empty() {
+            return Err(KvError::InvalidRequest(
+                "table needs at least one column family".to_string(),
+            ));
+        }
+        let mut split_keys = descriptor.split_keys.clone();
+        split_keys.sort();
+        split_keys.dedup();
+        let mut boundaries: Vec<(Bytes, Bytes)> = Vec::with_capacity(split_keys.len() + 1);
+        let mut prev = Bytes::new();
+        for key in split_keys {
+            boundaries.push((prev.clone(), key.clone()));
+            prev = key;
+        }
+        boundaries.push((prev, Bytes::new()));
+
+        let mut regions = Vec::with_capacity(boundaries.len());
+        for (start, end) in boundaries {
+            let region_id = self.next_region_id.fetch_add(1, Ordering::Relaxed);
+            let server = self.next_server();
+            let info = RegionInfo {
+                region_id,
+                table: descriptor.name.clone(),
+                start_key: start,
+                end_key: end,
+            };
+            let region = Region::new(
+                info.clone(),
+                descriptor.clone(),
+                self.region_config.clone(),
+                server.wal(),
+                self.clock.clone(),
+            );
+            server.open_region(Arc::new(region));
+            self.zk.set(
+                &format!("/hbase/table/{}/region/{}", descriptor.name, region_id),
+                server.hostname.clone(),
+            );
+            regions.push(RegionLocation {
+                info,
+                server_id: server.server_id,
+                hostname: server.hostname.clone(),
+            });
+        }
+        tables.insert(
+            descriptor.name.clone(),
+            TableMeta {
+                descriptor,
+                regions,
+                enabled: true,
+            },
+        );
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &TableName) -> Result<()> {
+        let meta = self
+            .tables
+            .write()
+            .remove(name)
+            .ok_or_else(|| KvError::TableNotFound(name.to_string()))?;
+        let servers = self.servers.read();
+        for loc in meta.regions {
+            if let Some(server) = servers.iter().find(|s| s.server_id == loc.server_id) {
+                server.close_region(loc.info.region_id);
+            }
+            self.zk
+                .delete(&format!("/hbase/table/{}/region/{}", name, loc.info.region_id));
+        }
+        Ok(())
+    }
+
+    pub fn table_exists(&self, name: &TableName) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    pub fn disable_table(&self, name: &TableName) -> Result<()> {
+        self.with_meta_mut(name, |m| {
+            m.enabled = false;
+            Ok(())
+        })
+    }
+
+    pub fn enable_table(&self, name: &TableName) -> Result<()> {
+        self.with_meta_mut(name, |m| {
+            m.enabled = true;
+            Ok(())
+        })
+    }
+
+    fn with_meta_mut<T>(
+        &self,
+        name: &TableName,
+        f: impl FnOnce(&mut TableMeta) -> Result<T>,
+    ) -> Result<T> {
+        let mut tables = self.tables.write();
+        let meta = tables
+            .get_mut(name)
+            .ok_or_else(|| KvError::TableNotFound(name.to_string()))?;
+        f(meta)
+    }
+
+    pub fn descriptor(&self, name: &TableName) -> Result<TableDescriptor> {
+        self.tables
+            .read()
+            .get(name)
+            .map(|m| m.descriptor.clone())
+            .ok_or_else(|| KvError::TableNotFound(name.to_string()))
+    }
+
+    /// All region locations of a table, sorted by start key. This is the
+    /// metadata SHC reads to construct partitions.
+    pub fn regions_of(&self, name: &TableName) -> Result<Vec<RegionLocation>> {
+        let tables = self.tables.read();
+        let meta = tables
+            .get(name)
+            .ok_or_else(|| KvError::TableNotFound(name.to_string()))?;
+        if !meta.enabled {
+            return Err(KvError::TableDisabled(name.to_string()));
+        }
+        Ok(meta.regions.clone())
+    }
+
+    /// The region hosting `row`.
+    pub fn locate(&self, name: &TableName, row: &[u8]) -> Result<RegionLocation> {
+        let regions = self.regions_of(name)?;
+        regions
+            .into_iter()
+            .find(|loc| loc.info.contains_row(row))
+            .ok_or_else(|| KvError::NoRegionForRow {
+                table: name.to_string(),
+                row: row.to_vec(),
+            })
+    }
+
+    /// Split one region in two at its natural midpoint; daughters stay on
+    /// the same server.
+    pub fn split_region(&self, name: &TableName, region_id: u64) -> Result<()> {
+        let loc = {
+            let tables = self.tables.read();
+            let meta = tables
+                .get(name)
+                .ok_or_else(|| KvError::TableNotFound(name.to_string()))?;
+            meta.regions
+                .iter()
+                .find(|l| l.info.region_id == region_id)
+                .cloned()
+                .ok_or(KvError::RegionNotServing(region_id))?
+        };
+        let servers = self.servers.read();
+        let server = servers
+            .iter()
+            .find(|s| s.server_id == loc.server_id)
+            .ok_or(KvError::ServerNotFound(loc.server_id))?;
+        let region = server.region(region_id)?;
+        let split_key = region.split_point().ok_or_else(|| {
+            KvError::InvalidRequest("region too small to split".to_string())
+        })?;
+        let left_id = self.next_region_id.fetch_add(1, Ordering::Relaxed);
+        let right_id = self.next_region_id.fetch_add(1, Ordering::Relaxed);
+        let (left, right) = region.split(split_key, left_id, right_id)?;
+        let (left, right) = (Arc::new(left), Arc::new(right));
+        server.close_region(region_id);
+        server.open_region(Arc::clone(&left));
+        server.open_region(Arc::clone(&right));
+        drop(servers);
+        self.with_meta_mut(name, |meta| {
+            let pos = meta
+                .regions
+                .iter()
+                .position(|l| l.info.region_id == region_id)
+                .ok_or(KvError::RegionNotServing(region_id))?;
+            let host = meta.regions[pos].hostname.clone();
+            let sid = meta.regions[pos].server_id;
+            meta.regions.splice(
+                pos..=pos,
+                [
+                    RegionLocation {
+                        info: left.info.clone(),
+                        server_id: sid,
+                        hostname: host.clone(),
+                    },
+                    RegionLocation {
+                        info: right.info.clone(),
+                        server_id: sid,
+                        hostname: host,
+                    },
+                ],
+            );
+            Ok(())
+        })
+    }
+
+    /// Administratively move one region to a target server, flushing it
+    /// first and updating the meta registry.
+    pub fn move_region(
+        &self,
+        name: &TableName,
+        region_id: u64,
+        dest_server_id: u64,
+    ) -> Result<()> {
+        let src_id = {
+            let tables = self.tables.read();
+            let meta = tables
+                .get(name)
+                .ok_or_else(|| KvError::TableNotFound(name.to_string()))?;
+            meta.regions
+                .iter()
+                .find(|l| l.info.region_id == region_id)
+                .map(|l| l.server_id)
+                .ok_or(KvError::RegionNotServing(region_id))?
+        };
+        if src_id == dest_server_id {
+            return Ok(());
+        }
+        let servers = self.servers.read();
+        let src = servers
+            .iter()
+            .find(|s| s.server_id == src_id)
+            .ok_or(KvError::ServerNotFound(src_id))?;
+        let dst = servers
+            .iter()
+            .find(|s| s.server_id == dest_server_id)
+            .ok_or(KvError::ServerNotFound(dest_server_id))?;
+        let region = src.region(region_id)?;
+        region.flush()?;
+        src.close_region(region_id);
+        dst.open_region(region);
+        let dst_host = dst.hostname.clone();
+        drop(servers);
+        self.with_meta_mut(name, |meta| {
+            if let Some(loc) = meta
+                .regions
+                .iter_mut()
+                .find(|l| l.info.region_id == region_id)
+            {
+                loc.server_id = dest_server_id;
+                loc.hostname = dst_host;
+            }
+            Ok(())
+        })
+    }
+
+    /// Even out region counts across servers by moving regions from the most
+    /// to the least loaded server. Regions are flushed before moving so the
+    /// WAL handoff is clean. Returns the number of moves performed.
+    pub fn balance(&self) -> Result<usize> {
+        let servers = self.servers.read();
+        if servers.len() < 2 {
+            return Ok(0);
+        }
+        let mut moves = 0;
+        loop {
+            let (max_idx, max_count) = servers
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.region_count()))
+                .max_by_key(|&(_, c)| c)
+                .unwrap();
+            let (min_idx, min_count) = servers
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.region_count()))
+                .min_by_key(|&(_, c)| c)
+                .unwrap();
+            if max_count <= min_count + 1 {
+                break;
+            }
+            let src = &servers[max_idx];
+            let dst = &servers[min_idx];
+            let region_id = match src.region_ids().into_iter().next() {
+                Some(id) => id,
+                None => break,
+            };
+            let region = src.region(region_id)?;
+            region.flush()?;
+            src.close_region(region_id);
+            let table = region.info.table.clone();
+            dst.open_region(region);
+            self.with_meta_mut(&table, |meta| {
+                if let Some(loc) = meta
+                    .regions
+                    .iter_mut()
+                    .find(|l| l.info.region_id == region_id)
+                {
+                    loc.server_id = dst.server_id;
+                    loc.hostname = dst.hostname.clone();
+                }
+                Ok(())
+            })?;
+            moves += 1;
+        }
+        Ok(moves)
+    }
+
+    pub fn table_names(&self) -> Vec<TableName> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ClusterMetrics;
+    use crate::types::{FamilyDescriptor, Put, Scan};
+
+    type SharedServers = Arc<RwLock<Vec<Arc<RegionServer>>>>;
+
+    fn setup(n_servers: usize) -> (Arc<Master>, SharedServers) {
+        let zk = Arc::new(ZooKeeper::new());
+        let metrics = ClusterMetrics::new();
+        let servers: Vec<Arc<RegionServer>> = (0..n_servers)
+            .map(|i| {
+                Arc::new(RegionServer::new(
+                    i as u64,
+                    format!("host-{i}"),
+                    Arc::clone(&metrics),
+                    None,
+                ))
+            })
+            .collect();
+        let servers = Arc::new(RwLock::new(servers));
+        let master = Arc::new(Master::new(
+            zk,
+            Arc::clone(&servers),
+            RegionConfig::default(),
+            Clock::logical(0),
+        ));
+        (master, servers)
+    }
+
+    fn descriptor(name: &str, splits: &[&str]) -> TableDescriptor {
+        TableDescriptor::new(TableName::default_ns(name))
+            .with_family(FamilyDescriptor::new("cf"))
+            .with_split_keys(
+                splits
+                    .iter()
+                    .map(|s| Bytes::copy_from_slice(s.as_bytes()))
+                    .collect(),
+            )
+    }
+
+    #[test]
+    fn create_table_builds_contiguous_regions() {
+        let (master, _) = setup(3);
+        master.create_table(descriptor("t", &["g", "p"])).unwrap();
+        let regions = master.regions_of(&TableName::default_ns("t")).unwrap();
+        assert_eq!(regions.len(), 3);
+        assert!(regions[0].info.start_key.is_empty());
+        assert_eq!(regions[0].info.end_key.as_ref(), b"g");
+        assert_eq!(regions[1].info.start_key.as_ref(), b"g");
+        assert_eq!(regions[2].info.end_key.as_ref() as &[u8], b"");
+    }
+
+    #[test]
+    fn create_assigns_round_robin() {
+        let (master, servers) = setup(3);
+        master
+            .create_table(descriptor("t", &["b", "c", "d", "e", "f"]))
+            .unwrap();
+        let counts: Vec<usize> = servers.read().iter().map(|s| s.region_count()).collect();
+        assert_eq!(counts, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let (master, _) = setup(1);
+        master.create_table(descriptor("t", &[])).unwrap();
+        assert!(matches!(
+            master.create_table(descriptor("t", &[])),
+            Err(KvError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn locate_finds_owning_region() {
+        let (master, _) = setup(2);
+        master.create_table(descriptor("t", &["m"])).unwrap();
+        let name = TableName::default_ns("t");
+        let lo = master.locate(&name, b"a").unwrap();
+        let hi = master.locate(&name, b"z").unwrap();
+        assert_ne!(lo.info.region_id, hi.info.region_id);
+        assert!(lo.info.contains_row(b"a"));
+        assert!(hi.info.contains_row(b"z"));
+    }
+
+    #[test]
+    fn drop_table_closes_regions() {
+        let (master, servers) = setup(1);
+        master.create_table(descriptor("t", &["m"])).unwrap();
+        assert_eq!(servers.read()[0].region_count(), 2);
+        master.drop_table(&TableName::default_ns("t")).unwrap();
+        assert_eq!(servers.read()[0].region_count(), 0);
+        assert!(!master.table_exists(&TableName::default_ns("t")));
+    }
+
+    #[test]
+    fn disabled_table_rejects_reads() {
+        let (master, _) = setup(1);
+        master.create_table(descriptor("t", &[])).unwrap();
+        let name = TableName::default_ns("t");
+        master.disable_table(&name).unwrap();
+        assert!(matches!(
+            master.regions_of(&name),
+            Err(KvError::TableDisabled(_))
+        ));
+        master.enable_table(&name).unwrap();
+        assert!(master.regions_of(&name).is_ok());
+    }
+
+    #[test]
+    fn split_region_preserves_data_and_meta() {
+        let (master, servers) = setup(1);
+        master.create_table(descriptor("t", &[])).unwrap();
+        let name = TableName::default_ns("t");
+        let region_id = master.regions_of(&name).unwrap()[0].info.region_id;
+        {
+            let servers = servers.read();
+            for i in 0..20 {
+                servers[0]
+                    .put(
+                        region_id,
+                        &[Put::new(format!("row{i:02}")).add("cf", "q", "v")],
+                        None,
+                    )
+                    .unwrap();
+            }
+        }
+        master.split_region(&name, region_id).unwrap();
+        let regions = master.regions_of(&name).unwrap();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].info.end_key, regions[1].info.start_key);
+        // All rows remain reachable through the daughters.
+        let servers = servers.read();
+        let mut total = 0;
+        for loc in &regions {
+            let (rows, _) = servers[0]
+                .scan(loc.info.region_id, &Scan::new(), None)
+                .unwrap();
+            total += rows.len();
+        }
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn balance_evens_out_load() {
+        let (master, servers) = setup(2);
+        // All six regions land alternately; then force imbalance by moving
+        // everything to server 0 manually.
+        master
+            .create_table(descriptor("t", &["b", "c", "d", "e", "f"]))
+            .unwrap();
+        {
+            let servers = servers.read();
+            let move_ids = servers[1].region_ids();
+            for id in move_ids {
+                let r = servers[1].close_region(id).unwrap();
+                servers[0].open_region(r);
+            }
+            assert_eq!(servers[0].region_count(), 6);
+        }
+        let moves = master.balance().unwrap();
+        assert!(moves >= 2);
+        let counts: Vec<usize> = servers.read().iter().map(|s| s.region_count()).collect();
+        assert!(counts.iter().all(|&c| c == 3), "counts = {counts:?}");
+    }
+}

@@ -1,0 +1,182 @@
+//! The in-memory write buffer of a store (one per column family per region).
+//!
+//! Writes land here after the WAL append; once the tracked heap size crosses
+//! the flush threshold the region snapshots the memstore into an immutable
+//! [`crate::storefile::StoreFile`].
+
+use crate::types::{Cell, CellKey};
+use std::collections::BTreeMap;
+
+/// Sorted in-memory cell buffer with heap-size accounting.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    cells: BTreeMap<CellKey, bytes::Bytes>,
+    heap_size: usize,
+    min_ts: u64,
+    max_ts: u64,
+    has_tombstones: bool,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        MemStore {
+            cells: BTreeMap::new(),
+            heap_size: 0,
+            min_ts: u64::MAX,
+            max_ts: 0,
+            has_tombstones: false,
+        }
+    }
+
+    /// Insert a cell (put or tombstone). Re-inserting the exact same key
+    /// replaces the value, as the MVCC sequence makes keys unique in
+    /// practice.
+    pub fn insert(&mut self, cell: Cell) {
+        self.min_ts = self.min_ts.min(cell.key.timestamp);
+        self.max_ts = self.max_ts.max(cell.key.timestamp);
+        self.has_tombstones |= cell.key.cell_type != crate::types::CellType::Put;
+        let size = cell.heap_size();
+        let new_value_len = cell.value.len();
+        if let Some(old) = self.cells.insert(cell.key, cell.value) {
+            // Replacement: the key bytes were already counted, so only the
+            // value delta changes the footprint.
+            self.heap_size = self.heap_size.saturating_sub(old.len()) + new_value_len;
+        } else {
+            self.heap_size += size;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes; drives flush decisions.
+    pub fn heap_size(&self) -> usize {
+        self.heap_size
+    }
+
+    /// Timestamp span of buffered cells, `(min, max)`. Empty store returns
+    /// `(u64::MAX, 0)` which overlaps no time range.
+    pub fn time_span(&self) -> (u64, u64) {
+        (self.min_ts, self.max_ts)
+    }
+
+    /// Whether the buffer holds any delete markers (never prune it by time
+    /// range if so).
+    pub fn has_tombstones(&self) -> bool {
+        self.has_tombstones
+    }
+
+    /// Iterate cells in `CellKey` order within a row-key window.
+    /// `start`/`stop` follow the same half-open convention as scans:
+    /// `start` inclusive, `stop` exclusive, empty `stop` unbounded.
+    pub fn scan_range<'a>(
+        &'a self,
+        start: &'a [u8],
+        stop: &'a [u8],
+    ) -> impl Iterator<Item = Cell> + 'a {
+        self.cells
+            .iter()
+            .skip_while(move |(k, _)| k.row.as_ref() < start)
+            .take_while(move |(k, _)| stop.is_empty() || k.row.as_ref() < stop)
+            .map(|(k, v)| Cell {
+                key: k.clone(),
+                value: v.clone(),
+            })
+    }
+
+    /// Drain every cell in order, leaving the memstore empty. Used by flush.
+    pub fn drain_sorted(&mut self) -> Vec<Cell> {
+        let cells = std::mem::take(&mut self.cells);
+        self.heap_size = 0;
+        self.min_ts = u64::MAX;
+        self.max_ts = 0;
+        self.has_tombstones = false;
+        cells
+            .into_iter()
+            .map(|(key, value)| Cell { key, value })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CellType;
+    use bytes::Bytes;
+
+    fn cell(row: &str, ts: u64, seq: u64, val: &str) -> Cell {
+        Cell {
+            key: CellKey {
+                row: Bytes::copy_from_slice(row.as_bytes()),
+                family: Bytes::from_static(b"cf"),
+                qualifier: Bytes::from_static(b"q"),
+                timestamp: ts,
+                seq,
+                cell_type: CellType::Put,
+            },
+            value: Bytes::copy_from_slice(val.as_bytes()),
+        }
+    }
+
+    #[test]
+    fn insert_tracks_size_and_time_span() {
+        let mut ms = MemStore::new();
+        assert!(ms.is_empty());
+        ms.insert(cell("a", 10, 1, "v1"));
+        ms.insert(cell("b", 5, 2, "v2"));
+        assert_eq!(ms.len(), 2);
+        assert!(ms.heap_size() > 0);
+        assert_eq!(ms.time_span(), (5, 10));
+    }
+
+    #[test]
+    fn scan_range_is_half_open_and_sorted() {
+        let mut ms = MemStore::new();
+        for r in ["d", "a", "c", "b"] {
+            ms.insert(cell(r, 1, 1, r));
+        }
+        let got: Vec<_> = ms
+            .scan_range(b"b", b"d")
+            .map(|c| c.key.row.clone())
+            .collect();
+        assert_eq!(got, vec![Bytes::from_static(b"b"), Bytes::from_static(b"c")]);
+    }
+
+    #[test]
+    fn scan_range_unbounded_stop() {
+        let mut ms = MemStore::new();
+        for r in ["a", "b", "c"] {
+            ms.insert(cell(r, 1, 1, r));
+        }
+        assert_eq!(ms.scan_range(b"b", b"").count(), 2);
+        assert_eq!(ms.scan_range(b"", b"").count(), 3);
+    }
+
+    #[test]
+    fn newest_version_first_within_column() {
+        let mut ms = MemStore::new();
+        ms.insert(cell("a", 1, 1, "old"));
+        ms.insert(cell("a", 9, 2, "new"));
+        let got: Vec<_> = ms.scan_range(b"", b"").map(|c| c.value).collect();
+        assert_eq!(got[0].as_ref(), b"new");
+        assert_eq!(got[1].as_ref(), b"old");
+    }
+
+    #[test]
+    fn drain_sorted_empties_and_orders() {
+        let mut ms = MemStore::new();
+        ms.insert(cell("b", 1, 1, "x"));
+        ms.insert(cell("a", 1, 2, "y"));
+        let drained = ms.drain_sorted();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].key.row.as_ref(), b"a");
+        assert!(ms.is_empty());
+        assert_eq!(ms.heap_size(), 0);
+        assert_eq!(ms.time_span(), (u64::MAX, 0));
+    }
+}

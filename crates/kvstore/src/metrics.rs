@@ -1,0 +1,143 @@
+//! Cluster-wide counters. The paper's experiments are mostly expressed in
+//! these terms: RPC round-trips, cells scanned server-side vs. cells shipped
+//! to the client, and connection-creation churn (the motivation for SHC's
+//! connection cache).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe counters for one cluster.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    /// Client→server round trips (scans are one RPC per batch).
+    pub rpc_count: AtomicU64,
+    /// Heavy-weight connection objects created (ZooKeeper + meta lookups).
+    pub connections_created: AtomicU64,
+    /// Cells visited by region-server merges.
+    pub cells_scanned: AtomicU64,
+    /// Cells included in responses.
+    pub cells_returned: AtomicU64,
+    /// Response payload bytes shipped to clients.
+    pub bytes_returned: AtomicU64,
+    /// Mutation payload bytes received from clients.
+    pub bytes_written: AtomicU64,
+    /// Store files skipped via pruning (row range, time range, bloom).
+    pub files_pruned: AtomicU64,
+    /// Scans/Gets that executed with a pushed-down server-side filter.
+    pub filtered_scans: AtomicU64,
+}
+
+impl ClusterMetrics {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub fn add(&self, counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            rpc_count: self.rpc_count.load(Ordering::Relaxed),
+            connections_created: self.connections_created.load(Ordering::Relaxed),
+            cells_scanned: self.cells_scanned.load(Ordering::Relaxed),
+            cells_returned: self.cells_returned.load(Ordering::Relaxed),
+            bytes_returned: self.bytes_returned.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            files_pruned: self.files_pruned.load(Ordering::Relaxed),
+            filtered_scans: self.filtered_scans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between experiment runs).
+    pub fn reset(&self) {
+        self.rpc_count.store(0, Ordering::Relaxed);
+        self.connections_created.store(0, Ordering::Relaxed);
+        self.cells_scanned.store(0, Ordering::Relaxed);
+        self.cells_returned.store(0, Ordering::Relaxed);
+        self.bytes_returned.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.files_pruned.store(0, Ordering::Relaxed);
+        self.filtered_scans.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A frozen view of [`ClusterMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub rpc_count: u64,
+    pub connections_created: u64,
+    pub cells_scanned: u64,
+    pub cells_returned: u64,
+    pub bytes_returned: u64,
+    pub bytes_written: u64,
+    pub files_pruned: u64,
+    pub filtered_scans: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference against an earlier snapshot: the work done in between.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            rpc_count: self.rpc_count - earlier.rpc_count,
+            connections_created: self.connections_created - earlier.connections_created,
+            cells_scanned: self.cells_scanned - earlier.cells_scanned,
+            cells_returned: self.cells_returned - earlier.cells_returned,
+            bytes_returned: self.bytes_returned - earlier.bytes_returned,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            files_pruned: self.files_pruned - earlier.files_pruned,
+            filtered_scans: self.filtered_scans - earlier.filtered_scans,
+        }
+    }
+
+    /// Selectivity achieved by pushdown: fraction of scanned cells that were
+    /// actually shipped. Lower is better for SHC-style pruned scans.
+    pub fn shipping_ratio(&self) -> f64 {
+        if self.cells_scanned == 0 {
+            0.0
+        } else {
+            self.cells_returned as f64 / self.cells_scanned as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = ClusterMetrics::new();
+        m.add(&m.rpc_count, 3);
+        m.add(&m.cells_scanned, 100);
+        m.add(&m.cells_returned, 10);
+        let s = m.snapshot();
+        assert_eq!(s.rpc_count, 3);
+        assert_eq!(s.cells_scanned, 100);
+        assert!((s.shipping_ratio() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let m = ClusterMetrics::new();
+        m.add(&m.rpc_count, 5);
+        let before = m.snapshot();
+        m.add(&m.rpc_count, 7);
+        let delta = m.snapshot().delta_since(&before);
+        assert_eq!(delta.rpc_count, 7);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = ClusterMetrics::new();
+        m.add(&m.bytes_written, 42);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn shipping_ratio_handles_zero() {
+        assert_eq!(MetricsSnapshot::default().shipping_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Region servers host regions and execute reads and writes against them.
+//! Every public method is one "RPC": it validates security, bumps the
+//! cluster metrics, and dispatches to the region.
+
+use crate::error::{KvError, Result};
+use crate::metrics::ClusterMetrics;
+use crate::region::{Region, ScanStats};
+use crate::security::{AuthToken, TokenService};
+use crate::types::{Delete, Get, Put, RowResult, Scan};
+use crate::wal::Wal;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One region server ("node") in the simulated cluster.
+pub struct RegionServer {
+    pub server_id: u64,
+    pub hostname: String,
+    regions: RwLock<HashMap<u64, Arc<Region>>>,
+    wal: Arc<Wal>,
+    metrics: Arc<ClusterMetrics>,
+    security: Option<Arc<TokenService>>,
+}
+
+impl RegionServer {
+    pub fn new(
+        server_id: u64,
+        hostname: impl Into<String>,
+        metrics: Arc<ClusterMetrics>,
+        security: Option<Arc<TokenService>>,
+    ) -> Self {
+        RegionServer {
+            server_id,
+            hostname: hostname.into(),
+            regions: RwLock::new(HashMap::new()),
+            wal: Arc::new(Wal::new()),
+            metrics,
+            security,
+        }
+    }
+
+    pub fn wal(&self) -> Arc<Wal> {
+        Arc::clone(&self.wal)
+    }
+
+    /// Number of regions currently hosted (load-balancing input).
+    pub fn region_count(&self) -> usize {
+        self.regions.read().len()
+    }
+
+    pub fn region_ids(&self) -> Vec<u64> {
+        self.regions.read().keys().copied().collect()
+    }
+
+    pub fn open_region(&self, region: Arc<Region>) {
+        self.regions.write().insert(region.info.region_id, region);
+    }
+
+    pub fn close_region(&self, region_id: u64) -> Option<Arc<Region>> {
+        self.regions.write().remove(&region_id)
+    }
+
+    pub fn region(&self, region_id: u64) -> Result<Arc<Region>> {
+        self.regions
+            .read()
+            .get(&region_id)
+            .cloned()
+            .ok_or(KvError::RegionNotServing(region_id))
+    }
+
+    fn authorize(&self, token: Option<&AuthToken>) -> Result<()> {
+        match &self.security {
+            Some(service) => service.validate(token),
+            None => Ok(()),
+        }
+    }
+
+    fn count_rpc(&self) {
+        self.metrics
+            .add(&self.metrics.rpc_count, 1);
+    }
+
+    // ------------------------------------------------------------------
+    // RPC surface
+    // ------------------------------------------------------------------
+
+    /// Apply a batch of puts to one region in a single RPC.
+    pub fn put(
+        &self,
+        region_id: u64,
+        puts: &[Put],
+        token: Option<&AuthToken>,
+    ) -> Result<()> {
+        self.authorize(token)?;
+        self.count_rpc();
+        let region = self.region(region_id)?;
+        let mut bytes = 0u64;
+        for put in puts {
+            bytes += put.payload_bytes() as u64;
+            region.put(put)?;
+        }
+        self.metrics.add(&self.metrics.bytes_written, bytes);
+        Ok(())
+    }
+
+    pub fn delete(
+        &self,
+        region_id: u64,
+        deletes: &[Delete],
+        token: Option<&AuthToken>,
+    ) -> Result<()> {
+        self.authorize(token)?;
+        self.count_rpc();
+        let region = self.region(region_id)?;
+        for d in deletes {
+            region.delete(d)?;
+        }
+        Ok(())
+    }
+
+    /// Point read.
+    pub fn get(
+        &self,
+        region_id: u64,
+        get: &Get,
+        token: Option<&AuthToken>,
+    ) -> Result<RowResult> {
+        self.authorize(token)?;
+        self.count_rpc();
+        let region = self.region(region_id)?;
+        let (row, stats) = region.get(get)?;
+        self.record_scan_stats(&stats, get.filter.is_some());
+        Ok(row)
+    }
+
+    /// Batched point reads — HBase `BulkGet`. One RPC serves many rows.
+    pub fn bulk_get(
+        &self,
+        region_id: u64,
+        gets: &[Get],
+        token: Option<&AuthToken>,
+    ) -> Result<Vec<RowResult>> {
+        self.authorize(token)?;
+        self.count_rpc();
+        let region = self.region(region_id)?;
+        let mut out = Vec::with_capacity(gets.len());
+        let mut agg = ScanStats::default();
+        let mut filtered = false;
+        for get in gets {
+            let (row, stats) = region.get(get)?;
+            agg.merge(&stats);
+            filtered |= get.filter.is_some();
+            out.push(row);
+        }
+        self.record_scan_stats(&agg, filtered);
+        Ok(out)
+    }
+
+    /// Range scan over one region. Returns all qualifying rows plus the
+    /// server-side work statistics.
+    pub fn scan(
+        &self,
+        region_id: u64,
+        scan: &Scan,
+        token: Option<&AuthToken>,
+    ) -> Result<(Vec<RowResult>, ScanStats)> {
+        self.authorize(token)?;
+        self.count_rpc();
+        let region = self.region(region_id)?;
+        let (rows, stats) = region.scan(scan)?;
+        self.record_scan_stats(&stats, scan.filter.is_some());
+        Ok((rows, stats))
+    }
+
+    fn record_scan_stats(&self, stats: &ScanStats, filtered: bool) {
+        self.metrics
+            .add(&self.metrics.cells_scanned, stats.cells_scanned);
+        self.metrics
+            .add(&self.metrics.cells_returned, stats.cells_returned);
+        self.metrics
+            .add(&self.metrics.bytes_returned, stats.bytes_returned);
+        self.metrics
+            .add(&self.metrics.files_pruned, stats.files_pruned);
+        if filtered {
+            self.metrics.add(&self.metrics.filtered_scans, 1);
+        }
+    }
+
+    /// Flush every hosted region (administrative operation).
+    pub fn flush_all(&self) -> Result<()> {
+        for region in self.regions.read().values() {
+            region.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Simulate a crash: the WAL refuses appends and in-flight state is as
+    /// good as lost. Recovery is exercised at the region level.
+    pub fn crash(&self) {
+        self.wal.close();
+    }
+
+    pub fn restart(&self) {
+        self.wal.reopen();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::region::{RegionConfig, RegionInfo};
+    use crate::types::{FamilyDescriptor, TableDescriptor, TableName};
+    use bytes::Bytes;
+
+    fn server_with_region() -> (RegionServer, u64) {
+        let metrics = ClusterMetrics::new();
+        let server = RegionServer::new(1, "host-1", metrics, None);
+        let td = TableDescriptor::new(TableName::default_ns("t"))
+            .with_family(FamilyDescriptor::new("cf"));
+        let region = Region::new(
+            RegionInfo {
+                region_id: 10,
+                table: td.name.clone(),
+                start_key: Bytes::new(),
+                end_key: Bytes::new(),
+            },
+            td,
+            RegionConfig::default(),
+            server.wal(),
+            Clock::logical(0),
+        );
+        server.open_region(Arc::new(region));
+        (server, 10)
+    }
+
+    #[test]
+    fn put_get_scan_via_rpc() {
+        let (server, rid) = server_with_region();
+        server
+            .put(rid, &[Put::new("a").add("cf", "q", "v")], None)
+            .unwrap();
+        let row = server.get(rid, &Get::new("a"), None).unwrap();
+        assert_eq!(row.value(b"cf", b"q").unwrap().as_ref(), b"v");
+        let (rows, _) = server.scan(rid, &Scan::new(), None).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn bulk_get_is_one_rpc() {
+        let (server, rid) = server_with_region();
+        server
+            .put(
+                rid,
+                &[
+                    Put::new("a").add("cf", "q", "1"),
+                    Put::new("b").add("cf", "q", "2"),
+                ],
+                None,
+            )
+            .unwrap();
+        let metrics_before = {
+            let m = server.metrics.snapshot();
+            m.rpc_count
+        };
+        let rows = server
+            .bulk_get(rid, &[Get::new("a"), Get::new("b"), Get::new("c")], None)
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(!rows[0].is_empty());
+        assert!(rows[2].is_empty());
+        assert_eq!(server.metrics.snapshot().rpc_count, metrics_before + 1);
+    }
+
+    #[test]
+    fn unknown_region_errors() {
+        let (server, _) = server_with_region();
+        assert_eq!(
+            server.get(999, &Get::new("a"), None).unwrap_err(),
+            KvError::RegionNotServing(999)
+        );
+    }
+
+    #[test]
+    fn metrics_accumulate_scan_work() {
+        let (server, rid) = server_with_region();
+        for i in 0..5 {
+            server
+                .put(rid, &[Put::new(format!("r{i}")).add("cf", "q", "v")], None)
+                .unwrap();
+        }
+        server.scan(rid, &Scan::new(), None).unwrap();
+        let snap = server.metrics.snapshot();
+        assert!(snap.cells_scanned >= 5);
+        assert!(snap.bytes_returned > 0);
+        assert!(snap.bytes_written > 0);
+    }
+
+    #[test]
+    fn secure_server_requires_token() {
+        let metrics = ClusterMetrics::new();
+        let clock = Clock::logical(0);
+        let service = Arc::new(TokenService::new("c1", clock.clone(), 1_000_000));
+        service.register_principal("p", "k");
+        let server = RegionServer::new(1, "host-1", metrics, Some(Arc::clone(&service)));
+        let td = TableDescriptor::new(TableName::default_ns("t"))
+            .with_family(FamilyDescriptor::new("cf"));
+        let region = Region::new(
+            RegionInfo {
+                region_id: 1,
+                table: td.name.clone(),
+                start_key: Bytes::new(),
+                end_key: Bytes::new(),
+            },
+            td,
+            RegionConfig::default(),
+            server.wal(),
+            clock,
+        );
+        server.open_region(Arc::new(region));
+
+        assert!(matches!(
+            server.get(1, &Get::new("a"), None),
+            Err(KvError::AccessDenied(_))
+        ));
+        let token = service.obtain_token("p", "k").unwrap();
+        assert!(server.get(1, &Get::new("a"), Some(&token)).is_ok());
+    }
+
+    #[test]
+    fn crash_blocks_writes_until_restart() {
+        let (server, rid) = server_with_region();
+        server.crash();
+        assert!(server
+            .put(rid, &[Put::new("a").add("cf", "q", "v")], None)
+            .is_err());
+        server.restart();
+        assert!(server
+            .put(rid, &[Put::new("a").add("cf", "q", "v")], None)
+            .is_ok());
+    }
+
+    #[test]
+    fn open_close_region_lifecycle() {
+        let (server, rid) = server_with_region();
+        assert_eq!(server.region_count(), 1);
+        let region = server.close_region(rid).unwrap();
+        assert_eq!(server.region_count(), 0);
+        server.open_region(region);
+        assert_eq!(server.region_ids(), vec![rid]);
+    }
+}

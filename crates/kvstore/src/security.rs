@@ -1,0 +1,262 @@
+//! Simulated Kerberos / delegation-token security (paper §V.B.2).
+//!
+//! In secure mode every RPC must carry a valid token for the target cluster.
+//! Tokens are obtained from the cluster's [`TokenService`] by presenting a
+//! principal and keytab — standing in for the Kerberos handshake — and they
+//! expire, which is exactly the lifecycle SHC's credentials manager has to
+//! manage (fetch, cache, renew, propagate).
+
+use crate::clock::Clock;
+use crate::error::{KvError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A delegation token for one (cluster, principal) pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthToken {
+    pub token_id: u64,
+    pub cluster_id: String,
+    pub principal: String,
+    /// Millisecond timestamps on the cluster clock.
+    pub issued_at: u64,
+    pub expires_at: u64,
+}
+
+impl AuthToken {
+    pub fn is_expired(&self, now_ms: u64) -> bool {
+        now_ms >= self.expires_at
+    }
+
+    /// Remaining fraction of the token's lifetime, in `[0, 1]`.
+    pub fn remaining_fraction(&self, now_ms: u64) -> f64 {
+        let life = self.expires_at.saturating_sub(self.issued_at);
+        if life == 0 {
+            return 0.0;
+        }
+        let left = self.expires_at.saturating_sub(now_ms);
+        (left as f64 / life as f64).clamp(0.0, 1.0)
+    }
+
+    /// Wire form, exercising the serialization path SHC uses when shipping
+    /// tokens to executors.
+    pub fn serialize(&self) -> Vec<u8> {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.token_id, self.cluster_id, self.principal, self.issued_at, self.expires_at
+        )
+        .into_bytes()
+    }
+
+    pub fn deserialize(bytes: &[u8]) -> Option<AuthToken> {
+        let s = std::str::from_utf8(bytes).ok()?;
+        let mut parts = s.split('|');
+        Some(AuthToken {
+            token_id: parts.next()?.parse().ok()?,
+            cluster_id: parts.next()?.to_string(),
+            principal: parts.next()?.to_string(),
+            issued_at: parts.next()?.parse().ok()?,
+            expires_at: parts.next()?.parse().ok()?,
+        })
+    }
+}
+
+/// Registered credentials: which keytab authenticates which principal.
+#[derive(Debug, Default)]
+struct Principals {
+    /// principal → keytab
+    keytabs: HashMap<String, String>,
+}
+
+/// Per-cluster token authority.
+#[derive(Debug)]
+pub struct TokenService {
+    cluster_id: String,
+    clock: Clock,
+    /// Token lifetime in milliseconds.
+    token_lifetime_ms: u64,
+    principals: RwLock<Principals>,
+    issued: RwLock<HashMap<u64, AuthToken>>,
+    next_id: AtomicU64,
+    /// Count of issue operations, so tests can observe renewal traffic.
+    issue_count: AtomicU64,
+}
+
+impl TokenService {
+    pub fn new(cluster_id: impl Into<String>, clock: Clock, token_lifetime_ms: u64) -> Self {
+        TokenService {
+            cluster_id: cluster_id.into(),
+            clock,
+            token_lifetime_ms,
+            principals: RwLock::new(Principals::default()),
+            issued: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            issue_count: AtomicU64::new(0),
+        }
+    }
+
+    pub fn cluster_id(&self) -> &str {
+        &self.cluster_id
+    }
+
+    /// Register a principal/keytab pair (cluster administration).
+    pub fn register_principal(&self, principal: impl Into<String>, keytab: impl Into<String>) {
+        self.principals
+            .write()
+            .keytabs
+            .insert(principal.into(), keytab.into());
+    }
+
+    /// The Kerberos stand-in: authenticate with principal+keytab, receive a
+    /// delegation token.
+    pub fn obtain_token(&self, principal: &str, keytab: &str) -> Result<AuthToken> {
+        let ok = self
+            .principals
+            .read()
+            .keytabs
+            .get(principal)
+            .is_some_and(|k| k == keytab);
+        if !ok {
+            return Err(KvError::AccessDenied(format!(
+                "authentication failed for principal {principal}"
+            )));
+        }
+        let now = self.clock.now_ms();
+        let token = AuthToken {
+            token_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            cluster_id: self.cluster_id.clone(),
+            principal: principal.to_string(),
+            issued_at: now,
+            expires_at: now + self.token_lifetime_ms,
+        };
+        self.issued.write().insert(token.token_id, token.clone());
+        self.issue_count.fetch_add(1, Ordering::Relaxed);
+        Ok(token)
+    }
+
+    /// Server-side check performed on every RPC in secure mode.
+    pub fn validate(&self, token: Option<&AuthToken>) -> Result<()> {
+        let token = token.ok_or_else(|| {
+            KvError::AccessDenied("secure cluster requires a token".to_string())
+        })?;
+        if token.cluster_id != self.cluster_id {
+            return Err(KvError::AccessDenied(format!(
+                "token for cluster {} presented to {}",
+                token.cluster_id, self.cluster_id
+            )));
+        }
+        let known = self.issued.read().contains_key(&token.token_id);
+        if !known {
+            return Err(KvError::AccessDenied("unknown token".to_string()));
+        }
+        if token.is_expired(self.clock.peek_ms()) {
+            return Err(KvError::AccessDenied("token expired".to_string()));
+        }
+        Ok(())
+    }
+
+    /// Renew a token, extending its lifetime (HBase token renewal).
+    pub fn renew(&self, token: &AuthToken) -> Result<AuthToken> {
+        self.validate(Some(token))?;
+        let now = self.clock.now_ms();
+        let renewed = AuthToken {
+            issued_at: now,
+            expires_at: now + self.token_lifetime_ms,
+            ..token.clone()
+        };
+        self.issued
+            .write()
+            .insert(renewed.token_id, renewed.clone());
+        self.issue_count.fetch_add(1, Ordering::Relaxed);
+        Ok(renewed)
+    }
+
+    pub fn issue_count(&self) -> u64 {
+        self.issue_count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> TokenService {
+        let s = TokenService::new("clusterA", Clock::logical(1_000), 10_000);
+        s.register_principal("ambari-qa@EXAMPLE.COM", "smokeuser.headless.keytab");
+        s
+    }
+
+    #[test]
+    fn obtain_requires_matching_keytab() {
+        let s = service();
+        assert!(s
+            .obtain_token("ambari-qa@EXAMPLE.COM", "smokeuser.headless.keytab")
+            .is_ok());
+        assert!(matches!(
+            s.obtain_token("ambari-qa@EXAMPLE.COM", "wrong.keytab"),
+            Err(KvError::AccessDenied(_))
+        ));
+        assert!(s.obtain_token("nobody@EXAMPLE.COM", "x").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_fresh_rejects_foreign() {
+        let s = service();
+        let t = s
+            .obtain_token("ambari-qa@EXAMPLE.COM", "smokeuser.headless.keytab")
+            .unwrap();
+        assert!(s.validate(Some(&t)).is_ok());
+        assert!(s.validate(None).is_err());
+        let mut foreign = t.clone();
+        foreign.cluster_id = "clusterB".into();
+        assert!(s.validate(Some(&foreign)).is_err());
+    }
+
+    #[test]
+    fn expired_tokens_are_rejected_and_renewable_before_expiry() {
+        let clock = Clock::logical(0);
+        let s = TokenService::new("c", clock.clone(), 50);
+        s.register_principal("p", "k");
+        let t = s.obtain_token("p", "k").unwrap();
+        // Advance the logical clock past expiry.
+        for _ in 0..60 {
+            clock.now_ms();
+        }
+        assert!(s.validate(Some(&t)).is_err());
+
+        let t2 = s.obtain_token("p", "k").unwrap();
+        let renewed = s.renew(&t2).unwrap();
+        assert!(renewed.expires_at > t2.expires_at || renewed.expires_at >= t2.expires_at);
+        assert!(s.validate(Some(&renewed)).is_ok());
+    }
+
+    #[test]
+    fn remaining_fraction_decreases() {
+        let t = AuthToken {
+            token_id: 1,
+            cluster_id: "c".into(),
+            principal: "p".into(),
+            issued_at: 0,
+            expires_at: 100,
+        };
+        assert!((t.remaining_fraction(0) - 1.0).abs() < 1e-9);
+        assert!((t.remaining_fraction(50) - 0.5).abs() < 1e-9);
+        assert_eq!(t.remaining_fraction(100), 0.0);
+        assert!(t.is_expired(100));
+        assert!(!t.is_expired(99));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let t = AuthToken {
+            token_id: 42,
+            cluster_id: "clusterA".into(),
+            principal: "user@REALM".into(),
+            issued_at: 10,
+            expires_at: 20,
+        };
+        let rt = AuthToken::deserialize(&t.serialize()).unwrap();
+        assert_eq!(rt, t);
+        assert!(AuthToken::deserialize(b"garbage").is_none());
+    }
+}

@@ -1,0 +1,347 @@
+//! Immutable sorted store files — the HFile analog.
+//!
+//! A store file is a sorted run of cells produced by a memstore flush or a
+//! compaction. It carries the structures real HFiles use for read pruning:
+//! a sparse block index for seeks, a row-key bloom filter for point gets, a
+//! timestamp span for time-range pruning, and first/last keys for range
+//! pruning.
+
+use crate::types::{Cell, TimeRange};
+use bytes::Bytes;
+use std::hash::{Hash, Hasher};
+
+/// Number of cells per index block. Sparse enough to keep the index tiny,
+/// dense enough that a seek scans at most one block linearly.
+const BLOCK_SIZE: usize = 64;
+
+/// A simple split-hash bloom filter over row keys.
+///
+/// Sized at ~10 bits per key for a ≈1% false-positive rate with 4 probes,
+/// which is plenty for steering point gets away from files that cannot
+/// contain the row.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: usize,
+    n_hashes: u32,
+}
+
+impl BloomFilter {
+    pub fn with_capacity(expected_keys: usize) -> Self {
+        let n_bits = (expected_keys.max(1) * 10).next_power_of_two();
+        BloomFilter {
+            bits: vec![0u64; n_bits / 64 + 1],
+            n_bits,
+            n_hashes: 4,
+        }
+    }
+
+    fn hash_pair(key: &[u8]) -> (u64, u64) {
+        // Two independent hashes via differently-seeded SipHash instances.
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h1);
+        let a = h1.finish();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        0xdead_beef_u64.hash(&mut h2);
+        key.hash(&mut h2);
+        let b = h2.finish();
+        (a, b | 1) // force b odd so probe strides cover the table
+    }
+
+    pub fn insert(&mut self, key: &[u8]) {
+        let (a, b) = Self::hash_pair(key);
+        for i in 0..self.n_hashes as u64 {
+            let bit = (a.wrapping_add(i.wrapping_mul(b)) % self.n_bits as u64) as usize;
+            self.bits[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// May return false positives, never false negatives.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (a, b) = Self::hash_pair(key);
+        (0..self.n_hashes as u64).all(|i| {
+            let bit = (a.wrapping_add(i.wrapping_mul(b)) % self.n_bits as u64) as usize;
+            self.bits[bit / 64] & (1 << (bit % 64)) != 0
+        })
+    }
+}
+
+/// An immutable sorted run of cells with read-pruning metadata.
+#[derive(Debug)]
+pub struct StoreFile {
+    /// Cells in `CellKey` order.
+    cells: Vec<Cell>,
+    /// Sparse index: the first `CellKey` of every block and its offset.
+    block_index: Vec<(Bytes, usize)>,
+    bloom: BloomFilter,
+    /// Smallest and largest cell timestamps in the file.
+    pub min_ts: u64,
+    pub max_ts: u64,
+    /// Whether the file holds any delete markers. Files with tombstones are
+    /// never pruned by time range: a marker must mask matching puts in
+    /// *other* files regardless of the scan's time window.
+    pub has_tombstones: bool,
+    /// Largest MVCC sequence id in the file (flush ordering).
+    pub max_seq: u64,
+    /// First and last row keys, for range pruning.
+    pub first_row: Option<Bytes>,
+    pub last_row: Option<Bytes>,
+}
+
+impl StoreFile {
+    /// Build a store file from cells that are already in `CellKey` order
+    /// (a memstore drain or a compaction merge).
+    pub fn from_sorted(cells: Vec<Cell>) -> Self {
+        debug_assert!(
+            cells.windows(2).all(|w| w[0].key <= w[1].key),
+            "store file input must be sorted"
+        );
+        let mut bloom = BloomFilter::with_capacity(cells.len());
+        let mut block_index = Vec::with_capacity(cells.len() / BLOCK_SIZE + 1);
+        let mut min_ts = u64::MAX;
+        let mut max_ts = 0u64;
+        let mut max_seq = 0u64;
+        let mut has_tombstones = false;
+        let mut last_bloom_row: Option<&Bytes> = None;
+        for (i, cell) in cells.iter().enumerate() {
+            if i % BLOCK_SIZE == 0 {
+                block_index.push((cell.key.row.clone(), i));
+            }
+            // Avoid rehashing identical consecutive rows.
+            if last_bloom_row != Some(&cell.key.row) {
+                bloom.insert(&cell.key.row);
+                last_bloom_row = Some(&cell.key.row);
+            }
+            min_ts = min_ts.min(cell.key.timestamp);
+            max_ts = max_ts.max(cell.key.timestamp);
+            max_seq = max_seq.max(cell.key.seq);
+            has_tombstones |= cell.key.cell_type != crate::types::CellType::Put;
+        }
+        let first_row = cells.first().map(|c| c.key.row.clone());
+        let last_row = cells.last().map(|c| c.key.row.clone());
+        // NOTE: `last_bloom_row` borrows `cells`; drop it before moving.
+        let _ = last_bloom_row;
+        StoreFile {
+            cells,
+            block_index,
+            bloom,
+            min_ts,
+            max_ts,
+            has_tombstones,
+            max_seq,
+            first_row,
+            last_row,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total payload bytes, for compaction-selection heuristics.
+    pub fn byte_size(&self) -> usize {
+        self.cells.iter().map(Cell::heap_size).sum()
+    }
+
+    /// Can this file contain any row in `[start, stop)`? Empty `stop` is
+    /// unbounded.
+    pub fn overlaps_row_range(&self, start: &[u8], stop: &[u8]) -> bool {
+        match (&self.first_row, &self.last_row) {
+            (Some(first), Some(last)) => {
+                last.as_ref() >= start && (stop.is_empty() || first.as_ref() < stop)
+            }
+            _ => false,
+        }
+    }
+
+    /// Can this file affect a scan with the given time range? Files whose
+    /// cells all fall outside the window are skippable — unless they carry
+    /// delete markers, which must stay visible to mask cells elsewhere.
+    pub fn overlaps_time_range(&self, tr: &TimeRange) -> bool {
+        !self.is_empty() && (self.has_tombstones || tr.overlaps(self.min_ts, self.max_ts))
+    }
+
+    /// Bloom-checked point-row membership hint.
+    pub fn may_contain_row(&self, row: &[u8]) -> bool {
+        self.bloom.may_contain(row)
+    }
+
+    /// Clone the cell at a position; positions come from [`seek_index`].
+    /// Panics on out-of-range, like slice indexing.
+    ///
+    /// [`seek_index`]: StoreFile::seek_index
+    pub fn cells_at(&self, index: usize) -> Cell {
+        self.cells[index].clone()
+    }
+
+    /// Index of the first cell whose row is `>= start` (public form of the
+    /// internal seek, used by region merges that need owned iteration).
+    pub fn seek_index(&self, start: &[u8]) -> usize {
+        self.seek(start)
+    }
+
+    /// Index of the first cell whose row is `>= start`, found via the block
+    /// index then a linear scan of one block.
+    fn seek(&self, start: &[u8]) -> usize {
+        if start.is_empty() {
+            return 0;
+        }
+        // Find the last block whose first row is <= start.
+        let block = match self
+            .block_index
+            .binary_search_by(|(row, _)| row.as_ref().cmp(start))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let mut pos = self.block_index.get(block).map_or(0, |(_, off)| *off);
+        while pos < self.cells.len() && self.cells[pos].key.row.as_ref() < start {
+            pos += 1;
+        }
+        pos
+    }
+
+    /// Iterate cells whose rows fall in `[start, stop)` in `CellKey` order.
+    pub fn scan_range<'a>(
+        &'a self,
+        start: &'a [u8],
+        stop: &'a [u8],
+    ) -> impl Iterator<Item = &'a Cell> + 'a {
+        let begin = self.seek(start);
+        self.cells[begin..]
+            .iter()
+            .take_while(move |c| stop.is_empty() || c.key.row.as_ref() < stop)
+    }
+
+    /// All cells of a single row (used by gets after a bloom hit).
+    pub fn row_cells<'a>(&'a self, row: &'a [u8]) -> impl Iterator<Item = &'a Cell> + 'a {
+        let begin = self.seek(row);
+        self.cells[begin..]
+            .iter()
+            .take_while(move |c| c.key.row.as_ref() == row)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{CellKey, CellType};
+
+    fn cell(row: &str, ts: u64, seq: u64) -> Cell {
+        Cell {
+            key: CellKey {
+                row: Bytes::copy_from_slice(row.as_bytes()),
+                family: Bytes::from_static(b"cf"),
+                qualifier: Bytes::from_static(b"q"),
+                timestamp: ts,
+                seq,
+                cell_type: CellType::Put,
+            },
+            value: Bytes::from_static(b"v"),
+        }
+    }
+
+    fn file_with_rows(rows: &[&str]) -> StoreFile {
+        let mut cells: Vec<Cell> = rows.iter().map(|r| cell(r, 1, 1)).collect();
+        cells.sort_by(|a, b| a.key.cmp(&b.key));
+        StoreFile::from_sorted(cells)
+    }
+
+    #[test]
+    fn bloom_no_false_negatives() {
+        let mut b = BloomFilter::with_capacity(100);
+        for i in 0..100 {
+            b.insert(format!("row-{i}").as_bytes());
+        }
+        for i in 0..100 {
+            assert!(b.may_contain(format!("row-{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn bloom_mostly_rejects_absent_keys() {
+        let mut b = BloomFilter::with_capacity(1000);
+        for i in 0..1000 {
+            b.insert(format!("row-{i}").as_bytes());
+        }
+        let false_positives = (0..1000)
+            .filter(|i| b.may_contain(format!("absent-{i}").as_bytes()))
+            .count();
+        // ~1% expected; allow generous slack.
+        assert!(false_positives < 60, "too many false positives: {false_positives}");
+    }
+
+    #[test]
+    fn seek_finds_first_matching_row() {
+        let rows: Vec<String> = (0..500).map(|i| format!("row-{i:05}")).collect();
+        let f = file_with_rows(&rows.iter().map(String::as_str).collect::<Vec<_>>());
+        let got: Vec<_> = f
+            .scan_range(b"row-00100", b"row-00103")
+            .map(|c| c.key.row.clone())
+            .collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].as_ref(), b"row-00100");
+        assert_eq!(got[2].as_ref(), b"row-00102");
+    }
+
+    #[test]
+    fn scan_range_unbounded() {
+        let f = file_with_rows(&["a", "b", "c"]);
+        assert_eq!(f.scan_range(b"", b"").count(), 3);
+        assert_eq!(f.scan_range(b"b", b"").count(), 2);
+    }
+
+    #[test]
+    fn overlaps_row_range_uses_first_last() {
+        let f = file_with_rows(&["f", "g", "h"]);
+        assert!(f.overlaps_row_range(b"a", b"g"));
+        assert!(f.overlaps_row_range(b"h", b""));
+        assert!(!f.overlaps_row_range(b"i", b"z"));
+        assert!(!f.overlaps_row_range(b"a", b"f")); // stop exclusive
+    }
+
+    #[test]
+    fn overlaps_time_range_prunes() {
+        let cells = vec![cell("a", 10, 1), cell("b", 20, 2)];
+        let f = StoreFile::from_sorted(cells);
+        assert!(f.overlaps_time_range(&TimeRange::new(15, 25)));
+        assert!(!f.overlaps_time_range(&TimeRange::new(21, 30)));
+        assert!(!f.overlaps_time_range(&TimeRange::new(0, 10)));
+    }
+
+    #[test]
+    fn row_cells_returns_only_that_row() {
+        let mut cells = vec![cell("a", 2, 2), cell("a", 1, 1), cell("b", 1, 3)];
+        cells.sort_by(|x, y| x.key.cmp(&y.key));
+        let f = StoreFile::from_sorted(cells);
+        assert_eq!(f.row_cells(b"a").count(), 2);
+        assert_eq!(f.row_cells(b"b").count(), 1);
+        assert_eq!(f.row_cells(b"c").count(), 0);
+    }
+
+    #[test]
+    fn metadata_tracks_seq_and_ts() {
+        let mut cells = vec![cell("a", 5, 9), cell("b", 50, 3)];
+        cells.sort_by(|x, y| x.key.cmp(&y.key));
+        let f = StoreFile::from_sorted(cells);
+        assert_eq!(f.min_ts, 5);
+        assert_eq!(f.max_ts, 50);
+        assert_eq!(f.max_seq, 9);
+        assert_eq!(f.first_row.as_ref().unwrap().as_ref(), b"a");
+        assert_eq!(f.last_row.as_ref().unwrap().as_ref(), b"b");
+    }
+
+    #[test]
+    fn empty_file_is_harmless() {
+        let f = StoreFile::from_sorted(vec![]);
+        assert!(f.is_empty());
+        assert!(!f.overlaps_row_range(b"", b""));
+        assert!(!f.overlaps_time_range(&TimeRange::default()));
+    }
+}

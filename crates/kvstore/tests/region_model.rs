@@ -1,0 +1,265 @@
+//! Model-based property test for the region read path.
+//!
+//! Random sequences of puts, deletes and flushes run against a real region
+//! and against a trivial in-memory model that re-implements HBase's read
+//! semantics directly (timestamp-descending versions, delete markers
+//! masking earlier-timestamped puts regardless of write order, version
+//! caps = min(requested, family max), half-open time ranges). Scans under
+//! random time windows and version limits must agree — before and after a
+//! major compaction.
+
+use proptest::prelude::*;
+use shc_kvstore::clock::Clock;
+use shc_kvstore::region::{Region, RegionConfig, RegionInfo};
+use shc_kvstore::types::{
+    Delete, DeleteScope, FamilyDescriptor, Put, Scan, TableDescriptor, TableName, TimeRange,
+};
+use shc_kvstore::wal::Wal;
+use std::sync::Arc;
+
+const FAMILY_MAX_VERSIONS: u32 = 3;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// (row, qualifier, timestamp, value)
+    Put(u8, u8, u64, u8),
+    /// (row, qualifier, timestamp) — delete-column marker
+    DeleteColumn(u8, u8, u64),
+    /// (row, timestamp) — delete-family marker
+    DeleteFamily(u8, u64),
+    Flush,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u8..4, 0u8..3, 1u64..12, any::<u8>())
+            .prop_map(|(r, q, t, v)| Op::Put(r, q, t, v)),
+        2 => (0u8..4, 0u8..3, 1u64..12).prop_map(|(r, q, t)| Op::DeleteColumn(r, q, t)),
+        1 => (0u8..4, 1u64..12).prop_map(|(r, t)| Op::DeleteFamily(r, t)),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn row_key(r: u8) -> Vec<u8> {
+    format!("row{r}").into_bytes()
+}
+
+fn qual(q: u8) -> Vec<u8> {
+    format!("q{q}").into_bytes()
+}
+
+// ----------------------------------------------------------------------
+// Reference model
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct ModelCell {
+    ts: u64,
+    seq: u64,
+    value: u8,
+}
+
+#[derive(Default, Clone)]
+struct Model {
+    /// (row, qual) → puts in write order.
+    puts: std::collections::BTreeMap<(u8, u8), Vec<ModelCell>>,
+    /// (row, qual) → delete-column markers (ts, seq).
+    col_dels: std::collections::BTreeMap<(u8, u8), Vec<(u64, u64)>>,
+    /// row → delete-family markers (ts, seq).
+    fam_dels: std::collections::BTreeMap<u8, Vec<(u64, u64)>>,
+}
+
+impl Model {
+    fn apply(&mut self, op: &Op, seq: u64) {
+        match *op {
+            Op::Put(r, q, ts, value) => {
+                self.puts
+                    .entry((r, q))
+                    .or_default()
+                    .push(ModelCell { ts, seq, value });
+            }
+            Op::DeleteColumn(r, q, ts) => {
+                self.col_dels.entry((r, q)).or_default().push((ts, seq));
+            }
+            Op::DeleteFamily(r, ts) => {
+                self.fam_dels.entry(r).or_default().push((ts, seq));
+            }
+            Op::Flush => {}
+        }
+    }
+
+    /// A put is masked by any marker whose timestamp is at or above the
+    /// put's — by timestamp only, independent of write order. This is
+    /// HBase's documented quirk: "deletes mask puts, even puts that
+    /// happened after the delete was entered", until a major compaction
+    /// removes the marker.
+    fn masked(cell: &ModelCell, markers: &[(u64, u64)]) -> bool {
+        markers.iter().any(|&(mts, _)| mts >= cell.ts)
+    }
+
+    /// Visible versions of one column under (time range, max_versions).
+    ///
+    /// `retained` models major compaction's physical version trimming:
+    /// after compaction only the newest `FAMILY_MAX_VERSIONS` live versions
+    /// of a column exist at all, so a time-window read can no longer see
+    /// older in-window versions — real HBase behaviour.
+    fn column_versions(
+        &self,
+        r: u8,
+        q: u8,
+        tr: TimeRange,
+        k: u32,
+        retained: bool,
+    ) -> Vec<u8> {
+        let empty = Vec::new();
+        let puts = self.puts.get(&(r, q)).unwrap_or(&empty);
+        let no_markers = Vec::new();
+        let col_markers = self.col_dels.get(&(r, q)).unwrap_or(&no_markers);
+        let fam_markers = self.fam_dels.get(&r).unwrap_or(&no_markers);
+        let mut live: Vec<&ModelCell> = puts
+            .iter()
+            .filter(|c| !Self::masked(c, col_markers) && !Self::masked(c, fam_markers))
+            .collect();
+        // Newest first; ties broken by later write.
+        live.sort_by(|a, b| b.ts.cmp(&a.ts).then(b.seq.cmp(&a.seq)));
+        if retained {
+            live.truncate(FAMILY_MAX_VERSIONS as usize);
+        }
+        live.into_iter()
+            .filter(|c| tr.contains(c.ts))
+            .take(k.min(FAMILY_MAX_VERSIONS) as usize)
+            .map(|c| c.value)
+            .collect()
+    }
+
+    /// Full scan result: row → column → visible values (newest first).
+    fn scan(&self, tr: TimeRange, k: u32, retained: bool) -> Vec<(u8, u8, Vec<u8>)> {
+        let mut out = Vec::new();
+        for r in 0u8..4 {
+            for q in 0u8..3 {
+                let versions = self.column_versions(r, q, tr, k, retained);
+                if !versions.is_empty() {
+                    out.push((r, q, versions));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// The harness
+// ----------------------------------------------------------------------
+
+fn fresh_region() -> Region {
+    let descriptor = TableDescriptor::new(TableName::default_ns("model"))
+        .with_family(FamilyDescriptor::new("cf").with_max_versions(FAMILY_MAX_VERSIONS));
+    Region::new(
+        RegionInfo {
+            region_id: 1,
+            table: descriptor.name.clone(),
+            start_key: bytes::Bytes::new(),
+            end_key: bytes::Bytes::new(),
+        },
+        descriptor,
+        RegionConfig {
+            memstore_flush_size: usize::MAX, // flush only when the op says so
+            compact_at_file_count: usize::MAX,
+        },
+        Arc::new(Wal::new()),
+        Clock::logical(1),
+    )
+}
+
+fn region_scan(region: &Region, tr: TimeRange, k: u32) -> Vec<(u8, u8, Vec<u8>)> {
+    let scan = Scan::new().with_time_range(tr).with_max_versions(k);
+    let (rows, _) = region.scan(&scan).unwrap();
+    let mut out = Vec::new();
+    for row in rows {
+        for r in 0u8..4 {
+            if row.row.as_ref() != row_key(r).as_slice() {
+                continue;
+            }
+            for q in 0u8..3 {
+                let versions: Vec<u8> = row
+                    .versions(b"cf", &qual(q))
+                    .iter()
+                    .map(|c| c.value[0])
+                    .collect();
+                if !versions.is_empty() {
+                    out.push((r, q, versions));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn region_reads_match_reference_model(
+        ops in prop::collection::vec(arb_op(), 1..60),
+        tr_lo in 0u64..10,
+        tr_span in 1u64..14,
+        k in 1u32..5,
+    ) {
+        let region = fresh_region();
+        let mut model = Model::default();
+        let mut seq = 0u64; // mirrors the WAL sequence (one per mutation)
+        for op in &ops {
+            match *op {
+                Op::Put(r, q, ts, v) => {
+                    region
+                        .put(&Put::new(row_key(r)).add_at("cf", qual(q), ts, vec![v]))
+                        .unwrap();
+                }
+                Op::DeleteColumn(r, q, ts) => {
+                    region
+                        .delete(&Delete {
+                            row: bytes::Bytes::from(row_key(r)),
+                            scope: DeleteScope::Column {
+                                family: bytes::Bytes::from_static(b"cf"),
+                                qualifier: bytes::Bytes::from(qual(q)),
+                            },
+                            timestamp: Some(ts),
+                        })
+                        .unwrap();
+                }
+                Op::DeleteFamily(r, ts) => {
+                    region
+                        .delete(&Delete {
+                            row: bytes::Bytes::from(row_key(r)),
+                            scope: DeleteScope::Family(bytes::Bytes::from_static(b"cf")),
+                            timestamp: Some(ts),
+                        })
+                        .unwrap();
+                }
+                Op::Flush => region.flush().unwrap(),
+            }
+            if !matches!(op, Op::Flush) {
+                seq += 1;
+            }
+            model.apply(op, seq);
+        }
+
+        let tr = TimeRange::new(tr_lo, tr_lo + tr_span);
+        prop_assert_eq!(
+            region_scan(&region, tr, k),
+            model.scan(tr, k, false),
+            "pre-compaction"
+        );
+
+        // After major compaction only the newest FAMILY_MAX_VERSIONS live
+        // versions remain physically — the model applies the same
+        // retention.
+        region.flush().unwrap();
+        region.compact().unwrap();
+        prop_assert_eq!(
+            region_scan(&region, tr, k),
+            model.scan(tr, k, true),
+            "post-compaction"
+        );
+    }
+}
+

@@ -1,0 +1,279 @@
+//! Deterministic data generation, scaled by a nominal "gigabytes" figure
+//! so the benchmark sweeps read like the paper's x-axes (5–30 GB).
+//!
+//! The simulation runs in one process, so the absolute row counts are
+//! scaled down by a fixed factor; the *relative* growth across the sweep
+//! is preserved, which is what shapes the curves.
+
+use crate::tables::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shc_engine::row::Row;
+use shc_engine::value::Value;
+
+/// Scale parameters derived from a nominal dataset size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scale {
+    pub nominal_gb: f64,
+    pub warehouses: usize,
+    pub items: usize,
+    pub days: usize,
+    pub customers: usize,
+    pub inventory_rows: usize,
+    pub store_sales_rows: usize,
+}
+
+impl Scale {
+    /// The paper's sweep maps 1 nominal GB to ~1 200 inventory rows here.
+    pub fn from_gb(nominal_gb: f64) -> Scale {
+        let gb = nominal_gb.max(0.1);
+        Scale {
+            nominal_gb: gb,
+            warehouses: 4 + (gb / 5.0).round() as usize,
+            items: 40 + (gb * 8.0) as usize,
+            days: 120, // four months of 30 days
+            customers: 30 + (gb * 20.0) as usize,
+            inventory_rows: (gb * 1200.0) as usize,
+            store_sales_rows: (gb * 600.0) as usize,
+        }
+    }
+
+    /// A tiny scale for unit tests.
+    pub fn tiny() -> Scale {
+        Scale::from_gb(0.5)
+    }
+}
+
+/// Seeded generator for the whole workload.
+pub struct Generator {
+    scale: Scale,
+    seed: u64,
+}
+
+impl Generator {
+    pub fn new(scale: Scale, seed: u64) -> Generator {
+        Generator { scale, seed }
+    }
+
+    fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Generate every row of a table.
+    pub fn rows(&self, table: Table) -> Vec<Row> {
+        match table {
+            Table::DateDim => self.date_dim(),
+            Table::Item => self.item(),
+            Table::Warehouse => self.warehouse(),
+            Table::Inventory => self.inventory(),
+            Table::StoreSales => self.store_sales(),
+            Table::Customer => self.customer(),
+        }
+    }
+
+    /// `date_dim`: `days` consecutive days starting 2001-01-01, twelve
+    /// 30-day "months".
+    fn date_dim(&self) -> Vec<Row> {
+        (0..self.scale.days)
+            .map(|d| {
+                let year = 2001 + (d / 360) as i32;
+                let moy = ((d / 30) % 12) as i32 + 1;
+                let dom = (d % 30) as i32 + 1;
+                Row::new(vec![
+                    Value::Int64(d as i64 + 1),
+                    Value::Utf8(format!("{year}-{moy:02}-{dom:02}")),
+                    Value::Int32(year),
+                    Value::Int32(moy),
+                    Value::Int32(dom),
+                ])
+            })
+            .collect()
+    }
+
+    fn item(&self) -> Vec<Row> {
+        let mut rng = self.rng(1);
+        let categories = ["Books", "Home", "Electronics", "Sports", "Music"];
+        (0..self.scale.items)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int64(i as i64 + 1),
+                    Value::Utf8(format!("ITEM{:08}", i + 1)),
+                    Value::Utf8(format!("description of item {}", i + 1)),
+                    Value::Utf8(categories[rng.gen_range(0..categories.len())].to_string()),
+                    Value::Float64((rng.gen_range(100..99900) as f64) / 100.0),
+                ])
+            })
+            .collect()
+    }
+
+    fn warehouse(&self) -> Vec<Row> {
+        let mut rng = self.rng(2);
+        (0..self.scale.warehouses)
+            .map(|w| {
+                Row::new(vec![
+                    Value::Int64(w as i64 + 1),
+                    Value::Utf8(format!("WH{:04}", w + 1)),
+                    Value::Utf8(format!("Warehouse number {}", w + 1)),
+                    Value::Int32(rng.gen_range(50_000..900_000)),
+                ])
+            })
+            .collect()
+    }
+
+    /// `inventory`: one quantity snapshot per (date, item, warehouse)
+    /// sample. Keys are unique; quantities are heavy-tailed so q39's
+    /// coefficient-of-variation predicate selects a non-trivial subset.
+    fn inventory(&self) -> Vec<Row> {
+        let mut rng = self.rng(3);
+        let mut rows = Vec::with_capacity(self.scale.inventory_rows);
+        let mut seen = std::collections::HashSet::with_capacity(self.scale.inventory_rows);
+        while rows.len() < self.scale.inventory_rows {
+            let date = rng.gen_range(1..=self.scale.days as i64);
+            let item = rng.gen_range(1..=self.scale.items as i64);
+            let wh = rng.gen_range(1..=self.scale.warehouses as i64);
+            if !seen.insert((date, item, wh)) {
+                continue;
+            }
+            // Mixture: mostly stable stock, occasionally wild swings.
+            let qty = if rng.gen_bool(0.15) {
+                rng.gen_range(0..2000)
+            } else {
+                rng.gen_range(180..220)
+            };
+            rows.push(Row::new(vec![
+                Value::Int64(date),
+                Value::Int64(item),
+                Value::Int64(wh),
+                Value::Int32(qty),
+            ]));
+        }
+        rows
+    }
+
+    fn store_sales(&self) -> Vec<Row> {
+        let mut rng = self.rng(4);
+        let mut seen = std::collections::HashSet::new();
+        let mut rows = Vec::with_capacity(self.scale.store_sales_rows);
+        while rows.len() < self.scale.store_sales_rows {
+            let date = rng.gen_range(1..=self.scale.days as i64);
+            let item = rng.gen_range(1..=self.scale.items as i64);
+            let customer = rng.gen_range(1..=self.scale.customers as i64);
+            if !seen.insert((date, item, customer)) {
+                continue;
+            }
+            rows.push(Row::new(vec![
+                Value::Int64(date),
+                Value::Int64(item),
+                Value::Int64(customer),
+                Value::Int32(rng.gen_range(1..10)),
+                Value::Float64((rng.gen_range(99..9999) as f64) / 100.0),
+            ]));
+        }
+        rows
+    }
+
+    fn customer(&self) -> Vec<Row> {
+        let first = ["Ada", "Bela", "Chad", "Dana", "Ed", "Fay", "Gus", "Hana"];
+        let last = ["Smith", "Jones", "Lee", "Khan", "Cruz", "Wang", "Okafor"];
+        let mut rng = self.rng(5);
+        (0..self.scale.customers)
+            .map(|c| {
+                Row::new(vec![
+                    Value::Int64(c as i64 + 1),
+                    Value::Utf8(first[rng.gen_range(0..first.len())].to_string()),
+                    Value::Utf8(last[rng.gen_range(0..last.len())].to_string()),
+                ])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Generator::new(Scale::tiny(), 42).rows(Table::Inventory);
+        let b = Generator::new(Scale::tiny(), 42).rows(Table::Inventory);
+        assert_eq!(a, b);
+        let c = Generator::new(Scale::tiny(), 43).rows(Table::Inventory);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scale_grows_with_gb() {
+        let small = Scale::from_gb(5.0);
+        let large = Scale::from_gb(30.0);
+        assert!(large.inventory_rows > 5 * small.inventory_rows / 2);
+        assert!(large.items > small.items);
+        assert!(large.warehouses > small.warehouses);
+    }
+
+    #[test]
+    fn rows_match_schemas() {
+        let generator = Generator::new(Scale::tiny(), 7);
+        for table in Table::ALL {
+            let schema = table.schema();
+            let rows = generator.rows(table);
+            assert!(!rows.is_empty(), "{}", table.name());
+            for row in &rows {
+                assert_eq!(row.len(), schema.len(), "{}", table.name());
+                for (value, field) in row.values.iter().zip(&schema.fields) {
+                    assert_eq!(
+                        value.data_type(),
+                        Some(field.data_type),
+                        "{}.{}",
+                        table.name(),
+                        field.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inventory_keys_are_unique() {
+        let rows = Generator::new(Scale::tiny(), 1).rows(Table::Inventory);
+        let mut keys = std::collections::HashSet::new();
+        for row in &rows {
+            let key = (
+                row.get(0).as_i64().unwrap(),
+                row.get(1).as_i64().unwrap(),
+                row.get(2).as_i64().unwrap(),
+            );
+            assert!(keys.insert(key), "duplicate inventory key {key:?}");
+        }
+    }
+
+    #[test]
+    fn date_dim_has_january_and_february_2001() {
+        let rows = Generator::new(Scale::tiny(), 1).rows(Table::DateDim);
+        let months: std::collections::HashSet<(i32, i32)> = rows
+            .iter()
+            .map(|r| {
+                (
+                    r.get(2).as_i64().unwrap() as i32,
+                    r.get(3).as_i64().unwrap() as i32,
+                )
+            })
+            .collect();
+        assert!(months.contains(&(2001, 1)));
+        assert!(months.contains(&(2001, 2)));
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let generator = Generator::new(Scale::tiny(), 9);
+        let scale = generator.scale();
+        for row in generator.rows(Table::Inventory) {
+            assert!(row.get(0).as_i64().unwrap() <= scale.days as i64);
+            assert!(row.get(1).as_i64().unwrap() <= scale.items as i64);
+            assert!(row.get(2).as_i64().unwrap() <= scale.warehouses as i64);
+        }
+    }
+}

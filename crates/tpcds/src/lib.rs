@@ -1,0 +1,17 @@
+//! # shc-tpcds
+//!
+//! A TPC-DS-lite workload for the SHC reproduction: deterministic
+//! generators for the tables touched by the paper's evaluation queries
+//! (q39a, q39b, q38), SHC catalog definitions for each table, the query
+//! texts in the engine's SQL dialect, and loaders that place the data
+//! either in the in-memory engine (reference results) or in the HBase
+//! substrate through the SHC write path (system under test).
+
+pub mod gen;
+pub mod load;
+pub mod queries;
+pub mod tables;
+
+pub use gen::{Generator, Scale};
+pub use load::{load_into_hbase, load_into_memory, Provider};
+pub use tables::Table;

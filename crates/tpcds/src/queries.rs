@@ -1,0 +1,125 @@
+//! The evaluation queries, expressed in the engine's SQL dialect.
+//!
+//! q39 computes, per (warehouse, item, month), the mean and coefficient of
+//! variation (stdev/mean) of `inv_quantity_on_hand`, self-joins
+//! consecutive months, and keeps item/warehouse pairs whose stock level is
+//! unstable (cov ≥ 1). q39a reports them; q39b additionally demands
+//! cov ≥ 1.5 in the first month. The official formulation uses a WITH
+//! clause; here the inner aggregation is a derived table, which is the
+//! same plan shape.
+
+/// The per-month aggregation block shared by q39a/q39b.
+fn inv_block(year: i32, moy: i32) -> String {
+    format!(
+        "(SELECT w_warehouse_name wname, w_warehouse_sk wsk, i_item_sk isk, \
+                 d_moy moy, \
+                 STDDEV_SAMP(inv_quantity_on_hand) stdev, \
+                 AVG(inv_quantity_on_hand) mean \
+          FROM inventory \
+          JOIN item ON inv_item_sk = i_item_sk \
+          JOIN warehouse ON inv_warehouse_sk = w_warehouse_sk \
+          JOIN date_dim ON inv_date_sk = d_date_sk \
+          WHERE d_year = {year} AND d_moy = {moy} \
+          GROUP BY w_warehouse_name, w_warehouse_sk, i_item_sk, d_moy)"
+    )
+}
+
+/// TPC-DS q39a (adapted): unstable inventory in consecutive months.
+pub fn q39a(year: i32, moy: i32) -> String {
+    format!(
+        "SELECT inv1.wsk, inv1.isk, inv1.moy, inv1.mean, inv1.stdev, \
+                inv2.moy m2, inv2.mean mean2, inv2.stdev stdev2 \
+         FROM {inv1} inv1 \
+         JOIN {inv2} inv2 ON inv1.isk = inv2.isk AND inv1.wsk = inv2.wsk \
+         WHERE inv1.stdev / inv1.mean > 1.0 AND inv2.stdev / inv2.mean > 1.0 \
+         ORDER BY inv1.wsk, inv1.isk",
+        inv1 = inv_block(year, moy),
+        inv2 = inv_block(year, moy + 1),
+    )
+}
+
+/// TPC-DS q39b (adapted): as q39a, but the first month must be strongly
+/// unstable (cov > 1.5).
+pub fn q39b(year: i32, moy: i32) -> String {
+    format!(
+        "SELECT inv1.wsk, inv1.isk, inv1.moy, inv1.mean, inv1.stdev, \
+                inv2.moy m2, inv2.mean mean2, inv2.stdev stdev2 \
+         FROM {inv1} inv1 \
+         JOIN {inv2} inv2 ON inv1.isk = inv2.isk AND inv1.wsk = inv2.wsk \
+         WHERE inv1.stdev / inv1.mean > 1.0 AND inv2.stdev / inv2.mean > 1.0 \
+           AND inv1.stdev / inv1.mean > 1.5 \
+         ORDER BY inv1.wsk, inv1.isk",
+        inv1 = inv_block(year, moy),
+        inv2 = inv_block(year, moy + 1),
+    )
+}
+
+/// TPC-DS q38 (adapted): distinct customers with purchases in a quarter.
+/// The official query intersects three channels; the store channel's
+/// distinct-count core is kept, which exercises the same
+/// scan→join→distinct→count pipeline.
+pub fn q38(year: i32) -> String {
+    format!(
+        "SELECT COUNT(*) \
+         FROM (SELECT DISTINCT c_last_name, c_first_name, d_date \
+               FROM store_sales \
+               JOIN date_dim ON ss_sold_date_sk = d_date_sk \
+               JOIN customer ON ss_customer_sk = c_customer_sk \
+               WHERE d_year = {year} AND d_moy BETWEEN 1 AND 3) hot_customers"
+    )
+}
+
+/// A simple selective scan used by microbenchmarks: a row-key range plus a
+/// value predicate on `inventory`.
+pub fn inventory_range_scan(max_date_sk: i64, min_qty: i32) -> String {
+    format!(
+        "SELECT inv_item_sk, inv_quantity_on_hand \
+         FROM inventory \
+         WHERE inv_date_sk <= {max_date_sk} AND inv_quantity_on_hand >= {min_qty}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_engine::parser::parse;
+
+    #[test]
+    fn q39a_parses() {
+        let q = parse(&q39a(2001, 1)).unwrap();
+        assert_eq!(q.joins.len(), 1); // outer self-join
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.order_by.len(), 2);
+    }
+
+    #[test]
+    fn q39b_parses_with_extra_predicate() {
+        let q = parse(&q39b(2001, 1)).unwrap();
+        let text = format!("{}", q.where_clause.unwrap());
+        assert!(text.contains("1.5"));
+    }
+
+    #[test]
+    fn q38_parses_with_distinct_subquery() {
+        let q = parse(&q38(2001)).unwrap();
+        match &q.from {
+            shc_engine::parser::TableFactor::Derived { subquery, alias } => {
+                assert!(subquery.distinct);
+                assert_eq!(alias, "hot_customers");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inner_block_groups_by_four_columns() {
+        let q = parse(&inv_block(2001, 1)[1..inv_block(2001, 1).len() - 1]).unwrap();
+        assert_eq!(q.group_by.len(), 4);
+        assert_eq!(q.joins.len(), 3);
+    }
+
+    #[test]
+    fn range_scan_parses() {
+        assert!(parse(&inventory_range_scan(30, 100)).is_ok());
+    }
+}

@@ -1,0 +1,230 @@
+//! TPC-DS-lite table schemas and their SHC catalogs.
+//!
+//! The subset covers the paper's evaluation queries: q39a/q39b join
+//! `inventory` with `item`, `warehouse` and `date_dim`; q38 joins
+//! `store_sales` with `date_dim` and `customer`.
+
+use shc_engine::schema::{Field, Schema};
+use shc_engine::value::DataType;
+
+/// The tables in the workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Table {
+    DateDim,
+    Item,
+    Warehouse,
+    Inventory,
+    StoreSales,
+    Customer,
+}
+
+impl Table {
+    pub const ALL: [Table; 6] = [
+        Table::DateDim,
+        Table::Item,
+        Table::Warehouse,
+        Table::Inventory,
+        Table::StoreSales,
+        Table::Customer,
+    ];
+
+    /// The four tables TPC-DS q39 touches.
+    pub const Q39_TABLES: [Table; 4] = [
+        Table::Warehouse,
+        Table::Item,
+        Table::Inventory,
+        Table::DateDim,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Table::DateDim => "date_dim",
+            Table::Item => "item",
+            Table::Warehouse => "warehouse",
+            Table::Inventory => "inventory",
+            Table::StoreSales => "store_sales",
+            Table::Customer => "customer",
+        }
+    }
+
+    /// The relational schema.
+    pub fn schema(self) -> Schema {
+        match self {
+            Table::DateDim => Schema::new(vec![
+                Field::new("d_date_sk", DataType::Int64),
+                Field::new("d_date", DataType::Utf8),
+                Field::new("d_year", DataType::Int32),
+                Field::new("d_moy", DataType::Int32),
+                Field::new("d_dom", DataType::Int32),
+            ]),
+            Table::Item => Schema::new(vec![
+                Field::new("i_item_sk", DataType::Int64),
+                Field::new("i_item_id", DataType::Utf8),
+                Field::new("i_item_desc", DataType::Utf8),
+                Field::new("i_category", DataType::Utf8),
+                Field::new("i_current_price", DataType::Float64),
+            ]),
+            Table::Warehouse => Schema::new(vec![
+                Field::new("w_warehouse_sk", DataType::Int64),
+                Field::new("w_warehouse_id", DataType::Utf8),
+                Field::new("w_warehouse_name", DataType::Utf8),
+                Field::new("w_warehouse_sq_ft", DataType::Int32),
+            ]),
+            Table::Inventory => Schema::new(vec![
+                Field::new("inv_date_sk", DataType::Int64),
+                Field::new("inv_item_sk", DataType::Int64),
+                Field::new("inv_warehouse_sk", DataType::Int64),
+                Field::new("inv_quantity_on_hand", DataType::Int32),
+            ]),
+            Table::StoreSales => Schema::new(vec![
+                Field::new("ss_sold_date_sk", DataType::Int64),
+                Field::new("ss_item_sk", DataType::Int64),
+                Field::new("ss_customer_sk", DataType::Int64),
+                Field::new("ss_quantity", DataType::Int32),
+                Field::new("ss_sales_price", DataType::Float64),
+            ]),
+            Table::Customer => Schema::new(vec![
+                Field::new("c_customer_sk", DataType::Int64),
+                Field::new("c_first_name", DataType::Utf8),
+                Field::new("c_last_name", DataType::Utf8),
+            ]),
+        }
+    }
+
+    /// SHC catalog JSON for the table under the given coder
+    /// (`PrimitiveType`, `Phoenix`, `Avro`). Row keys follow the TPC-DS
+    /// primary keys; `inventory` and `store_sales` use composite keys.
+    pub fn catalog_json(self, coder: &str) -> String {
+        let (rowkey, columns): (&str, Vec<(&str, &str, &str, &str)>) = match self {
+            Table::DateDim => (
+                "d_date_sk",
+                vec![
+                    ("d_date_sk", "rowkey", "d_date_sk", "bigint"),
+                    ("d_date", "cf", "d_date", "string"),
+                    ("d_year", "cf", "d_year", "int"),
+                    ("d_moy", "cf", "d_moy", "int"),
+                    ("d_dom", "cf", "d_dom", "int"),
+                ],
+            ),
+            Table::Item => (
+                "i_item_sk",
+                vec![
+                    ("i_item_sk", "rowkey", "i_item_sk", "bigint"),
+                    ("i_item_id", "cf", "i_item_id", "string"),
+                    ("i_item_desc", "cf", "i_item_desc", "string"),
+                    ("i_category", "cf", "i_category", "string"),
+                    ("i_current_price", "cf", "i_current_price", "double"),
+                ],
+            ),
+            Table::Warehouse => (
+                "w_warehouse_sk",
+                vec![
+                    ("w_warehouse_sk", "rowkey", "w_warehouse_sk", "bigint"),
+                    ("w_warehouse_id", "cf", "w_warehouse_id", "string"),
+                    ("w_warehouse_name", "cf", "w_warehouse_name", "string"),
+                    ("w_warehouse_sq_ft", "cf", "w_warehouse_sq_ft", "int"),
+                ],
+            ),
+            Table::Inventory => (
+                "inv_date_sk:inv_item_sk:inv_warehouse_sk",
+                vec![
+                    ("inv_date_sk", "rowkey", "inv_date_sk", "bigint"),
+                    ("inv_item_sk", "rowkey", "inv_item_sk", "bigint"),
+                    ("inv_warehouse_sk", "rowkey", "inv_warehouse_sk", "bigint"),
+                    ("inv_quantity_on_hand", "cf", "inv_qoh", "int"),
+                ],
+            ),
+            Table::StoreSales => (
+                "ss_sold_date_sk:ss_item_sk:ss_customer_sk",
+                vec![
+                    ("ss_sold_date_sk", "rowkey", "ss_sold_date_sk", "bigint"),
+                    ("ss_item_sk", "rowkey", "ss_item_sk", "bigint"),
+                    ("ss_customer_sk", "rowkey", "ss_customer_sk", "bigint"),
+                    ("ss_quantity", "cf", "ss_quantity", "int"),
+                    ("ss_sales_price", "cf", "ss_sales_price", "double"),
+                ],
+            ),
+            Table::Customer => (
+                "c_customer_sk",
+                vec![
+                    ("c_customer_sk", "rowkey", "c_customer_sk", "bigint"),
+                    ("c_first_name", "cf", "c_first_name", "string"),
+                    ("c_last_name", "cf", "c_last_name", "string"),
+                ],
+            ),
+        };
+        let mut cols = String::new();
+        for (i, (name, cf, col, ty)) in columns.iter().enumerate() {
+            if i > 0 {
+                cols.push_str(",\n            ");
+            }
+            cols.push_str(&format!(
+                r#""{name}":{{"cf":"{cf}", "col":"{col}", "type":"{ty}"}}"#
+            ));
+        }
+        format!(
+            r#"{{
+        "table":{{"namespace":"default", "name":"{name}",
+                 "tableCoder":"{coder}", "Version":"2.0"}},
+        "rowkey":"{rowkey}",
+        "columns":{{
+            {cols}
+        }}
+    }}"#,
+            name = self.name(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_core::catalog::HBaseTableCatalog;
+
+    #[test]
+    fn all_catalogs_parse_and_match_schemas() {
+        for table in Table::ALL {
+            let catalog =
+                HBaseTableCatalog::parse_simple(&table.catalog_json("PrimitiveType"))
+                    .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+            let expected = table.schema();
+            let got = catalog.schema();
+            assert_eq!(
+                got.field_names(),
+                expected.field_names(),
+                "{}",
+                table.name()
+            );
+            for (a, b) in got.fields.iter().zip(&expected.fields) {
+                assert_eq!(a.data_type, b.data_type, "{}.{}", table.name(), a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn inventory_has_composite_key() {
+        let catalog = HBaseTableCatalog::parse_simple(
+            &Table::Inventory.catalog_json("PrimitiveType"),
+        )
+        .unwrap();
+        assert_eq!(catalog.row_key.len(), 3);
+        assert_eq!(catalog.first_key_column().name, "inv_date_sk");
+    }
+
+    #[test]
+    fn coder_choice_propagates() {
+        for coder in ["PrimitiveType", "Phoenix", "Avro"] {
+            let catalog =
+                HBaseTableCatalog::parse_simple(&Table::Item.catalog_json(coder)).unwrap();
+            // Row keys keep an order-preserving codec only for non-Avro.
+            let value_codec = catalog.column("i_item_id").unwrap().codec.name();
+            assert_eq!(value_codec, coder, "coder {coder}");
+        }
+    }
+
+    #[test]
+    fn q39_tables_subset() {
+        assert_eq!(Table::Q39_TABLES.len(), 4);
+        assert!(Table::Q39_TABLES.contains(&Table::Inventory));
+    }
+}

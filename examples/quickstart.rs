@@ -1,0 +1,131 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Reproduces Codes 1–4 of the paper: define the `actives` catalog, write
+//! user-activity rows through the SHC write path, read them back with the
+//! DataFrame API (`filter($"col0" <= "row120").select(...)`) and with SQL
+//! (`select count(1) from avrotable`-style), and show where the work
+//! happened via the cluster metrics.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use shc::core::error::Result;
+use shc::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    // ------------------------------------------------------------------
+    // 1. A 5-node HBase cluster (the paper's testbed size).
+    // ------------------------------------------------------------------
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 5,
+        ..Default::default()
+    });
+    println!("started cluster with {} region servers", cluster.num_servers());
+
+    // ------------------------------------------------------------------
+    // 2. The catalog from Code 1: HBase coordinates → relational schema.
+    // ------------------------------------------------------------------
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json())?);
+    println!("catalog maps table {} with columns:", catalog.table);
+    for column in &catalog.columns {
+        println!("  {column:?}");
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Write activity rows (Code 2's save path), pre-split 5 regions.
+    // ------------------------------------------------------------------
+    let rows: Vec<Row> = (0..200)
+        .map(|i| {
+            Row::new(vec![
+                Value::Utf8(format!("row{i:03}")),
+                Value::Int8((i % 128) as i8),
+                Value::Utf8(format!("/products/{}", i % 17)),
+                Value::Float64((i % 60) as f64 + 0.5),
+                Value::Timestamp(1_500_000_000_000 + i as i64),
+            ])
+        })
+        .collect();
+    let conf = SHCConf::default().with_new_table_regions(5);
+    let bytes = write_rows(&cluster, &catalog, &conf, &rows)?;
+    println!("\nwrote {} rows ({bytes} payload bytes) into 5 pre-split regions", rows.len());
+
+    // ------------------------------------------------------------------
+    // 4. Register with the engine; executors co-located with the servers.
+    // ------------------------------------------------------------------
+    let session = Session::new(SessionConfig {
+        executors: ExecutorConfig {
+            num_executors: 5,
+            hosts: cluster.hostnames(),
+        },
+        ..Default::default()
+    });
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        SHCConf::default(),
+        "actives",
+    );
+
+    // ------------------------------------------------------------------
+    // 5. Code 3: the DataFrame API with a pushed-down row-key predicate.
+    // ------------------------------------------------------------------
+    let before = cluster.metrics.snapshot();
+    let df = session
+        .read_table("actives")
+        .map_err(ShcError::from)?
+        .filter(col("col0").lt_eq(lit("row120")))
+        .select_cols(&["col0", "visit-pages"]);
+    let result = df.collect().map_err(ShcError::from)?;
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    println!("\nDataFrame query: col0 <= \"row120\" → {} rows", result.len());
+    println!(
+        "  server-side: {} cells scanned, {} cells returned (pushdown ratio {:.2})",
+        delta.cells_scanned,
+        delta.cells_returned,
+        delta.cells_returned as f64 / delta.cells_scanned.max(1) as f64
+    );
+    println!("  first row: {:?}", result.first().map(|r| r.get(0).to_display_string()));
+
+    // ------------------------------------------------------------------
+    // 6. Code 4: SQL over a temp view.
+    // ------------------------------------------------------------------
+    df.create_or_replace_temp_view("recent_actives");
+    let count = session
+        .sql("SELECT COUNT(1) FROM recent_actives")
+        .map_err(ShcError::from)?
+        .collect()
+        .map_err(ShcError::from)?;
+    println!("\nSQL: SELECT COUNT(1) FROM recent_actives = {}", count[0].get(0));
+
+    // A grouped OLAP query straight over the connector.
+    let top = session
+        .sql(
+            "SELECT `visit-pages` page, COUNT(*) AS visits, AVG(`stay-time`) AS stay \
+             FROM actives GROUP BY `visit-pages` ORDER BY visits DESC LIMIT 3",
+        )
+        .map_err(ShcError::from)?
+        .collect()
+        .map_err(ShcError::from)?;
+    println!("\ntop pages by visits:");
+    for row in top {
+        println!(
+            "  {:<16} visits={:<4} avg stay={:.1}s",
+            row.get(0).to_display_string(),
+            row.get(1),
+            row.get(2).as_f64().unwrap_or(0.0)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 7. Locality report from the engine.
+    // ------------------------------------------------------------------
+    let m = session.metrics.snapshot();
+    println!(
+        "\nengine: {} tasks, {:.0}% data-local, {} KB shuffled",
+        m.tasks,
+        m.locality_ratio() * 100.0,
+        m.shuffle_bytes / 1024
+    );
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! TPC-DS q39 on SHC vs. the generic-source baseline — a miniature of the
+//! paper's §VII experiments.
+//!
+//! Loads the four q39 tables into the HBase substrate, runs q39a and q39b
+//! through two sessions (one registered with SHC relations, one with the
+//! generic provider), verifies both return identical rows, and prints the
+//! latency / scan / shuffle comparison that Figures 4 and 5 plot.
+//!
+//! Run with: `cargo run --release --example tpcds_q39`
+
+use shc::core::error::Result;
+use shc::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> Result<()> {
+    let nominal_gb = 4.0;
+    let generator = Generator::new(Scale::from_gb(nominal_gb), 2018);
+    println!(
+        "TPC-DS-lite at nominal {nominal_gb} GB: {} inventory rows, {} items, {} warehouses",
+        generator.scale().inventory_rows,
+        generator.scale().items,
+        generator.scale().warehouses
+    );
+
+    // One cluster with a simulated Gigabit network; both providers read
+    // the same regions.
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 5,
+        network: shc::kvstore::network::NetworkSim::gigabit(),
+        ..Default::default()
+    });
+    let session_config = SessionConfig {
+        executors: ExecutorConfig {
+            num_executors: 5,
+            hosts: cluster.hostnames(),
+        },
+        ..Default::default()
+    };
+
+    let shc_session = Session::new(session_config.clone());
+    shc::tpcds::load_into_hbase(
+        &shc_session,
+        &cluster,
+        &generator,
+        &Table::Q39_TABLES,
+        "PrimitiveType",
+        &SHCConf::default(),
+        Provider::Shc,
+    )?;
+    // The generic baseline reads the same HBase tables.
+    let generic_session = Session::new(session_config);
+    for table in Table::Q39_TABLES {
+        let catalog = Arc::new(HBaseTableCatalog::parse_simple(
+            &table.catalog_json("PrimitiveType"),
+        )?);
+        generic_session.register_table(
+            table.name(),
+            GenericHBaseRelation::new(Arc::clone(&cluster), catalog),
+        );
+    }
+    println!("loaded {} tables into HBase\n", Table::Q39_TABLES.len());
+
+    for (name, sql) in [
+        ("q39a", shc::tpcds::queries::q39a(2001, 1)),
+        ("q39b", shc::tpcds::queries::q39b(2001, 1)),
+    ] {
+        let run = |session: &Arc<Session>| -> Result<(Vec<Row>, f64, u64, u64)> {
+            session.metrics.reset();
+            cluster.metrics.reset();
+            let started = Instant::now();
+            let rows = session
+                .sql(&sql)
+                .map_err(shc::core::error::ShcError::from)?
+                .collect()
+                .map_err(shc::core::error::ShcError::from)?;
+            let elapsed = started.elapsed().as_secs_f64();
+            let engine = session.metrics.snapshot();
+            let store = cluster.metrics.snapshot();
+            Ok((rows, elapsed, engine.shuffle_bytes, store.cells_scanned))
+        };
+
+        let (shc_rows, shc_time, shc_shuffle, shc_cells) = run(&shc_session)?;
+        let (gen_rows, gen_time, gen_shuffle, gen_cells) = run(&generic_session)?;
+        assert_eq!(shc_rows, gen_rows, "providers must agree on {name}");
+
+        println!("{name}: {} unstable (warehouse, item) pairs", shc_rows.len());
+        println!(
+            "  SHC      {:>8.3}s  shuffle {:>7} B  cells scanned {:>8}",
+            shc_time, shc_shuffle, shc_cells
+        );
+        println!(
+            "  SparkSQL {:>8.3}s  shuffle {:>7} B  cells scanned {:>8}",
+            gen_time, gen_shuffle, gen_cells
+        );
+        println!(
+            "  speedup {:.1}x, shuffle reduced {:.1}x, server work reduced {:.1}x\n",
+            gen_time / shc_time.max(1e-9),
+            gen_shuffle as f64 / shc_shuffle.max(1) as f64,
+            gen_cells as f64 / shc_cells.max(1) as f64
+        );
+
+        if let Some(row) = shc_rows.first() {
+            println!(
+                "  sample: warehouse={} item={} month={} mean={:.1} stdev={:.1}\n",
+                row.get(0),
+                row.get(1),
+                row.get(2),
+                row.get(3).as_f64().unwrap_or(0.0),
+                row.get(4).as_f64().unwrap_or(0.0),
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! # shc
+//!
+//! Facade crate for the SHC reproduction ("SHC: Distributed Query
+//! Processing for Non-Relational Data Store", ICDE 2018). It re-exports
+//! the four member crates and hosts the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! * [`kvstore`] — the HBase substrate (regions, region servers, master,
+//!   WAL, server-side filters).
+//! * [`engine`] — the Spark SQL substrate (SQL, DataFrames, Catalyst-style
+//!   optimizer, data source API, locality-aware scheduler).
+//! * [`core`] — SHC itself: catalogs, codecs, pruning, pushdown, locality,
+//!   connection caching, credentials management.
+//! * [`tpcds`] — the TPC-DS-lite workload used by the evaluation.
+//!
+//! See `examples/quickstart.rs` for the paper's running example end to
+//! end.
+
+pub use shc_core as core;
+pub use shc_engine as engine;
+pub use shc_kvstore as kvstore;
+pub use shc_tpcds as tpcds;
+
+/// Everything needed by typical users, flattened.
+pub mod prelude {
+    pub use shc_core::prelude::*;
+    pub use shc_engine::prelude::*;
+    pub use shc_tpcds::{Generator, Provider, Scale, Table};
+}

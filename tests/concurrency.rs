@@ -1,0 +1,221 @@
+//! Concurrency: the cluster and connector are shared across threads — the
+//! paper's Table I point is that SHC serves concurrent queries from one
+//! thread pool. These tests hammer a live cluster from many threads:
+//! parallel queries, queries racing writers, and parallel queries racing a
+//! region split.
+
+use shc::prelude::*;
+use std::sync::Arc;
+
+const CATALOG: &str = r#"{
+    "table":{"namespace":"default", "name":"ledger"},
+    "rowkey":"key",
+    "columns":{
+        "txn_id":{"cf":"rowkey", "col":"key", "type":"string"},
+        "account":{"cf":"l", "col":"acct", "type":"int"},
+        "amount":{"cf":"l", "col":"amt", "type":"double"}
+    }
+}"#;
+
+fn setup(rows: usize) -> (Arc<HBaseCluster>, Arc<Session>, Arc<HBaseTableCatalog>) {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 3,
+        ..Default::default()
+    });
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
+    let data: Vec<Row> = (0..rows)
+        .map(|i| {
+            Row::new(vec![
+                Value::Utf8(format!("txn{i:06}")),
+                Value::Int32((i % 50) as i32),
+                Value::Float64(i as f64 * 0.01),
+            ])
+        })
+        .collect();
+    write_rows(
+        &cluster,
+        &catalog,
+        &SHCConf::default().with_new_table_regions(3),
+        &data,
+    )
+    .unwrap();
+    let session = Session::new(SessionConfig {
+        executors: ExecutorConfig {
+            num_executors: 3,
+            hosts: cluster.hostnames(),
+        },
+        ..Default::default()
+    });
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        SHCConf::default(),
+        "ledger",
+    );
+    (cluster, session, catalog)
+}
+
+#[test]
+fn many_concurrent_queries_agree() {
+    let (_cluster, session, _) = setup(600);
+    let answers: Vec<i64> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    session
+                        .sql("SELECT COUNT(*) FROM ledger WHERE account < 25")
+                        .unwrap()
+                        .collect()
+                        .unwrap()[0]
+                        .get(0)
+                        .as_i64()
+                        .unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert!(answers.iter().all(|&a| a == answers[0]));
+    assert_eq!(answers[0], 300);
+}
+
+#[test]
+fn queries_race_writers_without_errors() {
+    let (cluster, session, catalog) = setup(200);
+    std::thread::scope(|scope| {
+        // Writer thread appends new rows in batches.
+        let writer_cluster = Arc::clone(&cluster);
+        let writer_catalog = Arc::clone(&catalog);
+        scope.spawn(move || {
+            for batch in 0..10 {
+                let rows: Vec<Row> = (0..50)
+                    .map(|i| {
+                        Row::new(vec![
+                            Value::Utf8(format!("txn9{batch:02}{i:03}")),
+                            Value::Int32(99),
+                            Value::Float64(1.0),
+                        ])
+                    })
+                    .collect();
+                write_rows(
+                    &writer_cluster,
+                    &writer_catalog,
+                    &SHCConf::default(),
+                    &rows,
+                )
+                .unwrap();
+            }
+        });
+        // Reader threads: counts must be monotone-consistent (between the
+        // initial 200 and final 700) and never error.
+        for _ in 0..4 {
+            let session = Arc::clone(&session);
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let n = session
+                        .sql("SELECT COUNT(*) FROM ledger")
+                        .unwrap()
+                        .collect()
+                        .unwrap()[0]
+                        .get(0)
+                        .as_i64()
+                        .unwrap();
+                    assert!((200..=700).contains(&n), "count out of bounds: {n}");
+                }
+            });
+        }
+    });
+    let final_count = session
+        .sql("SELECT COUNT(*) FROM ledger")
+        .unwrap()
+        .collect()
+        .unwrap()[0]
+        .get(0)
+        .as_i64()
+        .unwrap();
+    assert_eq!(final_count, 700);
+}
+
+#[test]
+fn queries_race_a_region_split() {
+    let (cluster, session, catalog) = setup(400);
+    std::thread::scope(|scope| {
+        let split_cluster = Arc::clone(&cluster);
+        let split_catalog = Arc::clone(&catalog);
+        scope.spawn(move || {
+            // Split the largest region while readers are active.
+            let regions = split_cluster
+                .master
+                .regions_of(&split_catalog.table)
+                .unwrap();
+            split_cluster
+                .master
+                .split_region(&split_catalog.table, regions[0].info.region_id)
+                .unwrap();
+        });
+        for _ in 0..4 {
+            let session = Arc::clone(&session);
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let n = session
+                        .sql("SELECT COUNT(*) FROM ledger")
+                        .unwrap()
+                        .collect()
+                        .unwrap()[0]
+                        .get(0)
+                        .as_i64()
+                        .unwrap();
+                    assert_eq!(n, 400, "split must never lose or duplicate rows");
+                }
+            });
+        }
+    });
+    // Layout actually changed.
+    assert_eq!(cluster.master.regions_of(&catalog.table).unwrap().len(), 4);
+}
+
+#[test]
+fn concurrent_access_through_one_connection_cache() {
+    let (cluster, _, catalog) = setup(100);
+    let cache = ConnectionCache::new();
+    let credentials = SHCCredentialsManager::new_default();
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let cache = Arc::clone(&cache);
+            let credentials = Arc::clone(&credentials);
+            let cluster = Arc::clone(&cluster);
+            let catalog = Arc::clone(&catalog);
+            scope.spawn(move || {
+                let session = Session::new_default();
+                session.register_table(
+                    "ledger",
+                    HBaseRelation::with_services(
+                        cluster,
+                        catalog,
+                        SHCConf::default(),
+                        cache,
+                        credentials,
+                    ),
+                );
+                for _ in 0..5 {
+                    assert_eq!(
+                        session
+                            .sql("SELECT COUNT(*) FROM ledger")
+                            .unwrap()
+                            .collect()
+                            .unwrap()[0]
+                            .get(0)
+                            .as_i64(),
+                        Some(100)
+                    );
+                }
+            });
+        }
+    });
+    // One shared cache entry served everyone.
+    assert_eq!(cache.len(), 1);
+}

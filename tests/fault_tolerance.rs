@@ -1,0 +1,277 @@
+//! Fault tolerance and cluster dynamics (paper §VI.B): WAL recovery after
+//! a crash, region splits and load balancing under live queries, and
+//! token expiry/renewal during long-running jobs.
+
+use shc::prelude::*;
+use std::sync::Arc;
+
+const CATALOG: &str = r#"{
+    "table":{"namespace":"default", "name":"journal"},
+    "rowkey":"key",
+    "columns":{
+        "entry":{"cf":"rowkey", "col":"key", "type":"string"},
+        "body":{"cf":"j", "col":"body", "type":"string"}
+    }
+}"#;
+
+fn rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Utf8(format!("entry{i:04}")),
+                Value::Utf8(format!("body of entry {i}")),
+            ])
+        })
+        .collect()
+}
+
+#[test]
+fn wal_replay_recovers_unflushed_writes() {
+    use shc::kvstore::prelude::*;
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 1,
+        ..Default::default()
+    });
+    cluster
+        .create_table(
+            TableDescriptor::new(TableName::default_ns("t"))
+                .with_family(FamilyDescriptor::new("cf")),
+        )
+        .unwrap();
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("t"));
+    table.put(Put::new("a").add("cf", "q", "flushed")).unwrap();
+    cluster.flush_all().unwrap();
+    table.put(Put::new("b").add("cf", "q", "in-memstore")).unwrap();
+
+    // Simulate loss of the memstore: rebuild the region from the WAL.
+    let server = cluster.server(0).unwrap();
+    let region_id = server.region_ids()[0];
+    let region = server.region(region_id).unwrap();
+    let applied = region.recover_from_wal().unwrap();
+    assert!(applied >= 1);
+    let rows = table.scan(&Scan::new()).unwrap();
+    assert!(rows.iter().any(|r| r.row.as_ref() == b"b"));
+}
+
+#[test]
+fn crashed_server_rejects_writes_until_restart() {
+    use shc::kvstore::prelude::*;
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 1,
+        ..Default::default()
+    });
+    cluster
+        .create_table(
+            TableDescriptor::new(TableName::default_ns("t"))
+                .with_family(FamilyDescriptor::new("cf")),
+        )
+        .unwrap();
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("t"));
+    let server = cluster.server(0).unwrap();
+    server.crash();
+    assert!(table.put(Put::new("x").add("cf", "q", "v")).is_err());
+    server.restart();
+    assert!(table.put(Put::new("x").add("cf", "q", "v")).is_ok());
+}
+
+#[test]
+fn queries_survive_region_split() {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 2,
+        ..Default::default()
+    });
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
+    write_rows(&cluster, &catalog, &SHCConf::default(), &rows(100)).unwrap();
+
+    let session = Session::new_default();
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        SHCConf::default(),
+        "journal",
+    );
+    let count_before = session
+        .sql("SELECT COUNT(*) FROM journal")
+        .unwrap()
+        .collect()
+        .unwrap();
+
+    // Split the (single) region while the table stays registered.
+    let regions = cluster.master.regions_of(&catalog.table).unwrap();
+    assert_eq!(regions.len(), 1);
+    cluster
+        .master
+        .split_region(&catalog.table, regions[0].info.region_id)
+        .unwrap();
+    assert_eq!(cluster.master.regions_of(&catalog.table).unwrap().len(), 2);
+
+    // New scans pick up the new layout (fresh connections locate afresh).
+    let count_after = session
+        .sql("SELECT COUNT(*) FROM journal")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(count_before, count_after);
+
+    // Pruned queries still resolve to the right daughter region.
+    let one = session
+        .sql("SELECT body FROM journal WHERE entry = 'entry0099'")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(one.len(), 1);
+}
+
+#[test]
+fn queries_survive_rebalancing() {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 3,
+        ..Default::default()
+    });
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
+    write_rows(
+        &cluster,
+        &catalog,
+        &SHCConf::default().with_new_table_regions(6),
+        &rows(120),
+    )
+    .unwrap();
+    // Pile every region onto server 0 through the admin API, then let the
+    // master balance the cluster back out.
+    let regions = cluster.master.regions_of(&catalog.table).unwrap();
+    for loc in &regions {
+        cluster
+            .master
+            .move_region(&catalog.table, loc.info.region_id, 0)
+            .unwrap();
+    }
+    assert_eq!(cluster.server(0).unwrap().region_count(), 6);
+    let moves = cluster.master.balance().unwrap();
+    assert!(moves >= 4, "balancer should spread 6 regions over 3 servers");
+    assert!(cluster.server(0).unwrap().region_count() <= 2);
+
+    let session = Session::new_default();
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        catalog,
+        SHCConf::default(),
+        "journal",
+    );
+    let n = session
+        .sql("SELECT COUNT(*) FROM journal")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(n[0].get(0), &Value::Int64(120));
+}
+
+#[test]
+fn expired_token_is_refreshed_for_long_jobs() {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 1,
+        secure_token_lifetime_ms: Some(400),
+        ..Default::default()
+    });
+    cluster
+        .security
+        .as_ref()
+        .unwrap()
+        .register_principal("svc", "svc.keytab");
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
+    let conf = SHCConf::default().with_security("svc", "svc.keytab");
+    write_rows(&cluster, &catalog, &conf, &rows(10)).unwrap();
+
+    let session = Session::new_default();
+    let relation = register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        catalog,
+        conf,
+        "journal",
+    );
+    // First query obtains a token.
+    assert_eq!(
+        session
+            .sql("SELECT COUNT(*) FROM journal")
+            .unwrap()
+            .collect()
+            .unwrap()[0]
+            .get(0),
+        &Value::Int64(10)
+    );
+    let fetches_before = relation
+        .credentials()
+        .fetches
+        .load(std::sync::atomic::Ordering::Relaxed);
+    // Burn the logical clock far past token expiry. Every put advanced it
+    // by 1 ms; push it over the lifetime explicitly.
+    for _ in 0..1000 {
+        cluster.clock.now_ms();
+    }
+    // The next query must transparently fetch a fresh token.
+    assert_eq!(
+        session
+            .sql("SELECT COUNT(*) FROM journal")
+            .unwrap()
+            .collect()
+            .unwrap()[0]
+            .get(0),
+        &Value::Int64(10)
+    );
+    let fetches_after = relation
+        .credentials()
+        .fetches
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(fetches_after > fetches_before, "token should be re-fetched");
+}
+
+#[test]
+fn compaction_preserves_query_results() {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 1,
+        ..Default::default()
+    });
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
+    // Several write rounds with flushes in between build up store files.
+    for round in 0..4 {
+        let batch: Vec<Row> = (0..25)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Utf8(format!("entry{:04}", round * 25 + i)),
+                    Value::Utf8(format!("round {round}")),
+                ])
+            })
+            .collect();
+        write_rows(&cluster, &catalog, &SHCConf::default(), &batch).unwrap();
+        cluster.flush_all().unwrap();
+    }
+    let session = Session::new_default();
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        SHCConf::default(),
+        "journal",
+    );
+    let before = session
+        .sql("SELECT COUNT(*) FROM journal")
+        .unwrap()
+        .collect()
+        .unwrap();
+    // Major-compact every region.
+    let server = cluster.server(0).unwrap();
+    for id in server.region_ids() {
+        server.region(id).unwrap().compact().unwrap();
+    }
+    let after = session
+        .sql("SELECT COUNT(*) FROM journal")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(before, after);
+    assert_eq!(after[0].get(0), &Value::Int64(100));
+}

@@ -1,0 +1,165 @@
+//! Data-coder interoperability (paper §IV.B and Table II): the same
+//! logical table stored under the native `PrimitiveType`, Phoenix, and
+//! Avro coders must answer queries identically — while pushdown
+//! capability degrades for Avro (not order-preserving) exactly as
+//! documented.
+
+use shc::prelude::*;
+use std::sync::Arc;
+
+fn catalog_json(name: &str, coder: &str) -> String {
+    format!(
+        r#"{{
+        "table":{{"namespace":"default", "name":"{name}", "tableCoder":"{coder}"}},
+        "rowkey":"key",
+        "columns":{{
+            "k":{{"cf":"rowkey", "col":"key", "type":"string"}},
+            "qty":{{"cf":"a", "col":"qty", "type":"int"}},
+            "price":{{"cf":"a", "col":"price", "type":"double"}},
+            "label":{{"cf":"b", "col":"label", "type":"string"}}
+        }}
+    }}"#
+    )
+}
+
+fn rows() -> Vec<Row> {
+    (0..60)
+        .map(|i| {
+            Row::new(vec![
+                Value::Utf8(format!("k{i:03}")),
+                Value::Int32(i * 3 - 20),
+                Value::Float64(i as f64 * 0.75 - 5.0),
+                Value::Utf8(format!("label-{}", i % 6)),
+            ])
+        })
+        .collect()
+}
+
+fn session_with_all_coders() -> (Arc<HBaseCluster>, Arc<Session>) {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 2,
+        ..Default::default()
+    });
+    let session = Session::new_default();
+    for coder in ["PrimitiveType", "Phoenix", "Avro"] {
+        let name = format!("t_{}", coder.to_lowercase());
+        let catalog =
+            Arc::new(HBaseTableCatalog::parse_simple(&catalog_json(&name, coder)).unwrap());
+        write_rows(
+            &cluster,
+            &catalog,
+            &SHCConf::default().with_new_table_regions(2),
+            &rows(),
+        )
+        .unwrap();
+        register_hbase_table(
+            &session,
+            Arc::clone(&cluster),
+            catalog,
+            SHCConf::default(),
+            &name,
+        );
+    }
+    (cluster, session)
+}
+
+fn run(session: &Arc<Session>, sql: &str) -> Vec<Row> {
+    session.sql(sql).unwrap().collect().unwrap()
+}
+
+#[test]
+fn all_coders_agree_on_full_scans() {
+    let (_cluster, session) = session_with_all_coders();
+    let q = |t: &str| format!("SELECT k, qty, price, label FROM {t} ORDER BY k");
+    let native = run(&session, &q("t_primitivetype"));
+    assert_eq!(native.len(), 60);
+    assert_eq!(run(&session, &q("t_phoenix")), native);
+    assert_eq!(run(&session, &q("t_avro")), native);
+}
+
+#[test]
+fn all_coders_agree_on_filtered_aggregates() {
+    let (_cluster, session) = session_with_all_coders();
+    let q = |t: &str| {
+        format!(
+            "SELECT label, COUNT(*) n, AVG(price) m FROM {t} \
+             WHERE qty > 0 AND k < 'k050' GROUP BY label ORDER BY label"
+        )
+    };
+    let native = run(&session, &q("t_primitivetype"));
+    assert!(!native.is_empty());
+    assert_eq!(run(&session, &q("t_phoenix")), native);
+    assert_eq!(run(&session, &q("t_avro")), native);
+}
+
+#[test]
+fn avro_value_predicates_are_unhandled_but_correct() {
+    let (_cluster, session) = session_with_all_coders();
+    // Value-range predicates: pushable for order-preserving coders,
+    // engine-side for Avro — results must match regardless.
+    let q = |t: &str| format!("SELECT k FROM {t} WHERE price >= 10.0 ORDER BY k");
+    let native = run(&session, &q("t_primitivetype"));
+    let avro = run(&session, &q("t_avro"));
+    assert_eq!(native, avro);
+
+    // Verify capability difference through the provider API directly.
+    let native_catalog = Arc::new(
+        HBaseTableCatalog::parse_simple(&catalog_json("x1", "PrimitiveType")).unwrap(),
+    );
+    let avro_catalog =
+        Arc::new(HBaseTableCatalog::parse_simple(&catalog_json("x2", "Avro")).unwrap());
+    let filter = vec![SourceFilter::GtEq("price".into(), Value::Float64(10.0))];
+    let plan_native =
+        shc::core::pruning::plan_pushdown(&native_catalog, &SHCConf::default(), &filter);
+    let plan_avro =
+        shc::core::pruning::plan_pushdown(&avro_catalog, &SHCConf::default(), &filter);
+    assert_eq!(plan_native.handled.len(), 1, "native coder pushes ranges");
+    assert!(plan_avro.handled.is_empty(), "avro coder cannot push ranges");
+}
+
+#[test]
+fn avro_rowkey_stays_primitive_and_prunable() {
+    // Row keys must stay order-preserving even under tableCoder=Avro in
+    // real SHC; our catalogs enforce that by rejecting Avro-coded key
+    // dimensions, so here the key predicates on an Avro table are pushed
+    // via the key column's own (string) encoding.
+    let (cluster, session) = session_with_all_coders();
+    cluster.metrics.reset();
+    let rows = run(
+        &session,
+        "SELECT k FROM t_avro WHERE k = 'k030'",
+    );
+    assert_eq!(rows.len(), 1);
+    let snap = cluster.metrics.snapshot();
+    assert!(
+        snap.cells_scanned <= 6,
+        "point get should not scan the table, scanned {}",
+        snap.cells_scanned
+    );
+}
+
+#[test]
+fn phoenix_written_data_readable_as_primitive_numerics() {
+    // SHC's selling point: reading tables written by Phoenix. Numeric wire
+    // formats are shared, so a Phoenix-written table read through a
+    // PrimitiveType catalog agrees on numeric columns.
+    let cluster = HBaseCluster::start_default();
+    let phoenix_catalog =
+        Arc::new(HBaseTableCatalog::parse_simple(&catalog_json("shared", "Phoenix")).unwrap());
+    write_rows(&cluster, &phoenix_catalog, &SHCConf::default(), &rows()).unwrap();
+
+    let session = Session::new_default();
+    let native_catalog = Arc::new(
+        HBaseTableCatalog::parse_simple(&catalog_json("shared", "PrimitiveType")).unwrap(),
+    );
+    register_hbase_table(
+        &session,
+        cluster,
+        native_catalog,
+        SHCConf::default(),
+        "shared",
+    );
+    let out = run(&session, "SELECT SUM(qty), MIN(price), MAX(price) FROM shared");
+    let expected_sum: i64 = (0..60).map(|i| (i * 3 - 20) as i64).sum();
+    assert_eq!(out[0].get(0), &Value::Int64(expected_sum));
+}

@@ -1,0 +1,361 @@
+//! Property-based tests on the connector's core invariants:
+//!
+//! * codecs round-trip arbitrary values, and order-preserving codecs keep
+//!   byte order aligned with value order;
+//! * composite row keys round-trip and sort by their dimension tuples;
+//! * `RangeSet` behaves like a set of keys under insert/union/intersect
+//!   (checked against a brute-force model);
+//! * the pushdown planner is *sound*: for random predicates, the SHC scan
+//!   (pruning + server filters + engine residue) returns exactly the rows
+//!   a naive full-scan-and-filter returns.
+
+use proptest::prelude::*;
+use shc::prelude::*;
+use std::sync::Arc;
+
+// ----------------------------------------------------------------------
+// Codec properties
+// ----------------------------------------------------------------------
+
+fn codec_for(coder: TableCoder) -> Arc<dyn FieldCodec> {
+    coder.codec()
+}
+
+proptest! {
+    #[test]
+    fn primitive_codec_roundtrips_i64(v in any::<i64>()) {
+        let c = codec_for(TableCoder::PrimitiveType);
+        let bytes = c.encode(&Value::Int64(v), DataType::Int64).unwrap();
+        prop_assert_eq!(c.decode(&bytes, DataType::Int64).unwrap(), Value::Int64(v));
+    }
+
+    #[test]
+    fn primitive_codec_preserves_i64_order(a in any::<i64>(), b in any::<i64>()) {
+        let c = codec_for(TableCoder::PrimitiveType);
+        let ea = c.encode(&Value::Int64(a), DataType::Int64).unwrap();
+        let eb = c.encode(&Value::Int64(b), DataType::Int64).unwrap();
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+    }
+
+    #[test]
+    fn primitive_codec_preserves_f64_order(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let c = codec_for(TableCoder::PrimitiveType);
+        let ea = c.encode(&Value::Float64(a), DataType::Float64).unwrap();
+        let eb = c.encode(&Value::Float64(b), DataType::Float64).unwrap();
+        if a < b {
+            prop_assert!(ea <= eb); // -0.0/0.0 may tie
+        } else if a > b {
+            prop_assert!(ea >= eb);
+        }
+    }
+
+    #[test]
+    fn phoenix_matches_primitive_on_numerics(v in any::<i32>()) {
+        let p = codec_for(TableCoder::Phoenix);
+        let n = codec_for(TableCoder::PrimitiveType);
+        prop_assert_eq!(
+            p.encode(&Value::Int32(v), DataType::Int32).unwrap(),
+            n.encode(&Value::Int32(v), DataType::Int32).unwrap()
+        );
+    }
+
+    #[test]
+    fn avro_codec_roundtrips_strings(s in ".{0,64}") {
+        let c = codec_for(TableCoder::Avro);
+        let bytes = c.encode(&Value::Utf8(s.clone()), DataType::Utf8).unwrap();
+        prop_assert_eq!(c.decode(&bytes, DataType::Utf8).unwrap(), Value::Utf8(s));
+    }
+
+    #[test]
+    fn all_codecs_roundtrip_doubles(v in any::<f64>()) {
+        prop_assume!(!v.is_nan());
+        for coder in [TableCoder::PrimitiveType, TableCoder::Phoenix, TableCoder::Avro] {
+            let c = codec_for(coder);
+            let bytes = c.encode(&Value::Float64(v), DataType::Float64).unwrap();
+            prop_assert_eq!(
+                c.decode(&bytes, DataType::Float64).unwrap(),
+                Value::Float64(v)
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Composite row keys
+// ----------------------------------------------------------------------
+
+fn composite_catalog() -> HBaseTableCatalog {
+    HBaseTableCatalog::parse_simple(
+        r#"{
+        "table":{"namespace":"default","name":"t"},
+        "rowkey":"k1:k2",
+        "columns":{
+            "k1":{"cf":"rowkey","col":"k1","type":"string"},
+            "k2":{"cf":"rowkey","col":"k2","type":"bigint"},
+            "v":{"cf":"cf","col":"v","type":"int"}
+        }}"#,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn composite_rowkey_roundtrips(
+        s in "[a-zA-Z0-9_-]{0,24}",
+        n in any::<i64>(),
+    ) {
+        let catalog = composite_catalog();
+        let values = vec![Value::Utf8(s), Value::Int64(n)];
+        let key = shc::core::rowkey::encode_rowkey(&catalog, &values).unwrap();
+        prop_assert_eq!(
+            shc::core::rowkey::decode_rowkey(&catalog, &key).unwrap(),
+            values
+        );
+    }
+
+    #[test]
+    fn composite_rowkey_orders_by_tuple(
+        s1 in "[a-z]{1,8}", n1 in any::<i64>(),
+        s2 in "[a-z]{1,8}", n2 in any::<i64>(),
+    ) {
+        let catalog = composite_catalog();
+        let k1 = shc::core::rowkey::encode_rowkey(
+            &catalog, &[Value::Utf8(s1.clone()), Value::Int64(n1)]).unwrap();
+        let k2 = shc::core::rowkey::encode_rowkey(
+            &catalog, &[Value::Utf8(s2.clone()), Value::Int64(n2)]).unwrap();
+        // Byte order must agree with tuple order whenever neither string
+        // prefixes the other (prefixing strings interleave with the
+        // separator, which only total-orders per dimension).
+        if s1 != s2 && !s1.starts_with(&s2) && !s2.starts_with(&s1) {
+            prop_assert_eq!(s1.cmp(&s2), k1.cmp(&k2));
+        } else if s1 == s2 {
+            prop_assert_eq!(n1.cmp(&n2), k1.cmp(&k2));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// RangeSet vs brute-force model
+// ----------------------------------------------------------------------
+
+/// Model a range by the set of single-byte keys it admits (domain 0..=63).
+fn model(ranges: &RangeSet) -> Vec<u8> {
+    (0u8..64).filter(|k| ranges.contains(&[*k])).collect()
+}
+
+fn arb_range() -> impl Strategy<Value = shc::kvstore::filter::RowRange> {
+    (0u8..64, 0u8..=64).prop_map(|(a, b)| {
+        let stop: &[u8] = if b >= 64 { &[] } else { std::slice::from_ref(&b) };
+        shc::kvstore::filter::RowRange::new(vec![a], stop.to_vec())
+    })
+}
+
+proptest! {
+    #[test]
+    fn rangeset_insert_matches_model(ranges in prop::collection::vec(arb_range(), 0..8)) {
+        let mut set = RangeSet::none();
+        let mut expected: std::collections::BTreeSet<u8> = Default::default();
+        for r in ranges {
+            for k in 0u8..64 {
+                if r.contains(&[k]) {
+                    expected.insert(k);
+                }
+            }
+            set.insert(r);
+        }
+        prop_assert_eq!(model(&set), expected.into_iter().collect::<Vec<_>>());
+        // Invariant: ranges sorted, non-overlapping, non-empty.
+        let rs = set.ranges();
+        for w in rs.windows(2) {
+            prop_assert!(w[0].start < w[1].start);
+            prop_assert!(!w[0].is_unbounded_stop());
+            prop_assert!(w[0].stop < w[1].start || w[0].stop == w[1].start.slice(0..0) || w[0].stop <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn rangeset_intersect_matches_model(
+        a in prop::collection::vec(arb_range(), 0..6),
+        b in prop::collection::vec(arb_range(), 0..6),
+    ) {
+        let mut sa = RangeSet::none();
+        for r in a { sa.insert(r); }
+        let mut sb = RangeSet::none();
+        for r in b { sb.insert(r); }
+        let inter = sa.intersect(&sb);
+        let ma: std::collections::BTreeSet<u8> = model(&sa).into_iter().collect();
+        let mb: std::collections::BTreeSet<u8> = model(&sb).into_iter().collect();
+        let expected: Vec<u8> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(model(&inter), expected);
+    }
+
+    #[test]
+    fn rangeset_union_matches_model(
+        a in prop::collection::vec(arb_range(), 0..6),
+        b in prop::collection::vec(arb_range(), 0..6),
+    ) {
+        let mut sa = RangeSet::none();
+        for r in a { sa.insert(r); }
+        let mut sb = RangeSet::none();
+        for r in b { sb.insert(r); }
+        let ma: std::collections::BTreeSet<u8> = model(&sa).into_iter().collect();
+        let mb: std::collections::BTreeSet<u8> = model(&sb).into_iter().collect();
+        let expected: Vec<u8> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(model(&sa.union(&sb)), expected);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pushdown soundness: SHC == naive filtering, for random predicates
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Pred {
+    KeyCmp(u8, i64),   // op index, literal
+    ValCmp(u8, i64),
+    KeyIn(Vec<i64>),
+    NotIn(Vec<i64>),
+    Or(Box<Pred>, Box<Pred>),
+    And(Box<Pred>, Box<Pred>),
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let leaf = prop_oneof![
+        (0u8..5, -5i64..45).prop_map(|(op, lit)| Pred::KeyCmp(op, lit)),
+        (0u8..5, -5i64..45).prop_map(|(op, lit)| Pred::ValCmp(op, lit)),
+        prop::collection::vec(-5i64..45, 1..4).prop_map(Pred::KeyIn),
+        prop::collection::vec(-5i64..45, 1..4).prop_map(Pred::NotIn),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn pred_to_sql(p: &Pred) -> String {
+    let op = |i: u8| ["=", "<", "<=", ">", ">="][i as usize];
+    match p {
+        Pred::KeyCmp(o, lit) => format!("id {} {lit}", op(*o)),
+        Pred::ValCmp(o, lit) => format!("v {} {lit}", op(*o)),
+        Pred::KeyIn(list) => format!(
+            "id IN ({})",
+            list.iter().map(i64::to_string).collect::<Vec<_>>().join(",")
+        ),
+        Pred::NotIn(list) => format!(
+            "v NOT IN ({})",
+            list.iter().map(i64::to_string).collect::<Vec<_>>().join(",")
+        ),
+        Pred::Or(a, b) => format!("({} OR {})", pred_to_sql(a), pred_to_sql(b)),
+        Pred::And(a, b) => format!("({} AND {})", pred_to_sql(a), pred_to_sql(b)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn pushdown_is_sound_for_random_predicates(pred in arb_pred()) {
+        let catalog = Arc::new(HBaseTableCatalog::parse_simple(
+            r#"{
+            "table":{"namespace":"default","name":"nums"},
+            "rowkey":"id",
+            "columns":{
+                "id":{"cf":"rowkey","col":"id","type":"bigint"},
+                "v":{"cf":"cf","col":"v","type":"bigint"}
+            }}"#,
+        ).unwrap());
+        let rows: Vec<Row> = (0..40i64)
+            .map(|i| Row::new(vec![Value::Int64(i), Value::Int64((i * 13) % 40)]))
+            .collect();
+
+        // Reference: in-memory engine.
+        let reference = Session::new_default();
+        reference.register_table(
+            "nums",
+            Arc::new(MemTable::with_rows(catalog.schema(), rows.clone(), 2)),
+        );
+        // Under test: SHC over the store, 3 regions.
+        let cluster = HBaseCluster::start(ClusterConfig {
+            num_servers: 3,
+            ..Default::default()
+        });
+        write_rows(
+            &cluster,
+            &catalog,
+            &SHCConf::default().with_new_table_regions(3),
+            &rows,
+        ).unwrap();
+        let shc = Session::new_default();
+        register_hbase_table(&shc, cluster, catalog, SHCConf::default(), "nums");
+
+        let sql = format!("SELECT id, v FROM nums WHERE {} ORDER BY id", pred_to_sql(&pred));
+        let expected = reference.sql(&sql).unwrap().collect().unwrap();
+        let got = shc.sql(&sql).unwrap().collect().unwrap();
+        prop_assert_eq!(got, expected, "query: {}", sql);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Parser robustness: arbitrary input must never panic
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        // Errors are fine; panics are not.
+        let _ = shc::engine::parser::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sql_like_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("BY"), Just("JOIN"), Just("ON"), Just("AND"), Just("OR"),
+                Just("NOT"), Just("IN"), Just("("), Just(")"), Just(","),
+                Just("*"), Just("="), Just("<"), Just("a"), Just("t"),
+                Just("1"), Just("'x'"), Just("CASE"), Just("WHEN"),
+                Just("ORDER"), Just("LIMIT"), Just("AS"), Just("COUNT"),
+            ],
+            0..24,
+        )
+    ) {
+        let sql = tokens.join(" ");
+        let _ = shc::engine::parser::parse(&sql);
+    }
+
+    #[test]
+    fn like_match_agrees_with_naive_model(
+        pattern in "[ab%_]{0,8}",
+        input in "[ab]{0,8}",
+    ) {
+        // Naive reference: expand LIKE into a regex-ish recursive check on
+        // the reversed strings (different recursion order than the
+        // implementation).
+        fn model(p: &[u8], s: &[u8]) -> bool {
+            match (p.last(), s.last()) {
+                (None, None) => true,
+                (None, Some(_)) => false,
+                (Some(b'%'), _) => {
+                    (0..=s.len()).any(|k| model(&p[..p.len() - 1], &s[..k]))
+                }
+                (Some(b'_'), Some(_)) => {
+                    model(&p[..p.len() - 1], &s[..s.len() - 1])
+                }
+                (Some(c), Some(d)) if c == d => {
+                    model(&p[..p.len() - 1], &s[..s.len() - 1])
+                }
+                _ => false,
+            }
+        }
+        prop_assert_eq!(
+            shc::engine::expr::like_match(&pattern, &input),
+            model(pattern.as_bytes(), input.as_bytes()),
+            "pattern={} input={}", pattern, input
+        );
+    }
+}
