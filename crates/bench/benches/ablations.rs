@@ -33,6 +33,7 @@ fn bench(c: &mut Criterion) {
         executors: ExecutorConfig {
             num_executors: 5,
             hosts: cluster.hostnames(),
+            task_retries: 1,
         },
         broadcast_threshold: 0,
         ..Default::default()
@@ -49,23 +50,22 @@ fn bench(c: &mut Criterion) {
     )
     .unwrap();
     let catalog = Arc::new(
-        HBaseTableCatalog::parse_simple(&Table::Inventory.catalog_json("PrimitiveType"))
-            .unwrap(),
+        HBaseTableCatalog::parse_simple(&Table::Inventory.catalog_json("PrimitiveType")).unwrap(),
     );
 
     // A selective scan: row-key range + value predicate — the query shape
     // every §VI optimization targets.
-    let sql = queries::inventory_range_scan(
-        generator.scale().days as i64 / 10,
-        150,
-    );
+    let sql = queries::inventory_range_scan(generator.scale().days as i64 / 10, 150);
 
     let variants: Vec<(&str, SHCConf)> = vec![
         ("full", SHCConf::default()),
         ("no_pruning", SHCConf::default().without_pruning()),
         ("no_pushdown", SHCConf::default().without_pushdown()),
         ("no_fusion", SHCConf::default().without_fusion()),
-        ("no_conn_cache", SHCConf::default().without_connection_cache()),
+        (
+            "no_conn_cache",
+            SHCConf::default().without_connection_cache(),
+        ),
     ];
     for (name, conf) in variants {
         let session = Session::new(session_config.clone());

@@ -31,15 +31,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(system.label(), gb as u64),
                 &sql,
-                |b, sql| {
-                    b.iter(|| {
-                        env.session(system)
-                            .sql(sql)
-                            .unwrap()
-                            .collect()
-                            .unwrap()
-                    })
-                },
+                |b, sql| b.iter(|| env.session(system).sql(sql).unwrap().collect().unwrap()),
             );
         }
     }

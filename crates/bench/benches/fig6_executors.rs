@@ -22,15 +22,7 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(system.label(), executors),
                 &sql,
-                |b, sql| {
-                    b.iter(|| {
-                        env.session(system)
-                            .sql(sql)
-                            .unwrap()
-                            .collect()
-                            .unwrap()
-                    })
-                },
+                |b, sql| b.iter(|| env.session(system).sql(sql).unwrap().collect().unwrap()),
             );
         }
     }

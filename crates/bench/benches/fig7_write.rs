@@ -34,9 +34,8 @@ fn bench(c: &mut Criterion) {
                             network: NetworkSim::gigabit(),
                             ..Default::default()
                         });
-                        let catalog = Arc::new(
-                            HBaseTableCatalog::parse_simple(&catalog_json).unwrap(),
-                        );
+                        let catalog =
+                            Arc::new(HBaseTableCatalog::parse_simple(&catalog_json).unwrap());
                         (cluster, catalog)
                     },
                     |(cluster, catalog)| match system {

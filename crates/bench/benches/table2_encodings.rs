@@ -21,7 +21,11 @@ fn micro(c: &mut Criterion) {
             _ => (Value::Utf8(format!("value-{i}-payload")), DataType::Utf8),
         })
         .collect();
-    for coder in [TableCoder::PrimitiveType, TableCoder::Phoenix, TableCoder::Avro] {
+    for coder in [
+        TableCoder::PrimitiveType,
+        TableCoder::Phoenix,
+        TableCoder::Avro,
+    ] {
         let codec = coder.codec();
         // Pre-encode for the decode bench.
         let encoded: Vec<(Vec<u8>, DataType)> = values

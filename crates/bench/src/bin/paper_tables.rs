@@ -13,9 +13,7 @@
 //! of each curve — who wins, how the gap scales — is the reproduction
 //! target. EXPERIMENTS.md records paper-vs-measured for each panel.
 
-use shc_bench::{
-    measure_query, measure_write, print_table, Env, EnvConfig, System,
-};
+use shc_bench::{measure_query, measure_write, print_table, Env, EnvConfig, System};
 use shc_kvstore::cluster::{ClusterConfig, HBaseCluster};
 use shc_kvstore::network::NetworkSim;
 use shc_tpcds::{queries, Generator, Scale, Table};
@@ -73,14 +71,56 @@ fn table1() {
     // the concurrency row is demonstrated live below.
     print_table(
         "Table I: Comparison between SHC and other systems",
-        &["Feature", "SHC", "SparkSQL", "PhoenixSpark", "HuaweiSparkHBase"],
         &[
-            vec!["SQL".into(), "yes".into(), "yes".into(), "yes".into(), "yes".into()],
-            vec!["Dataframe API".into(), "yes".into(), "yes".into(), "yes".into(), "yes".into()],
-            vec!["In-memory".into(), "yes".into(), "yes".into(), "yes".into(), "yes".into()],
-            vec!["Query planner".into(), "yes".into(), "yes".into(), "yes".into(), "yes".into()],
-            vec!["Query optimizer".into(), "yes".into(), "yes".into(), "yes".into(), "yes".into()],
-            vec!["Multiple data coding".into(), "yes".into(), "yes".into(), "no".into(), "no".into()],
+            "Feature",
+            "SHC",
+            "SparkSQL",
+            "PhoenixSpark",
+            "HuaweiSparkHBase",
+        ],
+        &[
+            vec![
+                "SQL".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+            ],
+            vec![
+                "Dataframe API".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+            ],
+            vec![
+                "In-memory".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+            ],
+            vec![
+                "Query planner".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+            ],
+            vec![
+                "Query optimizer".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+                "yes".into(),
+            ],
+            vec![
+                "Multiple data coding".into(),
+                "yes".into(),
+                "yes".into(),
+                "no".into(),
+                "no".into(),
+            ],
             vec![
                 "Concurrent query execution".into(),
                 "Thread pool".into(),
@@ -218,9 +258,7 @@ fn fig6(quick: bool) {
             ]);
         }
         print_table(
-            &format!(
-                "Figure 6({panel}): query time vs executors ({gb:.0} GB) — TPC-DS q39{panel}"
-            ),
+            &format!("Figure 6({panel}): query time vs executors ({gb:.0} GB) — TPC-DS q39{panel}"),
             &["executors", "SHC (s)", "SparkSQL (s)", "SHC locality"],
             &rows,
         );
@@ -349,7 +387,14 @@ fn table2(quick: bool) {
     ]);
     print_table(
         "Table II: performance on different encoding types (q39a workload)",
-        &["System", "Type", "Query (s)", "Write (s)", "Memory (MB)", "Wire (KB)"],
+        &[
+            "System",
+            "Type",
+            "Query (s)",
+            "Write (s)",
+            "Memory (MB)",
+            "Wire (KB)",
+        ],
         &rows,
     );
     println!(
@@ -368,6 +413,7 @@ fn reuse_env(cluster: &std::sync::Arc<HBaseCluster>, config: &EnvConfig) -> Env 
         executors: ExecutorConfig {
             num_executors: config.num_executors,
             hosts: cluster.hostnames(),
+            task_retries: 1,
         },
         broadcast_threshold: 0,
         ..Default::default()

@@ -105,9 +105,8 @@ impl HBaseTableCatalog {
             .get_str("name")
             .ok_or_else(|| ShcError::Catalog("missing table name".into()))?;
         let coder_name = table_obj.get_str("tableCoder").unwrap_or("PrimitiveType");
-        let table_coder = TableCoder::from_name(coder_name).ok_or_else(|| {
-            ShcError::Catalog(format!("unknown tableCoder {coder_name}"))
-        })?;
+        let table_coder = TableCoder::from_name(coder_name)
+            .ok_or_else(|| ShcError::Catalog(format!("unknown tableCoder {coder_name}")))?;
         let version = table_obj
             .get_str("Version")
             .or_else(|| table_obj.get_str("version"))
@@ -127,15 +126,11 @@ impl HBaseTableCatalog {
         for (col_name, spec) in columns_obj {
             let family = spec
                 .get_str("cf")
-                .ok_or_else(|| {
-                    ShcError::Catalog(format!("column {col_name} missing \"cf\""))
-                })?
+                .ok_or_else(|| ShcError::Catalog(format!("column {col_name} missing \"cf\"")))?
                 .to_string();
             let qualifier = spec
                 .get_str("col")
-                .ok_or_else(|| {
-                    ShcError::Catalog(format!("column {col_name} missing \"col\""))
-                })?
+                .ok_or_else(|| ShcError::Catalog(format!("column {col_name} missing \"col\"")))?
                 .to_string();
 
             let (data_type, codec, avro_schema): (
@@ -163,13 +158,10 @@ impl HBaseTableCatalog {
                 )
             } else {
                 let type_name = spec.get_str("type").ok_or_else(|| {
-                    ShcError::Catalog(format!(
-                        "column {col_name} needs \"type\" or \"avro\""
-                    ))
+                    ShcError::Catalog(format!("column {col_name} needs \"type\" or \"avro\""))
                 })?;
-                let dt = parse_type_name(type_name).map_err(|e| {
-                    ShcError::Catalog(format!("column {col_name}: {e}"))
-                })?;
+                let dt = parse_type_name(type_name)
+                    .map_err(|e| ShcError::Catalog(format!("column {col_name}: {e}")))?;
                 // Row-key dimensions must sort byte-wise, so they always
                 // use the order-preserving native codec — even when the
                 // table's value coder is Avro.
@@ -373,8 +365,7 @@ mod tests {
         let mut schemas = HashMap::new();
         schemas.insert(
             "avroSchema".to_string(),
-            r#"{"type":"record","name":"R","fields":[{"name":"x","type":"string"}]}"#
-                .to_string(),
+            r#"{"type":"record","name":"R","fields":[{"name":"x","type":"string"}]}"#.to_string(),
         );
         let c = HBaseTableCatalog::parse(
             r#"{

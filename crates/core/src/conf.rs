@@ -143,9 +143,7 @@ impl SHCConf {
     pub fn validate(&self) -> Result<()> {
         if let (Some(min), Some(max)) = (self.min_timestamp, self.max_timestamp) {
             if min >= max {
-                return Err(ShcError::Config(format!(
-                    "empty time range [{min}, {max})"
-                )));
+                return Err(ShcError::Config(format!("empty time range [{min}, {max})")));
             }
         }
         if self.timestamp.is_some()
@@ -277,10 +275,7 @@ mod tests {
             "smokeuser.headless.keytab".to_string(),
         );
         let c = SHCConf::from_options(&opts).unwrap();
-        assert_eq!(
-            c.security.unwrap().principal,
-            "ambari-qa@EXAMPLE.COM"
-        );
+        assert_eq!(c.security.unwrap().principal, "ambari-qa@EXAMPLE.COM");
     }
 
     #[test]

@@ -51,12 +51,7 @@ impl ConnectionCache {
             // manager rotates a token, connections carrying the stale one
             // must not be reused (they would fail server-side validation).
             // Stale entries age out through the idle-eviction pass.
-            Some(t) => format!(
-                "{}#{}#{}",
-                cluster.instance_key(),
-                t.principal,
-                t.token_id
-            ),
+            Some(t) => format!("{}#{}#{}", cluster.instance_key(), t.principal, t.token_id),
             None => cluster.instance_key(),
         }
     }
@@ -119,6 +114,19 @@ impl ConnectionCache {
                     .is_some_and(|since| since.elapsed() >= close_delay))
         });
         before - entries.len()
+    }
+
+    /// Broadcast a region-location invalidation for `table` to every cached
+    /// connection. After a split/move/failover, a single task's failure can
+    /// repair the cached topology for all connections in the process, the
+    /// way the HBase client shares its meta cache per connection. Returns
+    /// how many connections were told.
+    pub fn invalidate_locations(&self, table: &shc_kvstore::types::TableName) -> usize {
+        let entries = self.entries.lock();
+        for entry in entries.values() {
+            entry.connection.invalidate_locations(table);
+        }
+        entries.len()
     }
 
     pub fn len(&self) -> usize {
@@ -269,6 +277,30 @@ mod tests {
     }
 
     #[test]
+    fn invalidation_broadcasts_to_cached_connections() {
+        use shc_kvstore::types::{FamilyDescriptor, TableDescriptor, TableName};
+        let cache = ConnectionCache::new();
+        let cluster = cluster("inv");
+        let name = TableName::default_ns("t");
+        cluster
+            .create_table(
+                TableDescriptor::new(name.clone()).with_family(FamilyDescriptor::new("cf")),
+            )
+            .unwrap();
+        let lease = cache.acquire(&cluster, None);
+        lease.locate_regions(&name).unwrap(); // populate the location cache
+        let before = cluster.metrics.snapshot().location_invalidations;
+        let told = cache.invalidate_locations(&name);
+        assert_eq!(told, 1);
+        assert_eq!(
+            cluster.metrics.snapshot().location_invalidations,
+            before + 1
+        );
+        // The connection recovers by re-reading meta.
+        assert_eq!(lease.locate_regions(&name).unwrap().len(), 1);
+    }
+
+    #[test]
     fn global_cache_is_shared() {
         let g1 = ConnectionCache::global();
         let g2 = ConnectionCache::global();
@@ -280,10 +312,7 @@ mod tests {
         let cache = ConnectionCache::new();
         let cluster = cluster("hk");
         drop(cache.acquire(&cluster, None));
-        let _handle = cache.spawn_housekeeper(
-            Duration::from_millis(10),
-            Duration::from_millis(1),
-        );
+        let _handle = cache.spawn_housekeeper(Duration::from_millis(10), Duration::from_millis(1));
         let deadline = Instant::now() + Duration::from_secs(2);
         while !cache.is_empty() && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));

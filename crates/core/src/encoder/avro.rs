@@ -64,13 +64,11 @@ impl AvroSchema {
                         .map(|f| {
                             let fname = f
                                 .get_str("name")
-                                .ok_or_else(|| {
-                                    ShcError::Codec("field missing name".into())
-                                })?
+                                .ok_or_else(|| ShcError::Codec("field missing name".into()))?
                                 .to_string();
-                            let ftype = f.get("type").ok_or_else(|| {
-                                ShcError::Codec("field missing type".into())
-                            })?;
+                            let ftype = f
+                                .get("type")
+                                .ok_or_else(|| ShcError::Codec("field missing type".into()))?;
                             Ok((fname, Self::from_json(ftype)?))
                         })
                         .collect::<Result<_>>()?;
@@ -93,11 +91,7 @@ impl AvroSchema {
             "double" => AvroSchema::Double,
             "string" => AvroSchema::String,
             "bytes" => AvroSchema::Bytes,
-            other => {
-                return Err(ShcError::Codec(format!(
-                    "unsupported Avro type {other}"
-                )))
-            }
+            other => return Err(ShcError::Codec(format!("unsupported Avro type {other}"))),
         })
     }
 
@@ -195,9 +189,7 @@ pub fn encode_value(schema: &AvroSchema, value: &Value, out: &mut Vec<u8>) -> Re
                 branches
                     .iter()
                     .position(|b| !matches!(b, AvroSchema::Null))
-                    .ok_or_else(|| {
-                        ShcError::Codec("union has no value branch".into())
-                    })?
+                    .ok_or_else(|| ShcError::Codec("union has no value branch".into()))?
             };
             write_long(index as i64, out);
             encode_value(&branches[index], v, out)
@@ -267,14 +259,18 @@ pub fn decode_value(schema: &AvroSchema, bytes: &[u8], pos: &mut usize) -> Resul
                 .get(*pos..*pos + 4)
                 .ok_or_else(|| ShcError::Codec("truncated float".into()))?;
             *pos += 4;
-            Ok(Value::Float32(f32::from_le_bytes(slice.try_into().unwrap())))
+            Ok(Value::Float32(f32::from_le_bytes(
+                slice.try_into().unwrap(),
+            )))
         }
         AvroSchema::Double => {
             let slice = bytes
                 .get(*pos..*pos + 8)
                 .ok_or_else(|| ShcError::Codec("truncated double".into()))?;
             *pos += 8;
-            Ok(Value::Float64(f64::from_le_bytes(slice.try_into().unwrap())))
+            Ok(Value::Float64(f64::from_le_bytes(
+                slice.try_into().unwrap(),
+            )))
         }
         AvroSchema::String => {
             let data = read_bytes(bytes, pos)?;
@@ -294,7 +290,9 @@ pub fn decode_value(schema: &AvroSchema, bytes: &[u8], pos: &mut usize) -> Resul
 /// Encode a full record (field values in schema order).
 pub fn encode_record(schema: &AvroSchema, values: &[Value]) -> Result<Vec<u8>> {
     let AvroSchema::Record { fields, .. } = schema else {
-        return Err(ShcError::Codec("encode_record needs a record schema".into()));
+        return Err(ShcError::Codec(
+            "encode_record needs a record schema".into(),
+        ));
     };
     if fields.len() != values.len() {
         return Err(ShcError::Codec(format!(
@@ -313,7 +311,9 @@ pub fn encode_record(schema: &AvroSchema, values: &[Value]) -> Result<Vec<u8>> {
 /// Decode a full record.
 pub fn decode_record(schema: &AvroSchema, bytes: &[u8]) -> Result<Vec<Value>> {
     let AvroSchema::Record { fields, .. } = schema else {
-        return Err(ShcError::Codec("decode_record needs a record schema".into()));
+        return Err(ShcError::Codec(
+            "decode_record needs a record schema".into(),
+        ));
     };
     let mut pos = 0;
     let mut out = Vec::with_capacity(fields.len());
@@ -457,10 +457,10 @@ mod tests {
             AvroSchema::Record { name, fields } => {
                 assert_eq!(name, "Active");
                 assert_eq!(fields.len(), 3);
-                assert_eq!(fields[2].1, AvroSchema::Union(vec![
-                    AvroSchema::Null,
-                    AvroSchema::Double
-                ]));
+                assert_eq!(
+                    fields[2].1,
+                    AvroSchema::Union(vec![AvroSchema::Null, AvroSchema::Double])
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -477,19 +477,11 @@ mod tests {
             ]}"#,
         )
         .unwrap();
-        let values = vec![
-            Value::Utf8("hello".into()),
-            Value::Int64(-42),
-            Value::Null,
-        ];
+        let values = vec![Value::Utf8("hello".into()), Value::Int64(-42), Value::Null];
         let bytes = encode_record(&schema, &values).unwrap();
         assert_eq!(decode_record(&schema, &bytes).unwrap(), values);
 
-        let values2 = vec![
-            Value::Utf8("".into()),
-            Value::Int64(7),
-            Value::Float64(1.5),
-        ];
+        let values2 = vec![Value::Utf8("".into()), Value::Int64(7), Value::Float64(1.5)];
         let bytes2 = encode_record(&schema, &values2).unwrap();
         assert_eq!(decode_record(&schema, &bytes2).unwrap(), values2);
     }

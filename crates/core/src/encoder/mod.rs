@@ -86,7 +86,7 @@ pub(crate) mod test_util {
             (Value::Int64(i64::MIN), DataType::Int64),
             (Value::Float32(3.25), DataType::Float32),
             (Value::Float32(-7.5), DataType::Float32),
-            (Value::Float64(2.718281828), DataType::Float64),
+            (Value::Float64(1.6180339887), DataType::Float64),
             (Value::Float64(-0.001), DataType::Float64),
             (Value::Utf8("row120".into()), DataType::Utf8),
             (Value::Utf8("".into()), DataType::Utf8),
@@ -111,8 +111,7 @@ pub(crate) mod test_util {
         for w in encoded.windows(2) {
             assert!(w[0] < w[1], "{}: int byte order broken", codec.name());
         }
-        let float_cases: Vec<f64> =
-            vec![f64::NEG_INFINITY, -1e9, -1.5, -0.0, 0.0, 0.25, 2.0, 1e9];
+        let float_cases: Vec<f64> = vec![f64::NEG_INFINITY, -1e9, -1.5, -0.0, 0.0, 0.25, 2.0, 1e9];
         let encoded: Vec<Vec<u8>> = float_cases
             .iter()
             .map(|v| {

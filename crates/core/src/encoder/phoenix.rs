@@ -105,10 +105,7 @@ mod tests {
             let a = phoenix.encode(&Value::Int64(v), DataType::Int64).unwrap();
             let b = native.encode(&Value::Int64(v), DataType::Int64).unwrap();
             assert_eq!(a, b);
-            assert_eq!(
-                native.decode(&a, DataType::Int64).unwrap(),
-                Value::Int64(v)
-            );
+            assert_eq!(native.decode(&a, DataType::Int64).unwrap(), Value::Int64(v));
         }
     }
 

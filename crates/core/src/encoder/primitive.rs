@@ -81,18 +81,12 @@ impl FieldCodec for PrimitiveCodec {
         Ok(match (data_type, value) {
             (DataType::Boolean, Value::Boolean(b)) => vec![*b as u8],
             (DataType::Int8, Value::Int8(v)) => vec![(*v as u8) ^ 0x80],
-            (DataType::Int16, Value::Int16(v)) => {
-                ((*v as u16) ^ 0x8000).to_be_bytes().to_vec()
-            }
+            (DataType::Int16, Value::Int16(v)) => ((*v as u16) ^ 0x8000).to_be_bytes().to_vec(),
             (DataType::Int32, Value::Int32(v)) => {
                 ((*v as u32) ^ 0x8000_0000).to_be_bytes().to_vec()
             }
-            (DataType::Int64, Value::Int64(v)) => {
-                flip_sign_u64(*v).to_be_bytes().to_vec()
-            }
-            (DataType::Timestamp, Value::Timestamp(v)) => {
-                flip_sign_u64(*v).to_be_bytes().to_vec()
-            }
+            (DataType::Int64, Value::Int64(v)) => flip_sign_u64(*v).to_be_bytes().to_vec(),
+            (DataType::Timestamp, Value::Timestamp(v)) => flip_sign_u64(*v).to_be_bytes().to_vec(),
             (DataType::Float32, Value::Float32(v)) => {
                 f32_to_ordered_bits(*v).to_be_bytes().to_vec()
             }
@@ -105,9 +99,7 @@ impl FieldCodec for PrimitiveCodec {
             // the column's declared type (e.g. an Int64 literal into an
             // Int32 column).
             (dt, v) if dt.is_numeric() || dt == DataType::Timestamp => {
-                let coerced = v
-                    .cast_to(dt)
-                    .ok_or_else(|| type_error(dt, v))?;
+                let coerced = v.cast_to(dt).ok_or_else(|| type_error(dt, v))?;
                 if coerced.is_null() {
                     return Err(type_error(dt, v));
                 }

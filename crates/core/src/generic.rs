@@ -148,13 +148,16 @@ mod tests {
     use crate::writer::write_rows;
     use shc_kvstore::cluster::ClusterConfig;
 
-    fn setup() -> (Arc<HBaseCluster>, Arc<GenericHBaseRelation>, Arc<HBaseRelation>) {
+    fn setup() -> (
+        Arc<HBaseCluster>,
+        Arc<GenericHBaseRelation>,
+        Arc<HBaseRelation>,
+    ) {
         let cluster = HBaseCluster::start(ClusterConfig {
             num_servers: 3,
             ..Default::default()
         });
-        let catalog =
-            Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
+        let catalog = Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
         let rows: Vec<Row> = (0..30)
             .map(|i| {
                 Row::new(vec![
@@ -176,10 +179,7 @@ mod tests {
     #[test]
     fn generic_reports_everything_unhandled_and_unprunable() {
         let (_c, generic, _shc) = setup();
-        let filters = vec![SourceFilter::Eq(
-            "col0".into(),
-            Value::Utf8("row05".into()),
-        )];
+        let filters = vec![SourceFilter::Eq("col0".into(), Value::Utf8("row05".into()))];
         assert_eq!(generic.unhandled_filters(&filters), filters);
         assert!(!generic.supports_projection());
     }
@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn generic_scans_every_region_regardless_of_filter() {
         let (_c, generic, shc) = setup();
-        let filters = vec![SourceFilter::Eq(
-            "col0".into(),
-            Value::Utf8("row05".into()),
-        )];
+        let filters = vec![SourceFilter::Eq("col0".into(), Value::Utf8("row05".into()))];
         let generic_parts = generic.scan(None, &filters).unwrap();
         let shc_parts = shc.scan(None, &filters).unwrap();
         assert_eq!(generic_parts.len(), 3); // one per region, no pruning
@@ -218,10 +215,7 @@ mod tests {
     #[test]
     fn generic_does_far_more_server_work_for_selective_queries() {
         let (cluster, generic, shc) = setup();
-        let filters = vec![SourceFilter::Eq(
-            "col0".into(),
-            Value::Utf8("row05".into()),
-        )];
+        let filters = vec![SourceFilter::Eq("col0".into(), Value::Utf8("row05".into()))];
         let run = |parts: Vec<Arc<dyn ScanPartition>>| {
             for p in parts {
                 p.execute("host-0").unwrap();

@@ -204,9 +204,9 @@ impl JsonParser {
                     Some('u') => {
                         let mut code = 0u32;
                         for _ in 0..4 {
-                            let d = self.bump().ok_or_else(|| {
-                                ShcError::Catalog("truncated \\u escape".into())
-                            })?;
+                            let d = self
+                                .bump()
+                                .ok_or_else(|| ShcError::Catalog("truncated \\u escape".into()))?;
                             code = code * 16
                                 + d.to_digit(16).ok_or_else(|| {
                                     ShcError::Catalog("invalid \\u escape".into())
@@ -214,11 +214,7 @@ impl JsonParser {
                         }
                         out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                     }
-                    other => {
-                        return Err(ShcError::Catalog(format!(
-                            "invalid escape {other:?}"
-                        )))
-                    }
+                    other => return Err(ShcError::Catalog(format!("invalid escape {other:?}"))),
                 },
                 Some(c) => out.push(c),
                 None => return Err(ShcError::Catalog("unterminated string".into())),
@@ -268,10 +264,7 @@ mod tests {
         assert_eq!(parse_json("false").unwrap(), Json::Bool(false));
         assert_eq!(parse_json("42").unwrap(), Json::Number(42.0));
         assert_eq!(parse_json("-3.5e2").unwrap(), Json::Number(-350.0));
-        assert_eq!(
-            parse_json("\"hi\"").unwrap(),
-            Json::String("hi".into())
-        );
+        assert_eq!(parse_json("\"hi\"").unwrap(), Json::String("hi".into()));
     }
 
     #[test]

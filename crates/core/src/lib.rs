@@ -128,9 +128,7 @@ mod tests {
     #[test]
     fn register_helpers_wire_into_session() {
         let cluster = HBaseCluster::start_default();
-        let catalog = Arc::new(
-            HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap(),
-        );
+        let catalog = Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
         let rows = vec![Row::new(vec![
             Value::Utf8("r1".into()),
             Value::Int8(1),

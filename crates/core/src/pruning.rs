@@ -155,9 +155,7 @@ fn convert(catalog: &HBaseTableCatalog, filter: &SourceFilter) -> Converted {
         // a huge table to exclude a few points is not worth a server-side
         // filter.
         SourceFilter::NotIn(..) => Converted::nothing(),
-        SourceFilter::StringStartsWith(col, prefix) => {
-            convert_prefix(catalog, col, prefix)
-        }
+        SourceFilter::StringStartsWith(col, prefix) => convert_prefix(catalog, col, prefix),
         // HBase has no native null-cell filter (absence means null).
         SourceFilter::IsNull(_) | SourceFilter::IsNotNull(_) => Converted::nothing(),
         SourceFilter::And(a, b) => {
@@ -284,17 +282,11 @@ fn convert_compare(
     }
 }
 
-fn convert_prefix(
-    catalog: &HBaseTableCatalog,
-    col_name: &str,
-    prefix: &str,
-) -> Converted {
+fn convert_prefix(catalog: &HBaseTableCatalog, col_name: &str, prefix: &str) -> Converted {
     let Some(col) = catalog.column(col_name) else {
         return Converted::nothing();
     };
-    if col.data_type != shc_engine::value::DataType::Utf8
-        || !col.codec.order_preserving()
-    {
+    if col.data_type != shc_engine::value::DataType::Utf8 || !col.codec.order_preserving() {
         return Converted::nothing();
     }
     let encoded = prefix.as_bytes().to_vec();
@@ -341,10 +333,8 @@ fn all_dimension_refine(
         return None;
     }
     // Classify top-level conjuncts touching row-key dimensions.
-    let dim_index = |col: &str| -> Option<usize> {
-        dims.iter()
-            .position(|c| c.name.eq_ignore_ascii_case(col))
-    };
+    let dim_index =
+        |col: &str| -> Option<usize> { dims.iter().position(|c| c.name.eq_ignore_ascii_case(col)) };
     let mut eq: Vec<Option<(Vec<u8>, SourceFilter)>> = vec![None; n];
     let mut range_preds: Vec<(usize, CompareOp, Vec<u8>, SourceFilter)> = Vec::new();
     for f in filters {
@@ -466,11 +456,7 @@ fn all_dimension_refine(
 /// * block end (first key after the dim1 = v block): `enc‖0x00` for a
 ///   single-dimension key (a point), `successor(enc)` for composite
 ///   fixed-width, `enc‖0x01` for composite variable-width.
-fn first_dim_range(
-    catalog: &HBaseTableCatalog,
-    op: CompareOp,
-    enc: &[u8],
-) -> Option<RangeSet> {
+fn first_dim_range(catalog: &HBaseTableCatalog, op: CompareOp, enc: &[u8]) -> Option<RangeSet> {
     let col = catalog.first_key_column();
     let single = catalog.row_key.len() == 1;
     let var = !is_fixed_width(col.data_type);
@@ -561,10 +547,7 @@ mod tests {
 
     #[test]
     fn rowkey_eq_is_a_point_for_single_dimension_keys() {
-        let filters = vec![SourceFilter::Eq(
-            "col0".into(),
-            Value::Utf8("row5".into()),
-        )];
+        let filters = vec![SourceFilter::Eq("col0".into(), Value::Utf8("row5".into()))];
         let plan = plan_pushdown(&catalog(), &conf(), &filters);
         assert!(plan.ranges.contains(b"row5"));
         assert!(!plan.ranges.contains(b"row50")); // not a prefix match
@@ -614,10 +597,7 @@ mod tests {
 
     #[test]
     fn value_column_predicate_becomes_server_filter() {
-        let filters = vec![SourceFilter::Gt(
-            "stay-time".into(),
-            Value::Float64(3.5),
-        )];
+        let filters = vec![SourceFilter::Gt("stay-time".into(), Value::Float64(3.5))];
         let plan = plan_pushdown(&catalog(), &conf(), &filters);
         assert_eq!(plan.handled, filters);
         assert!(plan.ranges.is_full());
@@ -647,10 +627,7 @@ mod tests {
     fn rowkey_or_column_forces_full_scan() {
         // Paper §VI.1: WHERE rowkey1 > "abc" OR column = "xyz" → full scan.
         let filters = vec![SourceFilter::Or(
-            Box::new(SourceFilter::Gt(
-                "col0".into(),
-                Value::Utf8("abc".into()),
-            )),
+            Box::new(SourceFilter::Gt("col0".into(), Value::Utf8("abc".into()))),
             Box::new(SourceFilter::Eq(
                 "visit-pages".into(),
                 Value::Utf8("xyz".into()),
@@ -665,10 +642,7 @@ mod tests {
     fn rowkey_or_rowkey_unions_ranges() {
         let filters = vec![SourceFilter::Or(
             Box::new(SourceFilter::Lt("col0".into(), Value::Utf8("b".into()))),
-            Box::new(SourceFilter::GtEq(
-                "col0".into(),
-                Value::Utf8("x".into()),
-            )),
+            Box::new(SourceFilter::GtEq("col0".into(), Value::Utf8("x".into()))),
         )];
         let plan = plan_pushdown(&catalog(), &conf(), &filters);
         assert_eq!(plan.handled.len(), 1);
@@ -740,10 +714,7 @@ mod tests {
 
     #[test]
     fn prefix_on_rowkey_prunes() {
-        let filters = vec![SourceFilter::StringStartsWith(
-            "col0".into(),
-            "row1".into(),
-        )];
+        let filters = vec![SourceFilter::StringStartsWith("col0".into(), "row1".into())];
         let plan = plan_pushdown(&catalog(), &conf(), &filters);
         assert_eq!(plan.handled.len(), 1);
         assert!(plan.ranges.contains(b"row1"));
@@ -753,10 +724,7 @@ mod tests {
 
     #[test]
     fn pushdown_disabled_handles_nothing() {
-        let filters = vec![SourceFilter::Eq(
-            "col0".into(),
-            Value::Utf8("x".into()),
-        )];
+        let filters = vec![SourceFilter::Eq("col0".into(), Value::Utf8("x".into()))];
         let plan = plan_pushdown(&catalog(), &SHCConf::default().without_pushdown(), &filters);
         assert!(plan.handled.is_empty());
         assert!(plan.ranges.is_full());
@@ -904,14 +872,9 @@ mod all_dims_tests {
 
     #[test]
     fn single_dimension_key_is_untouched() {
-        let catalog = HBaseTableCatalog::parse_simple(
-            crate::catalog::actives_catalog_json(),
-        )
-        .unwrap();
-        let filters = vec![SourceFilter::Eq(
-            "col0".into(),
-            Value::Utf8("row1".into()),
-        )];
+        let catalog =
+            HBaseTableCatalog::parse_simple(crate::catalog::actives_catalog_json()).unwrap();
+        let filters = vec![SourceFilter::Eq("col0".into(), Value::Utf8("row1".into()))];
         let a = plan_pushdown(&catalog, &all_dims_conf(), &filters);
         let b = plan_pushdown(&catalog, &SHCConf::default(), &filters);
         assert_eq!(a.ranges, b.ranges);

@@ -230,10 +230,7 @@ impl TableProvider for HBaseRelation {
                         relation: self.clone_handle(),
                         token: token.clone(),
                         hostname: location.hostname.clone(),
-                        work: vec![(
-                            location.clone(),
-                            RangeSet::from_range(range.clone()),
-                        )],
+                        work: vec![(location.clone(), RangeSet::from_range(range.clone()))],
                         kv_filter: plan.kv_filter.clone(),
                         kv_projection: kv_projection.clone(),
                         decoder: Arc::clone(&decoder),
@@ -245,13 +242,8 @@ impl TableProvider for HBaseRelation {
     }
 
     fn insert(&self, rows: &[Row]) -> EngineResult<u64> {
-        crate::writer::write_rows(
-            &self.cluster,
-            &self.catalog,
-            &self.conf,
-            rows,
-        )
-        .map_err(EngineError::from)
+        crate::writer::write_rows(&self.cluster, &self.catalog, &self.conf, rows)
+            .map_err(EngineError::from)
     }
 
     fn name(&self) -> String {
@@ -310,9 +302,7 @@ fn collect_filter_columns(filter: &Filter, projection: &mut Projection, any: &mu
             family, qualifier, ..
         } => {
             *any = true;
-            *projection = projection
-                .clone()
-                .column(family.clone(), qualifier.clone());
+            *projection = projection.clone().column(family.clone(), qualifier.clone());
         }
         Filter::And(children) | Filter::Or(children) => {
             for c in children {
@@ -341,9 +331,7 @@ impl RowDecoder {
         RowDecoder {
             catalog: Arc::clone(catalog),
             columns: projected.to_vec(),
-            needs_rowkey: projected
-                .iter()
-                .any(|&i| catalog.columns[i].is_rowkey()),
+            needs_rowkey: projected.iter().any(|&i| catalog.columns[i].is_rowkey()),
         }
     }
 
@@ -363,17 +351,10 @@ impl RowDecoder {
                     .iter()
                     .position(|&k| k == idx)
                     .expect("rowkey column is a key dimension");
-                values.push(
-                    key_values
-                        .as_ref()
-                        .expect("row key decoded when needed")[dim]
-                        .clone(),
-                );
+                values.push(key_values.as_ref().expect("row key decoded when needed")[dim].clone());
             } else {
                 match row.value(col.family.as_bytes(), col.qualifier.as_bytes()) {
-                    Some(bytes) => {
-                        values.push(col.codec.decode(bytes, col.data_type)?)
-                    }
+                    Some(bytes) => values.push(col.codec.decode(bytes, col.data_type)?),
                     // Absent cell = SQL NULL.
                     None => values.push(Value::Null),
                 }
@@ -524,7 +505,12 @@ impl ScanPartition for HBaseScanPartition {
             // The planned region layout went stale (split/move between
             // planning and execution): refresh locations and retry once,
             // exactly like the HBase client's NotServingRegion handling.
-            Err(EngineError::DataSource(msg)) if msg.contains("not serving") => {
+            // The client already retried under its own policy; this extra
+            // partition-level pass rebuilds the partition's work list from
+            // fresh locations, which also repairs stale locality planning.
+            Err(EngineError::DataSource(msg))
+                if msg.contains("not serving") || msg.contains("timed out") =>
+            {
                 let work = self.relocate(lease.connection())?;
                 self.run_work(&table, &work, running_on)
             }
@@ -533,11 +519,7 @@ impl ScanPartition for HBaseScanPartition {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "hbase[{} region(s) on {}]",
-            self.work.len(),
-            self.hostname
-        )
+        format!("hbase[{} region(s) on {}]", self.work.len(), self.hostname)
     }
 }
 
@@ -553,8 +535,7 @@ mod tests {
             num_servers: 3,
             ..Default::default()
         });
-        let catalog =
-            Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
+        let catalog = Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
         let conf = SHCConf::default().with_new_table_regions(3);
         // Seed 30 rows: row00..row29.
         let schema = catalog.schema();
@@ -611,10 +592,7 @@ mod tests {
     fn partition_pruning_skips_regions() {
         let (cluster, relation) = setup();
         let before = cluster.metrics.snapshot();
-        let filters = vec![SourceFilter::Eq(
-            "col0".into(),
-            Value::Utf8("row05".into()),
-        )];
+        let filters = vec![SourceFilter::Eq("col0".into(), Value::Utf8("row05".into()))];
         let parts = relation.scan(None, &filters).unwrap();
         let rows = run_partitions(&parts);
         assert_eq!(rows.len(), 1);
@@ -646,10 +624,7 @@ mod tests {
     #[test]
     fn value_filter_is_executed_server_side() {
         let (cluster, relation) = setup();
-        let filters = vec![SourceFilter::Gt(
-            "stay-time".into(),
-            Value::Float64(40.0),
-        )];
+        let filters = vec![SourceFilter::Gt("stay-time".into(), Value::Float64(40.0))];
         assert!(relation.unhandled_filters(&filters).is_empty());
         let before = cluster.metrics.snapshot();
         let parts = relation.scan(None, &filters).unwrap();
@@ -665,10 +640,7 @@ mod tests {
     #[test]
     fn not_in_reported_unhandled() {
         let (_cluster, relation) = setup();
-        let filters = vec![SourceFilter::NotIn(
-            "user-id".into(),
-            vec![Value::Int8(1)],
-        )];
+        let filters = vec![SourceFilter::NotIn("user-id".into(), vec![Value::Int8(1)])];
         assert_eq!(relation.unhandled_filters(&filters), filters);
         // The scan itself returns everything; the engine re-filters.
         let parts = relation.scan(None, &filters).unwrap();
@@ -731,8 +703,7 @@ mod tests {
     #[test]
     fn disabling_fusion_multiplies_tasks() {
         let (cluster, _) = setup();
-        let catalog =
-            Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
+        let catalog = Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
         let fused = HBaseRelation::new(
             Arc::clone(&cluster),
             Arc::clone(&catalog),
@@ -769,8 +740,7 @@ mod tests {
             .as_ref()
             .unwrap()
             .register_principal("p", "k");
-        let catalog =
-            Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
+        let catalog = Arc::new(HBaseTableCatalog::parse_simple(actives_catalog_json()).unwrap());
         // Without credentials: scan fails up front.
         let no_sec = HBaseRelation::new(
             Arc::clone(&cluster),
@@ -825,7 +795,10 @@ mod tests {
 
         // Unbounded: sees the newest version.
         let parts = relation
-            .scan(None, &[SourceFilter::Eq("col0".into(), Value::Utf8("row00".into()))])
+            .scan(
+                None,
+                &[SourceFilter::Eq("col0".into(), Value::Utf8("row00".into()))],
+            )
             .unwrap();
         let rows = run_partitions(&parts);
         assert_eq!(rows[0].get(3), &Value::Float64(999.0));
@@ -838,7 +811,10 @@ mod tests {
             SHCConf::default().with_time_range(0, write_time),
         );
         let parts = old
-            .scan(None, &[SourceFilter::Eq("col0".into(), Value::Utf8("row00".into()))])
+            .scan(
+                None,
+                &[SourceFilter::Eq("col0".into(), Value::Utf8("row00".into()))],
+            )
             .unwrap();
         let rows = run_partitions(&parts);
         assert_eq!(rows[0].get(3), &Value::Float64(0.0));

@@ -65,10 +65,7 @@ pub fn decode_rowkey(catalog: &HBaseTableCatalog, bytes: &[u8]) -> Result<Vec<Va
         let slice = match fixed_width(col.data_type) {
             Some(width) => {
                 let slice = bytes.get(pos..pos + width).ok_or_else(|| {
-                    ShcError::Codec(format!(
-                        "row key too short for dimension {}",
-                        col.name
-                    ))
+                    ShcError::Codec(format!("row key too short for dimension {}", col.name))
                 })?;
                 pos += width;
                 slice
@@ -106,20 +103,14 @@ pub fn decode_rowkey(catalog: &HBaseTableCatalog, bytes: &[u8]) -> Result<Vec<Va
 }
 
 /// Encode just the first (leading) dimension — the pruning prefix.
-pub fn encode_first_dimension(
-    catalog: &HBaseTableCatalog,
-    value: &Value,
-) -> Result<Vec<u8>> {
+pub fn encode_first_dimension(catalog: &HBaseTableCatalog, value: &Value) -> Result<Vec<u8>> {
     let col = catalog.first_key_column();
     col.codec.encode(value, col.data_type)
 }
 
 /// Encoded byte spans of every dimension within a key, for all-dimension
 /// pruning (the paper's future-work extension).
-pub fn dimension_spans(
-    catalog: &HBaseTableCatalog,
-    bytes: &[u8],
-) -> Result<Vec<(usize, usize)>> {
+pub fn dimension_spans(catalog: &HBaseTableCatalog, bytes: &[u8]) -> Result<Vec<(usize, usize)>> {
     let dims = catalog.rowkey_columns();
     let mut spans = Vec::with_capacity(dims.len());
     let mut pos = 0usize;
@@ -265,8 +256,7 @@ mod tests {
     #[test]
     fn first_dimension_prefix() {
         let c = composite_catalog();
-        let prefix =
-            encode_first_dimension(&c, &Value::Utf8("widget".into())).unwrap();
+        let prefix = encode_first_dimension(&c, &Value::Utf8("widget".into())).unwrap();
         let full = encode_rowkey(
             &c,
             &[

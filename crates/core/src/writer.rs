@@ -117,8 +117,8 @@ fn ensure_table(
         );
     }
     if conf.new_table_regions >= 2 && !rows.is_empty() {
-        descriptor = descriptor
-            .with_split_keys(sample_split_keys(catalog, rows, conf.new_table_regions)?);
+        descriptor =
+            descriptor.with_split_keys(sample_split_keys(catalog, rows, conf.new_table_regions)?);
     }
     cluster.master.create_table(descriptor)?;
     Ok(())

@@ -1,0 +1,203 @@
+//! Property tests for the field codecs and composite row keys (satellite
+//! of the fault-injection PR): every codec must round-trip every supported
+//! type, the order-preserving codecs must keep byte order aligned with
+//! value order across *all* integer widths, and composite row keys must
+//! round-trip and sort by their dimension tuple.
+
+use proptest::prelude::*;
+use shc_core::encoder::{FieldCodec, TableCoder};
+use shc_core::prelude::HBaseTableCatalog;
+use shc_core::rowkey::{decode_rowkey, dimension_spans, encode_first_dimension, encode_rowkey};
+use shc_engine::value::{DataType, Value};
+
+const CODERS: [TableCoder; 3] = [
+    TableCoder::PrimitiveType,
+    TableCoder::Phoenix,
+    TableCoder::Avro,
+];
+
+/// The order-preserving subset.
+const ORDERED_CODERS: [TableCoder; 2] = [TableCoder::PrimitiveType, TableCoder::Phoenix];
+
+fn roundtrip(codec: &dyn FieldCodec, value: Value, dt: DataType) -> Value {
+    let bytes = codec.encode(&value, dt).unwrap();
+    codec.decode(&bytes, dt).unwrap()
+}
+
+proptest! {
+    /// Every coder round-trips every fixed-width type, for arbitrary values.
+    #[test]
+    fn all_coders_roundtrip_fixed_width_types(
+        b in any::<bool>(),
+        i8v in any::<i8>(),
+        i16v in any::<i16>(),
+        i32v in any::<i32>(),
+        i64v in any::<i64>(),
+        f32v in any::<f32>(),
+        f64v in any::<f64>(),
+        ts in any::<i64>(),
+    ) {
+        prop_assume!(!f32v.is_nan() && !f64v.is_nan());
+        for coder in CODERS {
+            let c = coder.codec();
+            prop_assert_eq!(roundtrip(&*c, Value::Boolean(b), DataType::Boolean), Value::Boolean(b));
+            prop_assert_eq!(roundtrip(&*c, Value::Int8(i8v), DataType::Int8), Value::Int8(i8v));
+            prop_assert_eq!(roundtrip(&*c, Value::Int16(i16v), DataType::Int16), Value::Int16(i16v));
+            prop_assert_eq!(roundtrip(&*c, Value::Int32(i32v), DataType::Int32), Value::Int32(i32v));
+            prop_assert_eq!(roundtrip(&*c, Value::Int64(i64v), DataType::Int64), Value::Int64(i64v));
+            prop_assert_eq!(roundtrip(&*c, Value::Float32(f32v), DataType::Float32), Value::Float32(f32v));
+            prop_assert_eq!(roundtrip(&*c, Value::Float64(f64v), DataType::Float64), Value::Float64(f64v));
+            prop_assert_eq!(roundtrip(&*c, Value::Timestamp(ts), DataType::Timestamp), Value::Timestamp(ts));
+        }
+    }
+
+    /// Strings and binary round-trip through every coder.
+    #[test]
+    fn all_coders_roundtrip_variable_width_types(
+        s in ".{0,48}",
+        bin in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        for coder in CODERS {
+            let c = coder.codec();
+            prop_assert_eq!(
+                roundtrip(&*c, Value::Utf8(s.clone()), DataType::Utf8),
+                Value::Utf8(s.clone())
+            );
+            prop_assert_eq!(
+                roundtrip(&*c, Value::Binary(bin.clone()), DataType::Binary),
+                Value::Binary(bin.clone())
+            );
+        }
+    }
+
+    /// Order-preserving coders keep byte order == value order for every
+    /// integer width and for timestamps.
+    #[test]
+    fn ordered_coders_preserve_integer_order(
+        a8 in any::<i8>(), b8 in any::<i8>(),
+        a16 in any::<i16>(), b16 in any::<i16>(),
+        a32 in any::<i32>(), b32 in any::<i32>(),
+        a64 in any::<i64>(), b64 in any::<i64>(),
+    ) {
+        for coder in ORDERED_CODERS {
+            let c = coder.codec();
+            prop_assert!(c.order_preserving());
+            let enc = |v: &Value, dt: DataType| c.encode(v, dt).unwrap();
+            prop_assert_eq!(
+                enc(&Value::Int8(a8), DataType::Int8).cmp(&enc(&Value::Int8(b8), DataType::Int8)),
+                a8.cmp(&b8)
+            );
+            prop_assert_eq!(
+                enc(&Value::Int16(a16), DataType::Int16)
+                    .cmp(&enc(&Value::Int16(b16), DataType::Int16)),
+                a16.cmp(&b16)
+            );
+            prop_assert_eq!(
+                enc(&Value::Int32(a32), DataType::Int32)
+                    .cmp(&enc(&Value::Int32(b32), DataType::Int32)),
+                a32.cmp(&b32)
+            );
+            prop_assert_eq!(
+                enc(&Value::Int64(a64), DataType::Int64)
+                    .cmp(&enc(&Value::Int64(b64), DataType::Int64)),
+                a64.cmp(&b64)
+            );
+            prop_assert_eq!(
+                enc(&Value::Timestamp(a64), DataType::Timestamp)
+                    .cmp(&enc(&Value::Timestamp(b64), DataType::Timestamp)),
+                a64.cmp(&b64)
+            );
+        }
+    }
+
+    /// Byte order matches string order (ASCII strings encode verbatim).
+    #[test]
+    fn ordered_coders_preserve_string_order(a in "[ -~]{0,16}", b in "[ -~]{0,16}") {
+        for coder in ORDERED_CODERS {
+            let c = coder.codec();
+            let ea = c.encode(&Value::Utf8(a.clone()), DataType::Utf8).unwrap();
+            let eb = c.encode(&Value::Utf8(b.clone()), DataType::Utf8).unwrap();
+            prop_assert_eq!(ea.cmp(&eb), a.as_bytes().cmp(b.as_bytes()));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Composite row keys
+// ----------------------------------------------------------------------
+
+fn composite_catalog() -> HBaseTableCatalog {
+    HBaseTableCatalog::parse_simple(
+        r#"{
+        "table":{"namespace":"default","name":"t"},
+        "rowkey":"k1:k2:k3",
+        "columns":{
+            "name":{"cf":"rowkey","col":"k1","type":"string"},
+            "year":{"cf":"rowkey","col":"k2","type":"int"},
+            "tag":{"cf":"rowkey","col":"k3","type":"string"},
+            "v":{"cf":"cf1","col":"v","type":"double"}
+        }}"#,
+    )
+    .unwrap()
+}
+
+fn dims(name: String, year: i32, tag: String) -> Vec<Value> {
+    vec![Value::Utf8(name), Value::Int32(year), Value::Utf8(tag)]
+}
+
+proptest! {
+    /// Any separator-free dimension tuple round-trips through the key.
+    #[test]
+    fn composite_rowkey_roundtrips(
+        name in "[a-z]{0,10}",
+        year in any::<i32>(),
+        tag in "[a-z]{0,10}",
+    ) {
+        let c = composite_catalog();
+        let values = dims(name, year, tag);
+        let key = encode_rowkey(&c, &values).unwrap();
+        prop_assert_eq!(decode_rowkey(&c, &key).unwrap(), values);
+    }
+
+    /// Keys sort exactly like their dimension tuples (string, int, string),
+    /// and the first dimension's encoding is always a key prefix.
+    #[test]
+    fn composite_rowkey_orders_by_tuple(
+        n1 in "[a-z]{1,6}", y1 in any::<i32>(), t1 in "[a-z]{0,6}",
+        n2 in "[a-z]{1,6}", y2 in any::<i32>(), t2 in "[a-z]{0,6}",
+    ) {
+        let c = composite_catalog();
+        let k1 = encode_rowkey(&c, &dims(n1.clone(), y1, t1.clone())).unwrap();
+        let k2 = encode_rowkey(&c, &dims(n2.clone(), y2, t2.clone())).unwrap();
+        let tuple1 = (n1.clone(), y1, t1);
+        let tuple2 = (n2, y2, t2);
+        prop_assert_eq!(k1.cmp(&k2), tuple1.cmp(&tuple2));
+        let prefix = encode_first_dimension(&c, &Value::Utf8(n1)).unwrap();
+        prop_assert!(k1.starts_with(&prefix));
+    }
+
+    /// Dimension spans partition the key: in order, non-overlapping, and
+    /// each span decodes to the dimension that produced it.
+    #[test]
+    fn dimension_spans_tile_the_key(
+        name in "[a-z]{0,8}",
+        year in any::<i32>(),
+        tag in "[a-z]{0,8}",
+    ) {
+        let c = composite_catalog();
+        let values = dims(name, year, tag);
+        let key = encode_rowkey(&c, &values).unwrap();
+        let spans = dimension_spans(&c, &key).unwrap();
+        prop_assert_eq!(spans.len(), 3);
+        let cols = c.rowkey_columns();
+        let mut prev_end = 0usize;
+        for ((start, end), (col, expected)) in spans.iter().zip(cols.iter().zip(&values)) {
+            prop_assert!(*start >= prev_end);
+            prop_assert!(end >= start);
+            let decoded = col.codec.decode(&key[*start..*end], col.data_type).unwrap();
+            prop_assert_eq!(&decoded, expected);
+            prev_end = *end;
+        }
+        prop_assert_eq!(spans[2].1, key.len());
+    }
+}

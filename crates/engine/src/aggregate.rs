@@ -147,9 +147,9 @@ impl Accumulator {
                 }
             }
             Accumulator::Avg { sum, n } => {
-                *sum += value.as_f64().ok_or_else(|| {
-                    EngineError::Execution(format!("AVG of non-numeric {value}"))
-                })?;
+                *sum += value
+                    .as_f64()
+                    .ok_or_else(|| EngineError::Execution(format!("AVG of non-numeric {value}")))?;
                 *n += 1;
             }
             Accumulator::MinMax { best, is_min } => {
@@ -276,10 +276,7 @@ impl Accumulator {
             }
             Accumulator::MinMax { best, .. } => best.clone(),
             Accumulator::Moments {
-                n,
-                m2,
-                variance,
-                ..
+                n, m2, variance, ..
             } => {
                 if *n < 2 {
                     Value::Null
@@ -419,10 +416,7 @@ mod tests {
     fn from_name_and_output_type() {
         assert_eq!(AggFunc::from_name("stddev_samp"), Some(AggFunc::Stddev));
         assert_eq!(AggFunc::from_name("nope"), None);
-        assert_eq!(
-            AggFunc::Sum.output_type(DataType::Int32),
-            DataType::Int64
-        );
+        assert_eq!(AggFunc::Sum.output_type(DataType::Int32), DataType::Int64);
         assert_eq!(
             AggFunc::Sum.output_type(DataType::Float32),
             DataType::Float64

@@ -196,11 +196,7 @@ pub fn flatten_and(expr: &Expr, out: &mut Vec<Expr>) {
 
 /// Try to orient an equality conjunct into (left-side expr, right-side
 /// expr) against the two input schemas.
-fn split_equi(
-    conjunct: &Expr,
-    left: &Schema,
-    right: &Schema,
-) -> Option<(Expr, Expr)> {
+fn split_equi(conjunct: &Expr, left: &Schema, right: &Schema) -> Option<(Expr, Expr)> {
     let Expr::BinaryOp {
         left: a,
         op: BinaryOp::Eq,
@@ -262,11 +258,7 @@ fn plan_aggregate(query: &Query, input: LogicalPlan, has_agg: bool) -> Result<Lo
             "SELECT DISTINCT cannot be combined with aggregate functions".into(),
         ));
     }
-    if query
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Star))
-    {
+    if query.items.iter().any(|i| matches!(i, SelectItem::Star)) {
         return Err(EngineError::Analysis(
             "SELECT * cannot be combined with aggregation".into(),
         ));
@@ -317,9 +309,7 @@ fn plan_aggregate(query: &Query, input: LogicalPlan, has_agg: bool) -> Result<Lo
                     .iter()
                     .position(|(g, _)| exprs_match(g, expr))
                     .ok_or_else(|| {
-                        EngineError::Analysis(format!(
-                            "select item {expr} must appear in GROUP BY"
-                        ))
+                        EngineError::Analysis(format!("select item {expr} must appear in GROUP BY"))
                     })?;
                 let name = alias.clone().unwrap_or_else(|| group[pos].1.clone());
                 output.push((Expr::col(group[pos].1.clone()), name));
@@ -357,8 +347,14 @@ fn plan_aggregate(query: &Query, input: LogicalPlan, has_agg: bool) -> Result<Lo
 fn exprs_match(a: &Expr, b: &Expr) -> bool {
     match (a, b) {
         (
-            Expr::Column { name: n1, qualifier: q1 },
-            Expr::Column { name: n2, qualifier: q2 },
+            Expr::Column {
+                name: n1,
+                qualifier: q1,
+            },
+            Expr::Column {
+                name: n2,
+                qualifier: q2,
+            },
         ) => {
             n1.eq_ignore_ascii_case(n2)
                 && match (q1, q2) {
@@ -434,10 +430,7 @@ mod tests {
 
     #[test]
     fn join_splits_equi_keys() {
-        let p = plan(
-            "SELECT id FROM users JOIN depts ON users.dept = depts.dept_name",
-        )
-        .unwrap();
+        let p = plan("SELECT id FROM users JOIN depts ON users.dept = depts.dept_name").unwrap();
         fn find_join(p: &LogicalPlan) -> Option<&LogicalPlan> {
             match p {
                 LogicalPlan::Join { .. } => Some(p),
@@ -458,27 +451,19 @@ mod tests {
     #[test]
     fn reversed_join_condition_is_oriented() {
         // depts.dept_name = users.dept — right side named first.
-        let p = plan(
-            "SELECT id FROM users JOIN depts ON depts.dept_name = users.dept",
-        );
+        let p = plan("SELECT id FROM users JOIN depts ON depts.dept_name = users.dept");
         assert!(p.is_ok());
     }
 
     #[test]
     fn join_without_equi_errors() {
-        let err = plan(
-            "SELECT id FROM users JOIN depts ON users.score > 1",
-        )
-        .unwrap_err();
+        let err = plan("SELECT id FROM users JOIN depts ON users.score > 1").unwrap_err();
         assert!(err.to_string().contains("equi"));
     }
 
     #[test]
     fn group_by_with_aggregates() {
-        let p = plan(
-            "SELECT dept, AVG(score) AS m, COUNT(*) n FROM users GROUP BY dept",
-        )
-        .unwrap();
+        let p = plan("SELECT dept, AVG(score) AS m, COUNT(*) n FROM users GROUP BY dept").unwrap();
         let s = p.schema().unwrap();
         assert_eq!(s.field_names(), vec!["dept", "m", "n"]);
         assert_eq!(s.field(1).data_type, DataType::Float64);
@@ -492,9 +477,7 @@ mod tests {
 
     #[test]
     fn having_resolves_aliases() {
-        let p = plan(
-            "SELECT dept, COUNT(*) AS n FROM users GROUP BY dept HAVING n > 2",
-        );
+        let p = plan("SELECT dept, COUNT(*) AS n FROM users GROUP BY dept HAVING n > 2");
         assert!(p.is_ok(), "{p:?}");
     }
 
@@ -504,8 +487,9 @@ mod tests {
         fn has_aggregate(p: &LogicalPlan) -> bool {
             match p {
                 LogicalPlan::Aggregate { aggs, .. } => aggs.is_empty(),
-                LogicalPlan::Projection { input, .. }
-                | LogicalPlan::Filter { input, .. } => has_aggregate(input),
+                LogicalPlan::Projection { input, .. } | LogicalPlan::Filter { input, .. } => {
+                    has_aggregate(input)
+                }
                 _ => false,
             }
         }
@@ -532,10 +516,8 @@ mod tests {
 
     #[test]
     fn order_by_alias_and_limit() {
-        let p = plan(
-            "SELECT dept, COUNT(*) AS n FROM users GROUP BY dept ORDER BY n DESC LIMIT 5",
-        )
-        .unwrap();
+        let p = plan("SELECT dept, COUNT(*) AS n FROM users GROUP BY dept ORDER BY n DESC LIMIT 5")
+            .unwrap();
         assert!(matches!(p, LogicalPlan::Limit { n: 5, .. }));
     }
 

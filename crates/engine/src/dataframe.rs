@@ -293,11 +293,7 @@ mod tests {
         let left = s.read_table("t").unwrap().alias("l");
         let right = s.read_table("t").unwrap().alias("r");
         let joined = left
-            .join(
-                &right,
-                vec![(col("l.id"), col("r.id"))],
-                JoinType::Inner,
-            )
+            .join(&right, vec![(col("l.id"), col("r.id"))], JoinType::Inner)
             .filter(col("l.id").lt(lit(3i64)));
         assert_eq!(joined.count().unwrap(), 3);
     }

@@ -450,11 +450,9 @@ impl Expr {
                 }
             }
             Expr::ScalarFunc { func, args } => match func {
-                ScalarFunc::Round | ScalarFunc::Abs => {
-                    args.first().map_or(Ok(DataType::Float64), |a| {
-                        a.data_type(schema)
-                    })?
-                }
+                ScalarFunc::Round | ScalarFunc::Abs => args
+                    .first()
+                    .map_or(Ok(DataType::Float64), |a| a.data_type(schema))?,
                 ScalarFunc::Upper | ScalarFunc::Lower => DataType::Utf8,
                 ScalarFunc::Coalesce => args
                     .first()
@@ -581,12 +579,14 @@ impl BoundExpr {
             BoundExpr::BinaryOp { left, op, right } => {
                 eval_binary(left.eval(row)?, *op, || right.eval(row))?
             }
-            BoundExpr::Not(e) => match e.eval(row)? {
-                Value::Null => Value::Null,
-                v => Value::Boolean(!v.as_bool().ok_or_else(|| {
-                    EngineError::Execution("NOT applied to non-boolean".into())
-                })?),
-            },
+            BoundExpr::Not(e) => {
+                match e.eval(row)? {
+                    Value::Null => Value::Null,
+                    v => Value::Boolean(!v.as_bool().ok_or_else(|| {
+                        EngineError::Execution("NOT applied to non-boolean".into())
+                    })?),
+                }
+            }
             BoundExpr::IsNull(e) => Value::Boolean(e.eval(row)?.is_null()),
             BoundExpr::IsNotNull(e) => Value::Boolean(!e.eval(row)?.is_null()),
             BoundExpr::InList {
@@ -648,9 +648,8 @@ impl BoundExpr {
             }
             BoundExpr::Cast { expr, to } => {
                 let v = expr.eval(row)?;
-                v.cast_to(*to).ok_or_else(|| {
-                    EngineError::Execution(format!("cannot cast {v} to {to}"))
-                })?
+                v.cast_to(*to)
+                    .ok_or_else(|| EngineError::Execution(format!("cannot cast {v} to {to}")))?
             }
             BoundExpr::Case {
                 branches,
@@ -675,11 +674,7 @@ impl BoundExpr {
                 Value::Int64(v) => Value::Int64(-v),
                 Value::Float32(v) => Value::Float32(-v),
                 Value::Float64(v) => Value::Float64(-v),
-                other => {
-                    return Err(EngineError::Execution(format!(
-                        "cannot negate {other}"
-                    )))
-                }
+                other => return Err(EngineError::Execution(format!("cannot negate {other}"))),
             },
         })
     }
@@ -690,11 +685,7 @@ impl BoundExpr {
     }
 }
 
-fn eval_binary(
-    left: Value,
-    op: BinaryOp,
-    right: impl FnOnce() -> Result<Value>,
-) -> Result<Value> {
+fn eval_binary(left: Value, op: BinaryOp, right: impl FnOnce() -> Result<Value>) -> Result<Value> {
     // Short-circuit three-valued AND/OR.
     match op {
         BinaryOp::And => {
@@ -797,9 +788,8 @@ fn eval_binary(
 }
 
 fn eval_scalar_func(func: ScalarFunc, args: &[BoundExpr], row: &Row) -> Result<Value> {
-    let arity_err = |n: usize| {
-        EngineError::Execution(format!("{func:?} expects at least {n} argument(s)"))
-    };
+    let arity_err =
+        |n: usize| EngineError::Execution(format!("{func:?} expects at least {n} argument(s)"));
     match func {
         ScalarFunc::Round => {
             let v = args.first().ok_or_else(|| arity_err(1))?.eval(row)?;
@@ -876,9 +866,7 @@ pub fn like_match(pattern: &str, input: &str) -> bool {
     fn inner(p: &[char], s: &[char]) -> bool {
         match p.split_first() {
             None => s.is_empty(),
-            Some(('%', rest)) => {
-                (0..=s.len()).any(|k| inner(rest, &s[k..]))
-            }
+            Some(('%', rest)) => (0..=s.len()).any(|k| inner(rest, &s[k..])),
             Some(('_', rest)) => !s.is_empty() && inner(rest, &s[1..]),
             Some((c, rest)) => s.first() == Some(c) && inner(rest, &s[1..]),
         }
@@ -956,10 +944,7 @@ mod tests {
         assert_eq!(eval(&e, &row(2, "", 0.0)), Value::Boolean(true));
         assert_eq!(eval(&e, &row(9, "", 0.0)), Value::Boolean(false));
         // x NOT IN (..., NULL) is NULL when x not found.
-        let e = Expr::col("a").in_list(
-            vec![Expr::lit(1i64), Expr::lit(Value::Null)],
-            true,
-        );
+        let e = Expr::col("a").in_list(vec![Expr::lit(1i64), Expr::lit(Value::Null)], true);
         assert_eq!(eval(&e, &row(9, "", 0.0)), Value::Null);
         assert_eq!(eval(&e, &row(1, "", 0.0)), Value::Boolean(false));
     }

@@ -142,15 +142,11 @@ impl LogicalPlan {
                 let input_schema = input.schema()?;
                 let fields = exprs
                     .iter()
-                    .map(|(e, name)| {
-                        Ok(Field::new(name.clone(), e.data_type(&input_schema)?))
-                    })
+                    .map(|(e, name)| Ok(Field::new(name.clone(), e.data_type(&input_schema)?)))
                     .collect::<Result<Vec<_>>>()?;
                 Ok(Schema::new(fields))
             }
-            LogicalPlan::Join { left, right, .. } => {
-                Ok(left.schema()?.join(&right.schema()?))
-            }
+            LogicalPlan::Join { left, right, .. } => Ok(left.schema()?.join(&right.schema()?)),
             LogicalPlan::Aggregate { group, aggs, input } => {
                 let input_schema = input.schema()?;
                 let mut fields = Vec::with_capacity(group.len() + aggs.len());
@@ -204,10 +200,7 @@ impl LogicalPlan {
                 input.explain_into(indent + 1, out);
             }
             LogicalPlan::Projection { exprs, input } => {
-                let items: Vec<String> = exprs
-                    .iter()
-                    .map(|(e, n)| format!("{e} AS {n}"))
-                    .collect();
+                let items: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 out.push_str(&format!("{pad}Projection: {}\n", items.join(", ")));
                 input.explain_into(indent + 1, out);
             }
@@ -217,8 +210,7 @@ impl LogicalPlan {
                 on,
                 join_type,
             } => {
-                let keys: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                 out.push_str(&format!(
                     "{pad}Join({join_type:?}): {}\n",
                     keys.join(" AND ")
@@ -228,8 +220,7 @@ impl LogicalPlan {
             }
             LogicalPlan::Aggregate { group, aggs, input } => {
                 let g: Vec<String> = group.iter().map(|(e, _)| e.to_string()).collect();
-                let a: Vec<String> =
-                    aggs.iter().map(|(e, _)| e.default_name()).collect();
+                let a: Vec<String> = aggs.iter().map(|(e, _)| e.default_name()).collect();
                 out.push_str(&format!(
                     "{pad}Aggregate: group=[{}] aggs=[{}]\n",
                     g.join(", "),
@@ -263,7 +254,10 @@ impl LogicalPlan {
     pub fn check(&self) -> Result<()> {
         match self {
             LogicalPlan::Scan {
-                filters, provider, qualifier, ..
+                filters,
+                provider,
+                qualifier,
+                ..
             } => {
                 let schema = provider.schema().with_qualifier(qualifier);
                 for f in filters {

@@ -41,30 +41,20 @@ impl MemTable {
 /// Evaluate a source filter directly against a row of the full schema.
 fn filter_matches(filter: &SourceFilter, row: &Row, schema: &Schema) -> bool {
     let col = |name: &str| -> Option<Value> {
-        schema
-            .resolve(None, name)
-            .ok()
-            .map(|i| row.get(i).clone())
+        schema.resolve(None, name).ok().map(|i| row.get(i).clone())
     };
     match filter {
-        SourceFilter::Eq(c, v) => {
-            col(c).is_some_and(|x| x.sql_cmp(v) == Some(Ordering::Equal))
+        SourceFilter::Eq(c, v) => col(c).is_some_and(|x| x.sql_cmp(v) == Some(Ordering::Equal)),
+        SourceFilter::Gt(c, v) => col(c).is_some_and(|x| x.sql_cmp(v) == Some(Ordering::Greater)),
+        SourceFilter::GtEq(c, v) => col(c)
+            .is_some_and(|x| matches!(x.sql_cmp(v), Some(Ordering::Greater | Ordering::Equal))),
+        SourceFilter::Lt(c, v) => col(c).is_some_and(|x| x.sql_cmp(v) == Some(Ordering::Less)),
+        SourceFilter::LtEq(c, v) => {
+            col(c).is_some_and(|x| matches!(x.sql_cmp(v), Some(Ordering::Less | Ordering::Equal)))
         }
-        SourceFilter::Gt(c, v) => {
-            col(c).is_some_and(|x| x.sql_cmp(v) == Some(Ordering::Greater))
+        SourceFilter::In(c, vs) => {
+            col(c).is_some_and(|x| vs.iter().any(|v| x.sql_cmp(v) == Some(Ordering::Equal)))
         }
-        SourceFilter::GtEq(c, v) => col(c).is_some_and(|x| {
-            matches!(x.sql_cmp(v), Some(Ordering::Greater | Ordering::Equal))
-        }),
-        SourceFilter::Lt(c, v) => {
-            col(c).is_some_and(|x| x.sql_cmp(v) == Some(Ordering::Less))
-        }
-        SourceFilter::LtEq(c, v) => col(c).is_some_and(|x| {
-            matches!(x.sql_cmp(v), Some(Ordering::Less | Ordering::Equal))
-        }),
-        SourceFilter::In(c, vs) => col(c).is_some_and(|x| {
-            vs.iter().any(|v| x.sql_cmp(v) == Some(Ordering::Equal))
-        }),
         SourceFilter::NotIn(c, vs) => col(c).is_some_and(|x| {
             !x.is_null() && vs.iter().all(|v| x.sql_cmp(v) != Some(Ordering::Equal))
         }),
@@ -73,12 +63,8 @@ fn filter_matches(filter: &SourceFilter, row: &Row, schema: &Schema) -> bool {
             .unwrap_or(false),
         SourceFilter::IsNull(c) => col(c).is_some_and(|x| x.is_null()),
         SourceFilter::IsNotNull(c) => col(c).is_some_and(|x| !x.is_null()),
-        SourceFilter::And(a, b) => {
-            filter_matches(a, row, schema) && filter_matches(b, row, schema)
-        }
-        SourceFilter::Or(a, b) => {
-            filter_matches(a, row, schema) || filter_matches(b, row, schema)
-        }
+        SourceFilter::And(a, b) => filter_matches(a, row, schema) && filter_matches(b, row, schema),
+        SourceFilter::Or(a, b) => filter_matches(a, row, schema) || filter_matches(b, row, schema),
     }
 }
 
@@ -183,12 +169,7 @@ mod tests {
             Field::new("name", DataType::Utf8),
         ]);
         let rows: Vec<Row> = (0..10)
-            .map(|i| {
-                Row::new(vec![
-                    Value::Int64(i),
-                    Value::Utf8(format!("name{i}")),
-                ])
-            })
+            .map(|i| Row::new(vec![Value::Int64(i), Value::Utf8(format!("name{i}"))]))
             .collect();
         MemTable::with_rows(schema, rows, 3)
     }
@@ -233,7 +214,10 @@ mod tests {
         let t = table();
         let f = SourceFilter::Or(
             Box::new(SourceFilter::Eq("id".into(), Value::Int64(1))),
-            Box::new(SourceFilter::StringStartsWith("name".into(), "name9".into())),
+            Box::new(SourceFilter::StringStartsWith(
+                "name".into(),
+                "name9".into(),
+            )),
         );
         let rows = collect(t.scan(None, &[f]).unwrap());
         assert_eq!(rows.len(), 2);
@@ -254,10 +238,7 @@ mod tests {
     fn insert_appends_round_robin() {
         let t = table();
         let added = t
-            .insert(&[Row::new(vec![
-                Value::Int64(100),
-                Value::Utf8("new".into()),
-            ])])
+            .insert(&[Row::new(vec![Value::Int64(100), Value::Utf8("new".into())])])
             .unwrap();
         assert!(added > 0);
         assert_eq!(t.row_count(), 11);

@@ -28,6 +28,8 @@ pub struct QueryMetrics {
     pub materialized_bytes: AtomicU64,
     /// High-water mark of bytes held at once across pipeline stages.
     pub peak_bytes: AtomicU64,
+    /// Failed task attempts that were re-run on another executor.
+    pub task_retries: AtomicU64,
 }
 
 impl QueryMetrics {
@@ -57,6 +59,7 @@ impl QueryMetrics {
             local_tasks: self.local_tasks.load(Ordering::Relaxed),
             materialized_bytes: self.materialized_bytes.load(Ordering::Relaxed),
             peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -71,6 +74,7 @@ impl QueryMetrics {
         self.local_tasks.store(0, Ordering::Relaxed);
         self.materialized_bytes.store(0, Ordering::Relaxed);
         self.peak_bytes.store(0, Ordering::Relaxed);
+        self.task_retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -87,6 +91,7 @@ pub struct QueryMetricsSnapshot {
     pub local_tasks: u64,
     pub materialized_bytes: u64,
     pub peak_bytes: u64,
+    pub task_retries: u64,
 }
 
 impl QueryMetricsSnapshot {
@@ -102,6 +107,7 @@ impl QueryMetricsSnapshot {
             local_tasks: self.local_tasks - earlier.local_tasks,
             materialized_bytes: self.materialized_bytes - earlier.materialized_bytes,
             peak_bytes: self.peak_bytes.max(earlier.peak_bytes),
+            task_retries: self.task_retries - earlier.task_retries,
         }
     }
 

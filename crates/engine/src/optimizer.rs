@@ -247,10 +247,7 @@ fn substitute_projection(expr: &Expr, outputs: &[(Expr, String)]) -> Option<Expr
 }
 
 /// Structurally map every column reference through `f`.
-fn map_columns(
-    expr: &Expr,
-    f: &impl Fn(Option<&String>, &str) -> Expr,
-) -> Expr {
+fn map_columns(expr: &Expr, f: &impl Fn(Option<&String>, &str) -> Expr) -> Expr {
     match expr {
         Expr::Column { qualifier, name } => f(qualifier.as_ref(), name),
         Expr::Literal(v) => Expr::Literal(v.clone()),
@@ -303,9 +300,7 @@ fn map_columns(
                 .iter()
                 .map(|(c, v)| (map_columns(c, f), map_columns(v, f)))
                 .collect(),
-            else_expr: else_expr
-                .as_ref()
-                .map(|e| Box::new(map_columns(e, f))),
+            else_expr: else_expr.as_ref().map(|e| Box::new(map_columns(e, f))),
         },
         Expr::ScalarFunc { func, args } => Expr::ScalarFunc {
             func: *func,
@@ -335,10 +330,7 @@ fn fold_plan(plan: LogicalPlan) -> Result<LogicalPlan> {
             }
         }
         LogicalPlan::Projection { exprs, input } => LogicalPlan::Projection {
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (fold_expr(e), n))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (fold_expr(e), n)).collect(),
             input: Box::new(fold_plan(*input)?),
         },
         LogicalPlan::Scan {
@@ -664,9 +656,7 @@ mod tests {
 
     fn scan_filters(plan: &LogicalPlan) -> Vec<String> {
         match plan {
-            LogicalPlan::Scan { filters, .. } => {
-                filters.iter().map(|f| f.to_string()).collect()
-            }
+            LogicalPlan::Scan { filters, .. } => filters.iter().map(|f| f.to_string()).collect(),
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Projection { input, .. }
             | LogicalPlan::Limit { input, .. }
@@ -750,10 +740,7 @@ mod tests {
         let plan = LogicalPlan::Filter {
             predicate: Expr::col("double_a").gt(Expr::lit(4i64)),
             input: Box::new(LogicalPlan::Projection {
-                exprs: vec![(
-                    Expr::col("a").mul(Expr::lit(2i64)),
-                    "double_a".into(),
-                )],
+                exprs: vec![(Expr::col("a").mul(Expr::lit(2i64)), "double_a".into())],
                 input: Box::new(scan(&["a"])),
             }),
         };
@@ -850,10 +837,7 @@ mod tests {
         use crate::logical::AggExpr;
         let plan = LogicalPlan::Aggregate {
             group: vec![(Expr::col("a"), "a".into())],
-            aggs: vec![(
-                AggExpr::new(AggFunc::Sum, Expr::col("c")),
-                "s".into(),
-            )],
+            aggs: vec![(AggExpr::new(AggFunc::Sum, Expr::col("c")), "s".into())],
             input: Box::new(scan(&["a", "b", "c"])),
         };
         let optimized = prune_columns(plan, None).unwrap();
@@ -871,9 +855,7 @@ mod tests {
     #[test]
     fn full_pipeline_runs() {
         let plan = LogicalPlan::Filter {
-            predicate: Expr::col("a")
-                .gt(Expr::lit(1i64))
-                .and(Expr::lit(true)),
+            predicate: Expr::col("a").gt(Expr::lit(1i64)).and(Expr::lit(true)),
             input: Box::new(scan(&["a", "b"])),
         };
         let optimized = optimize_default(plan).unwrap();

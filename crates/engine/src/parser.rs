@@ -29,14 +29,8 @@ use crate::value::{DataType, Value};
 /// A table reference in FROM/JOIN.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TableFactor {
-    Table {
-        name: String,
-        alias: Option<String>,
-    },
-    Derived {
-        subquery: Box<Query>,
-        alias: String,
-    },
+    Table { name: String, alias: Option<String> },
+    Derived { subquery: Box<Query>, alias: String },
 }
 
 /// One JOIN clause.
@@ -114,9 +108,7 @@ fn lex(sql: &str) -> Result<Vec<Token>> {
                             i += 1;
                         }
                         None => {
-                            return Err(EngineError::Parse(
-                                "unterminated string literal".into(),
-                            ))
+                            return Err(EngineError::Parse("unterminated string literal".into()))
                         }
                     }
                 }
@@ -157,9 +149,7 @@ fn lex(sql: &str) -> Result<Vec<Token>> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
-                while i < chars.len()
-                    && (chars[i].is_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                     s.push(chars[i]);
                     i += 1;
                 }
@@ -372,9 +362,10 @@ impl Parser {
         }
         let limit = if self.eat_keyword("LIMIT") {
             match self.next() {
-                Token::Number(n) => Some(n.parse::<usize>().map_err(|_| {
-                    EngineError::Parse(format!("invalid LIMIT value {n}"))
-                })?),
+                Token::Number(n) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| EngineError::Parse(format!("invalid LIMIT value {n}")))?,
+                ),
                 other => {
                     return Err(EngineError::Parse(format!(
                         "expected number after LIMIT, found {other:?}"
@@ -421,8 +412,8 @@ impl Parser {
             return Ok(Some(self.parse_identifier()?));
         }
         const CLAUSE_KEYWORDS: &[&str] = &[
-            "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "LEFT", "INNER", "ON",
-            "FROM", "SELECT", "AND", "OR", "ASC", "DESC", "UNION",
+            "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "LEFT", "INNER", "ON", "FROM",
+            "SELECT", "AND", "OR", "ASC", "DESC", "UNION",
         ];
         if let Token::Ident(s) = self.peek() {
             if !CLAUSE_KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
@@ -457,8 +448,7 @@ impl Parser {
                     let arg = self.parse_expr()?;
                     self.expect_symbol(")")?;
                     // COUNT(1) ≡ COUNT(*).
-                    if func == AggFunc::Count
-                        && matches!(arg, Expr::Literal(ref v) if !v.is_null())
+                    if func == AggFunc::Count && matches!(arg, Expr::Literal(ref v) if !v.is_null())
                     {
                         AggExpr::count_star()
                     } else {
@@ -469,7 +459,9 @@ impl Parser {
                 // (`avg(a) / stddev(a)`) is not supported at this level.
                 if matches!(
                     self.peek(),
-                    Token::Symbol("+" | "-" | "*" | "/" | "%" | "=" | "<" | ">" | "<=" | ">=" | "<>")
+                    Token::Symbol(
+                        "+" | "-" | "*" | "/" | "%" | "=" | "<" | ">" | "<=" | ">=" | "<>"
+                    )
                 ) {
                     return Err(EngineError::Parse(
                         "aggregates cannot be combined in expressions here; \
@@ -712,9 +704,7 @@ impl Parser {
                     name,
                 })
             }
-            other => Err(EngineError::Parse(format!(
-                "unexpected token {other:?}"
-            ))),
+            other => Err(EngineError::Parse(format!("unexpected token {other:?}"))),
         }
     }
 
@@ -768,9 +758,7 @@ pub fn parse_type_name(name: &str) -> Result<DataType> {
         "string" | "varchar" | "text" => DataType::Utf8,
         "binary" => DataType::Binary,
         "timestamp" | "time" => DataType::Timestamp,
-        other => {
-            return Err(EngineError::Parse(format!("unknown type {other}")))
-        }
+        other => return Err(EngineError::Parse(format!("unknown type {other}"))),
     })
 }
 
@@ -808,15 +796,9 @@ mod tests {
         let q = parse("SELECT *, a AS x, b y FROM t u").unwrap();
         assert_eq!(q.items.len(), 3);
         assert!(matches!(q.items[0], SelectItem::Star));
-        assert!(
-            matches!(&q.items[1], SelectItem::Scalar { alias: Some(a), .. } if a == "x")
-        );
-        assert!(
-            matches!(&q.items[2], SelectItem::Scalar { alias: Some(a), .. } if a == "y")
-        );
-        assert!(
-            matches!(&q.from, TableFactor::Table { alias: Some(a), .. } if a == "u")
-        );
+        assert!(matches!(&q.items[1], SelectItem::Scalar { alias: Some(a), .. } if a == "x"));
+        assert!(matches!(&q.items[2], SelectItem::Scalar { alias: Some(a), .. } if a == "y"));
+        assert!(matches!(&q.from, TableFactor::Table { alias: Some(a), .. } if a == "u"));
     }
 
     #[test]
@@ -824,7 +806,9 @@ mod tests {
         let q = parse("SELECT a FROM t WHERE a > 1 AND b = 'x' OR c < 2.5").unwrap();
         // OR binds loosest: (a>1 AND b='x') OR (c<2.5)
         match q.where_clause.unwrap() {
-            Expr::BinaryOp { op: BinaryOp::Or, .. } => {}
+            Expr::BinaryOp {
+                op: BinaryOp::Or, ..
+            } => {}
             other => panic!("expected OR at top: {other}"),
         }
     }
@@ -834,12 +818,20 @@ mod tests {
         let q = parse("SELECT a + b * 2 FROM t").unwrap();
         match &q.items[0] {
             SelectItem::Scalar {
-                expr: Expr::BinaryOp { op: BinaryOp::Plus, right, .. },
+                expr:
+                    Expr::BinaryOp {
+                        op: BinaryOp::Plus,
+                        right,
+                        ..
+                    },
                 ..
             } => {
                 assert!(matches!(
                     **right,
-                    Expr::BinaryOp { op: BinaryOp::Multiply, .. }
+                    Expr::BinaryOp {
+                        op: BinaryOp::Multiply,
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -888,10 +880,8 @@ mod tests {
 
     #[test]
     fn derived_table() {
-        let q = parse(
-            "SELECT x.m FROM (SELECT AVG(a) AS m FROM t GROUP BY b) AS x WHERE x.m > 0",
-        )
-        .unwrap();
+        let q = parse("SELECT x.m FROM (SELECT AVG(a) AS m FROM t GROUP BY b) AS x WHERE x.m > 0")
+            .unwrap();
         match &q.from {
             TableFactor::Derived { alias, subquery } => {
                 assert_eq!(alias, "x");
@@ -918,18 +908,22 @@ mod tests {
 
     #[test]
     fn case_and_cast() {
-        let q = parse(
-            "SELECT CASE WHEN a = 0 THEN NULL ELSE b / a END, CAST(a AS double) FROM t",
-        )
-        .unwrap();
+        let q = parse("SELECT CASE WHEN a = 0 THEN NULL ELSE b / a END, CAST(a AS double) FROM t")
+            .unwrap();
         assert!(matches!(
             &q.items[0],
-            SelectItem::Scalar { expr: Expr::Case { .. }, .. }
+            SelectItem::Scalar {
+                expr: Expr::Case { .. },
+                ..
+            }
         ));
         assert!(matches!(
             &q.items[1],
             SelectItem::Scalar {
-                expr: Expr::Cast { to: DataType::Float64, .. },
+                expr: Expr::Cast {
+                    to: DataType::Float64,
+                    ..
+                },
                 ..
             }
         ));

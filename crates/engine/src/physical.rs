@@ -95,9 +95,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Vec<Vec<Row>>> {
             on,
             join_type,
         } => exec_join(left, right, on, *join_type, ctx),
-        LogicalPlan::Aggregate { group, aggs, input } => {
-            exec_aggregate(group, aggs, input, ctx)
-        }
+        LogicalPlan::Aggregate { group, aggs, input } => exec_aggregate(group, aggs, input, ctx),
         LogicalPlan::Sort { keys, input } => {
             let schema = input.schema()?;
             let bound: Vec<(BoundExpr, bool)> = keys
@@ -120,9 +118,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Vec<Vec<Row>>> {
                         (true, true) => std::cmp::Ordering::Equal,
                         (true, false) => std::cmp::Ordering::Less,
                         (false, true) => std::cmp::Ordering::Greater,
-                        (false, false) => {
-                            va.sql_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
-                        }
+                        (false, false) => va.sql_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal),
                     };
                     let ord = if *asc { ord } else { ord.reverse() };
                     if ord != std::cmp::Ordering::Equal {
@@ -142,9 +138,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Vec<Vec<Row>>> {
             Ok(vec![rows])
         }
         LogicalPlan::SubqueryAlias { input, .. } => execute(input, ctx),
-        LogicalPlan::Values { rows, .. } => {
-            Ok(vec![rows.iter().cloned().map(Row::new).collect()])
-        }
+        LogicalPlan::Values { rows, .. } => Ok(vec![rows.iter().cloned().map(Row::new).collect()]),
     }
 }
 
@@ -222,6 +216,7 @@ fn exec_scan(
                 metrics.add(&metrics.scan_bytes, rows_byte_size(&rows) as u64);
                 Ok(rows)
             })
+            .with_retries(ctx.executors.task_retries)
         })
         .collect();
     let out = run_tasks(&ctx.executors, tasks, &ctx.metrics)?;
@@ -303,7 +298,11 @@ fn exec_join(
         for part in left_parts {
             let table = Arc::clone(&table);
             let left_keys = Arc::clone(&left_keys);
+            let mut part = Some(part);
             tasks.push(Task::new(None, move |_| {
+                let part = part.take().ok_or_else(|| {
+                    EngineError::Execution("join partition already consumed".into())
+                })?;
                 let mut out = Vec::new();
                 for lrow in part {
                     let key = eval_key(&left_keys, &lrow)?;
@@ -332,7 +331,11 @@ fn exec_join(
         for (lpart, rpart) in left_shuffled.into_iter().zip(right_shuffled) {
             let left_keys = Arc::clone(&left_keys);
             let right_keys = Arc::clone(&right_keys);
+            let mut parts = Some((lpart, rpart));
             tasks.push(Task::new(None, move |_| {
+                let (lpart, rpart) = parts.take().ok_or_else(|| {
+                    EngineError::Execution("join partition already consumed".into())
+                })?;
                 let mut table: HashMap<GroupKey, Vec<Row>> = HashMap::new();
                 for row in rpart {
                     let key = eval_key(&right_keys, &row)?;
@@ -357,8 +360,7 @@ fn exec_join(
                         }
                         None => {
                             if join_type == JoinType::Left {
-                                let nulls =
-                                    Row::new(vec![Value::Null; right_width]);
+                                let nulls = Row::new(vec![Value::Null; right_width]);
                                 out.push(lrow.concat(&nulls));
                             }
                         }
@@ -415,9 +417,9 @@ fn exec_aggregate(
         let mut map: PartialMap = HashMap::new();
         for row in part {
             let key = GroupKey(eval_key(&group_exprs, row)?);
-            let states = map.entry(key).or_insert_with(|| {
-                bound_aggs.iter().map(|a| a.template.clone()).collect()
-            });
+            let states = map
+                .entry(key)
+                .or_insert_with(|| bound_aggs.iter().map(|a| a.template.clone()).collect());
             update_states(states, &bound_aggs, row)?;
         }
         partials.push(map);
@@ -465,21 +467,14 @@ fn exec_aggregate(
     // Global aggregation with no groups must emit one row even on empty
     // input (SELECT COUNT(*) FROM empty → 0).
     if group.is_empty() && out.iter().all(Vec::is_empty) {
-        let values: Vec<Value> = bound_aggs
-            .iter()
-            .map(|a| a.template.finish())
-            .collect();
+        let values: Vec<Value> = bound_aggs.iter().map(|a| a.template.finish()).collect();
         out[0] = vec![Row::new(values)];
     }
     record_stage_memory(&out, ctx);
     Ok(out)
 }
 
-fn update_states(
-    states: &mut [Accumulator],
-    aggs: &[BoundAgg],
-    row: &Row,
-) -> Result<()> {
+fn update_states(states: &mut [Accumulator], aggs: &[BoundAgg], row: &Row) -> Result<()> {
     for (state, agg) in states.iter_mut().zip(aggs) {
         match &agg.arg {
             Some(expr) => state.update(&expr.eval(row)?)?,
@@ -510,7 +505,13 @@ fn parallel_map(
         .into_iter()
         .map(|part| {
             let f = f.clone();
-            Task::new(None, move |host| f(part, host))
+            let mut part = Some(part);
+            Task::new(None, move |host| {
+                let part = part.take().ok_or_else(|| {
+                    EngineError::Execution("map partition already consumed".into())
+                })?;
+                f(part, host)
+            })
         })
         .collect();
     let out = run_tasks(&ctx.executors, tasks, &ctx.metrics)?;
@@ -599,9 +600,7 @@ mod tests {
             qualifier: "users".into(),
             provider: users_table(),
             projection: None,
-            filters: vec![Expr::col("id")
-                .add(Expr::lit(0i64))
-                .gt(Expr::lit(17i64))],
+            filters: vec![Expr::col("id").add(Expr::lit(0i64)).gt(Expr::lit(17i64))],
         };
         let rows = collect(&plan, &ctx).unwrap();
         assert_eq!(rows.len(), 2);
@@ -676,10 +675,7 @@ mod tests {
         };
         let rows = collect(&plan, &ctx).unwrap();
         assert_eq!(rows.len(), 20);
-        let unmatched = rows
-            .iter()
-            .filter(|r| r.get(3).is_null())
-            .count();
+        let unmatched = rows.iter().filter(|r| r.get(3).is_null()).count();
         assert_eq!(unmatched, 10);
     }
 
@@ -695,12 +691,7 @@ mod tests {
             input: Box::new(scan(users_table(), "users")),
         };
         let mut rows = collect(&plan, &ctx).unwrap();
-        rows.sort_by(|a, b| {
-            a.get(0)
-                .as_str()
-                .unwrap()
-                .cmp(b.get(0).as_str().unwrap())
-        });
+        rows.sort_by(|a, b| a.get(0).as_str().unwrap().cmp(b.get(0).as_str().unwrap()));
         assert_eq!(rows.len(), 2);
         // Evens 0..18 avg = 9, odds 1..19 avg = 10.
         assert_eq!(rows[0].get(1), &Value::Float64(9.0));

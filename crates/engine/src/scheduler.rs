@@ -15,24 +15,36 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// The closure type a task runs: receives the hostname of the executor it
-/// landed on and produces rows.
-pub type TaskFn = Box<dyn FnOnce(&str) -> Result<Vec<Row>> + Send>;
+/// landed on and produces rows. `FnMut` (not `FnOnce`) so a failed attempt
+/// can be re-run on another executor.
+pub type TaskFn = Box<dyn FnMut(&str) -> Result<Vec<Row>> + Send>;
 
 /// A unit of work: runs on some executor and produces rows.
 pub struct Task {
     pub preferred_host: Option<String>,
     pub run: TaskFn,
+    /// How many times a failed attempt may be re-run (0 = fail fast).
+    pub retries: u32,
 }
 
 impl Task {
     pub fn new(
         preferred_host: Option<String>,
-        run: impl FnOnce(&str) -> Result<Vec<Row>> + Send + 'static,
+        run: impl FnMut(&str) -> Result<Vec<Row>> + Send + 'static,
     ) -> Self {
         Task {
             preferred_host,
             run: Box::new(run),
+            retries: 0,
         }
+    }
+
+    /// Allow up to `retries` re-runs after failed attempts. Retried tasks
+    /// are re-placed through the shared queue, so a task whose preferred
+    /// executor keeps failing it can land somewhere else.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
     }
 }
 
@@ -44,6 +56,9 @@ pub struct ExecutorConfig {
     /// Hosts the executors are placed on, round-robin. With Spark-on-YARN
     /// co-location this is the set of region-server hostnames.
     pub hosts: Vec<String>,
+    /// Default retry budget for data-source tasks (Spark's
+    /// `spark.task.maxFailures - 1` analog).
+    pub task_retries: u32,
 }
 
 impl Default for ExecutorConfig {
@@ -51,6 +66,7 @@ impl Default for ExecutorConfig {
         ExecutorConfig {
             num_executors: 4,
             hosts: vec!["localhost".to_string()],
+            task_retries: 1,
         }
     }
 }
@@ -59,6 +75,8 @@ struct TaskSlot {
     index: usize,
     preferred: Option<String>,
     run: TaskFn,
+    retries: u32,
+    attempts: u32,
 }
 
 /// Run a batch of tasks across the executor pool; results come back in task
@@ -84,10 +102,7 @@ pub fn run_tasks(
         .collect();
 
     metrics.add(&metrics.tasks, n_tasks as u64);
-    let preferred = tasks
-        .iter()
-        .filter(|t| t.preferred_host.is_some())
-        .count() as u64;
+    let preferred = tasks.iter().filter(|t| t.preferred_host.is_some()).count() as u64;
     metrics.add(&metrics.preferred_tasks, preferred);
 
     // Two-level queue: per-host (locality) then a shared overflow queue.
@@ -98,6 +113,8 @@ pub fn run_tasks(
             index,
             preferred: task.preferred_host.clone(),
             run: task.run,
+            retries: task.retries,
+            attempts: 0,
         };
         match &task.preferred_host {
             Some(host) if hosts.iter().any(|h| h == host) => {
@@ -145,13 +162,27 @@ pub fn run_tasks(
                         }
                     });
                     match slot {
-                        Some(slot) => {
+                        Some(mut slot) => {
                             idle_rounds = 0;
                             if slot.preferred.as_deref() == Some(host.as_str()) {
                                 metrics.add(&metrics.local_tasks, 1);
                             }
                             let outcome = (slot.run)(&host);
-                            results.lock()[slot.index] = Some(outcome);
+                            match outcome {
+                                Err(_) if slot.attempts < slot.retries => {
+                                    // Re-place the attempt through the shared
+                                    // queue so another executor can pick it
+                                    // up. This worker stays alive until it
+                                    // loops again, so the batch cannot finish
+                                    // with the task in flight.
+                                    slot.attempts += 1;
+                                    metrics.add(&metrics.task_retries, 1);
+                                    any_queue.lock().push_back(slot);
+                                }
+                                outcome => {
+                                    results.lock()[slot.index] = Some(outcome);
+                                }
+                            }
                         }
                         None => {
                             // Nothing runnable right now. Exit when every
@@ -175,11 +206,7 @@ pub fn run_tasks(
         .into_inner();
     collected
         .into_iter()
-        .map(|r| {
-            r.unwrap_or_else(|| {
-                Err(EngineError::Execution("task never executed".into()))
-            })
-        })
+        .map(|r| r.unwrap_or_else(|| Err(EngineError::Execution("task never executed".into()))))
         .collect()
 }
 
@@ -202,6 +229,7 @@ mod tests {
         let cfg = ExecutorConfig {
             num_executors: 4,
             hosts: vec!["h0".into(), "h1".into()],
+            task_retries: 1,
         };
         let metrics = QueryMetrics::new();
         let tasks: Vec<Task> = (0..20).map(|i| mk_task(None, i)).collect();
@@ -218,6 +246,7 @@ mod tests {
         let cfg = ExecutorConfig {
             num_executors: 2,
             hosts: vec!["h0".into(), "h1".into()],
+            task_retries: 1,
         };
         let metrics = QueryMetrics::new();
         let tasks = vec![
@@ -247,6 +276,7 @@ mod tests {
         let cfg = ExecutorConfig {
             num_executors: 1,
             hosts: vec!["h0".into()],
+            task_retries: 1,
         };
         let metrics = QueryMetrics::new();
         let results = run_tasks(&cfg, vec![mk_task(Some("mars"), 7)], &metrics).unwrap();
@@ -258,9 +288,7 @@ mod tests {
     fn task_errors_propagate() {
         let cfg = ExecutorConfig::default();
         let metrics = QueryMetrics::new();
-        let bad = Task::new(None, |_| {
-            Err(EngineError::Execution("boom".into()))
-        });
+        let bad = Task::new(None, |_| Err(EngineError::Execution("boom".into())));
         let err = run_tasks(&cfg, vec![bad], &metrics).unwrap_err();
         assert!(err.to_string().contains("boom"));
     }
@@ -273,10 +301,47 @@ mod tests {
     }
 
     #[test]
+    fn failed_task_is_retried_and_recovers() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let cfg = ExecutorConfig {
+            num_executors: 2,
+            hosts: vec!["h0".into(), "h1".into()],
+            task_retries: 1,
+        };
+        let metrics = QueryMetrics::new();
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let flaky = Task::new(None, move |_host| {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(EngineError::Execution("executor lost".into()))
+            } else {
+                Ok(vec![Row::new(vec![Value::Int64(1)])])
+            }
+        })
+        .with_retries(1);
+        let results = run_tasks(&cfg, vec![flaky], &metrics).unwrap();
+        assert_eq!(results[0][0].get(0), &Value::Int64(1));
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(metrics.snapshot().task_retries, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_batch() {
+        let cfg = ExecutorConfig::default();
+        let metrics = QueryMetrics::new();
+        let bad =
+            Task::new(None, |_| Err(EngineError::Execution("always down".into()))).with_retries(2);
+        let err = run_tasks(&cfg, vec![bad], &metrics).unwrap_err();
+        assert!(err.to_string().contains("always down"));
+        assert_eq!(metrics.snapshot().task_retries, 2);
+    }
+
+    #[test]
     fn more_tasks_than_executors_completes() {
         let cfg = ExecutorConfig {
             num_executors: 2,
             hosts: vec!["h0".into()],
+            task_retries: 1,
         };
         let metrics = QueryMetrics::new();
         let tasks: Vec<Task> = (0..100).map(|i| mk_task(None, i)).collect();

@@ -82,10 +82,7 @@ impl Session {
     }
 
     pub fn table_provider(&self, name: &str) -> Option<Arc<dyn TableProvider>> {
-        self.tables
-            .read()
-            .get(&name.to_ascii_lowercase())
-            .cloned()
+        self.tables.read().get(&name.to_ascii_lowercase()).cloned()
     }
 
     /// Register a temp view (a named logical plan).
@@ -210,7 +207,9 @@ mod tests {
     #[test]
     fn temp_view_is_queryable() {
         let s = session_with_data();
-        let df = s.sql("SELECT id, score FROM users WHERE score > 5").unwrap();
+        let df = s
+            .sql("SELECT id, score FROM users WHERE score > 5")
+            .unwrap();
         df.create_or_replace_temp_view("hot");
         let count = s
             .sql("SELECT COUNT(*) FROM hot")

@@ -33,10 +33,7 @@ pub fn shuffle_by_key(
     let mut rows = 0u64;
     for partition in partitions {
         for row in partition {
-            let key: Vec<_> = keys
-                .iter()
-                .map(|k| k.eval(&row))
-                .collect::<Result<_>>()?;
+            let key: Vec<_> = keys.iter().map(|k| k.eval(&row)).collect::<Result<_>>()?;
             let target = (hash_key(&key) % num_output as u64) as usize;
             bytes += row.byte_size() as u64;
             rows += 1;
@@ -119,9 +116,6 @@ mod tests {
 
     #[test]
     fn hash_key_consistency_across_widths() {
-        assert_eq!(
-            hash_key(&[Value::Int32(5)]),
-            hash_key(&[Value::Int64(5)])
-        );
+        assert_eq!(hash_key(&[Value::Int32(5)]), hash_key(&[Value::Int64(5)]));
     }
 }

@@ -206,10 +206,7 @@ mod tests {
         match SourceFilter::from_expr(&e) {
             Some(SourceFilter::And(l, r)) => {
                 assert_eq!(*l, SourceFilter::Gt("a".into(), Value::Int64(1)));
-                assert_eq!(
-                    *r,
-                    SourceFilter::Eq("b".into(), Value::Utf8("x".into()))
-                );
+                assert_eq!(*r, SourceFilter::Eq("b".into(), Value::Utf8("x".into())));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -246,10 +243,7 @@ mod tests {
     fn like_prefix_only() {
         assert_eq!(
             SourceFilter::from_expr(&Expr::col("x").like("row1%")),
-            Some(SourceFilter::StringStartsWith(
-                "x".into(),
-                "row1".into()
-            ))
+            Some(SourceFilter::StringStartsWith("x".into(), "row1".into()))
         );
         assert_eq!(SourceFilter::from_expr(&Expr::col("x").like("%mid%")), None);
         assert_eq!(SourceFilter::from_expr(&Expr::col("x").like("a_c%")), None);

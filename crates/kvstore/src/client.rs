@@ -13,8 +13,73 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 static NEXT_CONNECTION_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Client retry policy for transient failures (stale locations, dropped
+/// RPCs, crashed servers): exponential backoff with deterministic jitter
+/// and a hard attempt budget.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    pub initial_backoff: Duration,
+    pub multiplier: u32,
+    pub max_backoff: Duration,
+    /// Seeds the jitter stream so backoff schedules are reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_micros(500),
+            multiplier: 2,
+            max_backoff: Duration::from_millis(20),
+            jitter_seed: 0x5eed_0f2e_7261,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: fail on the first transient error.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff before the retry following failure number `attempt`
+    /// (1-based), with ±25% deterministic jitter salted by `salt`.
+    fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self.multiplier.saturating_pow(attempt.saturating_sub(1));
+        let base = self
+            .initial_backoff
+            .saturating_mul(exp.max(1))
+            .min(self.max_backoff);
+        let x = splitmix64(self.jitter_seed ^ salt.rotate_left(17) ^ attempt as u64);
+        // Map to [0.75, 1.25).
+        let factor = 0.75 + (x >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        base.mul_f64(factor)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn op_salt(op: &str) -> u64 {
+    // FNV-1a, good enough to decorrelate per-op jitter streams.
+    op.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1_0000_0000_01b3)
+    })
+}
 
 /// A heavy-weight connection, analogous to HBase's `Connection`. Creation
 /// performs ZooKeeper lookups and pays the simulated setup latency; reuse is
@@ -25,6 +90,7 @@ pub struct Connection {
     token: Option<AuthToken>,
     /// Client-side region location cache, per table.
     location_cache: Mutex<HashMap<TableName, Vec<RegionLocation>>>,
+    retry_policy: RetryPolicy,
 }
 
 impl Connection {
@@ -32,20 +98,32 @@ impl Connection {
     /// master and the server list from ZooKeeper and pays
     /// `connection_setup` on the simulated network.
     pub fn open(cluster: Arc<HBaseCluster>, token: Option<AuthToken>) -> Arc<Connection> {
+        Self::open_with_policy(cluster, token, RetryPolicy::default())
+    }
+
+    /// [`open`](Self::open) with an explicit retry policy.
+    pub fn open_with_policy(
+        cluster: Arc<HBaseCluster>,
+        token: Option<AuthToken>,
+        retry_policy: RetryPolicy,
+    ) -> Arc<Connection> {
         let network = *cluster.network();
         // ZooKeeper traffic of a real connection handshake.
         let _ = cluster.zk.get("/hbase/master");
         let _ = cluster.zk.children("/hbase/rs");
         network.charge(network.connection_setup);
-        cluster
-            .metrics
-            .add(&cluster.metrics.connections_created, 1);
+        cluster.metrics.add(&cluster.metrics.connections_created, 1);
         Arc::new(Connection {
             id: NEXT_CONNECTION_ID.fetch_add(1, Ordering::Relaxed),
             cluster,
             token,
             location_cache: Mutex::new(HashMap::new()),
+            retry_policy,
         })
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
     }
 
     pub fn cluster(&self) -> &Arc<HBaseCluster> {
@@ -80,9 +158,14 @@ impl Connection {
         Ok(regions)
     }
 
-    /// Drop cached locations (after splits/moves).
+    /// Drop cached locations (after splits/moves). Counted in the cluster
+    /// metrics when an entry was actually evicted.
     pub fn invalidate_locations(&self, table: &TableName) {
-        self.location_cache.lock().remove(table);
+        if self.location_cache.lock().remove(table).is_some() {
+            self.cluster
+                .metrics
+                .add(&self.cluster.metrics.location_invalidations, 1);
+        }
     }
 
     fn locate_row(&self, table: &TableName, row: &[u8]) -> Result<RegionLocation> {
@@ -129,20 +212,47 @@ impl Table {
         &self.name
     }
 
+    /// Run `attempt` under the connection's retry policy. Transient errors
+    /// invalidate cached locations, back off, and retry; once the budget is
+    /// spent the last transient error is wrapped in
+    /// [`KvError::RetriesExhausted`]. Permanent errors pass through.
+    fn with_retries<T>(&self, op: &str, mut attempt: impl FnMut() -> Result<T>) -> Result<T> {
+        let policy = self.connection.retry_policy;
+        let metrics = &self.connection.cluster.metrics;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match attempt() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempts < policy.max_attempts => {
+                    metrics.add(&metrics.client_retries, 1);
+                    self.connection.invalidate_locations(&self.name);
+                    std::thread::sleep(policy.backoff(attempts, op_salt(op)));
+                }
+                Err(e) if e.is_transient() => {
+                    return Err(KvError::RetriesExhausted {
+                        op: op.to_string(),
+                        attempts,
+                        last: Box::new(e),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Write a batch of puts, grouped by owning region, one RPC per region.
     /// Region batches dispatch concurrently, like the HBase client's
     /// AsyncProcess — this is what makes writing into a pre-split table
     /// faster than hammering a single region.
+    ///
+    /// Transient failures (stale locations after splits/moves, dropped RPCs,
+    /// crashed servers) are retried under the connection's [`RetryPolicy`].
+    /// Like the HBase client, delivery is at-least-once: a retried batch may
+    /// re-apply puts that already landed, which is idempotent at the cell
+    /// level (same value, newer version).
     pub fn put_batch(&self, puts: Vec<Put>) -> Result<()> {
-        match self.try_put_batch(&puts) {
-            // Cached locations went stale (split/move between batches):
-            // refresh and retry once, like the HBase client.
-            Err(KvError::RegionNotServing(_)) => {
-                self.connection.invalidate_locations(&self.name);
-                self.try_put_batch(&puts)
-            }
-            other => other,
-        }
+        self.with_retries("put_batch", || self.try_put_batch(&puts))
     }
 
     fn try_put_batch(&self, puts: &[Put]) -> Result<()> {
@@ -186,35 +296,49 @@ impl Table {
     }
 
     pub fn delete(&self, delete: Delete) -> Result<()> {
-        let loc = self.connection.locate_row(&self.name, &delete.row)?;
-        let server = self.connection.cluster.server(loc.server_id)?;
-        let network = *self.connection.cluster.network();
-        server.delete(loc.info.region_id, &[delete], self.connection.token())?;
-        network.charge(network.rpc_latency);
-        Ok(())
+        self.with_retries("delete", || {
+            let loc = self.connection.locate_row(&self.name, &delete.row)?;
+            let server = self.connection.cluster.server(loc.server_id)?;
+            let network = *self.connection.cluster.network();
+            server.delete(
+                loc.info.region_id,
+                std::slice::from_ref(&delete),
+                self.connection.token(),
+            )?;
+            network.charge(network.rpc_latency);
+            Ok(())
+        })
     }
 
     /// Point read routed to the owning region.
     pub fn get(&self, get: Get) -> Result<RowResult> {
-        let loc = self.connection.locate_row(&self.name, &get.row)?;
-        let server = self.connection.cluster.server(loc.server_id)?;
-        let row = server.get(loc.info.region_id, &get, self.connection.token())?;
-        let network = *self.connection.cluster.network();
-        network.charge(network.transfer_cost(row.payload_bytes() as u64, false));
-        Ok(row)
+        self.with_retries("get", || {
+            let loc = self.connection.locate_row(&self.name, &get.row)?;
+            let server = self.connection.cluster.server(loc.server_id)?;
+            let row = server.get(loc.info.region_id, &get, self.connection.token())?;
+            let network = *self.connection.cluster.network();
+            network.charge(network.transfer_cost(row.payload_bytes() as u64, false));
+            Ok(row)
+        })
     }
 
     /// Batched gets grouped per region server — HBase `BulkGet`. Results
     /// come back in request order.
     pub fn bulk_get(&self, gets: Vec<Get>) -> Result<Vec<RowResult>> {
+        self.with_retries("bulk_get", || self.bulk_get_once(&gets, None))
+    }
+
+    /// One ungrouped bulk-get pass: route every get to the region currently
+    /// owning its row, one RPC per region, results in request order.
+    fn bulk_get_once(&self, gets: &[Get], from_host: Option<&str>) -> Result<Vec<RowResult>> {
         let mut grouped: HashMap<u64, (RegionLocation, Vec<(usize, Get)>)> = HashMap::new();
-        for (idx, get) in gets.into_iter().enumerate() {
+        for (idx, get) in gets.iter().enumerate() {
             let loc = self.connection.locate_row(&self.name, &get.row)?;
             grouped
                 .entry(loc.info.region_id)
                 .or_insert_with(|| (loc, Vec::new()))
                 .1
-                .push((idx, get));
+                .push((idx, get.clone()));
         }
         let network = *self.connection.cluster.network();
         let mut out: Vec<(usize, RowResult)> = Vec::new();
@@ -222,8 +346,9 @@ impl Table {
             let server = self.connection.cluster.server(loc.server_id)?;
             let (indices, batch): (Vec<usize>, Vec<Get>) = indexed.into_iter().unzip();
             let rows = server.bulk_get(region_id, &batch, self.connection.token())?;
+            let local = from_host == Some(loc.hostname.as_str());
             let bytes: usize = rows.iter().map(RowResult::payload_bytes).sum();
-            network.charge(network.transfer_cost(bytes as u64, false));
+            network.charge(network.transfer_cost(bytes as u64, local));
             out.extend(indices.into_iter().zip(rows));
         }
         out.sort_by_key(|(idx, _)| *idx);
@@ -249,8 +374,7 @@ impl Table {
                 }
                 region_scan.limit = remaining;
             }
-            let result =
-                self.scan_region(&loc, &region_scan, None)?;
+            let result = self.scan_region(&loc, &region_scan, None)?;
             if scan.limit > 0 {
                 remaining = remaining.saturating_sub(result.rows.len());
             }
@@ -262,25 +386,39 @@ impl Table {
     /// Scan a single region — the building block of SHC's partition-per-
     /// region execution. `from_host` is the hostname of the requesting
     /// compute task; co-located requests skip the remote-hop penalty.
+    ///
+    /// If the region has moved or split since `location` was cached (or the
+    /// RPC is dropped), the client recovers under the retry policy: it
+    /// invalidates the location cache, re-locates the regions now covering
+    /// the original key range, and re-reads them from scratch — so the
+    /// caller still sees one complete, duplicate-free, key-ordered result.
     pub fn scan_region(
         &self,
         location: &RegionLocation,
         scan: &Scan,
         from_host: Option<&str>,
     ) -> Result<RegionScanResult> {
+        match self.scan_region_once(location, scan, from_host) {
+            Err(e) if e.is_transient() => self.scan_region_recover(location, scan, from_host, e),
+            other => other,
+        }
+    }
+
+    fn scan_region_once(
+        &self,
+        location: &RegionLocation,
+        scan: &Scan,
+        from_host: Option<&str>,
+    ) -> Result<RegionScanResult> {
         let server = self.connection.cluster.server(location.server_id)?;
-        let (rows, stats) =
-            server.scan(location.info.region_id, scan, self.connection.token())?;
+        let (rows, stats) = server.scan(location.info.region_id, scan, self.connection.token())?;
         let local = from_host == Some(location.hostname.as_str());
         let network = *self.connection.cluster.network();
         // Model scanner caching: one round trip per `caching` rows.
         let batches = (rows.len().max(1) as u64).div_ceil(scan.caching.max(1) as u64);
         let bytes: usize = rows.iter().map(RowResult::payload_bytes).sum();
         for _ in 0..batches {
-            network.charge(network.transfer_cost(
-                bytes as u64 / batches.max(1),
-                local,
-            ));
+            network.charge(network.transfer_cost(bytes as u64 / batches.max(1), local));
         }
         if batches > 1 {
             // The first RPC was counted by the server; account the rest.
@@ -296,8 +434,138 @@ impl Table {
         })
     }
 
+    /// Retry loop for a failed region scan. Every attempt restarts from
+    /// a fresh location lookup and collects rows from scratch, so partial
+    /// results from failed attempts can never leak into the output.
+    fn scan_region_recover(
+        &self,
+        original: &RegionLocation,
+        scan: &Scan,
+        from_host: Option<&str>,
+        first_err: KvError,
+    ) -> Result<RegionScanResult> {
+        let policy = self.connection.retry_policy;
+        let metrics = &self.connection.cluster.metrics;
+        let mut attempts = 1u32; // the failed direct try
+        let mut last = first_err;
+        while attempts < policy.max_attempts {
+            metrics.add(&metrics.client_retries, 1);
+            self.connection.invalidate_locations(&self.name);
+            std::thread::sleep(policy.backoff(attempts, original.info.region_id));
+            attempts += 1;
+            match self.scan_region_attempt(original, scan, from_host) {
+                Ok(result) => return Ok(result),
+                Err(e) if e.is_transient() => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(KvError::RetriesExhausted {
+            op: "scan_region".to_string(),
+            attempts,
+            last: Box::new(last),
+        })
+    }
+
+    /// One recovery attempt: scan whatever regions currently cover the
+    /// original region's key range, with the scan bounds clipped to that
+    /// range so daughters/movers return exactly the rows the original
+    /// region would have.
+    fn scan_region_attempt(
+        &self,
+        original: &RegionLocation,
+        scan: &Scan,
+        from_host: Option<&str>,
+    ) -> Result<RegionScanResult> {
+        use std::ops::Bound;
+        let (scan_start, scan_stop) = scan_bounds_bytes(scan);
+        // Intersect with the original region range; empty key = unbounded.
+        let start = match (scan_start.is_empty(), original.info.start_key.is_empty()) {
+            (true, _) => original.info.start_key.clone(),
+            (_, true) => scan_start.clone(),
+            _ => scan_start.clone().max(original.info.start_key.clone()),
+        };
+        let stop = match (scan_stop.is_empty(), original.info.end_key.is_empty()) {
+            (true, _) => original.info.end_key.clone(),
+            (_, true) => scan_stop.clone(),
+            _ => scan_stop.clone().min(original.info.end_key.clone()),
+        };
+        let mut clipped = scan.clone();
+        clipped.start = if start.is_empty() {
+            Bound::Unbounded
+        } else {
+            Bound::Included(start.clone())
+        };
+        clipped.stop = if stop.is_empty() {
+            Bound::Unbounded
+        } else {
+            Bound::Excluded(stop.clone())
+        };
+
+        let regions = self.connection.locate_regions(&self.name)?;
+        let mut out = RegionScanResult::default();
+        let mut remaining = scan.limit;
+        for loc in regions {
+            if !loc.info.overlaps(&start, &stop) {
+                continue;
+            }
+            let mut region_scan = clipped.clone();
+            if scan.limit > 0 {
+                if remaining == 0 {
+                    break;
+                }
+                region_scan.limit = remaining;
+            }
+            let result = self.scan_region_once(&loc, &region_scan, from_host)?;
+            if scan.limit > 0 {
+                remaining = remaining.saturating_sub(result.rows.len());
+            }
+            out.rows.extend(result.rows);
+            out.stats.merge(&result.stats);
+            out.rpc_batches += result.rpc_batches;
+        }
+        Ok(out)
+    }
+
     /// Bulk gets against one region only (used by fused partition tasks).
+    ///
+    /// Recovers like [`scan_region`](Self::scan_region): when the cached
+    /// location is stale or the RPC fails transiently, the gets are
+    /// re-routed to the regions that now own the rows.
     pub fn bulk_get_region(
+        &self,
+        location: &RegionLocation,
+        gets: &[Get],
+        from_host: Option<&str>,
+    ) -> Result<Vec<RowResult>> {
+        match self.bulk_get_region_once(location, gets, from_host) {
+            Err(e) if e.is_transient() => {
+                let policy = self.connection.retry_policy;
+                let metrics = &self.connection.cluster.metrics;
+                let mut attempts = 1u32;
+                let mut last = e;
+                while attempts < policy.max_attempts {
+                    metrics.add(&metrics.client_retries, 1);
+                    self.connection.invalidate_locations(&self.name);
+                    std::thread::sleep(policy.backoff(attempts, location.info.region_id));
+                    attempts += 1;
+                    // Re-routed pass: group by current owner, order-preserving.
+                    match self.bulk_get_once(gets, from_host) {
+                        Ok(rows) => return Ok(rows),
+                        Err(e) if e.is_transient() => last = e,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(KvError::RetriesExhausted {
+                    op: "bulk_get_region".to_string(),
+                    attempts,
+                    last: Box::new(last),
+                })
+            }
+            other => other,
+        }
+    }
+
+    fn bulk_get_region_once(
         &self,
         location: &RegionLocation,
         gets: &[Get],
@@ -412,10 +680,10 @@ mod tests {
         }
         let before = cluster.metrics.snapshot();
         let rows = table
-            .scan(&Scan::new().with_range(
-                Bound::Included(Bytes::from_static(b"q")),
-                Bound::Unbounded,
-            ))
+            .scan(
+                &Scan::new()
+                    .with_range(Bound::Included(Bytes::from_static(b"q")), Bound::Unbounded),
+            )
             .unwrap();
         assert_eq!(rows.len(), 1);
         let delta = cluster.metrics.snapshot().delta_since(&before);
@@ -451,10 +719,7 @@ mod tests {
         let before = cluster.metrics.snapshot().connections_created;
         let _c1 = Connection::open(Arc::clone(&cluster), None);
         let _c2 = Connection::open(Arc::clone(&cluster), None);
-        assert_eq!(
-            cluster.metrics.snapshot().connections_created,
-            before + 2
-        );
+        assert_eq!(cluster.metrics.snapshot().connections_created, before + 2);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::clock::Clock;
 use crate::error::{KvError, Result};
+use crate::fault::FaultInjector;
 use crate::master::Master;
 use crate::metrics::ClusterMetrics;
 use crate::network::NetworkSim;
@@ -26,6 +27,9 @@ pub struct ClusterConfig {
     /// When set, the cluster runs in secure mode and every RPC must carry a
     /// valid token with this lifetime (milliseconds).
     pub secure_token_lifetime_ms: Option<u64>,
+    /// Seed for the cluster's fault injector. The injector is inert until a
+    /// rule or hook is registered, so this costs nothing in normal runs.
+    pub fault_seed: u64,
 }
 
 impl Default for ClusterConfig {
@@ -36,6 +40,7 @@ impl Default for ClusterConfig {
             network: NetworkSim::off(),
             region_config: RegionConfig::default(),
             secure_token_lifetime_ms: None,
+            fault_seed: 0,
         }
     }
 }
@@ -52,6 +57,7 @@ pub struct HBaseCluster {
     pub metrics: Arc<ClusterMetrics>,
     pub clock: Clock,
     pub security: Option<Arc<TokenService>>,
+    faults: Arc<FaultInjector>,
 }
 
 impl HBaseCluster {
@@ -80,14 +86,18 @@ impl HBaseCluster {
             })
             .collect();
         let servers = Arc::new(RwLock::new(servers));
+        let faults = FaultInjector::new(config.fault_seed, Arc::clone(&metrics));
+        for server in servers.read().iter() {
+            server.attach_fault_injector(Arc::clone(&faults));
+        }
         let master = Arc::new(Master::new(
             Arc::clone(&zk),
             Arc::clone(&servers),
             config.region_config.clone(),
             clock.clone(),
+            Arc::clone(&metrics),
         ));
-        static NEXT_INSTANCE: std::sync::atomic::AtomicU64 =
-            std::sync::atomic::AtomicU64::new(1);
+        static NEXT_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Arc::new(HBaseCluster {
             instance_id: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             config,
@@ -97,6 +107,7 @@ impl HBaseCluster {
             metrics,
             clock,
             security,
+            faults,
         })
     }
 
@@ -160,6 +171,11 @@ impl HBaseCluster {
 
     pub fn network(&self) -> &NetworkSim {
         &self.config.network
+    }
+
+    /// The cluster-wide fault injector (inert unless rules are registered).
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
     }
 }
 

@@ -27,6 +27,26 @@ pub enum KvError {
     WalClosed,
     /// Authentication failed: missing or expired security token.
     AccessDenied(String),
+    /// An RPC to the given server timed out (injected or simulated).
+    RpcTimeout { server_id: u64 },
+    /// The client retry budget was exhausted; `last` is the final transient
+    /// error observed before giving up.
+    RetriesExhausted {
+        op: String,
+        attempts: u32,
+        last: Box<KvError>,
+    },
+}
+
+impl KvError {
+    /// Whether a retry against (possibly relocated) cluster state can
+    /// plausibly succeed. Everything else is a permanent request error.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            KvError::RegionNotServing(_) | KvError::ServerNotFound(_) | KvError::RpcTimeout { .. }
+        )
+    }
 }
 
 impl fmt::Display for KvError {
@@ -46,6 +66,15 @@ impl fmt::Display for KvError {
             KvError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             KvError::WalClosed => write!(f, "write-ahead log is closed"),
             KvError::AccessDenied(msg) => write!(f, "access denied: {msg}"),
+            KvError::RpcTimeout { server_id } => {
+                write!(f, "rpc to region server {server_id} timed out")
+            }
+            KvError::RetriesExhausted { op, attempts, last } => {
+                write!(
+                    f,
+                    "{op} failed after {attempts} attempts; last error: {last}"
+                )
+            }
         }
     }
 }
@@ -73,9 +102,23 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(KvError::WalClosed, KvError::WalClosed);
-        assert_ne!(
-            KvError::RegionNotServing(1),
-            KvError::RegionNotServing(2)
-        );
+        assert_ne!(KvError::RegionNotServing(1), KvError::RegionNotServing(2));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(KvError::RegionNotServing(1).is_transient());
+        assert!(KvError::ServerNotFound(2).is_transient());
+        assert!(KvError::RpcTimeout { server_id: 0 }.is_transient());
+        assert!(!KvError::WalClosed.is_transient());
+        assert!(!KvError::TableNotFound("t".into()).is_transient());
+        // An exhausted budget is final even though the cause was transient.
+        let exhausted = KvError::RetriesExhausted {
+            op: "scan".into(),
+            attempts: 4,
+            last: Box::new(KvError::RegionNotServing(9)),
+        };
+        assert!(!exhausted.is_transient());
+        assert!(exhausted.to_string().contains("not serving"));
     }
 }

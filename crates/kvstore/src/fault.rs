@@ -1,0 +1,407 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultInjector`] sits at the RPC entry of every region server. Tests
+//! (and chaos-style benchmarks) register [`FaultRule`]s that match a subset
+//! of traffic and, when their [`Trigger`] fires, drop the RPC, delay it, or
+//! fail it with a transient error. All nondeterminism is derived from the
+//! injector's seed and per-rule match counters, so a given schedule replays
+//! identically across runs regardless of thread interleaving on the same
+//! traffic order.
+//!
+//! Besides rules, the injector supports one-shot *hooks*: actions that run
+//! immediately before the n-th matching RPC executes. Hooks are how tests
+//! force region moves or splits at a precise point mid-scan.
+
+use crate::error::{KvError, Result};
+use crate::metrics::ClusterMetrics;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The RPC surface of a region server, as seen by the injector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RpcOp {
+    Put,
+    Delete,
+    Get,
+    BulkGet,
+    Scan,
+}
+
+/// What happens to an RPC when a rule fires.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultKind {
+    /// The request never reaches the server; the client sees a timeout.
+    Drop,
+    /// The request is served, but only after an extra delay.
+    Delay(Duration),
+    /// The server answers `RegionNotServing` for the target region.
+    NotServing,
+    /// The server accepts the request but the response is lost; the client
+    /// sees a timeout. (Indistinguishable from `Drop` for reads; for writes
+    /// it models the at-least-once ambiguity of a lost ACK.)
+    Timeout,
+}
+
+/// When a matching rule actually fires.
+#[derive(Clone, Copy, Debug)]
+pub enum Trigger {
+    /// Fire on the first `n` matches, then never again.
+    FirstN(u32),
+    /// Fire on every n-th match (1-based: `EveryNth(3)` fires on matches
+    /// 3, 6, 9, …).
+    EveryNth(u32),
+    /// Fire with this probability, decided deterministically from the
+    /// injector seed and the match index.
+    Probability(f64),
+    /// Fire on every match.
+    Always,
+}
+
+/// One fault rule: traffic matchers + trigger + effect.
+#[derive(Debug)]
+pub struct FaultRule {
+    kind: FaultKind,
+    trigger: Trigger,
+    op: Option<RpcOp>,
+    server_id: Option<u64>,
+    region_id: Option<u64>,
+    /// How many RPCs matched this rule so far (fired or not).
+    matches: AtomicU64,
+    /// How many times this rule fired.
+    fired: AtomicU64,
+    /// Position in the injector's rule list; salts the probability stream.
+    rule_id: u64,
+}
+
+impl FaultRule {
+    pub fn new(kind: FaultKind) -> Self {
+        FaultRule {
+            kind,
+            trigger: Trigger::Always,
+            op: None,
+            server_id: None,
+            region_id: None,
+            matches: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+            rule_id: 0,
+        }
+    }
+
+    /// Only match RPCs of this operation.
+    pub fn on_op(mut self, op: RpcOp) -> Self {
+        self.op = Some(op);
+        self
+    }
+
+    /// Only match RPCs addressed to this server.
+    pub fn on_server(mut self, server_id: u64) -> Self {
+        self.server_id = Some(server_id);
+        self
+    }
+
+    /// Only match RPCs addressed to this region.
+    pub fn on_region(mut self, region_id: u64) -> Self {
+        self.region_id = Some(region_id);
+        self
+    }
+
+    pub fn with_trigger(mut self, trigger: Trigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Shorthand for [`Trigger::FirstN`].
+    pub fn first_n(self, n: u32) -> Self {
+        self.with_trigger(Trigger::FirstN(n))
+    }
+
+    fn matches_rpc(&self, op: RpcOp, server_id: u64, region_id: u64) -> bool {
+        self.op.is_none_or(|o| o == op)
+            && self.server_id.is_none_or(|s| s == server_id)
+            && self.region_id.is_none_or(|r| r == region_id)
+    }
+
+    /// Record a match and decide whether the rule fires on it.
+    fn fires(&self, seed: u64) -> bool {
+        let index = self.matches.fetch_add(1, Ordering::Relaxed);
+        match self.trigger {
+            Trigger::FirstN(n) => index < n as u64,
+            Trigger::EveryNth(n) => n > 0 && (index + 1).is_multiple_of(n as u64),
+            Trigger::Probability(p) => {
+                let x = splitmix64(seed ^ (self.rule_id << 32) ^ index);
+                ((x >> 11) as f64 / (1u64 << 53) as f64) < p
+            }
+            Trigger::Always => true,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A one-shot action run just before the n-th matching RPC executes.
+struct Hook {
+    op: Option<RpcOp>,
+    /// Fires when the match count reaches this value (1-based).
+    at_match: u64,
+    seen: AtomicU64,
+    action: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+/// Deterministic fault injector shared by every server of a cluster.
+///
+/// Inert (and nearly free) until the first rule or hook is registered.
+pub struct FaultInjector {
+    seed: u64,
+    rules: RwLock<Vec<Arc<FaultRule>>>,
+    hooks: RwLock<Vec<Arc<Hook>>>,
+    active: AtomicBool,
+    metrics: Arc<ClusterMetrics>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("seed", &self.seed)
+            .field("rules", &self.rules.read().len())
+            .field("active", &self.active.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FaultInjector {
+    pub fn new(seed: u64, metrics: Arc<ClusterMetrics>) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            seed,
+            rules: RwLock::new(Vec::new()),
+            hooks: RwLock::new(Vec::new()),
+            active: AtomicBool::new(false),
+            metrics,
+        })
+    }
+
+    /// Register a rule; returns a handle for inspecting its fire count.
+    pub fn add_rule(&self, mut rule: FaultRule) -> Arc<FaultRule> {
+        let mut rules = self.rules.write();
+        rule.rule_id = rules.len() as u64;
+        let rule = Arc::new(rule);
+        rules.push(Arc::clone(&rule));
+        self.active.store(true, Ordering::Release);
+        rule
+    }
+
+    /// Run `action` immediately before the `n`-th RPC matching `op`
+    /// executes (1-based; `op = None` matches any RPC). One-shot.
+    pub fn on_nth_op(&self, op: Option<RpcOp>, n: u64, action: impl FnOnce() + Send + 'static) {
+        self.hooks.write().push(Arc::new(Hook {
+            op,
+            at_match: n.max(1),
+            seen: AtomicU64::new(0),
+            action: Mutex::new(Some(Box::new(action))),
+        }));
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Remove all rules and hooks; the injector becomes inert again.
+    pub fn clear(&self) {
+        self.rules.write().clear();
+        self.hooks.write().clear();
+        self.active.store(false, Ordering::Release);
+    }
+
+    /// Total faults this injector has fired.
+    pub fn faults_fired(&self) -> u64 {
+        self.rules
+            .read()
+            .iter()
+            .map(|r| r.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Called by region servers at RPC entry, before the region lookup.
+    /// `Ok(())` lets the RPC proceed (possibly after a delay).
+    pub fn on_rpc(&self, op: RpcOp, server_id: u64, region_id: u64) -> Result<()> {
+        if !self.active.load(Ordering::Acquire) {
+            return Ok(());
+        }
+
+        // Hooks run first so a hook can reconfigure the cluster and still
+        // let rules decide the fate of this same RPC.
+        let due: Vec<Arc<Hook>> = self
+            .hooks
+            .read()
+            .iter()
+            .filter(|h| h.op.is_none_or(|o| o == op))
+            .filter(|h| h.seen.fetch_add(1, Ordering::Relaxed) + 1 == h.at_match)
+            .map(Arc::clone)
+            .collect();
+        for hook in due {
+            // Take the action out before running it so the hook cannot
+            // re-enter itself and nothing is held across the call.
+            if let Some(action) = hook.action.lock().take() {
+                action();
+            }
+        }
+
+        let rules: Vec<Arc<FaultRule>> = self.rules.read().clone();
+        for rule in rules {
+            if !rule.matches_rpc(op, server_id, region_id) {
+                continue;
+            }
+            if !rule.fires(self.seed) {
+                continue;
+            }
+            rule.fired.fetch_add(1, Ordering::Relaxed);
+            self.metrics.add(&self.metrics.faults_injected, 1);
+            match rule.kind {
+                FaultKind::Drop | FaultKind::Timeout => {
+                    return Err(KvError::RpcTimeout { server_id });
+                }
+                FaultKind::NotServing => {
+                    return Err(KvError::RegionNotServing(region_id));
+                }
+                FaultKind::Delay(d) => {
+                    std::thread::sleep(d);
+                    // A delayed RPC still executes; later rules are not
+                    // consulted so one RPC suffers at most one fault.
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FaultRule {
+    /// How many times this rule has fired so far.
+    pub fn fire_count(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector() -> Arc<FaultInjector> {
+        FaultInjector::new(42, ClusterMetrics::new())
+    }
+
+    #[test]
+    fn inert_injector_passes_everything() {
+        let inj = injector();
+        for i in 0..100 {
+            assert!(inj.on_rpc(RpcOp::Scan, i % 3, i).is_ok());
+        }
+        assert_eq!(inj.faults_fired(), 0);
+    }
+
+    #[test]
+    fn first_n_drops_then_recovers() {
+        let inj = injector();
+        let rule = inj.add_rule(
+            FaultRule::new(FaultKind::Drop)
+                .on_op(RpcOp::Scan)
+                .first_n(2),
+        );
+        assert_eq!(
+            inj.on_rpc(RpcOp::Scan, 0, 7),
+            Err(KvError::RpcTimeout { server_id: 0 })
+        );
+        // Non-matching op passes even while the rule is hot.
+        assert!(inj.on_rpc(RpcOp::Get, 0, 7).is_ok());
+        assert_eq!(
+            inj.on_rpc(RpcOp::Scan, 1, 7),
+            Err(KvError::RpcTimeout { server_id: 1 })
+        );
+        assert!(inj.on_rpc(RpcOp::Scan, 0, 7).is_ok());
+        assert_eq!(rule.fire_count(), 2);
+    }
+
+    #[test]
+    fn every_nth_is_periodic() {
+        let inj = injector();
+        inj.add_rule(FaultRule::new(FaultKind::NotServing).with_trigger(Trigger::EveryNth(3)));
+        let outcomes: Vec<bool> = (0..9)
+            .map(|_| inj.on_rpc(RpcOp::Put, 0, 1).is_err())
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn probability_is_deterministic_across_injectors() {
+        let run = || {
+            let inj = injector();
+            inj.add_rule(FaultRule::new(FaultKind::Drop).with_trigger(Trigger::Probability(0.5)));
+            (0..64)
+                .map(|_| inj.on_rpc(RpcOp::Scan, 0, 0).is_err())
+                .collect::<Vec<bool>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        let fired = a.iter().filter(|x| **x).count();
+        assert!(fired > 10 && fired < 54, "p=0.5 fired {fired}/64");
+    }
+
+    #[test]
+    fn region_and_server_matchers_filter() {
+        let inj = injector();
+        inj.add_rule(
+            FaultRule::new(FaultKind::NotServing)
+                .on_server(2)
+                .on_region(5),
+        );
+        assert!(inj.on_rpc(RpcOp::Scan, 1, 5).is_ok());
+        assert!(inj.on_rpc(RpcOp::Scan, 2, 4).is_ok());
+        assert_eq!(
+            inj.on_rpc(RpcOp::Scan, 2, 5),
+            Err(KvError::RegionNotServing(5))
+        );
+    }
+
+    #[test]
+    fn hooks_fire_once_at_the_nth_match() {
+        let inj = injector();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        inj.on_nth_op(Some(RpcOp::Scan), 2, move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(inj.on_rpc(RpcOp::Scan, 0, 0).is_ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        assert!(inj.on_rpc(RpcOp::Scan, 0, 0).is_ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert!(inj.on_rpc(RpcOp::Scan, 0, 0).is_ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn clear_makes_it_inert() {
+        let inj = injector();
+        inj.add_rule(FaultRule::new(FaultKind::Drop));
+        assert!(inj.on_rpc(RpcOp::Get, 0, 0).is_err());
+        inj.clear();
+        assert!(inj.on_rpc(RpcOp::Get, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn metrics_count_fired_faults() {
+        let metrics = ClusterMetrics::new();
+        let inj = FaultInjector::new(7, Arc::clone(&metrics));
+        inj.add_rule(FaultRule::new(FaultKind::Drop).first_n(3));
+        for _ in 0..10 {
+            let _ = inj.on_rpc(RpcOp::Put, 0, 0);
+        }
+        assert_eq!(metrics.snapshot().faults_injected, 3);
+    }
+}

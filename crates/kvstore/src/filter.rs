@@ -326,11 +326,7 @@ mod tests {
         let a = Filter::PassAll;
         let b = Filter::PassNone;
         let c = Filter::RowPrefix(Bytes::from_static(b"p"));
-        let combined = Filter::and_opt(
-            Filter::and_opt(Some(a), Some(b)),
-            Some(c),
-        )
-        .unwrap();
+        let combined = Filter::and_opt(Filter::and_opt(Some(a), Some(b)), Some(c)).unwrap();
         match combined {
             Filter::And(children) => assert_eq!(children.len(), 3),
             other => panic!("expected flattened And, got {other:?}"),

@@ -44,6 +44,7 @@ pub mod client;
 pub mod clock;
 pub mod cluster;
 pub mod error;
+pub mod fault;
 pub mod filter;
 pub mod master;
 pub mod memstore;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::clock::Clock;
     pub use crate::cluster::{ClusterConfig, HBaseCluster};
     pub use crate::error::{KvError, Result};
+    pub use crate::fault::{FaultInjector, FaultKind, FaultRule, RpcOp, Trigger};
     pub use crate::filter::{CompareOp, Filter, RowRange};
     pub use crate::master::RegionLocation;
     pub use crate::metrics::{ClusterMetrics, MetricsSnapshot};

@@ -4,6 +4,7 @@
 
 use crate::clock::Clock;
 use crate::error::{KvError, Result};
+use crate::metrics::ClusterMetrics;
 use crate::region::{Region, RegionConfig, RegionInfo};
 use crate::region_server::RegionServer;
 use crate::types::{TableDescriptor, TableName};
@@ -41,6 +42,7 @@ pub struct Master {
     region_config: RegionConfig,
     clock: Clock,
     assign_cursor: AtomicU64,
+    metrics: Arc<ClusterMetrics>,
 }
 
 impl Master {
@@ -49,6 +51,7 @@ impl Master {
         servers: Arc<RwLock<Vec<Arc<RegionServer>>>>,
         region_config: RegionConfig,
         clock: Clock,
+        metrics: Arc<ClusterMetrics>,
     ) -> Self {
         zk.set("/hbase/master", "active");
         Master {
@@ -59,6 +62,7 @@ impl Master {
             region_config,
             clock,
             assign_cursor: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -142,8 +146,10 @@ impl Master {
             if let Some(server) = servers.iter().find(|s| s.server_id == loc.server_id) {
                 server.close_region(loc.info.region_id);
             }
-            self.zk
-                .delete(&format!("/hbase/table/{}/region/{}", name, loc.info.region_id));
+            self.zk.delete(&format!(
+                "/hbase/table/{}/region/{}",
+                name, loc.info.region_id
+            ));
         }
         Ok(())
     }
@@ -231,9 +237,9 @@ impl Master {
             .find(|s| s.server_id == loc.server_id)
             .ok_or(KvError::ServerNotFound(loc.server_id))?;
         let region = server.region(region_id)?;
-        let split_key = region.split_point().ok_or_else(|| {
-            KvError::InvalidRequest("region too small to split".to_string())
-        })?;
+        let split_key = region
+            .split_point()
+            .ok_or_else(|| KvError::InvalidRequest("region too small to split".to_string()))?;
         let left_id = self.next_region_id.fetch_add(1, Ordering::Relaxed);
         let right_id = self.next_region_id.fetch_add(1, Ordering::Relaxed);
         let (left, right) = region.split(split_key, left_id, right_id)?;
@@ -271,12 +277,7 @@ impl Master {
 
     /// Administratively move one region to a target server, flushing it
     /// first and updating the meta registry.
-    pub fn move_region(
-        &self,
-        name: &TableName,
-        region_id: u64,
-        dest_server_id: u64,
-    ) -> Result<()> {
+    pub fn move_region(&self, name: &TableName, region_id: u64, dest_server_id: u64) -> Result<()> {
         let src_id = {
             let tables = self.tables.read();
             let meta = tables
@@ -374,6 +375,106 @@ impl Master {
     pub fn table_names(&self) -> Vec<TableName> {
         self.tables.read().keys().cloned().collect()
     }
+
+    // ------------------------------------------------------------------
+    // Failover
+    // ------------------------------------------------------------------
+
+    /// Reassign every region hosted by a dead server onto the surviving
+    /// servers. This is the WAL-split path: each region first replays the
+    /// dead server's log (its memstores died with the process), flushes the
+    /// recovered state to store files, and only then is re-homed onto a
+    /// live server's WAL. Returns the number of regions reassigned.
+    pub fn fail_over_server(&self, dead_server_id: u64) -> Result<usize> {
+        let servers = self.servers.read();
+        let dead = servers
+            .iter()
+            .find(|s| s.server_id == dead_server_id)
+            .ok_or(KvError::ServerNotFound(dead_server_id))?;
+        let live: Vec<Arc<RegionServer>> = servers
+            .iter()
+            .filter(|s| s.server_id != dead_server_id && s.is_online())
+            .cloned()
+            .collect();
+        if live.is_empty() {
+            return Err(KvError::InvalidRequest(
+                "no live server to fail over to".to_string(),
+            ));
+        }
+        let mut moved = 0;
+        for (i, region_id) in dead.region_ids().into_iter().enumerate() {
+            let region = dead.region(region_id)?;
+            // WAL replay works on a closed log; flush truncates it.
+            let _ = region.recover_from_wal();
+            self.metrics.add(&self.metrics.wal_replays, 1);
+            region.flush()?;
+            dead.close_region(region_id);
+            let dst = &live[i % live.len()];
+            region.rewire_wal(dst.wal());
+            let table = region.info.table.clone();
+            dst.open_region(Arc::clone(&region));
+            self.zk.set(
+                &format!("/hbase/table/{}/region/{}", table, region_id),
+                dst.hostname.clone(),
+            );
+            self.with_meta_mut(&table, |meta| {
+                if let Some(loc) = meta
+                    .regions
+                    .iter_mut()
+                    .find(|l| l.info.region_id == region_id)
+                {
+                    loc.server_id = dst.server_id;
+                    loc.hostname = dst.hostname.clone();
+                }
+                Ok(())
+            })?;
+            self.metrics.add(&self.metrics.regions_reassigned, 1);
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    /// Simulate master failover: a fresh master has no in-memory meta, so it
+    /// rebuilds the region registry by asking every live server what it
+    /// hosts, then re-takes the active znode. Enabled/disabled flags survive
+    /// when the old state is still readable. Returns the table count.
+    pub fn fail_over(&self) -> Result<usize> {
+        let servers = self.servers.read();
+        let mut rebuilt: HashMap<TableName, TableMeta> = HashMap::new();
+        for server in servers.iter().filter(|s| s.is_online()) {
+            for region_id in server.region_ids() {
+                let region = server.region(region_id)?;
+                let meta = rebuilt
+                    .entry(region.info.table.clone())
+                    .or_insert_with(|| TableMeta {
+                        descriptor: region.descriptor().clone(),
+                        regions: Vec::new(),
+                        enabled: true,
+                    });
+                meta.regions.push(RegionLocation {
+                    info: region.info.clone(),
+                    server_id: server.server_id,
+                    hostname: server.hostname.clone(),
+                });
+            }
+        }
+        for meta in rebuilt.values_mut() {
+            meta.regions
+                .sort_by(|a, b| a.info.start_key.cmp(&b.info.start_key));
+        }
+        {
+            let old = self.tables.read();
+            for (name, meta) in rebuilt.iter_mut() {
+                if let Some(o) = old.get(name) {
+                    meta.enabled = o.enabled;
+                }
+            }
+        }
+        let count = rebuilt.len();
+        *self.tables.write() = rebuilt;
+        self.zk.set("/hbase/master", "active");
+        Ok(count)
+    }
 }
 
 #[cfg(test)]
@@ -403,6 +504,7 @@ mod tests {
             Arc::clone(&servers),
             RegionConfig::default(),
             Clock::logical(0),
+            metrics,
         ));
         (master, servers)
     }

@@ -144,7 +144,10 @@ mod tests {
             .scan_range(b"b", b"d")
             .map(|c| c.key.row.clone())
             .collect();
-        assert_eq!(got, vec![Bytes::from_static(b"b"), Bytes::from_static(b"c")]);
+        assert_eq!(
+            got,
+            vec![Bytes::from_static(b"b"), Bytes::from_static(b"c")]
+        );
     }
 
     #[test]

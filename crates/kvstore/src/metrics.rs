@@ -25,6 +25,17 @@ pub struct ClusterMetrics {
     pub files_pruned: AtomicU64,
     /// Scans/Gets that executed with a pushed-down server-side filter.
     pub filtered_scans: AtomicU64,
+    /// Client-side retries of transient RPC failures.
+    pub client_retries: AtomicU64,
+    /// Faults fired by the fault injector (drops, delays, forced errors).
+    pub faults_injected: AtomicU64,
+    /// Regions rebuilt from the write-ahead log after a server restart or
+    /// master-driven failover.
+    pub wal_replays: AtomicU64,
+    /// Region-location cache invalidations performed by clients.
+    pub location_invalidations: AtomicU64,
+    /// Regions reassigned to a new server by master failover handling.
+    pub regions_reassigned: AtomicU64,
 }
 
 impl ClusterMetrics {
@@ -47,6 +58,11 @@ impl ClusterMetrics {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             files_pruned: self.files_pruned.load(Ordering::Relaxed),
             filtered_scans: self.filtered_scans.load(Ordering::Relaxed),
+            client_retries: self.client_retries.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            wal_replays: self.wal_replays.load(Ordering::Relaxed),
+            location_invalidations: self.location_invalidations.load(Ordering::Relaxed),
+            regions_reassigned: self.regions_reassigned.load(Ordering::Relaxed),
         }
     }
 
@@ -60,6 +76,11 @@ impl ClusterMetrics {
         self.bytes_written.store(0, Ordering::Relaxed);
         self.files_pruned.store(0, Ordering::Relaxed);
         self.filtered_scans.store(0, Ordering::Relaxed);
+        self.client_retries.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
+        self.wal_replays.store(0, Ordering::Relaxed);
+        self.location_invalidations.store(0, Ordering::Relaxed);
+        self.regions_reassigned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -74,6 +95,11 @@ pub struct MetricsSnapshot {
     pub bytes_written: u64,
     pub files_pruned: u64,
     pub filtered_scans: u64,
+    pub client_retries: u64,
+    pub faults_injected: u64,
+    pub wal_replays: u64,
+    pub location_invalidations: u64,
+    pub regions_reassigned: u64,
 }
 
 impl MetricsSnapshot {
@@ -88,6 +114,11 @@ impl MetricsSnapshot {
             bytes_written: self.bytes_written - earlier.bytes_written,
             files_pruned: self.files_pruned - earlier.files_pruned,
             filtered_scans: self.filtered_scans - earlier.filtered_scans,
+            client_retries: self.client_retries - earlier.client_retries,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            wal_replays: self.wal_replays - earlier.wal_replays,
+            location_invalidations: self.location_invalidations - earlier.location_invalidations,
+            regions_reassigned: self.regions_reassigned - earlier.regions_reassigned,
         }
     }
 

@@ -53,8 +53,9 @@ impl NetworkSim {
     /// of requester and server.
     pub fn transfer_cost(&self, bytes: u64, local: bool) -> Duration {
         let mut nanos = self.rpc_latency.as_nanos() as u64;
-        if let Some(transfer) =
-            bytes.saturating_mul(1_000_000_000).checked_div(self.bytes_per_sec)
+        if let Some(transfer) = bytes
+            .saturating_mul(1_000_000_000)
+            .checked_div(self.bytes_per_sec)
         {
             nanos += transfer;
         }

@@ -12,8 +12,8 @@ use crate::error::{KvError, Result};
 use crate::memstore::MemStore;
 use crate::storefile::StoreFile;
 use crate::types::{
-    Cell, CellKey, CellType, Delete, DeleteScope, Get, Put, RowResult, Scan,
-    TableDescriptor, TableName,
+    Cell, CellKey, CellType, Delete, DeleteScope, Get, Put, RowResult, Scan, TableDescriptor,
+    TableName,
 };
 use crate::wal::Wal;
 use bytes::Bytes;
@@ -36,15 +36,13 @@ pub struct RegionInfo {
 
 impl RegionInfo {
     pub fn contains_row(&self, row: &[u8]) -> bool {
-        row >= self.start_key.as_ref()
-            && (self.end_key.is_empty() || row < self.end_key.as_ref())
+        row >= self.start_key.as_ref() && (self.end_key.is_empty() || row < self.end_key.as_ref())
     }
 
     /// Does `[start, stop)` (with the usual empty = unbounded convention)
     /// overlap this region's key range?
     pub fn overlaps(&self, start: &[u8], stop: &[u8]) -> bool {
-        let starts_before_region_end =
-            self.end_key.is_empty() || start < self.end_key.as_ref();
+        let starts_before_region_end = self.end_key.is_empty() || start < self.end_key.as_ref();
         let stops_after_region_start = stop.is_empty() || stop > self.start_key.as_ref();
         starts_before_region_end && stops_after_region_start
     }
@@ -108,7 +106,9 @@ pub struct Region {
     descriptor: TableDescriptor,
     config: RegionConfig,
     stores: RwLock<HashMap<Bytes, Store>>,
-    wal: Arc<Wal>,
+    /// The hosting server's WAL. Behind a lock because master failover can
+    /// re-home the region onto a different server's WAL.
+    wal: RwLock<Arc<Wal>>,
     clock: Clock,
     /// Highest WAL sequence whose mutation is visible to readers.
     read_point: AtomicU64,
@@ -147,7 +147,7 @@ impl Region {
             descriptor,
             config,
             stores: RwLock::new(stores),
-            wal,
+            wal: RwLock::new(wal),
             clock,
             read_point: AtomicU64::new(0),
             write_lock: Mutex::new(()),
@@ -158,6 +158,26 @@ impl Region {
 
     pub fn descriptor(&self) -> &TableDescriptor {
         &self.descriptor
+    }
+
+    /// The WAL this region currently appends to.
+    pub fn wal(&self) -> Arc<Wal> {
+        Arc::clone(&self.wal.read())
+    }
+
+    /// Re-home the region onto a different WAL (the destination server's),
+    /// as the master does when it reassigns regions away from a dead server.
+    pub fn rewire_wal(&self, wal: Arc<Wal>) {
+        *self.wal.write() = wal;
+    }
+
+    /// Drop every unflushed memstore entry, as a process crash would.
+    /// [`recover_from_wal`](Self::recover_from_wal) rebuilds the loss.
+    pub fn lose_memstores(&self) {
+        let mut stores = self.stores.write();
+        for store in stores.values_mut() {
+            store.memstore = MemStore::new();
+        }
     }
 
     pub fn flush_count(&self) -> u64 {
@@ -221,7 +241,10 @@ impl Region {
                 value: col.value.clone(),
             })
             .collect();
-        let seq = self.wal.append(self.info.region_id, cells.clone(), now)?;
+        let seq = self
+            .wal
+            .read()
+            .append(self.info.region_id, cells.clone(), now)?;
         for cell in &mut cells {
             cell.key.seq = seq;
         }
@@ -309,7 +332,10 @@ impl Region {
             }
         }
         let _guard = self.write_lock.lock();
-        let seq = self.wal.append(self.info.region_id, cells.clone(), now)?;
+        let seq = self
+            .wal
+            .read()
+            .append(self.info.region_id, cells.clone(), now)?;
         {
             let mut stores = self.stores.write();
             for mut cell in cells {
@@ -356,7 +382,9 @@ impl Region {
         drop(stores);
         if any {
             self.flush_count.fetch_add(1, Ordering::Relaxed);
-            self.wal.truncate_up_to(self.info.region_id, min_flushed);
+            self.wal
+                .read()
+                .truncate_up_to(self.info.region_id, min_flushed);
             self.maybe_compact()?;
         }
         Ok(())
@@ -441,12 +469,7 @@ impl Region {
         } else {
             stores
                 .keys()
-                .filter(|f| {
-                    scan.projection
-                        .families
-                        .iter()
-                        .any(|(pf, _)| pf == *f)
-                })
+                .filter(|f| scan.projection.families.iter().any(|(pf, _)| pf == *f))
                 .collect()
         };
 
@@ -461,8 +484,7 @@ impl Region {
             family_versions.insert(family.clone(), store.max_versions);
             let (mem_min, mem_max) = store.memstore.time_span();
             if !store.memstore.is_empty()
-                && (store.memstore.has_tombstones()
-                    || scan.time_range.overlaps(mem_min, mem_max))
+                && (store.memstore.has_tombstones() || scan.time_range.overlaps(mem_min, mem_max))
             {
                 streams.push(Box::new(store.memstore.scan_range(&start, &stop)));
             }
@@ -480,24 +502,16 @@ impl Region {
                 // holding borrows across the merge.
                 let begin = file_seek_index(&file, &start);
                 streams.push(Box::new(
-                    (begin..len)
-                        .map(move |i| file.cells_at(i))
-                        .take_while({
-                            let stop = stop.clone();
-                            move |c| stop.is_empty() || c.key.row.as_ref() < stop.as_ref()
-                        }),
+                    (begin..len).map(move |i| file.cells_at(i)).take_while({
+                        let stop = stop.clone();
+                        move |c| stop.is_empty() || c.key.row.as_ref() < stop.as_ref()
+                    }),
                 ));
             }
         }
 
         let merged = MergeIter::new(streams);
-        let rows = assemble_rows(
-            merged,
-            scan,
-            read_point,
-            &family_versions,
-            &mut stats,
-        );
+        let rows = assemble_rows(merged, scan, read_point, &family_versions, &mut stats);
         Ok((rows, stats))
     }
 
@@ -568,12 +582,7 @@ impl Region {
 
     /// Split this region at `split_key`, producing two daughter regions that
     /// take over the data. The parent should be discarded afterwards.
-    pub fn split(
-        &self,
-        split_key: Bytes,
-        left_id: u64,
-        right_id: u64,
-    ) -> Result<(Region, Region)> {
+    pub fn split(&self, split_key: Bytes, left_id: u64, right_id: u64) -> Result<(Region, Region)> {
         if !self.info.contains_row(&split_key) {
             return Err(KvError::InvalidRequest(format!(
                 "split key {:?} outside region range",
@@ -598,14 +607,14 @@ impl Region {
             left_info,
             self.descriptor.clone(),
             self.config.clone(),
-            Arc::clone(&self.wal),
+            Arc::clone(&self.wal.read()),
             self.clock.clone(),
         );
         let right = Region::new(
             right_info,
             self.descriptor.clone(),
             self.config.clone(),
-            Arc::clone(&self.wal),
+            Arc::clone(&self.wal.read()),
             self.clock.clone(),
         );
         let stores = self.stores.read();
@@ -660,7 +669,7 @@ impl Region {
             .map(|s| s.flushed_seq)
             .min()
             .unwrap_or(0);
-        let records = self.wal.replay(self.info.region_id, min_flushed);
+        let records = self.wal.read().replay(self.info.region_id, min_flushed);
         let mut applied = 0;
         let mut stores = self.stores.write();
         let mut max_seq = 0;
@@ -777,9 +786,9 @@ fn assemble_rows(
 
     let mut witness = false;
     let finish_row = |row: &mut RowResult,
-                          witness: bool,
-                          out: &mut Vec<RowResult>,
-                          stats: &mut ScanStats|
+                      witness: bool,
+                      out: &mut Vec<RowResult>,
+                      stats: &mut ScanStats|
      -> bool {
         // A row is emitted when it has projected cells, or — with
         // `include_empty_rows` — when it had any live cell at all (so the
@@ -810,9 +819,7 @@ fn assemble_rows(
         }
         // Row boundary?
         if current.row.as_ref() != cell.key.row.as_ref() {
-            if !current.row.is_empty()
-                && finish_row(&mut current, witness, &mut out, stats)
-            {
+            if !current.row.is_empty() && finish_row(&mut current, witness, &mut out, stats) {
                 return out;
             }
             current = RowResult {
@@ -832,9 +839,7 @@ fn assemble_rows(
         }
         match cell.key.cell_type {
             CellType::DeleteFamily => {
-                let entry = family_delete_ts
-                    .entry(cell.key.family.clone())
-                    .or_insert(0);
+                let entry = family_delete_ts.entry(cell.key.family.clone()).or_insert(0);
                 *entry = (*entry).max(cell.key.timestamp);
             }
             CellType::DeleteColumn => {
@@ -985,8 +990,10 @@ mod tests {
     #[test]
     fn newest_version_wins() {
         let r = test_region();
-        r.put(&Put::new("row").add_at("cf", "a", 10, "old")).unwrap();
-        r.put(&Put::new("row").add_at("cf", "a", 20, "new")).unwrap();
+        r.put(&Put::new("row").add_at("cf", "a", 10, "old"))
+            .unwrap();
+        r.put(&Put::new("row").add_at("cf", "a", 20, "new"))
+            .unwrap();
         let rows = scan_all(&r);
         assert_eq!(rows[0].value(b"cf", b"a").unwrap().as_ref(), b"new");
         assert_eq!(rows[0].cells.len(), 1); // max_versions defaults to 1
@@ -1021,7 +1028,8 @@ mod tests {
     #[test]
     fn delete_column_masks_older_versions() {
         let r = test_region();
-        r.put(&Put::new("row").add_at("cf", "a", 10, "old")).unwrap();
+        r.put(&Put::new("row").add_at("cf", "a", 10, "old"))
+            .unwrap();
         r.delete(&Delete {
             row: Bytes::from_static(b"row"),
             scope: DeleteScope::Column {
@@ -1031,7 +1039,8 @@ mod tests {
             timestamp: Some(15),
         })
         .unwrap();
-        r.put(&Put::new("row").add_at("cf", "a", 20, "new")).unwrap();
+        r.put(&Put::new("row").add_at("cf", "a", 20, "new"))
+            .unwrap();
         let rows = scan_all(&r);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].value(b"cf", b"a").unwrap().as_ref(), b"new");
@@ -1052,8 +1061,10 @@ mod tests {
     #[test]
     fn delete_exact_version_leaves_others() {
         let r = test_region();
-        r.put(&Put::new("row").add_at("cf", "a", 10, "v10")).unwrap();
-        r.put(&Put::new("row").add_at("cf", "a", 20, "v20")).unwrap();
+        r.put(&Put::new("row").add_at("cf", "a", 10, "v10"))
+            .unwrap();
+        r.put(&Put::new("row").add_at("cf", "a", 20, "v20"))
+            .unwrap();
         r.delete(&Delete {
             row: Bytes::from_static(b"row"),
             scope: DeleteScope::Version {
@@ -1103,7 +1114,8 @@ mod tests {
     fn scan_respects_row_bounds_and_limit() {
         let r = test_region();
         for i in 0..10 {
-            r.put(&Put::new(format!("row{i}")).add("cf", "a", "v")).unwrap();
+            r.put(&Put::new(format!("row{i}")).add("cf", "a", "v"))
+                .unwrap();
         }
         let (rows, _) = r
             .scan(&Scan::new().with_range(
@@ -1257,15 +1269,20 @@ mod tests {
     fn split_distributes_rows() {
         let r = test_region();
         for i in 0..10 {
-            r.put(&Put::new(format!("row{i}")).add("cf", "q", "v")).unwrap();
+            r.put(&Put::new(format!("row{i}")).add("cf", "q", "v"))
+                .unwrap();
         }
         let split_key = r.split_point().expect("split point");
         let (left, right) = r.split(split_key.clone(), 100, 101).unwrap();
         let left_rows = left.scan(&Scan::new()).unwrap().0;
         let right_rows = right.scan(&Scan::new()).unwrap().0;
         assert_eq!(left_rows.len() + right_rows.len(), 10);
-        assert!(left_rows.iter().all(|r| r.row.as_ref() < split_key.as_ref()));
-        assert!(right_rows.iter().all(|r| r.row.as_ref() >= split_key.as_ref()));
+        assert!(left_rows
+            .iter()
+            .all(|r| r.row.as_ref() < split_key.as_ref()));
+        assert!(right_rows
+            .iter()
+            .all(|r| r.row.as_ref() >= split_key.as_ref()));
         assert_eq!(left.info.end_key, split_key);
         assert_eq!(right.info.start_key, split_key);
     }
@@ -1292,13 +1309,7 @@ mod tests {
         r.flush().unwrap();
         r.put(&Put::new("b").add("cf", "q", "lost")).unwrap();
         // Simulate a crash: the memstore content is gone, the WAL survives.
-        let recovered = Region::new(
-            info,
-            td,
-            RegionConfig::default(),
-            wal,
-            Clock::logical(1000),
-        );
+        let recovered = Region::new(info, td, RegionConfig::default(), wal, Clock::logical(1000));
         let applied = recovered.recover_from_wal().unwrap();
         assert!(applied >= 1);
         let rows = recovered.scan(&Scan::new()).unwrap().0;

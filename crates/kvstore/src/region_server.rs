@@ -3,6 +3,7 @@
 //! cluster metrics, and dispatches to the region.
 
 use crate::error::{KvError, Result};
+use crate::fault::{FaultInjector, RpcOp};
 use crate::metrics::ClusterMetrics;
 use crate::region::{Region, ScanStats};
 use crate::security::{AuthToken, TokenService};
@@ -10,6 +11,7 @@ use crate::types::{Delete, Get, Put, RowResult, Scan};
 use crate::wal::Wal;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// One region server ("node") in the simulated cluster.
@@ -20,6 +22,11 @@ pub struct RegionServer {
     wal: Arc<Wal>,
     metrics: Arc<ClusterMetrics>,
     security: Option<Arc<TokenService>>,
+    /// True between [`crash`](Self::crash) and [`restart`](Self::restart):
+    /// every RPC is refused as if the process were gone.
+    offline: AtomicBool,
+    /// Optional fault injector consulted at every RPC entry.
+    fault: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl RegionServer {
@@ -36,6 +43,30 @@ impl RegionServer {
             wal: Arc::new(Wal::new()),
             metrics,
             security,
+            offline: AtomicBool::new(false),
+            fault: RwLock::new(None),
+        }
+    }
+
+    /// Attach a fault injector; subsequent RPCs pass through it.
+    pub fn attach_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.fault.write() = Some(injector);
+    }
+
+    pub fn is_online(&self) -> bool {
+        !self.offline.load(Ordering::Acquire)
+    }
+
+    /// Common RPC entry: reject if the process is down, then let the fault
+    /// injector drop/delay/fail the request before it touches a region.
+    fn rpc_entry(&self, op: RpcOp, region_id: u64) -> Result<()> {
+        if self.offline.load(Ordering::Acquire) {
+            return Err(KvError::ServerNotFound(self.server_id));
+        }
+        let injector = self.fault.read().clone();
+        match injector {
+            Some(injector) => injector.on_rpc(op, self.server_id, region_id),
+            None => Ok(()),
         }
     }
 
@@ -76,8 +107,7 @@ impl RegionServer {
     }
 
     fn count_rpc(&self) {
-        self.metrics
-            .add(&self.metrics.rpc_count, 1);
+        self.metrics.add(&self.metrics.rpc_count, 1);
     }
 
     // ------------------------------------------------------------------
@@ -85,14 +115,10 @@ impl RegionServer {
     // ------------------------------------------------------------------
 
     /// Apply a batch of puts to one region in a single RPC.
-    pub fn put(
-        &self,
-        region_id: u64,
-        puts: &[Put],
-        token: Option<&AuthToken>,
-    ) -> Result<()> {
+    pub fn put(&self, region_id: u64, puts: &[Put], token: Option<&AuthToken>) -> Result<()> {
         self.authorize(token)?;
         self.count_rpc();
+        self.rpc_entry(RpcOp::Put, region_id)?;
         let region = self.region(region_id)?;
         let mut bytes = 0u64;
         for put in puts {
@@ -111,6 +137,7 @@ impl RegionServer {
     ) -> Result<()> {
         self.authorize(token)?;
         self.count_rpc();
+        self.rpc_entry(RpcOp::Delete, region_id)?;
         let region = self.region(region_id)?;
         for d in deletes {
             region.delete(d)?;
@@ -119,14 +146,10 @@ impl RegionServer {
     }
 
     /// Point read.
-    pub fn get(
-        &self,
-        region_id: u64,
-        get: &Get,
-        token: Option<&AuthToken>,
-    ) -> Result<RowResult> {
+    pub fn get(&self, region_id: u64, get: &Get, token: Option<&AuthToken>) -> Result<RowResult> {
         self.authorize(token)?;
         self.count_rpc();
+        self.rpc_entry(RpcOp::Get, region_id)?;
         let region = self.region(region_id)?;
         let (row, stats) = region.get(get)?;
         self.record_scan_stats(&stats, get.filter.is_some());
@@ -142,6 +165,7 @@ impl RegionServer {
     ) -> Result<Vec<RowResult>> {
         self.authorize(token)?;
         self.count_rpc();
+        self.rpc_entry(RpcOp::BulkGet, region_id)?;
         let region = self.region(region_id)?;
         let mut out = Vec::with_capacity(gets.len());
         let mut agg = ScanStats::default();
@@ -166,6 +190,7 @@ impl RegionServer {
     ) -> Result<(Vec<RowResult>, ScanStats)> {
         self.authorize(token)?;
         self.count_rpc();
+        self.rpc_entry(RpcOp::Scan, region_id)?;
         let region = self.region(region_id)?;
         let (rows, stats) = region.scan(scan)?;
         self.record_scan_stats(&stats, scan.filter.is_some());
@@ -194,14 +219,26 @@ impl RegionServer {
         Ok(())
     }
 
-    /// Simulate a crash: the WAL refuses appends and in-flight state is as
-    /// good as lost. Recovery is exercised at the region level.
+    /// Simulate a crash: the process drops off the network, the WAL refuses
+    /// appends, and every unflushed memstore is lost. Only WAL replay at
+    /// [`restart`](Self::restart) can bring the data back.
     pub fn crash(&self) {
+        self.offline.store(true, Ordering::Release);
         self.wal.close();
+        for region in self.regions.read().values() {
+            region.lose_memstores();
+        }
     }
 
+    /// Restart after a crash: reopen the WAL, replay it into every hosted
+    /// region, and come back online.
     pub fn restart(&self) {
         self.wal.reopen();
+        for region in self.regions.read().values() {
+            let _ = region.recover_from_wal();
+            self.metrics.add(&self.metrics.wal_replays, 1);
+        }
+        self.offline.store(false, Ordering::Release);
     }
 }
 

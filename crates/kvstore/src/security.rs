@@ -136,9 +136,8 @@ impl TokenService {
 
     /// Server-side check performed on every RPC in secure mode.
     pub fn validate(&self, token: Option<&AuthToken>) -> Result<()> {
-        let token = token.ok_or_else(|| {
-            KvError::AccessDenied("secure cluster requires a token".to_string())
-        })?;
+        let token = token
+            .ok_or_else(|| KvError::AccessDenied("secure cluster requires a token".to_string()))?;
         if token.cluster_id != self.cluster_id {
             return Err(KvError::AccessDenied(format!(
                 "token for cluster {} presented to {}",

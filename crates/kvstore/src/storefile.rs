@@ -225,7 +225,6 @@ impl StoreFile {
             .iter()
             .take_while(move |c| c.key.row.as_ref() == row)
     }
-
 }
 
 #[cfg(test)]
@@ -274,7 +273,10 @@ mod tests {
             .filter(|i| b.may_contain(format!("absent-{i}").as_bytes()))
             .count();
         // ~1% expected; allow generous slack.
-        assert!(false_positives < 60, "too many false positives: {false_positives}");
+        assert!(
+            false_positives < 60,
+            "too many false positives: {false_positives}"
+        );
     }
 
     #[test]

@@ -103,14 +103,7 @@ impl Model {
     /// after compaction only the newest `FAMILY_MAX_VERSIONS` live versions
     /// of a column exist at all, so a time-window read can no longer see
     /// older in-window versions — real HBase behaviour.
-    fn column_versions(
-        &self,
-        r: u8,
-        q: u8,
-        tr: TimeRange,
-        k: u32,
-        retained: bool,
-    ) -> Vec<u8> {
+    fn column_versions(&self, r: u8, q: u8, tr: TimeRange, k: u32, retained: bool) -> Vec<u8> {
         let empty = Vec::new();
         let puts = self.puts.get(&(r, q)).unwrap_or(&empty);
         let no_markers = Vec::new();
@@ -262,4 +255,3 @@ proptest! {
         );
     }
 }
-

@@ -38,9 +38,7 @@ pub fn load_into_hbase(
 ) -> Result<u64> {
     let mut total = 0u64;
     for &table in tables {
-        let catalog = Arc::new(HBaseTableCatalog::parse_simple(
-            &table.catalog_json(coder),
-        )?);
+        let catalog = Arc::new(HBaseTableCatalog::parse_simple(&table.catalog_json(coder))?);
         let rows = generator.rows(table);
         // Big fact tables get more regions.
         let regions = if rows.len() > 500 {
@@ -52,8 +50,7 @@ pub fn load_into_hbase(
         total += write_rows(cluster, &catalog, &write_conf, &rows)?;
         match provider {
             Provider::Shc => {
-                let relation =
-                    HBaseRelation::new(Arc::clone(cluster), catalog, conf.clone());
+                let relation = HBaseRelation::new(Arc::clone(cluster), catalog, conf.clone());
                 session.register_table(table.name(), relation);
             }
             Provider::Generic => {
@@ -89,7 +86,11 @@ mod tests {
 
     #[test]
     fn q39a_matches_between_memory_and_hbase() {
-        let generator = Generator::new(Scale::tiny(), 11);
+        // Scale matters here: at Scale::tiny() most (item, warehouse, month)
+        // groups hold a single inventory sample, STDDEV_SAMP of one sample
+        // is NULL, and q39's cov predicate selects nothing. The paper's
+        // smallest sweep point gives every group a handful of samples.
+        let generator = Generator::new(Scale::from_gb(5.0), 11);
 
         // Reference: in-memory tables.
         let mem_session = Session::new_default();
@@ -123,7 +124,28 @@ mod tests {
             .unwrap();
 
         assert!(!expected.is_empty(), "query should select some rows");
-        assert_eq!(got, expected);
+        assert_rows_approx_eq(&got, &expected);
+    }
+
+    /// Exact equality on everything except Float64, which is compared with
+    /// a relative tolerance: the two plans partition the data differently,
+    /// so floating-point aggregates accumulate in different orders and may
+    /// differ in the last ulp.
+    fn assert_rows_approx_eq(got: &[shc_engine::row::Row], expected: &[shc_engine::row::Row]) {
+        use shc_engine::value::Value;
+        assert_eq!(got.len(), expected.len(), "row counts differ");
+        for (i, (g, e)) in got.iter().zip(expected).enumerate() {
+            assert_eq!(g.len(), e.len(), "row {i} arity differs");
+            for (j, (gv, ev)) in g.values.iter().zip(&e.values).enumerate() {
+                match (gv, ev) {
+                    (Value::Float64(a), Value::Float64(b)) => {
+                        let tol = 1e-9 * b.abs().max(1.0);
+                        assert!((a - b).abs() <= tol, "row {i} col {j}: {a} vs {b}");
+                    }
+                    _ => assert_eq!(gv, ev, "row {i} col {j}"),
+                }
+            }
+        }
     }
 
     #[test]
@@ -150,8 +172,7 @@ mod tests {
         let generic_session = Session::new_default();
         for table in Table::Q39_TABLES {
             let catalog = Arc::new(
-                HBaseTableCatalog::parse_simple(&table.catalog_json("PrimitiveType"))
-                    .unwrap(),
+                HBaseTableCatalog::parse_simple(&table.catalog_json("PrimitiveType")).unwrap(),
             );
             let relation = GenericHBaseRelation::new(Arc::clone(&cluster), catalog);
             generic_session.register_table(table.name(), relation);
@@ -173,11 +194,7 @@ mod tests {
             &[Table::StoreSales, Table::DateDim, Table::Customer],
             2,
         );
-        let rows = session
-            .sql(&queries::q38(2001))
-            .unwrap()
-            .collect()
-            .unwrap();
+        let rows = session.sql(&queries::q38(2001)).unwrap().collect().unwrap();
         assert_eq!(rows.len(), 1);
         assert!(rows[0].get(0).as_i64().unwrap() > 0);
     }

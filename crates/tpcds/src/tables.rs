@@ -184,9 +184,8 @@ mod tests {
     #[test]
     fn all_catalogs_parse_and_match_schemas() {
         for table in Table::ALL {
-            let catalog =
-                HBaseTableCatalog::parse_simple(&table.catalog_json("PrimitiveType"))
-                    .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
+            let catalog = HBaseTableCatalog::parse_simple(&table.catalog_json("PrimitiveType"))
+                .unwrap_or_else(|e| panic!("{}: {e}", table.name()));
             let expected = table.schema();
             let got = catalog.schema();
             assert_eq!(
@@ -203,10 +202,9 @@ mod tests {
 
     #[test]
     fn inventory_has_composite_key() {
-        let catalog = HBaseTableCatalog::parse_simple(
-            &Table::Inventory.catalog_json("PrimitiveType"),
-        )
-        .unwrap();
+        let catalog =
+            HBaseTableCatalog::parse_simple(&Table::Inventory.catalog_json("PrimitiveType"))
+                .unwrap();
         assert_eq!(catalog.row_key.len(), 3);
         assert_eq!(catalog.first_key_column().name, "inv_date_sk");
     }

@@ -49,12 +49,16 @@ fn main() -> Result<()> {
         .collect();
     let conf = SHCConf::default().with_new_table_regions(4);
     write_rows(&cluster, &catalog, &conf, &rows)?;
-    println!("wrote {} telemetry rows for 40 trucks (4 regions)", rows.len());
+    println!(
+        "wrote {} telemetry rows for 40 trucks (4 regions)",
+        rows.len()
+    );
 
     let session = Session::new(SessionConfig {
         executors: ExecutorConfig {
             num_executors: 4,
             hosts: cluster.hostnames(),
+            task_retries: 1,
         },
         ..Default::default()
     });

@@ -20,7 +20,10 @@ fn main() -> Result<()> {
         num_servers: 5,
         ..Default::default()
     });
-    println!("started cluster with {} region servers", cluster.num_servers());
+    println!(
+        "started cluster with {} region servers",
+        cluster.num_servers()
+    );
 
     // ------------------------------------------------------------------
     // 2. The catalog from Code 1: HBase coordinates → relational schema.
@@ -47,7 +50,10 @@ fn main() -> Result<()> {
         .collect();
     let conf = SHCConf::default().with_new_table_regions(5);
     let bytes = write_rows(&cluster, &catalog, &conf, &rows)?;
-    println!("\nwrote {} rows ({bytes} payload bytes) into 5 pre-split regions", rows.len());
+    println!(
+        "\nwrote {} rows ({bytes} payload bytes) into 5 pre-split regions",
+        rows.len()
+    );
 
     // ------------------------------------------------------------------
     // 4. Register with the engine; executors co-located with the servers.
@@ -56,6 +62,7 @@ fn main() -> Result<()> {
         executors: ExecutorConfig {
             num_executors: 5,
             hosts: cluster.hostnames(),
+            task_retries: 1,
         },
         ..Default::default()
     });
@@ -78,14 +85,20 @@ fn main() -> Result<()> {
         .select_cols(&["col0", "visit-pages"]);
     let result = df.collect().map_err(ShcError::from)?;
     let delta = cluster.metrics.snapshot().delta_since(&before);
-    println!("\nDataFrame query: col0 <= \"row120\" → {} rows", result.len());
+    println!(
+        "\nDataFrame query: col0 <= \"row120\" → {} rows",
+        result.len()
+    );
     println!(
         "  server-side: {} cells scanned, {} cells returned (pushdown ratio {:.2})",
         delta.cells_scanned,
         delta.cells_returned,
         delta.cells_returned as f64 / delta.cells_scanned.max(1) as f64
     );
-    println!("  first row: {:?}", result.first().map(|r| r.get(0).to_display_string()));
+    println!(
+        "  first row: {:?}",
+        result.first().map(|r| r.get(0).to_display_string())
+    );
 
     // ------------------------------------------------------------------
     // 6. Code 4: SQL over a temp view.
@@ -96,7 +109,10 @@ fn main() -> Result<()> {
         .map_err(ShcError::from)?
         .collect()
         .map_err(ShcError::from)?;
-    println!("\nSQL: SELECT COUNT(1) FROM recent_actives = {}", count[0].get(0));
+    println!(
+        "\nSQL: SELECT COUNT(1) FROM recent_actives = {}",
+        count[0].get(0)
+    );
 
     // A grouped OLAP query straight over the connector.
     let top = session

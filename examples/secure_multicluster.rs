@@ -59,10 +59,12 @@ fn main() -> Result<()> {
     let conf = SHCConf::default().with_security(PRINCIPAL, KEYTAB);
 
     // Write activity data into each cluster.
-    let purchase_catalog =
-        Arc::new(HBaseTableCatalog::parse_simple(&activities_catalog("purchases"))?);
-    let click_catalog =
-        Arc::new(HBaseTableCatalog::parse_simple(&activities_catalog("clicks"))?);
+    let purchase_catalog = Arc::new(HBaseTableCatalog::parse_simple(&activities_catalog(
+        "purchases",
+    ))?);
+    let click_catalog = Arc::new(HBaseTableCatalog::parse_simple(&activities_catalog(
+        "clicks",
+    ))?);
     let purchases: Vec<Row> = (0..60)
         .map(|i| {
             Row::new(vec![
@@ -83,7 +85,10 @@ fn main() -> Result<()> {
         .collect();
     write_rows(&purchases_cluster, &purchase_catalog, &conf, &purchases)?;
     write_rows(&clicks_cluster, &click_catalog, &conf, &clicks)?;
-    println!("wrote {} purchases and {} clicks into two secure clusters", 60, 120);
+    println!(
+        "wrote {} purchases and {} clicks into two secure clusters",
+        60, 120
+    );
 
     // A shared credentials manager acquires one token per cluster.
     let credentials = SHCCredentialsManager::new_default();

@@ -44,10 +44,12 @@ fn main() -> Result<()> {
                     DataType::Float64,
                 )
                 .unwrap();
-            table.put(
-                shc::kvstore::types::Put::new(format!("s{i}"))
-                    .add_at("cf", "r", ts_base + generation * 1000, value),
-            )?;
+            table.put(shc::kvstore::types::Put::new(format!("s{i}")).add_at(
+                "cf",
+                "r",
+                ts_base + generation * 1000,
+                value,
+            ))?;
         }
     }
     println!("wrote 3 generations of 5 sensor readings");

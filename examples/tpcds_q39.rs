@@ -34,6 +34,7 @@ fn main() -> Result<()> {
         executors: ExecutorConfig {
             num_executors: 5,
             hosts: cluster.hostnames(),
+            task_retries: 1,
         },
         ..Default::default()
     };
@@ -84,7 +85,10 @@ fn main() -> Result<()> {
         let (gen_rows, gen_time, gen_shuffle, gen_cells) = run(&generic_session)?;
         assert_eq!(shc_rows, gen_rows, "providers must agree on {name}");
 
-        println!("{name}: {} unstable (warehouse, item) pairs", shc_rows.len());
+        println!(
+            "{name}: {} unstable (warehouse, item) pairs",
+            shc_rows.len()
+        );
         println!(
             "  SHC      {:>8.3}s  shuffle {:>7} B  cells scanned {:>8}",
             shc_time, shc_shuffle, shc_cells

@@ -1,0 +1,717 @@
+//! Minimal, deterministic proptest-compatible harness.
+//!
+//! Supports the subset of the proptest DSL this workspace's tests use:
+//! `proptest! { #[test] fn f(x in strategy) { ... } }`, `any::<T>()`,
+//! integer range strategies, tuple strategies, `Just`, regex-lite string
+//! strategies (`"[a-z]{1,8}"`, `".{0,200}"`), `prop::collection::vec`,
+//! `prop_oneof!` (weighted and unweighted), `.prop_map`, `.prop_recursive`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Every case is generated from a seed derived from (config seed, test
+//! name, case index), so failures reproduce exactly: set `PROPTEST_SEED`
+//! to override the base seed, `PROPTEST_CASES` to override the case count.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ----------------------------------------------------------------------
+// RNG
+// ----------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator driving all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    pub fn usize_in(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+        lo + self.below((hi_inclusive - lo + 1) as u64) as usize
+    }
+}
+
+/// Derive the per-case seed from base seed, test name, and case index.
+pub fn case_seed(base: u64, test_name: &str, case: u64) -> u64 {
+    // FNV-1a over the name, mixed with the base seed and case number.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = h ^ base.rotate_left(17) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^ (z >> 33)
+}
+
+// ----------------------------------------------------------------------
+// Config and case outcome
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub seed: u64,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok())
+            .unwrap_or(0x5AC1_F1ED_CA5E_5EED);
+        ProptestConfig { cases, seed }
+    }
+}
+
+/// Outcome of one generated case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case without counting it.
+    Reject,
+    /// An assertion failed: abort the whole test.
+    Fail(String),
+}
+
+// ----------------------------------------------------------------------
+// Strategy trait and the boxed strategy type
+// ----------------------------------------------------------------------
+
+/// A boxed strategy producing `T` — the common currency of combinators.
+pub struct Strat<T> {
+    f: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for Strat<T> {
+    fn clone(&self) -> Self {
+        Strat {
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T: 'static> Strat<T> {
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Strat { f: Rc::new(f) }
+    }
+}
+
+/// Anything that can generate values from a `TestRng`.
+pub trait Strategy: Clone + 'static {
+    type Value: 'static;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn boxed(self) -> Strat<Self::Value>
+    where
+        Self: Sized,
+    {
+        Strat::from_fn(move |rng| self.generate(rng))
+    }
+
+    fn prop_map<U: 'static, F>(self, f: F) -> Strat<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Strat::from_fn(move |rng| f(self.generate(rng)))
+    }
+
+    /// Bounded recursive strategy: apply `recurse` `depth` times to the
+    /// leaf strategy. The size hints of real proptest are accepted and
+    /// ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Strat<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(Strat<Self::Value>) -> R,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            current = recurse(current).boxed();
+        }
+        current
+    }
+}
+
+impl<T: 'static> Strategy for Strat<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Weighted union of strategies — what `prop_oneof!` builds.
+pub fn union<T: 'static>(entries: Vec<(u32, Strat<T>)>) -> Strat<T> {
+    assert!(!entries.is_empty(), "prop_oneof! needs at least one entry");
+    let total: u64 = entries.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "prop_oneof! weights must not all be zero");
+    Strat::from_fn(move |rng| {
+        let mut pick = rng.below(total);
+        for (w, s) in &entries {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    })
+}
+
+// ----------------------------------------------------------------------
+// Primitive strategies
+// ----------------------------------------------------------------------
+
+/// Always produces a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone + 'static>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ----------------------------------------------------------------------
+// `any::<T>()`
+// ----------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary() -> Strat<Self>;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> Strat<Self> {
+                Strat::from_fn(|rng| {
+                    // Bias toward boundary values 1/8 of the time.
+                    if rng.below(8) == 0 {
+                        const SPECIAL: [i128; 5] =
+                            [0, 1, -1, <$t>::MIN as i128, <$t>::MAX as i128];
+                        SPECIAL[rng.below(5) as usize] as $t
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                })
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_arbitrary_float {
+    ($($t:ident: $bits:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> Strat<Self> {
+                Strat::from_fn(|rng| {
+                    // Like proptest's default float domain: finite values
+                    // only (no NaN / infinity), with occasional specials.
+                    if rng.below(8) == 0 {
+                        const SPECIAL: [$t; 6] =
+                            [0.0, -0.0, 1.0, -1.0, $t::MIN_POSITIVE, $t::MAX];
+                        SPECIAL[rng.below(6) as usize]
+                    } else {
+                        loop {
+                            let v = $t::from_bits(rng.next_u64() as $bits);
+                            if v.is_finite() {
+                                return v;
+                            }
+                        }
+                    }
+                })
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_float!(f32: u32, f64: u64);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> Strat<Self> {
+        Strat::from_fn(|rng| rng.below(2) == 0)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Strat<T> {
+    T::arbitrary()
+}
+
+// ----------------------------------------------------------------------
+// Regex-lite string strategies
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// Any printable ASCII character.
+    AnyChar,
+    /// One character out of an explicit alternative set.
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Clone, Debug)]
+struct PatternPiece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the regex subset used as string strategies: literals, `.`,
+/// `[a-z_-]` classes, and `{m}` / `{m,n}` repetition.
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                i += 1;
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern {pattern:?}"
+                );
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(PatternPiece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::AnyChar => char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap(),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap();
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of range")
+        }
+        Atom::Literal(c) => *c,
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.usize_in(piece.min, piece.max);
+            for _ in 0..count {
+                out.push(generate_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Collections
+// ----------------------------------------------------------------------
+
+/// Inclusive size bound for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strat, Strategy, TestRng};
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> Strat<Vec<S::Value>> {
+        let size = size.into();
+        Strat::from_fn(move |rng: &mut TestRng| {
+            let n = rng.usize_in(size.lo, size.hi);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Macros
+// ----------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (@run $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut stream: u64 = 0;
+                while accepted < config.cases {
+                    let seed = $crate::case_seed(config.seed, test_name, stream);
+                    stream += 1;
+                    assert!(
+                        stream < config.cases as u64 * 16 + 1024,
+                        "too many rejected cases in {test_name}"
+                    );
+                    let mut rng = $crate::TestRng::new(seed);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {test_name} failed \
+                                 (case {accepted}, seed {seed:#018x}): {msg}"
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+// ----------------------------------------------------------------------
+// Prelude
+// ----------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strat, Strategy, TestCaseError,
+    };
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let v = (0u8..4, 1u64..=12).generate(&mut rng);
+            assert!(v.0 < 4);
+            assert!((1..=12).contains(&v.1));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::TestRng::new(2);
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[a-zA-Z0-9_-]{0,24}".generate(&mut rng);
+            assert!(t.len() <= 24);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+            let any_str = ".{0,10}".generate(&mut rng);
+            assert!(any_str.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights_deterministically() {
+        let strat = prop_oneof![
+            9 => Just(1),
+            1 => Just(2),
+        ];
+        let mut rng = crate::TestRng::new(3);
+        let picks: Vec<i32> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        let ones = picks.iter().filter(|&&v| v == 1).count();
+        assert!(ones > 60, "ones = {ones}");
+        // Same seed, same sequence.
+        let mut rng2 = crate::TestRng::new(3);
+        let picks2: Vec<i32> = (0..100).map(|_| strat.generate(&mut rng2)).collect();
+        assert_eq!(picks, picks2);
+    }
+
+    #[test]
+    fn floats_are_finite() {
+        let mut rng = crate::TestRng::new(4);
+        for _ in 0..1000 {
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn harness_runs_and_rejects(v in 0i64..100, w in any::<u8>()) {
+            prop_assume!(v != 13);
+            prop_assert!(v >= 0);
+            prop_assert_eq!(v, v, "context {}", w);
+            prop_assert_ne!(v, 13);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_strategy_respects_size(items in prop::collection::vec(0u8..8, 0..5)) {
+            prop_assert!(items.len() < 5);
+            for item in items {
+                prop_assert!(item < 8);
+            }
+        }
+    }
+}

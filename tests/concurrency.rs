@@ -3,9 +3,14 @@
 //! thread pool. These tests hammer a live cluster from many threads:
 //! parallel queries, queries racing writers, and parallel queries racing a
 //! region split.
+//!
+//! Discipline: no sleep/yield-based synchronization (threads coordinate
+//! through `thread::scope` joins and `Barrier`s only) and no ambient
+//! randomness — anything nondeterministic is driven by a fixed seed so
+//! failures replay.
 
 use shc::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 const CATALOG: &str = r#"{
     "table":{"namespace":"default", "name":"ledger"},
@@ -20,6 +25,7 @@ const CATALOG: &str = r#"{
 fn setup(rows: usize) -> (Arc<HBaseCluster>, Arc<Session>, Arc<HBaseTableCatalog>) {
     let cluster = HBaseCluster::start(ClusterConfig {
         num_servers: 3,
+        fault_seed: 0xc0c0_2026, // fixed: any injected chaos replays identically
         ..Default::default()
     });
     let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
@@ -43,6 +49,7 @@ fn setup(rows: usize) -> (Arc<HBaseCluster>, Arc<Session>, Arc<HBaseTableCatalog
         executors: ExecutorConfig {
             num_executors: 3,
             hosts: cluster.hostnames(),
+            task_retries: 1,
         },
         ..Default::default()
     });
@@ -101,13 +108,7 @@ fn queries_race_writers_without_errors() {
                         ])
                     })
                     .collect();
-                write_rows(
-                    &writer_cluster,
-                    &writer_catalog,
-                    &SHCConf::default(),
-                    &rows,
-                )
-                .unwrap();
+                write_rows(&writer_cluster, &writer_catalog, &SHCConf::default(), &rows).unwrap();
             }
         });
         // Reader threads: counts must be monotone-consistent (between the
@@ -176,6 +177,58 @@ fn queries_race_a_region_split() {
     });
     // Layout actually changed.
     assert_eq!(cluster.master.regions_of(&catalog.table).unwrap().len(), 4);
+}
+
+#[test]
+fn concurrent_queries_under_fault_schedule_agree() {
+    // Seeded chaos meets concurrency: drop the first three scan RPCs while
+    // eight threads query in parallel. Whichever threads absorb the drops
+    // must retry transparently; every query still returns the exact row
+    // count. FirstN keeps the schedule deterministic under any thread
+    // interleaving (3 drops can never exhaust one chain's 4-attempt
+    // budget), where EveryNth/Probability would depend on the global RPC
+    // arrival order.
+    let (cluster, session, _) = setup(300);
+    {
+        use shc::kvstore::prelude::*;
+        cluster.faults().add_rule(
+            FaultRule::new(FaultKind::Drop)
+                .on_op(RpcOp::Scan)
+                .first_n(3),
+        );
+    }
+    let before = cluster.metrics.snapshot();
+    let barrier = Arc::new(Barrier::new(8));
+    let answers: Vec<i64> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait(); // maximize overlap without sleeping
+                    session
+                        .sql("SELECT COUNT(*) FROM ledger")
+                        .unwrap()
+                        .collect()
+                        .unwrap()[0]
+                        .get(0)
+                        .as_i64()
+                        .unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert!(answers.iter().all(|&a| a == 300), "answers: {answers:?}");
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert_eq!(delta.faults_injected, 3);
+    assert_eq!(
+        delta.client_retries, 3,
+        "every dropped RPC was retried exactly once"
+    );
+    cluster.faults().clear();
 }
 
 #[test]

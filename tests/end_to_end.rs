@@ -93,9 +93,7 @@ fn point_lookup() {
 
 #[test]
 fn rowkey_range() {
-    assert_all_agree(
-        "SELECT name, age FROM people WHERE name >= 'person10' AND name < 'person20'",
-    );
+    assert_all_agree("SELECT name, age FROM people WHERE name >= 'person10' AND name < 'person20'");
 }
 
 #[test]
@@ -107,9 +105,7 @@ fn value_predicates() {
 fn not_in_two_layer_filtering() {
     // NOT IN is never pushed down (paper §VI.3); the engine's second
     // filtering layer must still produce exact results.
-    assert_all_agree(
-        "SELECT name FROM people WHERE age NOT IN (20, 27, 34) AND name < 'person30'",
-    );
+    assert_all_agree("SELECT name FROM people WHERE age NOT IN (20, 27, 34) AND name < 'person30'");
 }
 
 #[test]
@@ -146,9 +142,7 @@ fn aggregates_with_group_by_and_having() {
 
 #[test]
 fn global_aggregates() {
-    assert_all_agree(
-        "SELECT COUNT(*), SUM(age), MIN(score), STDDEV_SAMP(age) FROM people",
-    );
+    assert_all_agree("SELECT COUNT(*), SUM(age), MIN(score), STDDEV_SAMP(age) FROM people");
 }
 
 #[test]
@@ -230,10 +224,8 @@ fn write_back_through_provider() {
     let (_, shc, _) = sessions();
     // Materialize a filtered subset into a second HBase table.
     let sink_catalog = Arc::new(
-        HBaseTableCatalog::parse_simple(
-            &CATALOG.replace("\"people\"", "\"people_backup\""),
-        )
-        .unwrap(),
+        HBaseTableCatalog::parse_simple(&CATALOG.replace("\"people\"", "\"people_backup\""))
+            .unwrap(),
     );
     let source = shc.read_table("people").unwrap();
     let provider = shc.table_provider("people").unwrap();
@@ -246,13 +238,7 @@ fn write_back_through_provider() {
         // (Integration shortcut: create a new cluster for the sink.)
         HBaseCluster::start_default()
     };
-    let written = write_rows(
-        &cluster,
-        &sink_catalog,
-        &SHCConf::default(),
-        &cluster_rows,
-    )
-    .unwrap();
+    let written = write_rows(&cluster, &sink_catalog, &SHCConf::default(), &cluster_rows).unwrap();
     assert!(written > 0);
     let sink_session = Session::new_default();
     register_hbase_table(

@@ -42,7 +42,9 @@ fn wal_replay_recovers_unflushed_writes() {
     let table = conn.table(TableName::default_ns("t"));
     table.put(Put::new("a").add("cf", "q", "flushed")).unwrap();
     cluster.flush_all().unwrap();
-    table.put(Put::new("b").add("cf", "q", "in-memstore")).unwrap();
+    table
+        .put(Put::new("b").add("cf", "q", "in-memstore"))
+        .unwrap();
 
     // Simulate loss of the memstore: rebuild the region from the WAL.
     let server = cluster.server(0).unwrap();
@@ -150,7 +152,10 @@ fn queries_survive_rebalancing() {
     }
     assert_eq!(cluster.server(0).unwrap().region_count(), 6);
     let moves = cluster.master.balance().unwrap();
-    assert!(moves >= 4, "balancer should spread 6 regions over 3 servers");
+    assert!(
+        moves >= 4,
+        "balancer should spread 6 regions over 3 servers"
+    );
     assert!(cluster.server(0).unwrap().region_count() <= 2);
 
     let session = Session::new_default();
@@ -186,13 +191,7 @@ fn expired_token_is_refreshed_for_long_jobs() {
     write_rows(&cluster, &catalog, &conf, &rows(10)).unwrap();
 
     let session = Session::new_default();
-    let relation = register_hbase_table(
-        &session,
-        Arc::clone(&cluster),
-        catalog,
-        conf,
-        "journal",
-    );
+    let relation = register_hbase_table(&session, Arc::clone(&cluster), catalog, conf, "journal");
     // First query obtains a token.
     assert_eq!(
         session
@@ -274,4 +273,337 @@ fn compaction_preserves_query_results() {
         .unwrap();
     assert_eq!(before, after);
     assert_eq!(after[0].get(0), &Value::Int64(100));
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fault injection (tentpole): every test below computes a fault-free
+// baseline first, then replays the same workload under a deterministic fault
+// schedule and asserts (a) identical results and (b) that the recovery
+// machinery actually engaged, via the cluster metrics deltas.
+// ---------------------------------------------------------------------------
+
+/// A seeded cluster with one `t` table of `n` flushed single-cell rows.
+fn faulty_kv_cluster(
+    num_servers: usize,
+    fault_seed: u64,
+    n: usize,
+) -> Arc<shc::kvstore::cluster::HBaseCluster> {
+    use shc::kvstore::prelude::*;
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers,
+        fault_seed,
+        ..Default::default()
+    });
+    cluster
+        .create_table(
+            TableDescriptor::new(TableName::default_ns("t"))
+                .with_family(FamilyDescriptor::new("cf")),
+        )
+        .unwrap();
+    let conn = shc::kvstore::client::Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("t"));
+    for i in 0..n {
+        table
+            .put(Put::new(format!("row{i:04}")).add("cf", "q", format!("v{i}")))
+            .unwrap();
+    }
+    cluster.flush_all().unwrap();
+    cluster
+}
+
+/// Scan all of `t` and return its row keys, in scan order.
+fn scan_keys(table: &shc::kvstore::client::Table) -> Vec<Vec<u8>> {
+    table
+        .scan(&shc::kvstore::types::Scan::new())
+        .unwrap()
+        .iter()
+        .map(|r| r.row.as_ref().to_vec())
+        .collect()
+}
+
+#[test]
+fn dropped_scan_rpc_is_retried_transparently() {
+    use shc::kvstore::prelude::*;
+    let cluster = faulty_kv_cluster(2, 0xfa01, 50);
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("t"));
+    let baseline = scan_keys(&table);
+    assert_eq!(baseline.len(), 50);
+
+    let before = cluster.metrics.snapshot();
+    let rule = cluster.faults().add_rule(
+        FaultRule::new(FaultKind::Drop)
+            .on_op(RpcOp::Scan)
+            .first_n(1),
+    );
+    assert_eq!(scan_keys(&table), baseline);
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert_eq!(rule.fire_count(), 1);
+    assert!(delta.faults_injected >= 1);
+    assert!(delta.client_retries >= 1, "the dropped RPC must be retried");
+}
+
+#[test]
+fn delayed_scan_rpc_still_returns_full_results() {
+    use shc::kvstore::prelude::*;
+    let cluster = faulty_kv_cluster(1, 0xfa02, 30);
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("t"));
+    let baseline = scan_keys(&table);
+
+    let before = cluster.metrics.snapshot();
+    cluster.faults().add_rule(
+        FaultRule::new(FaultKind::Delay(std::time::Duration::from_millis(2)))
+            .on_op(RpcOp::Scan)
+            .with_trigger(Trigger::EveryNth(2)),
+    );
+    // Two scans: the second one's RPC is the 2nd match and gets delayed.
+    assert_eq!(scan_keys(&table), baseline);
+    assert_eq!(scan_keys(&table), baseline);
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert_eq!(delta.faults_injected, 1, "exactly the 2nd scan is delayed");
+}
+
+#[test]
+fn server_crash_replays_wal_on_restart() {
+    use shc::kvstore::prelude::*;
+    let cluster = faulty_kv_cluster(1, 0xfa03, 20);
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("t"));
+    // Unflushed tail: lives only in the memstore + WAL.
+    for i in 20..25 {
+        table
+            .put(Put::new(format!("row{i:04}")).add("cf", "q", format!("v{i}")))
+            .unwrap();
+    }
+    let baseline = scan_keys(&table);
+    assert_eq!(baseline.len(), 25);
+
+    let before = cluster.metrics.snapshot();
+    let server = cluster.server(0).unwrap();
+    server.crash(); // loses every memstore
+    server.restart(); // replays the WAL
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert!(delta.wal_replays >= 1, "restart must replay the WAL");
+    assert_eq!(scan_keys(&table), baseline, "unflushed rows recovered");
+}
+
+#[test]
+fn region_move_mid_scan_is_recovered() {
+    use shc::kvstore::prelude::*;
+    let cluster = faulty_kv_cluster(2, 0xfa04, 60);
+    let name = TableName::default_ns("t");
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(name.clone());
+    let baseline = scan_keys(&table);
+
+    let loc = &cluster.master.regions_of(&name).unwrap()[0];
+    let (region_id, src) = (loc.info.region_id, loc.server_id);
+    let dst = (src + 1) % 2;
+    let before = cluster.metrics.snapshot();
+    // Just before the first scan RPC executes, yank the region to the other
+    // server. The in-flight RPC then fails region lookup and must retry
+    // against the fresh location.
+    let hook_cluster = Arc::clone(&cluster);
+    let hook_name = name.clone();
+    cluster.faults().on_nth_op(Some(RpcOp::Scan), 1, move || {
+        hook_cluster
+            .master
+            .move_region(&hook_name, region_id, dst)
+            .unwrap();
+    });
+    assert_eq!(scan_keys(&table), baseline);
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert!(
+        delta.client_retries >= 1,
+        "move mid-scan must force a retry"
+    );
+    assert!(delta.location_invalidations >= 1);
+    assert_eq!(
+        cluster.master.regions_of(&name).unwrap()[0].server_id,
+        dst,
+        "the region really moved"
+    );
+}
+
+#[test]
+fn region_split_mid_scan_returns_complete_results() {
+    use shc::kvstore::prelude::*;
+    let cluster = faulty_kv_cluster(2, 0xfa05, 80);
+    let name = TableName::default_ns("t");
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(name.clone());
+    let baseline = scan_keys(&table);
+
+    let region_id = cluster.master.regions_of(&name).unwrap()[0].info.region_id;
+    let before = cluster.metrics.snapshot();
+    let hook_cluster = Arc::clone(&cluster);
+    let hook_name = name.clone();
+    cluster.faults().on_nth_op(Some(RpcOp::Scan), 1, move || {
+        hook_cluster
+            .master
+            .split_region(&hook_name, region_id)
+            .unwrap();
+    });
+    let got = scan_keys(&table);
+    // Complete, duplicate-free, key-ordered — exactly the baseline.
+    assert_eq!(got, baseline);
+    let distinct: std::collections::HashSet<_> = got.iter().collect();
+    assert_eq!(distinct.len(), got.len(), "no duplicates across daughters");
+    assert_eq!(cluster.master.regions_of(&name).unwrap().len(), 2);
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert!(
+        delta.client_retries >= 1,
+        "split mid-scan must force a retry"
+    );
+}
+
+#[test]
+fn master_failover_reassigns_regions_of_dead_server() {
+    use shc::kvstore::prelude::*;
+    let cluster = faulty_kv_cluster(2, 0xfa06, 40);
+    let name = TableName::default_ns("t");
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(name.clone());
+    // Unflushed tail so the failover's WAL replay has real work to do.
+    for i in 40..48 {
+        table
+            .put(Put::new(format!("row{i:04}")).add("cf", "q", format!("v{i}")))
+            .unwrap();
+    }
+    let baseline = scan_keys(&table);
+    assert_eq!(baseline.len(), 48);
+
+    let dead = cluster.master.regions_of(&name).unwrap()[0].server_id;
+    let before = cluster.metrics.snapshot();
+    cluster.server(dead).unwrap().crash();
+    let moved = cluster.master.fail_over_server(dead).unwrap();
+    assert!(moved >= 1);
+    // A standby master takes over and rebuilds meta from the live servers.
+    assert!(cluster.master.fail_over().unwrap() >= 1);
+    // The connection still holds the dead server's location; the scan's
+    // first attempt fails and recovery re-routes to the new assignment.
+    assert_eq!(scan_keys(&table), baseline);
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert!(delta.regions_reassigned >= 1);
+    assert!(delta.wal_replays >= 1, "failover replays the dead WAL");
+    assert!(delta.client_retries >= 1, "stale location must be retried");
+}
+
+#[test]
+fn retry_budget_exhaustion_returns_clean_error() {
+    use shc::kvstore::prelude::*;
+    let cluster = faulty_kv_cluster(1, 0xfa07, 5);
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("t"));
+    cluster
+        .faults()
+        .add_rule(FaultRule::new(FaultKind::Drop).on_op(RpcOp::Get));
+
+    let before = cluster.metrics.snapshot();
+    let err = table.get(Get::new("row0000")).unwrap_err();
+    match err {
+        KvError::RetriesExhausted { op, attempts, last } => {
+            assert_eq!(op, "get");
+            assert_eq!(attempts, conn.retry_policy().max_attempts);
+            assert!(matches!(*last, KvError::RpcTimeout { .. }));
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    let budget = conn.retry_policy().max_attempts as u64;
+    assert_eq!(delta.client_retries, budget - 1, "every retry was spent");
+    assert_eq!(delta.faults_injected, budget, "every attempt was dropped");
+
+    // Clearing the schedule makes the same request succeed again.
+    cluster.faults().clear();
+    assert!(table.get(Get::new("row0000")).is_ok());
+}
+
+#[test]
+fn location_cache_invalidation_broadcasts_through_conn_cache() {
+    use shc::kvstore::prelude::*;
+    use shc::prelude::ConnectionCache;
+    let cluster = faulty_kv_cluster(2, 0xfa08, 30);
+    let name = TableName::default_ns("t");
+    let cache = ConnectionCache::new();
+    let lease = cache.acquire(&cluster, None);
+    lease.locate_regions(&name).unwrap(); // warm the location cache
+    let table = lease.connection().table(name.clone());
+    let baseline = scan_keys(&table);
+
+    let loc = &cluster.master.regions_of(&name).unwrap()[0];
+    let dst = (loc.server_id + 1) % 2;
+    cluster
+        .master
+        .move_region(&name, loc.info.region_id, dst)
+        .unwrap();
+    let before = cluster.metrics.snapshot();
+    // One broadcast repairs every cached connection in the process...
+    assert_eq!(cache.invalidate_locations(&name), 1);
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert!(delta.location_invalidations >= 1);
+    // ...so the next scan routes straight to the new server, no retry.
+    let before = cluster.metrics.snapshot();
+    assert_eq!(scan_keys(&table), baseline);
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert_eq!(delta.client_retries, 0, "fresh locations need no retry");
+}
+
+#[test]
+fn multi_region_scan_survives_not_serving_mid_flight() {
+    // Regression (paper §VI.B): transient RegionNotServing answers during an
+    // in-flight multi-region SQL scan must not lose or duplicate rows.
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 2,
+        fault_seed: 0xfa09,
+        ..Default::default()
+    });
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
+    write_rows(
+        &cluster,
+        &catalog,
+        &SHCConf::default().with_new_table_regions(4),
+        &rows(100),
+    )
+    .unwrap();
+    let session = Session::new_default();
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        SHCConf::default(),
+        "journal",
+    );
+    let baseline = session
+        .sql("SELECT entry FROM journal ORDER BY entry")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(baseline.len(), 100);
+
+    let before = cluster.metrics.snapshot();
+    {
+        use shc::kvstore::prelude::*;
+        cluster.faults().add_rule(
+            FaultRule::new(FaultKind::NotServing)
+                .on_op(RpcOp::Scan)
+                .first_n(2),
+        );
+    }
+    let got = session
+        .sql("SELECT entry FROM journal ORDER BY entry")
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(got, baseline, "complete and duplicate-free");
+    let distinct: std::collections::HashSet<String> =
+        got.iter().map(|r| format!("{:?}", r.get(0))).collect();
+    assert_eq!(distinct.len(), 100);
+    let delta = cluster.metrics.snapshot().delta_since(&before);
+    assert_eq!(delta.faults_injected, 2);
+    assert!(
+        delta.client_retries >= 2,
+        "both failed region scans retried"
+    );
 }

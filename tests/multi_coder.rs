@@ -103,18 +103,19 @@ fn avro_value_predicates_are_unhandled_but_correct() {
     assert_eq!(native, avro);
 
     // Verify capability difference through the provider API directly.
-    let native_catalog = Arc::new(
-        HBaseTableCatalog::parse_simple(&catalog_json("x1", "PrimitiveType")).unwrap(),
-    );
+    let native_catalog =
+        Arc::new(HBaseTableCatalog::parse_simple(&catalog_json("x1", "PrimitiveType")).unwrap());
     let avro_catalog =
         Arc::new(HBaseTableCatalog::parse_simple(&catalog_json("x2", "Avro")).unwrap());
     let filter = vec![SourceFilter::GtEq("price".into(), Value::Float64(10.0))];
     let plan_native =
         shc::core::pruning::plan_pushdown(&native_catalog, &SHCConf::default(), &filter);
-    let plan_avro =
-        shc::core::pruning::plan_pushdown(&avro_catalog, &SHCConf::default(), &filter);
+    let plan_avro = shc::core::pruning::plan_pushdown(&avro_catalog, &SHCConf::default(), &filter);
     assert_eq!(plan_native.handled.len(), 1, "native coder pushes ranges");
-    assert!(plan_avro.handled.is_empty(), "avro coder cannot push ranges");
+    assert!(
+        plan_avro.handled.is_empty(),
+        "avro coder cannot push ranges"
+    );
 }
 
 #[test]
@@ -125,10 +126,7 @@ fn avro_rowkey_stays_primitive_and_prunable() {
     // via the key column's own (string) encoding.
     let (cluster, session) = session_with_all_coders();
     cluster.metrics.reset();
-    let rows = run(
-        &session,
-        "SELECT k FROM t_avro WHERE k = 'k030'",
-    );
+    let rows = run(&session, "SELECT k FROM t_avro WHERE k = 'k030'");
     assert_eq!(rows.len(), 1);
     let snap = cluster.metrics.snapshot();
     assert!(
@@ -159,7 +157,10 @@ fn phoenix_written_data_readable_as_primitive_numerics() {
         SHCConf::default(),
         "shared",
     );
-    let out = run(&session, "SELECT SUM(qty), MIN(price), MAX(price) FROM shared");
+    let out = run(
+        &session,
+        "SELECT SUM(qty), MIN(price), MAX(price) FROM shared",
+    );
     let expected_sum: i64 = (0..60).map(|i| (i * 3 - 20) as i64).sum();
     assert_eq!(out[0].get(0), &Value::Int64(expected_sum));
 }

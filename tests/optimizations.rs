@@ -48,6 +48,7 @@ fn session_for(cluster: &Arc<HBaseCluster>) -> Arc<Session> {
         executors: ExecutorConfig {
             num_executors: cluster.num_servers(),
             hosts: cluster.hostnames(),
+            task_retries: 1,
         },
         ..Default::default()
     })

@@ -146,7 +146,11 @@ fn model(ranges: &RangeSet) -> Vec<u8> {
 
 fn arb_range() -> impl Strategy<Value = shc::kvstore::filter::RowRange> {
     (0u8..64, 0u8..=64).prop_map(|(a, b)| {
-        let stop: &[u8] = if b >= 64 { &[] } else { std::slice::from_ref(&b) };
+        let stop: &[u8] = if b >= 64 {
+            &[]
+        } else {
+            std::slice::from_ref(&b)
+        };
         shc::kvstore::filter::RowRange::new(vec![a], stop.to_vec())
     })
 }
@@ -212,7 +216,7 @@ proptest! {
 
 #[derive(Debug, Clone)]
 enum Pred {
-    KeyCmp(u8, i64),   // op index, literal
+    KeyCmp(u8, i64), // op index, literal
     ValCmp(u8, i64),
     KeyIn(Vec<i64>),
     NotIn(Vec<i64>),
@@ -229,10 +233,8 @@ fn arb_pred() -> impl Strategy<Value = Pred> {
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
         ]
     })
 }
@@ -244,11 +246,17 @@ fn pred_to_sql(p: &Pred) -> String {
         Pred::ValCmp(o, lit) => format!("v {} {lit}", op(*o)),
         Pred::KeyIn(list) => format!(
             "id IN ({})",
-            list.iter().map(i64::to_string).collect::<Vec<_>>().join(",")
+            list.iter()
+                .map(i64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
         ),
         Pred::NotIn(list) => format!(
             "v NOT IN ({})",
-            list.iter().map(i64::to_string).collect::<Vec<_>>().join(",")
+            list.iter()
+                .map(i64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
         ),
         Pred::Or(a, b) => format!("({} OR {})", pred_to_sql(a), pred_to_sql(b)),
         Pred::And(a, b) => format!("({} AND {})", pred_to_sql(a), pred_to_sql(b)),
