@@ -13,7 +13,7 @@
 //! of each curve — who wins, how the gap scales — is the reproduction
 //! target. EXPERIMENTS.md records paper-vs-measured for each panel.
 
-use shc_bench::{measure_query, measure_write, print_table, Env, EnvConfig, System};
+use shc_bench::{bench_json, measure_query, measure_write, print_table, Env, EnvConfig, System};
 use shc_kvstore::cluster::{ClusterConfig, HBaseCluster};
 use shc_kvstore::network::NetworkSim;
 use shc_tpcds::{queries, Generator, Scale, Table};
@@ -42,6 +42,24 @@ fn main() {
     if wants("--table2") {
         table2(quick);
     }
+    if wants("--metrics") {
+        metrics_dump();
+    }
+}
+
+/// Run one query and dump both metric registries in Prometheus text
+/// exposition format — the scrape-ready counterpart of the tables above.
+fn metrics_dump() {
+    let env = Env::build(&EnvConfig {
+        nominal_gb: 0.5,
+        num_servers: 2,
+        num_executors: 2,
+        ..Default::default()
+    });
+    measure_query(&env, System::Shc, &queries::q39a(2001, 1));
+    println!("\nPrometheus exposition (store + engine):");
+    print!("{}", env.cluster.metrics.exposition());
+    print!("{}", env.shc.metrics_exposition());
 }
 
 /// Sizes for the data sweeps (paper: 5–30 GB).
@@ -177,17 +195,37 @@ fn fig4(quick: bool) {
             let shc = measure_query(&env, System::Shc, &sql);
             let generic = measure_query(&env, System::SparkSql, &sql);
             assert_eq!(shc.rows, generic.rows, "systems must agree");
+            bench_json(
+                &format!("fig4{panel}"),
+                &format!("{gb:.0}"),
+                System::Shc,
+                &shc,
+            );
+            bench_json(
+                &format!("fig4{panel}"),
+                &format!("{gb:.0}"),
+                System::SparkSql,
+                &generic,
+            );
             rows.push(vec![
                 format!("{gb:.0}"),
                 format!("{:.3}", shc.seconds),
                 format!("{:.3}", generic.seconds),
                 format!("{:.1}x", generic.seconds / shc.seconds.max(1e-9)),
+                format!("{}us/{}us", shc.rpc_p50_us, shc.rpc_p99_us),
                 format!("{}", shc.rows),
             ]);
         }
         print_table(
             &format!("Figure 4({panel}): query latency vs data size — TPC-DS q39{panel}"),
-            &["GB", "SHC (s)", "SparkSQL (s)", "speedup", "result rows"],
+            &[
+                "GB",
+                "SHC (s)",
+                "SparkSQL (s)",
+                "speedup",
+                "SHC RPC p50/p99",
+                "result rows",
+            ],
             &rows,
         );
     }
@@ -250,6 +288,18 @@ fn fig6(quick: bool) {
             let sql = query_of(2001, 1);
             let shc = measure_query(&env, System::Shc, &sql);
             let generic = measure_query(&env, System::SparkSql, &sql);
+            bench_json(
+                &format!("fig6{panel}"),
+                &format!("{executors}"),
+                System::Shc,
+                &shc,
+            );
+            bench_json(
+                &format!("fig6{panel}"),
+                &format!("{executors}"),
+                System::SparkSql,
+                &generic,
+            );
             rows.push(vec![
                 format!("{executors}"),
                 format!("{:.3}", shc.seconds),

@@ -122,11 +122,19 @@ impl ScanPartition for GenericScanPartition {
         // eliminates.
         let connection = Connection::open(Arc::clone(&self.cluster), None);
         let table = connection.table(self.catalog.table.clone());
+        let mut region_sp = shc_obs::trace::span("region_scan");
+        if region_sp.is_active() {
+            region_sp.annotate("region", self.location.info.region_id);
+            region_sp.annotate("server", &self.location.hostname);
+        }
         // Full, unfiltered, unprojected region scan; `from_host: None`
         // charges the remote-read penalty.
         let result = table
             .scan_region(&self.location, &Scan::new(), None)
             .map_err(|e| EngineError::DataSource(e.to_string()))?;
+        if region_sp.is_active() {
+            region_sp.annotate("rows", result.rows.len());
+        }
         result
             .rows
             .iter()

@@ -435,6 +435,15 @@ impl HBaseScanPartition {
         let conf = &self.relation.conf;
         let mut out: Vec<Row> = Vec::new();
         for (location, ranges) in work {
+            // One attribution span per region visited. Rows are counted as
+            // scanned (before engine-side residual filtering), so retried
+            // visits show the work actually performed.
+            let mut region_sp = shc_obs::trace::span("region_scan");
+            if region_sp.is_active() {
+                region_sp.annotate("region", location.info.region_id);
+                region_sp.annotate("server", &location.hostname);
+            }
+            let rows_before = out.len();
             // Fuse point lookups into one BulkGet per region.
             let mut gets: Vec<Get> = Vec::new();
             for range in ranges.ranges() {
@@ -482,6 +491,9 @@ impl HBaseScanPartition {
                     }
                     out.push(self.decoder.decode(row).map_err(EngineError::from)?);
                 }
+            }
+            if region_sp.is_active() {
+                region_sp.annotate("rows", out.len() - rows_before);
             }
         }
         Ok(out)

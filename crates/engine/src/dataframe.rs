@@ -152,6 +152,42 @@ impl DataFrame {
         physical::collect(&plan, &ctx)
     }
 
+    /// Optimize and execute under a fresh [`shc_obs::Tracer`], recording
+    /// per-operator runtime statistics and the full cross-layer span trace
+    /// (query → stage → task → RPC). The trace clock is deterministic
+    /// (virtual microseconds advanced by modeled costs), so repeated runs of
+    /// the same query over the same data produce identical traces.
+    pub fn collect_analyzed(&self) -> Result<QueryAnalysis> {
+        let plan = self.optimized_plan()?;
+        let ctx = self.session.exec_context();
+        let tracer = shc_obs::Tracer::new();
+        let (rows, profile) = {
+            let _root = tracer.root("query");
+            physical::collect_profiled(&plan, &ctx)?
+        };
+        let trace = tracer.finish();
+        attach_region_attribution(&profile, &trace);
+        Ok(QueryAnalysis {
+            rows,
+            profile,
+            trace,
+            plan,
+        })
+    }
+
+    /// Run the query and render the physical plan tree annotated with the
+    /// observed per-operator statistics (rows, bytes, partitions, virtual
+    /// time) next to the optimizer's cardinality estimates, plus per-region
+    /// scan attribution. The EXPLAIN ANALYZE of this engine.
+    pub fn explain_analyze(&self) -> Result<String> {
+        let analysis = self.collect_analyzed()?;
+        Ok(format!(
+            "== Physical Plan (analyzed, {} rows returned) ==\n{}",
+            analysis.rows.len(),
+            analysis.profile.render()
+        ))
+    }
+
     pub fn count(&self) -> Result<usize> {
         Ok(self.collect()?.len())
     }
@@ -167,6 +203,57 @@ impl DataFrame {
         DataFrame {
             session: Arc::clone(&self.session),
             plan,
+        }
+    }
+}
+
+/// Result of [`DataFrame::collect_analyzed`]: the rows plus everything the
+/// run observed about itself.
+pub struct QueryAnalysis {
+    pub rows: Vec<Row>,
+    /// Per-operator observed statistics, mirroring `plan`'s tree.
+    pub profile: Arc<physical::OpProfile>,
+    /// The merged cross-layer span trace for the whole query.
+    pub trace: shc_obs::Trace,
+    /// The optimized plan that was executed.
+    pub plan: LogicalPlan,
+}
+
+/// Copy per-region scan rows out of the trace into the matching scan
+/// operators' profiles. `scan_partition` spans carry an `op` annotation with
+/// the profile id; their `region_scan` descendants carry region id, server
+/// and row count.
+fn attach_region_attribution(profile: &Arc<physical::OpProfile>, trace: &shc_obs::Trace) {
+    let mut nodes: Vec<&physical::OpProfile> = Vec::new();
+    fn index<'a>(p: &'a physical::OpProfile, out: &mut Vec<&'a physical::OpProfile>) {
+        out.push(p);
+        for c in &p.children {
+            index(c, out);
+        }
+    }
+    index(profile, &mut nodes);
+    for psp in trace.spans_named("scan_partition") {
+        let Some(node) = psp
+            .attr("op")
+            .and_then(|v| v.parse::<usize>().ok())
+            .and_then(|op| nodes.iter().find(|n| n.id == op))
+        else {
+            continue;
+        };
+        for rs in trace.descendants(psp.id) {
+            if rs.name != "region_scan" {
+                continue;
+            }
+            let region = rs
+                .attr("region")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            let server = rs.attr("server").unwrap_or("?");
+            let rows = rs
+                .attr("rows")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            node.add_region_scan(region, server, rows);
         }
     }
 }

@@ -60,7 +60,7 @@ pub mod value;
 pub mod prelude {
     pub use crate::aggregate::AggFunc;
     pub use crate::dataframe::{
-        avg, col, count, count_star, lit, max, min, stddev, sum, DataFrame,
+        avg, col, count, count_star, lit, max, min, stddev, sum, DataFrame, QueryAnalysis,
     };
     pub use crate::datasource::{ScanPartition, TableProvider};
     pub use crate::error::{EngineError, Result};
@@ -69,6 +69,7 @@ pub mod prelude {
     pub use crate::memtable::MemTable;
     pub use crate::metrics::{QueryMetrics, QueryMetricsSnapshot};
     pub use crate::optimizer::OptimizerConfig;
+    pub use crate::physical::{OpProfile, RegionScanProfile};
     pub use crate::row::Row;
     pub use crate::scheduler::ExecutorConfig;
     pub use crate::schema::{Field, Schema};

@@ -176,6 +176,18 @@ impl LogicalPlan {
 
     fn explain_into(&self, indent: usize, out: &mut String) {
         let pad = "  ".repeat(indent);
+        out.push_str(&pad);
+        out.push_str(&self.describe());
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(indent + 1, out);
+        }
+    }
+
+    /// One-line description of this node alone (no children). The same text
+    /// [`explain`](Self::explain) prints per line, reused by
+    /// `EXPLAIN ANALYZE` so estimated and observed plans line up.
+    pub fn describe(&self) -> String {
         match self {
             LogicalPlan::Scan {
                 table_name,
@@ -183,69 +195,100 @@ impl LogicalPlan {
                 filters,
                 provider,
                 ..
-            } => {
-                out.push_str(&format!(
-                    "{pad}Scan: {table_name} [{}] projection={:?} filters={}\n",
-                    provider.name(),
-                    projection,
-                    filters
-                        .iter()
-                        .map(|f| f.to_string())
-                        .collect::<Vec<_>>()
-                        .join(" AND ")
-                ));
-            }
-            LogicalPlan::Filter { predicate, input } => {
-                out.push_str(&format!("{pad}Filter: {predicate}\n"));
-                input.explain_into(indent + 1, out);
-            }
-            LogicalPlan::Projection { exprs, input } => {
+            } => format!(
+                "Scan: {table_name} [{}] projection={:?} filters={}",
+                provider.name(),
+                projection,
+                filters
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" AND ")
+            ),
+            LogicalPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            LogicalPlan::Projection { exprs, .. } => {
                 let items: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
-                out.push_str(&format!("{pad}Projection: {}\n", items.join(", ")));
-                input.explain_into(indent + 1, out);
+                format!("Projection: {}", items.join(", "))
             }
-            LogicalPlan::Join {
-                left,
-                right,
-                on,
-                join_type,
-            } => {
+            LogicalPlan::Join { on, join_type, .. } => {
                 let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
-                out.push_str(&format!(
-                    "{pad}Join({join_type:?}): {}\n",
-                    keys.join(" AND ")
-                ));
-                left.explain_into(indent + 1, out);
-                right.explain_into(indent + 1, out);
+                format!("Join({join_type:?}): {}", keys.join(" AND "))
             }
-            LogicalPlan::Aggregate { group, aggs, input } => {
+            LogicalPlan::Aggregate { group, aggs, .. } => {
                 let g: Vec<String> = group.iter().map(|(e, _)| e.to_string()).collect();
                 let a: Vec<String> = aggs.iter().map(|(e, _)| e.default_name()).collect();
-                out.push_str(&format!(
-                    "{pad}Aggregate: group=[{}] aggs=[{}]\n",
+                format!(
+                    "Aggregate: group=[{}] aggs=[{}]",
                     g.join(", "),
                     a.join(", ")
-                ));
-                input.explain_into(indent + 1, out);
+                )
             }
-            LogicalPlan::Sort { keys, input } => {
+            LogicalPlan::Sort { keys, .. } => {
                 let k: Vec<String> = keys
                     .iter()
                     .map(|(e, asc)| format!("{e} {}", if *asc { "ASC" } else { "DESC" }))
                     .collect();
-                out.push_str(&format!("{pad}Sort: {}\n", k.join(", ")));
-                input.explain_into(indent + 1, out);
+                format!("Sort: {}", k.join(", "))
             }
-            LogicalPlan::Limit { n, input } => {
-                out.push_str(&format!("{pad}Limit: {n}\n"));
-                input.explain_into(indent + 1, out);
+            LogicalPlan::Limit { n, .. } => format!("Limit: {n}"),
+            LogicalPlan::SubqueryAlias { alias, .. } => format!("SubqueryAlias: {alias}"),
+            LogicalPlan::Values { rows, .. } => format!("Values: {} rows", rows.len()),
+        }
+    }
+
+    /// Child nodes in plan order (left before right for joins).
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => Vec::new(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Projection { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::SubqueryAlias { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Crude pre-execution cardinality estimate, or `None` when the source
+    /// cannot be sized cheaply. These are the optimizer-side numbers
+    /// `EXPLAIN ANALYZE` prints next to observed row counts; the point is
+    /// showing the *gap*, so the heuristics are deliberately simple
+    /// (filters halve, grouped aggregates quarter, joins take the larger
+    /// side).
+    pub fn estimated_rows(&self) -> Option<u64> {
+        match self {
+            LogicalPlan::Scan {
+                provider, filters, ..
+            } => provider.estimated_row_count().map(|n| {
+                if filters.is_empty() {
+                    n
+                } else {
+                    (n / 2).max(1)
+                }
+            }),
+            LogicalPlan::Values { rows, .. } => Some(rows.len() as u64),
+            LogicalPlan::Filter { input, .. } => input.estimated_rows().map(|n| (n / 2).max(1)),
+            LogicalPlan::Projection { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::SubqueryAlias { input, .. } => input.estimated_rows(),
+            LogicalPlan::Limit { n, input } => Some(
+                input
+                    .estimated_rows()
+                    .map_or(*n as u64, |r| r.min(*n as u64)),
+            ),
+            LogicalPlan::Aggregate { group, input, .. } => {
+                if group.is_empty() {
+                    Some(1)
+                } else {
+                    input.estimated_rows().map(|n| (n / 4).max(1))
+                }
             }
-            LogicalPlan::SubqueryAlias { alias, input } => {
-                out.push_str(&format!("{pad}SubqueryAlias: {alias}\n"));
-                input.explain_into(indent + 1, out);
-            }
-            LogicalPlan::Values { rows, .. } => {
-                out.push_str(&format!("{pad}Values: {} rows\n", rows.len()));
+            LogicalPlan::Join { left, right, .. } => {
+                match (left.estimated_rows(), right.estimated_rows()) {
+                    (Some(l), Some(r)) => Some(l.max(r)),
+                    _ => None,
+                }
             }
         }
     }

@@ -13,7 +13,10 @@ use crate::scheduler::{run_tasks, ExecutorConfig, Task};
 use crate::shuffle::{gather, hash_key, shuffle_by_key};
 use crate::source_filter::SourceFilter;
 use crate::value::Value;
+use parking_lot::Mutex;
+use shc_obs::trace;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Everything execution needs besides the plan.
@@ -42,24 +45,225 @@ impl Default for ExecContext {
     }
 }
 
+// ----------------------------------------------------------------------
+// Per-operator runtime profile (EXPLAIN ANALYZE)
+// ----------------------------------------------------------------------
+
+/// Per-region scan attribution: which region a scan operator actually read,
+/// on which server, and how much came back. Extracted from `region_scan`
+/// trace spans after the query finishes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionScanProfile {
+    pub region_id: u64,
+    pub server: String,
+    pub rows: u64,
+    /// Number of `region_scan` spans folded into this entry. >1 means the
+    /// region was visited more than once (e.g. retried after a fault), so
+    /// `rows` reflects work performed, not rows returned to the query.
+    pub visits: u64,
+}
+
+/// Observed runtime statistics for one physical operator, mirroring the
+/// logical plan tree. Built by [`collect_profiled`] before execution and
+/// filled in as each operator completes; rendered by
+/// `DataFrame::explain_analyze` next to the optimizer's estimates.
+pub struct OpProfile {
+    /// Pre-order index in the plan tree; also the `op` annotation on this
+    /// operator's trace spans, which is how post-hoc attribution finds it.
+    pub id: usize,
+    /// Same one-line text `LogicalPlan::explain` prints for this node.
+    pub describe: String,
+    /// Optimizer cardinality estimate (`None` = source could not be sized).
+    pub est_rows: Option<u64>,
+    pub rows: AtomicU64,
+    pub bytes: AtomicU64,
+    pub partitions: AtomicU64,
+    /// Inclusive time on the query trace's deterministic clock, µs. Zero
+    /// when executed without an active tracer.
+    pub elapsed_us: AtomicU64,
+    /// Execution decisions actually taken (join strategy, pushdown split).
+    pub notes: Mutex<Vec<String>>,
+    /// Scan operators only: per-region work attribution.
+    pub regions: Mutex<Vec<RegionScanProfile>>,
+    pub children: Vec<Arc<OpProfile>>,
+}
+
+impl OpProfile {
+    /// Build an empty profile tree mirroring `plan`, ids assigned pre-order.
+    pub fn build(plan: &LogicalPlan) -> Arc<OpProfile> {
+        let mut next = 0usize;
+        Self::build_node(plan, &mut next)
+    }
+
+    fn build_node(plan: &LogicalPlan, next: &mut usize) -> Arc<OpProfile> {
+        let id = *next;
+        *next += 1;
+        let children = plan
+            .children()
+            .into_iter()
+            .map(|c| Self::build_node(c, next))
+            .collect();
+        Arc::new(OpProfile {
+            id,
+            describe: plan.describe(),
+            est_rows: plan.estimated_rows(),
+            rows: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            partitions: AtomicU64::new(0),
+            elapsed_us: AtomicU64::new(0),
+            notes: Mutex::new(Vec::new()),
+            regions: Mutex::new(Vec::new()),
+            children,
+        })
+    }
+
+    fn record_output(&self, partitions: &[Vec<Row>], elapsed: Option<u64>) {
+        let rows: usize = partitions.iter().map(Vec::len).sum();
+        let bytes: usize = partitions.iter().map(|p| rows_byte_size(p)).sum();
+        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.partitions
+            .store(partitions.len() as u64, Ordering::Relaxed);
+        if let Some(us) = elapsed {
+            self.elapsed_us.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+
+    pub fn note(&self, text: String) {
+        self.notes.lock().push(text);
+    }
+
+    /// Fold one observed region visit into the attribution table.
+    pub fn add_region_scan(&self, region_id: u64, server: &str, rows: u64) {
+        let mut regions = self.regions.lock();
+        if let Some(r) = regions
+            .iter_mut()
+            .find(|r| r.region_id == region_id && r.server == server)
+        {
+            r.rows += rows;
+            r.visits += 1;
+        } else {
+            regions.push(RegionScanProfile {
+                region_id,
+                server: server.to_string(),
+                rows,
+                visits: 1,
+            });
+        }
+    }
+
+    /// Depth-first walk over the profile tree, `self` included.
+    pub fn walk(&self, f: &mut dyn FnMut(&OpProfile)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    /// Render the annotated plan tree: each operator line followed by its
+    /// observed stats, notes, and (for scans) per-region attribution.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(0, &mut out);
+        out
+    }
+
+    fn render_into(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        out.push_str(&format!("{pad}{}\n", self.describe));
+        let est = self
+            .est_rows
+            .map_or_else(|| "?".to_string(), |n| n.to_string());
+        out.push_str(&format!(
+            "{pad}  (actual: rows={} bytes={} partitions={} time={}us | est. rows={est})\n",
+            self.rows.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            self.partitions.load(Ordering::Relaxed),
+            self.elapsed_us.load(Ordering::Relaxed),
+        ));
+        for note in self.notes.lock().iter() {
+            out.push_str(&format!("{pad}  ({note})\n"));
+        }
+        let mut regions = self.regions.lock().clone();
+        regions.sort_by(|a, b| a.region_id.cmp(&b.region_id).then(a.server.cmp(&b.server)));
+        for r in &regions {
+            out.push_str(&format!(
+                "{pad}  (region {} @ {}: rows={} visits={})\n",
+                r.region_id, r.server, r.rows, r.visits
+            ));
+        }
+        for c in &self.children {
+            c.render_into(indent + 1, out);
+        }
+    }
+}
+
 /// Execute a plan to completion, returning all rows at the driver.
 pub fn collect(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
     Ok(gather(execute(plan, ctx)?))
 }
 
+/// Like [`collect`], but also records per-operator runtime statistics into
+/// a freshly built [`OpProfile`] tree and returns it alongside the rows.
+pub fn collect_profiled(
+    plan: &LogicalPlan,
+    ctx: &ExecContext,
+) -> Result<(Vec<Row>, Arc<OpProfile>)> {
+    let profile = OpProfile::build(plan);
+    let rows = gather(execute_node(plan, ctx, Some(&profile))?);
+    Ok((rows, profile))
+}
+
 /// Execute a plan, returning partitioned output.
 pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Vec<Vec<Row>>> {
+    execute_node(plan, ctx, None)
+}
+
+/// Static span name for an operator (span names must not allocate).
+fn op_name(plan: &LogicalPlan) -> &'static str {
     match plan {
+        LogicalPlan::Scan { .. } => "scan",
+        LogicalPlan::Filter { .. } => "filter",
+        LogicalPlan::Projection { .. } => "project",
+        LogicalPlan::Join { .. } => "join",
+        LogicalPlan::Aggregate { .. } => "aggregate",
+        LogicalPlan::Sort { .. } => "sort",
+        LogicalPlan::Limit { .. } => "limit",
+        LogicalPlan::SubqueryAlias { .. } => "alias",
+        LogicalPlan::Values { .. } => "values",
+    }
+}
+
+/// The `i`th child of a profile node, when profiling at all.
+fn child(prof: Option<&Arc<OpProfile>>, i: usize) -> Option<&Arc<OpProfile>> {
+    prof.and_then(|p| p.children.get(i))
+}
+
+/// Recursive execution; `prof` is the profile node for *this* operator
+/// (children line up with the plan's children, in order).
+fn execute_node(
+    plan: &LogicalPlan,
+    ctx: &ExecContext,
+    prof: Option<&Arc<OpProfile>>,
+) -> Result<Vec<Vec<Row>>> {
+    let mut sp = trace::span(op_name(plan));
+    if sp.is_active() {
+        if let Some(p) = prof {
+            sp.annotate("op", p.id);
+        }
+    }
+    let t0 = trace::now_us();
+    let out = match plan {
         LogicalPlan::Scan {
             provider,
             projection,
             filters,
             ..
-        } => exec_scan(plan, provider, projection.as_deref(), filters, ctx),
+        } => exec_scan(plan, provider, projection.as_deref(), filters, ctx, prof),
         LogicalPlan::Filter { predicate, input } => {
             let schema = input.schema()?;
             let bound = predicate.bind(&schema)?;
-            let partitions = execute(input, ctx)?;
+            let partitions = execute_node(input, ctx, child(prof, 0))?;
             parallel_map(partitions, ctx, move |rows, _| {
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
@@ -76,7 +280,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Vec<Vec<Row>>> {
                 .iter()
                 .map(|(e, _)| e.bind(&schema))
                 .collect::<Result<_>>()?;
-            let partitions = execute(input, ctx)?;
+            let partitions = execute_node(input, ctx, child(prof, 0))?;
             parallel_map(partitions, ctx, move |rows, _| {
                 rows.into_iter()
                     .map(|row| {
@@ -94,52 +298,66 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext) -> Result<Vec<Vec<Row>>> {
             right,
             on,
             join_type,
-        } => exec_join(left, right, on, *join_type, ctx),
-        LogicalPlan::Aggregate { group, aggs, input } => exec_aggregate(group, aggs, input, ctx),
-        LogicalPlan::Sort { keys, input } => {
-            let schema = input.schema()?;
-            let bound: Vec<(BoundExpr, bool)> = keys
-                .iter()
-                .map(|(e, asc)| Ok((e.bind(&schema)?, *asc)))
-                .collect::<Result<_>>()?;
-            let mut rows = gather(execute(input, ctx)?);
-            let mut err = None;
-            rows.sort_by(|a, b| {
-                for (key, asc) in &bound {
-                    let (va, vb) = match (key.eval(a), key.eval(b)) {
-                        (Ok(x), Ok(y)) => (x, y),
-                        (Err(e), _) | (_, Err(e)) => {
-                            err.get_or_insert(e);
-                            return std::cmp::Ordering::Equal;
-                        }
-                    };
-                    // NULLs sort first, as in Spark's default.
-                    let ord = match (va.is_null(), vb.is_null()) {
-                        (true, true) => std::cmp::Ordering::Equal,
-                        (true, false) => std::cmp::Ordering::Less,
-                        (false, true) => std::cmp::Ordering::Greater,
-                        (false, false) => va.sql_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal),
-                    };
-                    let ord = if *asc { ord } else { ord.reverse() };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            if let Some(e) = err {
-                return Err(e);
-            }
-            Ok(vec![rows])
+        } => exec_join(left, right, on, *join_type, ctx, prof),
+        LogicalPlan::Aggregate { group, aggs, input } => {
+            exec_aggregate(group, aggs, input, ctx, prof)
         }
+        LogicalPlan::Sort { keys, input } => exec_sort(keys, input, ctx, prof),
         LogicalPlan::Limit { n, input } => {
-            let mut rows = gather(execute(input, ctx)?);
+            let mut rows = gather(execute_node(input, ctx, child(prof, 0))?);
             rows.truncate(*n);
             Ok(vec![rows])
         }
-        LogicalPlan::SubqueryAlias { input, .. } => execute(input, ctx),
+        LogicalPlan::SubqueryAlias { input, .. } => execute_node(input, ctx, child(prof, 0)),
         LogicalPlan::Values { rows, .. } => Ok(vec![rows.iter().cloned().map(Row::new).collect()]),
+    }?;
+    if let Some(p) = prof {
+        let elapsed = t0.and_then(|start| trace::now_us().map(|end| end.saturating_sub(start)));
+        p.record_output(&out, elapsed);
     }
+    Ok(out)
+}
+
+fn exec_sort(
+    keys: &[(crate::expr::Expr, bool)],
+    input: &LogicalPlan,
+    ctx: &ExecContext,
+    prof: Option<&Arc<OpProfile>>,
+) -> Result<Vec<Vec<Row>>> {
+    let schema = input.schema()?;
+    let bound: Vec<(BoundExpr, bool)> = keys
+        .iter()
+        .map(|(e, asc)| Ok((e.bind(&schema)?, *asc)))
+        .collect::<Result<_>>()?;
+    let mut rows = gather(execute_node(input, ctx, child(prof, 0))?);
+    let mut err = None;
+    rows.sort_by(|a, b| {
+        for (key, asc) in &bound {
+            let (va, vb) = match (key.eval(a), key.eval(b)) {
+                (Ok(x), Ok(y)) => (x, y),
+                (Err(e), _) | (_, Err(e)) => {
+                    err.get_or_insert(e);
+                    return std::cmp::Ordering::Equal;
+                }
+            };
+            // NULLs sort first, as in Spark's default.
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Less,
+                (false, true) => std::cmp::Ordering::Greater,
+                (false, false) => va.sql_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal),
+            };
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(vec![rows])
 }
 
 // ----------------------------------------------------------------------
@@ -152,6 +370,7 @@ fn exec_scan(
     projection: Option<&[usize]>,
     filters: &[crate::expr::Expr],
     ctx: &ExecContext,
+    prof: Option<&Arc<OpProfile>>,
 ) -> Result<Vec<Vec<Row>>> {
     // Translate pushable predicates to source form; remember which engine
     // expression each came from.
@@ -176,6 +395,7 @@ fn exec_scan(
         }
     }
     let scan_schema = plan.schema()?;
+    let residual_count = residual_exprs.len();
     let residual: Option<BoundExpr> = residual_exprs
         .into_iter()
         .reduce(|a, b| a.and(b))
@@ -191,14 +411,43 @@ fn exec_scan(
         .scan(effective_projection, &translated)
         .map_err(|e| EngineError::DataSource(e.to_string()))?;
 
+    // Record the pushdown split actually taken: how many predicates the
+    // source accepted vs how many the engine re-applies, and how many
+    // partitions survived the provider's pruning.
+    if let Some(p) = prof {
+        let pushed = translated.len() - unhandled.len();
+        p.note(format!(
+            "pushdown: {pushed} filter(s) at source, {residual_count} residual, projection {}",
+            if effective_projection.is_some() {
+                "pushed"
+            } else {
+                "full-width"
+            }
+        ));
+        p.note(format!("partitions after pruning: {}", partitions.len()));
+    }
+
     let metrics = Arc::clone(&ctx.metrics);
+    let op_id = prof.map(|p| p.id);
     let tasks: Vec<Task> = partitions
         .into_iter()
-        .map(|part: Arc<dyn ScanPartition>| {
+        .enumerate()
+        .map(|(part_index, part): (usize, Arc<dyn ScanPartition>)| {
             let residual = residual.clone();
             let metrics = Arc::clone(&metrics);
             let preferred = part.preferred_host().map(String::from);
             Task::new(preferred, move |running_on| {
+                // `region_scan` spans emitted by the provider nest under
+                // this one; the `op` annotation ties them back to this
+                // operator for per-region attribution.
+                let mut psp = trace::span("scan_partition");
+                if psp.is_active() {
+                    if let Some(id) = op_id {
+                        psp.annotate("op", id);
+                    }
+                    psp.annotate("partition", part_index);
+                    psp.annotate("desc", part.describe());
+                }
                 let rows = part.execute(running_on)?;
                 let rows = match &residual {
                     Some(pred) => {
@@ -261,6 +510,7 @@ fn exec_join(
     on: &[(crate::expr::Expr, crate::expr::Expr)],
     join_type: JoinType,
     ctx: &ExecContext,
+    prof: Option<&Arc<OpProfile>>,
 ) -> Result<Vec<Vec<Row>>> {
     let left_schema = left.schema()?;
     let right_schema = right.schema()?;
@@ -273,11 +523,19 @@ fn exec_join(
         .map(|(_, r)| r.bind(&right_schema))
         .collect::<Result<_>>()?;
 
-    let left_parts = execute(left, ctx)?;
-    let right_parts = execute(right, ctx)?;
+    let left_parts = execute_node(left, ctx, child(prof, 0))?;
+    let right_parts = execute_node(right, ctx, child(prof, 1))?;
     let right_bytes: usize = right_parts.iter().map(|p| rows_byte_size(p)).sum();
 
-    let out = if right_bytes <= ctx.broadcast_threshold && join_type == JoinType::Inner {
+    let broadcast = right_bytes <= ctx.broadcast_threshold && join_type == JoinType::Inner;
+    if let Some(p) = prof {
+        p.note(format!(
+            "strategy={} (right_bytes={right_bytes}, threshold={})",
+            if broadcast { "broadcast" } else { "shuffle" },
+            ctx.broadcast_threshold
+        ));
+    }
+    let out = if broadcast {
         // Broadcast hash join: ship the small right side to every left
         // partition's executor.
         let right_rows = gather(right_parts);
@@ -390,6 +648,7 @@ fn exec_aggregate(
     aggs: &[(AggExpr, String)],
     input: &LogicalPlan,
     ctx: &ExecContext,
+    prof: Option<&Arc<OpProfile>>,
 ) -> Result<Vec<Vec<Row>>> {
     let schema = input.schema()?;
     let group_exprs: Vec<BoundExpr> = group
@@ -406,8 +665,14 @@ fn exec_aggregate(
         })
         .collect::<Result<_>>()?;
 
-    let input_parts = execute(input, ctx)?;
+    let input_parts = execute_node(input, ctx, child(prof, 0))?;
     let n_out = ctx.shuffle_partitions.max(1);
+    if let Some(p) = prof {
+        p.note(format!(
+            "partial_agg={} exchange_partitions={n_out}",
+            ctx.partial_agg
+        ));
+    }
 
     // Phase 1 (map side): per-partition partial aggregation. When disabled,
     // each row becomes its own singleton group state, i.e. a raw shuffle.

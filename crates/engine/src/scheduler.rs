@@ -129,6 +129,9 @@ pub fn run_tasks(
     let results: Arc<Mutex<TaskOutcomes>> =
         Arc::new(Mutex::new((0..n_tasks).map(|_| None).collect()));
 
+    // Executors run on their own threads: carry the driver's trace context
+    // across so task/RPC spans attach to the active query trace.
+    let trace_ctx = shc_obs::trace::capture();
     std::thread::scope(|scope| {
         for host in &hosts {
             let host = host.clone();
@@ -136,7 +139,9 @@ pub fn run_tasks(
             let any_queue = Arc::clone(&any_queue);
             let results = Arc::clone(&results);
             let metrics = Arc::clone(metrics);
+            let trace_ctx = trace_ctx.clone();
             scope.spawn(move || {
+                let _trace_ctx = shc_obs::TraceContext::adopt_opt(trace_ctx.as_ref());
                 // Delay scheduling (Spark's locality wait): prefer local
                 // work, then the shared queue; only steal other hosts'
                 // preferred tasks after a patience window, so owners get a
@@ -164,10 +169,28 @@ pub fn run_tasks(
                     match slot {
                         Some(mut slot) => {
                             idle_rounds = 0;
-                            if slot.preferred.as_deref() == Some(host.as_str()) {
+                            let local = slot.preferred.as_deref() == Some(host.as_str());
+                            if local {
                                 metrics.add(&metrics.local_tasks, 1);
                             }
+                            let mut sp = shc_obs::trace::span("task");
+                            if sp.is_active() {
+                                sp.annotate("index", slot.index);
+                                sp.annotate("host", &host);
+                                sp.annotate("attempt", slot.attempts + 1);
+                                sp.annotate("local", local);
+                            }
+                            // Task duration on the trace's deterministic
+                            // clock (recorded only while tracing — there is
+                            // no wall-clock fallback by design).
+                            let t0 = shc_obs::trace::now_us();
                             let outcome = (slot.run)(&host);
+                            if let Some(start) = t0 {
+                                if let Some(end) = shc_obs::trace::now_us() {
+                                    metrics.task_duration_us.record(end.saturating_sub(start));
+                                }
+                            }
+                            drop(sp);
                             match outcome {
                                 Err(_) if slot.attempts < slot.retries => {
                                     // Re-place the attempt through the shared

@@ -121,6 +121,13 @@ impl Session {
         ))
     }
 
+    /// Prometheus-style text exposition of this session's query metrics
+    /// (counters plus task-duration quantiles), suitable for scraping or
+    /// dumping at the end of a run.
+    pub fn metrics_exposition(&self) -> String {
+        self.metrics.exposition()
+    }
+
     /// The execution context derived from the current configuration.
     pub fn exec_context(&self) -> ExecContext {
         let cfg = self.config.read();

@@ -6,14 +6,40 @@
 use crate::cluster::HBaseCluster;
 use crate::error::{KvError, Result};
 use crate::master::RegionLocation;
+use crate::metrics::ClusterMetrics;
 use crate::region::ScanStats;
 use crate::security::AuthToken;
 use crate::types::{Delete, Get, Put, RowResult, Scan, TableName};
 use parking_lot::Mutex;
+use shc_obs::trace;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Pay one modeled RPC charge and record it into observability: the cost is
+/// sampled into the cluster's RPC-latency histogram and advances the active
+/// query trace's deterministic clock (no wall-clock reads — the recorded
+/// latency *is* the modeled cost).
+fn charge_rpc(cluster: &HBaseCluster, cost: Duration) {
+    let us = cost.as_micros() as u64;
+    cluster.metrics.rpc_latency_us.record(us);
+    trace::advance_us(us);
+    cluster.network().charge(cost);
+}
+
+/// Back off before a retry: record the wait into the backoff histogram and
+/// the trace (as a `backoff` span whose duration is the modeled wait), then
+/// actually sleep it.
+fn backoff_pause(metrics: &ClusterMetrics, wait: Duration, op: &str, attempt: u32) {
+    let us = wait.as_micros() as u64;
+    metrics.retry_backoff_us.record(us);
+    let mut sp = trace::span("backoff");
+    sp.annotate("op", op);
+    sp.annotate("attempt", attempt);
+    trace::advance_us(us);
+    std::thread::sleep(wait);
+}
 
 static NEXT_CONNECTION_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -111,7 +137,7 @@ impl Connection {
         // ZooKeeper traffic of a real connection handshake.
         let _ = cluster.zk.get("/hbase/master");
         let _ = cluster.zk.children("/hbase/rs");
-        network.charge(network.connection_setup);
+        network.charge_traced(network.connection_setup);
         cluster.metrics.add(&cluster.metrics.connections_created, 1);
         Arc::new(Connection {
             id: NEXT_CONNECTION_ID.fetch_add(1, Ordering::Relaxed),
@@ -227,7 +253,7 @@ impl Table {
                 Err(e) if e.is_transient() && attempts < policy.max_attempts => {
                     metrics.add(&metrics.client_retries, 1);
                     self.connection.invalidate_locations(&self.name);
-                    std::thread::sleep(policy.backoff(attempts, op_salt(op)));
+                    backoff_pause(metrics, policy.backoff(attempts, op_salt(op)), op, attempts);
                 }
                 Err(e) if e.is_transient() => {
                     return Err(KvError::RetriesExhausted {
@@ -266,16 +292,27 @@ impl Table {
                 .push(put.clone());
         }
         let network = *self.connection.cluster.network();
+        let ctx = trace::capture();
         let results: Vec<Result<()>> = std::thread::scope(|scope| {
             let handles: Vec<_> = by_region
                 .into_iter()
                 .map(|(region_id, (loc, batch))| {
                     let connection = &self.connection;
+                    let ctx = ctx.clone();
                     scope.spawn(move || -> Result<()> {
+                        let _ctx = shc_obs::TraceContext::adopt_opt(ctx.as_ref());
                         let bytes: usize = batch.iter().map(Put::payload_bytes).sum();
+                        let mut sp = trace::span("rpc");
+                        sp.annotate("op", "put");
+                        sp.annotate("region", region_id);
+                        sp.annotate("server", &loc.hostname);
+                        sp.annotate("bytes", bytes);
                         let server = connection.cluster.server(loc.server_id)?;
                         server.put(region_id, &batch, connection.token())?;
-                        network.charge(network.transfer_cost(bytes as u64, false));
+                        charge_rpc(
+                            &connection.cluster,
+                            network.transfer_cost(bytes as u64, false),
+                        );
                         Ok(())
                     })
                 })
@@ -300,12 +337,16 @@ impl Table {
             let loc = self.connection.locate_row(&self.name, &delete.row)?;
             let server = self.connection.cluster.server(loc.server_id)?;
             let network = *self.connection.cluster.network();
+            let mut sp = trace::span("rpc");
+            sp.annotate("op", "delete");
+            sp.annotate("region", loc.info.region_id);
+            sp.annotate("server", &loc.hostname);
             server.delete(
                 loc.info.region_id,
                 std::slice::from_ref(&delete),
                 self.connection.token(),
             )?;
-            network.charge(network.rpc_latency);
+            charge_rpc(&self.connection.cluster, network.rpc_latency);
             Ok(())
         })
     }
@@ -315,9 +356,16 @@ impl Table {
         self.with_retries("get", || {
             let loc = self.connection.locate_row(&self.name, &get.row)?;
             let server = self.connection.cluster.server(loc.server_id)?;
+            let mut sp = trace::span("rpc");
+            sp.annotate("op", "get");
+            sp.annotate("region", loc.info.region_id);
+            sp.annotate("server", &loc.hostname);
             let row = server.get(loc.info.region_id, &get, self.connection.token())?;
             let network = *self.connection.cluster.network();
-            network.charge(network.transfer_cost(row.payload_bytes() as u64, false));
+            charge_rpc(
+                &self.connection.cluster,
+                network.transfer_cost(row.payload_bytes() as u64, false),
+            );
             Ok(row)
         })
     }
@@ -345,10 +393,18 @@ impl Table {
         for (region_id, (loc, indexed)) in grouped {
             let server = self.connection.cluster.server(loc.server_id)?;
             let (indices, batch): (Vec<usize>, Vec<Get>) = indexed.into_iter().unzip();
+            let mut sp = trace::span("rpc");
+            sp.annotate("op", "bulk_get");
+            sp.annotate("region", region_id);
+            sp.annotate("server", &loc.hostname);
             let rows = server.bulk_get(region_id, &batch, self.connection.token())?;
             let local = from_host == Some(loc.hostname.as_str());
             let bytes: usize = rows.iter().map(RowResult::payload_bytes).sum();
-            network.charge(network.transfer_cost(bytes as u64, local));
+            sp.annotate("bytes", bytes);
+            charge_rpc(
+                &self.connection.cluster,
+                network.transfer_cost(bytes as u64, local),
+            );
             out.extend(indices.into_iter().zip(rows));
         }
         out.sort_by_key(|(idx, _)| *idx);
@@ -411,14 +467,25 @@ impl Table {
         from_host: Option<&str>,
     ) -> Result<RegionScanResult> {
         let server = self.connection.cluster.server(location.server_id)?;
+        let mut sp = trace::span("rpc");
+        sp.annotate("op", "scan");
+        sp.annotate("region", location.info.region_id);
+        sp.annotate("server", &location.hostname);
         let (rows, stats) = server.scan(location.info.region_id, scan, self.connection.token())?;
         let local = from_host == Some(location.hostname.as_str());
         let network = *self.connection.cluster.network();
         // Model scanner caching: one round trip per `caching` rows.
         let batches = (rows.len().max(1) as u64).div_ceil(scan.caching.max(1) as u64);
         let bytes: usize = rows.iter().map(RowResult::payload_bytes).sum();
+        sp.annotate("rows", rows.len());
+        sp.annotate("bytes", bytes);
+        sp.annotate("batches", batches);
+        // One latency sample per round trip, matching the rpc_count model.
         for _ in 0..batches {
-            network.charge(network.transfer_cost(bytes as u64 / batches.max(1), local));
+            charge_rpc(
+                &self.connection.cluster,
+                network.transfer_cost(bytes as u64 / batches.max(1), local),
+            );
         }
         if batches > 1 {
             // The first RPC was counted by the server; account the rest.
@@ -451,7 +518,12 @@ impl Table {
         while attempts < policy.max_attempts {
             metrics.add(&metrics.client_retries, 1);
             self.connection.invalidate_locations(&self.name);
-            std::thread::sleep(policy.backoff(attempts, original.info.region_id));
+            backoff_pause(
+                metrics,
+                policy.backoff(attempts, original.info.region_id),
+                "scan_region",
+                attempts,
+            );
             attempts += 1;
             match self.scan_region_attempt(original, scan, from_host) {
                 Ok(result) => return Ok(result),
@@ -546,7 +618,12 @@ impl Table {
                 while attempts < policy.max_attempts {
                     metrics.add(&metrics.client_retries, 1);
                     self.connection.invalidate_locations(&self.name);
-                    std::thread::sleep(policy.backoff(attempts, location.info.region_id));
+                    backoff_pause(
+                        metrics,
+                        policy.backoff(attempts, location.info.region_id),
+                        "bulk_get_region",
+                        attempts,
+                    );
                     attempts += 1;
                     // Re-routed pass: group by current owner, order-preserving.
                     match self.bulk_get_once(gets, from_host) {
@@ -572,11 +649,19 @@ impl Table {
         from_host: Option<&str>,
     ) -> Result<Vec<RowResult>> {
         let server = self.connection.cluster.server(location.server_id)?;
+        let mut sp = trace::span("rpc");
+        sp.annotate("op", "bulk_get");
+        sp.annotate("region", location.info.region_id);
+        sp.annotate("server", &location.hostname);
         let rows = server.bulk_get(location.info.region_id, gets, self.connection.token())?;
         let local = from_host == Some(location.hostname.as_str());
         let network = *self.connection.cluster.network();
         let bytes: usize = rows.iter().map(RowResult::payload_bytes).sum();
-        network.charge(network.transfer_cost(bytes as u64, local));
+        sp.annotate("bytes", bytes);
+        charge_rpc(
+            &self.connection.cluster,
+            network.transfer_cost(bytes as u64, local),
+        );
         Ok(rows)
     }
 }

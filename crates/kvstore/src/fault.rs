@@ -267,6 +267,13 @@ impl FaultInjector {
                     return Err(KvError::RegionNotServing(region_id));
                 }
                 FaultKind::Delay(d) => {
+                    // The injected delay is part of the RPC's round-trip
+                    // latency: sample it into the histogram and advance any
+                    // active query trace by the modeled duration (the delay
+                    // value is deterministic, so traces stay reproducible).
+                    let us = d.as_micros() as u64;
+                    self.metrics.rpc_latency_us.record(us);
+                    shc_obs::trace::advance_us(us);
                     std::thread::sleep(d);
                     // A delayed RPC still executes; later rules are not
                     // consulted so one RPC suffers at most one fault.

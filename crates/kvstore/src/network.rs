@@ -73,6 +73,16 @@ impl NetworkSim {
         }
     }
 
+    /// [`charge`](Self::charge), additionally advancing any active query
+    /// trace's deterministic clock by the modeled cost — so span intervals
+    /// reflect simulated time even though sub-granularity charges never
+    /// sleep. Used for non-RPC charges (e.g. connection setup) that should
+    /// show up in traces but not in the RPC latency histogram.
+    pub fn charge_traced(&self, cost: Duration) {
+        shc_obs::trace::advance_us(cost.as_micros() as u64);
+        self.charge(cost);
+    }
+
     pub fn is_off(&self) -> bool {
         self.rpc_latency.is_zero() && self.bytes_per_sec == 0 && self.connection_setup.is_zero()
     }

@@ -1,0 +1,93 @@
+//! Prometheus-style text exposition.
+//!
+//! The format is the classic text exposition: a `# TYPE` line per metric,
+//! plain `name value` samples for counters, and `summary`-style quantile
+//! samples plus `_sum`/`_count` for histograms. It is line-oriented on
+//! purpose so CI (and humans) can `grep` a metric name out of example
+//! output.
+
+use crate::hist::HistogramSnapshot;
+
+/// Incremental builder for a text exposition document.
+#[derive(Debug, Default)]
+pub struct TextExporter {
+    out: String,
+}
+
+impl TextExporter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit one counter sample with its `# TYPE` header.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.out.push_str(&format!("# TYPE {name} counter\n"));
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Emit a gauge (used for high-water marks and ratios).
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.out.push_str(&format!("# TYPE {name} gauge\n"));
+        self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Emit a histogram as a summary: p50/p95/p99 quantiles, sum, count, max.
+    pub fn summary(&mut self, name: &str, h: &HistogramSnapshot) {
+        self.out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+            self.out
+                .push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        self.out.push_str(&format!("{name}_sum {}\n", h.sum));
+        self.out.push_str(&format!("{name}_count {}\n", h.count));
+        self.out.push_str(&format!("{name}_max {}\n", h.max));
+    }
+
+    /// Emit every `(name, value)` counter pair under a common prefix.
+    pub fn counters(&mut self, prefix: &str, values: &[(&'static str, u64)]) {
+        for (name, value) in values {
+            self.counter(&format!("{prefix}{name}"), *value);
+        }
+    }
+
+    /// Emit every `(name, snapshot)` histogram pair under a common prefix.
+    pub fn summaries(&mut self, prefix: &str, hists: &[(&'static str, HistogramSnapshot)]) {
+        for (name, h) in hists {
+            self.summary(&format!("{prefix}{name}"), h);
+        }
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counter_lines_are_greppable() {
+        let mut e = TextExporter::new();
+        e.counter("shc_store_rpc_count", 42);
+        let text = e.finish();
+        assert!(text.contains("# TYPE shc_store_rpc_count counter\n"));
+        assert!(text.contains("shc_store_rpc_count 42\n"));
+    }
+
+    #[test]
+    fn summary_emits_quantiles_sum_count() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let mut e = TextExporter::new();
+        e.summary("shc_store_rpc_latency_us", &h.snapshot());
+        let text = e.finish();
+        assert!(text.contains("shc_store_rpc_latency_us{quantile=\"0.5\"} 1000\n"));
+        assert!(text.contains("shc_store_rpc_latency_us{quantile=\"0.99\"} 1000\n"));
+        assert!(text.contains("shc_store_rpc_latency_us_sum 10000\n"));
+        assert!(text.contains("shc_store_rpc_latency_us_count 10\n"));
+    }
+}

@@ -1,0 +1,515 @@
+//! Deterministic hierarchical tracing spans (query → stage → task → RPC).
+//!
+//! Design goals, in order:
+//!
+//! 1. **Determinism.** Span timestamps come from a per-query virtual clock —
+//!    an atomic microsecond counter that ticks by one on every read and is
+//!    advanced by the *modeled* cost of simulated work (network transfer
+//!    charges, injected fault delays, retry backoffs). No `Instant::now()`
+//!    anywhere: the same query over the same data produces the same trace.
+//! 2. **Cheap when off.** Instrumentation points call the free function
+//!    [`span`], which looks at a thread-local context stack and returns an
+//!    inert guard when no tracer is active — the common (untraced) path is a
+//!    thread-local read and a branch.
+//! 3. **No plumbing.** The kvstore client cannot name engine types and vice
+//!    versa, so the active tracer travels ambiently: a [`Tracer`] is pushed
+//!    onto the current thread's stack for the duration of a query, and
+//!    [`capture`]/[`TraceContext::adopt`] carry it across the thread spawns
+//!    in the scheduler and the parallel-put path.
+//!
+//! Each participating thread appends finished spans to its own buffer
+//! (appends never contend — a lock is taken only when a *new* thread joins
+//! the trace and once at merge time), and [`Tracer::finish`] merges the
+//! per-thread buffers into a single [`Trace`] tree.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+/// One finished span: a named interval on the tracer's virtual clock.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Unique within the trace; allocation order, so `parent < id` always.
+    pub id: u64,
+    /// Parent span id; `None` for the query root.
+    pub parent: Option<u64>,
+    pub name: &'static str,
+    /// Virtual microseconds (see module docs — not wall time).
+    pub start_us: u64,
+    pub end_us: u64,
+    /// Key/value annotations (operator ids, hosts, region ids, byte counts…).
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[derive(Default)]
+struct ThreadBuffer {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+struct TracerInner {
+    /// Virtual clock: +1 per read, advanced by modeled costs.
+    clock_us: AtomicU64,
+    next_span_id: AtomicU64,
+    buffers: Mutex<Vec<(ThreadId, Arc<ThreadBuffer>)>>,
+}
+
+/// A per-query trace collector. Clone is cheap (an `Arc`).
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One entry of the thread-local context stack. `span_id` is the innermost
+/// active span on this thread; children attach to it.
+struct Frame {
+    tracer: Tracer,
+    buffer: Arc<ThreadBuffer>,
+    span_id: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                clock_us: AtomicU64::new(0),
+                next_span_id: AtomicU64::new(0),
+                buffers: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Read the virtual clock, ticking it forward one microsecond so that
+    /// consecutive reads are strictly ordered (same discipline as the
+    /// kvstore's deterministic logical clock).
+    pub fn now_us(&self) -> u64 {
+        self.inner.clock_us.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Advance the virtual clock by a modeled cost.
+    pub fn advance_us(&self, us: u64) {
+        if us > 0 {
+            self.inner.clock_us.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+
+    fn next_id(&self) -> u64 {
+        self.inner.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn buffer_for_current_thread(&self) -> Arc<ThreadBuffer> {
+        let tid = std::thread::current().id();
+        let mut buffers = self.inner.buffers.lock();
+        if let Some((_, b)) = buffers.iter().find(|(t, _)| *t == tid) {
+            return Arc::clone(b);
+        }
+        let b = Arc::new(ThreadBuffer::default());
+        buffers.push((tid, Arc::clone(&b)));
+        b
+    }
+
+    /// Open the root span and activate this tracer on the current thread
+    /// until the returned guard drops.
+    pub fn root(&self, name: &'static str) -> SpanGuard {
+        let buffer = self.buffer_for_current_thread();
+        start_span(self.clone(), buffer, None, name)
+    }
+
+    /// Merge all per-thread buffers into one [`Trace`]. Call after every
+    /// guard has dropped (i.e. after the query finished). Idempotent: the
+    /// buffers are copied, not drained.
+    pub fn finish(&self) -> Trace {
+        let buffers = self.inner.buffers.lock();
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for (_, b) in buffers.iter() {
+            spans.extend(b.spans.lock().iter().cloned());
+        }
+        spans.sort_by_key(|s| s.id);
+        Trace { spans }
+    }
+}
+
+fn start_span(
+    tracer: Tracer,
+    buffer: Arc<ThreadBuffer>,
+    parent: Option<u64>,
+    name: &'static str,
+) -> SpanGuard {
+    let id = tracer.next_id();
+    let start_us = tracer.now_us();
+    STACK.with(|s| {
+        s.borrow_mut().push(Frame {
+            tracer: tracer.clone(),
+            buffer: Arc::clone(&buffer),
+            span_id: id,
+        })
+    });
+    SpanGuard {
+        data: Some(SpanData {
+            tracer,
+            buffer,
+            record: SpanRecord {
+                id,
+                parent,
+                name,
+                start_us,
+                end_us: start_us,
+                attrs: Vec::new(),
+            },
+        }),
+    }
+}
+
+/// Open a child span of the innermost active span on this thread, or an
+/// inert guard when no tracer is active. This is the instrumentation entry
+/// point used throughout the engine and the kvstore.
+pub fn span(name: &'static str) -> SpanGuard {
+    let top = STACK.with(|s| {
+        s.borrow()
+            .last()
+            .map(|f| (f.tracer.clone(), Arc::clone(&f.buffer), f.span_id))
+    });
+    match top {
+        None => SpanGuard { data: None },
+        Some((tracer, buffer, parent)) => start_span(tracer, buffer, Some(parent), name),
+    }
+}
+
+/// Whether a tracer is active on this thread.
+pub fn active() -> bool {
+    STACK.with(|s| !s.borrow().is_empty())
+}
+
+/// Read the active tracer's virtual clock (ticking), if any.
+pub fn now_us() -> Option<u64> {
+    STACK
+        .with(|s| s.borrow().last().map(|f| f.tracer.clone()))
+        .map(|t| t.now_us())
+}
+
+/// Advance the active tracer's virtual clock by a modeled cost, if any.
+pub fn advance_us(us: u64) {
+    if us == 0 {
+        return;
+    }
+    if let Some(t) = STACK.with(|s| s.borrow().last().map(|f| f.tracer.clone())) {
+        t.advance_us(us);
+    }
+}
+
+/// Snapshot of the innermost active (tracer, span) for handing to another
+/// thread; see [`TraceContext::adopt`].
+pub fn capture() -> Option<TraceContext> {
+    STACK.with(|s| {
+        s.borrow().last().map(|f| TraceContext {
+            tracer: f.tracer.clone(),
+            span_id: f.span_id,
+        })
+    })
+}
+
+/// A captured trace position that can be re-established on another thread.
+#[derive(Clone)]
+pub struct TraceContext {
+    tracer: Tracer,
+    span_id: u64,
+}
+
+impl TraceContext {
+    /// Re-establish this context on the current thread: spans opened while
+    /// the returned guard lives become children of the captured span.
+    pub fn adopt(&self) -> ContextGuard {
+        let buffer = self.tracer.buffer_for_current_thread();
+        STACK.with(|s| {
+            s.borrow_mut().push(Frame {
+                tracer: self.tracer.clone(),
+                buffer,
+                span_id: self.span_id,
+            })
+        });
+        ContextGuard { active: true }
+    }
+
+    /// Adopt an optional context (no-op guard when `None`) — convenience for
+    /// `trace::capture()` results threaded through spawn sites.
+    pub fn adopt_opt(ctx: Option<&TraceContext>) -> ContextGuard {
+        match ctx {
+            Some(c) => c.adopt(),
+            None => ContextGuard { active: false },
+        }
+    }
+}
+
+/// Pops the adopted context frame on drop.
+pub struct ContextGuard {
+    active: bool,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.active {
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+struct SpanData {
+    tracer: Tracer,
+    buffer: Arc<ThreadBuffer>,
+    record: SpanRecord,
+}
+
+/// RAII guard for an open span; records it to the per-thread buffer on drop.
+/// Inert (all methods no-ops) when created with no active tracer.
+pub struct SpanGuard {
+    data: Option<SpanData>,
+}
+
+impl SpanGuard {
+    /// Attach a key/value annotation. No-op on inert guards, so callers can
+    /// annotate unconditionally.
+    pub fn annotate(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(d) = &mut self.data {
+            d.record.attrs.push((key, value.to_string()));
+        }
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.data.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(mut d) = self.data.take() {
+            d.record.end_us = d.tracer.now_us();
+            STACK.with(|s| {
+                let popped = s.borrow_mut().pop();
+                debug_assert_eq!(
+                    popped.map(|f| f.span_id),
+                    Some(d.record.id),
+                    "span guards must drop in LIFO order"
+                );
+            });
+            d.buffer.spans.lock().push(d.record);
+        }
+    }
+}
+
+/// A merged query trace: every finished span, sorted by allocation order.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    pub fn get(&self, id: u64) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Spans with no parent (normally exactly one: the query root).
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    pub fn children(&self, id: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Transitive children of `id` (excluding `id` itself).
+    pub fn descendants(&self, id: u64) -> Vec<&SpanRecord> {
+        let mut out = Vec::new();
+        let mut frontier = vec![id];
+        while let Some(p) = frontier.pop() {
+            for c in self.children(p) {
+                frontier.push(c.id);
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Structural validity: every parent exists, parents precede children in
+    /// allocation order (which also rules out cycles), and every child's
+    /// interval starts no earlier than its parent's.
+    pub fn is_well_formed(&self) -> bool {
+        self.spans.iter().all(|s| match s.parent {
+            None => true,
+            Some(p) => match self.get(p) {
+                None => false,
+                Some(parent) => p < s.id && parent.start_us <= s.start_us,
+            },
+        })
+    }
+
+    /// Indented tree rendering, children in allocation order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for root in self.roots() {
+            self.render_into(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_into(&self, span: &SpanRecord, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let attrs = if span.attrs.is_empty() {
+            String::new()
+        } else {
+            let kv: Vec<String> = span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!(" {{{}}}", kv.join(", "))
+        };
+        out.push_str(&format!(
+            "{pad}{} [{}..{}] {}us{}\n",
+            span.name,
+            span.start_us,
+            span.end_us,
+            span.duration_us(),
+            attrs
+        ));
+        for c in self.children(span.id) {
+            self.render_into(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_tree_reconstruction() {
+        let tracer = Tracer::new();
+        {
+            let mut root = tracer.root("query");
+            root.annotate("sql", "SELECT 1");
+            {
+                let _stage = span("stage");
+                {
+                    let mut task = span("task");
+                    task.annotate("host", "host-0");
+                    advance_us(100); // modeled RPC cost
+                }
+                let _task2 = span("task");
+            }
+        }
+        let trace = tracer.finish();
+        assert!(trace.is_well_formed());
+        let roots = trace.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "query");
+        assert_eq!(roots[0].attr("sql"), Some("SELECT 1"));
+        let stages = trace.children(roots[0].id);
+        assert_eq!(stages.len(), 1);
+        let tasks = trace.children(stages[0].id);
+        assert_eq!(tasks.len(), 2);
+        // The modeled 100us cost is inside the first task's interval.
+        assert!(tasks[0].duration_us() >= 100);
+        // Root encloses everything.
+        assert!(roots[0].end_us >= tasks[1].end_us);
+    }
+
+    #[test]
+    fn inert_without_active_tracer() {
+        let mut g = span("orphan");
+        assert!(!g.is_active());
+        g.annotate("k", "v"); // must not panic
+        assert!(now_us().is_none());
+        advance_us(10); // no-op
+        assert!(!active());
+    }
+
+    #[test]
+    fn context_crosses_threads() {
+        let tracer = Tracer::new();
+        {
+            let _root = tracer.root("query");
+            let ctx = capture().expect("context active");
+            std::thread::scope(|scope| {
+                for i in 0..4 {
+                    let ctx = ctx.clone();
+                    scope.spawn(move || {
+                        let _g = ctx.adopt();
+                        let mut t = span("task");
+                        t.annotate("index", i);
+                        advance_us(50);
+                    });
+                }
+            });
+        }
+        let trace = tracer.finish();
+        assert!(trace.is_well_formed());
+        let roots = trace.roots();
+        assert_eq!(roots.len(), 1);
+        let tasks = trace.spans_named("task");
+        assert_eq!(tasks.len(), 4);
+        assert!(tasks.iter().all(|t| t.parent == Some(roots[0].id)));
+        // Virtual clock is shared: the root's end is after all modeled work.
+        assert!(roots[0].end_us >= 4 * 50);
+    }
+
+    #[test]
+    fn two_tracers_do_not_mix() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        {
+            let _ra = a.root("qa");
+            let _sa = span("child");
+        }
+        {
+            let _rb = b.root("qb");
+            let _sb = span("child");
+        }
+        assert_eq!(a.finish().spans.len(), 2);
+        assert_eq!(b.finish().spans.len(), 2);
+        assert_eq!(a.finish().roots()[0].name, "qa");
+    }
+
+    #[test]
+    fn descendants_walk() {
+        let tracer = Tracer::new();
+        {
+            let _r = tracer.root("query");
+            let _s = span("stage");
+            let _t = span("task");
+            let _rpc = span("rpc");
+        }
+        let trace = tracer.finish();
+        let root_id = trace.roots()[0].id;
+        assert_eq!(trace.descendants(root_id).len(), 3);
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`core`] — SHC itself: catalogs, codecs, pruning, pushdown, locality,
 //!   connection caching, credentials management.
 //! * [`tpcds`] — the TPC-DS-lite workload used by the evaluation.
+//! * [`obs`] — observability: deterministic tracing spans, mergeable
+//!   latency histograms, Prometheus-style text exposition.
 //!
 //! See `examples/quickstart.rs` for the paper's running example end to
 //! end.
@@ -19,6 +21,7 @@
 pub use shc_core as core;
 pub use shc_engine as engine;
 pub use shc_kvstore as kvstore;
+pub use shc_obs as obs;
 pub use shc_tpcds as tpcds;
 
 /// Everything needed by typical users, flattened.

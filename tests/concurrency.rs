@@ -272,3 +272,64 @@ fn concurrent_access_through_one_connection_cache() {
     // One shared cache entry served everyone.
     assert_eq!(cache.len(), 1);
 }
+
+#[test]
+fn span_trees_stay_well_formed_under_seeded_chaos() {
+    // Same seeded chaos as above, but every thread runs its query through
+    // collect_analyzed: each query gets its own tracer, so eight concurrent
+    // traced queries absorbing injected drops (and the backoff/retry spans
+    // those produce) must still each yield ONE well-formed span tree, with
+    // no spans leaking between queries.
+    let (cluster, session, _) = setup(300);
+    {
+        use shc::kvstore::prelude::*;
+        cluster.faults().add_rule(
+            FaultRule::new(FaultKind::Drop)
+                .on_op(RpcOp::Scan)
+                .first_n(3),
+        );
+    }
+    let barrier = Arc::new(Barrier::new(8));
+    let analyses: Vec<_> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    session
+                        .sql("SELECT COUNT(*) FROM ledger")
+                        .unwrap()
+                        .collect_analyzed()
+                        .unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let mut total_backoffs = 0usize;
+    for analysis in &analyses {
+        assert_eq!(analysis.rows[0].get(0).as_i64(), Some(300));
+        let trace = &analysis.trace;
+        assert!(trace.is_well_formed());
+        // Exactly one root — the query span — owning every other span.
+        let roots = trace.roots();
+        assert_eq!(roots.len(), 1, "one query root per trace");
+        assert_eq!(roots[0].name, "query");
+        assert_eq!(
+            trace.descendants(roots[0].id).len(),
+            trace.spans.len() - 1,
+            "every span hangs off the query root"
+        );
+        // The engine and store layers both contributed spans.
+        assert!(!trace.spans_named("task").is_empty());
+        assert!(!trace.spans_named("rpc").is_empty());
+        total_backoffs += trace.spans_named("backoff").len();
+    }
+    // The three dropped RPCs produced backoff spans in whichever traces
+    // absorbed them.
+    assert!(total_backoffs >= 3, "got {total_backoffs} backoff spans");
+    cluster.faults().clear();
+}

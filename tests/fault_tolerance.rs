@@ -607,3 +607,71 @@ fn multi_region_scan_survives_not_serving_mid_flight() {
         "both failed region scans retried"
     );
 }
+
+#[test]
+fn latency_histograms_capture_injected_delays() {
+    // Acceptance check for the observability work: with a fault schedule
+    // that delays every scan RPC by a known amount, the store's RPC
+    // round-trip histogram must show that delay in its tail quantiles.
+    // (Quantiles of the log-bucketed histogram are bucket *upper* bounds,
+    // so `quantile >= injected delay` is the exact property to assert.)
+    use shc::kvstore::prelude::*;
+    use std::time::Duration;
+
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 2,
+        ..Default::default()
+    });
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
+    write_rows(
+        &cluster,
+        &catalog,
+        &SHCConf::default().with_new_table_regions(4),
+        &rows(200),
+    )
+    .unwrap();
+    let session = Session::new_default();
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        SHCConf::default(),
+        "journal",
+    );
+    let count = |session: &Arc<Session>| {
+        session
+            .sql("SELECT COUNT(*) FROM journal")
+            .unwrap()
+            .collect()
+            .unwrap()[0]
+            .get(0)
+            .as_i64()
+    };
+
+    // Baseline window: the same query with no faults.
+    let t0 = cluster.metrics.snapshot();
+    assert_eq!(count(&session), Some(200));
+    let baseline = cluster.metrics.snapshot().delta_since(&t0);
+    assert!(baseline.rpc_latency_us.count > 0);
+
+    // Fault window: every scan RPC pays an extra 3ms before being served.
+    const DELAY_US: u64 = 3_000;
+    cluster.faults().add_rule(
+        FaultRule::new(FaultKind::Delay(Duration::from_micros(DELAY_US))).on_op(RpcOp::Scan),
+    );
+    let t1 = cluster.metrics.snapshot();
+    assert_eq!(count(&session), Some(200), "delayed RPCs still answer");
+    let delayed = cluster.metrics.snapshot().delta_since(&t1);
+    cluster.faults().clear();
+
+    assert!(delayed.faults_injected >= 1, "delay rule never fired");
+    let h = delayed.rpc_latency_us;
+    // Every injected delay contributed a sample on top of the normal
+    // round-trip cost samples.
+    assert!(h.count >= baseline.rpc_latency_us.count + delayed.faults_injected);
+    assert!(h.max >= DELAY_US);
+    assert!(h.p99() >= DELAY_US);
+    assert!(h.p95() >= DELAY_US);
+    // Delays can only push the median up, never down.
+    assert!(h.p50() >= baseline.rpc_latency_us.p50());
+}

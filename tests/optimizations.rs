@@ -381,3 +381,66 @@ fn all_dimension_pruning_narrows_composite_scans() {
         "all-dims should cut scanning: {all_scanned} vs {first_scanned}"
     );
 }
+
+#[test]
+fn explain_analyze_row_counts_match_actual_cardinality() {
+    let (cluster, catalog) = setup(3);
+    let session = session_for(&cluster);
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        catalog,
+        SHCConf::default(),
+        "events",
+    );
+    // Three shapes: pushdown filter, grouped aggregate, self-join.
+    let queries = [
+        "SELECT event_id, kind FROM events WHERE kind = 'click'",
+        "SELECT kind, COUNT(*) AS n FROM events GROUP BY kind",
+        "SELECT a.event_id FROM events a \
+         JOIN events b ON a.event_id = b.event_id WHERE a.kind = 'buy'",
+    ];
+    for sql in queries {
+        let analysis = session.sql(sql).unwrap().collect_analyzed().unwrap();
+        // The root operator's observed row count is the actual result
+        // cardinality, and matches an ordinary collect of the same query.
+        let observed = analysis
+            .profile
+            .rows
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(observed as usize, analysis.rows.len(), "{sql}");
+        assert_eq!(analysis.rows.len(), run(&session, sql).len(), "{sql}");
+        assert!(analysis.trace.is_well_formed(), "{sql}");
+        // Every rendered operator line carries observed values.
+        let rendered = analysis.profile.render();
+        assert!(rendered.contains("(actual: rows="), "{rendered}");
+    }
+
+    // Scan operators attribute their rows to the regions actually read:
+    // region-level attribution sums to the scan's observed output.
+    let analysis = session
+        .sql("SELECT event_id FROM events")
+        .unwrap()
+        .collect_analyzed()
+        .unwrap();
+    let mut scan_rows = 0u64;
+    let mut region_rows = 0u64;
+    let mut servers: Vec<String> = Vec::new();
+    analysis.profile.walk(&mut |p| {
+        if p.describe.starts_with("Scan:") {
+            scan_rows += p.rows.load(std::sync::atomic::Ordering::Relaxed);
+            for r in p.regions.lock().iter() {
+                region_rows += r.rows;
+                servers.push(r.server.clone());
+            }
+        }
+    });
+    assert_eq!(scan_rows, 400);
+    assert_eq!(region_rows, 400, "per-region attribution covers every row");
+    servers.sort();
+    servers.dedup();
+    assert!(
+        servers.len() >= 2,
+        "rows came from several servers: {servers:?}"
+    );
+}
