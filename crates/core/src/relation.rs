@@ -431,19 +431,22 @@ impl HBaseScanPartition {
         table: &shc_kvstore::client::Table,
         work: &[(RegionLocation, RangeSet)],
         running_on: &str,
-    ) -> EngineResult<Vec<Row>> {
+        on_batch: &mut dyn FnMut(Vec<Row>) -> EngineResult<()>,
+        delivered: &mut bool,
+    ) -> EngineResult<()> {
         let conf = &self.relation.conf;
-        let mut out: Vec<Row> = Vec::new();
         for (location, ranges) in work {
             // One attribution span per region visited. Rows are counted as
             // scanned (before engine-side residual filtering), so retried
-            // visits show the work actually performed.
+            // visits show the work actually performed. The scanner worker
+            // captures the trace context here, so its per-batch `rpc` spans
+            // nest under this region span.
             let mut region_sp = shc_obs::trace::span("region_scan");
             if region_sp.is_active() {
                 region_sp.annotate("region", location.info.region_id);
                 region_sp.annotate("server", &location.hostname);
             }
-            let rows_before = out.len();
+            let mut region_rows = 0usize;
             // Fuse point lookups into one BulkGet per region.
             let mut gets: Vec<Get> = Vec::new();
             for range in ranges.ranges() {
@@ -472,31 +475,47 @@ impl HBaseScanPartition {
                     caching: conf.caching,
                     include_empty_rows: true,
                 };
-                let result = table
-                    .scan_region(location, &scan, Some(running_on))
-                    .map_err(|e| EngineError::DataSource(e.to_string()))?;
-                for row in &result.rows {
-                    out.push(self.decoder.decode(row).map_err(EngineError::from)?);
+                // Stream the range: decode and hand off one RPC batch
+                // (≤ `caching` rows) at a time while the scanner's worker
+                // prefetches the next one.
+                let mut scanner = table.region_scanner(location, &scan, Some(running_on));
+                while let Some(batch) = scanner
+                    .next_batch()
+                    .map_err(|e| EngineError::DataSource(e.to_string()))?
+                {
+                    let mut rows = Vec::with_capacity(batch.len());
+                    for row in &batch {
+                        rows.push(self.decoder.decode(row).map_err(EngineError::from)?);
+                    }
+                    region_rows += rows.len();
+                    *delivered = true;
+                    on_batch(rows)?;
                 }
             }
             if !gets.is_empty() {
                 let rows = table
                     .bulk_get_region(location, &gets, Some(running_on))
                     .map_err(|e| EngineError::DataSource(e.to_string()))?;
+                let mut decoded = Vec::with_capacity(rows.len());
                 for row in &rows {
                     // Empty key = row not found; empty cells with a key =
                     // a live row whose projected columns are all NULL.
                     if row.row.is_empty() {
                         continue;
                     }
-                    out.push(self.decoder.decode(row).map_err(EngineError::from)?);
+                    decoded.push(self.decoder.decode(row).map_err(EngineError::from)?);
+                }
+                region_rows += decoded.len();
+                if !decoded.is_empty() {
+                    *delivered = true;
+                    on_batch(decoded)?;
                 }
             }
             if region_sp.is_active() {
-                region_sp.annotate("rows", out.len() - rows_before);
+                region_sp.annotate("rows", region_rows);
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -506,25 +525,42 @@ impl ScanPartition for HBaseScanPartition {
     }
 
     fn execute(&self, running_on: &str) -> EngineResult<Vec<Row>> {
+        let mut out: Vec<Row> = Vec::new();
+        self.execute_batched(running_on, &mut |batch| {
+            out.extend(batch);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    fn execute_batched(
+        &self,
+        running_on: &str,
+        on_batch: &mut dyn FnMut(Vec<Row>) -> EngineResult<()>,
+    ) -> EngineResult<()> {
         // Each task acquires its connection — through the cache when
         // enabled, freshly otherwise (this is the §V.B.1 cost).
         let lease = self.relation.acquire_connection(self.token.clone());
         let table = lease
             .connection()
             .table(self.relation.catalog.table.clone());
-        match self.run_work(&table, &self.work, running_on) {
-            Ok(rows) => Ok(rows),
+        let mut delivered = false;
+        match self.run_work(&table, &self.work, running_on, on_batch, &mut delivered) {
+            Ok(()) => Ok(()),
             // The planned region layout went stale (split/move between
             // planning and execution): refresh locations and retry once,
             // exactly like the HBase client's NotServingRegion handling.
             // The client already retried under its own policy; this extra
             // partition-level pass rebuilds the partition's work list from
             // fresh locations, which also repairs stale locality planning.
+            // Only safe while no batch has escaped to the consumer — after
+            // that, a rerun would duplicate rows, so the error propagates
+            // and the scheduler retries the whole task from scratch.
             Err(EngineError::DataSource(msg))
-                if msg.contains("not serving") || msg.contains("timed out") =>
+                if !delivered && (msg.contains("not serving") || msg.contains("timed out")) =>
             {
                 let work = self.relocate(lease.connection())?;
-                self.run_work(&table, &work, running_on)
+                self.run_work(&table, &work, running_on, on_batch, &mut delivered)
             }
             Err(e) => Err(e),
         }

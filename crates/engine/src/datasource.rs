@@ -25,6 +25,23 @@ pub trait ScanPartition: Send + Sync {
     /// actually running the task; providers use it for locality-aware I/O.
     fn execute(&self, running_on: &str) -> Result<Vec<Row>>;
 
+    /// Execute the partition incrementally, handing each batch of rows to
+    /// `on_batch` as it arrives. Streaming providers (SHC's region scanner)
+    /// override this so the engine never holds more than one RPC batch per
+    /// partition in memory; the default materializes [`execute`] and
+    /// delivers it as a single batch, so existing providers keep working.
+    fn execute_batched(
+        &self,
+        running_on: &str,
+        on_batch: &mut dyn FnMut(Vec<Row>) -> Result<()>,
+    ) -> Result<()> {
+        let rows = self.execute(running_on)?;
+        if rows.is_empty() {
+            return Ok(());
+        }
+        on_batch(rows)
+    }
+
     /// Short description for plan explanations.
     fn describe(&self) -> String {
         "partition".to_string()

@@ -122,6 +122,12 @@ impl OpProfile {
         let bytes: usize = partitions.iter().map(|p| rows_byte_size(p)).sum();
         self.rows.fetch_add(rows as u64, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.record_shape(partitions, elapsed);
+    }
+
+    /// Partition count and elapsed time only — for operators (scans) whose
+    /// tasks already accumulated rows/bytes batch by batch.
+    fn record_shape(&self, partitions: &[Vec<Row>], elapsed: Option<u64>) {
         self.partitions
             .store(partitions.len() as u64, Ordering::Relaxed);
         if let Some(us) = elapsed {
@@ -313,7 +319,14 @@ fn execute_node(
     }?;
     if let Some(p) = prof {
         let elapsed = t0.and_then(|start| trace::now_us().map(|end| end.saturating_sub(start)));
-        p.record_output(&out, elapsed);
+        if matches!(plan, LogicalPlan::Scan { .. }) {
+            // Scan tasks stream their partitions and already counted
+            // rows/bytes per batch; recording the gathered output again
+            // would double every figure.
+            p.record_shape(&out, elapsed);
+        } else {
+            p.record_output(&out, elapsed);
+        }
     }
     Ok(out)
 }
@@ -429,12 +442,14 @@ fn exec_scan(
 
     let metrics = Arc::clone(&ctx.metrics);
     let op_id = prof.map(|p| p.id);
+    let op_prof = prof.map(Arc::clone);
     let tasks: Vec<Task> = partitions
         .into_iter()
         .enumerate()
         .map(|(part_index, part): (usize, Arc<dyn ScanPartition>)| {
             let residual = residual.clone();
             let metrics = Arc::clone(&metrics);
+            let op_prof = op_prof.clone();
             let preferred = part.preferred_host().map(String::from);
             Task::new(preferred, move |running_on| {
                 // `region_scan` spans emitted by the provider nest under
@@ -448,21 +463,39 @@ fn exec_scan(
                     psp.annotate("partition", part_index);
                     psp.annotate("desc", part.describe());
                 }
-                let rows = part.execute(running_on)?;
-                let rows = match &residual {
-                    Some(pred) => {
-                        let mut kept = Vec::with_capacity(rows.len());
-                        for row in rows {
-                            if pred.eval_predicate(&row)? {
-                                kept.push(row);
+                // Pull the partition batch by batch (one scanner RPC each
+                // for streaming providers): the residual filter runs and
+                // the row/byte counters accumulate per batch, so stats
+                // track arrival and unfiltered rows are dropped before the
+                // next batch lands. Counters flush only on task success to
+                // stay exact under task retries.
+                let mut rows: Vec<Row> = Vec::new();
+                let mut batch_rows = 0u64;
+                let mut batch_bytes = 0u64;
+                part.execute_batched(running_on, &mut |batch| {
+                    let batch = match &residual {
+                        Some(pred) => {
+                            let mut kept = Vec::with_capacity(batch.len());
+                            for row in batch {
+                                if pred.eval_predicate(&row)? {
+                                    kept.push(row);
+                                }
                             }
+                            kept
                         }
-                        kept
-                    }
-                    None => rows,
-                };
-                metrics.add(&metrics.scan_rows, rows.len() as u64);
-                metrics.add(&metrics.scan_bytes, rows_byte_size(&rows) as u64);
+                        None => batch,
+                    };
+                    batch_rows += batch.len() as u64;
+                    batch_bytes += rows_byte_size(&batch) as u64;
+                    rows.extend(batch);
+                    Ok(())
+                })?;
+                metrics.add(&metrics.scan_rows, batch_rows);
+                metrics.add(&metrics.scan_bytes, batch_bytes);
+                if let Some(p) = &op_prof {
+                    p.rows.fetch_add(batch_rows, Ordering::Relaxed);
+                    p.bytes.fetch_add(batch_bytes, Ordering::Relaxed);
+                }
                 Ok(rows)
             })
             .with_retries(ctx.executors.task_retries)

@@ -1,0 +1,270 @@
+//! Server-side block cache — a byte-capacity-bounded LRU over store-file
+//! blocks, shared by every region a region server hosts.
+//!
+//! Mirrors the HBase `BlockCache`: scans and gets read whole blocks, and a
+//! repeated read of the same region is served from memory instead of
+//! "disk". Keys are `(file_id, block index)`; store files are immutable, so
+//! entries never go stale — a compaction simply produces files with fresh
+//! ids and the dead entries age out via LRU.
+//!
+//! Recency is tracked with a logical tick counter under the same mutex as
+//! the map, so eviction order depends only on the access sequence — no
+//! wall-clock reads, keeping traces and metrics deterministic.
+
+use crate::metrics::ClusterMetrics;
+use crate::storefile::{Block, StoreFile};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// LRU block cache with a byte capacity, shared per region server.
+pub struct BlockCache {
+    capacity_bytes: usize,
+    metrics: Arc<ClusterMetrics>,
+    inner: Mutex<CacheInner>,
+}
+
+struct CacheInner {
+    map: HashMap<(u64, usize), Entry>,
+    used_bytes: usize,
+    tick: u64,
+}
+
+struct Entry {
+    block: Arc<Block>,
+    last_used: u64,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BlockCache")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("used_bytes", &inner.used_bytes)
+            .field("blocks", &inner.map.len())
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// A cache holding at most `capacity_bytes` of block payload. Zero
+    /// capacity disables caching: every read is a miss and nothing is kept.
+    pub fn new(capacity_bytes: usize, metrics: Arc<ClusterMetrics>) -> Self {
+        BlockCache {
+            capacity_bytes,
+            metrics,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                used_bytes: 0,
+                tick: 0,
+            }),
+        }
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch a block through the cache. Returns the block and whether it was
+    /// a hit. Misses insert the block (when it fits at all) and evict
+    /// least-recently-used entries until the capacity holds again.
+    pub fn get_or_load(&self, file: &StoreFile, block_idx: usize) -> (Arc<Block>, bool) {
+        let key = (file.file_id(), block_idx);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.last_used = tick;
+            let block = Arc::clone(&entry.block);
+            drop(inner);
+            self.metrics.add(&self.metrics.block_cache_hits, 1);
+            return (block, true);
+        }
+        let block = Arc::clone(file.block(block_idx));
+        let bytes = block.byte_size();
+        let mut evictions = 0u64;
+        if bytes > 0 && bytes <= self.capacity_bytes {
+            inner.used_bytes += bytes;
+            inner.map.insert(
+                key,
+                Entry {
+                    block: Arc::clone(&block),
+                    last_used: tick,
+                },
+            );
+            while inner.used_bytes > self.capacity_bytes {
+                // Ticks are strictly increasing, so the minimum is unique
+                // and eviction order is fully determined by access order.
+                let victim = inner
+                    .map
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k);
+                let Some(victim) = victim else { break };
+                let gone = inner.map.remove(&victim).expect("victim present");
+                inner.used_bytes -= gone.block.byte_size();
+                evictions += 1;
+            }
+        }
+        drop(inner);
+        self.metrics.add(&self.metrics.block_cache_misses, 1);
+        if evictions > 0 {
+            self.metrics
+                .add(&self.metrics.block_cache_evictions, evictions);
+        }
+        (block, false)
+    }
+}
+
+/// Per-scan block-read tally, shared by the lazy file streams feeding one
+/// merge; folded into `ScanStats` when the scan finishes.
+#[derive(Debug, Default)]
+pub struct ReadTally {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+}
+
+impl ReadTally {
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Load one block — through the cache when one is present, straight from
+/// the file otherwise — and attribute the hit or miss to `tally`. Cacheless
+/// reads count as misses: every block comes from "disk".
+pub fn load_block(
+    file: &StoreFile,
+    idx: usize,
+    cache: Option<&BlockCache>,
+    tally: &ReadTally,
+) -> Arc<Block> {
+    match cache {
+        Some(cache) => {
+            let (block, hit) = cache.get_or_load(file, idx);
+            if hit {
+                tally.hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                tally.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            block
+        }
+        None => {
+            tally.misses.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(file.block(idx))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Cell, CellKey, CellType};
+    use bytes::Bytes;
+
+    fn file_with_rows(n: usize, tag: &str) -> StoreFile {
+        let cells: Vec<Cell> = (0..n)
+            .map(|i| Cell {
+                key: CellKey {
+                    row: Bytes::from(format!("{tag}-{i:05}").into_bytes()),
+                    family: Bytes::from_static(b"cf"),
+                    qualifier: Bytes::from_static(b"q"),
+                    timestamp: 1,
+                    seq: 1,
+                    cell_type: CellType::Put,
+                },
+                value: Bytes::from_static(b"value"),
+            })
+            .collect();
+        StoreFile::from_sorted(cells)
+    }
+
+    #[test]
+    fn second_read_hits() {
+        let metrics = ClusterMetrics::new();
+        let cache = BlockCache::new(1 << 20, Arc::clone(&metrics));
+        let f = file_with_rows(10, "a");
+        let (_, hit) = cache.get_or_load(&f, 0);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_load(&f, 0);
+        assert!(hit);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.block_cache_hits, 1);
+        assert_eq!(snap.block_cache_misses, 1);
+        assert_eq!(snap.block_cache_evictions, 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let metrics = ClusterMetrics::new();
+        let f = file_with_rows(crate::storefile::BLOCK_SIZE * 3, "a");
+        let one_block = f.block(0).byte_size();
+        // Room for two blocks, not three.
+        let cache = BlockCache::new(one_block * 2, Arc::clone(&metrics));
+        cache.get_or_load(&f, 0);
+        cache.get_or_load(&f, 1);
+        // Touch block 0 so block 1 is the LRU victim.
+        cache.get_or_load(&f, 0);
+        cache.get_or_load(&f, 2);
+        assert_eq!(metrics.snapshot().block_cache_evictions, 1);
+        let (_, hit) = cache.get_or_load(&f, 0);
+        assert!(hit, "recently used block survives");
+        let (_, hit) = cache.get_or_load(&f, 1);
+        assert!(!hit, "LRU block was evicted");
+        assert!(cache.used_bytes() <= cache.capacity_bytes());
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let metrics = ClusterMetrics::new();
+        let cache = BlockCache::new(0, Arc::clone(&metrics));
+        let f = file_with_rows(4, "a");
+        for _ in 0..3 {
+            let (_, hit) = cache.get_or_load(&f, 0);
+            assert!(!hit);
+        }
+        assert!(cache.is_empty());
+        assert_eq!(metrics.snapshot().block_cache_misses, 3);
+    }
+
+    #[test]
+    fn files_do_not_collide() {
+        let metrics = ClusterMetrics::new();
+        let cache = BlockCache::new(1 << 20, Arc::clone(&metrics));
+        let a = file_with_rows(4, "a");
+        let b = file_with_rows(4, "b");
+        cache.get_or_load(&a, 0);
+        let (block, hit) = cache.get_or_load(&b, 0);
+        assert!(!hit, "different files must not share entries");
+        assert_eq!(block.cells()[0].key.row.as_ref(), b"b-00000");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cacheless_loads_count_as_misses() {
+        let tally = ReadTally::default();
+        let f = file_with_rows(4, "a");
+        let block = load_block(&f, 0, None, &tally);
+        assert_eq!(block.len(), 4);
+        assert_eq!(tally.misses(), 1);
+        assert_eq!(tally.hits(), 0);
+    }
+}

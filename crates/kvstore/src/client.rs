@@ -9,7 +9,7 @@ use crate::master::RegionLocation;
 use crate::metrics::ClusterMetrics;
 use crate::region::ScanStats;
 use crate::security::AuthToken;
-use crate::types::{Delete, Get, Put, RowResult, Scan, TableName};
+use crate::types::{row_successor, Delete, Get, Put, RowResult, Scan, TableName};
 use parking_lot::Mutex;
 use shc_obs::trace;
 use std::collections::HashMap;
@@ -443,159 +443,65 @@ impl Table {
     /// region execution. `from_host` is the hostname of the requesting
     /// compute task; co-located requests skip the remote-hop penalty.
     ///
-    /// If the region has moved or split since `location` was cached (or the
-    /// RPC is dropped), the client recovers under the retry policy: it
-    /// invalidates the location cache, re-locates the regions now covering
-    /// the original key range, and re-reads them from scratch — so the
-    /// caller still sees one complete, duplicate-free, key-ordered result.
+    /// Streams the whole region through a [`RegionScanner`] and
+    /// concatenates the batches; recovery from moved/split regions, dropped
+    /// RPCs, and lapsed scanner leases all happens inside the scanner, so
+    /// the caller still sees one complete, duplicate-free, key-ordered
+    /// result.
     pub fn scan_region(
         &self,
         location: &RegionLocation,
         scan: &Scan,
         from_host: Option<&str>,
     ) -> Result<RegionScanResult> {
-        match self.scan_region_once(location, scan, from_host) {
-            Err(e) if e.is_transient() => self.scan_region_recover(location, scan, from_host, e),
-            other => other,
+        let mut scanner = self.region_scanner(location, scan, from_host);
+        let mut rows = Vec::new();
+        while let Some(batch) = scanner.next_batch()? {
+            rows.extend(batch);
         }
+        Ok(RegionScanResult {
+            rows,
+            stats: *scanner.stats(),
+            rpc_batches: scanner.rpc_batches(),
+        })
     }
 
-    fn scan_region_once(
+    /// Open a streaming scanner over one region. The scanner prefetches the
+    /// next batch on a worker thread while the caller consumes the current
+    /// one, and never holds more than `scan.caching` rows in flight per
+    /// side — the client-side peak is O(caching), not O(region).
+    pub fn region_scanner(
         &self,
         location: &RegionLocation,
         scan: &Scan,
         from_host: Option<&str>,
-    ) -> Result<RegionScanResult> {
-        let server = self.connection.cluster.server(location.server_id)?;
-        let mut sp = trace::span("rpc");
-        sp.annotate("op", "scan");
-        sp.annotate("region", location.info.region_id);
-        sp.annotate("server", &location.hostname);
-        let (rows, stats) = server.scan(location.info.region_id, scan, self.connection.token())?;
-        let local = from_host == Some(location.hostname.as_str());
-        let network = *self.connection.cluster.network();
-        // Model scanner caching: one round trip per `caching` rows.
-        let batches = (rows.len().max(1) as u64).div_ceil(scan.caching.max(1) as u64);
-        let bytes: usize = rows.iter().map(RowResult::payload_bytes).sum();
-        sp.annotate("rows", rows.len());
-        sp.annotate("bytes", bytes);
-        sp.annotate("batches", batches);
-        // One latency sample per round trip, matching the rpc_count model.
-        for _ in 0..batches {
-            charge_rpc(
-                &self.connection.cluster,
-                network.transfer_cost(bytes as u64 / batches.max(1), local),
+    ) -> RegionScanner {
+        // Capacity-1 channel: one batch buffered (the prefetch) plus one
+        // owned by the consumer.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let connection = Arc::clone(&self.connection);
+        let name = self.name.clone();
+        let original = location.clone();
+        let scan = scan.clone();
+        let from_host = from_host.map(str::to_string);
+        let ctx = trace::capture();
+        let worker = std::thread::spawn(move || {
+            let _ctx = shc_obs::TraceContext::adopt_opt(ctx.as_ref());
+            drive_region_scan(
+                &connection,
+                &name,
+                &original,
+                &scan,
+                from_host.as_deref(),
+                &tx,
             );
+        });
+        RegionScanner {
+            rx: Some(rx),
+            worker: Some(worker),
+            stats: ScanStats::default(),
+            rpc_batches: 0,
         }
-        if batches > 1 {
-            // The first RPC was counted by the server; account the rest.
-            self.connection
-                .cluster
-                .metrics
-                .add(&self.connection.cluster.metrics.rpc_count, batches - 1);
-        }
-        Ok(RegionScanResult {
-            rows,
-            stats,
-            rpc_batches: batches,
-        })
-    }
-
-    /// Retry loop for a failed region scan. Every attempt restarts from
-    /// a fresh location lookup and collects rows from scratch, so partial
-    /// results from failed attempts can never leak into the output.
-    fn scan_region_recover(
-        &self,
-        original: &RegionLocation,
-        scan: &Scan,
-        from_host: Option<&str>,
-        first_err: KvError,
-    ) -> Result<RegionScanResult> {
-        let policy = self.connection.retry_policy;
-        let metrics = &self.connection.cluster.metrics;
-        let mut attempts = 1u32; // the failed direct try
-        let mut last = first_err;
-        while attempts < policy.max_attempts {
-            metrics.add(&metrics.client_retries, 1);
-            self.connection.invalidate_locations(&self.name);
-            backoff_pause(
-                metrics,
-                policy.backoff(attempts, original.info.region_id),
-                "scan_region",
-                attempts,
-            );
-            attempts += 1;
-            match self.scan_region_attempt(original, scan, from_host) {
-                Ok(result) => return Ok(result),
-                Err(e) if e.is_transient() => last = e,
-                Err(e) => return Err(e),
-            }
-        }
-        Err(KvError::RetriesExhausted {
-            op: "scan_region".to_string(),
-            attempts,
-            last: Box::new(last),
-        })
-    }
-
-    /// One recovery attempt: scan whatever regions currently cover the
-    /// original region's key range, with the scan bounds clipped to that
-    /// range so daughters/movers return exactly the rows the original
-    /// region would have.
-    fn scan_region_attempt(
-        &self,
-        original: &RegionLocation,
-        scan: &Scan,
-        from_host: Option<&str>,
-    ) -> Result<RegionScanResult> {
-        use std::ops::Bound;
-        let (scan_start, scan_stop) = scan_bounds_bytes(scan);
-        // Intersect with the original region range; empty key = unbounded.
-        let start = match (scan_start.is_empty(), original.info.start_key.is_empty()) {
-            (true, _) => original.info.start_key.clone(),
-            (_, true) => scan_start.clone(),
-            _ => scan_start.clone().max(original.info.start_key.clone()),
-        };
-        let stop = match (scan_stop.is_empty(), original.info.end_key.is_empty()) {
-            (true, _) => original.info.end_key.clone(),
-            (_, true) => scan_stop.clone(),
-            _ => scan_stop.clone().min(original.info.end_key.clone()),
-        };
-        let mut clipped = scan.clone();
-        clipped.start = if start.is_empty() {
-            Bound::Unbounded
-        } else {
-            Bound::Included(start.clone())
-        };
-        clipped.stop = if stop.is_empty() {
-            Bound::Unbounded
-        } else {
-            Bound::Excluded(stop.clone())
-        };
-
-        let regions = self.connection.locate_regions(&self.name)?;
-        let mut out = RegionScanResult::default();
-        let mut remaining = scan.limit;
-        for loc in regions {
-            if !loc.info.overlaps(&start, &stop) {
-                continue;
-            }
-            let mut region_scan = clipped.clone();
-            if scan.limit > 0 {
-                if remaining == 0 {
-                    break;
-                }
-                region_scan.limit = remaining;
-            }
-            let result = self.scan_region_once(&loc, &region_scan, from_host)?;
-            if scan.limit > 0 {
-                remaining = remaining.saturating_sub(result.rows.len());
-            }
-            out.rows.extend(result.rows);
-            out.stats.merge(&result.stats);
-            out.rpc_batches += result.rpc_batches;
-        }
-        Ok(out)
     }
 
     /// Bulk gets against one region only (used by fused partition tasks).
@@ -663,6 +569,274 @@ impl Table {
             network.transfer_cost(bytes as u64, local),
         );
         Ok(rows)
+    }
+}
+
+/// One fetched batch travelling from the scanner worker to the consumer.
+struct BatchMsg {
+    rows: Vec<RowResult>,
+    stats: ScanStats,
+}
+
+/// A pipelined, client-side iterator over one region's rows.
+///
+/// A background worker drives the HBase-style scanner RPC lifecycle —
+/// `open_scanner`, repeated `next_batch(scanner_id, caching)`, implicit or
+/// explicit `close_scanner` — and pushes each batch through a bounded
+/// channel, so the next batch is being fetched while the caller processes
+/// the current one. Transient failures (region moved or split, server gone,
+/// dropped RPC, scanner lease lapsed) are recovered inside the worker under
+/// the connection's [`RetryPolicy`]: it re-locates the key range and reopens
+/// a scanner at the row *after* the last one delivered, so the concatenated
+/// batches are complete, duplicate-free, and key-ordered.
+///
+/// Dropping the scanner early stops the worker and releases any server-side
+/// scanner state.
+pub struct RegionScanner {
+    rx: Option<std::sync::mpsc::Receiver<Result<BatchMsg>>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    stats: ScanStats,
+    rpc_batches: u64,
+}
+
+impl RegionScanner {
+    /// The next non-empty batch of rows, or `None` when the region (clipped
+    /// to the scan bounds) is exhausted. At most `scan.caching` rows per
+    /// call. Empty server batches (e.g. the final probe of an exactly-full
+    /// scanner) are absorbed here but still counted in
+    /// [`rpc_batches`](Self::rpc_batches).
+    pub fn next_batch(&mut self) -> Result<Option<Vec<RowResult>>> {
+        loop {
+            let Some(rx) = self.rx.as_ref() else {
+                return Ok(None);
+            };
+            match rx.recv() {
+                Ok(Ok(msg)) => {
+                    self.rpc_batches += 1;
+                    self.stats.merge(&msg.stats);
+                    if msg.rows.is_empty() {
+                        continue;
+                    }
+                    return Ok(Some(msg.rows));
+                }
+                Ok(Err(e)) => {
+                    self.shutdown();
+                    return Err(e);
+                }
+                // Worker finished and hung up: the scan is complete.
+                Err(_) => {
+                    self.shutdown();
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Server-side work accumulated across every batch fetched so far.
+    pub fn stats(&self) -> &ScanStats {
+        &self.stats
+    }
+
+    /// `next_batch` RPCs that produced a delivered batch so far (scanner
+    /// opens and closes are not counted).
+    pub fn rpc_batches(&self) -> u64 {
+        self.rpc_batches
+    }
+
+    fn shutdown(&mut self) {
+        // Dropping the receiver unblocks a worker parked in `send`; it then
+        // closes its server-side scanner and exits.
+        self.rx = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for RegionScanner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Worker loop behind [`RegionScanner`]: walk the regions currently
+/// covering `original`'s key range (clipped to the scan bounds), stream
+/// each through the scanner RPCs, and recover transient failures by
+/// re-locating and reopening at the row after the last delivered one.
+fn drive_region_scan(
+    connection: &Arc<Connection>,
+    name: &TableName,
+    original: &RegionLocation,
+    scan: &Scan,
+    from_host: Option<&str>,
+    tx: &std::sync::mpsc::SyncSender<Result<BatchMsg>>,
+) {
+    use std::ops::Bound;
+    let policy = connection.retry_policy;
+    let metrics = &connection.cluster.metrics;
+    let network = *connection.cluster.network();
+    // The span this scanner owns: the original region's range intersected
+    // with the scan bounds; empty key = unbounded.
+    let (scan_start, scan_stop) = scan_bounds_bytes(scan);
+    let span_start = match (scan_start.is_empty(), original.info.start_key.is_empty()) {
+        (true, _) => original.info.start_key.clone(),
+        (_, true) => scan_start.clone(),
+        _ => scan_start.clone().max(original.info.start_key.clone()),
+    };
+    let span_stop = match (scan_stop.is_empty(), original.info.end_key.is_empty()) {
+        (true, _) => original.info.end_key.clone(),
+        (_, true) => scan_stop.clone(),
+        _ => scan_stop.clone().min(original.info.end_key.clone()),
+    };
+    // Resume cursor: the first row not yet delivered to the consumer.
+    let mut cur_start = span_start;
+    let mut remaining = scan.limit; // 0 = unlimited
+    let mut attempts = 0u32; // consecutive failures with no progress
+
+    'drive: loop {
+        if scan.limit > 0 && remaining == 0 {
+            return;
+        }
+        if !span_stop.is_empty() && !cur_start.is_empty() && cur_start >= span_stop {
+            return;
+        }
+        // On a transient error: burn one attempt, back off, and restart the
+        // drive loop from the cursor against fresh locations. Progress
+        // resets the budget, so a long scan survives many isolated faults.
+        macro_rules! recover {
+            ($err:expr) => {{
+                let e: KvError = $err;
+                if !e.is_transient() {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+                attempts += 1;
+                if attempts >= policy.max_attempts {
+                    let _ = tx.send(Err(KvError::RetriesExhausted {
+                        op: "region_scanner".to_string(),
+                        attempts,
+                        last: Box::new(e),
+                    }));
+                    return;
+                }
+                metrics.add(&metrics.client_retries, 1);
+                connection.invalidate_locations(name);
+                backoff_pause(
+                    metrics,
+                    policy.backoff(attempts, original.info.region_id),
+                    "region_scanner",
+                    attempts,
+                );
+                continue 'drive;
+            }};
+        }
+
+        // Locate the region currently owning the cursor position.
+        let locs = match connection.locate_regions(name) {
+            Ok(locs) => locs,
+            Err(e) => recover!(e),
+        };
+        let Some(loc) = locs.into_iter().find(|l| l.info.contains_row(&cur_start)) else {
+            recover!(KvError::NoRegionForRow {
+                table: name.to_string(),
+                row: cur_start.to_vec(),
+            });
+        };
+        let server = match connection.cluster.server(loc.server_id) {
+            Ok(server) => server,
+            Err(e) => recover!(e),
+        };
+        let local = from_host == Some(loc.hostname.as_str());
+
+        // Clip the scan to [cursor, span_stop) so daughters/movers return
+        // exactly the rows the original region would have, exactly once.
+        let mut region_scan = scan.clone();
+        region_scan.start = if cur_start.is_empty() {
+            Bound::Unbounded
+        } else {
+            Bound::Included(cur_start.clone())
+        };
+        region_scan.stop = if span_stop.is_empty() {
+            Bound::Unbounded
+        } else {
+            Bound::Excluded(span_stop.clone())
+        };
+        if scan.limit > 0 {
+            region_scan.limit = remaining;
+        }
+
+        let scanner_id = {
+            let mut sp = trace::span("rpc");
+            sp.annotate("op", "open_scanner");
+            sp.annotate("region", loc.info.region_id);
+            sp.annotate("server", &loc.hostname);
+            match server.open_scanner(loc.info.region_id, &region_scan, connection.token()) {
+                Ok(id) => {
+                    charge_rpc(&connection.cluster, network.rpc_latency);
+                    id
+                }
+                Err(e) => recover!(e),
+            }
+        };
+
+        loop {
+            let batch = {
+                let mut sp = trace::span("rpc");
+                sp.annotate("op", "next_batch");
+                sp.annotate("region", loc.info.region_id);
+                sp.annotate("server", &loc.hostname);
+                match server.next_batch(scanner_id, scan.caching.max(1), connection.token()) {
+                    Ok(batch) => {
+                        let bytes: usize = batch.rows.iter().map(RowResult::payload_bytes).sum();
+                        sp.annotate("rows", batch.rows.len());
+                        sp.annotate("bytes", bytes);
+                        sp.annotate("cache_hits", batch.stats.block_cache_hits);
+                        charge_rpc(
+                            &connection.cluster,
+                            network.transfer_cost(bytes as u64, local),
+                        );
+                        batch
+                    }
+                    Err(e) => {
+                        // Best-effort release before recovering; the server
+                        // side is also protected by the lease.
+                        let _ = server.close_scanner(scanner_id, connection.token());
+                        recover!(e)
+                    }
+                }
+            };
+            attempts = 0;
+            if let Some(last) = batch.rows.last() {
+                cur_start = row_successor(&last.row);
+                if scan.limit > 0 {
+                    remaining = remaining.saturating_sub(batch.rows.len());
+                }
+            }
+            let more = batch.more;
+            if tx
+                .send(Ok(BatchMsg {
+                    rows: batch.rows,
+                    stats: batch.stats,
+                }))
+                .is_err()
+            {
+                // Consumer hung up (dropped the scanner): release the
+                // server-side state and quit.
+                if more {
+                    let _ = server.close_scanner(scanner_id, connection.token());
+                }
+                return;
+            }
+            if !more {
+                break;
+            }
+        }
+
+        // Region exhausted; continue into the next region covering the span.
+        if loc.info.end_key.is_empty() {
+            return;
+        }
+        cur_start = loc.info.end_key.clone();
     }
 }
 
@@ -772,8 +946,11 @@ mod tests {
             .unwrap();
         assert_eq!(rows.len(), 1);
         let delta = cluster.metrics.snapshot().delta_since(&before);
-        // Only the third region should have been contacted.
-        assert_eq!(delta.rpc_count, 1);
+        // Only the third region should have been contacted: one
+        // `open_scanner` plus one `next_batch` (which drained it).
+        assert_eq!(delta.rpc_count, 2);
+        assert_eq!(delta.scanner_opens, 1);
+        assert_eq!(delta.scanner_batches, 1);
     }
 
     #[test]
@@ -834,6 +1011,86 @@ mod tests {
         assert_eq!(result.rows.len(), 10);
         assert_eq!(result.rpc_batches, 4); // ceil(10/3)
         assert!(result.stats.cells_scanned >= 10);
+    }
+
+    #[test]
+    fn region_scanner_recovers_from_lease_expiry_and_not_serving() {
+        use crate::fault::{FaultKind, FaultRule, RpcOp};
+        let (cluster, conn, table) = cluster_with_table(&[]);
+        for i in 0..10 {
+            table
+                .put(Put::new(format!("k{i:02}")).add("cf", "q", format!("v{i}")))
+                .unwrap();
+        }
+        cluster.flush_all().unwrap();
+        // Reference result: a single-batch scan before any faults exist.
+        let expected: Vec<Bytes> = table
+            .scan(&Scan::new())
+            .unwrap()
+            .into_iter()
+            .map(|r| r.row)
+            .collect();
+        assert_eq!(expected.len(), 10);
+
+        let loc = conn.locate_regions(&TableName::default_ns("t")).unwrap()[0].clone();
+        let server = cluster.server(loc.server_id).unwrap();
+        server.set_scanner_lease_ms(5);
+        // Scan RPC #1 is open_scanner, #2 the first next_batch. Before #3
+        // executes, burn the virtual clock past the lease so the server
+        // reclaims the scanner mid-scan.
+        let clock = cluster.clock.clone();
+        cluster.faults().on_nth_op(Some(RpcOp::Scan), 3, move || {
+            for _ in 0..20 {
+                clock.now_ms();
+            }
+        });
+        // After recovery (#4 reopen, #5 next_batch), fail #6 with a one-shot
+        // NotServing between batches.
+        let faults = Arc::clone(cluster.faults());
+        cluster.faults().on_nth_op(Some(RpcOp::Scan), 6, move || {
+            faults.add_rule(
+                FaultRule::new(FaultKind::NotServing)
+                    .on_op(RpcOp::Scan)
+                    .first_n(1),
+            );
+        });
+
+        let before = cluster.metrics.snapshot();
+        let mut scan = Scan::new();
+        scan.caching = 3;
+        let result = table.scan_region(&loc, &scan, None).unwrap();
+        let keys: Vec<Bytes> = result.rows.into_iter().map(|r| r.row).collect();
+        // Complete, key-ordered, duplicate-free despite both failures.
+        assert_eq!(keys, expected);
+        assert_eq!(result.rpc_batches, 4); // ceil(10/3), faults don't inflate it
+        let delta = cluster.metrics.snapshot().delta_since(&before);
+        assert_eq!(delta.scanner_lease_expirations, 1);
+        assert_eq!(delta.faults_injected, 1);
+        assert_eq!(delta.client_retries, 2);
+        assert_eq!(server.open_scanner_count(), 0, "no leaked scanner state");
+    }
+
+    #[test]
+    fn dropping_region_scanner_releases_server_state() {
+        let (cluster, conn, table) = cluster_with_table(&[]);
+        for i in 0..10 {
+            table
+                .put(Put::new(format!("k{i:02}")).add("cf", "q", "v"))
+                .unwrap();
+        }
+        let loc = conn.locate_regions(&TableName::default_ns("t")).unwrap()[0].clone();
+        let server = cluster.server(loc.server_id).unwrap();
+        let mut scan = Scan::new();
+        scan.caching = 2;
+        let mut scanner = table.region_scanner(&loc, &scan, None);
+        let first = scanner.next_batch().unwrap().unwrap();
+        assert_eq!(first.len(), 2);
+        drop(scanner); // abandon mid-scan
+        assert_eq!(
+            server.open_scanner_count(),
+            0,
+            "drop must close the scanner"
+        );
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct ClusterConfig {
     /// Seed for the cluster's fault injector. The injector is inert until a
     /// rule or hook is registered, so this costs nothing in normal runs.
     pub fault_seed: u64,
+    /// Per-region-server block cache capacity in bytes. Zero disables
+    /// caching (every block read counts as a miss).
+    pub block_cache_bytes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -41,6 +44,7 @@ impl Default for ClusterConfig {
             region_config: RegionConfig::default(),
             secure_token_lifetime_ms: None,
             fault_seed: 0,
+            block_cache_bytes: 8 << 20,
         }
     }
 }
@@ -82,6 +86,8 @@ impl HBaseCluster {
                     hostname,
                     Arc::clone(&metrics),
                     security.clone(),
+                    clock.clone(),
+                    config.block_cache_bytes,
                 ))
             })
             .collect();

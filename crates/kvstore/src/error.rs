@@ -29,6 +29,13 @@ pub enum KvError {
     AccessDenied(String),
     /// An RPC to the given server timed out (injected or simulated).
     RpcTimeout { server_id: u64 },
+    /// `next_batch`/`close_scanner` referenced a scanner id this server does
+    /// not know — it was never opened here, or the region moved away and the
+    /// state was discarded. The client reopens after re-locating.
+    UnknownScanner(u64),
+    /// The scanner's lease lapsed between batches and the server discarded
+    /// its state. The client reopens at the last returned row.
+    ScannerExpired(u64),
     /// The client retry budget was exhausted; `last` is the final transient
     /// error observed before giving up.
     RetriesExhausted {
@@ -44,7 +51,11 @@ impl KvError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            KvError::RegionNotServing(_) | KvError::ServerNotFound(_) | KvError::RpcTimeout { .. }
+            KvError::RegionNotServing(_)
+                | KvError::ServerNotFound(_)
+                | KvError::RpcTimeout { .. }
+                | KvError::UnknownScanner(_)
+                | KvError::ScannerExpired(_)
         )
     }
 }
@@ -69,6 +80,8 @@ impl fmt::Display for KvError {
             KvError::RpcTimeout { server_id } => {
                 write!(f, "rpc to region server {server_id} timed out")
             }
+            KvError::UnknownScanner(id) => write!(f, "unknown scanner id {id}"),
+            KvError::ScannerExpired(id) => write!(f, "scanner {id} lease expired"),
             KvError::RetriesExhausted { op, attempts, last } => {
                 write!(
                     f,
@@ -110,6 +123,10 @@ mod tests {
         assert!(KvError::RegionNotServing(1).is_transient());
         assert!(KvError::ServerNotFound(2).is_transient());
         assert!(KvError::RpcTimeout { server_id: 0 }.is_transient());
+        // Scanner state loss is recoverable: the client re-locates and
+        // reopens at the last returned row.
+        assert!(KvError::UnknownScanner(7).is_transient());
+        assert!(KvError::ScannerExpired(7).is_transient());
         assert!(!KvError::WalClosed.is_transient());
         assert!(!KvError::TableNotFound("t".into()).is_transient());
         // An exhausted budget is final even though the cause was transient.

@@ -40,6 +40,7 @@
 //! assert_eq!(row.value(b"cf1", b"col1").unwrap().as_ref(), b"value");
 //! ```
 
+pub mod block_cache;
 pub mod client;
 pub mod clock;
 pub mod cluster;
@@ -60,7 +61,8 @@ pub mod zookeeper;
 
 /// The common imports for store users.
 pub mod prelude {
-    pub use crate::client::{Connection, RegionScanResult, Table};
+    pub use crate::block_cache::BlockCache;
+    pub use crate::client::{Connection, RegionScanResult, RegionScanner, Table};
     pub use crate::clock::Clock;
     pub use crate::cluster::{ClusterConfig, HBaseCluster};
     pub use crate::error::{KvError, Result};

@@ -495,6 +495,8 @@ mod tests {
                     format!("host-{i}"),
                     Arc::clone(&metrics),
                     None,
+                    Clock::logical(0),
+                    1 << 20,
                 ))
             })
             .collect();

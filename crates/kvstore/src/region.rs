@@ -7,10 +7,11 @@
 //! projection, and row-level server-side filters — plus flush, compaction and
 //! splits on the write side.
 
+use crate::block_cache::{load_block, BlockCache, ReadTally};
 use crate::clock::Clock;
 use crate::error::{KvError, Result};
 use crate::memstore::MemStore;
-use crate::storefile::StoreFile;
+use crate::storefile::{Block, CellSrc, StoreFile};
 use crate::types::{
     Cell, CellKey, CellType, Delete, DeleteScope, Get, Put, RowResult, Scan, TableDescriptor,
     TableName,
@@ -88,6 +89,11 @@ pub struct ScanStats {
     pub bytes_returned: u64,
     /// Store files skipped by row-range / time-range / bloom pruning.
     pub files_pruned: u64,
+    /// Store-file blocks read from "disk" (block-cache misses, or every
+    /// block load when the scan ran without a cache).
+    pub blocks_read: u64,
+    /// Store-file blocks served from the region server's block cache.
+    pub block_cache_hits: u64,
 }
 
 impl ScanStats {
@@ -97,6 +103,8 @@ impl ScanStats {
         self.rows_returned += other.rows_returned;
         self.bytes_returned += other.bytes_returned;
         self.files_pruned += other.files_pruned;
+        self.blocks_read += other.blocks_read;
+        self.block_cache_hits += other.block_cache_hits;
     }
 }
 
@@ -412,13 +420,18 @@ impl Region {
             if store.files.is_empty() {
                 continue;
             }
-            let streams: Vec<Box<dyn Iterator<Item = Cell>>> = store
+            let tally = ReadTally::default();
+            let streams: Vec<Box<dyn Iterator<Item = CellSrc> + '_>> = store
                 .files
                 .iter()
                 .map(|f| {
-                    let f = Arc::clone(f);
-                    let len = f.len();
-                    Box::new((0..len).map(move |i| f.cells_at(i))) as Box<dyn Iterator<Item = Cell>>
+                    Box::new(FileStream::new(
+                        Arc::clone(f),
+                        Bytes::new(),
+                        Bytes::new(),
+                        None,
+                        &tally,
+                    )) as Box<dyn Iterator<Item = CellSrc> + '_>
                 })
                 .collect();
             let merged = MergeIter::new(streams);
@@ -436,8 +449,17 @@ impl Region {
 
     /// Point read: a single-row scan.
     pub fn get(&self, get: &Get) -> Result<(RowResult, ScanStats)> {
-        // Bloom-filter shortcut: if no file and no memstore can contain the
-        // row, skip the merge entirely.
+        self.get_with(get, None)
+    }
+
+    /// Point read through an optional block cache. The bloom filter is
+    /// consulted per store file before any block is touched, so a get for an
+    /// absent row on a flushed region reads zero blocks.
+    pub fn get_with(
+        &self,
+        get: &Get,
+        cache: Option<&BlockCache>,
+    ) -> Result<(RowResult, ScanStats)> {
         let scan = Scan {
             start: Bound::Included(get.row.clone()),
             stop: Bound::Included(get.row.clone()),
@@ -449,12 +471,23 @@ impl Region {
             caching: 1,
             include_empty_rows: get.include_empty_rows,
         };
-        let (mut rows, stats) = self.scan(&scan)?;
+        let (mut rows, stats) = self.scan_with(&scan, cache)?;
         Ok((rows.pop().unwrap_or_default(), stats))
     }
 
     /// Range scan clipped to this region's boundaries.
     pub fn scan(&self, scan: &Scan) -> Result<(Vec<RowResult>, ScanStats)> {
+        self.scan_with(scan, None)
+    }
+
+    /// Range scan reading store-file blocks through an optional block cache.
+    /// Blocks are loaded lazily as the merge consumes them, so a scan with a
+    /// `limit` touches only the blocks it actually needed.
+    pub fn scan_with(
+        &self,
+        scan: &Scan,
+        cache: Option<&BlockCache>,
+    ) -> Result<(Vec<RowResult>, ScanStats)> {
         let read_point = self.read_point.load(Ordering::Acquire);
         let (start, stop) = self.effective_range(scan)?;
         if !stop.is_empty() && start >= stop {
@@ -473,7 +506,8 @@ impl Region {
                 .collect()
         };
 
-        let mut streams: Vec<Box<dyn Iterator<Item = Cell> + '_>> = Vec::new();
+        let tally = ReadTally::default();
+        let mut streams: Vec<Box<dyn Iterator<Item = CellSrc> + '_>> = Vec::new();
         let mut family_versions: HashMap<Bytes, u32> = HashMap::new();
         let point_row: Option<&Bytes> = match (&scan.start, &scan.stop) {
             (Bound::Included(a), Bound::Included(b)) if a == b => Some(a),
@@ -486,9 +520,14 @@ impl Region {
             if !store.memstore.is_empty()
                 && (store.memstore.has_tombstones() || scan.time_range.overlaps(mem_min, mem_max))
             {
-                streams.push(Box::new(store.memstore.scan_range(&start, &stop)));
+                streams.push(Box::new(
+                    store.memstore.scan_range(&start, &stop).map(CellSrc::Owned),
+                ));
             }
             for file in &store.files {
+                // Pruning happens before any block is touched: the bloom
+                // check in particular lets a point get skip a file without
+                // a single block read.
                 let pruned = !file.overlaps_row_range(&start, &stop)
                     || !file.overlaps_time_range(&scan.time_range)
                     || point_row.is_some_and(|r| !file.may_contain_row(r));
@@ -496,22 +535,20 @@ impl Region {
                     stats.files_pruned += 1;
                     continue;
                 }
-                let file = Arc::clone(file);
-                let len = file.len();
-                // Materialize the seek once; iterate owned cells to avoid
-                // holding borrows across the merge.
-                let begin = file_seek_index(&file, &start);
-                streams.push(Box::new(
-                    (begin..len).map(move |i| file.cells_at(i)).take_while({
-                        let stop = stop.clone();
-                        move |c| stop.is_empty() || c.key.row.as_ref() < stop.as_ref()
-                    }),
-                ));
+                streams.push(Box::new(FileStream::new(
+                    Arc::clone(file),
+                    start.clone(),
+                    stop.clone(),
+                    cache,
+                    &tally,
+                )));
             }
         }
 
         let merged = MergeIter::new(streams);
         let rows = assemble_rows(merged, scan, read_point, &family_versions, &mut stats);
+        stats.blocks_read = tally.misses();
+        stats.block_cache_hits = tally.hits();
         Ok((rows, stats))
     }
 
@@ -621,20 +658,25 @@ impl Region {
         for (family, store) in stores.iter() {
             let mut left_cells = Vec::new();
             let mut right_cells = Vec::new();
-            let streams: Vec<Box<dyn Iterator<Item = Cell>>> = store
+            let tally = ReadTally::default();
+            let streams: Vec<Box<dyn Iterator<Item = CellSrc> + '_>> = store
                 .files
                 .iter()
                 .map(|f| {
-                    let f = Arc::clone(f);
-                    let len = f.len();
-                    Box::new((0..len).map(move |i| f.cells_at(i))) as Box<dyn Iterator<Item = Cell>>
+                    Box::new(FileStream::new(
+                        Arc::clone(f),
+                        Bytes::new(),
+                        Bytes::new(),
+                        None,
+                        &tally,
+                    )) as Box<dyn Iterator<Item = CellSrc> + '_>
                 })
                 .collect();
             for cell in MergeIter::new(streams) {
-                if cell.key.row.as_ref() < split_key.as_ref() {
-                    left_cells.push(cell);
+                if cell.key().row.as_ref() < split_key.as_ref() {
+                    left_cells.push(cell.into_cell());
                 } else {
-                    right_cells.push(cell);
+                    right_cells.push(cell.into_cell());
                 }
             }
             let install = |region: &Region, cells: Vec<Cell>| {
@@ -689,10 +731,98 @@ impl Region {
     }
 }
 
-/// Find the first index in `file` whose row is `>= start` (public seek is
-/// iterator-based; compaction and scans need the raw index).
-fn file_seek_index(file: &StoreFile, start: &[u8]) -> usize {
-    file.seek_index(start)
+// ----------------------------------------------------------------------
+// Lazy block-at-a-time store-file stream
+// ----------------------------------------------------------------------
+
+/// Streams one store file's cells in `[start, stop)` order, loading blocks
+/// on demand through the optional block cache and attributing every load to
+/// the scan's [`ReadTally`]. Cells are yielded as [`CellSrc::Shared`]
+/// positions into the `Arc`ed block, so nothing is copied until a cell is
+/// actually kept.
+struct FileStream<'a> {
+    file: Arc<StoreFile>,
+    cache: Option<&'a BlockCache>,
+    tally: &'a ReadTally,
+    start: Bytes,
+    stop: Bytes,
+    block_idx: usize,
+    cell_idx: usize,
+    current: Option<Arc<Block>>,
+    /// Still skipping leading cells `< start` inside the seek block.
+    seeking: bool,
+    done: bool,
+}
+
+impl<'a> FileStream<'a> {
+    fn new(
+        file: Arc<StoreFile>,
+        start: Bytes,
+        stop: Bytes,
+        cache: Option<&'a BlockCache>,
+        tally: &'a ReadTally,
+    ) -> Self {
+        // The seek uses only the sparse index: no block is read until the
+        // merge first polls this stream.
+        let block_idx = file.start_block(&start);
+        FileStream {
+            file,
+            cache,
+            tally,
+            start,
+            stop,
+            block_idx,
+            cell_idx: 0,
+            current: None,
+            seeking: true,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for FileStream<'_> {
+    type Item = CellSrc;
+
+    fn next(&mut self) -> Option<CellSrc> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.current.is_none() {
+                if self.block_idx >= self.file.num_blocks() {
+                    self.done = true;
+                    return None;
+                }
+                self.current = Some(load_block(
+                    &self.file,
+                    self.block_idx,
+                    self.cache,
+                    self.tally,
+                ));
+                self.cell_idx = 0;
+            }
+            let block = Arc::clone(self.current.as_ref().expect("just loaded"));
+            if self.cell_idx >= block.len() {
+                self.current = None;
+                self.block_idx += 1;
+                continue;
+            }
+            let row = block.cells()[self.cell_idx].key.row.as_ref();
+            if self.seeking && row < self.start.as_ref() {
+                self.cell_idx += 1;
+                continue;
+            }
+            self.seeking = false;
+            if !self.stop.is_empty() && row >= self.stop.as_ref() {
+                // Sorted input: nothing later can re-enter the range.
+                self.done = true;
+                return None;
+            }
+            let idx = self.cell_idx;
+            self.cell_idx += 1;
+            return Some(CellSrc::Shared { block, idx });
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -700,13 +830,13 @@ fn file_seek_index(file: &StoreFile, start: &[u8]) -> usize {
 // ----------------------------------------------------------------------
 
 struct HeapEntry {
-    cell: Cell,
+    cell: CellSrc,
     src: usize,
 }
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.cell.key == other.cell.key && self.src == other.src
+        self.cell.key() == other.cell.key() && self.src == other.src
     }
 }
 impl Eq for HeapEntry {}
@@ -718,8 +848,8 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.cell
-            .key
-            .cmp(&other.cell.key)
+            .key()
+            .cmp(other.cell.key())
             .then_with(|| self.src.cmp(&other.src))
     }
 }
@@ -727,11 +857,11 @@ impl Ord for HeapEntry {
 /// Merges pre-sorted cell streams into one `CellKey`-ordered stream.
 pub(crate) struct MergeIter<'a> {
     heap: BinaryHeap<Reverse<HeapEntry>>,
-    streams: Vec<Box<dyn Iterator<Item = Cell> + 'a>>,
+    streams: Vec<Box<dyn Iterator<Item = CellSrc> + 'a>>,
 }
 
 impl<'a> MergeIter<'a> {
-    pub(crate) fn new(mut streams: Vec<Box<dyn Iterator<Item = Cell> + 'a>>) -> Self {
+    pub(crate) fn new(mut streams: Vec<Box<dyn Iterator<Item = CellSrc> + 'a>>) -> Self {
         let mut heap = BinaryHeap::with_capacity(streams.len());
         for (src, stream) in streams.iter_mut().enumerate() {
             if let Some(cell) = stream.next() {
@@ -743,9 +873,9 @@ impl<'a> MergeIter<'a> {
 }
 
 impl Iterator for MergeIter<'_> {
-    type Item = Cell;
+    type Item = CellSrc;
 
-    fn next(&mut self) -> Option<Cell> {
+    fn next(&mut self) -> Option<CellSrc> {
         let Reverse(entry) = self.heap.pop()?;
         if let Some(next) = self.streams[entry.src].next() {
             self.heap.push(Reverse(HeapEntry {
@@ -770,9 +900,11 @@ struct ColumnTracker {
 }
 
 /// Walk the merged cell stream, applying MVCC, tombstones, version limits,
-/// the time range and the projection, and assemble filtered rows.
+/// the time range and the projection, and assemble filtered rows. Cells are
+/// inspected through their [`CellSrc`] and only materialized (cloned out of
+/// their shared block) when they make it into a returned row.
 fn assemble_rows(
-    merged: impl Iterator<Item = Cell>,
+    merged: impl Iterator<Item = CellSrc>,
     scan: &Scan,
     read_point: u64,
     family_versions: &HashMap<Bytes, u32>,
@@ -813,17 +945,18 @@ fn assemble_rows(
 
     for cell in merged {
         stats.cells_scanned += 1;
+        let key = cell.key();
         // MVCC: ignore writes newer than the scanner's read point.
-        if cell.key.seq > read_point {
+        if key.seq > read_point {
             continue;
         }
         // Row boundary?
-        if current.row.as_ref() != cell.key.row.as_ref() {
+        if current.row.as_ref() != key.row.as_ref() {
             if !current.row.is_empty() && finish_row(&mut current, witness, &mut out, stats) {
                 return out;
             }
             current = RowResult {
-                row: cell.key.row.clone(),
+                row: key.row.clone(),
                 cells: Vec::new(),
             };
             witness = false;
@@ -832,53 +965,50 @@ fn assemble_rows(
             col = ColumnTracker::default();
         }
         // Column boundary?
-        let this_col = (cell.key.family.clone(), cell.key.qualifier.clone());
+        let this_col = (key.family.clone(), key.qualifier.clone());
         if col_key.as_ref() != Some(&this_col) {
             col_key = Some(this_col);
             col = ColumnTracker::default();
         }
-        match cell.key.cell_type {
+        match key.cell_type {
             CellType::DeleteFamily => {
-                let entry = family_delete_ts.entry(cell.key.family.clone()).or_insert(0);
-                *entry = (*entry).max(cell.key.timestamp);
+                let entry = family_delete_ts.entry(key.family.clone()).or_insert(0);
+                *entry = (*entry).max(key.timestamp);
             }
             CellType::DeleteColumn => {
                 col.delete_column_ts = Some(
                     col.delete_column_ts
-                        .map_or(cell.key.timestamp, |t| t.max(cell.key.timestamp)),
+                        .map_or(key.timestamp, |t| t.max(key.timestamp)),
                 );
             }
             CellType::Delete => {
-                col.exact_delete_ts.push(cell.key.timestamp);
+                col.exact_delete_ts.push(key.timestamp);
             }
             CellType::Put => {
-                if !scan.time_range.contains(cell.key.timestamp) {
+                if !scan.time_range.contains(key.timestamp) {
                     continue;
                 }
-                if let Some(&fd_ts) = family_delete_ts.get(&cell.key.family) {
-                    if cell.key.timestamp <= fd_ts {
+                if let Some(&fd_ts) = family_delete_ts.get(&key.family) {
+                    if key.timestamp <= fd_ts {
                         continue;
                     }
                 }
                 if let Some(dc_ts) = col.delete_column_ts {
-                    if cell.key.timestamp <= dc_ts {
+                    if key.timestamp <= dc_ts {
                         continue;
                     }
                 }
-                if col.exact_delete_ts.contains(&cell.key.timestamp) {
+                if col.exact_delete_ts.contains(&key.timestamp) {
                     continue;
                 }
                 // The cell is live: the row exists even if the projection
                 // excludes this cell.
                 witness = true;
-                if !scan
-                    .projection
-                    .includes(&cell.key.family, &cell.key.qualifier)
-                {
+                if !scan.projection.includes(&key.family, &key.qualifier) {
                     continue;
                 }
                 let family_cap = family_versions
-                    .get(&cell.key.family)
+                    .get(&key.family)
                     .copied()
                     .unwrap_or(u32::MAX);
                 let cap = scan.max_versions.min(family_cap);
@@ -886,7 +1016,8 @@ fn assemble_rows(
                     continue;
                 }
                 col.versions_taken += 1;
-                current.cells.push(cell);
+                // Only here does a block-backed cell actually get copied.
+                current.cells.push(cell.into_cell());
             }
         }
     }
@@ -899,48 +1030,47 @@ fn assemble_rows(
 /// Compaction rewrite: keep at most `max_versions` live versions per column,
 /// drop everything masked by tombstones, and drop the tombstones themselves
 /// (major-compaction semantics).
-fn compact_cells(merged: impl Iterator<Item = Cell>, max_versions: u32) -> Vec<Cell> {
+fn compact_cells(merged: impl Iterator<Item = CellSrc>, max_versions: u32) -> Vec<Cell> {
     let mut out = Vec::new();
     let mut current_row: Option<Bytes> = None;
     let mut family_delete_ts: HashMap<Bytes, u64> = HashMap::new();
     let mut col_key: Option<(Bytes, Bytes)> = None;
     let mut col = ColumnTracker::default();
     for cell in merged {
-        if current_row.as_deref() != Some(cell.key.row.as_ref()) {
-            current_row = Some(cell.key.row.clone());
+        let key = cell.key();
+        if current_row.as_deref() != Some(key.row.as_ref()) {
+            current_row = Some(key.row.clone());
             family_delete_ts.clear();
             col_key = None;
             col = ColumnTracker::default();
         }
-        let this_col = (cell.key.family.clone(), cell.key.qualifier.clone());
+        let this_col = (key.family.clone(), key.qualifier.clone());
         if col_key.as_ref() != Some(&this_col) {
             col_key = Some(this_col);
             col = ColumnTracker::default();
         }
-        match cell.key.cell_type {
+        match key.cell_type {
             CellType::DeleteFamily => {
-                let e = family_delete_ts.entry(cell.key.family.clone()).or_insert(0);
-                *e = (*e).max(cell.key.timestamp);
+                let e = family_delete_ts.entry(key.family.clone()).or_insert(0);
+                *e = (*e).max(key.timestamp);
             }
             CellType::DeleteColumn => {
                 col.delete_column_ts = Some(
                     col.delete_column_ts
-                        .map_or(cell.key.timestamp, |t| t.max(cell.key.timestamp)),
+                        .map_or(key.timestamp, |t| t.max(key.timestamp)),
                 );
             }
-            CellType::Delete => col.exact_delete_ts.push(cell.key.timestamp),
+            CellType::Delete => col.exact_delete_ts.push(key.timestamp),
             CellType::Put => {
                 let masked = family_delete_ts
-                    .get(&cell.key.family)
-                    .is_some_and(|&t| cell.key.timestamp <= t)
-                    || col
-                        .delete_column_ts
-                        .is_some_and(|t| cell.key.timestamp <= t)
-                    || col.exact_delete_ts.contains(&cell.key.timestamp)
+                    .get(&key.family)
+                    .is_some_and(|&t| key.timestamp <= t)
+                    || col.delete_column_ts.is_some_and(|t| key.timestamp <= t)
+                    || col.exact_delete_ts.contains(&key.timestamp)
                     || col.versions_taken >= max_versions;
                 if !masked {
                     col.versions_taken += 1;
-                    out.push(cell);
+                    out.push(cell.into_cell());
                 }
             }
         }
@@ -1348,7 +1478,7 @@ mod tests {
         };
         let mut stats = ScanStats::default();
         let rows = assemble_rows(
-            vec![cell].into_iter(),
+            vec![CellSrc::Owned(cell)].into_iter(),
             &Scan::new(),
             50, // read point below the cell's seq
             &HashMap::new(),
@@ -1356,6 +1486,91 @@ mod tests {
         );
         assert!(rows.is_empty());
         assert_eq!(stats.cells_scanned, 1);
+    }
+
+    #[test]
+    fn scan_with_cache_hits_on_repeat() {
+        let metrics = crate::metrics::ClusterMetrics::new();
+        let cache = BlockCache::new(1 << 20, metrics);
+        let r = test_region();
+        for i in 0..200 {
+            r.put(&Put::new(format!("row-{i:04}")).add("cf", "q", "v"))
+                .unwrap();
+        }
+        r.flush().unwrap();
+        let (rows, cold) = r.scan_with(&Scan::new(), Some(&cache)).unwrap();
+        assert_eq!(rows.len(), 200);
+        assert!(cold.blocks_read > 0, "cold scan reads blocks");
+        assert_eq!(cold.block_cache_hits, 0);
+        let (rows, warm) = r.scan_with(&Scan::new(), Some(&cache)).unwrap();
+        assert_eq!(rows.len(), 200);
+        assert_eq!(warm.blocks_read, 0, "warm scan is fully cached");
+        assert_eq!(warm.block_cache_hits, cold.blocks_read);
+    }
+
+    #[test]
+    fn scan_limit_reads_only_needed_blocks() {
+        let r = test_region();
+        // Several blocks worth of single-cell rows, all flushed.
+        for i in 0..(crate::storefile::BLOCK_SIZE * 4) {
+            r.put(&Put::new(format!("row-{i:05}")).add("cf", "q", "v"))
+                .unwrap();
+        }
+        r.flush().unwrap();
+        let (rows, stats) = r.scan_with(&Scan::new().with_limit(3), None).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(stats.blocks_read, 1, "limit 3 must not read every block");
+    }
+
+    #[test]
+    fn bloom_short_circuit_reads_zero_blocks() {
+        let r = test_region();
+        for i in 0..100 {
+            r.put(&Put::new(format!("row-{i:03}")).add("cf", "q", "v"))
+                .unwrap();
+        }
+        // Flush so the memstore is empty and only store files remain.
+        r.flush().unwrap();
+        let (row, stats) = r.get(&Get::new("definitely-absent")).unwrap();
+        assert!(row.is_empty());
+        assert_eq!(
+            stats.blocks_read + stats.block_cache_hits,
+            0,
+            "bloom filter must steer the get away from every block"
+        );
+        assert!(stats.files_pruned >= 1);
+        // A present row still reads blocks.
+        let (row, stats) = r.get(&Get::new("row-050")).unwrap();
+        assert!(!row.is_empty());
+        assert!(stats.blocks_read > 0);
+    }
+
+    #[test]
+    fn scan_clones_only_returned_cells() {
+        let r = test_region();
+        for i in 0..200 {
+            r.put(
+                &Put::new(format!("row-{i:04}"))
+                    .add("cf", "q", "v")
+                    .add("cf", "q2", "w"),
+            )
+            .unwrap();
+        }
+        r.flush().unwrap();
+        // Project one qualifier of the family: the merge still visits both
+        // cells per row (family pruning can't help), but only half make it
+        // into the response — and only those may be cloned out of the
+        // shared blocks.
+        let scan = Scan::new().with_projection(Projection::all().column("cf", "q"));
+        let before = crate::storefile::shared_cells_cloned();
+        let (rows, stats) = r.scan(&scan).unwrap();
+        let cloned = crate::storefile::shared_cells_cloned() - before;
+        assert_eq!(rows.len(), 200);
+        assert_eq!(
+            cloned, stats.cells_returned,
+            "only cells that made it into the response may be copied"
+        );
+        assert!(stats.cells_scanned >= 2 * stats.cells_returned);
     }
 
     #[test]

@@ -1,18 +1,54 @@
 //! Region servers host regions and execute reads and writes against them.
 //! Every public method is one "RPC": it validates security, bumps the
 //! cluster metrics, and dispatches to the region.
+//!
+//! Scans are served HBase-style through server-side scanner state:
+//! [`open_scanner`](RegionServer::open_scanner) registers a cursor,
+//! [`next_batch`](RegionServer::next_batch) returns at most `n` rows and
+//! advances it, and a lease on the virtual clock reclaims cursors whose
+//! client went away. All store-file reads go through the server's shared
+//! [`BlockCache`].
 
+use crate::block_cache::BlockCache;
+use crate::clock::Clock;
 use crate::error::{KvError, Result};
 use crate::fault::{FaultInjector, RpcOp};
 use crate::metrics::ClusterMetrics;
 use crate::region::{Region, ScanStats};
 use crate::security::{AuthToken, TokenService};
-use crate::types::{Delete, Get, Put, RowResult, Scan};
+use crate::types::{row_successor, Delete, Get, Put, RowResult, Scan};
 use crate::wal::Wal;
-use parking_lot::RwLock;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default scanner lease: virtual milliseconds a scanner may sit idle
+/// between `next_batch` calls before the server reclaims it.
+pub const DEFAULT_SCANNER_LEASE_MS: u64 = 60_000;
+
+/// Cursor state of one open server-side scanner.
+struct ScannerState {
+    region_id: u64,
+    scan: Scan,
+    /// First row (inclusive) of the next batch; `None` before any batch.
+    next_start: Option<Bytes>,
+    /// Rows returned so far, to honor `scan.limit` across batches.
+    rows_returned: usize,
+    /// Virtual-clock deadline; renewed by every successful batch.
+    lease_expires_ms: u64,
+}
+
+/// One `next_batch` response: the rows, the work they cost, and whether the
+/// scanner is still open (more data may remain).
+#[derive(Clone, Debug)]
+pub struct ScanBatch {
+    pub rows: Vec<RowResult>,
+    pub stats: ScanStats,
+    pub more: bool,
+}
 
 /// One region server ("node") in the simulated cluster.
 pub struct RegionServer {
@@ -27,6 +63,14 @@ pub struct RegionServer {
     offline: AtomicBool,
     /// Optional fault injector consulted at every RPC entry.
     fault: RwLock<Option<Arc<FaultInjector>>>,
+    /// Shared LRU over store-file blocks of every hosted region.
+    block_cache: Arc<BlockCache>,
+    /// Open scanners by id.
+    scanners: Mutex<HashMap<u64, ScannerState>>,
+    next_scanner_id: AtomicU64,
+    scanner_lease_ms: AtomicU64,
+    /// Virtual clock used for scanner leases (peeked, never advanced).
+    clock: Clock,
 }
 
 impl RegionServer {
@@ -35,7 +79,10 @@ impl RegionServer {
         hostname: impl Into<String>,
         metrics: Arc<ClusterMetrics>,
         security: Option<Arc<TokenService>>,
+        clock: Clock,
+        block_cache_bytes: usize,
     ) -> Self {
+        let block_cache = Arc::new(BlockCache::new(block_cache_bytes, Arc::clone(&metrics)));
         RegionServer {
             server_id,
             hostname: hostname.into(),
@@ -45,7 +92,27 @@ impl RegionServer {
             security,
             offline: AtomicBool::new(false),
             fault: RwLock::new(None),
+            block_cache,
+            scanners: Mutex::new(HashMap::new()),
+            next_scanner_id: AtomicU64::new(1),
+            scanner_lease_ms: AtomicU64::new(DEFAULT_SCANNER_LEASE_MS),
+            clock,
         }
+    }
+
+    pub fn block_cache(&self) -> &BlockCache {
+        &self.block_cache
+    }
+
+    /// Open scanners right now (lease reclamation is lazy, so this may
+    /// include scanners whose lease already lapsed).
+    pub fn open_scanner_count(&self) -> usize {
+        self.scanners.lock().len()
+    }
+
+    /// Shrink or grow the scanner lease (tests drive expiry through this).
+    pub fn set_scanner_lease_ms(&self, ms: u64) {
+        self.scanner_lease_ms.store(ms, Ordering::Relaxed);
     }
 
     /// Attach a fault injector; subsequent RPCs pass through it.
@@ -160,7 +227,7 @@ impl RegionServer {
         self.count_rpc();
         self.rpc_entry(RpcOp::Get, region_id)?;
         let region = self.region(region_id)?;
-        let (row, stats) = region.get(get)?;
+        let (row, stats) = region.get_with(get, Some(&self.block_cache))?;
         self.record_scan_stats(&stats, get.filter.is_some());
         Ok(row)
     }
@@ -180,7 +247,7 @@ impl RegionServer {
         let mut agg = ScanStats::default();
         let mut filtered = false;
         for get in gets {
-            let (row, stats) = region.get(get)?;
+            let (row, stats) = region.get_with(get, Some(&self.block_cache))?;
             agg.merge(&stats);
             filtered |= get.filter.is_some();
             out.push(row);
@@ -189,8 +256,11 @@ impl RegionServer {
         Ok(out)
     }
 
-    /// Range scan over one region. Returns all qualifying rows plus the
-    /// server-side work statistics.
+    /// Range scan over one region in a single RPC, materializing every
+    /// qualifying row at once. Administrative uses only (e.g. split-point
+    /// probing); clients stream through
+    /// [`open_scanner`](Self::open_scanner)/[`next_batch`](Self::next_batch)
+    /// so no call materializes more than `scan.caching` rows.
     pub fn scan(
         &self,
         region_id: u64,
@@ -201,9 +271,142 @@ impl RegionServer {
         self.count_rpc();
         self.rpc_entry(RpcOp::Scan, region_id)?;
         let region = self.region(region_id)?;
-        let (rows, stats) = region.scan(scan)?;
+        let (rows, stats) = region.scan_with(scan, Some(&self.block_cache))?;
         self.record_scan_stats(&stats, scan.filter.is_some());
         Ok((rows, stats))
+    }
+
+    /// Register a server-side scanner for `scan` against one region and
+    /// lease it on the virtual clock. Returns the scanner id for
+    /// [`next_batch`](Self::next_batch).
+    pub fn open_scanner(
+        &self,
+        region_id: u64,
+        scan: &Scan,
+        token: Option<&AuthToken>,
+    ) -> Result<u64> {
+        self.authorize(token)?;
+        self.count_rpc();
+        self.rpc_entry(RpcOp::Scan, region_id)?;
+        // Fail fast when the region is not hosted here; no state is created.
+        let _ = self.region(region_id)?;
+        let id = self.next_scanner_id.fetch_add(1, Ordering::Relaxed);
+        let lease = self.clock.peek_ms() + self.scanner_lease_ms.load(Ordering::Relaxed);
+        self.scanners.lock().insert(
+            id,
+            ScannerState {
+                region_id,
+                scan: scan.clone(),
+                next_start: None,
+                rows_returned: 0,
+                lease_expires_ms: lease,
+            },
+        );
+        self.metrics.add(&self.metrics.scanner_opens, 1);
+        Ok(id)
+    }
+
+    /// Serve the next batch of an open scanner: at most `n` rows, scanned
+    /// on demand from the cursor position — the server never materializes
+    /// more than one batch. A successful batch renews the lease; a scanner
+    /// that lapses between calls is discarded and the call fails with the
+    /// transient [`KvError::ScannerExpired`].
+    pub fn next_batch(
+        &self,
+        scanner_id: u64,
+        n: usize,
+        token: Option<&AuthToken>,
+    ) -> Result<ScanBatch> {
+        self.authorize(token)?;
+        self.count_rpc();
+        // Resolve the cursor (no side effects) so fault injection sees the
+        // right region.
+        let region_id = {
+            let scanners = self.scanners.lock();
+            scanners
+                .get(&scanner_id)
+                .ok_or(KvError::UnknownScanner(scanner_id))?
+                .region_id
+        };
+        // Injected faults fire before the cursor moves: a failed RPC never
+        // advances `next_start`, so the client's resume is duplicate-free.
+        // They also fire before the lease check — faults model the network,
+        // and a delayed request can arrive to find its lease lapsed.
+        self.rpc_entry(RpcOp::Scan, region_id)?;
+        {
+            let mut scanners = self.scanners.lock();
+            let state = scanners
+                .get(&scanner_id)
+                .ok_or(KvError::UnknownScanner(scanner_id))?;
+            if self.clock.peek_ms() > state.lease_expires_ms {
+                scanners.remove(&scanner_id);
+                self.metrics.add(&self.metrics.scanner_lease_expirations, 1);
+                return Err(KvError::ScannerExpired(scanner_id));
+            }
+        }
+        let region = match self.region(region_id) {
+            Ok(r) => r,
+            Err(e) => {
+                // The region moved away; the cursor is useless state.
+                self.scanners.lock().remove(&scanner_id);
+                return Err(e);
+            }
+        };
+        let mut scanners = self.scanners.lock();
+        let state = scanners
+            .get_mut(&scanner_id)
+            .ok_or(KvError::UnknownScanner(scanner_id))?;
+        let n = n.max(1);
+        let batch_limit = if state.scan.limit > 0 {
+            let remaining = state.scan.limit.saturating_sub(state.rows_returned);
+            if remaining == 0 {
+                scanners.remove(&scanner_id);
+                return Ok(ScanBatch {
+                    rows: Vec::new(),
+                    stats: ScanStats::default(),
+                    more: false,
+                });
+            }
+            remaining.min(n)
+        } else {
+            n
+        };
+        let mut batch_scan = state.scan.clone();
+        batch_scan.limit = batch_limit;
+        if let Some(next) = &state.next_start {
+            batch_scan.start = Bound::Included(next.clone());
+        }
+        let (rows, stats) = region.scan_with(&batch_scan, Some(&self.block_cache))?;
+        self.record_scan_stats(&stats, batch_scan.filter.is_some());
+        self.metrics.add(&self.metrics.scanner_batches, 1);
+        self.metrics
+            .scan_batch_peak_bytes
+            .fetch_max(stats.bytes_returned, Ordering::Relaxed);
+        state.rows_returned += rows.len();
+        let exhausted_limit = state.scan.limit > 0 && state.rows_returned >= state.scan.limit;
+        // A full batch may have more behind it; a short one hit the end of
+        // the region's range.
+        let more = rows.len() == batch_limit && !exhausted_limit;
+        if more {
+            if let Some(last) = rows.last() {
+                state.next_start = Some(row_successor(&last.row));
+            }
+            state.lease_expires_ms =
+                self.clock.peek_ms() + self.scanner_lease_ms.load(Ordering::Relaxed);
+        } else {
+            scanners.remove(&scanner_id);
+        }
+        Ok(ScanBatch { rows, stats, more })
+    }
+
+    /// Release a scanner's server-side state. Idempotent: closing an unknown
+    /// or already-expired scanner is not an error (the lease may have beaten
+    /// the client to it).
+    pub fn close_scanner(&self, scanner_id: u64, token: Option<&AuthToken>) -> Result<()> {
+        self.authorize(token)?;
+        self.count_rpc();
+        self.scanners.lock().remove(&scanner_id);
+        Ok(())
     }
 
     fn record_scan_stats(&self, stats: &ScanStats, filtered: bool) {
@@ -234,6 +437,8 @@ impl RegionServer {
     pub fn crash(&self) {
         self.offline.store(true, Ordering::Release);
         self.wal.close();
+        // Open scanners die with the process; clients reopen elsewhere.
+        self.scanners.lock().clear();
         for region in self.regions.read().values() {
             region.lose_memstores();
         }
@@ -261,7 +466,7 @@ mod tests {
 
     fn server_with_region() -> (RegionServer, u64) {
         let metrics = ClusterMetrics::new();
-        let server = RegionServer::new(1, "host-1", metrics, None);
+        let server = RegionServer::new(1, "host-1", metrics, None, Clock::logical(0), 1 << 20);
         let td = TableDescriptor::new(TableName::default_ns("t"))
             .with_family(FamilyDescriptor::new("cf"));
         let region = Region::new(
@@ -348,7 +553,14 @@ mod tests {
         let clock = Clock::logical(0);
         let service = Arc::new(TokenService::new("c1", clock.clone(), 1_000_000));
         service.register_principal("p", "k");
-        let server = RegionServer::new(1, "host-1", metrics, Some(Arc::clone(&service)));
+        let server = RegionServer::new(
+            1,
+            "host-1",
+            metrics,
+            Some(Arc::clone(&service)),
+            clock.clone(),
+            1 << 20,
+        );
         let td = TableDescriptor::new(TableName::default_ns("t"))
             .with_family(FamilyDescriptor::new("cf"));
         let region = Region::new(
@@ -384,6 +596,99 @@ mod tests {
         assert!(server
             .put(rid, &[Put::new("a").add("cf", "q", "v")], None)
             .is_ok());
+    }
+
+    #[test]
+    fn scanner_streams_in_bounded_batches() {
+        let (server, rid) = server_with_region();
+        for i in 0..10 {
+            server
+                .put(rid, &[Put::new(format!("r{i}")).add("cf", "q", "v")], None)
+                .unwrap();
+        }
+        let sid = server.open_scanner(rid, &Scan::new(), None).unwrap();
+        let mut rows = Vec::new();
+        let mut batches = 0;
+        loop {
+            let batch = server.next_batch(sid, 3, None).unwrap();
+            assert!(batch.rows.len() <= 3, "batch must respect the cap");
+            batches += 1;
+            rows.extend(batch.rows);
+            if !batch.more {
+                break;
+            }
+        }
+        assert_eq!(rows.len(), 10);
+        assert_eq!(batches, 4); // 3 + 3 + 3 + 1
+                                // Exhaustion auto-closed the scanner.
+        assert_eq!(server.open_scanner_count(), 0);
+        assert_eq!(
+            server.next_batch(sid, 3, None).unwrap_err(),
+            KvError::UnknownScanner(sid)
+        );
+        // Batches equal the unchunked scan, duplicate-free.
+        let (all, _) = server.scan(rid, &Scan::new(), None).unwrap();
+        assert_eq!(rows, all);
+    }
+
+    #[test]
+    fn scanner_honors_scan_limit_across_batches() {
+        let (server, rid) = server_with_region();
+        for i in 0..10 {
+            server
+                .put(rid, &[Put::new(format!("r{i}")).add("cf", "q", "v")], None)
+                .unwrap();
+        }
+        let sid = server
+            .open_scanner(rid, &Scan::new().with_limit(5), None)
+            .unwrap();
+        let mut rows = Vec::new();
+        loop {
+            let batch = server.next_batch(sid, 2, None).unwrap();
+            rows.extend(batch.rows);
+            if !batch.more {
+                break;
+            }
+        }
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn scanner_lease_expires_on_virtual_clock() {
+        let (server, rid) = server_with_region();
+        for i in 0..10 {
+            server
+                .put(rid, &[Put::new(format!("r{i}")).add("cf", "q", "v")], None)
+                .unwrap();
+        }
+        server.set_scanner_lease_ms(5);
+        let sid = server.open_scanner(rid, &Scan::new(), None).unwrap();
+        // Burn virtual time past the lease (each tick is one clock read).
+        for _ in 0..20 {
+            let _ = server.clock.now_ms();
+        }
+        assert_eq!(
+            server.next_batch(sid, 3, None).unwrap_err(),
+            KvError::ScannerExpired(sid)
+        );
+        assert!(KvError::ScannerExpired(sid).is_transient());
+        assert_eq!(server.metrics.snapshot().scanner_lease_expirations, 1);
+        assert_eq!(server.open_scanner_count(), 0);
+    }
+
+    #[test]
+    fn crash_discards_open_scanners() {
+        let (server, rid) = server_with_region();
+        server
+            .put(rid, &[Put::new("a").add("cf", "q", "v")], None)
+            .unwrap();
+        let sid = server.open_scanner(rid, &Scan::new(), None).unwrap();
+        server.crash();
+        server.restart();
+        assert_eq!(
+            server.next_batch(sid, 3, None).unwrap_err(),
+            KvError::UnknownScanner(sid)
+        );
     }
 
     #[test]

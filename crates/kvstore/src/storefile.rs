@@ -5,14 +5,36 @@
 //! a sparse block index for seeks, a row-key bloom filter for point gets, a
 //! timestamp span for time-range pruning, and first/last keys for range
 //! pruning.
+//!
+//! Cells live in fixed-size [`Block`]s behind `Arc`s, mirroring HFile data
+//! blocks: the read path loads whole blocks (normally through the region
+//! server's block cache) and yields [`CellSrc`] references into those shared
+//! blocks, so a scan only copies the cells that actually end up in a
+//! response.
 
 use crate::types::{Cell, TimeRange};
 use bytes::Bytes;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Number of cells per index block. Sparse enough to keep the index tiny,
-/// dense enough that a seek scans at most one block linearly.
-const BLOCK_SIZE: usize = 64;
+/// Number of cells per data block. Sparse enough to keep the index tiny,
+/// dense enough that a seek touches at most one extra block.
+pub const BLOCK_SIZE: usize = 64;
+
+/// Process-wide store-file id source; cache keys are `(file_id, block_idx)`.
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SHARED_CELLS_CLONED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// How many block-backed cells this thread has materialized (cloned out of
+/// their shared block) so far. A delta around a scan measures exactly the
+/// copies the read path could not avoid — returned cells, not scanned ones.
+pub fn shared_cells_cloned() -> u64 {
+    SHARED_CELLS_CLONED.with(|c| c.get())
+}
 
 /// A simple split-hash bloom filter over row keys.
 ///
@@ -66,13 +88,78 @@ impl BloomFilter {
     }
 }
 
+/// One data block: up to [`BLOCK_SIZE`] cells in `CellKey` order, shared
+/// between the file, the block cache and in-flight scans via `Arc`.
+#[derive(Debug)]
+pub struct Block {
+    cells: Vec<Cell>,
+    bytes: usize,
+}
+
+impl Block {
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Payload bytes in this block; what the block cache charges.
+    pub fn byte_size(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// A cell yielded by the read path: owned (memstore) or a position inside a
+/// shared store-file block. [`CellSrc::into_cell`] is the only point where a
+/// block-backed cell gets cloned, so the thread-local counter behind
+/// [`shared_cells_cloned`] measures exactly the copies a read performs.
+#[derive(Clone, Debug)]
+pub enum CellSrc {
+    Owned(Cell),
+    Shared { block: Arc<Block>, idx: usize },
+}
+
+impl CellSrc {
+    pub fn cell(&self) -> &Cell {
+        match self {
+            CellSrc::Owned(c) => c,
+            CellSrc::Shared { block, idx } => &block.cells[*idx],
+        }
+    }
+
+    pub fn key(&self) -> &crate::types::CellKey {
+        &self.cell().key
+    }
+
+    /// Materialize the cell, cloning it out of its block if shared.
+    pub fn into_cell(self) -> Cell {
+        match self {
+            CellSrc::Owned(c) => c,
+            CellSrc::Shared { block, idx } => {
+                SHARED_CELLS_CLONED.with(|c| c.set(c.get() + 1));
+                block.cells[idx].clone()
+            }
+        }
+    }
+}
+
 /// An immutable sorted run of cells with read-pruning metadata.
 #[derive(Debug)]
 pub struct StoreFile {
-    /// Cells in `CellKey` order.
-    cells: Vec<Cell>,
-    /// Sparse index: the first `CellKey` of every block and its offset.
-    block_index: Vec<(Bytes, usize)>,
+    /// Unique per process; block-cache keys are `(file_id, block index)`.
+    file_id: u64,
+    /// Cells in `CellKey` order, chunked into shared blocks.
+    blocks: Vec<Arc<Block>>,
+    /// Sparse index: the first row key of every block.
+    block_index: Vec<Bytes>,
+    n_cells: usize,
+    total_bytes: usize,
     bloom: BloomFilter,
     /// Smallest and largest cell timestamps in the file.
     pub min_ts: u64,
@@ -97,33 +184,56 @@ impl StoreFile {
             "store file input must be sorted"
         );
         let mut bloom = BloomFilter::with_capacity(cells.len());
+        let mut blocks = Vec::with_capacity(cells.len() / BLOCK_SIZE + 1);
         let mut block_index = Vec::with_capacity(cells.len() / BLOCK_SIZE + 1);
         let mut min_ts = u64::MAX;
         let mut max_ts = 0u64;
         let mut max_seq = 0u64;
+        let mut total_bytes = 0usize;
         let mut has_tombstones = false;
-        let mut last_bloom_row: Option<&Bytes> = None;
-        for (i, cell) in cells.iter().enumerate() {
-            if i % BLOCK_SIZE == 0 {
-                block_index.push((cell.key.row.clone(), i));
+        let mut last_bloom_row: Option<Bytes> = None;
+        let first_row = cells.first().map(|c| c.key.row.clone());
+        let last_row = cells.last().map(|c| c.key.row.clone());
+        let n_cells = cells.len();
+        let mut current: Vec<Cell> = Vec::with_capacity(BLOCK_SIZE.min(n_cells));
+        let mut current_bytes = 0usize;
+        for cell in cells {
+            if current.is_empty() {
+                block_index.push(cell.key.row.clone());
             }
             // Avoid rehashing identical consecutive rows.
-            if last_bloom_row != Some(&cell.key.row) {
+            if last_bloom_row.as_ref() != Some(&cell.key.row) {
                 bloom.insert(&cell.key.row);
-                last_bloom_row = Some(&cell.key.row);
+                last_bloom_row = Some(cell.key.row.clone());
             }
             min_ts = min_ts.min(cell.key.timestamp);
             max_ts = max_ts.max(cell.key.timestamp);
             max_seq = max_seq.max(cell.key.seq);
             has_tombstones |= cell.key.cell_type != crate::types::CellType::Put;
+            current_bytes += cell.heap_size();
+            current.push(cell);
+            if current.len() == BLOCK_SIZE {
+                total_bytes += current_bytes;
+                blocks.push(Arc::new(Block {
+                    cells: std::mem::replace(&mut current, Vec::with_capacity(BLOCK_SIZE)),
+                    bytes: current_bytes,
+                }));
+                current_bytes = 0;
+            }
         }
-        let first_row = cells.first().map(|c| c.key.row.clone());
-        let last_row = cells.last().map(|c| c.key.row.clone());
-        // NOTE: `last_bloom_row` borrows `cells`; drop it before moving.
-        let _ = last_bloom_row;
+        if !current.is_empty() {
+            total_bytes += current_bytes;
+            blocks.push(Arc::new(Block {
+                cells: current,
+                bytes: current_bytes,
+            }));
+        }
         StoreFile {
-            cells,
+            file_id: NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed),
+            blocks,
             block_index,
+            n_cells,
+            total_bytes,
             bloom,
             min_ts,
             max_ts,
@@ -135,16 +245,46 @@ impl StoreFile {
     }
 
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.n_cells
     }
 
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.n_cells == 0
     }
 
     /// Total payload bytes, for compaction-selection heuristics.
     pub fn byte_size(&self) -> usize {
-        self.cells.iter().map(Cell::heap_size).sum()
+        self.total_bytes
+    }
+
+    /// Process-unique id; block-cache keys are `(file_id, block index)`.
+    pub fn file_id(&self) -> u64 {
+        self.file_id
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The shared block at `idx`. Callers on the scan path should go through
+    /// [`crate::block_cache::load_block`] instead so reads are attributed to
+    /// the cache.
+    pub fn block(&self, idx: usize) -> &Arc<Block> {
+        &self.blocks[idx]
+    }
+
+    /// Index of the first block that can contain a cell with row `>= start`,
+    /// from the sparse index alone — no block is touched. The answer may be
+    /// one block early when a row spans a block boundary; callers skip
+    /// leading cells `< start` inside the block.
+    pub fn start_block(&self, start: &[u8]) -> usize {
+        if start.is_empty() {
+            return 0;
+        }
+        // First block whose first row is >= start; its predecessor may still
+        // hold trailing cells of rows >= start, earlier blocks cannot.
+        let at = self.block_index.partition_point(|row| row.as_ref() < start);
+        at.saturating_sub(1)
     }
 
     /// Can this file contain any row in `[start, stop)`? Empty `stop` is
@@ -170,59 +310,29 @@ impl StoreFile {
         self.bloom.may_contain(row)
     }
 
-    /// Clone the cell at a position; positions come from [`seek_index`].
-    /// Panics on out-of-range, like slice indexing.
-    ///
-    /// [`seek_index`]: StoreFile::seek_index
-    pub fn cells_at(&self, index: usize) -> Cell {
-        self.cells[index].clone()
-    }
-
-    /// Index of the first cell whose row is `>= start` (public form of the
-    /// internal seek, used by region merges that need owned iteration).
-    pub fn seek_index(&self, start: &[u8]) -> usize {
-        self.seek(start)
-    }
-
-    /// Index of the first cell whose row is `>= start`, found via the block
-    /// index then a linear scan of one block.
-    fn seek(&self, start: &[u8]) -> usize {
-        if start.is_empty() {
-            return 0;
-        }
-        // Find the last block whose first row is <= start.
-        let block = match self
-            .block_index
-            .binary_search_by(|(row, _)| row.as_ref().cmp(start))
-        {
-            Ok(i) => i,
-            Err(0) => 0,
-            Err(i) => i - 1,
-        };
-        let mut pos = self.block_index.get(block).map_or(0, |(_, off)| *off);
-        while pos < self.cells.len() && self.cells[pos].key.row.as_ref() < start {
-            pos += 1;
-        }
-        pos
-    }
-
     /// Iterate cells whose rows fall in `[start, stop)` in `CellKey` order.
+    /// Borrowing form for tests and inspection; the region scan path streams
+    /// blocks through the cache instead.
     pub fn scan_range<'a>(
         &'a self,
         start: &'a [u8],
         stop: &'a [u8],
     ) -> impl Iterator<Item = &'a Cell> + 'a {
-        let begin = self.seek(start);
-        self.cells[begin..]
+        let begin = self.start_block(start);
+        self.blocks[begin.min(self.blocks.len())..]
             .iter()
+            .flat_map(|b| b.cells.iter())
+            .skip_while(move |c| c.key.row.as_ref() < start)
             .take_while(move |c| stop.is_empty() || c.key.row.as_ref() < stop)
     }
 
     /// All cells of a single row (used by gets after a bloom hit).
     pub fn row_cells<'a>(&'a self, row: &'a [u8]) -> impl Iterator<Item = &'a Cell> + 'a {
-        let begin = self.seek(row);
-        self.cells[begin..]
+        let begin = self.start_block(row);
+        self.blocks[begin.min(self.blocks.len())..]
             .iter()
+            .flat_map(|b| b.cells.iter())
+            .skip_while(move |c| c.key.row.as_ref() < row)
             .take_while(move |c| c.key.row.as_ref() == row)
     }
 }
@@ -300,6 +410,62 @@ mod tests {
     }
 
     #[test]
+    fn cells_are_chunked_into_blocks() {
+        let rows: Vec<String> = (0..BLOCK_SIZE * 2 + 5)
+            .map(|i| format!("r{i:05}"))
+            .collect();
+        let f = file_with_rows(&rows.iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(f.num_blocks(), 3);
+        assert_eq!(f.block(0).len(), BLOCK_SIZE);
+        assert_eq!(f.block(2).len(), 5);
+        assert_eq!(f.len(), BLOCK_SIZE * 2 + 5);
+        assert_eq!(
+            f.byte_size(),
+            (0..3).map(|i| f.block(i).byte_size()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn file_ids_are_unique() {
+        let a = file_with_rows(&["a"]);
+        let b = file_with_rows(&["a"]);
+        assert_ne!(a.file_id(), b.file_id());
+    }
+
+    #[test]
+    fn start_block_lands_at_most_one_block_early() {
+        let rows: Vec<String> = (0..300).map(|i| format!("r{i:05}")).collect();
+        let f = file_with_rows(&rows.iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(f.start_block(b""), 0);
+        assert_eq!(f.start_block(b"r00000"), 0);
+        // Row r00128 starts block 2; seeking to it may start at block 1.
+        let b = f.start_block(format!("r{:05}", BLOCK_SIZE * 2).as_bytes());
+        assert!(b == 1 || b == 2, "got block {b}");
+        // Past the end: last block.
+        assert_eq!(f.start_block(b"zzz"), f.num_blocks() - 1);
+    }
+
+    #[test]
+    fn cellsrc_clones_only_on_materialize() {
+        let f = file_with_rows(&["a", "b"]);
+        let block = Arc::clone(f.block(0));
+        let src = CellSrc::Shared {
+            block: Arc::clone(&block),
+            idx: 1,
+        };
+        let before = shared_cells_cloned();
+        assert_eq!(src.key().row.as_ref(), b"b");
+        assert_eq!(src.cell().key.row.as_ref(), b"b");
+        assert_eq!(shared_cells_cloned(), before, "inspection must not clone");
+        let owned = src.into_cell();
+        assert_eq!(owned.key.row.as_ref(), b"b");
+        assert_eq!(shared_cells_cloned(), before + 1);
+        let before = shared_cells_cloned();
+        let _ = CellSrc::Owned(cell("x", 1, 1)).into_cell();
+        assert_eq!(shared_cells_cloned(), before, "owned cells are free");
+    }
+
+    #[test]
     fn overlaps_row_range_uses_first_last() {
         let f = file_with_rows(&["f", "g", "h"]);
         assert!(f.overlaps_row_range(b"a", b"g"));
@@ -343,6 +509,7 @@ mod tests {
     fn empty_file_is_harmless() {
         let f = StoreFile::from_sorted(vec![]);
         assert!(f.is_empty());
+        assert_eq!(f.num_blocks(), 0);
         assert!(!f.overlaps_row_range(b"", b""));
         assert!(!f.overlaps_time_range(&TimeRange::default()));
     }

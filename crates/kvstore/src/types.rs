@@ -159,6 +159,16 @@ impl Cell {
     }
 }
 
+/// The immediate successor of `row` in byte order (`row` + `0x00`): the
+/// smallest key strictly greater than `row`. Scanners resume from it so a
+/// retry after the last returned row is duplicate-free.
+pub fn row_successor(row: &[u8]) -> Bytes {
+    let mut v = Vec::with_capacity(row.len() + 1);
+    v.extend_from_slice(row);
+    v.push(0);
+    Bytes::from(v)
+}
+
 /// One column write inside a [`Put`].
 #[derive(Clone, Debug)]
 pub struct PutColumn {

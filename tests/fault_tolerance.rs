@@ -357,11 +357,12 @@ fn delayed_scan_rpc_still_returns_full_results() {
             .on_op(RpcOp::Scan)
             .with_trigger(Trigger::EveryNth(2)),
     );
-    // Two scans: the second one's RPC is the 2nd match and gets delayed.
+    // Each streamed scan is two Scan RPCs (open_scanner + one next_batch),
+    // so every-2nd delays exactly the next_batch of each scan.
     assert_eq!(scan_keys(&table), baseline);
     assert_eq!(scan_keys(&table), baseline);
     let delta = cluster.metrics.snapshot().delta_since(&before);
-    assert_eq!(delta.faults_injected, 1, "exactly the 2nd scan is delayed");
+    assert_eq!(delta.faults_injected, 2, "one delayed batch per scan");
 }
 
 #[test]
