@@ -1,0 +1,344 @@
+//! Cluster introspection as SQL: adapts the kvstore's load accounting
+//! ([`ClusterStatus`](shc_kvstore::load::ClusterStatus), `RegionLoad`,
+//! `ServerLoad`), both metrics
+//! registries, and the engine's query log into live `system.*` virtual
+//! tables on a session.
+//!
+//! The adaptation happens entirely here — the engine never learns kvstore
+//! types (it sees closures producing [`Row`]s, the same boundary
+//! discipline as span attribution), and the kvstore never learns SQL.
+//! Every scan takes a fresh snapshot: `system.regions` triggers a
+//! heartbeat round, so the numbers are current as of the query.
+//!
+//! | table            | one row per                                    |
+//! |------------------|------------------------------------------------|
+//! | `system.regions` | region on a live server                        |
+//! | `system.servers` | server that ever heartbeated (live or dead)    |
+//! | `system.tables`  | table, rolled up over live servers             |
+//! | `system.metrics` | scalar metric in either registry, prefixed     |
+//! | `system.queries` | retained query-log entry (slow ones flagged)   |
+
+use shc_engine::prelude::*;
+use shc_engine::system::{SystemCatalog, SystemTable};
+use shc_kvstore::cluster::HBaseCluster;
+use shc_kvstore::load::RegionLoad;
+use shc_kvstore::metrics::EXPOSITION_PREFIX as STORE_PREFIX;
+use std::sync::Arc;
+
+/// Render a region boundary key for display: UTF-8 where possible, with a
+/// leading/trailing empty key shown as the open-interval marker.
+fn key_display(key: &[u8]) -> String {
+    if key.is_empty() {
+        "∅".to_string()
+    } else {
+        String::from_utf8_lossy(key).into_owned()
+    }
+}
+
+fn region_row(hostname: &str, r: &RegionLoad) -> Row {
+    Row::new(vec![
+        Value::Int64(r.region_id as i64),
+        Value::Utf8(r.table.clone()),
+        Value::Utf8(hostname.to_string()),
+        Value::Utf8(key_display(&r.start_key)),
+        Value::Utf8(key_display(&r.end_key)),
+        Value::Int64(r.read_requests as i64),
+        Value::Int64(r.write_requests as i64),
+        Value::Int64(r.cells_scanned as i64),
+        Value::Int64(r.cells_returned as i64),
+        Value::Int64(r.memstore_bytes as i64),
+        Value::Int64(r.store_file_count as i64),
+        Value::Int64(r.store_file_bytes as i64),
+        Value::Int64(r.flush_count as i64),
+        Value::Int64(r.compaction_count as i64),
+    ])
+}
+
+fn regions_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("region_id", DataType::Int64),
+        Field::new("table_name", DataType::Utf8),
+        Field::new("server", DataType::Utf8),
+        Field::new("start_key", DataType::Utf8),
+        Field::new("end_key", DataType::Utf8),
+        Field::new("read_requests", DataType::Int64),
+        Field::new("write_requests", DataType::Int64),
+        Field::new("cells_scanned", DataType::Int64),
+        Field::new("cells_returned", DataType::Int64),
+        Field::new("memstore_bytes", DataType::Int64),
+        Field::new("store_file_count", DataType::Int64),
+        Field::new("store_file_bytes", DataType::Int64),
+        Field::new("flush_count", DataType::Int64),
+        Field::new("compaction_count", DataType::Int64),
+    ])
+}
+
+fn servers_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("server_id", DataType::Int64),
+        Field::new("hostname", DataType::Utf8),
+        Field::new("live", DataType::Boolean),
+        Field::new("last_heartbeat_ms", DataType::Int64),
+        Field::new("regions", DataType::Int64),
+        Field::new("read_requests", DataType::Int64),
+        Field::new("write_requests", DataType::Int64),
+        Field::new("block_cache_hits", DataType::Int64),
+        Field::new("block_cache_misses", DataType::Int64),
+        Field::new("open_scanners", DataType::Int64),
+    ])
+}
+
+fn tables_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("table_name", DataType::Utf8),
+        Field::new("regions", DataType::Int64),
+        Field::new("read_requests", DataType::Int64),
+        Field::new("write_requests", DataType::Int64),
+        Field::new("memstore_bytes", DataType::Int64),
+        Field::new("store_file_bytes", DataType::Int64),
+    ])
+}
+
+fn metrics_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("name", DataType::Utf8),
+        Field::new("value", DataType::Int64),
+    ])
+}
+
+fn queries_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("sql", DataType::Utf8),
+        Field::new("plan_digest", DataType::Utf8),
+        Field::new("duration_us", DataType::Int64),
+        Field::new("rows_returned", DataType::Int64),
+        Field::new("rpc_count", DataType::Int64),
+        Field::new("slow", DataType::Boolean),
+    ])
+}
+
+/// Register the five `system.*` virtual tables on `session`, backed by
+/// `cluster`, and install the RPC probe that lets the query log attribute
+/// store RPCs to individual queries. Returns the registered table names.
+///
+/// Call once per (session, cluster) pair — typically right after the
+/// session's user tables are registered.
+pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster>) -> Vec<String> {
+    {
+        let cluster = Arc::clone(cluster);
+        session.set_rpc_probe(move || cluster.metrics.snapshot().rpc_count);
+    }
+
+    let regions_cluster = Arc::clone(cluster);
+    let servers_cluster = Arc::clone(cluster);
+    let tables_cluster = Arc::clone(cluster);
+    let metrics_cluster = Arc::clone(cluster);
+    let query_metrics = Arc::clone(&session.metrics);
+    let query_log = Arc::clone(session.query_log());
+
+    let catalog = SystemCatalog::new()
+        .with_table(SystemTable::new(
+            "system.regions",
+            regions_schema(),
+            move || {
+                let status = regions_cluster.cluster_status();
+                let mut rows = Vec::new();
+                for server in status.live_servers() {
+                    for region in &server.load.regions {
+                        rows.push(region_row(&server.load.hostname, region));
+                    }
+                }
+                rows
+            },
+        ))
+        .with_table(SystemTable::new(
+            "system.servers",
+            servers_schema(),
+            move || {
+                servers_cluster
+                    .cluster_status()
+                    .servers
+                    .iter()
+                    .map(|s| {
+                        Row::new(vec![
+                            Value::Int64(s.load.server_id as i64),
+                            Value::Utf8(s.load.hostname.clone()),
+                            Value::Boolean(s.live),
+                            Value::Int64(s.last_heartbeat_ms as i64),
+                            Value::Int64(s.load.regions.len() as i64),
+                            Value::Int64(s.load.read_requests() as i64),
+                            Value::Int64(s.load.write_requests() as i64),
+                            Value::Int64(s.load.block_cache_hits as i64),
+                            Value::Int64(s.load.block_cache_misses as i64),
+                            Value::Int64(s.load.open_scanners as i64),
+                        ])
+                    })
+                    .collect()
+            },
+        ))
+        .with_table(SystemTable::new(
+            "system.tables",
+            tables_schema(),
+            move || {
+                tables_cluster
+                    .cluster_status()
+                    .tables
+                    .iter()
+                    .map(|t| {
+                        Row::new(vec![
+                            Value::Utf8(t.table.clone()),
+                            Value::Int64(t.regions as i64),
+                            Value::Int64(t.read_requests as i64),
+                            Value::Int64(t.write_requests as i64),
+                            Value::Int64(t.memstore_bytes as i64),
+                            Value::Int64(t.store_file_bytes as i64),
+                        ])
+                    })
+                    .collect()
+            },
+        ))
+        .with_table(SystemTable::new(
+            "system.metrics",
+            metrics_schema(),
+            move || {
+                let mut rows = Vec::new();
+                for (name, value) in metrics_cluster.metrics.snapshot().counter_values() {
+                    rows.push(Row::new(vec![
+                        Value::Utf8(format!("{STORE_PREFIX}{name}")),
+                        Value::Int64(value as i64),
+                    ]));
+                }
+                for (name, value) in query_metrics.snapshot().counter_values() {
+                    rows.push(Row::new(vec![
+                        Value::Utf8(format!("{}{name}", shc_engine::metrics::EXPOSITION_PREFIX)),
+                        Value::Int64(value as i64),
+                    ]));
+                }
+                rows
+            },
+        ))
+        .with_table(SystemTable::new(
+            "system.queries",
+            queries_schema(),
+            move || {
+                query_log
+                    .entries()
+                    .iter()
+                    .map(|e| {
+                        Row::new(vec![
+                            Value::Int64(e.id as i64),
+                            Value::Utf8(e.sql.clone()),
+                            Value::Utf8(e.plan_digest.clone()),
+                            Value::Int64(e.duration_us as i64),
+                            Value::Int64(e.rows_returned as i64),
+                            Value::Int64(e.rpc_count as i64),
+                            Value::Boolean(e.slow),
+                        ])
+                    })
+                    .collect()
+            },
+        ));
+    let names = catalog.names();
+    catalog.register(session);
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shc_kvstore::prelude::*;
+
+    fn cluster_with_table() -> Arc<HBaseCluster> {
+        let cluster = HBaseCluster::start(ClusterConfig {
+            num_servers: 2,
+            ..Default::default()
+        });
+        cluster
+            .create_table(
+                TableDescriptor::new(TableName::default_ns("t"))
+                    .with_family(FamilyDescriptor::new("cf")),
+            )
+            .unwrap();
+        cluster
+    }
+
+    #[test]
+    fn system_tables_register_and_answer_sql() {
+        let cluster = cluster_with_table();
+        let conn = Connection::open(Arc::clone(&cluster), None);
+        let table = conn.table(TableName::default_ns("t"));
+        for i in 0..4 {
+            table
+                .put(Put::new(format!("r{i}")).add("cf", "q", "v"))
+                .unwrap();
+        }
+        let session = Session::new_default();
+        let names = register_system_tables(&session, &cluster);
+        assert_eq!(names.len(), 5);
+
+        let rows = session
+            .sql("SELECT table_name, SUM(write_requests) FROM system.regions GROUP BY table_name")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0).as_str(), Some("default:t"));
+        assert_eq!(rows[0].get(1), &Value::Int64(4));
+
+        let servers = session
+            .sql("SELECT hostname FROM system.servers WHERE live ORDER BY hostname")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(servers.len(), 2);
+        assert_eq!(servers[0].get(0).as_str(), Some("host-0"));
+
+        let metric = session
+            .sql("SELECT value FROM system.metrics WHERE name = 'shc_store_rpc_count'")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert!(metric[0].get(0).as_i64().unwrap() >= 4);
+    }
+
+    #[test]
+    fn system_queries_sees_previous_queries_with_rpc_counts() {
+        let cluster = cluster_with_table();
+        let conn = Connection::open(Arc::clone(&cluster), None);
+        let table = conn.table(TableName::default_ns("t"));
+        table.put(Put::new("r1").add("cf", "q", "v")).unwrap();
+
+        let session = Session::new_default();
+        register_system_tables(&session, &cluster);
+        crate::register_hbase_table(
+            &session,
+            Arc::clone(&cluster),
+            Arc::new(
+                crate::catalog::HBaseTableCatalog::parse_simple(
+                    r#"{"table":{"namespace":"default","name":"t"},
+                        "rowkey":"key",
+                        "columns":{
+                          "col0":{"cf":"rowkey","col":"key","type":"string"},
+                          "col1":{"cf":"cf","col":"q","type":"string"}}}"#,
+                )
+                .unwrap(),
+            ),
+            crate::conf::SHCConf::default(),
+            "t",
+        );
+        session
+            .sql("SELECT col0 FROM t")
+            .unwrap()
+            .collect()
+            .unwrap();
+        let logged = session
+            .sql("SELECT sql, rpc_count FROM system.queries")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(logged.len(), 1);
+        assert_eq!(logged[0].get(0).as_str(), Some("SELECT col0 FROM t"));
+        assert!(logged[0].get(1).as_i64().unwrap() >= 1, "scan issued RPCs");
+    }
+}

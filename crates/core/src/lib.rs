@@ -20,7 +20,9 @@
 //!   contract, including the `NOT IN` exclusion (§VI.3);
 //! * row-key range merging via binary search (§VI.5);
 //! * connection caching with lazy eviction (§V.B.1);
-//! * a credentials manager for multiple secure clusters (§V.B.2).
+//! * a credentials manager for multiple secure clusters (§V.B.2);
+//! * queryable cluster introspection — `system.*` virtual tables over the
+//!   store's load accounting and the session's query log ([`introspect`]).
 //!
 //! The [`generic`] module provides the paper's baseline — HBase as a
 //! generic data source without any of the above — so every experiment can
@@ -61,6 +63,7 @@ pub mod credentials;
 pub mod encoder;
 pub mod error;
 pub mod generic;
+pub mod introspect;
 pub mod json;
 pub mod pruning;
 pub mod ranges;
@@ -112,6 +115,7 @@ pub mod prelude {
     pub use crate::encoder::{FieldCodec, TableCoder};
     pub use crate::error::ShcError;
     pub use crate::generic::GenericHBaseRelation;
+    pub use crate::introspect::register_system_tables;
     pub use crate::ranges::RangeSet;
     pub use crate::relation::HBaseRelation;
     pub use crate::writer::write_rows;

@@ -9,6 +9,7 @@ use crate::expr::{BinaryOp, Expr};
 use crate::logical::{JoinType, LogicalPlan};
 use crate::parser::{Query, SelectItem, TableFactor};
 use crate::schema::Schema;
+use crate::value::Value;
 use std::sync::Arc;
 
 /// Table lookup used during analysis.
@@ -105,38 +106,54 @@ fn plan_query(query: &Query, catalog: &dyn Catalog) -> Result<LogicalPlan> {
     // select list renames or drops the qualifier.
     if !query.order_by.is_empty() {
         let out_schema = plan.schema()?;
-        let resolves_out = query
-            .order_by
+        // SQL ordinals: `ORDER BY 2` means the second output column.
+        let mut order_by = query.order_by.clone();
+        for (e, _) in order_by.iter_mut() {
+            if let Expr::Literal(Value::Int64(n)) = e {
+                let n = *n;
+                if n < 1 || n as usize > out_schema.fields.len() {
+                    return Err(EngineError::Analysis(format!(
+                        "ORDER BY position {n} is out of range (select list has {} columns)",
+                        out_schema.fields.len()
+                    )));
+                }
+                let field = &out_schema.fields[n as usize - 1];
+                *e = Expr::Column {
+                    qualifier: field.qualifier.clone(),
+                    name: field.name.clone(),
+                };
+            }
+        }
+        let resolves_out = order_by
             .iter()
             .all(|(e, _)| e.data_type(&out_schema).is_ok());
         if resolves_out {
             plan = LogicalPlan::Sort {
-                keys: query.order_by.clone(),
+                keys: order_by,
                 input: Box::new(plan),
             };
         } else if let LogicalPlan::Projection { exprs, input } = plan {
             let inner_schema = input.schema()?;
-            let resolves_inner = query
-                .order_by
+            let resolves_inner = order_by
                 .iter()
                 .all(|(e, _)| e.data_type(&inner_schema).is_ok());
             if !resolves_inner {
                 return Err(EngineError::Analysis(format!(
                     "ORDER BY key {} not found in select output or its input",
-                    query.order_by[0].0
+                    order_by[0].0
                 )));
             }
             plan = LogicalPlan::Projection {
                 exprs,
                 input: Box::new(LogicalPlan::Sort {
-                    keys: query.order_by.clone(),
+                    keys: order_by,
                     input,
                 }),
             };
         } else {
             return Err(EngineError::Analysis(format!(
                 "ORDER BY key {} not found in query output",
-                query.order_by[0].0
+                order_by[0].0
             )));
         }
     }

@@ -30,11 +30,24 @@ pub fn lit(value: impl Into<crate::value::Value>) -> Expr {
 pub struct DataFrame {
     session: Arc<Session>,
     plan: LogicalPlan,
+    /// Original SQL text when this frame came from `Session::sql`; the
+    /// query log records it (API-built frames log as `<dataframe>`).
+    sql_text: Option<String>,
 }
 
 impl DataFrame {
     pub fn new(session: Arc<Session>, plan: LogicalPlan) -> DataFrame {
-        DataFrame { session, plan }
+        DataFrame {
+            session,
+            plan,
+            sql_text: None,
+        }
+    }
+
+    /// Attach the originating SQL text (recorded by the query log).
+    pub fn with_sql_text(mut self, sql: impl Into<String>) -> DataFrame {
+        self.sql_text = Some(sql.into());
+        self
     }
 
     pub fn plan(&self) -> &LogicalPlan {
@@ -145,11 +158,31 @@ impl DataFrame {
         ))
     }
 
-    /// Optimize and execute, returning all rows.
+    /// Optimize and execute, returning all rows. When query logging is
+    /// enabled, the run executes under a fresh virtual-clock tracer so the
+    /// log entry carries a deterministic duration and per-query RPC count.
     pub fn collect(&self) -> Result<Vec<Row>> {
         let plan = self.optimized_plan()?;
         let ctx = self.session.exec_context();
-        physical::collect(&plan, &ctx)
+        if self.session.query_log().capacity() == 0 {
+            return physical::collect(&plan, &ctx);
+        }
+        let rpc_before = self.session.rpc_probe_value();
+        let tracer = shc_obs::Tracer::new();
+        let rows = {
+            let _root = tracer.root("query");
+            physical::collect(&plan, &ctx)?
+        };
+        let duration_us = tracer.now_us();
+        let rpcs = self.session.rpc_probe_value().saturating_sub(rpc_before);
+        self.session.record_query(
+            self.sql_text.as_deref(),
+            &plan,
+            duration_us,
+            rows.len() as u64,
+            rpcs,
+        );
+        Ok(rows)
     }
 
     /// Optimize and execute under a fresh [`shc_obs::Tracer`], recording
@@ -160,11 +193,21 @@ impl DataFrame {
     pub fn collect_analyzed(&self) -> Result<QueryAnalysis> {
         let plan = self.optimized_plan()?;
         let ctx = self.session.exec_context();
+        let rpc_before = self.session.rpc_probe_value();
         let tracer = shc_obs::Tracer::new();
         let (rows, profile) = {
             let _root = tracer.root("query");
             physical::collect_profiled(&plan, &ctx)?
         };
+        let duration_us = tracer.now_us();
+        let rpcs = self.session.rpc_probe_value().saturating_sub(rpc_before);
+        self.session.record_query(
+            self.sql_text.as_deref(),
+            &plan,
+            duration_us,
+            rows.len() as u64,
+            rpcs,
+        );
         let trace = tracer.finish();
         attach_region_attribution(&profile, &trace);
         Ok(QueryAnalysis {
@@ -200,9 +243,12 @@ impl DataFrame {
     }
 
     fn with_plan(&self, plan: LogicalPlan) -> DataFrame {
+        // A transformed frame no longer corresponds to the original SQL
+        // text, so the derived frame logs as `<dataframe>`.
         DataFrame {
             session: Arc::clone(&self.session),
             plan,
+            sql_text: None,
         }
     }
 }
@@ -283,6 +329,7 @@ impl GroupedData {
         DataFrame {
             session: self.df.session,
             plan,
+            sql_text: None,
         }
     }
 

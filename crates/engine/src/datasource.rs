@@ -28,7 +28,7 @@ pub trait ScanPartition: Send + Sync {
     /// Execute the partition incrementally, handing each batch of rows to
     /// `on_batch` as it arrives. Streaming providers (SHC's region scanner)
     /// override this so the engine never holds more than one RPC batch per
-    /// partition in memory; the default materializes [`execute`] and
+    /// partition in memory; the default materializes [`execute`](Self::execute) and
     /// delivers it as a single batch, so existing providers keep working.
     fn execute_batched(
         &self,

@@ -12,7 +12,10 @@
 //!   `PrunedFilteredScan` contract ([`datasource`], [`source_filter`]);
 //! * physical execution with a locality-aware executor pool, broadcast and
 //!   shuffle hash joins, two-phase hash aggregation, and shuffle/memory
-//!   accounting ([`physical`], [`scheduler`], [`shuffle`], [`metrics`]).
+//!   accounting ([`physical`], [`scheduler`], [`shuffle`], [`metrics`]);
+//! * introspection: closure-backed virtual tables (`system.*`) and a
+//!   bounded slow-query log recorded by every `collect`
+//!   ([`system`], [`query_log`]).
 //!
 //! ## Quick start
 //!
@@ -48,12 +51,14 @@ pub mod metrics;
 pub mod optimizer;
 pub mod parser;
 pub mod physical;
+pub mod query_log;
 pub mod row;
 pub mod scheduler;
 pub mod schema;
 pub mod session;
 pub mod shuffle;
 pub mod source_filter;
+pub mod system;
 pub mod value;
 
 /// Common imports for engine users.
@@ -70,10 +75,12 @@ pub mod prelude {
     pub use crate::metrics::{QueryMetrics, QueryMetricsSnapshot};
     pub use crate::optimizer::OptimizerConfig;
     pub use crate::physical::{OpProfile, RegionScanProfile};
+    pub use crate::query_log::{QueryLog, QueryLogEntry};
     pub use crate::row::Row;
     pub use crate::scheduler::ExecutorConfig;
     pub use crate::schema::{Field, Schema};
     pub use crate::session::{Session, SessionConfig};
     pub use crate::source_filter::SourceFilter;
+    pub use crate::system::{SystemCatalog, SystemTable};
     pub use crate::value::{DataType, Value};
 }

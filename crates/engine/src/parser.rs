@@ -399,7 +399,13 @@ impl Parser {
                 alias,
             })
         } else {
-            let name = self.parse_identifier()?;
+            // Dotted names (`system.regions`) are a single registered table
+            // name — the catalog is flat, the dot is part of the name.
+            let mut name = self.parse_identifier()?;
+            while self.eat_symbol(".") {
+                let part = self.parse_identifier()?;
+                name = format!("{name}.{part}");
+            }
             let alias = self.maybe_alias()?;
             Ok(TableFactor::Table { name, alias })
         }

@@ -10,6 +10,7 @@ use crate::metrics::QueryMetrics;
 use crate::optimizer::OptimizerConfig;
 use crate::parser::parse;
 use crate::physical::ExecContext;
+use crate::query_log::{plan_digest, QueryLog, QueryLogEntry};
 use crate::scheduler::ExecutorConfig;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -23,6 +24,13 @@ pub struct SessionConfig {
     pub broadcast_threshold: usize,
     pub partial_agg: bool,
     pub optimizer: OptimizerConfig,
+    /// Queries whose virtual duration exceeds this many modeled µs are
+    /// flagged slow in the query log (and in `system.queries`).
+    pub slow_query_threshold_us: u64,
+    /// Ring-buffer capacity of the query log. Zero disables query logging
+    /// entirely (no per-collect tracer is created). Fixed at session
+    /// construction.
+    pub query_log_capacity: usize,
 }
 
 impl Default for SessionConfig {
@@ -33,6 +41,8 @@ impl Default for SessionConfig {
             broadcast_threshold: 512 * 1024,
             partial_agg: true,
             optimizer: OptimizerConfig::default(),
+            slow_query_threshold_us: 100_000,
+            query_log_capacity: 128,
         }
     }
 }
@@ -43,15 +53,24 @@ pub struct Session {
     tables: RwLock<HashMap<String, Arc<dyn TableProvider>>>,
     views: RwLock<HashMap<String, LogicalPlan>>,
     pub metrics: Arc<QueryMetrics>,
+    /// The slow-query ring buffer; shared with `system.queries`.
+    query_log: Arc<QueryLog>,
+    /// Cumulative store-RPC counter, installed by the layer that connects
+    /// this session to a cluster. The query log diffs it around each
+    /// execution to attribute RPCs per query.
+    rpc_probe: RwLock<Option<Box<dyn Fn() -> u64 + Send + Sync>>>,
 }
 
 impl Session {
     pub fn new(config: SessionConfig) -> Arc<Session> {
+        let query_log = Arc::new(QueryLog::new(config.query_log_capacity));
         Arc::new(Session {
             config: RwLock::new(config),
             tables: RwLock::new(HashMap::new()),
             views: RwLock::new(HashMap::new()),
             metrics: QueryMetrics::new(),
+            query_log,
+            rpc_probe: RwLock::new(None),
         })
     }
 
@@ -101,7 +120,47 @@ impl Session {
     pub fn sql(self: &Arc<Self>, query: &str) -> Result<DataFrame> {
         let ast = parse(query)?;
         let plan = analyze(&ast, &SessionCatalog { session: self })?;
-        Ok(DataFrame::new(Arc::clone(self), plan))
+        Ok(DataFrame::new(Arc::clone(self), plan).with_sql_text(query))
+    }
+
+    /// The session's query log (also backing `system.queries`).
+    pub fn query_log(&self) -> &Arc<QueryLog> {
+        &self.query_log
+    }
+
+    /// Install the cumulative store-RPC counter used to attribute RPCs to
+    /// queries. The closure must be monotonic (e.g. a cluster's `rpc_count`
+    /// metric); the log records the delta across each execution.
+    pub fn set_rpc_probe(&self, probe: impl Fn() -> u64 + Send + Sync + 'static) {
+        *self.rpc_probe.write() = Some(Box::new(probe));
+    }
+
+    /// Current probe reading; zero when no probe is installed.
+    pub fn rpc_probe_value(&self) -> u64 {
+        self.rpc_probe.read().as_ref().map(|p| p()).unwrap_or(0)
+    }
+
+    /// Append one execution to the query log, flagging it slow when its
+    /// virtual duration exceeds the configured threshold. Returns the
+    /// assigned entry id (0 when logging is disabled).
+    pub(crate) fn record_query(
+        &self,
+        sql: Option<&str>,
+        plan: &LogicalPlan,
+        duration_us: u64,
+        rows_returned: u64,
+        rpc_count: u64,
+    ) -> u64 {
+        let slow = duration_us > self.config.read().slow_query_threshold_us;
+        self.query_log.record(QueryLogEntry {
+            id: 0,
+            sql: sql.unwrap_or("<dataframe>").to_string(),
+            plan_digest: plan_digest(&plan.explain()),
+            duration_us,
+            rows_returned,
+            rpc_count,
+            slow,
+        })
     }
 
     /// A DataFrame over a registered table.
@@ -243,6 +302,42 @@ mod tests {
         assert!(s.deregister_table("users"));
         assert!(!s.deregister_table("users"));
         assert!(s.table_provider("users").is_none());
+    }
+
+    #[test]
+    fn query_log_records_sql_and_flags_slow() {
+        let s = session_with_data();
+        s.update_config(|c| c.slow_query_threshold_us = 0);
+        s.sql("SELECT id FROM users").unwrap().collect().unwrap();
+        let entries = s.query_log().entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].sql, "SELECT id FROM users");
+        assert!(entries[0].slow, "zero threshold flags everything");
+        assert!(entries[0].duration_us > 0);
+        assert_eq!(entries[0].rows_returned, 10);
+        assert_eq!(entries[0].plan_digest.len(), 16);
+        // API-built frames log under a placeholder name.
+        s.read_table("users").unwrap().collect().unwrap();
+        assert_eq!(s.query_log().entries()[1].sql, "<dataframe>");
+    }
+
+    #[test]
+    fn query_log_can_be_disabled() {
+        let s = Session::new(SessionConfig {
+            query_log_capacity: 0,
+            ..Default::default()
+        });
+        let schema = Schema::new(vec![Field::new("id", DataType::Int64)]);
+        s.register_table(
+            "t",
+            Arc::new(MemTable::with_rows(
+                schema,
+                vec![Row::new(vec![Value::Int64(1)])],
+                1,
+            )),
+        );
+        s.sql("SELECT id FROM t").unwrap().collect().unwrap();
+        assert!(s.query_log().is_empty());
     }
 
     #[test]

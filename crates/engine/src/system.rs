@@ -1,0 +1,166 @@
+//! Virtual "system" tables: live, read-only tables whose rows are computed
+//! by a closure at scan time. The engine knows nothing about what backs
+//! them — the kvstore adapter (or anything else) hands over a schema and a
+//! row producer, and the table becomes queryable SQL like any other
+//! (`SELECT server, SUM(read_requests) FROM system.regions GROUP BY
+//! server`), including under EXPLAIN.
+//!
+//! Providers report `supports_projection() == false` and leave every filter
+//! unhandled: the tables are tiny, so the engine's own projection/filter
+//! operators do the work and the row producer stays a plain closure.
+
+use crate::datasource::{ScanPartition, TableProvider};
+use crate::error::Result;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::session::Session;
+use crate::source_filter::SourceFilter;
+use std::sync::Arc;
+
+/// The row producer: called once per scan, returns the table's current rows.
+pub type RowsFn = Arc<dyn Fn() -> Vec<Row> + Send + Sync>;
+
+/// A live virtual table backed by a row-producing closure.
+pub struct SystemTable {
+    name: String,
+    schema: Schema,
+    rows: RowsFn,
+}
+
+impl SystemTable {
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: impl Fn() -> Vec<Row> + Send + Sync + 'static,
+    ) -> Self {
+        SystemTable {
+            name: name.into(),
+            schema,
+            rows: Arc::new(rows),
+        }
+    }
+
+    pub fn table_name(&self) -> &str {
+        &self.name
+    }
+}
+
+struct SystemPartition {
+    rows: Vec<Row>,
+}
+
+impl ScanPartition for SystemPartition {
+    fn execute(&self, _running_on: &str) -> Result<Vec<Row>> {
+        Ok(self.rows.clone())
+    }
+
+    fn describe(&self) -> String {
+        format!("system({} rows)", self.rows.len())
+    }
+}
+
+impl TableProvider for SystemTable {
+    fn schema(&self) -> Schema {
+        self.schema.clone()
+    }
+
+    fn supports_projection(&self) -> bool {
+        false
+    }
+
+    fn scan(
+        &self,
+        _projection: Option<&[usize]>,
+        _filters: &[SourceFilter],
+    ) -> Result<Vec<Arc<dyn ScanPartition>>> {
+        // Snapshot at scan time: one partition, rows frozen here so every
+        // partition of one query sees a consistent view.
+        Ok(vec![Arc::new(SystemPartition {
+            rows: (self.rows)(),
+        })])
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// A batch of [`SystemTable`]s destined for one session — collect with
+/// [`with_table`](Self::with_table), then [`register`](Self::register)
+/// them all under their dotted names.
+#[derive(Default)]
+pub struct SystemCatalog {
+    tables: Vec<SystemTable>,
+}
+
+impl SystemCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_table(mut self, table: SystemTable) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Registered table names, in insertion order.
+    pub fn names(&self) -> Vec<String> {
+        self.tables.iter().map(|t| t.name.clone()).collect()
+    }
+
+    pub fn register(self, session: &Session) {
+        for table in self.tables {
+            let name = table.name.clone();
+            session.register_table(name, Arc::new(table));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::{DataType, Value};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counter_table(counter: Arc<AtomicU64>) -> SystemTable {
+        SystemTable::new(
+            "system.ticks",
+            Schema::new(vec![Field::new("value", DataType::Int64)]),
+            move || {
+                vec![Row::new(vec![Value::Int64(
+                    counter.load(Ordering::Relaxed) as i64,
+                )])]
+            },
+        )
+    }
+
+    #[test]
+    fn rows_are_computed_at_scan_time() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let table = counter_table(Arc::clone(&counter));
+        counter.store(7, Ordering::Relaxed);
+        let parts = table.scan(None, &[]).unwrap();
+        let rows = parts[0].execute("anywhere").unwrap();
+        assert_eq!(rows[0].get(0), &Value::Int64(7));
+        counter.store(9, Ordering::Relaxed);
+        let rows = table.scan(None, &[]).unwrap()[0].execute("x").unwrap();
+        assert_eq!(rows[0].get(0), &Value::Int64(9));
+    }
+
+    #[test]
+    fn dotted_name_is_queryable_via_sql() {
+        let session = Session::new_default();
+        let counter = Arc::new(AtomicU64::new(42));
+        SystemCatalog::new()
+            .with_table(counter_table(counter))
+            .register(&session);
+        let rows = session
+            .sql("SELECT value FROM system.ticks WHERE value > 10")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Int64(42));
+    }
+}

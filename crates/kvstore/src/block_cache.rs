@@ -23,6 +23,10 @@ pub struct BlockCache {
     capacity_bytes: usize,
     metrics: Arc<ClusterMetrics>,
     inner: Mutex<CacheInner>,
+    /// Per-instance hit/miss tallies — the cluster metrics aggregate every
+    /// cache in the process, these feed the owning server's `ServerLoad`.
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 struct CacheInner {
@@ -59,11 +63,23 @@ impl BlockCache {
                 used_bytes: 0,
                 tick: 0,
             }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     pub fn capacity_bytes(&self) -> usize {
         self.capacity_bytes
+    }
+
+    /// Lifetime hits against this cache instance.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime misses against this cache instance.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     pub fn used_bytes(&self) -> usize {
@@ -90,6 +106,7 @@ impl BlockCache {
             entry.last_used = tick;
             let block = Arc::clone(&entry.block);
             drop(inner);
+            self.hits.fetch_add(1, Ordering::Relaxed);
             self.metrics.add(&self.metrics.block_cache_hits, 1);
             return (block, true);
         }
@@ -121,6 +138,7 @@ impl BlockCache {
             }
         }
         drop(inner);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         self.metrics.add(&self.metrics.block_cache_misses, 1);
         if evictions > 0 {
             self.metrics

@@ -175,6 +175,41 @@ impl HBaseCluster {
         Ok(())
     }
 
+    /// Every *online* server reports its current load to the master, as if
+    /// the periodic heartbeat ticker fired once. Crashed servers stay
+    /// silent — that silence is what eventually marks them dead.
+    pub fn heartbeat_all(&self) {
+        for server in self.servers.read().iter() {
+            if server.is_online() {
+                self.master.record_heartbeat(server.server_load());
+            }
+        }
+    }
+
+    /// Fresh heartbeats from every online server, then the master's
+    /// aggregated [`ClusterStatus`](crate::load::ClusterStatus).
+    pub fn cluster_status(&self) -> crate::load::ClusterStatus {
+        self.heartbeat_all();
+        self.master.cluster_status()
+    }
+
+    /// Current per-region loads across every online server, with the
+    /// hosting hostname — a direct dump, bypassing heartbeat history.
+    pub fn region_loads(&self) -> Vec<(String, crate::load::RegionLoad)> {
+        let mut out = Vec::new();
+        for server in self.servers.read().iter() {
+            if !server.is_online() {
+                continue;
+            }
+            let host = server.hostname.clone();
+            for load in server.server_load().regions {
+                out.push((host.clone(), load));
+            }
+        }
+        out.sort_by_key(|(_, l)| l.region_id);
+        out
+    }
+
     pub fn network(&self) -> &NetworkSim {
         &self.config.network
     }
@@ -219,6 +254,20 @@ mod tests {
         assert!(cluster.security.is_some());
         let insecure = HBaseCluster::start_default();
         assert!(insecure.security.is_none());
+    }
+
+    #[test]
+    fn heartbeat_all_skips_crashed_servers() {
+        let cluster = HBaseCluster::start_default();
+        cluster.server(1).unwrap().crash();
+        cluster.heartbeat_all();
+        let status = cluster.master.cluster_status();
+        // Only the four online servers have ever heartbeated.
+        assert_eq!(status.servers.len(), 4);
+        assert!(status.server("host-1").is_none());
+        cluster.server(1).unwrap().restart();
+        let status = cluster.cluster_status();
+        assert_eq!(status.live_servers().count(), 5);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //!   clusters ([`security`]).
 //! * **Simulation** — deterministic clock, per-RPC network cost model and
 //!   cluster-wide metrics ([`clock`], [`network`], [`metrics`]).
+//! * **Introspection** — per-region/server load accounting, virtual-clock
+//!   heartbeats to the master, and the aggregated cluster status ([`load`]).
 //!
 //! ## Quick start
 //!
@@ -47,6 +49,7 @@ pub mod cluster;
 pub mod error;
 pub mod fault;
 pub mod filter;
+pub mod load;
 pub mod master;
 pub mod memstore;
 pub mod metrics;
@@ -68,6 +71,9 @@ pub mod prelude {
     pub use crate::error::{KvError, Result};
     pub use crate::fault::{FaultInjector, FaultKind, FaultRule, RpcOp, Trigger};
     pub use crate::filter::{CompareOp, Filter, RowRange};
+    pub use crate::load::{
+        ClusterStatus, HotRegion, RegionLoad, ServerLoad, ServerStatus, TableLoadSummary,
+    };
     pub use crate::master::RegionLocation;
     pub use crate::metrics::{ClusterMetrics, MetricsSnapshot};
     pub use crate::network::NetworkSim;

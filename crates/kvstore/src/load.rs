@@ -1,0 +1,224 @@
+//! Region/server load accounting and the aggregated cluster status —
+//! HBase's `RegionLoad` / `ServerLoad` / `ClusterStatus` trio.
+//!
+//! Every region carries a [`RegionLoadCounters`] that the region server's
+//! RPC handlers bump on each request; [`Region::load`](crate::region::Region::load)
+//! freezes them (plus the memstore/store-file gauges) into a [`RegionLoad`].
+//! A server folds its hosted regions into a [`ServerLoad`] and reports it to
+//! the master as a heartbeat on the virtual clock; the master aggregates the
+//! most recent heartbeats into a [`ClusterStatus`], deriving server liveness
+//! from heartbeat staleness, per-table load summaries, and the hottest
+//! region in the cluster.
+
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live request counters owned by one region. Bumped by the hosting
+/// server's RPC handlers, so the numbers travel with the region when the
+/// master moves it to another server.
+#[derive(Debug, Default)]
+pub struct RegionLoadCounters {
+    /// Read operations served: one per get, one per get in a bulk-get
+    /// batch, one per scan / scanner batch.
+    pub read_requests: AtomicU64,
+    /// Mutations applied: one per put or delete in a batch.
+    pub write_requests: AtomicU64,
+    /// Cells visited server-side on behalf of this region's reads.
+    pub cells_scanned: AtomicU64,
+    /// Cells shipped back to clients from this region.
+    pub cells_returned: AtomicU64,
+}
+
+impl RegionLoadCounters {
+    pub fn record_reads(&self, requests: u64, cells_scanned: u64, cells_returned: u64) {
+        self.read_requests.fetch_add(requests, Ordering::Relaxed);
+        self.cells_scanned
+            .fetch_add(cells_scanned, Ordering::Relaxed);
+        self.cells_returned
+            .fetch_add(cells_returned, Ordering::Relaxed);
+    }
+
+    pub fn record_writes(&self, requests: u64) {
+        self.write_requests.fetch_add(requests, Ordering::Relaxed);
+    }
+}
+
+/// Frozen per-region load: request counters plus the region's current
+/// storage footprint. The unit the master's `ClusterStatus` aggregates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegionLoad {
+    pub region_id: u64,
+    /// Fully-qualified table name (`ns:table`).
+    pub table: String,
+    pub start_key: Bytes,
+    pub end_key: Bytes,
+    pub read_requests: u64,
+    pub write_requests: u64,
+    pub cells_scanned: u64,
+    pub cells_returned: u64,
+    /// Current memstore heap footprint in bytes.
+    pub memstore_bytes: u64,
+    pub store_file_count: u64,
+    pub store_file_bytes: u64,
+    pub flush_count: u64,
+    pub compaction_count: u64,
+}
+
+impl RegionLoad {
+    /// Total requests — the "hotness" measure used for top-region ranking.
+    pub fn requests(&self) -> u64 {
+        self.read_requests + self.write_requests
+    }
+}
+
+/// One server's heartbeat payload: its hosted regions' loads plus
+/// server-scoped gauges (block cache, open scanner leases).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerLoad {
+    pub server_id: u64,
+    pub hostname: String,
+    /// Hosted regions' loads, sorted by region id for determinism.
+    pub regions: Vec<RegionLoad>,
+    pub block_cache_hits: u64,
+    pub block_cache_misses: u64,
+    /// Scanner leases currently held (may include lapsed-but-unreclaimed
+    /// cursors — reclamation is lazy).
+    pub open_scanners: u64,
+}
+
+impl ServerLoad {
+    pub fn read_requests(&self) -> u64 {
+        self.regions.iter().map(|r| r.read_requests).sum()
+    }
+
+    pub fn write_requests(&self) -> u64 {
+        self.regions.iter().map(|r| r.write_requests).sum()
+    }
+
+    pub fn requests(&self) -> u64 {
+        self.read_requests() + self.write_requests()
+    }
+}
+
+/// A server as the master last saw it: its most recent heartbeat, when the
+/// heartbeat arrived (virtual ms), and whether it is within the staleness
+/// window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerStatus {
+    pub load: ServerLoad,
+    /// Virtual-clock timestamp of the last heartbeat.
+    pub last_heartbeat_ms: u64,
+    /// False when the last heartbeat is older than the master's staleness
+    /// window — a dead server in HBase terms.
+    pub live: bool,
+}
+
+/// Per-table rollup of every live server's region loads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableLoadSummary {
+    pub table: String,
+    pub regions: u64,
+    pub read_requests: u64,
+    pub write_requests: u64,
+    pub memstore_bytes: u64,
+    pub store_file_bytes: u64,
+}
+
+/// The hottest region in the cluster and where it lives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotRegion {
+    pub hostname: String,
+    pub load: RegionLoad,
+}
+
+/// The master's aggregated view of the cluster, derived entirely from
+/// heartbeats — the HBase `ClusterStatus` analog.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterStatus {
+    /// Virtual-clock time the status was generated.
+    pub generated_at_ms: u64,
+    /// Staleness window used to decide liveness, in virtual ms.
+    pub heartbeat_timeout_ms: u64,
+    /// Every server that has ever heartbeated, sorted by server id.
+    pub servers: Vec<ServerStatus>,
+    /// Per-table rollups over live servers, sorted by table name.
+    pub tables: Vec<TableLoadSummary>,
+    /// Busiest region on any live server (ties break toward the lower
+    /// region id for determinism).
+    pub hottest_region: Option<HotRegion>,
+}
+
+impl ClusterStatus {
+    pub fn live_servers(&self) -> impl Iterator<Item = &ServerStatus> {
+        self.servers.iter().filter(|s| s.live)
+    }
+
+    pub fn dead_servers(&self) -> impl Iterator<Item = &ServerStatus> {
+        self.servers.iter().filter(|s| !s.live)
+    }
+
+    /// Look up one server's status by hostname.
+    pub fn server(&self, hostname: &str) -> Option<&ServerStatus> {
+        self.servers.iter().find(|s| s.load.hostname == hostname)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(id: u64, table: &str, reads: u64, writes: u64) -> RegionLoad {
+        RegionLoad {
+            region_id: id,
+            table: table.to_string(),
+            read_requests: reads,
+            write_requests: writes,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn counters_freeze_into_load() {
+        let c = RegionLoadCounters::default();
+        c.record_reads(2, 100, 10);
+        c.record_writes(3);
+        assert_eq!(c.read_requests.load(Ordering::Relaxed), 2);
+        assert_eq!(c.write_requests.load(Ordering::Relaxed), 3);
+        assert_eq!(c.cells_scanned.load(Ordering::Relaxed), 100);
+        assert_eq!(c.cells_returned.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn server_load_aggregates_regions() {
+        let load = ServerLoad {
+            server_id: 1,
+            hostname: "host-1".into(),
+            regions: vec![region(1, "t", 5, 2), region(2, "t", 1, 0)],
+            ..Default::default()
+        };
+        assert_eq!(load.read_requests(), 6);
+        assert_eq!(load.write_requests(), 2);
+        assert_eq!(load.requests(), 8);
+    }
+
+    #[test]
+    fn status_partitions_live_and_dead() {
+        let mk = |id: u64, live: bool| ServerStatus {
+            load: ServerLoad {
+                server_id: id,
+                hostname: format!("host-{id}"),
+                ..Default::default()
+            },
+            last_heartbeat_ms: 0,
+            live,
+        };
+        let status = ClusterStatus {
+            servers: vec![mk(0, true), mk(1, false), mk(2, true)],
+            ..Default::default()
+        };
+        assert_eq!(status.live_servers().count(), 2);
+        assert_eq!(status.dead_servers().count(), 1);
+        assert!(!status.server("host-1").unwrap().live);
+        assert!(status.server("nope").is_none());
+    }
+}

@@ -4,6 +4,7 @@
 
 use crate::clock::Clock;
 use crate::error::{KvError, Result};
+use crate::load::{ClusterStatus, HotRegion, ServerLoad, ServerStatus, TableLoadSummary};
 use crate::metrics::ClusterMetrics;
 use crate::region::{Region, RegionConfig, RegionInfo};
 use crate::region_server::RegionServer;
@@ -43,7 +44,16 @@ pub struct Master {
     clock: Clock,
     assign_cursor: AtomicU64,
     metrics: Arc<ClusterMetrics>,
+    /// Most recent heartbeat per server id: the reported load and the
+    /// virtual-clock time it arrived. Servers are never forgotten — a
+    /// stale entry is how the master knows a server is dead.
+    heartbeats: RwLock<HashMap<u64, (ServerLoad, u64)>>,
+    /// Heartbeats older than this many virtual ms mark the server dead.
+    heartbeat_timeout_ms: AtomicU64,
 }
+
+/// Default staleness window before a silent server is declared dead.
+pub const DEFAULT_HEARTBEAT_TIMEOUT_MS: u64 = 30_000;
 
 impl Master {
     pub fn new(
@@ -63,6 +73,8 @@ impl Master {
             clock,
             assign_cursor: AtomicU64::new(0),
             metrics,
+            heartbeats: RwLock::new(HashMap::new()),
+            heartbeat_timeout_ms: AtomicU64::new(DEFAULT_HEARTBEAT_TIMEOUT_MS),
         }
     }
 
@@ -377,6 +389,90 @@ impl Master {
     }
 
     // ------------------------------------------------------------------
+    // Heartbeats & cluster status
+    // ------------------------------------------------------------------
+
+    /// Accept one server's heartbeat, stamped with the current virtual
+    /// time. The newest heartbeat per server wins.
+    pub fn record_heartbeat(&self, load: ServerLoad) {
+        let now = self.clock.peek_ms();
+        self.heartbeats.write().insert(load.server_id, (load, now));
+    }
+
+    /// Change the staleness window used by [`cluster_status`](Self::cluster_status).
+    pub fn set_heartbeat_timeout_ms(&self, ms: u64) {
+        self.heartbeat_timeout_ms.store(ms, Ordering::Relaxed);
+    }
+
+    pub fn heartbeat_timeout_ms(&self) -> u64 {
+        self.heartbeat_timeout_ms.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate the most recent heartbeats into a [`ClusterStatus`]:
+    /// liveness from heartbeat staleness, per-table load rollups over live
+    /// servers, and the hottest region on any live server. Dead servers'
+    /// loads are kept (their last report) but excluded from the rollups —
+    /// their regions are mid-reassignment and would double-count.
+    pub fn cluster_status(&self) -> ClusterStatus {
+        let now = self.clock.peek_ms();
+        let timeout = self.heartbeat_timeout_ms.load(Ordering::Relaxed);
+        let mut servers: Vec<ServerStatus> = self
+            .heartbeats
+            .read()
+            .values()
+            .map(|(load, at)| ServerStatus {
+                load: load.clone(),
+                last_heartbeat_ms: *at,
+                live: now.saturating_sub(*at) <= timeout,
+            })
+            .collect();
+        servers.sort_by_key(|s| s.load.server_id);
+
+        let mut tables: HashMap<String, TableLoadSummary> = HashMap::new();
+        let mut hottest: Option<HotRegion> = None;
+        for status in servers.iter().filter(|s| s.live) {
+            for region in &status.load.regions {
+                let entry =
+                    tables
+                        .entry(region.table.clone())
+                        .or_insert_with(|| TableLoadSummary {
+                            table: region.table.clone(),
+                            ..Default::default()
+                        });
+                entry.regions += 1;
+                entry.read_requests += region.read_requests;
+                entry.write_requests += region.write_requests;
+                entry.memstore_bytes += region.memstore_bytes;
+                entry.store_file_bytes += region.store_file_bytes;
+                let beats_current = match &hottest {
+                    None => true,
+                    Some(h) => {
+                        region.requests() > h.load.requests()
+                            || (region.requests() == h.load.requests()
+                                && region.region_id < h.load.region_id)
+                    }
+                };
+                if beats_current {
+                    hottest = Some(HotRegion {
+                        hostname: status.load.hostname.clone(),
+                        load: region.clone(),
+                    });
+                }
+            }
+        }
+        let mut tables: Vec<TableLoadSummary> = tables.into_values().collect();
+        tables.sort_by(|a, b| a.table.cmp(&b.table));
+
+        ClusterStatus {
+            generated_at_ms: now,
+            heartbeat_timeout_ms: timeout,
+            servers,
+            tables,
+            hottest_region: hottest,
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Failover
     // ------------------------------------------------------------------
 
@@ -622,6 +718,89 @@ mod tests {
             total += rows.len();
         }
         assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn heartbeats_drive_liveness_and_hottest_region() {
+        let (master, servers) = setup(2);
+        master.create_table(descriptor("t", &["m"])).unwrap();
+        let name = TableName::default_ns("t");
+        {
+            let servers = servers.read();
+            let lo = master.locate(&name, b"a").unwrap();
+            for i in 0..5 {
+                servers
+                    .iter()
+                    .find(|s| s.server_id == lo.server_id)
+                    .unwrap()
+                    .put(
+                        lo.info.region_id,
+                        &[Put::new(format!("a{i}")).add("cf", "q", "v")],
+                        None,
+                    )
+                    .unwrap();
+            }
+            for s in servers.iter() {
+                master.record_heartbeat(s.server_load());
+            }
+        }
+        let status = master.cluster_status();
+        assert_eq!(status.servers.len(), 2);
+        assert_eq!(status.live_servers().count(), 2);
+        assert_eq!(status.tables.len(), 1);
+        assert_eq!(status.tables[0].table, "default:t");
+        assert_eq!(status.tables[0].regions, 2);
+        assert_eq!(status.tables[0].write_requests, 5);
+        let hot = status.hottest_region.as_ref().unwrap();
+        assert_eq!(hot.load.write_requests, 5);
+
+        // Burn virtual time past the staleness window with no fresh
+        // heartbeats: every server goes dead and the rollups empty out.
+        master.set_heartbeat_timeout_ms(5);
+        for _ in 0..20 {
+            let _ = master.clock.now_ms();
+        }
+        let status = master.cluster_status();
+        assert_eq!(status.live_servers().count(), 0);
+        assert_eq!(status.dead_servers().count(), 2);
+        assert!(status.tables.is_empty());
+        assert!(status.hottest_region.is_none());
+
+        // One fresh heartbeat revives exactly that server.
+        master.record_heartbeat(servers.read()[0].server_load());
+        let status = master.cluster_status();
+        assert_eq!(status.live_servers().count(), 1);
+        assert!(status.server("host-0").unwrap().live);
+        assert!(!status.server("host-1").unwrap().live);
+    }
+
+    #[test]
+    fn hottest_region_tie_breaks_to_lower_id() {
+        let (master, servers) = setup(1);
+        master.create_table(descriptor("t", &["m"])).unwrap();
+        let name = TableName::default_ns("t");
+        let servers = servers.read();
+        // Equal load on both regions.
+        for row in [b"a".as_slice(), b"z".as_slice()] {
+            let loc = master.locate(&name, row).unwrap();
+            servers[0]
+                .put(
+                    loc.info.region_id,
+                    &[Put::new(row).add("cf", "q", "v")],
+                    None,
+                )
+                .unwrap();
+        }
+        master.record_heartbeat(servers[0].server_load());
+        let status = master.cluster_status();
+        let min_id = master
+            .regions_of(&name)
+            .unwrap()
+            .iter()
+            .map(|l| l.info.region_id)
+            .min()
+            .unwrap();
+        assert_eq!(status.hottest_region.unwrap().load.region_id, min_id);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::block_cache::{load_block, BlockCache, ReadTally};
 use crate::clock::Clock;
 use crate::error::{KvError, Result};
+use crate::load::{RegionLoad, RegionLoadCounters};
 use crate::memstore::MemStore;
 use crate::storefile::{Block, CellSrc, StoreFile};
 use crate::types::{
@@ -125,6 +126,9 @@ pub struct Region {
     /// Lifetime flush counter, for tests and metrics.
     flush_count: AtomicU64,
     compaction_count: AtomicU64,
+    /// Per-region request accounting, bumped by the hosting server's RPC
+    /// handlers. Lives on the region so the history follows a move.
+    load: RegionLoadCounters,
 }
 
 impl Region {
@@ -161,6 +165,7 @@ impl Region {
             write_lock: Mutex::new(()),
             flush_count: AtomicU64::new(0),
             compaction_count: AtomicU64::new(0),
+            load: RegionLoadCounters::default(),
         }
     }
 
@@ -208,6 +213,40 @@ impl Region {
     /// Total store-file count across families.
     pub fn store_file_count(&self) -> usize {
         self.stores.read().values().map(|s| s.files.len()).sum()
+    }
+
+    /// Total store-file payload bytes across families.
+    pub fn store_file_bytes(&self) -> u64 {
+        self.stores
+            .read()
+            .values()
+            .flat_map(|s| s.files.iter())
+            .map(|f| f.byte_size() as u64)
+            .sum()
+    }
+
+    /// This region's live request counters (the hosting server bumps them).
+    pub fn load_counters(&self) -> &RegionLoadCounters {
+        &self.load
+    }
+
+    /// Freeze the request counters and storage gauges into a [`RegionLoad`].
+    pub fn load(&self) -> RegionLoad {
+        RegionLoad {
+            region_id: self.info.region_id,
+            table: self.info.table.to_string(),
+            start_key: self.info.start_key.clone(),
+            end_key: self.info.end_key.clone(),
+            read_requests: self.load.read_requests.load(Ordering::Relaxed),
+            write_requests: self.load.write_requests.load(Ordering::Relaxed),
+            cells_scanned: self.load.cells_scanned.load(Ordering::Relaxed),
+            cells_returned: self.load.cells_returned.load(Ordering::Relaxed),
+            memstore_bytes: self.memstore_size() as u64,
+            store_file_count: self.store_file_count() as u64,
+            store_file_bytes: self.store_file_bytes(),
+            flush_count: self.flush_count(),
+            compaction_count: self.compaction_count(),
+        }
     }
 
     // ------------------------------------------------------------------

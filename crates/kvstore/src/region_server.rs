@@ -13,6 +13,7 @@ use crate::block_cache::BlockCache;
 use crate::clock::Clock;
 use crate::error::{KvError, Result};
 use crate::fault::{FaultInjector, RpcOp};
+use crate::load::ServerLoad;
 use crate::metrics::ClusterMetrics;
 use crate::region::{Region, ScanStats};
 use crate::security::{AuthToken, TokenService};
@@ -201,6 +202,7 @@ impl RegionServer {
             bytes += put.payload_bytes() as u64;
             region.put(put)?;
         }
+        region.load_counters().record_writes(puts.len() as u64);
         self.metrics.add(&self.metrics.bytes_written, bytes);
         Ok(())
     }
@@ -218,6 +220,7 @@ impl RegionServer {
         for d in deletes {
             region.delete(d)?;
         }
+        region.load_counters().record_writes(deletes.len() as u64);
         Ok(())
     }
 
@@ -228,6 +231,9 @@ impl RegionServer {
         self.rpc_entry(RpcOp::Get, region_id)?;
         let region = self.region(region_id)?;
         let (row, stats) = region.get_with(get, Some(&self.block_cache))?;
+        region
+            .load_counters()
+            .record_reads(1, stats.cells_scanned, stats.cells_returned);
         self.record_scan_stats(&stats, get.filter.is_some());
         Ok(row)
     }
@@ -252,6 +258,11 @@ impl RegionServer {
             filtered |= get.filter.is_some();
             out.push(row);
         }
+        region.load_counters().record_reads(
+            gets.len() as u64,
+            agg.cells_scanned,
+            agg.cells_returned,
+        );
         self.record_scan_stats(&agg, filtered);
         Ok(out)
     }
@@ -272,6 +283,9 @@ impl RegionServer {
         self.rpc_entry(RpcOp::Scan, region_id)?;
         let region = self.region(region_id)?;
         let (rows, stats) = region.scan_with(scan, Some(&self.block_cache))?;
+        region
+            .load_counters()
+            .record_reads(1, stats.cells_scanned, stats.cells_returned);
         self.record_scan_stats(&stats, scan.filter.is_some());
         Ok((rows, stats))
     }
@@ -377,6 +391,9 @@ impl RegionServer {
             batch_scan.start = Bound::Included(next.clone());
         }
         let (rows, stats) = region.scan_with(&batch_scan, Some(&self.block_cache))?;
+        region
+            .load_counters()
+            .record_reads(1, stats.cells_scanned, stats.cells_returned);
         self.record_scan_stats(&stats, batch_scan.filter.is_some());
         self.metrics.add(&self.metrics.scanner_batches, 1);
         self.metrics
@@ -420,6 +437,30 @@ impl RegionServer {
             .add(&self.metrics.files_pruned, stats.files_pruned);
         if filtered {
             self.metrics.add(&self.metrics.filtered_scans, 1);
+        }
+    }
+
+    /// Freeze this server's current load into the heartbeat payload the
+    /// master aggregates: every hosted region's [`RegionLoad`]
+    /// (sorted by region id), the block-cache tallies, and the open
+    /// scanner-lease count.
+    ///
+    /// [`RegionLoad`]: crate::load::RegionLoad
+    pub fn server_load(&self) -> ServerLoad {
+        let mut regions: Vec<_> = self
+            .regions
+            .read()
+            .values()
+            .map(|region| region.load())
+            .collect();
+        regions.sort_by_key(|r| r.region_id);
+        ServerLoad {
+            server_id: self.server_id,
+            hostname: self.hostname.clone(),
+            regions,
+            block_cache_hits: self.block_cache.hit_count(),
+            block_cache_misses: self.block_cache.miss_count(),
+            open_scanners: self.open_scanner_count() as u64,
         }
     }
 
@@ -689,6 +730,40 @@ mod tests {
             server.next_batch(sid, 3, None).unwrap_err(),
             KvError::UnknownScanner(sid)
         );
+    }
+
+    #[test]
+    fn server_load_reflects_request_counts() {
+        let (server, rid) = server_with_region();
+        server
+            .put(
+                rid,
+                &[
+                    Put::new("a").add("cf", "q", "1"),
+                    Put::new("b").add("cf", "q", "2"),
+                ],
+                None,
+            )
+            .unwrap();
+        server.get(rid, &Get::new("a"), None).unwrap();
+        server
+            .bulk_get(rid, &[Get::new("a"), Get::new("b")], None)
+            .unwrap();
+        server.scan(rid, &Scan::new(), None).unwrap();
+        let load = server.server_load();
+        assert_eq!(load.server_id, 1);
+        assert_eq!(load.hostname, "host-1");
+        assert_eq!(load.regions.len(), 1);
+        let r = &load.regions[0];
+        assert_eq!(r.region_id, rid);
+        assert_eq!(r.table, "default:t");
+        // put batch = 2 writes; get + 2-row bulk_get + scan = 4 reads.
+        assert_eq!(r.write_requests, 2);
+        assert_eq!(r.read_requests, 4);
+        assert!(r.cells_scanned >= r.cells_returned);
+        assert!(r.cells_returned >= 4);
+        assert!(r.memstore_bytes > 0);
+        assert_eq!(load.requests(), 6);
     }
 
     #[test]

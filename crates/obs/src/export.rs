@@ -1,10 +1,10 @@
 //! Prometheus-style text exposition.
 //!
-//! The format is the classic text exposition: a `# TYPE` line per metric,
-//! plain `name value` samples for counters, and `summary`-style quantile
-//! samples plus `_sum`/`_count` for histograms. It is line-oriented on
-//! purpose so CI (and humans) can `grep` a metric name out of example
-//! output.
+//! The format is the classic text exposition: a `# HELP` line (when help
+//! text is available) and a `# TYPE` line per metric, plain `name value`
+//! samples for counters, and `summary`-style quantile samples plus
+//! `_sum`/`_count` for histograms. It is line-oriented on purpose so CI
+//! (and humans) can `grep` a metric name out of example output.
 
 use crate::hist::HistogramSnapshot;
 
@@ -19,20 +19,49 @@ impl TextExporter {
         Self::default()
     }
 
+    /// Emit a `# HELP` line. Skipped when `help` is empty; newlines are
+    /// flattened to spaces (the exposition format is line-oriented).
+    fn help_line(&mut self, name: &str, help: &str) {
+        let help = help.trim();
+        if help.is_empty() {
+            return;
+        }
+        let flat = help.replace('\n', " ");
+        self.out.push_str(&format!("# HELP {name} {flat}\n"));
+    }
+
     /// Emit one counter sample with its `# TYPE` header.
     pub fn counter(&mut self, name: &str, value: u64) {
+        self.counter_with_help(name, "", value);
+    }
+
+    /// [`counter`](Self::counter) preceded by a `# HELP` line.
+    pub fn counter_with_help(&mut self, name: &str, help: &str, value: u64) {
+        self.help_line(name, help);
         self.out.push_str(&format!("# TYPE {name} counter\n"));
         self.out.push_str(&format!("{name} {value}\n"));
     }
 
     /// Emit a gauge (used for high-water marks and ratios).
     pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauge_with_help(name, "", value);
+    }
+
+    /// [`gauge`](Self::gauge) preceded by a `# HELP` line.
+    pub fn gauge_with_help(&mut self, name: &str, help: &str, value: f64) {
+        self.help_line(name, help);
         self.out.push_str(&format!("# TYPE {name} gauge\n"));
         self.out.push_str(&format!("{name} {value}\n"));
     }
 
     /// Emit a histogram as a summary: p50/p95/p99 quantiles, sum, count, max.
     pub fn summary(&mut self, name: &str, h: &HistogramSnapshot) {
+        self.summary_with_help(name, "", h);
+    }
+
+    /// [`summary`](Self::summary) preceded by a `# HELP` line.
+    pub fn summary_with_help(&mut self, name: &str, help: &str, h: &HistogramSnapshot) {
+        self.help_line(name, help);
         self.out.push_str(&format!("# TYPE {name} summary\n"));
         for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
             self.out
@@ -50,10 +79,28 @@ impl TextExporter {
         }
     }
 
+    /// Emit every `(name, help, value)` counter triple under a common prefix.
+    pub fn counters_with_help(&mut self, prefix: &str, values: &[(&'static str, &str, u64)]) {
+        for (name, help, value) in values {
+            self.counter_with_help(&format!("{prefix}{name}"), help, *value);
+        }
+    }
+
     /// Emit every `(name, snapshot)` histogram pair under a common prefix.
     pub fn summaries(&mut self, prefix: &str, hists: &[(&'static str, HistogramSnapshot)]) {
         for (name, h) in hists {
             self.summary(&format!("{prefix}{name}"), h);
+        }
+    }
+
+    /// Emit every `(name, help, snapshot)` histogram triple under a prefix.
+    pub fn summaries_with_help(
+        &mut self,
+        prefix: &str,
+        hists: &[(&'static str, &str, HistogramSnapshot)],
+    ) {
+        for (name, help, h) in hists {
+            self.summary_with_help(&format!("{prefix}{name}"), help, h);
         }
     }
 
@@ -89,5 +136,39 @@ mod tests {
         assert!(text.contains("shc_store_rpc_latency_us{quantile=\"0.99\"} 1000\n"));
         assert!(text.contains("shc_store_rpc_latency_us_sum 10000\n"));
         assert!(text.contains("shc_store_rpc_latency_us_count 10\n"));
+    }
+
+    #[test]
+    fn help_lines_precede_type_lines() {
+        let mut e = TextExporter::new();
+        e.counter_with_help("m_events", " Things that happened. ", 7);
+        e.gauge_with_help("m_peak", "High-water\nmark.", 3.5);
+        let text = e.finish();
+        assert!(text.contains("# HELP m_events Things that happened.\n"));
+        assert!(text.contains("# HELP m_peak High-water mark.\n"));
+        let help_at = text.find("# HELP m_events").unwrap();
+        let type_at = text.find("# TYPE m_events").unwrap();
+        assert!(help_at < type_at, "HELP must precede TYPE");
+    }
+
+    #[test]
+    fn empty_help_is_omitted() {
+        let mut e = TextExporter::new();
+        e.counter_with_help("m_events", "   ", 1);
+        let text = e.finish();
+        assert!(!text.contains("# HELP"));
+        assert!(text.contains("# TYPE m_events counter\n"));
+    }
+
+    #[test]
+    fn summary_with_help_keeps_samples() {
+        let h = Histogram::new();
+        h.record(10);
+        let mut e = TextExporter::new();
+        e.summary_with_help("m_lat_us", "Latency.", &h.snapshot());
+        let text = e.finish();
+        assert!(text.contains("# HELP m_lat_us Latency.\n"));
+        assert!(text.contains("m_lat_us_sum 10\n"));
+        assert!(text.contains("m_lat_us_count 1\n"));
     }
 }

@@ -59,17 +59,17 @@ macro_rules! metrics_registry {
     (
         $(#[$struct_meta:meta])*
         pub struct $name:ident => snapshot $snap:ident {
-            counters { $( $(#[$c_meta:meta])* $counter:ident, )* }
-            watermarks { $( $(#[$w_meta:meta])* $watermark:ident, )* }
-            histograms { $( $(#[$h_meta:meta])* $hist:ident, )* }
+            counters { $( $(#[doc = $c_doc:expr])* $counter:ident, )* }
+            watermarks { $( $(#[doc = $w_doc:expr])* $watermark:ident, )* }
+            histograms { $( $(#[doc = $h_doc:expr])* $hist:ident, )* }
         }
     ) => {
         $(#[$struct_meta])*
         #[derive(Debug, Default)]
         pub struct $name {
-            $( $(#[$c_meta])* pub $counter: ::std::sync::atomic::AtomicU64, )*
-            $( $(#[$w_meta])* pub $watermark: ::std::sync::atomic::AtomicU64, )*
-            $( $(#[$h_meta])* pub $hist: $crate::hist::Histogram, )*
+            $( $(#[doc = $c_doc])* pub $counter: ::std::sync::atomic::AtomicU64, )*
+            $( $(#[doc = $w_doc])* pub $watermark: ::std::sync::atomic::AtomicU64, )*
+            $( $(#[doc = $h_doc])* pub $hist: $crate::hist::Histogram, )*
         }
 
         impl $name {
@@ -109,9 +109,9 @@ macro_rules! metrics_registry {
         /// Frozen view of the registry.
         #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
         pub struct $snap {
-            $( $(#[$c_meta])* pub $counter: u64, )*
-            $( $(#[$w_meta])* pub $watermark: u64, )*
-            $( $(#[$h_meta])* pub $hist: $crate::hist::HistogramSnapshot, )*
+            $( $(#[doc = $c_doc])* pub $counter: u64, )*
+            $( $(#[doc = $w_doc])* pub $watermark: u64, )*
+            $( $(#[doc = $h_doc])* pub $hist: $crate::hist::HistogramSnapshot, )*
         }
 
         impl $snap {
@@ -145,16 +145,22 @@ macro_rules! metrics_registry {
             /// Render this snapshot as Prometheus-style text exposition with
             /// every metric name prefixed by `prefix`. Counters export as
             /// `counter`, watermarks as `gauge`, histograms as `summary`.
+            /// Each metric's doc comment becomes its `# HELP` line.
             pub fn exposition(&self, prefix: &str) -> ::std::string::String {
                 let mut e = $crate::export::TextExporter::new();
-                e.counters(prefix, &[ $( (stringify!($counter), self.$counter), )* ]);
+                e.counters_with_help(prefix, &[ $(
+                    (stringify!($counter), concat!($($c_doc),*), self.$counter),
+                )* ]);
                 $(
-                    e.gauge(
+                    e.gauge_with_help(
                         &::std::format!("{prefix}{}", stringify!($watermark)),
+                        concat!($($w_doc),*),
                         self.$watermark as f64,
                     );
                 )*
-                e.summaries(prefix, &self.histogram_values());
+                e.summaries_with_help(prefix, &[ $(
+                    (stringify!($hist), concat!($($h_doc),*), self.$hist),
+                )* ]);
                 e.finish()
             }
         }
@@ -241,5 +247,16 @@ mod tests {
         assert!(text.contains("test_alpha 1\n"));
         assert!(text.contains("# TYPE test_lat_us summary\n"));
         assert!(text.contains("test_lat_us_count 1\n"));
+    }
+
+    #[test]
+    fn exposition_derives_help_from_doc_comments() {
+        let text = TestSnapshot::default().exposition("test_");
+        assert!(text.contains("# HELP test_alpha a\n"));
+        assert!(text.contains("# HELP test_high_water peak\n"));
+        assert!(text.contains("# HELP test_lat_us latency\n"));
+        let help_at = text.find("# HELP test_alpha").unwrap();
+        let type_at = text.find("# TYPE test_alpha").unwrap();
+        assert!(help_at < type_at);
     }
 }

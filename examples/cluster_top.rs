@@ -1,0 +1,160 @@
+//! `top` for the simulated cluster — the introspection tour.
+//!
+//! Builds a pre-split table, drives a deliberately skewed workload at it
+//! (most reads hammer the first region), then answers "where is the load?"
+//! entirely through SQL over the `system.*` virtual tables:
+//!
+//! 1. the hottest regions, ranked (`system.regions`);
+//! 2. per-server totals with block-cache and scanner counts
+//!    (`system.servers`);
+//! 3. the slow-query log with per-query RPC attribution
+//!    (`system.queries`).
+//!
+//! Every number comes from the store's own load accounting, reported to
+//! the master over virtual-clock heartbeats and aggregated into
+//! `ClusterStatus` — the SQL layer never touches kvstore types.
+//!
+//! Run with: `cargo run --release --example cluster_top`
+
+use shc::core::error::{Result, ShcError};
+use shc::kvstore::client::Connection;
+use shc::kvstore::network::NetworkSim;
+use shc::kvstore::types::{FamilyDescriptor, Get, Put, Scan, TableDescriptor, TableName};
+use shc::prelude::*;
+use std::ops::Bound;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 3,
+        network: NetworkSim::gigabit(),
+        ..Default::default()
+    });
+    // Four regions: [-inf,0100) [0100,0200) [0200,0300) [0300,+inf).
+    cluster.create_table(
+        TableDescriptor::new(TableName::default_ns("events"))
+            .with_family(FamilyDescriptor::new("cf"))
+            .with_split_keys(vec!["0100".into(), "0200".into(), "0300".into()]),
+    )?;
+
+    // Skewed workload: uniform writes, then reads where 70% of gets and
+    // every scan land on the first region.
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let events = conn.table(TableName::default_ns("events"));
+    for i in 0..400 {
+        events.put(Put::new(format!("{i:04}")).add("cf", "count", format!("{}", i % 7)))?;
+    }
+    for i in 0..600u64 {
+        let key = if i % 10 < 7 { i % 100 } else { 100 + i % 300 };
+        events.get(Get::new(format!("{key:04}")))?;
+    }
+    for _ in 0..5 {
+        events.scan(&Scan::new().with_range(Bound::Unbounded, Bound::Excluded("0100".into())))?;
+    }
+
+    // A session wired for introspection: system.* tables, the RPC probe,
+    // and a slow threshold low enough that full scans get flagged.
+    let session = Session::new(SessionConfig {
+        slow_query_threshold_us: 500,
+        ..Default::default()
+    });
+    register_system_tables(&session, &cluster);
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::new(HBaseTableCatalog::parse_simple(
+            r#"{"table":{"namespace":"default","name":"events"},
+                "rowkey":"key",
+                "columns":{
+                  "key":{"cf":"rowkey","col":"key","type":"string"},
+                  "count":{"cf":"cf","col":"count","type":"string"}}}"#,
+        )?),
+        SHCConf::default(),
+        "events",
+    );
+
+    // A query heavy enough to go slow: full scan through the connector.
+    let sql = |q: &str| {
+        session
+            .sql(q)
+            .map_err(ShcError::from)?
+            .collect()
+            .map_err(ShcError::from)
+    };
+    let total = sql("SELECT COUNT(*) FROM events")?;
+    println!("events rows: {}\n", total[0].get(0).as_i64().unwrap_or(0));
+
+    // The marquee query from the issue: load by server, in SQL.
+    println!("read requests by server (SELECT server, SUM(read_requests) FROM system.regions GROUP BY server ORDER BY 2 DESC):");
+    for row in sql("SELECT server, SUM(read_requests) FROM system.regions \
+         GROUP BY server ORDER BY 2 DESC")?
+    {
+        println!(
+            "  {:<8} {:>6}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1).as_i64().unwrap_or(0)
+        );
+    }
+
+    println!("\nhottest regions (system.regions, by read_requests):");
+    for row in sql(
+        "SELECT region_id, table_name, server, read_requests, write_requests, \
+                cells_returned, memstore_bytes \
+         FROM system.regions ORDER BY 4 DESC",
+    )? {
+        println!(
+            "system.regions | region={} table={} server={} reads={} writes={} cells_returned={} memstore_bytes={}",
+            row.get(0).as_i64().unwrap_or(0),
+            row.get(1).as_str().unwrap_or("?"),
+            row.get(2).as_str().unwrap_or("?"),
+            row.get(3).as_i64().unwrap_or(0),
+            row.get(4).as_i64().unwrap_or(0),
+            row.get(5).as_i64().unwrap_or(0),
+            row.get(6).as_i64().unwrap_or(0),
+        );
+    }
+
+    println!("\nservers (system.servers):");
+    for row in sql(
+        "SELECT hostname, live, regions, read_requests, write_requests, \
+                block_cache_hits, block_cache_misses \
+         FROM system.servers ORDER BY hostname",
+    )? {
+        println!(
+            "system.servers | host={} live={} regions={} reads={} writes={} cache_hits={} cache_misses={}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1),
+            row.get(2).as_i64().unwrap_or(0),
+            row.get(3).as_i64().unwrap_or(0),
+            row.get(4).as_i64().unwrap_or(0),
+            row.get(5).as_i64().unwrap_or(0),
+            row.get(6).as_i64().unwrap_or(0),
+        );
+    }
+
+    // ClusterStatus' own hottest-region call, for comparison with the SQL.
+    if let Some(hot) = cluster.cluster_status().hottest_region {
+        println!(
+            "\nhottest region (ClusterStatus): region {} on {} with {} requests",
+            hot.load.region_id,
+            hot.hostname,
+            hot.load.requests()
+        );
+    }
+
+    println!("\nslow queries (session query log, threshold 500 virtual µs):");
+    for entry in session.query_log().entries() {
+        if entry.slow {
+            println!(
+                "slow-query | id={} duration_us={} rpcs={} rows={} digest={} sql={}",
+                entry.id,
+                entry.duration_us,
+                entry.rpc_count,
+                entry.rows_returned,
+                entry.plan_digest,
+                entry.sql
+            );
+        }
+    }
+    Ok(())
+}
