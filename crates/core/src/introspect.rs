@@ -17,12 +17,16 @@
 //! | `system.tables`  | table, rolled up over live servers             |
 //! | `system.metrics` | scalar metric in either registry, prefixed     |
 //! | `system.queries` | retained query-log entry (slow ones flagged)   |
+//! | `system.events`  | flight-recorder event (store + query journals) |
+//! | `system.alerts`  | alert rule, evaluated at scan time             |
 
+use parking_lot::Mutex;
 use shc_engine::prelude::*;
 use shc_engine::system::{SystemCatalog, SystemTable};
 use shc_kvstore::cluster::HBaseCluster;
 use shc_kvstore::load::RegionLoad;
 use shc_kvstore::metrics::EXPOSITION_PREFIX as STORE_PREFIX;
+use shc_obs::{AlertRule, Comparison, Event};
 use std::sync::Arc;
 
 /// Render a region boundary key for display: UTF-8 where possible, with a
@@ -115,12 +119,52 @@ fn queries_schema() -> Schema {
         Field::new("rows_returned", DataType::Int64),
         Field::new("rpc_count", DataType::Int64),
         Field::new("slow", DataType::Boolean),
+        Field::new("trace_id", DataType::Utf8),
     ])
 }
 
-/// Register the five `system.*` virtual tables on `session`, backed by
-/// `cluster`, and install the RPC probe that lets the query log attribute
-/// store RPCs to individual queries. Returns the registered table names.
+fn events_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("source", DataType::Utf8),
+        Field::new("seq", DataType::Int64),
+        Field::new("timestamp", DataType::Int64),
+        Field::new("severity", DataType::Utf8),
+        Field::new("category", DataType::Utf8),
+        Field::new("trace_id", DataType::Utf8),
+        Field::new("message", DataType::Utf8),
+    ])
+}
+
+fn event_row(source: &str, e: &Event) -> Row {
+    Row::new(vec![
+        Value::Utf8(source.to_string()),
+        Value::Int64(e.seq as i64),
+        Value::Int64(e.timestamp as i64),
+        Value::Utf8(e.severity.as_str().to_string()),
+        Value::Utf8(e.category.to_string()),
+        Value::Utf8(format!("{:#x}", e.trace_id)),
+        Value::Utf8(e.message.clone()),
+    ])
+}
+
+fn alerts_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("name", DataType::Utf8),
+        Field::new("state", DataType::Utf8),
+        Field::new("comparison", DataType::Utf8),
+        Field::new("threshold", DataType::Float64),
+        Field::new("value", DataType::Float64),
+        Field::new("breaching_since_ms", DataType::Int64),
+        Field::new("fired_count", DataType::Int64),
+        Field::new("exemplar_trace_id", DataType::Utf8),
+    ])
+}
+
+/// Register the seven `system.*` virtual tables on `session`, backed by
+/// `cluster`, install the RPC probe that lets the query log attribute
+/// store RPCs to individual queries, and add the two default alert rules
+/// (`block_cache_hit_ratio_low`, `task_retry_spike`) to the session's
+/// alert engine. Returns the registered table names.
 ///
 /// Call once per (session, cluster) pair — typically right after the
 /// session's user tables are registered.
@@ -129,6 +173,7 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
         let cluster = Arc::clone(cluster);
         session.set_rpc_probe(move || cluster.metrics.snapshot().rpc_count);
     }
+    register_default_alerts(session, cluster);
 
     let regions_cluster = Arc::clone(cluster);
     let servers_cluster = Arc::clone(cluster);
@@ -136,6 +181,10 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
     let metrics_cluster = Arc::clone(cluster);
     let query_metrics = Arc::clone(&session.metrics);
     let query_log = Arc::clone(session.query_log());
+    let events_cluster = Arc::clone(cluster);
+    let session_events = Arc::clone(session.events());
+    let alerts_engine = Arc::clone(session.alerts());
+    let alerts_cluster = Arc::clone(cluster);
 
     let catalog = SystemCatalog::new()
         .with_table(SystemTable::new(
@@ -234,6 +283,50 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
                             Value::Int64(e.rows_returned as i64),
                             Value::Int64(e.rpc_count as i64),
                             Value::Boolean(e.slow),
+                            Value::Utf8(format!("{:#x}", e.trace_id)),
+                        ])
+                    })
+                    .collect()
+            },
+        ))
+        .with_table(SystemTable::new(
+            "system.events",
+            events_schema(),
+            move || {
+                // Store-layer journal first, then the session's own journal,
+                // each in seq order — one flight recorder per layer, merged at
+                // the SQL boundary exactly like the metric registries.
+                let mut rows = Vec::new();
+                for e in events_cluster.events().events() {
+                    rows.push(event_row("store", &e));
+                }
+                for e in session_events.events() {
+                    rows.push(event_row("query", &e));
+                }
+                rows
+            },
+        ))
+        .with_table(SystemTable::new(
+            "system.alerts",
+            alerts_schema(),
+            move || {
+                // Scanning the table evaluates the rules at the cluster's
+                // current virtual time — the same observe-by-querying contract
+                // as the heartbeat round behind `system.regions`.
+                alerts_engine.evaluate(alerts_cluster.clock.peek_ms());
+                alerts_engine
+                    .statuses()
+                    .iter()
+                    .map(|s| {
+                        Row::new(vec![
+                            Value::Utf8(s.name.clone()),
+                            Value::Utf8(s.state.as_str().to_string()),
+                            Value::Utf8(s.comparison.as_str().to_string()),
+                            Value::Float64(s.threshold),
+                            s.value.map(Value::Float64).unwrap_or(Value::Null),
+                            Value::Int64(s.breaching_since_ms as i64),
+                            Value::Int64(s.fired_count as i64),
+                            Value::Utf8(format!("{:#x}", s.exemplar_trace_id)),
                         ])
                     })
                     .collect()
@@ -242,6 +335,52 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
     let names = catalog.names();
     catalog.register(session);
     names
+}
+
+/// Install the default alert rules on the session's alert engine:
+///
+/// * `block_cache_hit_ratio_low` — fires when the cluster-wide block-cache
+///   hit ratio drops below 0.5 (idle caches read as healthy). Its exemplar
+///   is the latest TraceId recorded against the RPC latency histogram, so a
+///   firing alert points at a concrete exportable trace.
+/// * `task_retry_spike` — fires when scheduler tasks retried since the
+///   previous evaluation (a delta, so the alert clears once retries stop).
+fn register_default_alerts(session: &Arc<Session>, cluster: &Arc<HBaseCluster>) {
+    let alerts = session.alerts();
+
+    let ratio_cluster = Arc::clone(cluster);
+    let exemplar_cluster = Arc::clone(cluster);
+    alerts.add_rule(
+        AlertRule::new(
+            "block_cache_hit_ratio_low",
+            Comparison::Below,
+            0.5,
+            0,
+            move || ratio_cluster.metrics.snapshot().block_cache_hit_ratio(),
+        )
+        .with_exemplar(move || {
+            exemplar_cluster
+                .metrics
+                .rpc_latency_us
+                .latest_tail_exemplar()
+        }),
+    );
+
+    let retry_metrics = Arc::clone(&session.metrics);
+    let prev_retries = Mutex::new(0u64);
+    alerts.add_rule(AlertRule::new(
+        "task_retry_spike",
+        Comparison::Above,
+        0.0,
+        0,
+        move || {
+            let current = retry_metrics.snapshot().task_retries;
+            let mut prev = prev_retries.lock();
+            let delta = current.saturating_sub(*prev);
+            *prev = current;
+            Some(delta as f64)
+        },
+    ));
 }
 
 #[cfg(test)]
@@ -275,7 +414,7 @@ mod tests {
         }
         let session = Session::new_default();
         let names = register_system_tables(&session, &cluster);
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 7);
 
         let rows = session
             .sql("SELECT table_name, SUM(write_requests) FROM system.regions GROUP BY table_name")
@@ -340,5 +479,60 @@ mod tests {
         assert_eq!(logged.len(), 1);
         assert_eq!(logged[0].get(0).as_str(), Some("SELECT col0 FROM t"));
         assert!(logged[0].get(1).as_i64().unwrap() >= 1, "scan issued RPCs");
+
+        // The logged query carries a non-zero trace id, joinable to its
+        // events and its exportable trace.
+        let traced = session
+            .sql("SELECT trace_id FROM system.queries")
+            .unwrap()
+            .collect()
+            .unwrap();
+        let trace_id = traced[0].get(0).as_str().unwrap().to_string();
+        assert!(trace_id.starts_with("0x") && trace_id != "0x0");
+    }
+
+    #[test]
+    fn system_events_surfaces_store_journal() {
+        let cluster = cluster_with_table();
+        // Force a region split so the master journals an event.
+        let conn = Connection::open(Arc::clone(&cluster), None);
+        let table = conn.table(TableName::default_ns("t"));
+        for i in 0..8 {
+            table
+                .put(Put::new(format!("r{i}")).add("cf", "q", "v"))
+                .unwrap();
+        }
+        let name = TableName::default_ns("t");
+        let region_id = cluster.master.regions_of(&name).unwrap()[0].info.region_id;
+        cluster.master.split_region(&name, region_id).unwrap();
+
+        let session = Session::new_default();
+        register_system_tables(&session, &cluster);
+        let rows = session
+            .sql("SELECT source, category, message FROM system.events WHERE category = 'region'")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert!(!rows.is_empty(), "split should have journaled an event");
+        assert_eq!(rows[0].get(0).as_str(), Some("store"));
+        assert!(rows[0].get(2).as_str().unwrap().contains("split region"));
+    }
+
+    #[test]
+    fn system_alerts_evaluates_default_rules_at_scan_time() {
+        let cluster = cluster_with_table();
+        let session = Session::new_default();
+        register_system_tables(&session, &cluster);
+        let rows = session
+            .sql("SELECT name, state FROM system.alerts ORDER BY name")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0).as_str(), Some("block_cache_hit_ratio_low"));
+        // Nothing has read a block and no task retried: both rules healthy.
+        assert_eq!(rows[0].get(1).as_str(), Some("ok"));
+        assert_eq!(rows[1].get(0).as_str(), Some("task_retry_spike"));
+        assert_eq!(rows[1].get(1).as_str(), Some("ok"));
     }
 }

@@ -168,21 +168,38 @@ impl DataFrame {
             return physical::collect(&plan, &ctx);
         }
         let rpc_before = self.session.rpc_probe_value();
-        let tracer = shc_obs::Tracer::new();
-        let rows = {
-            let _root = tracer.root("query");
-            physical::collect(&plan, &ctx)?
+        let trace_id = self.session.mint_trace_id();
+        let tracer = shc_obs::Tracer::with_id(trace_id);
+        tracer.attach_journal(Arc::clone(self.session.events()));
+        let result = {
+            let mut root = tracer.root("query");
+            root.annotate("trace_id", format_args!("{trace_id:#x}"));
+            physical::collect(&plan, &ctx)
         };
         let duration_us = tracer.now_us();
         let rpcs = self.session.rpc_probe_value().saturating_sub(rpc_before);
-        self.session.record_query(
-            self.sql_text.as_deref(),
-            &plan,
-            duration_us,
-            rows.len() as u64,
-            rpcs,
-        );
-        Ok(rows)
+        match result {
+            Ok(rows) => {
+                self.session.record_query(
+                    self.sql_text.as_deref(),
+                    &plan,
+                    duration_us,
+                    rows.len() as u64,
+                    rpcs,
+                    trace_id,
+                );
+                self.session.store_trace(tracer.finish());
+                Ok(rows)
+            }
+            Err(e) => {
+                // Errored queries leave a journaled record and an automatic
+                // flight-recorder dump; the partial trace stays resolvable.
+                self.session
+                    .note_query_error(trace_id, duration_us, &e.to_string());
+                self.session.store_trace(tracer.finish());
+                Err(e)
+            }
+        }
     }
 
     /// Optimize and execute under a fresh [`shc_obs::Tracer`], recording
@@ -194,9 +211,12 @@ impl DataFrame {
         let plan = self.optimized_plan()?;
         let ctx = self.session.exec_context();
         let rpc_before = self.session.rpc_probe_value();
-        let tracer = shc_obs::Tracer::new();
+        let trace_id = self.session.mint_trace_id();
+        let tracer = shc_obs::Tracer::with_id(trace_id);
+        tracer.attach_journal(Arc::clone(self.session.events()));
         let (rows, profile) = {
-            let _root = tracer.root("query");
+            let mut root = tracer.root("query");
+            root.annotate("trace_id", format_args!("{trace_id:#x}"));
             physical::collect_profiled(&plan, &ctx)?
         };
         let duration_us = tracer.now_us();
@@ -207,8 +227,10 @@ impl DataFrame {
             duration_us,
             rows.len() as u64,
             rpcs,
+            trace_id,
         );
         let trace = tracer.finish();
+        self.session.store_trace(trace.clone());
         attach_region_attribution(&profile, &trace);
         Ok(QueryAnalysis {
             rows,

@@ -32,6 +32,9 @@ pub struct QueryLogEntry {
     /// True when `duration_us` exceeded the session's slow-query threshold
     /// at record time.
     pub slow: bool,
+    /// TraceId minted for this execution (0 when tracing was off). Joins
+    /// this entry to its `system.events` rows and its exportable trace.
+    pub trace_id: u64,
 }
 
 /// Bounded ring buffer of [`QueryLogEntry`], shared by session and system
@@ -119,6 +122,7 @@ mod tests {
             rows_returned: 1,
             rpc_count: 2,
             slow,
+            trace_id: 0,
         }
     }
 

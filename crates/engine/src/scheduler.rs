@@ -179,6 +179,9 @@ pub fn run_tasks(
                                 sp.annotate("host", &host);
                                 sp.annotate("attempt", slot.attempts + 1);
                                 sp.annotate("local", local);
+                                if let Some(tid) = shc_obs::trace::current_trace_id() {
+                                    sp.annotate("trace_id", format_args!("{tid:#x}"));
+                                }
                             }
                             // Task duration on the trace's deterministic
                             // clock (recorded only while tracing — there is
@@ -200,6 +203,19 @@ pub fn run_tasks(
                                     // with the task in flight.
                                     slot.attempts += 1;
                                     metrics.add(&metrics.task_retries, 1);
+                                    // Journaled ambiently through the active
+                                    // tracer's attached flight recorder, so
+                                    // the scheduler needs no journal handle.
+                                    shc_obs::trace::record_event(
+                                        shc_obs::Severity::Warn,
+                                        "scheduler",
+                                        format!(
+                                            "task {} retry (attempt {} of {})",
+                                            slot.index,
+                                            slot.attempts + 1,
+                                            slot.retries + 1
+                                        ),
+                                    );
                                     any_queue.lock().push_back(slot);
                                 }
                                 outcome => {

@@ -12,8 +12,10 @@ use crate::parser::parse;
 use crate::physical::ExecContext;
 use crate::query_log::{plan_digest, QueryLog, QueryLogEntry};
 use crate::scheduler::ExecutorConfig;
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use parking_lot::{Mutex, RwLock};
+use shc_obs::{AlertEngine, EventJournal, Severity, Trace};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Session-level configuration.
@@ -59,6 +61,20 @@ pub struct Session {
     /// this session to a cluster. The query log diffs it around each
     /// execution to attribute RPCs per query.
     rpc_probe: RwLock<Option<Box<dyn Fn() -> u64 + Send + Sync>>>,
+    /// TraceId mint: one id per `collect()`, starting at 1 (0 = untraced).
+    next_trace_id: AtomicU64,
+    /// Query-layer flight recorder (scheduler retries, slow queries, query
+    /// errors); `system.events` merges it with the cluster's journal.
+    events: Arc<EventJournal>,
+    /// Threshold alert rules, evaluated on demand (`system.alerts` scans).
+    alerts: Arc<AlertEngine>,
+    /// Finished traces of recent queries, keyed by TraceId through
+    /// [`trace_for`](Self::trace_for) — what makes a slow query's TraceId
+    /// resolvable to an exportable Chrome trace.
+    traces: Mutex<VecDeque<Trace>>,
+    /// Flight-recorder dump captured when the most recent query errored or
+    /// tripped the slow threshold.
+    last_event_dump: Mutex<Option<String>>,
 }
 
 impl Session {
@@ -71,6 +87,11 @@ impl Session {
             metrics: QueryMetrics::new(),
             query_log,
             rpc_probe: RwLock::new(None),
+            next_trace_id: AtomicU64::new(1),
+            events: EventJournal::new(1024),
+            alerts: AlertEngine::new(),
+            traces: Mutex::new(VecDeque::new()),
+            last_event_dump: Mutex::new(None),
         })
     }
 
@@ -140,8 +161,72 @@ impl Session {
         self.rpc_probe.read().as_ref().map(|p| p()).unwrap_or(0)
     }
 
+    /// This session's flight recorder (also backing `system.events`).
+    pub fn events(&self) -> &Arc<EventJournal> {
+        &self.events
+    }
+
+    /// This session's alert engine (also backing `system.alerts`).
+    pub fn alerts(&self) -> &Arc<AlertEngine> {
+        &self.alerts
+    }
+
+    /// Mint a fresh TraceId for one execution. Deterministic: ids count up
+    /// from 1 in collect order.
+    pub fn mint_trace_id(&self) -> u64 {
+        self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Remember a finished trace so its TraceId stays resolvable (bounded
+    /// by the query-log capacity; oldest evicted first).
+    pub fn store_trace(&self, trace: Trace) {
+        let capacity = self.query_log.capacity();
+        if capacity == 0 {
+            return;
+        }
+        let mut traces = self.traces.lock();
+        if traces.len() == capacity {
+            traces.pop_front();
+        }
+        traces.push_back(trace);
+    }
+
+    /// Resolve a TraceId recorded in `system.queries` to its trace.
+    pub fn trace_for(&self, trace_id: u64) -> Option<Trace> {
+        self.traces
+            .lock()
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// The most recently stored trace, if any.
+    pub fn last_trace(&self) -> Option<Trace> {
+        self.traces.lock().back().cloned()
+    }
+
+    /// The flight-recorder dump captured by the most recent slow or errored
+    /// query (cleared and re-captured per incident).
+    pub fn last_event_dump(&self) -> Option<String> {
+        self.last_event_dump.lock().clone()
+    }
+
+    /// Journal a failed execution and capture a flight-recorder dump — the
+    /// "automatic dump on error" path.
+    pub(crate) fn note_query_error(&self, trace_id: u64, duration_us: u64, error: &str) {
+        self.events.record_with_trace(
+            Severity::Error,
+            "query",
+            duration_us,
+            format!("query failed: {error}"),
+            trace_id,
+        );
+        *self.last_event_dump.lock() = Some(self.events.render());
+    }
+
     /// Append one execution to the query log, flagging it slow when its
-    /// virtual duration exceeds the configured threshold. Returns the
+    /// virtual duration exceeds the configured threshold. Slow queries are
+    /// journaled and trigger an automatic flight-recorder dump. Returns the
     /// assigned entry id (0 when logging is disabled).
     pub(crate) fn record_query(
         &self,
@@ -150,9 +235,10 @@ impl Session {
         duration_us: u64,
         rows_returned: u64,
         rpc_count: u64,
+        trace_id: u64,
     ) -> u64 {
         let slow = duration_us > self.config.read().slow_query_threshold_us;
-        self.query_log.record(QueryLogEntry {
+        let id = self.query_log.record(QueryLogEntry {
             id: 0,
             sql: sql.unwrap_or("<dataframe>").to_string(),
             plan_digest: plan_digest(&plan.explain()),
@@ -160,7 +246,19 @@ impl Session {
             rows_returned,
             rpc_count,
             slow,
-        })
+            trace_id,
+        });
+        if slow {
+            self.events.record_with_trace(
+                Severity::Warn,
+                "query",
+                duration_us,
+                format!("slow query id={id} duration_us={duration_us} rpc_count={rpc_count}"),
+                trace_id,
+            );
+            *self.last_event_dump.lock() = Some(self.events.render());
+        }
+        id
     }
 
     /// A DataFrame over a registered table.

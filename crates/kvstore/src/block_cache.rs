@@ -11,9 +11,11 @@
 //! the map, so eviction order depends only on the access sequence — no
 //! wall-clock reads, keeping traces and metrics deterministic.
 
+use crate::clock::Clock;
 use crate::metrics::ClusterMetrics;
 use crate::storefile::{Block, StoreFile};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use shc_obs::events::{EventJournal, Severity};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,6 +29,9 @@ pub struct BlockCache {
     /// cache in the process, these feed the owning server's `ServerLoad`.
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Flight recorder + cluster clock; eviction pressure leaves a
+    /// journaled record when attached.
+    events: RwLock<Option<(Arc<EventJournal>, Clock)>>,
 }
 
 struct CacheInner {
@@ -65,7 +70,14 @@ impl BlockCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            events: RwLock::new(None),
         }
+    }
+
+    /// Attach the cluster's flight recorder; evictions are journaled as
+    /// `block-cache` events from then on.
+    pub fn attach_events(&self, journal: Arc<EventJournal>, clock: Clock) {
+        *self.events.write() = Some((journal, clock));
     }
 
     pub fn capacity_bytes(&self) -> usize {
@@ -143,6 +155,14 @@ impl BlockCache {
         if evictions > 0 {
             self.metrics
                 .add(&self.metrics.block_cache_evictions, evictions);
+            if let Some((journal, clock)) = self.events.read().as_ref() {
+                journal.record(
+                    Severity::Warn,
+                    "block-cache",
+                    clock.peek_ms(),
+                    format!("evicted {evictions} block(s) under capacity pressure"),
+                );
+            }
         }
         (block, false)
     }

@@ -23,7 +23,12 @@ use std::time::Duration;
 /// latency *is* the modeled cost).
 fn charge_rpc(cluster: &HBaseCluster, cost: Duration) {
     let us = cost.as_micros() as u64;
-    cluster.metrics.rpc_latency_us.record(us);
+    // The active query's TraceId (if any) becomes the sample's bucket
+    // exemplar, so a tail quantile links back to one exportable trace.
+    cluster
+        .metrics
+        .rpc_latency_us
+        .record_with_exemplar(us, trace::current_trace_id().unwrap_or(0));
     trace::advance_us(us);
     cluster.network().charge(cost);
 }

@@ -33,6 +33,9 @@ pub struct ClusterConfig {
     /// Per-region-server block cache capacity in bytes. Zero disables
     /// caching (every block read counts as a miss).
     pub block_cache_bytes: usize,
+    /// Capacity of the cluster's flight-recorder event journal (oldest
+    /// events are evicted first). Zero disables event recording.
+    pub event_journal_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -45,6 +48,7 @@ impl Default for ClusterConfig {
             secure_token_lifetime_ms: None,
             fault_seed: 0,
             block_cache_bytes: 8 << 20,
+            event_journal_capacity: 1024,
         }
     }
 }
@@ -62,6 +66,10 @@ pub struct HBaseCluster {
     pub clock: Clock,
     pub security: Option<Arc<TokenService>>,
     faults: Arc<FaultInjector>,
+    /// Cluster-wide flight recorder: master transitions, WAL replays,
+    /// scanner lease expirations, block-cache pressure, and injected faults
+    /// all land here, timestamped on the cluster's logical clock.
+    events: Arc<shc_obs::EventJournal>,
 }
 
 impl HBaseCluster {
@@ -93,9 +101,12 @@ impl HBaseCluster {
             .collect();
         let servers = Arc::new(RwLock::new(servers));
         let faults = FaultInjector::new(config.fault_seed, Arc::clone(&metrics));
+        let events = shc_obs::EventJournal::new(config.event_journal_capacity);
         for server in servers.read().iter() {
             server.attach_fault_injector(Arc::clone(&faults));
+            server.attach_event_journal(Arc::clone(&events));
         }
+        faults.attach_events(Arc::clone(&events), clock.clone());
         let master = Arc::new(Master::new(
             Arc::clone(&zk),
             Arc::clone(&servers),
@@ -103,6 +114,7 @@ impl HBaseCluster {
             clock.clone(),
             Arc::clone(&metrics),
         ));
+        master.attach_event_journal(Arc::clone(&events));
         static NEXT_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Arc::new(HBaseCluster {
             instance_id: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
@@ -114,6 +126,7 @@ impl HBaseCluster {
             clock,
             security,
             faults,
+            events,
         })
     }
 
@@ -217,6 +230,11 @@ impl HBaseCluster {
     /// The cluster-wide fault injector (inert unless rules are registered).
     pub fn faults(&self) -> &Arc<FaultInjector> {
         &self.faults
+    }
+
+    /// The cluster's flight recorder (see [`shc_obs::EventJournal`]).
+    pub fn events(&self) -> &Arc<shc_obs::EventJournal> {
+        &self.events
     }
 }
 

@@ -12,9 +12,11 @@
 //! immediately before the n-th matching RPC executes. Hooks are how tests
 //! force region moves or splits at a precise point mid-scan.
 
+use crate::clock::Clock;
 use crate::error::{KvError, Result};
 use crate::metrics::ClusterMetrics;
 use parking_lot::{Mutex, RwLock};
+use shc_obs::events::{EventJournal, Severity};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -163,6 +165,10 @@ pub struct FaultInjector {
     hooks: RwLock<Vec<Arc<Hook>>>,
     active: AtomicBool,
     metrics: Arc<ClusterMetrics>,
+    /// Flight recorder + cluster clock, attached after construction (the
+    /// same late-binding pattern region servers use for the injector
+    /// itself). Every fired fault is journaled with a virtual-ms timestamp.
+    events: RwLock<Option<(Arc<EventJournal>, Clock)>>,
 }
 
 impl std::fmt::Debug for FaultInjector {
@@ -183,7 +189,14 @@ impl FaultInjector {
             hooks: RwLock::new(Vec::new()),
             active: AtomicBool::new(false),
             metrics,
+            events: RwLock::new(None),
         })
+    }
+
+    /// Attach the cluster's flight recorder so fired faults leave a
+    /// journaled record alongside the `faults_injected` counter.
+    pub fn attach_events(&self, journal: Arc<EventJournal>, clock: Clock) {
+        *self.events.write() = Some((journal, clock));
     }
 
     /// Register a rule; returns a handle for inspecting its fire count.
@@ -259,6 +272,17 @@ impl FaultInjector {
             }
             rule.fired.fetch_add(1, Ordering::Relaxed);
             self.metrics.add(&self.metrics.faults_injected, 1);
+            if let Some((journal, clock)) = self.events.read().as_ref() {
+                journal.record(
+                    Severity::Warn,
+                    "fault",
+                    clock.peek_ms(),
+                    format!(
+                        "injected {:?} on {:?} server={server_id} region={region_id}",
+                        rule.kind, op
+                    ),
+                );
+            }
             match rule.kind {
                 FaultKind::Drop | FaultKind::Timeout => {
                     return Err(KvError::RpcTimeout { server_id });

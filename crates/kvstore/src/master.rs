@@ -50,6 +50,9 @@ pub struct Master {
     heartbeats: RwLock<HashMap<u64, (ServerLoad, u64)>>,
     /// Heartbeats older than this many virtual ms mark the server dead.
     heartbeat_timeout_ms: AtomicU64,
+    /// Optional flight recorder; splits, moves, failovers, and reassignments
+    /// are journaled when attached.
+    events: RwLock<Option<Arc<shc_obs::EventJournal>>>,
 }
 
 /// Default staleness window before a silent server is declared dead.
@@ -75,6 +78,19 @@ impl Master {
             metrics,
             heartbeats: RwLock::new(HashMap::new()),
             heartbeat_timeout_ms: AtomicU64::new(DEFAULT_HEARTBEAT_TIMEOUT_MS),
+            events: RwLock::new(None),
+        }
+    }
+
+    /// Attach the cluster's flight recorder; region lifecycle transitions
+    /// are journaled with virtual-ms timestamps from then on.
+    pub fn attach_event_journal(&self, journal: Arc<shc_obs::EventJournal>) {
+        *self.events.write() = Some(journal);
+    }
+
+    fn journal(&self, severity: shc_obs::Severity, category: &'static str, message: String) {
+        if let Some(journal) = self.events.read().as_ref() {
+            journal.record(severity, category, self.clock.peek_ms(), message);
         }
     }
 
@@ -284,7 +300,16 @@ impl Master {
                 ],
             );
             Ok(())
-        })
+        })?;
+        self.journal(
+            shc_obs::Severity::Info,
+            "region",
+            format!(
+                "split region {region_id} into {left_id}+{right_id} on server {}",
+                loc.server_id
+            ),
+        );
+        Ok(())
     }
 
     /// Administratively move one region to a target server, flushing it
@@ -329,7 +354,13 @@ impl Master {
                 loc.hostname = dst_host;
             }
             Ok(())
-        })
+        })?;
+        self.journal(
+            shc_obs::Severity::Info,
+            "region",
+            format!("moved region {region_id} from server {src_id} to server {dest_server_id}"),
+        );
+        Ok(())
     }
 
     /// Even out region counts across servers by moving regions from the most
@@ -498,11 +529,24 @@ impl Master {
             ));
         }
         let mut moved = 0;
+        self.journal(
+            shc_obs::Severity::Error,
+            "failover",
+            format!(
+                "server {dead_server_id} declared dead; reassigning {} region(s)",
+                dead.region_ids().len()
+            ),
+        );
         for (i, region_id) in dead.region_ids().into_iter().enumerate() {
             let region = dead.region(region_id)?;
             // WAL replay works on a closed log; flush truncates it.
             let _ = region.recover_from_wal();
             self.metrics.add(&self.metrics.wal_replays, 1);
+            self.journal(
+                shc_obs::Severity::Info,
+                "wal",
+                format!("replayed WAL for region {region_id} of dead server {dead_server_id}"),
+            );
             region.flush()?;
             dead.close_region(region_id);
             let dst = &live[i % live.len()];
@@ -525,6 +569,14 @@ impl Master {
                 Ok(())
             })?;
             self.metrics.add(&self.metrics.regions_reassigned, 1);
+            self.journal(
+                shc_obs::Severity::Info,
+                "region",
+                format!(
+                    "region {region_id} reassigned from server {dead_server_id} to server {}",
+                    dst.server_id
+                ),
+            );
             moved += 1;
         }
         Ok(moved)

@@ -64,6 +64,9 @@ pub struct RegionServer {
     offline: AtomicBool,
     /// Optional fault injector consulted at every RPC entry.
     fault: RwLock<Option<Arc<FaultInjector>>>,
+    /// Optional flight recorder; lease expirations and WAL replays are
+    /// journaled when attached.
+    events: RwLock<Option<Arc<shc_obs::EventJournal>>>,
     /// Shared LRU over store-file blocks of every hosted region.
     block_cache: Arc<BlockCache>,
     /// Open scanners by id.
@@ -93,6 +96,7 @@ impl RegionServer {
             security,
             offline: AtomicBool::new(false),
             fault: RwLock::new(None),
+            events: RwLock::new(None),
             block_cache,
             scanners: Mutex::new(HashMap::new()),
             next_scanner_id: AtomicU64::new(1),
@@ -119,6 +123,21 @@ impl RegionServer {
     /// Attach a fault injector; subsequent RPCs pass through it.
     pub fn attach_fault_injector(&self, injector: Arc<FaultInjector>) {
         *self.fault.write() = Some(injector);
+    }
+
+    /// Attach the cluster's flight recorder, forwarding it to this server's
+    /// block cache as well. Journaled events carry the server's virtual
+    /// clock (logical ms).
+    pub fn attach_event_journal(&self, journal: Arc<shc_obs::EventJournal>) {
+        self.block_cache
+            .attach_events(Arc::clone(&journal), self.clock.clone());
+        *self.events.write() = Some(journal);
+    }
+
+    fn journal(&self, severity: shc_obs::Severity, category: &'static str, message: String) {
+        if let Some(journal) = self.events.read().as_ref() {
+            journal.record(severity, category, self.clock.peek_ms(), message);
+        }
     }
 
     pub fn is_online(&self) -> bool {
@@ -353,8 +372,18 @@ impl RegionServer {
                 .get(&scanner_id)
                 .ok_or(KvError::UnknownScanner(scanner_id))?;
             if self.clock.peek_ms() > state.lease_expires_ms {
+                let region_id = state.region_id;
                 scanners.remove(&scanner_id);
                 self.metrics.add(&self.metrics.scanner_lease_expirations, 1);
+                drop(scanners);
+                self.journal(
+                    shc_obs::Severity::Warn,
+                    "scanner",
+                    format!(
+                        "scanner {scanner_id} lease expired on server {} region {region_id}",
+                        self.server_id
+                    ),
+                );
                 return Err(KvError::ScannerExpired(scanner_id));
             }
         }
@@ -489,11 +518,21 @@ impl RegionServer {
     /// region, and come back online.
     pub fn restart(&self) {
         self.wal.reopen();
+        let mut replayed = 0u64;
         for region in self.regions.read().values() {
             let _ = region.recover_from_wal();
             self.metrics.add(&self.metrics.wal_replays, 1);
+            replayed += 1;
         }
         self.offline.store(false, Ordering::Release);
+        self.journal(
+            shc_obs::Severity::Info,
+            "wal",
+            format!(
+                "server {} restarted; replayed WAL into {replayed} region(s)",
+                self.server_id
+            ),
+        );
     }
 }
 

@@ -6,7 +6,7 @@
 //! `_sum`/`_count` for histograms. It is line-oriented on purpose so CI
 //! (and humans) can `grep` a metric name out of example output.
 
-use crate::hist::HistogramSnapshot;
+use crate::hist::{BucketExemplar, HistogramSnapshot};
 
 /// Incremental builder for a text exposition document.
 #[derive(Debug, Default)]
@@ -19,15 +19,31 @@ impl TextExporter {
         Self::default()
     }
 
-    /// Emit a `# HELP` line. Skipped when `help` is empty; newlines are
-    /// flattened to spaces (the exposition format is line-oriented).
+    /// Escape HELP text per the Prometheus text format: backslash and
+    /// newline become `\\` and `\n` (backslash first, so an escape is never
+    /// itself re-escaped).
+    pub fn escape_help(help: &str) -> String {
+        help.replace('\\', "\\\\").replace('\n', "\\n")
+    }
+
+    /// Escape a label value per the Prometheus text format: backslash,
+    /// double quote, and newline become `\\`, `\"`, and `\n`.
+    pub fn escape_label_value(value: &str) -> String {
+        value
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    }
+
+    /// Emit a `# HELP` line. Skipped when `help` is empty; backslashes and
+    /// newlines are escaped (the exposition format is line-oriented).
     fn help_line(&mut self, name: &str, help: &str) {
         let help = help.trim();
         if help.is_empty() {
             return;
         }
-        let flat = help.replace('\n', " ");
-        self.out.push_str(&format!("# HELP {name} {flat}\n"));
+        let escaped = Self::escape_help(help);
+        self.out.push_str(&format!("# HELP {name} {escaped}\n"));
     }
 
     /// Emit one counter sample with its `# TYPE` header.
@@ -52,6 +68,36 @@ impl TextExporter {
         self.help_line(name, help);
         self.out.push_str(&format!("# TYPE {name} gauge\n"));
         self.out.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// Emit one gauge family with several labelled samples: a single
+    /// `# HELP`/`# TYPE` header for `family`, then each `(sample_line,
+    /// value)` pair verbatim. Callers pre-render the labelled sample name
+    /// (escaping label values with
+    /// [`escape_label_value`](Self::escape_label_value)).
+    pub fn gauge_samples(&mut self, family: &str, help: &str, samples: &[(String, f64)]) {
+        self.help_line(family, help);
+        self.out.push_str(&format!("# TYPE {family} gauge\n"));
+        for (sample, value) in samples {
+            self.out.push_str(&format!("{sample} {value}\n"));
+        }
+    }
+
+    /// Emit exemplar-bearing histogram buckets in OpenMetrics style: one
+    /// `name_bucket{le="…"} count # {trace_id="0x…"}` line per bucket that
+    /// remembers a TraceId. The input comes from
+    /// [`Histogram::exemplars`](crate::hist::Histogram::exemplars), which
+    /// yields buckets in ascending order, so the output is deterministic for
+    /// a given histogram state.
+    pub fn exemplar_buckets(&mut self, name: &str, exemplars: &[BucketExemplar]) {
+        for ex in exemplars {
+            let le = Self::escape_label_value(&ex.upper.to_string());
+            let trace = Self::escape_label_value(&format!("{:#x}", ex.trace_id));
+            self.out.push_str(&format!(
+                "{name}_bucket{{le=\"{le}\"}} {} # {{trace_id=\"{trace}\"}}\n",
+                ex.count
+            ));
+        }
     }
 
     /// Emit a histogram as a summary: p50/p95/p99 quantiles, sum, count, max.
@@ -145,7 +191,8 @@ mod tests {
         e.gauge_with_help("m_peak", "High-water\nmark.", 3.5);
         let text = e.finish();
         assert!(text.contains("# HELP m_events Things that happened.\n"));
-        assert!(text.contains("# HELP m_peak High-water mark.\n"));
+        // The embedded newline is escaped, keeping the format line-oriented.
+        assert!(text.contains("# HELP m_peak High-water\\nmark.\n"));
         let help_at = text.find("# HELP m_events").unwrap();
         let type_at = text.find("# TYPE m_events").unwrap();
         assert!(help_at < type_at, "HELP must precede TYPE");
@@ -158,6 +205,60 @@ mod tests {
         let text = e.finish();
         assert!(!text.contains("# HELP"));
         assert!(text.contains("# TYPE m_events counter\n"));
+    }
+
+    #[test]
+    fn help_escapes_backslash_before_newline() {
+        let mut e = TextExporter::new();
+        e.counter_with_help("m_x", "path C:\\tmp\nsecond line", 1);
+        let text = e.finish();
+        assert!(text.contains("# HELP m_x path C:\\\\tmp\\nsecond line\n"));
+        // Exactly one physical line per HELP entry.
+        assert_eq!(text.lines().filter(|l| l.starts_with("# HELP")).count(), 1);
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_newlines() {
+        assert_eq!(TextExporter::escape_label_value("plain"), "plain");
+        assert_eq!(
+            TextExporter::escape_label_value("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd"
+        );
+    }
+
+    #[test]
+    fn exemplar_buckets_emit_in_stable_order() {
+        let h = Histogram::new();
+        h.record_with_exemplar(3000, 0x1);
+        h.record_with_exemplar(40, 0x2);
+        h.record_with_exemplar(50, 0x3);
+        let mut e = TextExporter::new();
+        e.exemplar_buckets("m_lat_us", &h.exemplars());
+        let text = e.finish();
+        let expected = "m_lat_us_bucket{le=\"63\"} 2 # {trace_id=\"0x3\"}\n\
+                        m_lat_us_bucket{le=\"4095\"} 1 # {trace_id=\"0x1\"}\n";
+        assert_eq!(text, expected);
+        // Re-rendering the same state is byte-identical.
+        let mut e2 = TextExporter::new();
+        e2.exemplar_buckets("m_lat_us", &h.exemplars());
+        assert_eq!(e2.finish(), text);
+    }
+
+    #[test]
+    fn gauge_samples_share_one_header() {
+        let mut e = TextExporter::new();
+        e.gauge_samples(
+            "m_alert_firing",
+            "Firing state.",
+            &[
+                ("m_alert_firing{alert=\"a\"}".to_string(), 1.0),
+                ("m_alert_firing{alert=\"b\"}".to_string(), 0.0),
+            ],
+        );
+        let text = e.finish();
+        assert_eq!(text.matches("# TYPE m_alert_firing gauge").count(), 1);
+        assert!(text.contains("m_alert_firing{alert=\"a\"} 1\n"));
+        assert!(text.contains("m_alert_firing{alert=\"b\"} 0\n"));
     }
 
     #[test]

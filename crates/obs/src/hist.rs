@@ -41,6 +41,10 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Per-bucket exemplar: the TraceId of the latest sample recorded into
+    /// that bucket via [`record_with_exemplar`](Self::record_with_exemplar)
+    /// (0 = none). Lets a tail quantile link to one concrete trace.
+    exemplars: [AtomicU64; NUM_BUCKETS],
 }
 
 impl Default for Histogram {
@@ -50,8 +54,18 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
+}
+
+/// An exemplar-bearing bucket: its inclusive upper bound, its current sample
+/// count, and the TraceId of the latest exemplar-carrying sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketExemplar {
+    pub upper: u64,
+    pub count: u64,
+    pub trace_id: u64,
 }
 
 impl Histogram {
@@ -70,6 +84,40 @@ impl Histogram {
     /// Record a [`std::time::Duration`] in microseconds.
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(d.as_micros() as u64);
+    }
+
+    /// Record one sample and, when `trace_id` is non-zero, remember it as
+    /// the sample's bucket's exemplar (latest write wins). This is how
+    /// `rpc_p99` links to a concrete exportable trace.
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if trace_id != 0 {
+            self.exemplars[bucket_index(v)].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// Every exemplar-bearing bucket, in ascending bucket order (so output
+    /// derived from this is deterministic for a given state).
+    pub fn exemplars(&self) -> Vec<BucketExemplar> {
+        (0..NUM_BUCKETS)
+            .filter_map(|i| {
+                let trace_id = self.exemplars[i].load(Ordering::Relaxed);
+                if trace_id == 0 {
+                    return None;
+                }
+                Some(BucketExemplar {
+                    upper: bucket_upper(i),
+                    count: self.buckets[i].load(Ordering::Relaxed),
+                    trace_id,
+                })
+            })
+            .collect()
+    }
+
+    /// The exemplar of the highest exemplar-bearing bucket — the TraceId
+    /// most representative of the tail (0 = none recorded).
+    pub fn latest_tail_exemplar(&self) -> u64 {
+        self.exemplars().last().map(|e| e.trace_id).unwrap_or(0)
     }
 
     /// Fold another histogram's snapshot into this one (per-thread merge).
@@ -102,6 +150,9 @@ impl Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        for e in &self.exemplars {
+            e.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -307,6 +358,27 @@ mod tests {
             }
         });
         assert_eq!(h.snapshot().count, 8000);
+    }
+
+    #[test]
+    fn exemplars_remember_latest_trace_per_bucket() {
+        let h = Histogram::new();
+        h.record_with_exemplar(10, 0xa); // bucket for 10
+        h.record_with_exemplar(12, 0xb); // same bucket: overwrites
+        h.record_with_exemplar(5000, 0xc); // higher bucket
+        h.record_with_exemplar(7, 0); // zero trace_id: counted, no exemplar
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        // Ascending bucket order, deterministically.
+        assert!(ex[0].upper < ex[1].upper);
+        assert_eq!(ex[0].trace_id, 0xb, "latest write wins within a bucket");
+        assert_eq!(ex[1].trace_id, 0xc);
+        assert_eq!(ex[0].count, 2, "10 and 12 share the [8,16) bucket");
+        assert_eq!(h.latest_tail_exemplar(), 0xc);
+        assert_eq!(h.snapshot().count, 4);
+        h.reset();
+        assert!(h.exemplars().is_empty());
+        assert_eq!(h.latest_tail_exemplar(), 0);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!   merged into a single [`trace::Trace`] tree. No wall-clock reads.
 //! - [`hist`]: log-bucketed, fixed-memory, mergeable latency histograms
 //!   with p50/p95/p99 accessors.
+//! - [`events`]: a bounded, severity-tagged flight-recorder journal of
+//!   structured events, timestamped on the layers' virtual clocks and
+//!   correlated to queries by TraceId.
+//! - [`alerts`]: declarative threshold rules over metric readings,
+//!   debounced on a virtual clock, with TraceId exemplars at fire time.
 //! - [`export`]: a Prometheus-style text exposition builder.
 //! - [`metrics_registry!`]: a macro that generates counter/histogram
 //!   registries (struct + snapshot + `snapshot()`/`reset()`/`delta_since()`
@@ -16,12 +21,16 @@
 //!   use `saturating_sub` (a `reset()` between two snapshots must not panic
 //!   on unsigned subtraction).
 
+pub mod alerts;
+pub mod events;
 pub mod export;
 pub mod hist;
 pub mod trace;
 
+pub use alerts::{AlertEngine, AlertRule, AlertState, AlertStatus, AlertTransition, Comparison};
+pub use events::{Event, EventJournal, Severity};
 pub use export::TextExporter;
-pub use hist::{Histogram, HistogramSnapshot};
+pub use hist::{BucketExemplar, Histogram, HistogramSnapshot};
 pub use trace::{span, SpanGuard, SpanRecord, Trace, TraceContext, Tracer};
 
 /// Generate a metrics registry: a struct of relaxed `AtomicU64` counters,

@@ -62,10 +62,16 @@ struct ThreadBuffer {
 }
 
 struct TracerInner {
+    /// Query-level correlation id; 0 = anonymous. Minted by the session and
+    /// joined against `system.queries`, `system.events`, and exemplars.
+    trace_id: u64,
     /// Virtual clock: +1 per read, advanced by modeled costs.
     clock_us: AtomicU64,
     next_span_id: AtomicU64,
     buffers: Mutex<Vec<(ThreadId, Arc<ThreadBuffer>)>>,
+    /// Flight recorder attached for the query's lifetime, so any layer on a
+    /// traced thread can emit events ambiently via [`record_event`].
+    journal: Mutex<Option<Arc<crate::events::EventJournal>>>,
 }
 
 /// A per-query trace collector. Clone is cheap (an `Arc`).
@@ -94,13 +100,33 @@ thread_local! {
 
 impl Tracer {
     pub fn new() -> Self {
+        Self::with_id(0)
+    }
+
+    /// Tracer carrying an explicit TraceId (0 = anonymous, what
+    /// [`Tracer::new`] uses).
+    pub fn with_id(trace_id: u64) -> Self {
         Self {
             inner: Arc::new(TracerInner {
+                trace_id,
                 clock_us: AtomicU64::new(0),
                 next_span_id: AtomicU64::new(0),
                 buffers: Mutex::new(Vec::new()),
+                journal: Mutex::new(None),
             }),
         }
+    }
+
+    /// This tracer's TraceId (0 = anonymous).
+    pub fn trace_id(&self) -> u64 {
+        self.inner.trace_id
+    }
+
+    /// Attach a flight recorder for this query: while the tracer is active
+    /// on a thread, [`record_event`] writes into it with the TraceId and the
+    /// tracer's virtual clock attached.
+    pub fn attach_journal(&self, journal: Arc<crate::events::EventJournal>) {
+        *self.inner.journal.lock() = Some(journal);
     }
 
     /// Read the virtual clock, ticking it forward one microsecond so that
@@ -115,6 +141,12 @@ impl Tracer {
         if us > 0 {
             self.inner.clock_us.fetch_add(us, Ordering::Relaxed);
         }
+    }
+
+    /// Read the virtual clock without ticking it — for event timestamps,
+    /// which must not perturb span intervals.
+    pub fn peek_us(&self) -> u64 {
+        self.inner.clock_us.load(Ordering::Relaxed)
     }
 
     fn next_id(&self) -> u64 {
@@ -149,7 +181,10 @@ impl Tracer {
             spans.extend(b.spans.lock().iter().cloned());
         }
         spans.sort_by_key(|s| s.id);
-        Trace { spans }
+        Trace {
+            trace_id: self.inner.trace_id,
+            spans,
+        }
     }
 }
 
@@ -218,6 +253,31 @@ pub fn advance_us(us: u64) {
     }
     if let Some(t) = STACK.with(|s| s.borrow().last().map(|f| f.tracer.clone())) {
         t.advance_us(us);
+    }
+}
+
+/// The active tracer's TraceId, if a tracer is active on this thread.
+/// Returns `Some(0)` for an anonymous tracer — callers treating 0 as "no
+/// exemplar" can simply `unwrap_or(0)`.
+pub fn current_trace_id() -> Option<u64> {
+    STACK.with(|s| s.borrow().last().map(|f| f.tracer.trace_id()))
+}
+
+/// Record a flight-recorder event against the active tracer's attached
+/// journal, stamped with the tracer's virtual microseconds and TraceId.
+/// No-op when no tracer is active or none has a journal attached — layers
+/// below the session can call this unconditionally.
+pub fn record_event(
+    severity: crate::events::Severity,
+    category: &'static str,
+    message: impl Into<String>,
+) {
+    let tracer = STACK.with(|s| s.borrow().last().map(|f| f.tracer.clone()));
+    if let Some(t) = tracer {
+        let journal = t.inner.journal.lock().clone();
+        if let Some(j) = journal {
+            j.record_with_trace(severity, category, t.peek_us(), message, t.trace_id());
+        }
     }
 }
 
@@ -325,6 +385,8 @@ impl Drop for SpanGuard {
 /// A merged query trace: every finished span, sorted by allocation order.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
+    /// TraceId of the tracer that produced this trace (0 = anonymous).
+    pub trace_id: u64,
     pub spans: Vec<SpanRecord>,
 }
 
@@ -385,6 +447,41 @@ impl Trace {
         out
     }
 
+    /// Export the span tree as Chrome trace-event JSON (the `chrome://
+    /// tracing` / Perfetto "JSON Array Format" with a `traceEvents`
+    /// envelope). Every span becomes one complete event (`"ph":"X"`) whose
+    /// `ts`/`dur` are the span's virtual microseconds; annotations land in
+    /// `args`. Spans are emitted in allocation order and `pid`/`tid` are
+    /// fixed at 1/0 (virtual time has no threads), so the same trace always
+    /// serializes to the same bytes.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":0,\"args\":{{",
+                json_string(s.name),
+                s.start_us,
+                s.duration_us()
+            ));
+            out.push_str(&format!("\"span_id\":{}", s.id));
+            if let Some(p) = s.parent {
+                out.push_str(&format!(",\"parent\":{p}"));
+            }
+            for (k, v) in &s.attrs {
+                out.push_str(&format!(",{}:{}", json_string(k), json_string(v)));
+            }
+            out.push_str("}}");
+        }
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"trace_id\":\"{:#x}\"}}}}",
+            self.trace_id
+        ));
+        out
+    }
+
     fn render_into(&self, span: &SpanRecord, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         let attrs = if span.attrs.is_empty() {
@@ -405,6 +502,26 @@ impl Trace {
             self.render_into(c, depth + 1, out);
         }
     }
+}
+
+/// Serialize a string as a JSON string literal (quotes, backslashes,
+/// newlines, and control characters escaped).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -497,6 +614,81 @@ mod tests {
         assert_eq!(a.finish().spans.len(), 2);
         assert_eq!(b.finish().spans.len(), 2);
         assert_eq!(a.finish().roots()[0].name, "qa");
+    }
+
+    #[test]
+    fn trace_id_travels_from_tracer_to_trace() {
+        let tracer = Tracer::with_id(42);
+        assert_eq!(tracer.trace_id(), 42);
+        {
+            let _r = tracer.root("query");
+            assert_eq!(current_trace_id(), Some(42));
+        }
+        assert_eq!(current_trace_id(), None);
+        assert_eq!(tracer.finish().trace_id, 42);
+        assert_eq!(Tracer::new().trace_id(), 0);
+    }
+
+    #[test]
+    fn record_event_flows_into_attached_journal() {
+        use crate::events::{EventJournal, Severity};
+        let tracer = Tracer::with_id(7);
+        let journal = EventJournal::new(8);
+        tracer.attach_journal(Arc::clone(&journal));
+        record_event(Severity::Warn, "test", "before activation"); // no-op
+        {
+            let _r = tracer.root("query");
+            advance_us(100);
+            record_event(Severity::Warn, "scheduler", "task 3 retry");
+        }
+        record_event(Severity::Warn, "test", "after deactivation"); // no-op
+        let events = journal.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].category, "scheduler");
+        assert_eq!(events[0].trace_id, 7);
+        assert!(events[0].timestamp >= 100, "stamped on the virtual clock");
+    }
+
+    #[test]
+    fn peek_does_not_tick() {
+        let tracer = Tracer::new();
+        let a = tracer.peek_us();
+        let b = tracer.peek_us();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chrome_json_is_deterministic_and_escaped() {
+        let tracer = Tracer::with_id(0x2a);
+        {
+            let mut root = tracer.root("query");
+            root.annotate("sql", "SELECT \"x\"\nFROM t\\u");
+            {
+                let mut rpc = span("rpc");
+                rpc.annotate("region", 3);
+                advance_us(250);
+            }
+        }
+        let trace = tracer.finish();
+        let json = trace.to_chrome_json();
+        assert_eq!(json, trace.to_chrome_json(), "byte-stable");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"rpc\""));
+        assert!(json.contains("\"region\":\"3\""));
+        assert!(json.contains("\"trace_id\":\"0x2a\""));
+        // The annotation's quote, newline, and backslash are escaped.
+        assert!(json.contains("SELECT \\\"x\\\"\\nFROM t\\\\u"));
+        // The rpc span's modeled cost shows up as its duration.
+        let rpc_at = json.find("\"name\":\"rpc\"").unwrap();
+        let dur_at = json[rpc_at..].find("\"dur\":").unwrap() + rpc_at + 6;
+        let dur: u64 = json[dur_at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap();
+        assert!(dur >= 250);
     }
 
     #[test]

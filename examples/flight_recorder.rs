@@ -1,0 +1,189 @@
+//! The flight recorder tour: seeded chaos, then the full observability
+//! loop the issue asks for —
+//!
+//! 1. a chaos run (dropped scan RPCs, a region split, a server restart)
+//!    journals structured events from every layer into the bounded,
+//!    virtual-clock-stamped flight recorder;
+//! 2. `system.events` surfaces both journals (store + query) to SQL, with
+//!    each slow query's TraceId joining its rows to its spans;
+//! 3. the slow query's trace exports as one line of Chrome trace-event
+//!    JSON (load it at `chrome://tracing` / Perfetto);
+//! 4. the cold block cache trips the default hit-ratio alert, whose
+//!    exemplar points at the offending query's TraceId;
+//! 5. the automatic flight-recorder dump captured by the slow query.
+//!
+//! Run with: `cargo run --release --example flight_recorder`
+
+use shc::core::error::{Result, ShcError};
+use shc::kvstore::network::NetworkSim;
+use shc::kvstore::prelude::*;
+use shc::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    // 1. A 3-server cluster with a simulated gigabit network, a fixed
+    // fault seed, and a rule dropping the first two scan RPCs.
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 3,
+        network: NetworkSim::gigabit(),
+        fault_seed: 0xf11e_2026,
+        ..Default::default()
+    });
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(
+        r#"{"table":{"namespace":"default","name":"ledger"},
+            "rowkey":"key",
+            "columns":{
+              "txn_id":{"cf":"rowkey","col":"key","type":"string"},
+              "account":{"cf":"l","col":"acct","type":"int"},
+              "amount":{"cf":"l","col":"amt","type":"double"}}}"#,
+    )?);
+    let data: Vec<Row> = (0..300)
+        .map(|i| {
+            Row::new(vec![
+                Value::Utf8(format!("txn{i:06}")),
+                Value::Int32(i % 50),
+                Value::Float64(i as f64 * 0.01),
+            ])
+        })
+        .collect();
+    write_rows(
+        &cluster,
+        &catalog,
+        &SHCConf::default().with_new_table_regions(3),
+        &data,
+    )?;
+    cluster.flush_all().map_err(ShcError::from)?;
+    cluster.faults().add_rule(
+        FaultRule::new(FaultKind::Drop)
+            .on_op(RpcOp::Scan)
+            .first_n(2),
+    );
+    println!("cluster up: 3 servers, 300 flushed rows, 2 scan drops armed");
+
+    let session = Session::new(SessionConfig {
+        executors: ExecutorConfig {
+            // One executor keeps the fault schedule's thread interleaving —
+            // and therefore this example's whole stdout — byte-identical
+            // across runs, the repo-wide determinism contract.
+            num_executors: 1,
+            hosts: cluster.hostnames(),
+            task_retries: 1,
+        },
+        // Low enough that the chaos-affected full scans get flagged slow.
+        slow_query_threshold_us: 500,
+        ..Default::default()
+    });
+    register_system_tables(&session, &cluster);
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        SHCConf::default(),
+        "ledger",
+    );
+    let sql = |q: &str| {
+        session
+            .sql(q)
+            .map_err(ShcError::from)?
+            .collect()
+            .map_err(ShcError::from)
+    };
+
+    // The chaos run, part one: the cold scan absorbs both injected drops
+    // and misses the block cache on every store-file read.
+    let total = sql("SELECT COUNT(*) FROM ledger")?;
+    println!("ledger rows: {}", total[0].get(0).as_i64().unwrap_or(0));
+
+    // 4a. Scanning system.alerts evaluates the rules on the cluster's
+    // virtual clock: the cold cache (hit ratio 0 < 0.5) fires.
+    println!("\nalerts while the cache is cold (SELECT ... FROM system.alerts):");
+    for row in sql(
+        "SELECT name, state, comparison, threshold, value, fired_count, exemplar_trace_id \
+         FROM system.alerts ORDER BY name",
+    )? {
+        println!(
+            "system.alerts | name={} state={} comparison={} threshold={} value={:?} fired={} exemplar={}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1).as_str().unwrap_or("?"),
+            row.get(2).as_str().unwrap_or("?"),
+            row.get(3),
+            row.get(4),
+            row.get(5).as_i64().unwrap_or(0),
+            row.get(6).as_str().unwrap_or("?"),
+        );
+    }
+
+    // Part two: warm scans push the hit ratio back over the threshold,
+    // then the master splits a region and restarts a server so the store
+    // layers journal too.
+    sql("SELECT COUNT(*) FROM ledger WHERE account < 25")?;
+    sql("SELECT COUNT(*) FROM ledger WHERE account >= 25")?;
+    let regions = cluster.master.regions_of(&catalog.table)?;
+    cluster
+        .master
+        .split_region(&catalog.table, regions[0].info.region_id)?;
+    cluster.server(0).map_err(ShcError::from)?.restart();
+
+    // 2. The flight recorder, as SQL.
+    println!("\nflight recorder (SELECT ... FROM system.events):");
+    for row in sql(
+        "SELECT source, seq, timestamp, severity, category, trace_id, message \
+         FROM system.events",
+    )? {
+        println!(
+            "system.events | source={} seq={} t={} sev={} cat={} trace={} msg={}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1).as_i64().unwrap_or(0),
+            row.get(2).as_i64().unwrap_or(0),
+            row.get(3).as_str().unwrap_or("?"),
+            row.get(4).as_str().unwrap_or("?"),
+            row.get(5).as_str().unwrap_or("?"),
+            row.get(6).as_str().unwrap_or("?"),
+        );
+    }
+
+    // 3. The slow query's TraceId resolves to an exportable Chrome trace.
+    let slow = session
+        .query_log()
+        .entries()
+        .into_iter()
+        .rev()
+        .find(|e| e.slow)
+        .expect("the chaos scan went slow");
+    let trace = session
+        .trace_for(slow.trace_id)
+        .expect("slow TraceId resolves to its trace");
+    println!(
+        "\nslow query id={} trace={:#x} spans={} — exported trace-event JSON:",
+        slow.id,
+        trace.trace_id,
+        trace.spans.len()
+    );
+    println!("CHROME_TRACE_JSON: {}", trace.to_chrome_json());
+
+    // 4b. Re-scanning system.alerts re-evaluates: the warmed cache has
+    // cleared the alert (fired_count remembers the episode).
+    println!("\nalerts after the cache warmed (SELECT ... FROM system.alerts):");
+    for row in sql(
+        "SELECT name, state, comparison, threshold, value, fired_count, exemplar_trace_id \
+         FROM system.alerts ORDER BY name",
+    )? {
+        println!(
+            "system.alerts | name={} state={} comparison={} threshold={} value={:?} fired={} exemplar={}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1).as_str().unwrap_or("?"),
+            row.get(2).as_str().unwrap_or("?"),
+            row.get(3),
+            row.get(4),
+            row.get(5).as_i64().unwrap_or(0),
+            row.get(6).as_str().unwrap_or("?"),
+        );
+    }
+
+    // 5. The automatic dump the slow query captured, verbatim.
+    println!("\nautomatic flight-recorder dump (slow query):");
+    if let Some(dump) = session.last_event_dump() {
+        print!("{dump}");
+    }
+    Ok(())
+}

@@ -274,6 +274,154 @@ fn concurrent_access_through_one_connection_cache() {
 }
 
 #[test]
+fn flight_recorder_keeps_order_invariants_under_seeded_chaos() {
+    // Eight threads query through the same seeded chaos schedule as
+    // `concurrent_queries_under_fault_schedule_agree`. Thread interleaving
+    // may vary, so assert order-insensitive invariants of the store
+    // journal: exactly one event per injected fault, strictly increasing
+    // seqs (allocation is serialized under the journal lock), and a
+    // severity floor that filters without consuming seq numbers.
+    let (cluster, session, _) = setup(300);
+    {
+        use shc::kvstore::prelude::*;
+        cluster.faults().add_rule(
+            FaultRule::new(FaultKind::Drop)
+                .on_op(RpcOp::Scan)
+                .first_n(3),
+        );
+    }
+    let barrier = Arc::new(Barrier::new(8));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                session
+                    .sql("SELECT COUNT(*) FROM ledger")
+                    .unwrap()
+                    .collect()
+                    .unwrap();
+            });
+        }
+    });
+    cluster.faults().clear();
+
+    use shc::obs::Severity;
+    let journal = cluster.events();
+    let events = journal.events();
+    assert_eq!(
+        events.iter().filter(|e| e.category == "fault").count(),
+        3,
+        "one journal entry per injected drop"
+    );
+    assert!(
+        events.windows(2).all(|w| w[0].seq < w[1].seq),
+        "seqs strictly increase in ring order"
+    );
+    assert!(
+        journal
+            .events_at_least(Severity::Warn)
+            .iter()
+            .all(|e| e.severity >= Severity::Warn),
+        "severity floor filters reads"
+    );
+
+    // Raising the floor drops lower-severity records without consuming
+    // seq numbers: an Info is ignored entirely, the next Warn is dense.
+    let seq_before = journal.total_recorded();
+    journal.set_min_severity(Severity::Warn);
+    journal.record(Severity::Info, "test", 0, "filtered".to_string());
+    journal.record(Severity::Warn, "test", 0, "kept".to_string());
+    let tail = journal.events();
+    let kept = tail.last().unwrap();
+    assert_eq!(kept.message, "kept");
+    assert_eq!(journal.total_recorded(), seq_before + 1);
+}
+
+#[test]
+fn flight_recorder_ring_wraps_under_concurrent_load() {
+    // A deliberately tiny journal (capacity 4) on a cluster absorbing many
+    // fault events from parallel queries: the ring must retain exactly the
+    // last 4 events by seq, while total_recorded counts every journaled
+    // event that fell off the edge.
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 3,
+        fault_seed: 0xc0c0_2026,
+        event_journal_capacity: 4,
+        ..Default::default()
+    });
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
+    let data: Vec<Row> = (0..100)
+        .map(|i| {
+            Row::new(vec![
+                Value::Utf8(format!("txn{i:06}")),
+                Value::Int32(i % 50),
+                Value::Float64(i as f64 * 0.01),
+            ])
+        })
+        .collect();
+    write_rows(
+        &cluster,
+        &catalog,
+        &SHCConf::default().with_new_table_regions(3),
+        &data,
+    )
+    .unwrap();
+    let session = Session::new(SessionConfig {
+        executors: ExecutorConfig {
+            num_executors: 3,
+            hosts: cluster.hostnames(),
+            task_retries: 1,
+        },
+        ..Default::default()
+    });
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        SHCConf::default(),
+        "ledger",
+    );
+    {
+        use shc::kvstore::prelude::*;
+        cluster.faults().add_rule(
+            FaultRule::new(FaultKind::Drop)
+                .on_op(RpcOp::Scan)
+                .first_n(8),
+        );
+    }
+    let barrier = Arc::new(Barrier::new(4));
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..3 {
+                    session
+                        .sql("SELECT COUNT(*) FROM ledger")
+                        .unwrap()
+                        .collect()
+                        .unwrap();
+                }
+            });
+        }
+    });
+    cluster.faults().clear();
+
+    let journal = cluster.events();
+    let total = journal.total_recorded();
+    assert!(total >= 8, "all eight drops journaled, got {total}");
+    let events = journal.events();
+    assert_eq!(events.len(), 4, "ring retains exactly its capacity");
+    // The retained window is the *latest* 4 seqs, contiguous (0-based).
+    let expected: Vec<u64> = (total - 4..=total - 1).collect();
+    let got: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(got, expected, "ring holds the newest events in seq order");
+}
+
+#[test]
 fn span_trees_stay_well_formed_under_seeded_chaos() {
     // Same seeded chaos as above, but every thread runs its query through
     // collect_analyzed: each query gets its own tracer, so eight concurrent

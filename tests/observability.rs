@@ -1,0 +1,374 @@
+//! Observability end to end: the flight recorder is byte-identical across
+//! two seeded chaos runs, a slow query's TraceId resolves to parseable
+//! Chrome trace-event JSON containing its scan RPC spans, and the default
+//! block-cache threshold alert deterministically fires and clears on the
+//! virtual clock with an exemplar pointing at the offending trace.
+//!
+//! Determinism discipline: one executor (so event interleaving is fixed),
+//! fixed fault seeds, and the virtual clock everywhere — no wall time ever
+//! reaches a journal entry, a span, or an alert evaluation.
+
+use shc::obs::Severity;
+use shc::prelude::*;
+use std::sync::Arc;
+
+const CATALOG: &str = r#"{
+    "table":{"namespace":"default", "name":"ledger"},
+    "rowkey":"key",
+    "columns":{
+        "txn_id":{"cf":"rowkey", "col":"key", "type":"string"},
+        "account":{"cf":"l", "col":"acct", "type":"int"},
+        "amount":{"cf":"l", "col":"amt", "type":"double"}
+    }
+}"#;
+
+/// A 3-server cluster with 200 flushed rows (so scans hit store files and
+/// the block cache) and a session with a slow threshold low enough that
+/// every full scan trips it.
+fn build(fault_seed: u64) -> (Arc<HBaseCluster>, Arc<Session>) {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 3,
+        fault_seed,
+        // A real (simulated) network: RPC transfer cost is what pushes the
+        // full scans here over the 500µs slow threshold.
+        network: shc::kvstore::network::NetworkSim::gigabit(),
+        ..Default::default()
+    });
+    let catalog = Arc::new(HBaseTableCatalog::parse_simple(CATALOG).unwrap());
+    let data: Vec<Row> = (0..200)
+        .map(|i| {
+            Row::new(vec![
+                Value::Utf8(format!("txn{i:06}")),
+                Value::Int32(i % 50),
+                Value::Float64(i as f64 * 0.01),
+            ])
+        })
+        .collect();
+    write_rows(
+        &cluster,
+        &catalog,
+        &SHCConf::default().with_new_table_regions(3),
+        &data,
+    )
+    .unwrap();
+    cluster.flush_all().unwrap();
+    let session = Session::new(SessionConfig {
+        executors: ExecutorConfig {
+            num_executors: 1,
+            hosts: cluster.hostnames(),
+            task_retries: 1,
+        },
+        slow_query_threshold_us: 500,
+        ..Default::default()
+    });
+    register_system_tables(&session, &cluster);
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        catalog,
+        SHCConf::default(),
+        "ledger",
+    );
+    (cluster, session)
+}
+
+/// One seeded chaos run: two dropped scan RPCs, two queries. Returns the
+/// rendered store and query journals.
+fn chaos_run(fault_seed: u64) -> (String, String) {
+    let (cluster, session) = build(fault_seed);
+    {
+        use shc::kvstore::prelude::*;
+        cluster.faults().add_rule(
+            FaultRule::new(FaultKind::Drop)
+                .on_op(RpcOp::Scan)
+                .first_n(2),
+        );
+    }
+    for _ in 0..2 {
+        session
+            .sql("SELECT COUNT(*) FROM ledger")
+            .unwrap()
+            .collect()
+            .unwrap();
+    }
+    (cluster.events().render(), session.events().render())
+}
+
+#[test]
+fn seeded_chaos_yields_byte_identical_event_journals() {
+    let (store_a, query_a) = chaos_run(0xd1ce);
+    let (store_b, query_b) = chaos_run(0xd1ce);
+    assert!(
+        store_a.contains("[fault]"),
+        "injected drops must be journaled: {store_a}"
+    );
+    assert!(
+        query_a.contains("slow query"),
+        "slow queries must be journaled: {query_a}"
+    );
+    assert_eq!(store_a, store_b, "store journal must replay byte-for-byte");
+    assert_eq!(query_a, query_b, "query journal must replay byte-for-byte");
+}
+
+#[test]
+fn slow_query_trace_resolves_to_parseable_chrome_json() {
+    let (_cluster, session) = build(0xbeef);
+    session
+        .sql("SELECT COUNT(*) FROM ledger")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let entry = session.query_log().entries().pop().expect("query logged");
+    assert!(entry.slow, "full scan trips the 500µs threshold");
+    assert_ne!(entry.trace_id, 0, "collect() mints a TraceId");
+
+    // The TraceId recorded in the log (and surfaced by system.queries)
+    // resolves to the retained trace...
+    let trace = session.trace_for(entry.trace_id).expect("trace retained");
+    assert_eq!(trace.trace_id, entry.trace_id);
+    assert!(
+        !trace.spans_named("rpc").is_empty(),
+        "the scan's RPC spans ride in the query's trace"
+    );
+
+    // ...which exports as Chrome trace-event JSON: complete events, valid
+    // JSON all the way down.
+    let json = trace.to_chrome_json();
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains(&format!("{:#x}", entry.trace_id)));
+    parse_json(&json);
+
+    // The slow query also captured an automatic flight-recorder dump.
+    let dump = session.last_event_dump().expect("slow query dumps events");
+    assert!(dump.contains("slow query"));
+}
+
+#[test]
+fn block_cache_alert_fires_and_clears_with_exemplar() {
+    let (cluster, session) = build(0xa1e7);
+    let count = |s: &Arc<Session>| {
+        s.sql("SELECT COUNT(*) FROM ledger")
+            .unwrap()
+            .collect()
+            .unwrap();
+    };
+
+    // Cold scan: every block read misses, hit ratio 0 < 0.5 — the default
+    // rule breaches and (debounce 0) fires on the first evaluation.
+    count(&session);
+    let transitions = session.alerts().evaluate(cluster.clock.peek_ms());
+    assert!(
+        transitions
+            .iter()
+            .any(|t| t.name == "block_cache_hit_ratio_low" && t.fired),
+        "cold cache must fire the hit-ratio alert: {transitions:?}"
+    );
+    let status = session
+        .alerts()
+        .statuses()
+        .into_iter()
+        .find(|s| s.name == "block_cache_hit_ratio_low")
+        .unwrap();
+    assert_eq!(status.state.as_str(), "firing");
+
+    // The exemplar sampled at fire time is the TraceId of the latest scan
+    // RPC — and it resolves to that query's exportable trace.
+    assert_ne!(status.exemplar_trace_id, 0);
+    let offender = session
+        .trace_for(status.exemplar_trace_id)
+        .expect("exemplar points at a retained trace");
+    assert!(!offender.spans_named("rpc").is_empty());
+
+    // Warm scans: repeats served from the cache push the ratio above the
+    // threshold, and the alert clears.
+    for _ in 0..4 {
+        count(&session);
+    }
+    let transitions = session.alerts().evaluate(cluster.clock.peek_ms());
+    assert!(
+        transitions
+            .iter()
+            .any(|t| t.name == "block_cache_hit_ratio_low" && !t.fired),
+        "warm cache must clear the alert: {transitions:?}"
+    );
+    let status = session
+        .alerts()
+        .statuses()
+        .into_iter()
+        .find(|s| s.name == "block_cache_hit_ratio_low")
+        .unwrap();
+    assert_eq!(status.state.as_str(), "ok");
+    assert_eq!(status.fired_count, 1, "one complete fire/clear episode");
+}
+
+#[test]
+fn system_queries_trace_id_joins_to_system_events() {
+    let (_cluster, session) = build(0x0b5e);
+    session
+        .sql("SELECT COUNT(*) FROM ledger")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let logged = session
+        .sql("SELECT trace_id FROM system.queries WHERE slow")
+        .unwrap()
+        .collect()
+        .unwrap();
+    let trace_id = logged[0].get(0).as_str().unwrap().to_string();
+    assert!(trace_id.starts_with("0x") && trace_id != "0x0");
+    let events = session
+        .sql(&format!(
+            "SELECT severity, message FROM system.events \
+             WHERE trace_id = '{trace_id}' AND category = 'query'"
+        ))
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert!(!events.is_empty(), "slow-query event joins on trace_id");
+    assert_eq!(events[0].get(0).as_str(), Some(Severity::Warn.as_str()));
+}
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON reader — no JSON dependency exists in
+// this workspace, and the exported trace must be checked as *JSON*, not by
+// substring. Panics (failing the test) on the first syntax error.
+
+fn parse_json(s: &str) {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    parse_value(b, &mut pos);
+    skip_ws(b, &mut pos);
+    assert_eq!(pos, b.len(), "trailing garbage after JSON document");
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, b"true"),
+        Some(b'f') => parse_literal(b, pos, b"false"),
+        Some(b'n') => parse_literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        other => panic!("unexpected token {other:?} at byte {pos}"),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return;
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos);
+        skip_ws(b, pos);
+        assert_eq!(b.get(*pos), Some(&b':'), "expected ':' at byte {pos}");
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return;
+            }
+            other => panic!("expected ',' or '}}' but found {other:?} at byte {pos}"),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return;
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return;
+            }
+            other => panic!("expected ',' or ']' but found {other:?} at byte {pos}"),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) {
+    assert_eq!(b.get(*pos), Some(&b'"'), "expected '\"' at byte {pos}");
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return;
+            }
+            b'\\' => match b.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(*pos + 2..*pos + 6).expect("truncated \\u escape");
+                    assert!(
+                        hex.iter().all(u8::is_ascii_hexdigit),
+                        "bad \\u escape at byte {pos}"
+                    );
+                    *pos += 6;
+                }
+                other => panic!("bad escape {other:?} at byte {pos}"),
+            },
+            0x00..=0x1f => panic!("unescaped control byte {c:#04x} at byte {pos}"),
+            _ => *pos += 1,
+        }
+    }
+    panic!("unterminated string");
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    assert!(*pos > digits_start, "expected digits at byte {pos}");
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, expected: &[u8]) {
+    assert_eq!(
+        b.get(*pos..*pos + expected.len()),
+        Some(expected),
+        "bad literal at byte {pos}"
+    );
+    *pos += expected.len();
+}
