@@ -10,9 +10,11 @@ use crate::network::NetworkSim;
 use crate::region::RegionConfig;
 use crate::region_server::RegionServer;
 use crate::security::TokenService;
+use crate::storage::StorageEnv;
 use crate::types::TableDescriptor;
 use crate::zookeeper::ZooKeeper;
 use parking_lot::RwLock;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Construction-time settings for a simulated cluster.
@@ -36,6 +38,21 @@ pub struct ClusterConfig {
     /// Capacity of the cluster's flight-recorder event journal (oldest
     /// events are evicted first). Zero disables event recording.
     pub event_journal_capacity: usize,
+    /// When set, the cluster is *durable*: WAL segments, store files and
+    /// region manifests live under this directory and survive crashes.
+    /// `None` keeps everything in memory (the pre-LSM behavior).
+    pub data_dir: Option<PathBuf>,
+    /// Rotate WAL segments at this size (durable clusters only).
+    pub wal_segment_bytes: u64,
+    /// Run memstore flushes on a background thread per server instead of
+    /// inline on the write path (durable clusters benefit most; works for
+    /// in-memory clusters too).
+    pub background_flush: bool,
+    /// Durable storage without naming a directory: when true and `data_dir`
+    /// is `None`, the cluster roots itself at a fresh temp directory that is
+    /// removed when the last handle to its storage drops. Set by
+    /// [`ClusterConfig::durable_temp`].
+    pub ephemeral_storage: bool,
 }
 
 impl Default for ClusterConfig {
@@ -49,6 +66,21 @@ impl Default for ClusterConfig {
             fault_seed: 0,
             block_cache_bytes: 8 << 20,
             event_journal_capacity: 1024,
+            data_dir: None,
+            wal_segment_bytes: 256 * 1024,
+            background_flush: false,
+            ephemeral_storage: false,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A durable cluster rooted at a fresh temp directory that is removed
+    /// when the cluster handle is dropped — what tests and examples want.
+    pub fn durable_temp() -> Self {
+        ClusterConfig {
+            ephemeral_storage: true,
+            ..Default::default()
         }
     }
 }
@@ -65,6 +97,8 @@ pub struct HBaseCluster {
     pub metrics: Arc<ClusterMetrics>,
     pub clock: Clock,
     pub security: Option<Arc<TokenService>>,
+    /// Durable storage root, when the cluster was started with one.
+    storage: Option<Arc<StorageEnv>>,
     faults: Arc<FaultInjector>,
     /// Cluster-wide flight recorder: master transitions, WAL replays,
     /// scanner lease expirations, block-cache pressure, and injected faults
@@ -85,22 +119,41 @@ impl HBaseCluster {
                 life,
             ))
         });
+        let storage = if config.data_dir.is_some() || config.ephemeral_storage {
+            let env = match &config.data_dir {
+                Some(dir) => {
+                    StorageEnv::new(dir.clone(), config.wal_segment_bytes, Arc::clone(&metrics))
+                }
+                None => StorageEnv::temp(config.wal_segment_bytes, Arc::clone(&metrics)),
+            };
+            Some(env.expect("open cluster storage root"))
+        } else {
+            None
+        };
+        let faults = FaultInjector::new(config.fault_seed, Arc::clone(&metrics));
+        if let Some(env) = &storage {
+            env.attach_faults(Arc::clone(&faults));
+        }
         let servers: Vec<Arc<RegionServer>> = (0..config.num_servers.max(1))
             .map(|i| {
                 let hostname = format!("host-{i}");
                 zk.set(&format!("/hbase/rs/{hostname}"), hostname.clone());
-                Arc::new(RegionServer::new(
+                let server = Arc::new(RegionServer::new(
                     i as u64,
                     hostname,
                     Arc::clone(&metrics),
                     security.clone(),
                     clock.clone(),
                     config.block_cache_bytes,
-                ))
+                    storage.clone(),
+                ));
+                if config.background_flush {
+                    server.enable_background_flush();
+                }
+                server
             })
             .collect();
         let servers = Arc::new(RwLock::new(servers));
-        let faults = FaultInjector::new(config.fault_seed, Arc::clone(&metrics));
         let events = shc_obs::EventJournal::new(config.event_journal_capacity);
         for server in servers.read().iter() {
             server.attach_fault_injector(Arc::clone(&faults));
@@ -114,6 +167,9 @@ impl HBaseCluster {
             clock.clone(),
             Arc::clone(&metrics),
         ));
+        if let Some(env) = &storage {
+            master.attach_storage(Arc::clone(env));
+        }
         master.attach_event_journal(Arc::clone(&events));
         static NEXT_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Arc::new(HBaseCluster {
@@ -125,6 +181,7 @@ impl HBaseCluster {
             metrics,
             clock,
             security,
+            storage,
             faults,
             events,
         })
@@ -186,6 +243,24 @@ impl HBaseCluster {
             server.flush_all()?;
         }
         Ok(())
+    }
+
+    /// Whether this cluster persists data on disk.
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// The durable storage root, when the cluster has one.
+    pub fn storage(&self) -> Option<&Arc<StorageEnv>> {
+        self.storage.as_ref()
+    }
+
+    /// Wait for every server's background flusher to drain (no-op unless
+    /// [`ClusterConfig::background_flush`] is on).
+    pub fn quiesce(&self) {
+        for server in self.servers.read().iter() {
+            server.quiesce_flushes();
+        }
     }
 
     /// Every *online* server reports its current load to the master, as if

@@ -43,6 +43,15 @@ pub enum KvError {
         attempts: u32,
         last: Box<KvError>,
     },
+    /// On-disk data failed validation (bad CRC, truncated structure, bad
+    /// magic). Recovery stops at the last valid record; opens fail loudly.
+    Corruption(String),
+    /// The fault injector killed the process mid-write: a prefix of the
+    /// payload may have reached disk. The server must be crashed and
+    /// restarted; only WAL replay + manifest reload bring it back.
+    SimulatedCrash(String),
+    /// A real I/O error from the durable storage layer.
+    Io(String),
 }
 
 impl KvError {
@@ -88,11 +97,20 @@ impl fmt::Display for KvError {
                     "{op} failed after {attempts} attempts; last error: {last}"
                 )
             }
+            KvError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            KvError::SimulatedCrash(msg) => write!(f, "simulated crash during {msg}"),
+            KvError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for KvError {}
+
+impl From<std::io::Error> for KvError {
+    fn from(e: std::io::Error) -> Self {
+        KvError::Io(e.to_string())
+    }
+}
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, KvError>;

@@ -31,6 +31,98 @@ pub enum RpcOp {
     Scan,
 }
 
+/// The durable-storage write surface, as seen by the injector. Every write
+/// the [`crate::storage::StorageEnv`] performs is classified into one of
+/// these, so crash tests can kill a server at a precise point of a flush,
+/// a compaction, a manifest commit, or a WAL append.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileOp {
+    /// A WAL record append (one per mutation batch).
+    WalAppend,
+    /// A store-file data/meta block written during a memstore flush.
+    StoreFileWrite,
+    /// A store-file block written during a compaction rewrite.
+    CompactionWrite,
+    /// A region manifest commit (the atomic rename that publishes flushed
+    /// or compacted files).
+    ManifestWrite,
+}
+
+/// How a file-layer fault mangles the write it fires on. All three kill the
+/// "process": the caller must surface [`KvError::SimulatedCrash`] and the
+/// harness is expected to crash + restart the server.
+#[derive(Clone, Copy, Debug)]
+pub enum FileFaultKind {
+    /// A seeded fraction of the payload reaches disk before the crash —
+    /// the classic torn write.
+    Torn,
+    /// All but the last `n` bytes reach disk (`n >= len` degrades to
+    /// nothing persisted).
+    ShortWrite(usize),
+    /// The process dies before any byte of this write persists.
+    CrashAt,
+}
+
+/// One file-layer fault rule: fires on the `at_match`-th write matching
+/// `op` (1-based), mangles it per `kind`, then never fires again.
+#[derive(Debug)]
+pub struct FileFaultRule {
+    kind: FileFaultKind,
+    op: Option<FileOp>,
+    /// Fires when the match count reaches this value (1-based).
+    at_match: u64,
+    matches: AtomicU64,
+    fired: AtomicU64,
+    rule_id: u64,
+}
+
+impl FileFaultRule {
+    pub fn new(kind: FileFaultKind) -> Self {
+        FileFaultRule {
+            kind,
+            op: None,
+            at_match: 1,
+            matches: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+            rule_id: 0,
+        }
+    }
+
+    /// Only match writes of this operation.
+    pub fn on_op(mut self, op: FileOp) -> Self {
+        self.op = Some(op);
+        self
+    }
+
+    /// Fire on the n-th matching write (1-based) instead of the first.
+    pub fn at_nth(mut self, n: u64) -> Self {
+        self.at_match = n.max(1);
+        self
+    }
+
+    /// How many times this rule has fired (0 or 1).
+    pub fn fire_count(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+/// Verdict for one file-layer write: how many payload bytes actually reach
+/// disk, and whether the simulated process dies on this write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteVerdict {
+    pub persist: usize,
+    pub crash: bool,
+}
+
+impl WriteVerdict {
+    fn clean(len: usize) -> Self {
+        WriteVerdict {
+            persist: len,
+            crash: false,
+        }
+    }
+}
+
 /// What happens to an RPC when a rule fires.
 #[derive(Clone, Copy, Debug)]
 pub enum FaultKind {
@@ -162,6 +254,7 @@ struct Hook {
 pub struct FaultInjector {
     seed: u64,
     rules: RwLock<Vec<Arc<FaultRule>>>,
+    file_rules: RwLock<Vec<Arc<FileFaultRule>>>,
     hooks: RwLock<Vec<Arc<Hook>>>,
     active: AtomicBool,
     metrics: Arc<ClusterMetrics>,
@@ -186,6 +279,7 @@ impl FaultInjector {
         Arc::new(FaultInjector {
             seed,
             rules: RwLock::new(Vec::new()),
+            file_rules: RwLock::new(Vec::new()),
             hooks: RwLock::new(Vec::new()),
             active: AtomicBool::new(false),
             metrics,
@@ -221,9 +315,63 @@ impl FaultInjector {
         self.active.store(true, Ordering::Release);
     }
 
+    /// Register a file-layer rule; returns a handle for inspecting whether
+    /// it fired.
+    pub fn add_file_rule(&self, mut rule: FileFaultRule) -> Arc<FileFaultRule> {
+        let mut rules = self.file_rules.write();
+        rule.rule_id = rules.len() as u64;
+        let rule = Arc::new(rule);
+        rules.push(Arc::clone(&rule));
+        rule
+    }
+
+    /// Called by the storage layer before every durable write. The verdict
+    /// says how many payload bytes persist and whether the simulated process
+    /// dies on this write. Torn fractions are derived from the injector seed
+    /// and the rule's match index, so a schedule replays identically.
+    pub fn on_file_write(&self, op: FileOp, len: usize) -> WriteVerdict {
+        let rules: Vec<Arc<FileFaultRule>> = self.file_rules.read().clone();
+        for rule in rules {
+            if rule.op.is_some_and(|o| o != op) {
+                continue;
+            }
+            let index = rule.matches.fetch_add(1, Ordering::Relaxed) + 1;
+            if index != rule.at_match {
+                continue;
+            }
+            rule.fired.fetch_add(1, Ordering::Relaxed);
+            self.metrics.add(&self.metrics.faults_injected, 1);
+            let persist = match rule.kind {
+                FileFaultKind::Torn => {
+                    let x = splitmix64(self.seed ^ (rule.rule_id << 40) ^ index);
+                    (x % (len as u64 + 1)) as usize
+                }
+                FileFaultKind::ShortWrite(n) => len.saturating_sub(n),
+                FileFaultKind::CrashAt => 0,
+            };
+            if let Some((journal, clock)) = self.events.read().as_ref() {
+                journal.record(
+                    Severity::Warn,
+                    "fault",
+                    clock.peek_ms(),
+                    format!(
+                        "injected {:?} on {op:?}: {persist}/{len} bytes persisted before crash",
+                        rule.kind
+                    ),
+                );
+            }
+            return WriteVerdict {
+                persist,
+                crash: true,
+            };
+        }
+        WriteVerdict::clean(len)
+    }
+
     /// Remove all rules and hooks; the injector becomes inert again.
     pub fn clear(&self) {
         self.rules.write().clear();
+        self.file_rules.write().clear();
         self.hooks.write().clear();
         self.active.store(false, Ordering::Release);
     }

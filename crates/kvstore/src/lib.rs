@@ -57,6 +57,7 @@ pub mod network;
 pub mod region;
 pub mod region_server;
 pub mod security;
+pub mod storage;
 pub mod storefile;
 pub mod types;
 pub mod wal;
@@ -69,7 +70,9 @@ pub mod prelude {
     pub use crate::clock::Clock;
     pub use crate::cluster::{ClusterConfig, HBaseCluster};
     pub use crate::error::{KvError, Result};
-    pub use crate::fault::{FaultInjector, FaultKind, FaultRule, RpcOp, Trigger};
+    pub use crate::fault::{
+        FaultInjector, FaultKind, FaultRule, FileFaultKind, FileFaultRule, FileOp, RpcOp, Trigger,
+    };
     pub use crate::filter::{CompareOp, Filter, RowRange};
     pub use crate::load::{
         ClusterStatus, HotRegion, RegionLoad, ServerLoad, ServerStatus, TableLoadSummary,
@@ -79,6 +82,7 @@ pub mod prelude {
     pub use crate::network::NetworkSim;
     pub use crate::region::{RegionConfig, RegionInfo, ScanStats};
     pub use crate::security::{AuthToken, TokenService};
+    pub use crate::storage::StorageEnv;
     pub use crate::types::{
         Cell, CellKey, CellType, Delete, DeleteScope, FamilyDescriptor, Get, Projection, Put,
         RowResult, Scan, TableDescriptor, TableName, TimeRange,

@@ -8,6 +8,7 @@ use crate::load::{ClusterStatus, HotRegion, ServerLoad, ServerStatus, TableLoadS
 use crate::metrics::ClusterMetrics;
 use crate::region::{Region, RegionConfig, RegionInfo};
 use crate::region_server::RegionServer;
+use crate::storage::StorageEnv;
 use crate::types::{TableDescriptor, TableName};
 use crate::zookeeper::ZooKeeper;
 use bytes::Bytes;
@@ -53,6 +54,8 @@ pub struct Master {
     /// Optional flight recorder; splits, moves, failovers, and reassignments
     /// are journaled when attached.
     events: RwLock<Option<Arc<shc_obs::EventJournal>>>,
+    /// Durable storage root; new regions are rooted under it when set.
+    storage: RwLock<Option<Arc<StorageEnv>>>,
 }
 
 /// Default staleness window before a silent server is declared dead.
@@ -79,7 +82,14 @@ impl Master {
             heartbeats: RwLock::new(HashMap::new()),
             heartbeat_timeout_ms: AtomicU64::new(DEFAULT_HEARTBEAT_TIMEOUT_MS),
             events: RwLock::new(None),
+            storage: RwLock::new(None),
         }
+    }
+
+    /// Attach the cluster's durable storage root; regions created from now
+    /// on get an on-disk directory (store files + manifest) under it.
+    pub fn attach_storage(&self, env: Arc<StorageEnv>) {
+        *self.storage.write() = Some(env);
     }
 
     /// Attach the cluster's flight recorder; region lifecycle transitions
@@ -141,6 +151,9 @@ impl Master {
                 server.wal(),
                 self.clock.clone(),
             );
+            if let Some(env) = self.storage.read().as_ref() {
+                region.attach_storage(Arc::clone(env))?;
+            }
             server.open_region(Arc::new(region));
             self.zk.set(
                 &format!("/hbase/table/{}/region/{}", descriptor.name, region_id),
@@ -172,7 +185,9 @@ impl Master {
         let servers = self.servers.read();
         for loc in meta.regions {
             if let Some(server) = servers.iter().find(|s| s.server_id == loc.server_id) {
-                server.close_region(loc.info.region_id);
+                if let Some(region) = server.close_region(loc.info.region_id) {
+                    region.remove_storage_dir();
+                }
             }
             self.zk.delete(&format!(
                 "/hbase/table/{}/region/{}",
@@ -272,6 +287,16 @@ impl Master {
         let right_id = self.next_region_id.fetch_add(1, Ordering::Relaxed);
         let (left, right) = region.split(split_key, left_id, right_id)?;
         let (left, right) = (Arc::new(left), Arc::new(right));
+        if let Some(env) = self.storage.read().as_ref() {
+            // Daughters are fresh in-memory regions holding re-split store
+            // files: give them directories, persist, then retire the
+            // parent's directory so recovery never resurrects it.
+            left.attach_storage(Arc::clone(env))?;
+            right.attach_storage(Arc::clone(env))?;
+            left.persist_all_files()?;
+            right.persist_all_files()?;
+            region.remove_storage_dir();
+        }
         server.close_region(region_id);
         server.open_region(Arc::clone(&left));
         server.open_region(Arc::clone(&right));
@@ -645,6 +670,7 @@ mod tests {
                     None,
                     Clock::logical(0),
                     1 << 20,
+                    None,
                 ))
             })
             .collect();

@@ -10,8 +10,10 @@
 use crate::block_cache::{load_block, BlockCache, ReadTally};
 use crate::clock::Clock;
 use crate::error::{KvError, Result};
+use crate::fault::FileOp;
 use crate::load::{RegionLoad, RegionLoadCounters};
 use crate::memstore::MemStore;
+use crate::storage::{self, Reader, StorageEnv};
 use crate::storefile::{Block, CellSrc, StoreFile};
 use crate::types::{
     Cell, CellKey, CellType, Delete, DeleteScope, Get, Put, RowResult, Scan, TableDescriptor,
@@ -21,8 +23,9 @@ use crate::wal::Wal;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::ops::Bound;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -55,8 +58,18 @@ impl RegionInfo {
 pub struct RegionConfig {
     /// Memstore heap size that triggers an automatic flush.
     pub memstore_flush_size: usize,
-    /// Store-file count that triggers an automatic minor compaction.
+    /// Store-file count that triggers an automatic major compaction (after
+    /// size-tiered selection has had its chance).
     pub compact_at_file_count: usize,
+    /// Server-WAL retained bytes that trigger a flush of this region even
+    /// when its memstore is small, so old log segments can be archived.
+    pub wal_flush_trigger_bytes: u64,
+    /// Minimum number of similarly-sized files a size-tiered minor
+    /// compaction merges at once.
+    pub tier_min_files: usize,
+    /// Two files are "similarly sized" (same tier) when the larger is at
+    /// most this multiple of the smaller.
+    pub tier_size_ratio: f64,
 }
 
 impl Default for RegionConfig {
@@ -64,7 +77,29 @@ impl Default for RegionConfig {
         RegionConfig {
             memstore_flush_size: 4 * 1024 * 1024,
             compact_at_file_count: 6,
+            wal_flush_trigger_bytes: 8 * 1024 * 1024,
+            tier_min_files: 4,
+            tier_size_ratio: 2.0,
         }
+    }
+}
+
+/// A region's slice of the durable storage tree: its directory, its
+/// manifest, and the counter naming new store files.
+struct RegionStorage {
+    env: Arc<StorageEnv>,
+    dir: PathBuf,
+    next_file_no: AtomicU64,
+}
+
+impl RegionStorage {
+    fn next_sst_path(&self) -> PathBuf {
+        let no = self.next_file_no.fetch_add(1, Ordering::Relaxed);
+        self.dir.join(format!("sf-{no:06}.sst"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("MANIFEST")
     }
 }
 
@@ -123,12 +158,21 @@ pub struct Region {
     read_point: AtomicU64,
     /// Serializes the write path (WAL append + memstore apply).
     write_lock: Mutex<()>,
-    /// Lifetime flush counter, for tests and metrics.
+    /// Lifetime counters of *durably completed* flushes/compactions. In
+    /// durable mode these only advance after the manifest commit — a flush
+    /// that crashed mid-write is not a flush.
     flush_count: AtomicU64,
     compaction_count: AtomicU64,
     /// Per-region request accounting, bumped by the hosting server's RPC
     /// handlers. Lives on the region so the history follows a move.
     load: RegionLoadCounters,
+    /// Durable storage for this region's store files, if the cluster has a
+    /// data directory. `None` keeps the original in-memory behaviour.
+    storage: RwLock<Option<Arc<RegionStorage>>>,
+    /// When set, `maybe_flush` hands the flush to a background thread via
+    /// this callback instead of flushing synchronously on the write path.
+    #[allow(clippy::type_complexity)]
+    flush_notifier: RwLock<Option<Box<dyn Fn(u64) + Send + Sync>>>,
 }
 
 impl Region {
@@ -166,7 +210,37 @@ impl Region {
             flush_count: AtomicU64::new(0),
             compaction_count: AtomicU64::new(0),
             load: RegionLoadCounters::default(),
+            storage: RwLock::new(None),
+            flush_notifier: RwLock::new(None),
         }
+    }
+
+    /// Give the region a durable directory under `env`. Flushes and
+    /// compactions persist store files there and publish them through the
+    /// region's manifest; [`Region::reload_from_disk`] rebuilds from it.
+    pub fn attach_storage(&self, env: Arc<StorageEnv>) -> Result<()> {
+        let dir = env.region_dir(self.info.region_id);
+        std::fs::create_dir_all(&dir)?;
+        *self.storage.write() = Some(Arc::new(RegionStorage {
+            env,
+            dir,
+            next_file_no: AtomicU64::new(1),
+        }));
+        Ok(())
+    }
+
+    pub fn is_durable(&self) -> bool {
+        self.storage.read().is_some()
+    }
+
+    /// Route automatic flushes to a background worker. The callback gets
+    /// the region id; the worker is expected to call [`Region::flush`].
+    pub fn set_flush_notifier(&self, notify: impl Fn(u64) + Send + Sync + 'static) {
+        *self.flush_notifier.write() = Some(Box::new(notify));
+    }
+
+    pub fn clear_flush_notifier(&self) {
+        *self.flush_notifier.write() = None;
     }
 
     pub fn descriptor(&self) -> &TableDescriptor {
@@ -399,16 +473,32 @@ impl Region {
     }
 
     fn maybe_flush(&self) -> Result<()> {
-        if self.memstore_size() >= self.config.memstore_flush_size {
-            self.flush()?;
+        let memstore_full = self.memstore_size() >= self.config.memstore_flush_size;
+        let wal_full = self.memstore_size() > 0
+            && self.wal.read().retained_bytes() >= self.config.wal_flush_trigger_bytes;
+        if memstore_full || wal_full {
+            let notifier = self.flush_notifier.read();
+            if let Some(notify) = notifier.as_ref() {
+                notify(self.info.region_id);
+            } else {
+                drop(notifier);
+                self.flush()?;
+            }
         }
         Ok(())
     }
 
     /// Flush every family's memstore into a new store file and let the WAL
     /// drop the now-durable records.
+    ///
+    /// Durable ordering: store files are written and fsynced first, the
+    /// manifest commit publishes them, and only *then* does `flush_count`
+    /// advance and the WAL release the covered records. A crash at any
+    /// earlier point leaves the old manifest intact, the WAL untouched, and
+    /// at most some orphaned `.sst` files for recovery to sweep.
     pub fn flush(&self) -> Result<()> {
         let read_point = self.read_point.load(Ordering::Acquire);
+        let storage = self.storage.read().clone();
         let mut stores = self.stores.write();
         let mut any = false;
         for store in stores.values_mut() {
@@ -417,6 +507,9 @@ impl Region {
             }
             let cells = store.memstore.drain_sorted();
             let file = StoreFile::from_sorted(cells);
+            if let Some(rs) = &storage {
+                file.write_to(&rs.env, &rs.next_sst_path(), FileOp::StoreFileWrite)?;
+            }
             store.flushed_seq = store.flushed_seq.max(file.max_seq);
             store.files.push(Arc::new(file));
             any = true;
@@ -426,8 +519,15 @@ impl Region {
             .map(|s| s.flushed_seq)
             .min()
             .unwrap_or(read_point);
+        if any {
+            if let Some(rs) = &storage {
+                write_manifest(rs, &stores)?;
+            }
+        }
         drop(stores);
         if any {
+            // Durable completion point: everything below is bookkeeping on
+            // state that is already safe on disk.
             self.flush_count.fetch_add(1, Ordering::Relaxed);
             self.wal
                 .read()
@@ -438,21 +538,96 @@ impl Region {
     }
 
     fn maybe_compact(&self) -> Result<()> {
-        let needs = self
+        // Size-tiered minor compactions first: cheap merges of similarly
+        // sized files, keeping tombstones and versions.
+        while self.minor_compact()? {}
+        let needs_major = self
             .stores
             .read()
             .values()
             .any(|s| s.files.len() >= self.config.compact_at_file_count);
-        if needs {
+        if needs_major {
             self.compact()?;
         }
         Ok(())
     }
 
+    /// One round of size-tiered selection per family: find at least
+    /// `tier_min_files` files whose sizes are within `tier_size_ratio` of
+    /// each other and merge them into one, keeping every version and
+    /// tombstone (only a major compaction may drop data). Returns whether
+    /// any merge happened.
+    pub fn minor_compact(&self) -> Result<bool> {
+        let storage = self.storage.read().clone();
+        let mut stores = self.stores.write();
+        // One family per round; callers loop until no tier qualifies.
+        let target: Option<(Bytes, Vec<usize>)> = stores.iter().find_map(|(family, store)| {
+            select_tier(
+                &store.files,
+                self.config.tier_min_files,
+                self.config.tier_size_ratio,
+            )
+            .map(|pick| (family.clone(), pick))
+        });
+        let Some((family, pick)) = target else {
+            return Ok(false);
+        };
+        let replaced = {
+            let store = stores.get_mut(&family).expect("family exists");
+            let picked: Vec<Arc<StoreFile>> =
+                pick.iter().map(|&i| Arc::clone(&store.files[i])).collect();
+            let tally = ReadTally::default();
+            let streams: Vec<Box<dyn Iterator<Item = CellSrc> + '_>> = picked
+                .iter()
+                .map(|f| {
+                    Box::new(FileStream::new(
+                        Arc::clone(f),
+                        Bytes::new(),
+                        Bytes::new(),
+                        None,
+                        &tally,
+                    )) as Box<dyn Iterator<Item = CellSrc> + '_>
+                })
+                .collect();
+            let cells: Vec<Cell> = MergeIter::new(streams).map(CellSrc::into_cell).collect();
+            let merged = StoreFile::from_sorted(cells);
+            if let Some(rs) = &storage {
+                merged.write_to(&rs.env, &rs.next_sst_path(), FileOp::CompactionWrite)?;
+            }
+            let keep: HashSet<usize> = pick.iter().copied().collect();
+            let mut replaced = Vec::new();
+            let mut files = Vec::with_capacity(store.files.len() + 1 - pick.len());
+            for (i, f) in store.files.drain(..).enumerate() {
+                if keep.contains(&i) {
+                    replaced.push(f);
+                } else {
+                    files.push(f);
+                }
+            }
+            files.push(Arc::new(merged));
+            files.sort_by_key(|f| f.max_seq);
+            store.files = files;
+            replaced
+        };
+        if let Some(rs) = &storage {
+            write_manifest(rs, &stores)?;
+            remove_replaced_files(rs, &replaced);
+        }
+        drop(stores);
+        self.compaction_count.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
     /// Major compaction: merge each family's files into one, dropping masked
     /// versions beyond the family's `max_versions` and all tombstones.
+    ///
+    /// Same durable ordering as flush: the merged file is written and the
+    /// manifest committed before the old files are deleted or the counter
+    /// advances.
     pub fn compact(&self) -> Result<()> {
+        let storage = self.storage.read().clone();
         let mut stores = self.stores.write();
+        let mut all_replaced = Vec::new();
         for store in stores.values_mut() {
             // Major compaction rewrites even a single file: version
             // retention and tombstone collection must still apply.
@@ -475,7 +650,16 @@ impl Region {
                 .collect();
             let merged = MergeIter::new(streams);
             let compacted = compact_cells(merged, store.max_versions);
-            store.files = vec![Arc::new(StoreFile::from_sorted(compacted))];
+            let file = StoreFile::from_sorted(compacted);
+            if let Some(rs) = &storage {
+                file.write_to(&rs.env, &rs.next_sst_path(), FileOp::CompactionWrite)?;
+            }
+            all_replaced.append(&mut store.files);
+            store.files = vec![Arc::new(file)];
+        }
+        if let Some(rs) = &storage {
+            write_manifest(rs, &stores)?;
+            remove_replaced_files(rs, &all_replaced);
         }
         drop(stores);
         self.compaction_count.fetch_add(1, Ordering::Relaxed);
@@ -741,7 +925,7 @@ impl Region {
 
     /// Rebuild memstores from WAL records after a simulated crash. Records
     /// already flushed to store files are skipped via the per-store flushed
-    /// sequence.
+    /// sequence. Returns the number of WAL records applied.
     pub fn recover_from_wal(&self) -> Result<usize> {
         let min_flushed = self
             .stores
@@ -755,18 +939,240 @@ impl Region {
         let mut stores = self.stores.write();
         let mut max_seq = 0;
         for record in records {
+            let mut any = false;
             for mut cell in record.cells {
                 cell.key.seq = record.seq;
                 if let Some(store) = stores.get_mut(&cell.key.family) {
-                    store.memstore.insert(cell);
-                    applied += 1;
+                    // Skip edits a family already has in a store file; a
+                    // record straddling the flush point must not duplicate.
+                    if record.seq > store.flushed_seq {
+                        store.memstore.insert(cell);
+                        any = true;
+                    }
                 }
+            }
+            if any {
+                applied += 1;
             }
             max_seq = max_seq.max(record.seq);
         }
         drop(stores);
         self.read_point.fetch_max(max_seq, Ordering::Release);
         Ok(applied)
+    }
+
+    /// Rebuild the store-file sets strictly from the manifest on disk: open
+    /// every listed file (validating CRCs), restore flushed watermarks,
+    /// sweep orphaned `.sst` files left by a flush or compaction that
+    /// crashed before its manifest commit, and re-seed the WAL's flushed
+    /// watermark so segment archival stays correct. No-op without storage.
+    pub fn reload_from_disk(&self) -> Result<()> {
+        let Some(rs) = self.storage.read().clone() else {
+            return Ok(());
+        };
+        let manifest = read_manifest(&rs)?;
+        let mut stores = self.stores.write();
+        let mut listed: HashSet<PathBuf> = HashSet::new();
+        listed.insert(rs.manifest_path());
+        let mut max_file_no = 0u64;
+        let mut max_flushed = 0u64;
+        for store in stores.values_mut() {
+            store.files.clear();
+            store.flushed_seq = 0;
+        }
+        for (family, flushed_seq, file_names) in manifest {
+            let Some(store) = stores.get_mut(&family) else {
+                continue;
+            };
+            store.flushed_seq = flushed_seq;
+            max_flushed = max_flushed.max(flushed_seq);
+            for name in file_names {
+                let path = rs.dir.join(&name);
+                listed.insert(path.clone());
+                if let Some(no) = parse_sst_no(&name) {
+                    max_file_no = max_file_no.max(no);
+                }
+                let file = StoreFile::open(&rs.env, &path)?;
+                store.files.push(Arc::new(file));
+            }
+            store.files.sort_by_key(|f| f.max_seq);
+        }
+        let min_flushed = stores.values().map(|s| s.flushed_seq).min().unwrap_or(0);
+        drop(stores);
+        self.read_point.fetch_max(max_flushed, Ordering::Release);
+        rs.next_file_no.store(max_file_no + 1, Ordering::Relaxed);
+
+        // Orphan sweep: any .sst in the directory the manifest doesn't
+        // reference was written by an uncommitted flush/compaction.
+        if let Ok(entries) = std::fs::read_dir(&rs.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let is_sst = path.extension().and_then(|e| e.to_str()) == Some("sst");
+                if is_sst && !listed.contains(&path) && std::fs::remove_file(&path).is_ok() {
+                    let m = rs.env.metrics();
+                    m.add(&m.storefile_orphans_removed, 1);
+                }
+            }
+        }
+
+        if min_flushed > 0 {
+            self.wal
+                .read()
+                .truncate_up_to(self.info.region_id, min_flushed);
+        }
+        Ok(())
+    }
+
+    /// Persist every store file that is not yet on disk, then commit the
+    /// manifest. Used when a region gains storage after its files already
+    /// exist in memory — split daughters, failover re-homing.
+    pub fn persist_all_files(&self) -> Result<()> {
+        let Some(rs) = self.storage.read().clone() else {
+            return Ok(());
+        };
+        let stores = self.stores.write();
+        for store in stores.values() {
+            for file in &store.files {
+                if file.disk_path().is_none() {
+                    file.write_to(&rs.env, &rs.next_sst_path(), FileOp::StoreFileWrite)?;
+                }
+            }
+        }
+        write_manifest(&rs, &stores)?;
+        Ok(())
+    }
+
+    /// Remove this region's durable directory (parent cleanup after a
+    /// split). The region must no longer be serving.
+    pub fn remove_storage_dir(&self) {
+        if let Some(rs) = self.storage.read().as_ref() {
+            let _ = std::fs::remove_dir_all(&rs.dir);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Durable helpers: manifest codec, tier selection, file cleanup
+// ----------------------------------------------------------------------
+
+/// Pick indices of at least `min_files` store files in the same size tier
+/// (largest ≤ `ratio` × smallest). Prefers the tier of smallest files so
+/// fresh flushes merge before old giants are touched.
+fn select_tier(files: &[Arc<StoreFile>], min_files: usize, ratio: f64) -> Option<Vec<usize>> {
+    if files.len() < min_files.max(2) {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..files.len()).collect();
+    order.sort_by_key(|&i| files[i].byte_size());
+    let sizes: Vec<f64> = order
+        .iter()
+        .map(|&i| files[i].byte_size().max(1) as f64)
+        .collect();
+    let min_files = min_files.max(2);
+    for start in 0..=(order.len() - min_files) {
+        let end = start + min_files;
+        if sizes[end - 1] <= sizes[start] * ratio {
+            // Greedily widen the window while the tier invariant holds.
+            let mut wide = end;
+            while wide < order.len() && sizes[wide] <= sizes[start] * ratio {
+                wide += 1;
+            }
+            let mut pick: Vec<usize> = order[start..wide].to_vec();
+            pick.sort_unstable();
+            return Some(pick);
+        }
+    }
+    None
+}
+
+/// Serialize and atomically commit the region manifest: for each family,
+/// its flushed watermark and the store files that make up its current view.
+/// The manifest commit *is* the durable completion point of a flush or
+/// compaction — files not listed here do not exist as far as recovery is
+/// concerned.
+fn write_manifest(rs: &RegionStorage, stores: &HashMap<Bytes, Store>) -> Result<()> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(stores.len() as u32).to_le_bytes());
+    let mut families: Vec<&Bytes> = stores.keys().collect();
+    families.sort();
+    for family in families {
+        let store = &stores[family];
+        payload.extend_from_slice(&(family.len() as u16).to_le_bytes());
+        payload.extend_from_slice(family);
+        payload.extend_from_slice(&store.flushed_seq.to_le_bytes());
+        let names: Vec<String> = store
+            .files
+            .iter()
+            .filter_map(|f| {
+                f.disk_path()
+                    .and_then(|p| p.file_name())
+                    .and_then(|n| n.to_str())
+                    .map(str::to_owned)
+            })
+            .collect();
+        payload.extend_from_slice(&(names.len() as u32).to_le_bytes());
+        for name in names {
+            payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+        }
+    }
+    let mut framed = Vec::with_capacity(payload.len() + 4);
+    framed.extend_from_slice(&storage::crc32(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    rs.env
+        .write_atomic(&rs.manifest_path(), FileOp::ManifestWrite, &framed)
+}
+
+type ManifestEntry = (Bytes, u64, Vec<String>);
+
+/// Read and validate the manifest. A missing manifest is an empty region
+/// (nothing was ever flushed); a CRC mismatch is corruption and fails.
+fn read_manifest(rs: &RegionStorage) -> Result<Vec<ManifestEntry>> {
+    let path = rs.manifest_path();
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let data = rs.env.read(&path)?;
+    if data.len() < 4 {
+        return Err(KvError::Corruption("manifest shorter than its crc".into()));
+    }
+    let crc = u32::from_le_bytes(data[0..4].try_into().unwrap());
+    let payload = &data[4..];
+    if storage::crc32(payload) != crc {
+        return Err(KvError::Corruption("manifest crc mismatch".into()));
+    }
+    let mut r = Reader::new(payload);
+    let n_families = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n_families);
+    for _ in 0..n_families {
+        let family = r.bytes16()?;
+        let flushed_seq = r.u64()?;
+        let n_files = r.u32()? as usize;
+        let mut names = Vec::with_capacity(n_files.min(1 << 16));
+        for _ in 0..n_files {
+            let name = r.bytes16()?;
+            names.push(String::from_utf8_lossy(&name).into_owned());
+        }
+        out.push((family, flushed_seq, names));
+    }
+    Ok(out)
+}
+
+fn parse_sst_no(name: &str) -> Option<u64> {
+    name.strip_prefix("sf-")?
+        .strip_suffix(".sst")?
+        .parse::<u64>()
+        .ok()
+}
+
+/// Delete store files that a committed manifest no longer references.
+/// Failures are ignored — an undeleted file is just an orphan for the next
+/// recovery sweep.
+fn remove_replaced_files(rs: &RegionStorage, replaced: &[Arc<StoreFile>]) {
+    for file in replaced {
+        if let Some(path) = file.disk_path() {
+            let _ = rs.env.remove_file(path);
+        }
     }
 }
 
@@ -1394,6 +1800,7 @@ mod tests {
             RegionConfig {
                 memstore_flush_size: 512,
                 compact_at_file_count: 100,
+                ..RegionConfig::default()
             },
             Arc::new(Wal::new()),
             Clock::logical(0),

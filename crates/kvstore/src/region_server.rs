@@ -17,18 +17,22 @@ use crate::load::ServerLoad;
 use crate::metrics::ClusterMetrics;
 use crate::region::{Region, ScanStats};
 use crate::security::{AuthToken, TokenService};
+use crate::storage::StorageEnv;
 use crate::types::{row_successor, Delete, Get, Put, RowResult, Scan};
 use crate::wal::Wal;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// Default scanner lease: virtual milliseconds a scanner may sit idle
 /// between `next_batch` calls before the server reclaims it.
 pub const DEFAULT_SCANNER_LEASE_MS: u64 = 60_000;
+
+/// Sentinel region id that tells the background flush worker to exit.
+const FLUSHER_STOP: u64 = u64::MAX;
 
 /// Cursor state of one open server-side scanner.
 struct ScannerState {
@@ -51,17 +55,33 @@ pub struct ScanBatch {
     pub more: bool,
 }
 
+/// Background flush worker state: a queue of region ids plus the
+/// bookkeeping [`RegionServer::quiesce_flushes`] needs to wait for drain.
+struct Flusher {
+    /// Behind a `Mutex` only so `RegionServer` stays `Sync`.
+    tx: Mutex<mpsc::Sender<u64>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    /// Region ids queued but not yet picked up (dedupes notifications).
+    pending: Arc<Mutex<HashSet<u64>>>,
+    /// Flushes currently executing on the worker.
+    inflight: Arc<AtomicUsize>,
+}
+
 /// One region server ("node") in the simulated cluster.
 pub struct RegionServer {
     pub server_id: u64,
     pub hostname: String,
-    regions: RwLock<HashMap<u64, Arc<Region>>>,
+    regions: Arc<RwLock<HashMap<u64, Arc<Region>>>>,
     wal: Arc<Wal>,
     metrics: Arc<ClusterMetrics>,
     security: Option<Arc<TokenService>>,
+    /// The cluster's durable storage root, when this is a durable cluster.
+    storage: Option<Arc<StorageEnv>>,
     /// True between [`crash`](Self::crash) and [`restart`](Self::restart):
     /// every RPC is refused as if the process were gone.
-    offline: AtomicBool,
+    offline: Arc<AtomicBool>,
+    /// Background memstore flusher, when enabled.
+    flusher: Mutex<Option<Flusher>>,
     /// Optional fault injector consulted at every RPC entry.
     fault: RwLock<Option<Arc<FaultInjector>>>,
     /// Optional flight recorder; lease expirations and WAL replays are
@@ -85,16 +105,24 @@ impl RegionServer {
         security: Option<Arc<TokenService>>,
         clock: Clock,
         block_cache_bytes: usize,
+        storage: Option<Arc<StorageEnv>>,
     ) -> Self {
         let block_cache = Arc::new(BlockCache::new(block_cache_bytes, Arc::clone(&metrics)));
+        let wal = match &storage {
+            Some(env) => Wal::durable(Arc::clone(env), env.wal_dir(server_id))
+                .expect("durable WAL open failed"),
+            None => Wal::new(),
+        };
         RegionServer {
             server_id,
             hostname: hostname.into(),
-            regions: RwLock::new(HashMap::new()),
-            wal: Arc::new(Wal::new()),
+            regions: Arc::new(RwLock::new(HashMap::new())),
+            wal: Arc::new(wal),
             metrics,
             security,
-            offline: AtomicBool::new(false),
+            storage,
+            offline: Arc::new(AtomicBool::new(false)),
+            flusher: Mutex::new(None),
             fault: RwLock::new(None),
             events: RwLock::new(None),
             block_cache,
@@ -103,6 +131,11 @@ impl RegionServer {
             scanner_lease_ms: AtomicU64::new(DEFAULT_SCANNER_LEASE_MS),
             clock,
         }
+    }
+
+    /// Whether this server writes through a [`StorageEnv`] (durable cluster).
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
     }
 
     pub fn block_cache(&self) -> &BlockCache {
@@ -180,7 +213,89 @@ impl RegionServer {
     }
 
     pub fn open_region(&self, region: Arc<Region>) {
+        match self.flusher.lock().as_ref() {
+            Some(flusher) => Self::hook_region(&region, flusher),
+            None => region.clear_flush_notifier(),
+        }
         self.regions.write().insert(region.info.region_id, region);
+    }
+
+    /// Point a region's flush notifier at the background worker's queue.
+    fn hook_region(region: &Region, flusher: &Flusher) {
+        let tx = flusher.tx.lock().clone();
+        let pending = Arc::clone(&flusher.pending);
+        region.set_flush_notifier(move |region_id| {
+            // Dedupe: a region already queued is flushed once, not per put.
+            if pending.lock().insert(region_id) {
+                let _ = tx.send(region_id);
+            }
+        });
+    }
+
+    /// Spawn the background flush worker. Regions stop flushing inline on
+    /// the write path: when a memstore or the WAL crosses its watermark the
+    /// region id is queued here instead, and a dedicated thread flushes it.
+    /// Idempotent.
+    pub fn enable_background_flush(&self) {
+        let mut guard = self.flusher.lock();
+        if guard.is_some() {
+            return;
+        }
+        let (tx, rx) = mpsc::channel::<u64>();
+        let pending = Arc::new(Mutex::new(HashSet::new()));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let regions = Arc::clone(&self.regions);
+        let offline = Arc::clone(&self.offline);
+        let metrics = Arc::clone(&self.metrics);
+        let worker_pending = Arc::clone(&pending);
+        let worker_inflight = Arc::clone(&inflight);
+        let handle = std::thread::Builder::new()
+            .name(format!("flush-{}", self.server_id))
+            .spawn(move || {
+                while let Ok(region_id) = rx.recv() {
+                    if region_id == FLUSHER_STOP {
+                        break;
+                    }
+                    // Order matters for `quiesce_flushes`: become inflight
+                    // *before* leaving the pending set, so the drain check
+                    // (`pending empty && inflight == 0`) never races ahead
+                    // of a flush that was picked up but not started.
+                    worker_inflight.fetch_add(1, Ordering::AcqRel);
+                    worker_pending.lock().remove(&region_id);
+                    if !offline.load(Ordering::Acquire) {
+                        let region = regions.read().get(&region_id).cloned();
+                        if let Some(region) = region {
+                            if region.flush().is_ok() {
+                                metrics.add(&metrics.background_flushes, 1);
+                            }
+                        }
+                    }
+                    worker_inflight.fetch_sub(1, Ordering::AcqRel);
+                }
+            })
+            .expect("spawn flush thread");
+        let flusher = Flusher {
+            tx: Mutex::new(tx),
+            handle: Some(handle),
+            pending,
+            inflight,
+        };
+        for region in self.regions.read().values() {
+            Self::hook_region(region, &flusher);
+        }
+        *guard = Some(flusher);
+    }
+
+    /// Wait until the background flusher has drained every queued and
+    /// in-flight flush. No-op when background flushing is disabled.
+    pub fn quiesce_flushes(&self) {
+        let (pending, inflight) = match self.flusher.lock().as_ref() {
+            Some(f) => (Arc::clone(&f.pending), Arc::clone(&f.inflight)),
+            None => return,
+        };
+        while !pending.lock().is_empty() || inflight.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
     }
 
     pub fn close_region(&self, region_id: u64) -> Option<Arc<Region>> {
@@ -502,37 +617,71 @@ impl RegionServer {
     }
 
     /// Simulate a crash: the process drops off the network, the WAL refuses
-    /// appends, and every unflushed memstore is lost. Only WAL replay at
-    /// [`restart`](Self::restart) can bring the data back.
+    /// appends, and every unflushed memstore is lost. On a durable server
+    /// only un-fsynced state is gone — flushed store files, the manifest,
+    /// and every fsynced WAL record survive on disk for
+    /// [`restart`](Self::restart) to recover.
     pub fn crash(&self) {
         self.offline.store(true, Ordering::Release);
         self.wal.close();
         // Open scanners die with the process; clients reopen elsewhere.
         self.scanners.lock().clear();
+        // Queued background flushes die too: the worker skips them while
+        // offline, but clear the dedupe set so post-restart notifications
+        // re-enqueue.
+        if let Some(flusher) = self.flusher.lock().as_ref() {
+            flusher.pending.lock().clear();
+        }
         for region in self.regions.read().values() {
             region.lose_memstores();
         }
     }
 
-    /// Restart after a crash: reopen the WAL, replay it into every hosted
-    /// region, and come back online.
+    /// Restart after a crash: reopen the WAL, reload every durable region
+    /// from its manifest, replay the WAL tail into the memstores, and come
+    /// back online.
     pub fn restart(&self) {
-        self.wal.reopen();
-        let mut replayed = 0u64;
+        self.try_restart().expect("server restart recovery failed");
+    }
+
+    /// Fallible restart. Returns the number of WAL records replayed.
+    pub fn try_restart(&self) -> Result<u64> {
+        self.wal.reopen()?;
+        let mut regions_recovered = 0u64;
+        let mut records = 0u64;
         for region in self.regions.read().values() {
-            let _ = region.recover_from_wal();
+            if region.is_durable() {
+                region.reload_from_disk()?;
+            }
+            records += region.recover_from_wal()? as u64;
             self.metrics.add(&self.metrics.wal_replays, 1);
-            replayed += 1;
+            regions_recovered += 1;
         }
+        self.metrics
+            .add(&self.metrics.wal_replayed_records, records);
         self.offline.store(false, Ordering::Release);
         self.journal(
             shc_obs::Severity::Info,
             "wal",
             format!(
-                "server {} restarted; replayed WAL into {replayed} region(s)",
+                "server {} restarted; replayed {records} WAL record(s) into \
+                 {regions_recovered} region(s)",
                 self.server_id
             ),
         );
+        Ok(records)
+    }
+}
+
+impl Drop for RegionServer {
+    fn drop(&mut self) {
+        let flusher = self.flusher.lock().take();
+        if let Some(mut flusher) = flusher {
+            let _ = flusher.tx.lock().send(FLUSHER_STOP);
+            if let Some(handle) = flusher.handle.take() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 
@@ -546,7 +695,8 @@ mod tests {
 
     fn server_with_region() -> (RegionServer, u64) {
         let metrics = ClusterMetrics::new();
-        let server = RegionServer::new(1, "host-1", metrics, None, Clock::logical(0), 1 << 20);
+        let server =
+            RegionServer::new(1, "host-1", metrics, None, Clock::logical(0), 1 << 20, None);
         let td = TableDescriptor::new(TableName::default_ns("t"))
             .with_family(FamilyDescriptor::new("cf"));
         let region = Region::new(
@@ -640,6 +790,7 @@ mod tests {
             Some(Arc::clone(&service)),
             clock.clone(),
             1 << 20,
+            None,
         );
         let td = TableDescriptor::new(TableName::default_ns("t"))
             .with_family(FamilyDescriptor::new("cf"));

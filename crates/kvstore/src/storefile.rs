@@ -11,12 +11,35 @@
 //! server's block cache) and yields [`CellSrc`] references into those shared
 //! blocks, so a scan only copies the cells that actually end up in a
 //! response.
+//!
+//! In durable clusters a store file also has an on-disk form
+//! ([`StoreFile::write_to`] / [`StoreFile::open`]):
+//!
+//! ```text
+//! [data block]* [meta block] [footer]
+//! block  = len u32 | crc32 u32 | payload
+//! meta   = block index (offset, len) | file metadata | bloom filter
+//! footer = meta_off u64 | meta_len u64 | magic u64
+//! ```
+//!
+//! Every block — data and meta — carries its own CRC, so a torn flush or a
+//! flipped byte is detected at open time and surfaces as
+//! [`KvError::Corruption`] instead of silently wrong query results.
 
+use crate::error::{KvError, Result};
+use crate::fault::FileOp;
+use crate::storage::{self, Reader, StorageEnv};
 use crate::types::{Cell, TimeRange};
 use bytes::Bytes;
 use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Trailing magic of the on-disk store-file format ("SHCSTORE").
+const STOREFILE_MAGIC: u64 = 0x5348_4353_544f_5245;
+/// Footer: meta_off u64 | meta_len u64 | magic u64.
+const FOOTER_LEN: usize = 24;
 
 /// Number of cells per data block. Sparse enough to keep the index tiny,
 /// dense enough that a seek touches at most one extra block.
@@ -84,6 +107,26 @@ impl BloomFilter {
         (0..self.n_hashes as u64).all(|i| {
             let bit = (a.wrapping_add(i.wrapping_mul(b)) % self.n_bits as u64) as usize;
             self.bits[bit / 64] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// The raw table for serialization: (bit words, n_bits, n_hashes).
+    pub(crate) fn parts(&self) -> (&[u64], usize, u32) {
+        (&self.bits, self.n_bits, self.n_hashes)
+    }
+
+    /// Rebuild a filter from its serialized parts.
+    pub(crate) fn from_parts(bits: Vec<u64>, n_bits: usize, n_hashes: u32) -> Result<Self> {
+        if n_bits == 0 || bits.len() != n_bits / 64 + 1 || n_hashes == 0 {
+            return Err(KvError::Corruption(format!(
+                "bloom shape mismatch: {} words for {n_bits} bits",
+                bits.len()
+            )));
+        }
+        Ok(BloomFilter {
+            bits,
+            n_bits,
+            n_hashes,
         })
     }
 }
@@ -173,6 +216,9 @@ pub struct StoreFile {
     /// First and last row keys, for range pruning.
     pub first_row: Option<Bytes>,
     pub last_row: Option<Bytes>,
+    /// Where this file lives on disk, once persisted. Unset for purely
+    /// in-memory files (non-durable clusters, or a flush not yet written).
+    disk_path: OnceLock<PathBuf>,
 }
 
 impl StoreFile {
@@ -241,6 +287,7 @@ impl StoreFile {
             max_seq,
             first_row,
             last_row,
+            disk_path: OnceLock::new(),
         }
     }
 
@@ -335,6 +382,216 @@ impl StoreFile {
             .skip_while(move |c| c.key.row.as_ref() < row)
             .take_while(move |c| c.key.row.as_ref() == row)
     }
+
+    // ------------------------------------------------------------------
+    // On-disk form
+    // ------------------------------------------------------------------
+
+    /// Where this file was persisted, if it was.
+    pub fn disk_path(&self) -> Option<&PathBuf> {
+        self.disk_path.get()
+    }
+
+    /// Serialize the file to `path`, one fault-injectable write per data
+    /// block (so a crash fault at the nth write produces a realistically
+    /// torn flush), then meta block + footer as the final write. The file
+    /// is only valid once the footer lands; a partial file fails `open`
+    /// with [`KvError::Corruption`] and is cleaned up as an orphan.
+    pub fn write_to(&self, env: &StorageEnv, path: &Path, op: FileOp) -> Result<()> {
+        let mut file = env.open_append(path)?;
+        let mut index: Vec<(u64, u32)> = Vec::with_capacity(self.blocks.len());
+        let mut offset = 0u64;
+        for block in &self.blocks {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&(block.cells.len() as u32).to_le_bytes());
+            for cell in &block.cells {
+                storage::encode_cell(&mut payload, cell);
+            }
+            index.push((offset, payload.len() as u32));
+            let framed = frame_block(&payload);
+            offset += framed.len() as u64;
+            env.append(&mut file, op, &framed)?;
+        }
+
+        let mut meta = Vec::new();
+        meta.extend_from_slice(&(index.len() as u32).to_le_bytes());
+        for (off, len) in &index {
+            meta.extend_from_slice(&off.to_le_bytes());
+            meta.extend_from_slice(&len.to_le_bytes());
+        }
+        meta.extend_from_slice(&(self.n_cells as u64).to_le_bytes());
+        meta.extend_from_slice(&self.min_ts.to_le_bytes());
+        meta.extend_from_slice(&self.max_ts.to_le_bytes());
+        meta.extend_from_slice(&self.max_seq.to_le_bytes());
+        meta.push(self.has_tombstones as u8);
+        let (words, n_bits, n_hashes) = self.bloom.parts();
+        meta.extend_from_slice(&(n_bits as u64).to_le_bytes());
+        meta.extend_from_slice(&n_hashes.to_le_bytes());
+        meta.extend_from_slice(&(words.len() as u32).to_le_bytes());
+        for w in words {
+            meta.extend_from_slice(&w.to_le_bytes());
+        }
+        let framed_meta = frame_block(&meta);
+
+        let mut tail = framed_meta;
+        let meta_len = tail.len() as u64;
+        tail.extend_from_slice(&offset.to_le_bytes());
+        tail.extend_from_slice(&meta_len.to_le_bytes());
+        tail.extend_from_slice(&STOREFILE_MAGIC.to_le_bytes());
+        env.append(&mut file, op, &tail)?;
+        let _ = self.disk_path.set(path.to_path_buf());
+        Ok(())
+    }
+
+    /// Open a serialized store file, validating the footer magic and every
+    /// block CRC before trusting a single cell. Any mismatch — truncation,
+    /// a torn write, a flipped byte — fails loudly with
+    /// [`KvError::Corruption`]; wrong data is never silently served.
+    pub fn open(env: &StorageEnv, path: &Path) -> Result<StoreFile> {
+        let data = env.read(path)?;
+        if data.len() < FOOTER_LEN {
+            return Err(KvError::Corruption(format!(
+                "store file too short ({} bytes): {}",
+                data.len(),
+                path.display()
+            )));
+        }
+        let footer = &data[data.len() - FOOTER_LEN..];
+        let meta_off = u64::from_le_bytes(footer[0..8].try_into().unwrap()) as usize;
+        let meta_len = u64::from_le_bytes(footer[8..16].try_into().unwrap()) as usize;
+        let magic = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        if magic != STOREFILE_MAGIC {
+            return Err(KvError::Corruption(format!(
+                "bad store file magic: {}",
+                path.display()
+            )));
+        }
+        if meta_off
+            .checked_add(meta_len)
+            .and_then(|end| end.checked_add(FOOTER_LEN))
+            != Some(data.len())
+        {
+            return Err(KvError::Corruption(format!(
+                "store file footer geometry mismatch: {}",
+                path.display()
+            )));
+        }
+        let meta_payload = unframe_block(&data[meta_off..meta_off + meta_len])?;
+        let mut r = Reader::new(meta_payload);
+        let n_blocks = r.u32()? as usize;
+        let mut index = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            index.push((r.u64()? as usize, r.u32()? as usize));
+        }
+        let n_cells = r.u64()? as usize;
+        let min_ts = r.u64()?;
+        let max_ts = r.u64()?;
+        let max_seq = r.u64()?;
+        let has_tombstones = r.u8()? != 0;
+        let n_bits = r.u64()? as usize;
+        let n_hashes = r.u32()?;
+        let n_words = r.u32()? as usize;
+        let mut words = Vec::with_capacity(n_words.min(1 << 20));
+        for _ in 0..n_words {
+            words.push(r.u64()?);
+        }
+        let bloom = BloomFilter::from_parts(words, n_bits, n_hashes)?;
+
+        let mut blocks = Vec::with_capacity(n_blocks);
+        let mut block_index = Vec::with_capacity(n_blocks);
+        let mut decoded_cells = 0usize;
+        let mut total_bytes = 0usize;
+        let mut first_row = None;
+        let mut last_row = None;
+        for (off, payload_len) in index {
+            let end = off
+                .checked_add(payload_len)
+                .and_then(|e| e.checked_add(8))
+                .filter(|&e| e <= meta_off)
+                .ok_or_else(|| {
+                    KvError::Corruption(format!("block index out of bounds: {}", path.display()))
+                })?;
+            let payload = unframe_block(&data[off..end])?;
+            let mut br = Reader::new(payload);
+            let count = br.u32()? as usize;
+            let mut cells = Vec::with_capacity(count.min(1 << 20));
+            let mut bytes = 0usize;
+            for _ in 0..count {
+                let cell = storage::decode_cell(&mut br)?;
+                bytes += cell.heap_size();
+                cells.push(cell);
+            }
+            if br.remaining() != 0 {
+                return Err(KvError::Corruption(format!(
+                    "trailing bytes in data block: {}",
+                    path.display()
+                )));
+            }
+            if let Some(first) = cells.first() {
+                block_index.push(first.key.row.clone());
+                if first_row.is_none() {
+                    first_row = Some(first.key.row.clone());
+                }
+            }
+            if let Some(cell) = cells.last() {
+                last_row = Some(cell.key.row.clone());
+            }
+            decoded_cells += cells.len();
+            total_bytes += bytes;
+            blocks.push(Arc::new(Block { cells, bytes }));
+        }
+        if decoded_cells != n_cells {
+            return Err(KvError::Corruption(format!(
+                "cell count mismatch: meta says {n_cells}, blocks hold {decoded_cells}: {}",
+                path.display()
+            )));
+        }
+        let file = StoreFile {
+            file_id: NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed),
+            blocks,
+            block_index,
+            n_cells,
+            total_bytes,
+            bloom,
+            min_ts,
+            max_ts,
+            has_tombstones,
+            max_seq,
+            first_row,
+            last_row,
+            disk_path: OnceLock::new(),
+        };
+        let _ = file.disk_path.set(path.to_path_buf());
+        Ok(file)
+    }
+}
+
+/// `len u32 | crc32 u32 | payload` framing shared by data and meta blocks.
+fn frame_block(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&storage::crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn unframe_block(buf: &[u8]) -> Result<&[u8]> {
+    if buf.len() < 8 {
+        return Err(KvError::Corruption("block shorter than its header".into()));
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if len + 8 != buf.len() {
+        return Err(KvError::Corruption(format!(
+            "block length mismatch: header says {len}, got {}",
+            buf.len() - 8
+        )));
+    }
+    let payload = &buf[8..];
+    if storage::crc32(payload) != crc {
+        return Err(KvError::Corruption("block crc mismatch".into()));
+    }
+    Ok(payload)
 }
 
 #[cfg(test)]
@@ -512,5 +769,101 @@ mod tests {
         assert_eq!(f.num_blocks(), 0);
         assert!(!f.overlaps_row_range(b"", b""));
         assert!(!f.overlaps_time_range(&TimeRange::default()));
+    }
+
+    fn temp_env() -> Arc<StorageEnv> {
+        StorageEnv::temp(1 << 20, crate::metrics::ClusterMetrics::new()).unwrap()
+    }
+
+    #[test]
+    fn disk_roundtrip_preserves_everything() {
+        let env = temp_env();
+        let mut cells: Vec<Cell> = (0..BLOCK_SIZE * 3 + 17)
+            .map(|i| cell(&format!("row-{i:05}"), 10 + i as u64, i as u64 + 1))
+            .collect();
+        cells.push(Cell {
+            key: CellKey {
+                row: Bytes::from_static(b"zzz"),
+                family: Bytes::from_static(b"cf"),
+                qualifier: Bytes::from_static(b"q"),
+                timestamp: 999,
+                seq: 7777,
+                cell_type: CellType::DeleteColumn,
+            },
+            value: Bytes::new(),
+        });
+        cells.sort_by(|a, b| a.key.cmp(&b.key));
+        let original = StoreFile::from_sorted(cells);
+        let path = env.root().join("sf-1.sst");
+        original
+            .write_to(&env, &path, FileOp::StoreFileWrite)
+            .unwrap();
+        assert_eq!(original.disk_path(), Some(&path));
+
+        let reopened = StoreFile::open(&env, &path).unwrap();
+        assert_eq!(reopened.len(), original.len());
+        assert_eq!(reopened.num_blocks(), original.num_blocks());
+        assert_eq!(reopened.byte_size(), original.byte_size());
+        assert_eq!(reopened.min_ts, original.min_ts);
+        assert_eq!(reopened.max_ts, original.max_ts);
+        assert_eq!(reopened.max_seq, original.max_seq);
+        assert_eq!(reopened.has_tombstones, original.has_tombstones);
+        assert_eq!(reopened.first_row, original.first_row);
+        assert_eq!(reopened.last_row, original.last_row);
+        assert_ne!(reopened.file_id(), original.file_id());
+        let a: Vec<&Cell> = original.scan_range(b"", b"").collect();
+        let b: Vec<&Cell> = reopened.scan_range(b"", b"").collect();
+        assert_eq!(a, b);
+        // The serialized bloom behaves identically.
+        assert!(reopened.may_contain_row(b"row-00042"));
+        assert_eq!(
+            reopened.may_contain_row(b"never-inserted"),
+            original.may_contain_row(b"never-inserted")
+        );
+    }
+
+    #[test]
+    fn open_rejects_truncation_at_any_length() {
+        let env = temp_env();
+        let cells: Vec<Cell> = (0..BLOCK_SIZE + 9)
+            .map(|i| cell(&format!("r{i:04}"), 1, i as u64 + 1))
+            .collect();
+        let f = StoreFile::from_sorted(cells);
+        let path = env.root().join("sf.sst");
+        f.write_to(&env, &path, FileOp::StoreFileWrite).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        // Every strict prefix must be rejected — a torn flush can stop at
+        // any byte, and partial files must never open successfully.
+        for cut in [0, 1, 7, 8, 100, data.len() / 2, data.len() - 1] {
+            std::fs::write(&path, &data[..cut]).unwrap();
+            assert!(
+                matches!(StoreFile::open(&env, &path), Err(KvError::Corruption(_))),
+                "truncation to {cut} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn open_rejects_single_bit_corruption() {
+        let env = temp_env();
+        let cells: Vec<Cell> = (0..200)
+            .map(|i| cell(&format!("r{i:04}"), 1, i as u64 + 1))
+            .collect();
+        let f = StoreFile::from_sorted(cells);
+        let path = env.root().join("sf.sst");
+        f.write_to(&env, &path, FileOp::StoreFileWrite).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for pos in [9, clean.len() / 3, clean.len() / 2, clean.len() - 30] {
+            let mut data = clean.clone();
+            data[pos] ^= 0x40;
+            std::fs::write(&path, &data).unwrap();
+            assert!(
+                StoreFile::open(&env, &path).is_err(),
+                "bit flip at {pos} must not open cleanly"
+            );
+        }
+        // And the pristine bytes still open.
+        std::fs::write(&path, &clean).unwrap();
+        assert!(StoreFile::open(&env, &path).is_ok());
     }
 }

@@ -158,6 +158,7 @@ fn fresh_region() -> Region {
         RegionConfig {
             memstore_flush_size: usize::MAX, // flush only when the op says so
             compact_at_file_count: usize::MAX,
+            ..RegionConfig::default()
         },
         Arc::new(Wal::new()),
         Clock::logical(1),
