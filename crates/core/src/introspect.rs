@@ -19,6 +19,7 @@
 //! | `system.queries` | retained query-log entry (slow ones flagged)   |
 //! | `system.events`  | flight-recorder event (store + query journals) |
 //! | `system.alerts`  | alert rule, evaluated at scan time             |
+//! | `system.metrics_history` | retained time-series sample (scrapes at scan time) |
 
 use parking_lot::Mutex;
 use shc_engine::prelude::*;
@@ -26,8 +27,16 @@ use shc_engine::system::{SystemCatalog, SystemTable};
 use shc_kvstore::cluster::HBaseCluster;
 use shc_kvstore::load::RegionLoad;
 use shc_kvstore::metrics::EXPOSITION_PREFIX as STORE_PREFIX;
-use shc_obs::{AlertRule, Comparison, Event};
+use shc_obs::{AlertRule, Comparison, Event, Tsdb};
 use std::sync::Arc;
+
+/// Ring-buffer capacity per metric series in the session's time-series
+/// store — enough to answer rate-over-window queries across a test or
+/// example run without unbounded growth.
+const TSDB_CAPACITY_PER_SERIES: usize = 512;
+
+/// Window the default rate alerts look back over, in virtual milliseconds.
+const RATE_WINDOW_MS: u64 = 10_000;
 
 /// Render a region boundary key for display: UTF-8 where possible, with a
 /// leading/trailing empty key shown as the open-interval marker.
@@ -160,11 +169,71 @@ fn alerts_schema() -> Schema {
     ])
 }
 
-/// Register the seven `system.*` virtual tables on `session`, backed by
-/// `cluster`, install the RPC probe that lets the query log attribute
-/// store RPCs to individual queries, and add the two default alert rules
-/// (`block_cache_hit_ratio_low`, `task_retry_spike`) to the session's
-/// alert engine. Returns the registered table names.
+fn metrics_history_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("metric", DataType::Utf8),
+        Field::new("ts", DataType::Int64),
+        Field::new("value", DataType::Float64),
+        Field::new("labels", DataType::Utf8),
+    ])
+}
+
+/// Build the session's metrics time-series store: scrape sources over the
+/// cluster's counter registry, per-histogram p50/p99 quantiles, and the
+/// live compaction backlog (total and per-server labeled series).
+fn build_tsdb(cluster: &Arc<HBaseCluster>) -> Arc<Tsdb> {
+    let tsdb = Tsdb::new(TSDB_CAPACITY_PER_SERIES);
+    let counters_cluster = Arc::clone(cluster);
+    tsdb.add_source(move || {
+        counters_cluster
+            .metrics
+            .snapshot()
+            .counter_values()
+            .iter()
+            .map(|(name, value)| (format!("{STORE_PREFIX}{name}"), *value as f64))
+            .collect()
+    });
+    let hist_cluster = Arc::clone(cluster);
+    tsdb.add_source(move || {
+        let mut out = Vec::new();
+        for (name, snap) in hist_cluster.metrics.snapshot().histogram_values() {
+            out.push((format!("{STORE_PREFIX}{name}_p50"), snap.p50() as f64));
+            out.push((format!("{STORE_PREFIX}{name}_p99"), snap.p99() as f64));
+        }
+        out
+    });
+    let backlog_cluster = Arc::clone(cluster);
+    tsdb.add_source(move || {
+        let (bytes, files) = backlog_cluster.compaction_backlog();
+        let mut out = vec![
+            (
+                format!("{STORE_PREFIX}compaction_backlog_bytes"),
+                bytes as f64,
+            ),
+            (
+                format!("{STORE_PREFIX}compaction_backlog_files"),
+                files as f64,
+            ),
+        ];
+        for (server_id, server_bytes) in backlog_cluster.compaction_backlog_by_server() {
+            out.push((
+                format!("{STORE_PREFIX}compaction_backlog_bytes{{server=\"{server_id}\"}}"),
+                server_bytes as f64,
+            ));
+        }
+        out
+    });
+    tsdb
+}
+
+/// Register the eight `system.*` virtual tables on `session`, backed by
+/// `cluster`; install the RPC and storage-I/O probes that let the query
+/// log attribute store RPCs, block reads, cache hits, and WAL appends to
+/// individual queries; wire up the metrics time-series store behind
+/// `system.metrics_history`; and add the four default alert rules
+/// (`block_cache_hit_ratio_low`, `task_retry_spike`, `write_stall_rate`,
+/// `compaction_backlog_growth`) to the session's alert engine. Returns the
+/// registered table names.
 ///
 /// Call once per (session, cluster) pair — typically right after the
 /// session's user tables are registered.
@@ -173,7 +242,20 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
         let cluster = Arc::clone(cluster);
         session.set_rpc_probe(move || cluster.metrics.snapshot().rpc_count);
     }
-    register_default_alerts(session, cluster);
+    {
+        let cluster = Arc::clone(cluster);
+        session.set_io_probe(move || {
+            let snap = cluster.metrics.snapshot();
+            QueryIo {
+                blocks_read: snap.block_cache_misses,
+                block_cache_hits: snap.block_cache_hits,
+                wal_bytes_appended: snap.wal_bytes_written,
+            }
+        });
+    }
+    let tsdb = build_tsdb(cluster);
+    session.set_tsdb(Arc::clone(&tsdb));
+    register_default_alerts(session, cluster, &tsdb);
 
     let regions_cluster = Arc::clone(cluster);
     let servers_cluster = Arc::clone(cluster);
@@ -185,6 +267,8 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
     let session_events = Arc::clone(session.events());
     let alerts_engine = Arc::clone(session.alerts());
     let alerts_cluster = Arc::clone(cluster);
+    let history_tsdb = Arc::clone(&tsdb);
+    let history_cluster = Arc::clone(cluster);
 
     let catalog = SystemCatalog::new()
         .with_table(SystemTable::new(
@@ -331,6 +415,30 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
                     })
                     .collect()
             },
+        ))
+        .with_table(SystemTable::new(
+            "system.metrics_history",
+            metrics_history_schema(),
+            move || {
+                // Scanning the table scrapes every source at the cluster's
+                // current virtual time, then dumps the retained samples —
+                // querying *is* the collection loop, so a run that never
+                // looks at history pays nothing for it.
+                history_tsdb.scrape(history_cluster.clock.peek_ms());
+                let mut rows = Vec::new();
+                for (series, samples) in history_tsdb.all_series() {
+                    let (metric, labels) = Tsdb::split_series_name(&series);
+                    for s in samples {
+                        rows.push(Row::new(vec![
+                            Value::Utf8(metric.to_string()),
+                            Value::Int64(s.ts_ms as i64),
+                            Value::Float64(s.value),
+                            Value::Utf8(labels.to_string()),
+                        ]));
+                    }
+                }
+                rows
+            },
         ));
     let names = catalog.names();
     catalog.register(session);
@@ -345,7 +453,18 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
 ///   firing alert points at a concrete exportable trace.
 /// * `task_retry_spike` — fires when scheduler tasks retried since the
 ///   previous evaluation (a delta, so the alert clears once retries stop).
-fn register_default_alerts(session: &Arc<Session>, cluster: &Arc<HBaseCluster>) {
+/// * `write_stall_rate` — fires when `shc_store_write_stall_ms` grows
+///   faster than 5 stalled ms per virtual second over the rate window. Its
+///   exemplar is the latest TraceId recorded against the write-stall
+///   histogram — the query that was blocked.
+/// * `compaction_backlog_growth` — fires when the cluster-wide compaction
+///   backlog is growing (any positive byte rate over the rate window):
+///   flushes are producing files faster than compaction retires them.
+///
+/// The two rate rules read the session's time-series store, so they only
+/// have data once something scrapes it (a `system.metrics_history` scan or
+/// an explicit [`Tsdb::scrape`]).
+fn register_default_alerts(session: &Arc<Session>, cluster: &Arc<HBaseCluster>, tsdb: &Arc<Tsdb>) {
     let alerts = session.alerts();
 
     let ratio_cluster = Arc::clone(cluster);
@@ -381,6 +500,44 @@ fn register_default_alerts(session: &Arc<Session>, cluster: &Arc<HBaseCluster>) 
             Some(delta as f64)
         },
     ));
+
+    let stall_exemplar_cluster = Arc::clone(cluster);
+    alerts.add_rule(
+        AlertRule::rate_over_window(
+            "write_stall_rate",
+            Comparison::Above,
+            5.0,
+            0,
+            Arc::clone(tsdb),
+            format!("{STORE_PREFIX}write_stall_ms"),
+            RATE_WINDOW_MS,
+        )
+        .with_exemplar(move || {
+            stall_exemplar_cluster
+                .metrics
+                .write_stall_us
+                .latest_tail_exemplar()
+        }),
+    );
+
+    let backlog_exemplar_cluster = Arc::clone(cluster);
+    alerts.add_rule(
+        AlertRule::rate_over_window(
+            "compaction_backlog_growth",
+            Comparison::Above,
+            0.0,
+            0,
+            Arc::clone(tsdb),
+            format!("{STORE_PREFIX}compaction_backlog_bytes"),
+            RATE_WINDOW_MS,
+        )
+        .with_exemplar(move || {
+            backlog_exemplar_cluster
+                .metrics
+                .compaction_us
+                .latest_tail_exemplar()
+        }),
+    );
 }
 
 #[cfg(test)]
@@ -414,7 +571,7 @@ mod tests {
         }
         let session = Session::new_default();
         let names = register_system_tables(&session, &cluster);
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 8);
 
         let rows = session
             .sql("SELECT table_name, SUM(write_requests) FROM system.regions GROUP BY table_name")
@@ -528,11 +685,54 @@ mod tests {
             .unwrap()
             .collect()
             .unwrap();
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].get(0).as_str(), Some("block_cache_hit_ratio_low"));
-        // Nothing has read a block and no task retried: both rules healthy.
+        // Nothing has read a block, no task retried, and no series has
+        // enough samples for a rate: every rule reads healthy.
         assert_eq!(rows[0].get(1).as_str(), Some("ok"));
-        assert_eq!(rows[1].get(0).as_str(), Some("task_retry_spike"));
+        assert_eq!(rows[1].get(0).as_str(), Some("compaction_backlog_growth"));
         assert_eq!(rows[1].get(1).as_str(), Some("ok"));
+        assert_eq!(rows[2].get(0).as_str(), Some("task_retry_spike"));
+        assert_eq!(rows[2].get(1).as_str(), Some("ok"));
+        assert_eq!(rows[3].get(0).as_str(), Some("write_stall_rate"));
+        assert_eq!(rows[3].get(1).as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn metrics_history_retains_samples_across_scans() {
+        let cluster = cluster_with_table();
+        let conn = Connection::open(Arc::clone(&cluster), None);
+        let table = conn.table(TableName::default_ns("t"));
+        let session = Session::new_default();
+        register_system_tables(&session, &cluster);
+
+        // Each scan scrapes once; mutate between scans so the counter series
+        // accumulate distinct readings at distinct virtual timestamps.
+        for i in 0..3 {
+            table
+                .put(Put::new(format!("r{i}")).add("cf", "q", "v"))
+                .unwrap();
+            session
+                .sql("SELECT COUNT(*) FROM system.metrics_history")
+                .unwrap()
+                .collect()
+                .unwrap();
+        }
+        let rows = session
+            .sql(
+                "SELECT ts, value FROM system.metrics_history \
+                 WHERE metric = 'shc_store_rpc_count' ORDER BY ts",
+            )
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert!(rows.len() >= 3, "three scans retained, got {}", rows.len());
+        let first = rows.first().unwrap().get(1).as_f64().unwrap();
+        let last = rows.last().unwrap().get(1).as_f64().unwrap();
+        assert!(last > first, "rpc_count series must grow across scans");
+
+        // The tsdb behind the table answers window queries directly.
+        let tsdb = session.tsdb().expect("session has a tsdb");
+        assert!(tsdb.rate("shc_store_rpc_count", u64::MAX).unwrap() > 0.0);
     }
 }

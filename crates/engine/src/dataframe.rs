@@ -168,6 +168,7 @@ impl DataFrame {
             return physical::collect(&plan, &ctx);
         }
         let rpc_before = self.session.rpc_probe_value();
+        let io_before = self.session.io_probe_value();
         let trace_id = self.session.mint_trace_id();
         let tracer = shc_obs::Tracer::with_id(trace_id);
         tracer.attach_journal(Arc::clone(self.session.events()));
@@ -178,15 +179,19 @@ impl DataFrame {
         };
         let duration_us = tracer.now_us();
         let rpcs = self.session.rpc_probe_value().saturating_sub(rpc_before);
+        let io = self.session.io_probe_value().delta_since(&io_before);
         match result {
             Ok(rows) => {
                 self.session.record_query(
                     self.sql_text.as_deref(),
                     &plan,
-                    duration_us,
-                    rows.len() as u64,
-                    rpcs,
-                    trace_id,
+                    crate::session::ExecStats {
+                        duration_us,
+                        rows_returned: rows.len() as u64,
+                        rpc_count: rpcs,
+                        trace_id,
+                        io,
+                    },
                 );
                 self.session.store_trace(tracer.finish());
                 Ok(rows)
@@ -211,6 +216,7 @@ impl DataFrame {
         let plan = self.optimized_plan()?;
         let ctx = self.session.exec_context();
         let rpc_before = self.session.rpc_probe_value();
+        let io_before = self.session.io_probe_value();
         let trace_id = self.session.mint_trace_id();
         let tracer = shc_obs::Tracer::with_id(trace_id);
         tracer.attach_journal(Arc::clone(self.session.events()));
@@ -221,13 +227,17 @@ impl DataFrame {
         };
         let duration_us = tracer.now_us();
         let rpcs = self.session.rpc_probe_value().saturating_sub(rpc_before);
+        let io = self.session.io_probe_value().delta_since(&io_before);
         self.session.record_query(
             self.sql_text.as_deref(),
             &plan,
-            duration_us,
-            rows.len() as u64,
-            rpcs,
-            trace_id,
+            crate::session::ExecStats {
+                duration_us,
+                rows_returned: rows.len() as u64,
+                rpc_count: rpcs,
+                trace_id,
+                io,
+            },
         );
         let trace = tracer.finish();
         self.session.store_trace(trace.clone());
@@ -237,6 +247,7 @@ impl DataFrame {
             profile,
             trace,
             plan,
+            io,
         })
     }
 
@@ -247,9 +258,13 @@ impl DataFrame {
     pub fn explain_analyze(&self) -> Result<String> {
         let analysis = self.collect_analyzed()?;
         Ok(format!(
-            "== Physical Plan (analyzed, {} rows returned) ==\n{}",
+            "== Physical Plan (analyzed, {} rows returned) ==\n{}I/O: blocks_read={} \
+             block_cache_hits={} wal_bytes_appended={}\n",
             analysis.rows.len(),
-            analysis.profile.render()
+            analysis.profile.render(),
+            analysis.io.blocks_read,
+            analysis.io.block_cache_hits,
+            analysis.io.wal_bytes_appended,
         ))
     }
 
@@ -285,6 +300,9 @@ pub struct QueryAnalysis {
     pub trace: shc_obs::Trace,
     /// The optimized plan that was executed.
     pub plan: LogicalPlan,
+    /// Storage I/O attributed to this execution (all zero when the session
+    /// has no I/O probe).
+    pub io: crate::query_log::QueryIo,
 }
 
 /// Copy per-region scan rows out of the trace into the matching scan

@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::metrics::{QueryMetrics, QueryMetricsSnapshot};
     pub use crate::optimizer::OptimizerConfig;
     pub use crate::physical::{OpProfile, RegionScanProfile};
-    pub use crate::query_log::{QueryLog, QueryLogEntry};
+    pub use crate::query_log::{QueryIo, QueryLog, QueryLogEntry};
     pub use crate::row::Row;
     pub use crate::scheduler::ExecutorConfig;
     pub use crate::schema::{Field, Schema};

@@ -12,6 +12,34 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Per-query storage I/O attribution, diffed from cluster counters around
+/// one execution (all zero when no I/O probe is installed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryIo {
+    /// Disk block reads — block-cache misses charged while the query ran.
+    pub blocks_read: u64,
+    /// Block-cache hits while the query ran.
+    pub block_cache_hits: u64,
+    /// WAL bytes appended while the query ran (nonzero for write paths like
+    /// `write_to` against a store-backed sink).
+    pub wal_bytes_appended: u64,
+}
+
+impl QueryIo {
+    /// Counter delta from an earlier reading of the same probe.
+    pub fn delta_since(&self, earlier: &QueryIo) -> QueryIo {
+        QueryIo {
+            blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
+            block_cache_hits: self
+                .block_cache_hits
+                .saturating_sub(earlier.block_cache_hits),
+            wal_bytes_appended: self
+                .wal_bytes_appended
+                .saturating_sub(earlier.wal_bytes_appended),
+        }
+    }
+}
+
 /// One executed query as the log remembers it.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryLogEntry {
@@ -35,6 +63,9 @@ pub struct QueryLogEntry {
     /// TraceId minted for this execution (0 when tracing was off). Joins
     /// this entry to its `system.events` rows and its exportable trace.
     pub trace_id: u64,
+    /// Storage I/O attributed to this execution (from the session's I/O
+    /// probe; all zero when none is installed).
+    pub io: QueryIo,
 }
 
 /// Bounded ring buffer of [`QueryLogEntry`], shared by session and system
@@ -123,6 +154,7 @@ mod tests {
             rpc_count: 2,
             slow,
             trace_id: 0,
+            io: QueryIo::default(),
         }
     }
 

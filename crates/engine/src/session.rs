@@ -10,13 +10,25 @@ use crate::metrics::QueryMetrics;
 use crate::optimizer::OptimizerConfig;
 use crate::parser::parse;
 use crate::physical::ExecContext;
-use crate::query_log::{plan_digest, QueryLog, QueryLogEntry};
+use crate::query_log::{plan_digest, QueryIo, QueryLog, QueryLogEntry};
 use crate::scheduler::ExecutorConfig;
 use parking_lot::{Mutex, RwLock};
 use shc_obs::{AlertEngine, EventJournal, Severity, Trace};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Per-execution measurements handed to [`Session::record_query`]: the
+/// virtual duration, result cardinality, and the RPC / storage-I/O deltas
+/// observed across the collect.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ExecStats {
+    pub duration_us: u64,
+    pub rows_returned: u64,
+    pub rpc_count: u64,
+    pub trace_id: u64,
+    pub io: QueryIo,
+}
 
 /// Session-level configuration.
 #[derive(Clone, Debug)]
@@ -61,6 +73,13 @@ pub struct Session {
     /// this session to a cluster. The query log diffs it around each
     /// execution to attribute RPCs per query.
     rpc_probe: RwLock<Option<Box<dyn Fn() -> u64 + Send + Sync>>>,
+    /// Cumulative storage-I/O counters (block reads, cache hits, WAL bytes),
+    /// installed alongside the RPC probe; diffed per execution to attribute
+    /// I/O to queries.
+    io_probe: RwLock<Option<Box<dyn Fn() -> QueryIo + Send + Sync>>>,
+    /// The session's metrics time-series store, when the connecting layer
+    /// installed one (see [`shc_obs::Tsdb`]); backs `system.metrics_history`.
+    tsdb: RwLock<Option<Arc<shc_obs::Tsdb>>>,
     /// TraceId mint: one id per `collect()`, starting at 1 (0 = untraced).
     next_trace_id: AtomicU64,
     /// Query-layer flight recorder (scheduler retries, slow queries, query
@@ -87,6 +106,8 @@ impl Session {
             metrics: QueryMetrics::new(),
             query_log,
             rpc_probe: RwLock::new(None),
+            io_probe: RwLock::new(None),
+            tsdb: RwLock::new(None),
             next_trace_id: AtomicU64::new(1),
             events: EventJournal::new(1024),
             alerts: AlertEngine::new(),
@@ -161,6 +182,33 @@ impl Session {
         self.rpc_probe.read().as_ref().map(|p| p()).unwrap_or(0)
     }
 
+    /// Install the cumulative storage-I/O counters used to attribute disk
+    /// reads, cache hits, and WAL appends to queries. Like the RPC probe,
+    /// the closure must read monotonic counters; the log records deltas.
+    pub fn set_io_probe(&self, probe: impl Fn() -> QueryIo + Send + Sync + 'static) {
+        *self.io_probe.write() = Some(Box::new(probe));
+    }
+
+    /// Current I/O probe reading; all zero when no probe is installed.
+    pub fn io_probe_value(&self) -> QueryIo {
+        self.io_probe
+            .read()
+            .as_ref()
+            .map(|p| p())
+            .unwrap_or_default()
+    }
+
+    /// Install the metrics time-series store scraped by the connecting
+    /// layer; exposed to SQL as `system.metrics_history`.
+    pub fn set_tsdb(&self, tsdb: Arc<shc_obs::Tsdb>) {
+        *self.tsdb.write() = Some(tsdb);
+    }
+
+    /// The session's metrics time-series store, when one is installed.
+    pub fn tsdb(&self) -> Option<Arc<shc_obs::Tsdb>> {
+        self.tsdb.read().clone()
+    }
+
     /// This session's flight recorder (also backing `system.events`).
     pub fn events(&self) -> &Arc<EventJournal> {
         &self.events
@@ -232,11 +280,15 @@ impl Session {
         &self,
         sql: Option<&str>,
         plan: &LogicalPlan,
-        duration_us: u64,
-        rows_returned: u64,
-        rpc_count: u64,
-        trace_id: u64,
+        stats: ExecStats,
     ) -> u64 {
+        let ExecStats {
+            duration_us,
+            rows_returned,
+            rpc_count,
+            trace_id,
+            io,
+        } = stats;
         let slow = duration_us > self.config.read().slow_query_threshold_us;
         let id = self.query_log.record(QueryLogEntry {
             id: 0,
@@ -247,6 +299,7 @@ impl Session {
             rpc_count,
             slow,
             trace_id,
+            io,
         });
         if slow {
             self.events.record_with_trace(

@@ -263,6 +263,50 @@ impl HBaseCluster {
         }
     }
 
+    /// Whether every server's background flusher is idle right now (always
+    /// true when background flushing is off). Unlike [`quiesce`](Self::quiesce)
+    /// this does not block and does not journal an event.
+    pub fn flushes_idle(&self) -> bool {
+        self.servers.read().iter().all(|s| s.flushes_idle())
+    }
+
+    /// Cluster-wide compaction backlog: `(pending_bytes, pending_files)`
+    /// summed over every server (see
+    /// [`Region::compaction_backlog`](crate::region::Region::compaction_backlog)).
+    pub fn compaction_backlog(&self) -> (u64, u64) {
+        let mut bytes = 0u64;
+        let mut files = 0u64;
+        for server in self.servers.read().iter() {
+            let (b, f) = server.compaction_backlog();
+            bytes += b;
+            files += f;
+        }
+        (bytes, files)
+    }
+
+    /// Per-server compaction backlog bytes, sorted by server id — the
+    /// labeled series the metrics scraper exports.
+    pub fn compaction_backlog_by_server(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .servers
+            .read()
+            .iter()
+            .map(|s| (s.server_id, s.compaction_backlog().0))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Every server's retained background-flush traces, in server-id order.
+    pub fn background_flush_traces(&self) -> Vec<shc_obs::Trace> {
+        let mut servers: Vec<_> = self.servers.read().iter().cloned().collect();
+        servers.sort_by_key(|s| s.server_id);
+        servers
+            .iter()
+            .flat_map(|s| s.background_flush_traces())
+            .collect()
+    }
+
     /// Every *online* server reports its current load to the master, as if
     /// the periodic heartbeat ticker fired once. Crashed servers stay
     /// silent — that silence is what eventually marks them dead.

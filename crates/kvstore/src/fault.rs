@@ -48,9 +48,11 @@ pub enum FileOp {
     ManifestWrite,
 }
 
-/// How a file-layer fault mangles the write it fires on. All three kill the
-/// "process": the caller must surface [`KvError::SimulatedCrash`] and the
-/// harness is expected to crash + restart the server.
+/// How a file-layer fault mangles the write it fires on. The first three
+/// kill the "process": the caller must surface [`KvError::SimulatedCrash`]
+/// and the harness is expected to crash + restart the server. `SlowWrite`
+/// is the one non-fatal kind: the write completes intact but is charged an
+/// extra modeled delay — a dying disk, not a dead process.
 #[derive(Clone, Copy, Debug)]
 pub enum FileFaultKind {
     /// A seeded fraction of the payload reaches disk before the crash —
@@ -61,16 +63,22 @@ pub enum FileFaultKind {
     ShortWrite(usize),
     /// The process dies before any byte of this write persists.
     CrashAt,
+    /// The write persists fully but takes this many extra virtual µs —
+    /// models a degraded device stalling flushes and compactions.
+    SlowWrite(u64),
 }
 
 /// One file-layer fault rule: fires on the `at_match`-th write matching
-/// `op` (1-based), mangles it per `kind`, then never fires again.
+/// `op` (1-based; a [`times`](Self::times) span widens that to a window of
+/// consecutive matches), mangles it per `kind`, then never fires again.
 #[derive(Debug)]
 pub struct FileFaultRule {
     kind: FileFaultKind,
     op: Option<FileOp>,
     /// Fires when the match count reaches this value (1-based).
     at_match: u64,
+    /// Fires on this many consecutive matches starting at `at_match`.
+    times: u64,
     matches: AtomicU64,
     fired: AtomicU64,
     rule_id: u64,
@@ -82,6 +90,7 @@ impl FileFaultRule {
             kind,
             op: None,
             at_match: 1,
+            times: 1,
             matches: AtomicU64::new(0),
             fired: AtomicU64::new(0),
             rule_id: 0,
@@ -100,18 +109,30 @@ impl FileFaultRule {
         self
     }
 
-    /// How many times this rule has fired (0 or 1).
+    /// Fire on `n` consecutive matches starting at the `at_nth` position —
+    /// an *episode* of a degraded device rather than a single bad write.
+    /// Mostly useful with the non-fatal [`FileFaultKind::SlowWrite`]; a
+    /// crashing kind still only gets one chance to fire before the harness
+    /// restarts the server.
+    pub fn times(mut self, n: u64) -> Self {
+        self.times = n.max(1);
+        self
+    }
+
+    /// How many times this rule has fired.
     pub fn fire_count(&self) -> u64 {
         self.fired.load(Ordering::Relaxed)
     }
 }
 
 /// Verdict for one file-layer write: how many payload bytes actually reach
-/// disk, and whether the simulated process dies on this write.
+/// disk, whether the simulated process dies on this write, and any extra
+/// modeled device delay (virtual µs) charged to it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WriteVerdict {
     pub persist: usize,
     pub crash: bool,
+    pub delay_us: u64,
 }
 
 impl WriteVerdict {
@@ -119,6 +140,7 @@ impl WriteVerdict {
         WriteVerdict {
             persist: len,
             crash: false,
+            delay_us: 0,
         }
     }
 }
@@ -336,18 +358,28 @@ impl FaultInjector {
                 continue;
             }
             let index = rule.matches.fetch_add(1, Ordering::Relaxed) + 1;
-            if index != rule.at_match {
+            if index < rule.at_match || index >= rule.at_match + rule.times {
                 continue;
             }
             rule.fired.fetch_add(1, Ordering::Relaxed);
             self.metrics.add(&self.metrics.faults_injected, 1);
+            if let FileFaultKind::SlowWrite(delay_us) = rule.kind {
+                // Non-fatal: the write lands intact, just late. Journaling is
+                // left to the storage layer, which stamps the delay onto the
+                // active trace and the slow-write counter.
+                return WriteVerdict {
+                    persist: len,
+                    crash: false,
+                    delay_us,
+                };
+            }
             let persist = match rule.kind {
                 FileFaultKind::Torn => {
                     let x = splitmix64(self.seed ^ (rule.rule_id << 40) ^ index);
                     (x % (len as u64 + 1)) as usize
                 }
                 FileFaultKind::ShortWrite(n) => len.saturating_sub(n),
-                FileFaultKind::CrashAt => 0,
+                FileFaultKind::CrashAt | FileFaultKind::SlowWrite(_) => 0,
             };
             if let Some((journal, clock)) = self.events.read().as_ref() {
                 journal.record(
@@ -363,6 +395,7 @@ impl FaultInjector {
             return WriteVerdict {
                 persist,
                 crash: true,
+                delay_us: 0,
             };
         }
         WriteVerdict::clean(len)
@@ -571,6 +604,49 @@ mod tests {
         assert!(inj.on_rpc(RpcOp::Get, 0, 0).is_err());
         inj.clear();
         assert!(inj.on_rpc(RpcOp::Get, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn slow_write_fault_delays_without_crashing() {
+        let inj = injector();
+        let rule = inj.add_file_rule(
+            FileFaultRule::new(FileFaultKind::SlowWrite(2_000))
+                .on_op(FileOp::StoreFileWrite)
+                .at_nth(2)
+                .times(3),
+        );
+        // Match 1: before the window — clean.
+        assert_eq!(
+            inj.on_file_write(FileOp::StoreFileWrite, 100),
+            WriteVerdict {
+                persist: 100,
+                crash: false,
+                delay_us: 0
+            }
+        );
+        // Matches 2..=4: slow but intact.
+        for _ in 0..3 {
+            let v = inj.on_file_write(FileOp::StoreFileWrite, 100);
+            assert_eq!(v.persist, 100);
+            assert!(!v.crash);
+            assert_eq!(v.delay_us, 2_000);
+        }
+        // Match 5: past the window — clean again.
+        assert_eq!(inj.on_file_write(FileOp::StoreFileWrite, 100).delay_us, 0);
+        // Non-matching op never sees the rule.
+        assert_eq!(inj.on_file_write(FileOp::WalAppend, 100).delay_us, 0);
+        assert_eq!(rule.fire_count(), 3);
+    }
+
+    #[test]
+    fn crashing_file_rule_still_fires_exactly_once_by_default() {
+        let inj = injector();
+        let rule = inj.add_file_rule(FileFaultRule::new(FileFaultKind::CrashAt));
+        let v = inj.on_file_write(FileOp::ManifestWrite, 64);
+        assert!(v.crash);
+        assert_eq!(v.persist, 0);
+        assert!(!inj.on_file_write(FileOp::ManifestWrite, 64).crash);
+        assert_eq!(rule.fire_count(), 1);
     }
 
     #[test]

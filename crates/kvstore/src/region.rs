@@ -13,6 +13,7 @@ use crate::error::{KvError, Result};
 use crate::fault::FileOp;
 use crate::load::{RegionLoad, RegionLoadCounters};
 use crate::memstore::MemStore;
+use crate::metrics::ClusterMetrics;
 use crate::storage::{self, Reader, StorageEnv};
 use crate::storefile::{Block, CellSrc, StoreFile};
 use crate::types::{
@@ -22,6 +23,7 @@ use crate::types::{
 use crate::wal::Wal;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
+use shc_obs::events::{EventJournal, Severity};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::ops::Bound;
@@ -70,6 +72,11 @@ pub struct RegionConfig {
     /// Two files are "similarly sized" (same tier) when the larger is at
     /// most this multiple of the smaller.
     pub tier_size_ratio: f64,
+    /// Hard stall threshold as a multiple of `memstore_flush_size`: when the
+    /// memstore runs this far past the flush watermark (the background
+    /// flusher is not keeping up), the writer flushes inline and the blocked
+    /// time is accounted as a write stall.
+    pub memstore_stall_multiplier: usize,
 }
 
 impl Default for RegionConfig {
@@ -80,8 +87,56 @@ impl Default for RegionConfig {
             wal_flush_trigger_bytes: 8 * 1024 * 1024,
             tier_min_files: 4,
             tier_size_ratio: 2.0,
+            memstore_stall_multiplier: 4,
         }
     }
+}
+
+/// Why a flush ran — the attribution dimension of background-work tracing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushCause {
+    /// The region's memstore crossed `memstore_flush_size`.
+    MemstorePressure,
+    /// The server WAL's retained bytes crossed `wal_flush_trigger_bytes`
+    /// (flushing lets old segments archive even if the memstore is small).
+    WalPressure,
+    /// Requested directly: `flush_all`, a split, or a test.
+    Explicit,
+}
+
+impl FlushCause {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FlushCause::MemstorePressure => "memstore_pressure",
+            FlushCause::WalPressure => "wal_pressure",
+            FlushCause::Explicit => "explicit",
+        }
+    }
+}
+
+/// What one flush did: the numbers callers journal and meter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushOutcome {
+    /// Whether any memstore actually drained (an empty region "flushes"
+    /// without doing work).
+    pub flushed: bool,
+    /// Store-file payload bytes written across families.
+    pub bytes: u64,
+    /// Store files created (one per non-empty family).
+    pub files: u64,
+    /// Modeled duration in virtual µs: write-throughput model over `bytes`
+    /// plus any injected slow-write device delay.
+    pub duration_us: u64,
+    /// Compactions the flush triggered (minor tiers merged + major passes).
+    pub compactions: u64,
+    /// Bytes those compactions rewrote.
+    pub compaction_bytes: u64,
+}
+
+/// Modeled store-file write cost in virtual µs: fixed setup plus ~200 bytes
+/// per µs (≈200 MB/s of sequential write bandwidth).
+fn modeled_write_us(bytes: u64) -> u64 {
+    20 + bytes / 200
 }
 
 /// A region's slice of the durable storage tree: its directory, its
@@ -172,7 +227,14 @@ pub struct Region {
     /// When set, `maybe_flush` hands the flush to a background thread via
     /// this callback instead of flushing synchronously on the write path.
     #[allow(clippy::type_complexity)]
-    flush_notifier: RwLock<Option<Box<dyn Fn(u64) + Send + Sync>>>,
+    flush_notifier: RwLock<Option<Box<dyn Fn(u64, FlushCause) + Send + Sync>>>,
+    /// Cluster metrics, attached by the hosting server. `None` for bare
+    /// regions in unit tests — instrumentation is then a no-op.
+    metrics: RwLock<Option<Arc<ClusterMetrics>>>,
+    /// Flight recorder, attached by the hosting server. Only the *sync*
+    /// write path journals through this (the background worker stamps its
+    /// own events at enqueue time to stay deterministic).
+    events: RwLock<Option<Arc<EventJournal>>>,
 }
 
 impl Region {
@@ -212,6 +274,8 @@ impl Region {
             load: RegionLoadCounters::default(),
             storage: RwLock::new(None),
             flush_notifier: RwLock::new(None),
+            metrics: RwLock::new(None),
+            events: RwLock::new(None),
         }
     }
 
@@ -234,13 +298,28 @@ impl Region {
     }
 
     /// Route automatic flushes to a background worker. The callback gets
-    /// the region id; the worker is expected to call [`Region::flush`].
-    pub fn set_flush_notifier(&self, notify: impl Fn(u64) + Send + Sync + 'static) {
+    /// the region id and the cause that crossed its watermark; the worker is
+    /// expected to call [`Region::flush_with_cause`].
+    pub fn set_flush_notifier(&self, notify: impl Fn(u64, FlushCause) + Send + Sync + 'static) {
         *self.flush_notifier.write() = Some(Box::new(notify));
     }
 
     pub fn clear_flush_notifier(&self) {
         *self.flush_notifier.write() = None;
+    }
+
+    /// Attach the hosting server's metrics and (optionally) flight recorder.
+    /// Flushes, compactions and write stalls meter through these; a bare
+    /// region without them runs uninstrumented.
+    pub fn attach_observability(
+        &self,
+        metrics: Arc<ClusterMetrics>,
+        events: Option<Arc<EventJournal>>,
+    ) {
+        *self.metrics.write() = Some(metrics);
+        if let Some(journal) = events {
+            *self.events.write() = Some(journal);
+        }
     }
 
     pub fn descriptor(&self) -> &TableDescriptor {
@@ -473,34 +552,112 @@ impl Region {
     }
 
     fn maybe_flush(&self) -> Result<()> {
-        let memstore_full = self.memstore_size() >= self.config.memstore_flush_size;
-        let wal_full = self.memstore_size() > 0
-            && self.wal.read().retained_bytes() >= self.config.wal_flush_trigger_bytes;
-        if memstore_full || wal_full {
+        let mem = self.memstore_size();
+        let memstore_full = mem >= self.config.memstore_flush_size;
+        let wal_full =
+            mem > 0 && self.wal.read().retained_bytes() >= self.config.wal_flush_trigger_bytes;
+        if !(memstore_full || wal_full) {
+            return Ok(());
+        }
+        let cause = if memstore_full {
+            FlushCause::MemstorePressure
+        } else {
+            FlushCause::WalPressure
+        };
+        // Below the hard stall threshold a background flusher absorbs the
+        // work; past it the writer must block even if a worker exists (it is
+        // not keeping up and the memstore would grow without bound).
+        let hard_stall = mem
+            >= self
+                .config
+                .memstore_flush_size
+                .saturating_mul(self.config.memstore_stall_multiplier.max(1));
+        if !hard_stall {
             let notifier = self.flush_notifier.read();
             if let Some(notify) = notifier.as_ref() {
-                notify(self.info.region_id);
-            } else {
-                drop(notifier);
-                self.flush()?;
+                notify(self.info.region_id, cause);
+                return Ok(());
             }
+        }
+        // No worker could absorb this: the writer blocks while the flush
+        // runs inline — a write stall.
+        let outcome = self.flush_with_cause(cause)?;
+        if outcome.flushed {
+            let stall_ms = outcome.duration_us.div_ceil(1000).max(1);
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.add(&m.write_stalls, 1);
+                m.add(&m.write_stall_ms, stall_ms);
+                m.write_stall_us.record_with_exemplar(
+                    outcome.duration_us,
+                    shc_obs::trace::current_trace_id().unwrap_or(0),
+                );
+            }
+            self.journal(
+                Severity::Warn,
+                "flush",
+                format!(
+                    "write stall: region {} blocked {stall_ms}ms on {} flush \
+                     (memstore={mem}B, wrote {}B in {} file(s))",
+                    self.info.region_id,
+                    cause.as_str(),
+                    outcome.bytes,
+                    outcome.files
+                ),
+            );
         }
         Ok(())
     }
 
+    /// Record into the attached flight recorder at the region clock's
+    /// current virtual time. Only safe for determinism on the thread that
+    /// drives the clock (the sync write path); background workers stamp
+    /// their own events at enqueue time instead.
+    fn journal(&self, severity: Severity, category: &'static str, message: String) {
+        if let Some(journal) = self.events.read().as_ref() {
+            journal.record_with_trace(
+                severity,
+                category,
+                self.clock.peek_ms(),
+                message,
+                shc_obs::trace::current_trace_id().unwrap_or(0),
+            );
+        }
+    }
+
     /// Flush every family's memstore into a new store file and let the WAL
-    /// drop the now-durable records.
+    /// drop the now-durable records. Equivalent to
+    /// [`flush_with_cause`](Self::flush_with_cause) with
+    /// [`FlushCause::Explicit`].
+    pub fn flush(&self) -> Result<()> {
+        self.flush_with_cause(FlushCause::Explicit)?;
+        Ok(())
+    }
+
+    /// Flush with cause attribution, returning what the flush did.
     ///
     /// Durable ordering: store files are written and fsynced first, the
     /// manifest commit publishes them, and only *then* does `flush_count`
     /// advance and the WAL release the covered records. A crash at any
     /// earlier point leaves the old manifest intact, the WAL untouched, and
     /// at most some orphaned `.sst` files for recovery to sweep.
-    pub fn flush(&self) -> Result<()> {
+    pub fn flush_with_cause(&self, cause: FlushCause) -> Result<FlushOutcome> {
+        let mut sp = shc_obs::trace::span("flush");
+        sp.annotate("region", self.info.region_id);
+        sp.annotate("cause", cause.as_str());
+        let metrics = self.metrics.read().clone();
+        // Injected slow-write delays land in this counter at the fault
+        // site; the delta around the write loop attributes them to this
+        // flush (exact single-threaded, approximate under concurrency).
+        let slow_us_before = metrics
+            .as_ref()
+            .map(|m| m.storage_slow_write_us.load(Ordering::Relaxed))
+            .unwrap_or(0);
         let read_point = self.read_point.load(Ordering::Acquire);
         let storage = self.storage.read().clone();
         let mut stores = self.stores.write();
         let mut any = false;
+        let mut bytes = 0u64;
+        let mut files = 0u64;
         for store in stores.values_mut() {
             if store.memstore.is_empty() {
                 continue;
@@ -510,6 +667,8 @@ impl Region {
             if let Some(rs) = &storage {
                 file.write_to(&rs.env, &rs.next_sst_path(), FileOp::StoreFileWrite)?;
             }
+            bytes += file.byte_size() as u64;
+            files += 1;
             store.flushed_seq = store.flushed_seq.max(file.max_seq);
             store.files.push(Arc::new(file));
             any = true;
@@ -525,31 +684,93 @@ impl Region {
             }
         }
         drop(stores);
-        if any {
-            // Durable completion point: everything below is bookkeeping on
-            // state that is already safe on disk.
-            self.flush_count.fetch_add(1, Ordering::Relaxed);
-            self.wal
-                .read()
-                .truncate_up_to(self.info.region_id, min_flushed);
-            self.maybe_compact()?;
+        if !any {
+            return Ok(FlushOutcome::default());
         }
-        Ok(())
+        // Durable completion point: everything below is bookkeeping on
+        // state that is already safe on disk.
+        self.flush_count.fetch_add(1, Ordering::Relaxed);
+        self.wal
+            .read()
+            .truncate_up_to(self.info.region_id, min_flushed);
+        let injected_us = metrics
+            .as_ref()
+            .map(|m| m.storage_slow_write_us.load(Ordering::Relaxed))
+            .unwrap_or(0)
+            .saturating_sub(slow_us_before);
+        let duration_us = modeled_write_us(bytes) + injected_us;
+        // Injected delays already advanced the active trace at the fault
+        // site; only the throughput model is added here.
+        shc_obs::trace::advance_us(modeled_write_us(bytes));
+        if let Some(m) = &metrics {
+            match cause {
+                FlushCause::MemstorePressure => m.add(&m.flushes_memstore_pressure, 1),
+                FlushCause::WalPressure => m.add(&m.flushes_wal_pressure, 1),
+                FlushCause::Explicit => m.add(&m.flushes_explicit, 1),
+            }
+            m.flush_bytes.record(bytes);
+            m.flush_us
+                .record_with_exemplar(duration_us, shc_obs::trace::current_trace_id().unwrap_or(0));
+        }
+        sp.annotate("bytes", bytes);
+        sp.annotate("files", files);
+        let (compactions, compaction_bytes) = self.maybe_compact()?;
+        if let Some(m) = &metrics {
+            let (backlog_bytes, _) = self.compaction_backlog();
+            m.compaction_backlog_peak_bytes
+                .fetch_max(backlog_bytes, Ordering::Relaxed);
+        }
+        Ok(FlushOutcome {
+            flushed: true,
+            bytes,
+            files,
+            duration_us,
+            compactions,
+            compaction_bytes,
+        })
     }
 
-    fn maybe_compact(&self) -> Result<()> {
+    /// Bytes and files a pending compaction would have to rewrite: for
+    /// every family holding more than one store file, all of that family's
+    /// file bytes plus the files beyond the first. Zero means fully
+    /// compacted. This is the gauge whose *growth rate* predicts collapse.
+    pub fn compaction_backlog(&self) -> (u64, u64) {
+        let stores = self.stores.read();
+        let mut bytes = 0u64;
+        let mut files = 0u64;
+        for store in stores.values() {
+            if store.files.len() > 1 {
+                bytes += store
+                    .files
+                    .iter()
+                    .map(|f| f.byte_size() as u64)
+                    .sum::<u64>();
+                files += (store.files.len() - 1) as u64;
+            }
+        }
+        (bytes, files)
+    }
+
+    /// Returns `(compactions run, bytes rewritten)`.
+    fn maybe_compact(&self) -> Result<(u64, u64)> {
+        let mut count = 0u64;
+        let mut bytes = 0u64;
         // Size-tiered minor compactions first: cheap merges of similarly
         // sized files, keeping tombstones and versions.
-        while self.minor_compact()? {}
+        while let Some(rewritten) = self.minor_compact_inner()? {
+            count += 1;
+            bytes += rewritten;
+        }
         let needs_major = self
             .stores
             .read()
             .values()
             .any(|s| s.files.len() >= self.config.compact_at_file_count);
         if needs_major {
-            self.compact()?;
+            bytes += self.compact_inner()?;
+            count += 1;
         }
-        Ok(())
+        Ok((count, bytes))
     }
 
     /// One round of size-tiered selection per family: find at least
@@ -558,6 +779,12 @@ impl Region {
     /// tombstone (only a major compaction may drop data). Returns whether
     /// any merge happened.
     pub fn minor_compact(&self) -> Result<bool> {
+        Ok(self.minor_compact_inner()?.is_some())
+    }
+
+    /// Inner minor compaction returning the bytes rewritten (`None` when no
+    /// tier qualified).
+    fn minor_compact_inner(&self) -> Result<Option<u64>> {
         let storage = self.storage.read().clone();
         let mut stores = self.stores.write();
         // One family per round; callers loop until no tier qualifies.
@@ -570,9 +797,12 @@ impl Region {
             .map(|pick| (family.clone(), pick))
         });
         let Some((family, pick)) = target else {
-            return Ok(false);
+            return Ok(None);
         };
-        let replaced = {
+        let mut sp = shc_obs::trace::span("compaction");
+        sp.annotate("region", self.info.region_id);
+        sp.annotate("kind", "minor");
+        let (replaced, rewritten) = {
             let store = stores.get_mut(&family).expect("family exists");
             let picked: Vec<Arc<StoreFile>> =
                 pick.iter().map(|&i| Arc::clone(&store.files[i])).collect();
@@ -594,6 +824,7 @@ impl Region {
             if let Some(rs) = &storage {
                 merged.write_to(&rs.env, &rs.next_sst_path(), FileOp::CompactionWrite)?;
             }
+            let rewritten = merged.byte_size() as u64;
             let keep: HashSet<usize> = pick.iter().copied().collect();
             let mut replaced = Vec::new();
             let mut files = Vec::with_capacity(store.files.len() + 1 - pick.len());
@@ -607,7 +838,7 @@ impl Region {
             files.push(Arc::new(merged));
             files.sort_by_key(|f| f.max_seq);
             store.files = files;
-            replaced
+            (replaced, rewritten)
         };
         if let Some(rs) = &storage {
             write_manifest(rs, &stores)?;
@@ -615,7 +846,21 @@ impl Region {
         }
         drop(stores);
         self.compaction_count.fetch_add(1, Ordering::Relaxed);
-        Ok(true)
+        self.meter_compaction(&mut sp, rewritten);
+        Ok(Some(rewritten))
+    }
+
+    /// Shared compaction instrumentation: histogram samples, modeled trace
+    /// time, span annotations.
+    fn meter_compaction(&self, sp: &mut shc_obs::SpanGuard, rewritten: u64) {
+        let duration_us = modeled_write_us(rewritten);
+        shc_obs::trace::advance_us(duration_us);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.compaction_bytes.record(rewritten);
+            m.compaction_us
+                .record_with_exemplar(duration_us, shc_obs::trace::current_trace_id().unwrap_or(0));
+        }
+        sp.annotate("bytes", rewritten);
     }
 
     /// Major compaction: merge each family's files into one, dropping masked
@@ -625,6 +870,16 @@ impl Region {
     /// manifest committed before the old files are deleted or the counter
     /// advances.
     pub fn compact(&self) -> Result<()> {
+        self.compact_inner()?;
+        Ok(())
+    }
+
+    /// Inner major compaction returning the bytes rewritten.
+    fn compact_inner(&self) -> Result<u64> {
+        let mut sp = shc_obs::trace::span("compaction");
+        sp.annotate("region", self.info.region_id);
+        sp.annotate("kind", "major");
+        let mut rewritten = 0u64;
         let storage = self.storage.read().clone();
         let mut stores = self.stores.write();
         let mut all_replaced = Vec::new();
@@ -654,6 +909,7 @@ impl Region {
             if let Some(rs) = &storage {
                 file.write_to(&rs.env, &rs.next_sst_path(), FileOp::CompactionWrite)?;
             }
+            rewritten += file.byte_size() as u64;
             all_replaced.append(&mut store.files);
             store.files = vec![Arc::new(file)];
         }
@@ -663,7 +919,8 @@ impl Region {
         }
         drop(stores);
         self.compaction_count.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        self.meter_compaction(&mut sp, rewritten);
+        Ok(rewritten)
     }
 
     // ------------------------------------------------------------------

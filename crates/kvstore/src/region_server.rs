@@ -15,14 +15,14 @@ use crate::error::{KvError, Result};
 use crate::fault::{FaultInjector, RpcOp};
 use crate::load::ServerLoad;
 use crate::metrics::ClusterMetrics;
-use crate::region::{Region, ScanStats};
+use crate::region::{FlushCause, Region, ScanStats};
 use crate::security::{AuthToken, TokenService};
 use crate::storage::StorageEnv;
 use crate::types::{row_successor, Delete, Get, Put, RowResult, Scan};
 use crate::wal::Wal;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -33,6 +33,19 @@ pub const DEFAULT_SCANNER_LEASE_MS: u64 = 60_000;
 
 /// Sentinel region id that tells the background flush worker to exit.
 const FLUSHER_STOP: u64 = u64::MAX;
+
+/// Background flush traces kept per server (a bounded ring).
+const BACKGROUND_TRACE_CAP: usize = 64;
+
+/// One queued background flush. `enqueue_ms` is the server clock captured on
+/// the *writer* thread at notification time — the worker stamps its journal
+/// entry with it, so seeded runs journal background work at deterministic
+/// virtual times no matter when the worker thread actually gets scheduled.
+struct FlushRequest {
+    region_id: u64,
+    cause: FlushCause,
+    enqueue_ms: u64,
+}
 
 /// Cursor state of one open server-side scanner.
 struct ScannerState {
@@ -59,7 +72,7 @@ pub struct ScanBatch {
 /// bookkeeping [`RegionServer::quiesce_flushes`] needs to wait for drain.
 struct Flusher {
     /// Behind a `Mutex` only so `RegionServer` stays `Sync`.
-    tx: Mutex<mpsc::Sender<u64>>,
+    tx: Mutex<mpsc::Sender<FlushRequest>>,
     handle: Option<std::thread::JoinHandle<()>>,
     /// Region ids queued but not yet picked up (dedupes notifications).
     pending: Arc<Mutex<HashSet<u64>>>,
@@ -85,8 +98,12 @@ pub struct RegionServer {
     /// Optional fault injector consulted at every RPC entry.
     fault: RwLock<Option<Arc<FaultInjector>>>,
     /// Optional flight recorder; lease expirations and WAL replays are
-    /// journaled when attached.
-    events: RwLock<Option<Arc<shc_obs::EventJournal>>>,
+    /// journaled when attached. `Arc`-wrapped so the background flush
+    /// worker shares the slot (it may be attached after the worker spawns).
+    events: Arc<RwLock<Option<Arc<shc_obs::EventJournal>>>>,
+    /// Finished span trees of background flushes (bounded ring, newest
+    /// last). Each carries a deterministic high-bit TraceId.
+    background_traces: Arc<Mutex<VecDeque<shc_obs::Trace>>>,
     /// Shared LRU over store-file blocks of every hosted region.
     block_cache: Arc<BlockCache>,
     /// Open scanners by id.
@@ -124,7 +141,8 @@ impl RegionServer {
             offline: Arc::new(AtomicBool::new(false)),
             flusher: Mutex::new(None),
             fault: RwLock::new(None),
-            events: RwLock::new(None),
+            events: Arc::new(RwLock::new(None)),
+            background_traces: Arc::new(Mutex::new(VecDeque::new())),
             block_cache,
             scanners: Mutex::new(HashMap::new()),
             next_scanner_id: AtomicU64::new(1),
@@ -164,7 +182,15 @@ impl RegionServer {
     pub fn attach_event_journal(&self, journal: Arc<shc_obs::EventJournal>) {
         self.block_cache
             .attach_events(Arc::clone(&journal), self.clock.clone());
+        for region in self.regions.read().values() {
+            region.attach_observability(Arc::clone(&self.metrics), Some(Arc::clone(&journal)));
+        }
         *self.events.write() = Some(journal);
+    }
+
+    /// Finished background-flush traces (bounded ring, oldest first).
+    pub fn background_flush_traces(&self) -> Vec<shc_obs::Trace> {
+        self.background_traces.lock().iter().cloned().collect()
     }
 
     fn journal(&self, severity: shc_obs::Severity, category: &'static str, message: String) {
@@ -213,21 +239,29 @@ impl RegionServer {
     }
 
     pub fn open_region(&self, region: Arc<Region>) {
+        region.attach_observability(Arc::clone(&self.metrics), self.events.read().clone());
         match self.flusher.lock().as_ref() {
-            Some(flusher) => Self::hook_region(&region, flusher),
+            Some(flusher) => Self::hook_region(&region, flusher, &self.clock),
             None => region.clear_flush_notifier(),
         }
         self.regions.write().insert(region.info.region_id, region);
     }
 
     /// Point a region's flush notifier at the background worker's queue.
-    fn hook_region(region: &Region, flusher: &Flusher) {
+    fn hook_region(region: &Region, flusher: &Flusher, clock: &Clock) {
         let tx = flusher.tx.lock().clone();
         let pending = Arc::clone(&flusher.pending);
-        region.set_flush_notifier(move |region_id| {
+        let clock = clock.clone();
+        region.set_flush_notifier(move |region_id, cause| {
             // Dedupe: a region already queued is flushed once, not per put.
+            // The enqueue timestamp is read here, on the writer thread that
+            // drives the virtual clock, so it is deterministic.
             if pending.lock().insert(region_id) {
-                let _ = tx.send(region_id);
+                let _ = tx.send(FlushRequest {
+                    region_id,
+                    cause,
+                    enqueue_ms: clock.peek_ms(),
+                });
             }
         });
     }
@@ -241,19 +275,26 @@ impl RegionServer {
         if guard.is_some() {
             return;
         }
-        let (tx, rx) = mpsc::channel::<u64>();
+        let (tx, rx) = mpsc::channel::<FlushRequest>();
         let pending = Arc::new(Mutex::new(HashSet::new()));
         let inflight = Arc::new(AtomicUsize::new(0));
         let regions = Arc::clone(&self.regions);
         let offline = Arc::clone(&self.offline);
         let metrics = Arc::clone(&self.metrics);
+        let events = Arc::clone(&self.events);
+        let traces = Arc::clone(&self.background_traces);
+        let server_id = self.server_id;
         let worker_pending = Arc::clone(&pending);
         let worker_inflight = Arc::clone(&inflight);
         let handle = std::thread::Builder::new()
             .name(format!("flush-{}", self.server_id))
             .spawn(move || {
-                while let Ok(region_id) = rx.recv() {
-                    if region_id == FLUSHER_STOP {
+                // Deterministic per-worker trace sequence: queue order is the
+                // writer's notification order, so seeded runs mint the same
+                // TraceIds for the same background flushes.
+                let mut trace_seq = 0u64;
+                while let Ok(req) = rx.recv() {
+                    if req.region_id == FLUSHER_STOP {
                         break;
                     }
                     // Order matters for `quiesce_flushes`: become inflight
@@ -261,12 +302,50 @@ impl RegionServer {
                     // (`pending empty && inflight == 0`) never races ahead
                     // of a flush that was picked up but not started.
                     worker_inflight.fetch_add(1, Ordering::AcqRel);
-                    worker_pending.lock().remove(&region_id);
+                    worker_pending.lock().remove(&req.region_id);
                     if !offline.load(Ordering::Acquire) {
-                        let region = regions.read().get(&region_id).cloned();
+                        let region = regions.read().get(&req.region_id).cloned();
                         if let Some(region) = region {
-                            if region.flush().is_ok() {
-                                metrics.add(&metrics.background_flushes, 1);
+                            trace_seq += 1;
+                            // High bit marks a background trace; server id and
+                            // sequence make it unique and reproducible.
+                            let trace_id = 0x8000_0000_0000_0000u64 | (server_id << 32) | trace_seq;
+                            let tracer = shc_obs::Tracer::with_id(trace_id);
+                            let outcome = {
+                                let mut root = tracer.root("background_flush");
+                                root.annotate("server", server_id);
+                                root.annotate("region", req.region_id);
+                                root.annotate("cause", req.cause.as_str());
+                                region.flush_with_cause(req.cause)
+                            };
+                            if let Ok(outcome) = outcome {
+                                if outcome.flushed {
+                                    metrics.add(&metrics.background_flushes, 1);
+                                    if let Some(journal) = events.read().as_ref() {
+                                        journal.record_with_trace(
+                                            shc_obs::Severity::Info,
+                                            "flush",
+                                            req.enqueue_ms,
+                                            format!(
+                                                "background flush: region {} cause={} \
+                                                 bytes={} files={} compactions={} \
+                                                 duration_us={}",
+                                                req.region_id,
+                                                req.cause.as_str(),
+                                                outcome.bytes,
+                                                outcome.files,
+                                                outcome.compactions,
+                                                outcome.duration_us
+                                            ),
+                                            trace_id,
+                                        );
+                                    }
+                                    let mut ring = traces.lock();
+                                    if ring.len() >= BACKGROUND_TRACE_CAP {
+                                        ring.pop_front();
+                                    }
+                                    ring.push_back(tracer.finish());
+                                }
                             }
                         }
                     }
@@ -281,21 +360,45 @@ impl RegionServer {
             inflight,
         };
         for region in self.regions.read().values() {
-            Self::hook_region(region, &flusher);
+            Self::hook_region(region, &flusher, &self.clock);
         }
         *guard = Some(flusher);
     }
 
+    /// Whether the background flusher has no queued or in-flight work right
+    /// now. `true` when background flushing is disabled. Tests poll this
+    /// before quiescing so the `flush_quiesced` event carries a
+    /// deterministic pending count.
+    pub fn flushes_idle(&self) -> bool {
+        match self.flusher.lock().as_ref() {
+            Some(f) => f.pending.lock().is_empty() && f.inflight.load(Ordering::Acquire) == 0,
+            None => true,
+        }
+    }
+
     /// Wait until the background flusher has drained every queued and
-    /// in-flight flush. No-op when background flushing is disabled.
+    /// in-flight flush, then journal a `flush_quiesced` event carrying how
+    /// much work was pending when the wait began. No-op when background
+    /// flushing is disabled.
     pub fn quiesce_flushes(&self) {
         let (pending, inflight) = match self.flusher.lock().as_ref() {
             Some(f) => (Arc::clone(&f.pending), Arc::clone(&f.inflight)),
             None => return,
         };
+        let pending_at_entry = pending.lock().len() + inflight.load(Ordering::Acquire);
         while !pending.lock().is_empty() || inflight.load(Ordering::Acquire) > 0 {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
+        // Journaled after the drain (from the quiescing thread, which owns
+        // the clock) so the event lands at a deterministic seq position.
+        self.journal(
+            shc_obs::Severity::Info,
+            "flush",
+            format!(
+                "flush_quiesced: server {} drained pending={pending_at_entry}",
+                self.server_id
+            ),
+        );
     }
 
     pub fn close_region(&self, region_id: u64) -> Option<Arc<Region>> {
@@ -616,6 +719,20 @@ impl RegionServer {
         Ok(())
     }
 
+    /// Total compaction backlog across this server's regions:
+    /// `(pending_bytes, pending_files)` that a full compaction pass would
+    /// have to rewrite (see [`Region::compaction_backlog`]).
+    pub fn compaction_backlog(&self) -> (u64, u64) {
+        let mut bytes = 0u64;
+        let mut files = 0u64;
+        for region in self.regions.read().values() {
+            let (b, f) = region.compaction_backlog();
+            bytes += b;
+            files += f;
+        }
+        (bytes, files)
+    }
+
     /// Simulate a crash: the process drops off the network, the WAL refuses
     /// appends, and every unflushed memstore is lost. On a durable server
     /// only un-fsynced state is gone — flushed store files, the manifest,
@@ -677,7 +794,11 @@ impl Drop for RegionServer {
     fn drop(&mut self) {
         let flusher = self.flusher.lock().take();
         if let Some(mut flusher) = flusher {
-            let _ = flusher.tx.lock().send(FLUSHER_STOP);
+            let _ = flusher.tx.lock().send(FlushRequest {
+                region_id: FLUSHER_STOP,
+                cause: FlushCause::Explicit,
+                enqueue_ms: 0,
+            });
             if let Some(handle) = flusher.handle.take() {
                 let _ = handle.join();
             }

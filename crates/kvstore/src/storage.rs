@@ -281,13 +281,24 @@ impl StorageEnv {
     }
 
     fn verdict(&self, op: FileOp, len: usize) -> crate::fault::WriteVerdict {
-        match self.faults.read().as_ref() {
+        let v = match self.faults.read().as_ref() {
             Some(inj) => inj.on_file_write(op, len),
             None => crate::fault::WriteVerdict {
                 persist: len,
                 crash: false,
+                delay_us: 0,
             },
+        };
+        if v.delay_us > 0 {
+            // A slow-write fault: the device took this long. Charge the
+            // modeled delay to the slow-write counter (flush/compaction
+            // callers diff it around their write loops for attribution)
+            // and advance the active trace so spans show the stall.
+            self.metrics
+                .add(&self.metrics.storage_slow_write_us, v.delay_us);
+            shc_obs::trace::advance_us(v.delay_us);
         }
+        v
     }
 
     /// Append `buf` to an open file, honoring injected file faults: a
@@ -443,6 +454,27 @@ mod tests {
         assert!(matches!(err, KvError::SimulatedCrash(_)));
         // The previous version is untouched.
         assert_eq!(env.read(&path).unwrap(), b"v1");
+    }
+
+    #[test]
+    fn slow_write_fault_lands_intact_and_charges_delay() {
+        let metrics = ClusterMetrics::new();
+        let env = StorageEnv::temp(1 << 20, Arc::clone(&metrics)).unwrap();
+        let inj = FaultInjector::new(3, Arc::clone(&metrics));
+        env.attach_faults(Arc::clone(&inj));
+        inj.add_file_rule(
+            FileFaultRule::new(FileFaultKind::SlowWrite(1_500))
+                .on_op(FileOp::StoreFileWrite)
+                .times(2),
+        );
+        let path = env.root().join("f.sst");
+        env.write_atomic(&path, FileOp::StoreFileWrite, b"block-1")
+            .unwrap();
+        assert_eq!(env.read(&path).unwrap(), b"block-1", "no bytes lost");
+        let mut f = env.open_append(&env.root().join("g.sst")).unwrap();
+        env.append(&mut f, FileOp::StoreFileWrite, b"block-2")
+            .unwrap();
+        assert_eq!(metrics.snapshot().storage_slow_write_us, 3_000);
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //! instead of an aggregate.
 
 use crate::export::TextExporter;
+use crate::tsdb::Tsdb;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Direction of a threshold breach.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +96,27 @@ impl AlertRule {
             value_fn: Box::new(value_fn),
             exemplar_fn: None,
         }
+    }
+
+    /// Rule over the **growth rate** of a [`Tsdb`] series: the reading is
+    /// `tsdb.rate(series, window_ms)` — change per virtual second across the
+    /// trailing window. A series with fewer than two in-window samples reads
+    /// `None` (healthy), so rate rules stay quiet until the scrape loop has
+    /// produced a slope to judge. This is how the instantaneous-gauge engine
+    /// expresses the collapse predictors: backlog *growth*, stall *rate*.
+    pub fn rate_over_window(
+        name: impl Into<String>,
+        comparison: Comparison,
+        threshold: f64,
+        debounce_ms: u64,
+        tsdb: Arc<Tsdb>,
+        series: impl Into<String>,
+        window_ms: u64,
+    ) -> Self {
+        let series = series.into();
+        Self::new(name, comparison, threshold, debounce_ms, move || {
+            tsdb.rate(&series, window_ms)
+        })
     }
 
     /// Sample a TraceId at fire time so the alert points at a concrete trace.
@@ -378,6 +401,39 @@ mod tests {
         assert_eq!(status.state, AlertState::Firing);
         assert_eq!(status.exemplar_trace_id, 0xbeef);
         assert_eq!(status.fired_count, 1);
+    }
+
+    #[test]
+    fn rate_rule_fires_on_series_growth() {
+        let tsdb = Tsdb::new(32);
+        let engine = AlertEngine::new();
+        engine.add_rule(AlertRule::rate_over_window(
+            "backlog_growth",
+            Comparison::Above,
+            100.0, // bytes per virtual second
+            0,
+            Arc::clone(&tsdb),
+            "backlog_bytes",
+            5_000,
+        ));
+        // No samples yet: reading is None, rule stays healthy.
+        assert!(engine.evaluate(0).is_empty());
+        assert_eq!(engine.statuses()[0].value, None);
+        // Flat series: rate 0, still healthy.
+        tsdb.record("backlog_bytes", 0, 1_000.0);
+        tsdb.record("backlog_bytes", 1_000, 1_000.0);
+        assert!(engine.evaluate(1_000).is_empty());
+        // Ramp: +4000 bytes over 2s = 2000/s > 100 → fires.
+        tsdb.record("backlog_bytes", 2_000, 3_000.0);
+        tsdb.record("backlog_bytes", 3_000, 5_000.0);
+        let t = engine.evaluate(3_000);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].fired);
+        // Backlog drains: negative rate clears the alert.
+        tsdb.record("backlog_bytes", 9_000, 0.0);
+        let t = engine.evaluate(9_000);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].fired);
     }
 
     #[test]

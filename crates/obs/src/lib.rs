@@ -13,6 +13,9 @@
 //!   correlated to queries by TraceId.
 //! - [`alerts`]: declarative threshold rules over metric readings,
 //!   debounced on a virtual clock, with TraceId exemplars at fire time.
+//! - [`tsdb`]: a bounded per-series time-series store fed by virtual-clock
+//!   scrapes, with trailing-window `rate()`/`delta()`/`max_over_window()`
+//!   queries that power rate-based alert rules.
 //! - [`export`]: a Prometheus-style text exposition builder.
 //! - [`metrics_registry!`]: a macro that generates counter/histogram
 //!   registries (struct + snapshot + `snapshot()`/`reset()`/`delta_since()`
@@ -26,12 +29,14 @@ pub mod events;
 pub mod export;
 pub mod hist;
 pub mod trace;
+pub mod tsdb;
 
 pub use alerts::{AlertEngine, AlertRule, AlertState, AlertStatus, AlertTransition, Comparison};
 pub use events::{Event, EventJournal, Severity};
 pub use export::TextExporter;
 pub use hist::{BucketExemplar, Histogram, HistogramSnapshot};
 pub use trace::{span, SpanGuard, SpanRecord, Trace, TraceContext, Tracer};
+pub use tsdb::{Sample, Tsdb};
 
 /// Generate a metrics registry: a struct of relaxed `AtomicU64` counters,
 /// high-water marks ("watermarks", updated via `fetch_max`, whose delta is a

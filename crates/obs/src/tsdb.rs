@@ -1,0 +1,338 @@
+//! A bounded, in-memory metrics time-series store.
+//!
+//! The flight recorder (PR 5) answers "what happened"; this module answers
+//! "how fast is it changing". A [`Tsdb`] holds one fixed-capacity ring of
+//! [`Sample`]s per series and is fed by an explicit *scrape*: registered
+//! sources are read and appended at a caller-supplied virtual-clock
+//! timestamp. There is no background thread — scrapes happen at
+//! well-defined points (a `system.metrics_history` scan, a benchmark
+//! iteration, a test step), the same discipline the [`crate::alerts`]
+//! engine uses, so two seeded runs produce byte-identical series.
+//!
+//! Queries are windowed over the *trailing* end of a series (the window
+//! ends at the newest sample, so they need no clock): [`Tsdb::delta`],
+//! [`Tsdb::rate`] (per virtual second) and [`Tsdb::max_over_window`].
+//! These are what rate-over-window alert rules
+//! ([`crate::alerts::AlertRule::rate_over_window`]) evaluate — the signals
+//! that predict collapse are growth rates (compaction backlog, write-stall
+//! time), not instantaneous gauges.
+//!
+//! Series names follow Prometheus conventions: a bare metric name, or
+//! `name{label="value"}` for labeled series. The SQL surface splits the two
+//! parts back into `metric` and `labels` columns.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One observation: a value at a virtual-clock millisecond.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    pub ts_ms: u64,
+    pub value: f64,
+}
+
+/// A scrape source: returns `(series_name, value)` pairs in a deterministic
+/// order. Counter registries, histogram snapshots and computed gauges all
+/// fit this shape.
+pub type ScrapeFn = Box<dyn Fn() -> Vec<(String, f64)> + Send + Sync>;
+
+/// Bounded per-series ring buffers plus the scrape sources that feed them.
+pub struct Tsdb {
+    capacity_per_series: usize,
+    /// `BTreeMap` so iteration (and therefore every rendered or SQL-visible
+    /// ordering) is deterministic.
+    series: Mutex<BTreeMap<String, VecDeque<Sample>>>,
+    sources: RwLock<Vec<ScrapeFn>>,
+    /// Lifetime samples recorded (including ones the rings later evicted).
+    samples_total: AtomicU64,
+    scrapes_total: AtomicU64,
+}
+
+impl Tsdb {
+    /// A store keeping at most `capacity_per_series` samples per series
+    /// (older samples fall off the ring).
+    pub fn new(capacity_per_series: usize) -> Arc<Self> {
+        Arc::new(Tsdb {
+            capacity_per_series: capacity_per_series.max(2),
+            series: Mutex::new(BTreeMap::new()),
+            sources: RwLock::new(Vec::new()),
+            samples_total: AtomicU64::new(0),
+            scrapes_total: AtomicU64::new(0),
+        })
+    }
+
+    /// Register a scrape source. Sources are read in registration order on
+    /// every [`scrape`](Self::scrape).
+    pub fn add_source(&self, source: impl Fn() -> Vec<(String, f64)> + Send + Sync + 'static) {
+        self.sources.write().push(Box::new(source));
+    }
+
+    /// Read every source and append its readings at virtual time `now_ms`.
+    /// Returns the number of samples appended. A reading at the same
+    /// timestamp as a series' newest sample replaces it (re-scraping within
+    /// one virtual millisecond must not manufacture zero-width rate
+    /// windows).
+    pub fn scrape(&self, now_ms: u64) -> usize {
+        self.scrapes_total.fetch_add(1, Ordering::Relaxed);
+        let sources = self.sources.read();
+        let mut appended = 0;
+        for source in sources.iter() {
+            for (name, value) in source() {
+                self.record(&name, now_ms, value);
+                appended += 1;
+            }
+        }
+        appended
+    }
+
+    /// Append one sample directly (what [`scrape`](Self::scrape) does per
+    /// reading). Exposed for layers that produce their own observations.
+    pub fn record(&self, series: &str, ts_ms: u64, value: f64) {
+        let mut all = self.series.lock();
+        let ring = all.entry(series.to_string()).or_default();
+        if let Some(last) = ring.back_mut() {
+            if last.ts_ms == ts_ms {
+                last.value = value;
+                return;
+            }
+        }
+        if ring.len() >= self.capacity_per_series {
+            ring.pop_front();
+        }
+        ring.push_back(Sample { ts_ms, value });
+        self.samples_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Every series name, sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        self.series.lock().keys().cloned().collect()
+    }
+
+    /// All samples of one series, oldest first.
+    pub fn samples(&self, series: &str) -> Vec<Sample> {
+        self.series
+            .lock()
+            .get(series)
+            .map(|r| r.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// `(series, samples)` for every series, name-sorted — the backing rows
+    /// of `system.metrics_history`.
+    pub fn all_series(&self) -> Vec<(String, Vec<Sample>)> {
+        self.series
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.iter().copied().collect()))
+            .collect()
+    }
+
+    /// Newest sample of a series.
+    pub fn latest(&self, series: &str) -> Option<Sample> {
+        self.series
+            .lock()
+            .get(series)
+            .and_then(|r| r.back().copied())
+    }
+
+    /// Samples in the trailing window `[newest.ts - window_ms, newest.ts]`.
+    fn window(&self, series: &str, window_ms: u64) -> Vec<Sample> {
+        let all = self.series.lock();
+        let Some(ring) = all.get(series) else {
+            return Vec::new();
+        };
+        let Some(last) = ring.back() else {
+            return Vec::new();
+        };
+        let floor = last.ts_ms.saturating_sub(window_ms);
+        ring.iter().filter(|s| s.ts_ms >= floor).copied().collect()
+    }
+
+    /// Newest value minus oldest value inside the trailing window. `None`
+    /// with fewer than two samples in the window.
+    pub fn delta(&self, series: &str, window_ms: u64) -> Option<f64> {
+        let w = self.window(series, window_ms);
+        if w.len() < 2 {
+            return None;
+        }
+        Some(w[w.len() - 1].value - w[0].value)
+    }
+
+    /// Change per **virtual second** across the trailing window: delta
+    /// divided by the elapsed virtual time between the oldest and newest
+    /// in-window samples. `None` with fewer than two samples (a rate needs
+    /// a slope). Negative for a draining gauge.
+    pub fn rate(&self, series: &str, window_ms: u64) -> Option<f64> {
+        let w = self.window(series, window_ms);
+        if w.len() < 2 {
+            return None;
+        }
+        let (first, last) = (w[0], w[w.len() - 1]);
+        let elapsed_ms = last.ts_ms.saturating_sub(first.ts_ms);
+        if elapsed_ms == 0 {
+            return None;
+        }
+        Some((last.value - first.value) / (elapsed_ms as f64 / 1000.0))
+    }
+
+    /// Largest value inside the trailing window. `None` for an empty or
+    /// unknown series.
+    pub fn max_over_window(&self, series: &str, window_ms: u64) -> Option<f64> {
+        self.window(series, window_ms)
+            .into_iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Lifetime samples recorded (eviction does not subtract).
+    pub fn sample_count(&self) -> u64 {
+        self.samples_total.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime scrape passes performed.
+    pub fn scrape_count(&self) -> u64 {
+        self.scrapes_total.load(Ordering::Relaxed)
+    }
+
+    /// Deterministic text dump — one `series ts=.. value=..` line per
+    /// sample, series name-sorted, oldest first. Byte-equality of two dumps
+    /// is the reproducibility assertion for seeded runs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, samples) in self.all_series() {
+            for s in samples {
+                out.push_str(&format!("{name} ts={} value={}\n", s.ts_ms, s.value));
+            }
+        }
+        out
+    }
+
+    /// Split a series name into `(metric, labels)` — the inside of a
+    /// `{...}` suffix, or an empty string for bare names.
+    pub fn split_series_name(series: &str) -> (&str, &str) {
+        match series.find('{') {
+            Some(i) => (
+                &series[..i],
+                series[i + 1..]
+                    .strip_suffix('}')
+                    .unwrap_or(&series[i + 1..]),
+            ),
+            None => (series, ""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_appends_sources_in_order() {
+        let tsdb = Tsdb::new(16);
+        tsdb.add_source(|| vec![("a".into(), 1.0), ("b".into(), 2.0)]);
+        let n = tsdb.scrape(100);
+        assert_eq!(n, 2);
+        assert_eq!(tsdb.series_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            tsdb.latest("a"),
+            Some(Sample {
+                ts_ms: 100,
+                value: 1.0
+            })
+        );
+        assert_eq!(tsdb.sample_count(), 2);
+        assert_eq!(tsdb.scrape_count(), 1);
+    }
+
+    #[test]
+    fn ring_is_bounded_per_series() {
+        let tsdb = Tsdb::new(4);
+        for t in 0..10u64 {
+            tsdb.record("m", t, t as f64);
+        }
+        let samples = tsdb.samples("m");
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].ts_ms, 6, "oldest samples evicted");
+        assert_eq!(tsdb.sample_count(), 10, "lifetime count keeps evictions");
+    }
+
+    #[test]
+    fn same_timestamp_replaces_newest() {
+        let tsdb = Tsdb::new(8);
+        tsdb.record("m", 5, 1.0);
+        tsdb.record("m", 5, 9.0);
+        assert_eq!(tsdb.samples("m").len(), 1);
+        assert_eq!(tsdb.latest("m").unwrap().value, 9.0);
+    }
+
+    #[test]
+    fn rate_and_delta_over_trailing_window() {
+        let tsdb = Tsdb::new(64);
+        // Counter rising 10/sample, 500ms apart.
+        for i in 0..8u64 {
+            tsdb.record("ctr", i * 500, (i * 10) as f64);
+        }
+        // Full history: 70 over 3.5s = 20/s.
+        assert_eq!(tsdb.delta("ctr", 10_000), Some(70.0));
+        let r = tsdb.rate("ctr", 10_000).unwrap();
+        assert!((r - 20.0).abs() < 1e-9);
+        // Trailing 1s window: samples at 2500, 3000, 3500 → 20 over 1s.
+        assert_eq!(tsdb.delta("ctr", 1_000), Some(20.0));
+        assert!((tsdb.rate("ctr", 1_000).unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_is_negative_for_draining_gauge() {
+        let tsdb = Tsdb::new(8);
+        tsdb.record("gauge", 0, 100.0);
+        tsdb.record("gauge", 1_000, 40.0);
+        assert!((tsdb.rate("gauge", 5_000).unwrap() + 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_queries_need_enough_samples() {
+        let tsdb = Tsdb::new(8);
+        assert_eq!(tsdb.rate("missing", 1_000), None);
+        tsdb.record("one", 10, 5.0);
+        assert_eq!(tsdb.rate("one", 1_000), None, "one sample has no slope");
+        assert_eq!(tsdb.delta("one", 1_000), None);
+        assert_eq!(tsdb.max_over_window("one", 1_000), Some(5.0));
+        assert_eq!(tsdb.max_over_window("missing", 1_000), None);
+    }
+
+    #[test]
+    fn max_over_window_ignores_samples_outside() {
+        let tsdb = Tsdb::new(8);
+        tsdb.record("m", 0, 99.0);
+        tsdb.record("m", 5_000, 1.0);
+        tsdb.record("m", 6_000, 3.0);
+        assert_eq!(tsdb.max_over_window("m", 1_000), Some(3.0));
+        assert_eq!(tsdb.max_over_window("m", 60_000), Some(99.0));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let build = || {
+            let tsdb = Tsdb::new(8);
+            tsdb.record("z_metric", 1, 2.0);
+            tsdb.record("a_metric{region=\"3\"}", 1, 7.5);
+            tsdb.record("a_metric{region=\"3\"}", 2, 8.5);
+            tsdb.render()
+        };
+        let a = build();
+        assert_eq!(a, build(), "same inputs render byte-identically");
+        let first = a.lines().next().unwrap();
+        assert!(first.starts_with("a_metric{region=\"3\"} ts=1 value=7.5"));
+    }
+
+    #[test]
+    fn series_name_splits_into_metric_and_labels() {
+        assert_eq!(Tsdb::split_series_name("plain"), ("plain", ""));
+        assert_eq!(
+            Tsdb::split_series_name("m{region=\"7\"}"),
+            ("m", "region=\"7\"")
+        );
+    }
+}

@@ -109,11 +109,21 @@ fn main() {
         "restart replayed the WAL tail"
     );
 
+    let (backlog_bytes, _backlog_files) = cluster.compaction_backlog();
     println!(
         "BENCH {{\"experiment\":\"durable_lsm\",\"x\":\"crash_restart\",\"system\":\"SHC\",\
          \"rows\":{after},\"write_amplification\":{write_amp:.4},\
          \"wal_replayed_records\":{},\"wal_segments_rotated\":{},\
-         \"compaction_bytes_rewritten\":{}}}",
-        snap.wal_replayed_records, snap.wal_segments_rotated, snap.compaction_bytes_rewritten,
+         \"compaction_bytes_rewritten\":{},\
+         \"flush_cause\":{{\"memstore\":{},\"wal\":{},\"explicit\":{}}},\
+         \"write_stall_ms\":{},\"compaction_backlog_bytes\":{backlog_bytes},\
+         \"tsdb_samples\":0}}",
+        snap.wal_replayed_records,
+        snap.wal_segments_rotated,
+        snap.compaction_bytes_rewritten,
+        snap.flushes_memstore_pressure,
+        snap.flushes_wal_pressure,
+        snap.flushes_explicit,
+        snap.write_stall_ms,
     );
 }

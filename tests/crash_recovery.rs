@@ -43,6 +43,7 @@ fn build_cluster() -> Arc<HBaseCluster> {
             compact_at_file_count: 64,
             tier_min_files: 2,
             tier_size_ratio: 8.0,
+            ..RegionConfig::default()
         },
         wal_segment_bytes: 16 * 1024,
         ..ClusterConfig::durable_temp()

@@ -201,6 +201,278 @@ fn block_cache_alert_fires_and_clears_with_exemplar() {
     assert_eq!(status.fired_count, 1, "one complete fire/clear episode");
 }
 
+/// One seeded run with the background flusher on: two write phases, each
+/// followed by a drain (poll `flushes_idle`, then `quiesce`). Returns the
+/// rendered store journal.
+///
+/// Determinism discipline for background work: the flush worker journals at
+/// the *enqueue* timestamp captured on the writer thread, with a TraceId
+/// derived from (server, queue position) — so the journal is a pure
+/// function of the write schedule, not of thread timing. Draining between
+/// phases fixes the seq interleaving.
+fn background_flush_run(seed: u64) -> String {
+    use shc::kvstore::prelude::*;
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 1,
+        fault_seed: seed,
+        background_flush: true,
+        region_config: RegionConfig {
+            memstore_flush_size: 2 * 1024,
+            ..RegionConfig::default()
+        },
+        ..ClusterConfig::durable_temp()
+    });
+    cluster
+        .create_table(
+            TableDescriptor::new(TableName::default_ns("bg"))
+                .with_family(FamilyDescriptor::new("cf")),
+        )
+        .unwrap();
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("bg"));
+    let payload = "x".repeat(256);
+    for phase in 0..2 {
+        for i in 0..24 {
+            table
+                .put(Put::new(format!("p{phase}r{i:04}")).add("cf", "v", payload.clone()))
+                .unwrap();
+        }
+        while !cluster.flushes_idle() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        cluster.quiesce();
+    }
+    cluster.events().render()
+}
+
+#[test]
+fn background_flushes_journal_deterministically() {
+    let a = background_flush_run(0xf1a5);
+    let b = background_flush_run(0xf1a5);
+    assert!(
+        a.contains("background flush: region"),
+        "watermark crossings must journal background flushes: {a}"
+    );
+    assert!(
+        a.contains("cause=memstore_pressure"),
+        "the flush cause must be attributed: {a}"
+    );
+    assert!(
+        a.contains("flush_quiesced: server 0"),
+        "quiesce must journal the drain: {a}"
+    );
+    // Background-flush TraceIds carry the high marker bit.
+    assert!(a.contains("trace=0x80000000"), "{a}");
+    assert_eq!(a, b, "background-flush journal must replay byte-for-byte");
+}
+
+/// One seeded stall run: synchronous flush mode (no background flusher, so
+/// every watermark crossing blocks the writer), slowed store-file writes,
+/// and a scrape after every batch. Returns the tsdb dump, the write-stall
+/// alert's fired count, and the stall count.
+fn stall_run(seed: u64) -> (String, u64, u64) {
+    use shc::kvstore::prelude::*;
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 1,
+        fault_seed: seed,
+        region_config: RegionConfig {
+            memstore_flush_size: 2 * 1024,
+            // Keep compaction lazy so flushed files pile up into a backlog.
+            compact_at_file_count: 64,
+            tier_min_files: 32,
+            tier_size_ratio: 8.0,
+            ..RegionConfig::default()
+        },
+        ..ClusterConfig::durable_temp()
+    });
+    cluster
+        .create_table(
+            TableDescriptor::new(TableName::default_ns("stall"))
+                .with_family(FamilyDescriptor::new("cf")),
+        )
+        .unwrap();
+    let session = Session::new_default();
+    register_system_tables(&session, &cluster);
+    let tsdb = session.tsdb().expect("system tables install a tsdb");
+
+    // Every store-file write in the first episode takes an extra 500 virtual
+    // ms — the injected disk slowness that makes the stalls expensive.
+    cluster.faults().add_file_rule(
+        FileFaultRule::new(FileFaultKind::SlowWrite(500_000))
+            .on_op(FileOp::StoreFileWrite)
+            .times(8),
+    );
+
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("stall"));
+    let payload = "y".repeat(256);
+    // The ingest runs under a tracer, so the stall histogram's exemplars
+    // carry this TraceId — the alert points back at the blocked workload.
+    let tracer = shc::obs::Tracer::with_id(0xabcd);
+    {
+        let mut root = tracer.root("ingest");
+        root.annotate("workload", "stall");
+        for i in 0..48 {
+            table
+                .put(Put::new(format!("s{i:05}")).add("cf", "v", payload.clone()))
+                .unwrap();
+            if i % 8 == 7 {
+                tsdb.scrape(cluster.clock.peek_ms());
+                session.alerts().evaluate(cluster.clock.peek_ms());
+            }
+        }
+    }
+
+    // Stalls over: age the growth samples out of the rate window (rate
+    // rules look back 10s of virtual time), then scrape a flat tail so the
+    // alert clears — one complete fire/clear episode.
+    for _ in 0..12_000 {
+        cluster.clock.now_ms();
+    }
+    tsdb.scrape(cluster.clock.peek_ms());
+    for _ in 0..200 {
+        cluster.clock.now_ms();
+    }
+    tsdb.scrape(cluster.clock.peek_ms());
+    session.alerts().evaluate(cluster.clock.peek_ms());
+
+    let status = session
+        .alerts()
+        .statuses()
+        .into_iter()
+        .find(|s| s.name == "write_stall_rate")
+        .unwrap();
+    assert_eq!(status.state.as_str(), "ok", "flat tail clears the alert");
+    assert_eq!(
+        status.exemplar_trace_id, 0xabcd,
+        "the alert's exemplar is the blocked ingest's TraceId"
+    );
+    let snap = cluster.metrics.snapshot();
+    (snap_render(&tsdb), status.fired_count, snap.write_stalls)
+}
+
+fn snap_render(tsdb: &Arc<shc::obs::Tsdb>) -> String {
+    tsdb.render()
+}
+
+#[test]
+fn seeded_stalls_fire_rate_alert_once_per_episode_and_scrape_identically() {
+    let (series_a, fired_a, stalls_a) = stall_run(0x57a1);
+    let (series_b, fired_b, stalls_b) = stall_run(0x57a1);
+    assert!(stalls_a > 0, "watermark flushes under sync mode must stall");
+    assert_eq!(
+        fired_a, 1,
+        "the rate alert fires once per stall episode, not per evaluation"
+    );
+    assert_eq!(fired_a, fired_b);
+    assert_eq!(stalls_a, stalls_b);
+    assert!(
+        series_a.contains("shc_store_write_stall_ms"),
+        "scrapes must cover the stall counter: {series_a}"
+    );
+    assert_eq!(
+        series_a, series_b,
+        "same-seed scrape series must be byte-identical"
+    );
+}
+
+#[test]
+fn metrics_history_answers_rate_over_window_for_stalls() {
+    use shc::kvstore::prelude::*;
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 1,
+        region_config: RegionConfig {
+            memstore_flush_size: 2 * 1024,
+            compact_at_file_count: 64,
+            tier_min_files: 32,
+            tier_size_ratio: 8.0,
+            ..RegionConfig::default()
+        },
+        ..ClusterConfig::durable_temp()
+    });
+    cluster
+        .create_table(
+            TableDescriptor::new(TableName::default_ns("stall"))
+                .with_family(FamilyDescriptor::new("cf")),
+        )
+        .unwrap();
+    let session = Session::new_default();
+    register_system_tables(&session, &cluster);
+    cluster.faults().add_file_rule(
+        FileFaultRule::new(FileFaultKind::SlowWrite(500_000))
+            .on_op(FileOp::StoreFileWrite)
+            .times(8),
+    );
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let table = conn.table(TableName::default_ns("stall"));
+    let payload = "z".repeat(256);
+    for i in 0..48 {
+        table
+            .put(Put::new(format!("m{i:05}")).add("cf", "v", payload.clone()))
+            .unwrap();
+        if i % 8 == 7 {
+            // Scanning the history table *is* the scrape loop.
+            session
+                .sql("SELECT COUNT(*) FROM system.metrics_history")
+                .unwrap()
+                .collect()
+                .unwrap();
+        }
+    }
+
+    // Rate over the scraped window, computed in SQL off the history table:
+    // stalled ms per virtual second across the run.
+    let window = session
+        .sql(
+            "SELECT MIN(ts), MAX(ts), MIN(value), MAX(value) \
+             FROM system.metrics_history WHERE metric = 'shc_store_write_stall_ms'",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    let (min_ts, max_ts) = (
+        window[0].get(0).as_i64().unwrap(),
+        window[0].get(1).as_i64().unwrap(),
+    );
+    let (min_v, max_v) = (
+        window[0].get(2).as_f64().unwrap(),
+        window[0].get(3).as_f64().unwrap(),
+    );
+    assert!(max_ts > min_ts, "scrapes span virtual time");
+    let rate_per_s = (max_v - min_v) * 1000.0 / (max_ts - min_ts) as f64;
+    assert!(
+        rate_per_s > 5.0,
+        "stall rate {rate_per_s} must clear the alert threshold"
+    );
+    // The SQL answer agrees with the tsdb's own window query.
+    let tsdb = session.tsdb().unwrap();
+    let native = tsdb.rate("shc_store_write_stall_ms", u64::MAX).unwrap();
+    assert!((native - rate_per_s).abs() < 1e-9);
+
+    // The backlog ramp is visible in history: flushed files pile up while
+    // compaction stays lazy.
+    let backlog = session
+        .sql(
+            "SELECT MIN(value), MAX(value) FROM system.metrics_history \
+             WHERE metric = 'shc_store_compaction_backlog_bytes' AND labels = ''",
+        )
+        .unwrap()
+        .collect()
+        .unwrap();
+    let (backlog_min, backlog_max) = (
+        backlog[0].get(0).as_f64().unwrap(),
+        backlog[0].get(1).as_f64().unwrap(),
+    );
+    assert!(
+        backlog_max > backlog_min && backlog_max > 0.0,
+        "backlog must ramp: min={backlog_min} max={backlog_max}"
+    );
+
+    // The stalls themselves were journaled with cause attribution.
+    let journal = cluster.events().render();
+    assert!(journal.contains("write stall: region"), "{journal}");
+}
+
 #[test]
 fn system_queries_trace_id_joins_to_system_events() {
     let (_cluster, session) = build(0x0b5e);
