@@ -1,0 +1,29 @@
+//! Vectorized-vs-row execution microbenchmark: the same seeded grouped
+//! aggregation over an in-memory scan, run on the columnar batch path and
+//! on the row-at-a-time fallback. The companion unit test in `src/lib.rs`
+//! asserts the ≥2x acceptance bar; this bench exists to watch the margin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shc_bench::{vectorized_bench_session, VECTORIZED_AGG_SQL};
+
+fn bench_vectorized_agg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agg_over_scan");
+    for &n_rows in &[20_000usize, 80_000] {
+        for &(label, vectorized) in &[("vectorized", true), ("row", false)] {
+            let session = vectorized_bench_session(vectorized, n_rows, 2018);
+            group.bench_with_input(BenchmarkId::new(label, n_rows), &session, |b, session| {
+                b.iter(|| {
+                    session
+                        .sql(VECTORIZED_AGG_SQL)
+                        .expect("query analyzes")
+                        .collect()
+                        .expect("query executes")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vectorized_agg);
+criterion_main!(benches);

@@ -176,6 +176,72 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Whether this accumulator supports the typed `update_i64`/
+    /// `update_f64` fast paths. MIN/MAX are excluded: they must preserve
+    /// the input's exact `Value` variant, which the typed paths erase.
+    pub fn supports_typed_update(&self) -> bool {
+        !matches!(self, Accumulator::MinMax { .. })
+    }
+
+    /// Typed fast path: fold in a non-null `i64` without building a
+    /// `Value`. Semantics match `update(&Value::Int64(v))`.
+    pub fn update_i64(&mut self, v: i64) {
+        match self {
+            Accumulator::Count { n } => *n += 1,
+            Accumulator::Sum {
+                int,
+                float,
+                saw_any,
+                ..
+            } => {
+                *saw_any = true;
+                *int += v;
+                *float += v as f64;
+            }
+            Accumulator::Avg { sum, n } => {
+                *sum += v as f64;
+                *n += 1;
+            }
+            Accumulator::Moments { n, mean, m2, .. } => {
+                let x = v as f64;
+                *n += 1;
+                let delta = x - *mean;
+                *mean += delta / *n as f64;
+                *m2 += delta * (x - *mean);
+            }
+            Accumulator::MinMax { .. } => unreachable!("MinMax has no typed path"),
+        }
+    }
+
+    /// Typed fast path: fold in a non-null `f64` without building a
+    /// `Value`. Semantics match `update(&Value::Float64(v))`.
+    pub fn update_f64(&mut self, v: f64) {
+        match self {
+            Accumulator::Count { n } => *n += 1,
+            Accumulator::Sum {
+                float,
+                saw_float,
+                saw_any,
+                ..
+            } => {
+                *saw_any = true;
+                *saw_float = true;
+                *float += v;
+            }
+            Accumulator::Avg { sum, n } => {
+                *sum += v;
+                *n += 1;
+            }
+            Accumulator::Moments { n, mean, m2, .. } => {
+                *n += 1;
+                let delta = v - *mean;
+                *mean += delta / *n as f64;
+                *m2 += delta * (v - *mean);
+            }
+            Accumulator::MinMax { .. } => unreachable!("MinMax has no typed path"),
+        }
+    }
+
     /// Merge a partial accumulator from another partition.
     pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
         match (self, other) {
@@ -403,6 +469,38 @@ mod tests {
         let mut empty2 = AggFunc::Stddev.accumulator();
         empty2.merge(&full).unwrap();
         assert_eq!(empty2.finish(), full.finish());
+    }
+
+    #[test]
+    fn typed_updates_match_value_updates() {
+        let ints = [3i64, -7, 0, 42, 42, 9];
+        let floats = [1.5f64, -2.25, 0.0, 8.0, 8.0];
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Stddev,
+            AggFunc::Variance,
+        ] {
+            let mut typed = func.accumulator();
+            let mut boxed = func.accumulator();
+            assert!(typed.supports_typed_update(), "{func:?}");
+            for &v in &ints {
+                typed.update_i64(v);
+                boxed.update(&Value::Int64(v)).unwrap();
+            }
+            assert_eq!(format!("{typed:?}"), format!("{boxed:?}"), "{func:?} i64");
+
+            let mut typed = func.accumulator();
+            let mut boxed = func.accumulator();
+            for &v in &floats {
+                typed.update_f64(v);
+                boxed.update(&Value::Float64(v)).unwrap();
+            }
+            assert_eq!(format!("{typed:?}"), format!("{boxed:?}"), "{func:?} f64");
+        }
+        assert!(!AggFunc::Min.accumulator().supports_typed_update());
+        assert!(!AggFunc::Max.accumulator().supports_typed_update());
     }
 
     #[test]

@@ -1,0 +1,1279 @@
+//! Columnar execution batches: fixed-size batches of typed column vectors
+//! (i64/f64/bool), null bitmaps, and dictionary-encoded strings, plus the
+//! vectorized predicate kernels that evaluate filters to selection bitmaps.
+//!
+//! The execution currency of the physical layer is [`PartitionData`]: a
+//! partition either carries row vectors (the legacy representation, still
+//! used by sorts/limits and by `vectorized=false` sessions) or a run of
+//! [`ColumnarBatch`]es. Every operator can convert at its boundary, so the
+//! two worlds compose.
+//!
+//! **Losslessness contract**: `ColumnarBatch::from_rows` followed by
+//! `to_rows` reproduces the input exactly, down to the `Value` variant.
+//! Typed storage is only used while every non-null value matches the
+//! column's declared type; the first mismatch degrades that column to boxed
+//! `Value` storage instead of silently coercing.
+
+use crate::error::Result;
+use crate::expr::{BinaryOp, BoundExpr};
+use crate::row::Row;
+use crate::value::{DataType, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default number of rows per columnar batch.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// Dictionary code stored in null slots; never dereferenced (the null
+/// bitmap is checked first).
+const NULL_CODE: u32 = u32::MAX;
+
+// ----------------------------------------------------------------------
+// Bitmap
+// ----------------------------------------------------------------------
+
+/// A fixed-length bitset. Used both as a null bitmap (bit set = NULL) and
+/// as a selection bitmap (bit set = row selected).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap of `len` bits.
+    pub fn new(len: usize) -> Bitmap {
+        Bitmap {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        if v {
+            self.bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    pub fn push(&mut self, v: bool) {
+        if self.len.is_multiple_of(64) {
+            self.bits.push(0);
+        }
+        let i = self.len;
+        self.len += 1;
+        if v {
+            self.bits[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Bitwise AND with an equally long bitmap.
+    pub fn and_in_place(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// Bitwise OR with an equally long bitmap.
+    pub fn or_in_place(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Positions of set bits, ascending.
+    pub fn indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (w, word) in self.bits.iter().enumerate() {
+            let mut word = *word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push((w * 64 + bit) as u32);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Column
+// ----------------------------------------------------------------------
+
+/// Physical storage of one column's values. Null slots hold an arbitrary
+/// placeholder; the owning [`Column`]'s null bitmap is authoritative.
+#[derive(Clone, Debug)]
+enum ColumnData {
+    /// All integer widths and timestamps, widened to `i64`; the declared
+    /// [`DataType`] reconstructs the exact variant.
+    Int64(Vec<i64>),
+    /// `Float32` (exactly representable in `f64`) and `Float64`.
+    Float64(Vec<f64>),
+    Bool(Vec<bool>),
+    /// Dictionary-encoded strings; the dictionary is shared (`Arc`) so
+    /// gathers and slices stay cheap.
+    Dict {
+        dict: Arc<Vec<String>>,
+        codes: Vec<u32>,
+    },
+    /// Fallback: boxed values (binary columns, or any column whose values
+    /// did not all match the declared type).
+    Other(Vec<Value>),
+}
+
+/// A typed column vector with a null bitmap.
+#[derive(Clone, Debug)]
+pub struct Column {
+    dtype: DataType,
+    nulls: Bitmap,
+    data: ColumnData,
+}
+
+impl Column {
+    pub fn data_type(&self) -> DataType {
+        self.dtype
+    }
+
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.get(i)
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.nulls.count_ones()
+    }
+
+    pub fn nulls(&self) -> &Bitmap {
+        &self.nulls
+    }
+
+    /// Dictionary size when this column is dictionary-encoded.
+    pub fn dict_size(&self) -> Option<usize> {
+        match &self.data {
+            ColumnData::Dict { dict, .. } => Some(dict.len()),
+            _ => None,
+        }
+    }
+
+    /// Dictionary and codes, for operators with a per-code fast path.
+    pub fn dict_parts(&self) -> Option<(&Arc<Vec<String>>, &[u32])> {
+        match &self.data {
+            ColumnData::Dict { dict, codes } => Some((dict, codes)),
+            _ => None,
+        }
+    }
+
+    /// The raw `i64` vector when integer/timestamp-typed storage is in use.
+    pub fn i64_slice(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `f64` vector when float-typed storage is in use.
+    pub fn f64_slice(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Reconstruct the exact [`Value`] at `i`.
+    pub fn value(&self, i: usize) -> Value {
+        if self.nulls.get(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int64(v) => match self.dtype {
+                DataType::Int8 => Value::Int8(v[i] as i8),
+                DataType::Int16 => Value::Int16(v[i] as i16),
+                DataType::Int32 => Value::Int32(v[i] as i32),
+                DataType::Timestamp => Value::Timestamp(v[i]),
+                _ => Value::Int64(v[i]),
+            },
+            ColumnData::Float64(v) => match self.dtype {
+                DataType::Float32 => Value::Float32(v[i] as f32),
+                _ => Value::Float64(v[i]),
+            },
+            ColumnData::Bool(v) => Value::Boolean(v[i]),
+            ColumnData::Dict { dict, codes } => Value::Utf8(dict[codes[i] as usize].clone()),
+            ColumnData::Other(v) => v[i].clone(),
+        }
+    }
+
+    /// Row-equivalent byte accounting: exactly what the same values would
+    /// cost as `Value`s inside `Row`s (minus the per-row overhead, charged
+    /// by [`ColumnarBatch::byte_size`]). Keeps shuffle/broadcast/memory
+    /// metrics invariant under the columnar refactor.
+    pub fn byte_size(&self) -> usize {
+        let n = self.len();
+        let null_count = self.null_count();
+        let non_null = n - null_count;
+        match &self.data {
+            ColumnData::Int64(_) => {
+                let width = match self.dtype {
+                    DataType::Int8 => 1,
+                    DataType::Int16 => 2,
+                    DataType::Int32 => 4,
+                    _ => 8,
+                };
+                non_null * width + null_count
+            }
+            ColumnData::Float64(_) => {
+                let width = if self.dtype == DataType::Float32 {
+                    4
+                } else {
+                    8
+                };
+                non_null * width + null_count
+            }
+            ColumnData::Bool(_) => n,
+            ColumnData::Dict { dict, codes } => {
+                let lens: Vec<usize> = dict.iter().map(|s| s.len() + 4).collect();
+                let mut total = null_count;
+                for (i, &c) in codes.iter().enumerate() {
+                    if !self.nulls.get(i) {
+                        total += lens[c as usize];
+                    }
+                }
+                total
+            }
+            // Null slots hold `Value::Null` (1 byte), so a plain sum is
+            // already row-equivalent.
+            ColumnData::Other(vals) => vals.iter().map(Value::byte_size).sum(),
+        }
+    }
+
+    /// Take the listed positions, in order (a column-wise tight loop; the
+    /// dictionary is shared, not copied).
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        let mut nulls = Bitmap::default();
+        for &i in idx {
+            nulls.push(self.nulls.get(i as usize));
+        }
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(idx.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Bool(v) => ColumnData::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Dict { dict, codes } => ColumnData::Dict {
+                dict: Arc::clone(dict),
+                codes: idx.iter().map(|&i| codes[i as usize]).collect(),
+            },
+            ColumnData::Other(v) => {
+                ColumnData::Other(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        };
+        Column {
+            dtype: self.dtype,
+            nulls,
+            data,
+        }
+    }
+
+    /// Feed the grouping hash of the value at `i` into `state`, exactly as
+    /// [`Value::group_hash`] would — without materializing the `Value`.
+    pub fn group_hash_into(&self, i: usize, state: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        if self.nulls.get(i) {
+            0u8.hash(state);
+            return;
+        }
+        match &self.data {
+            ColumnData::Int64(v) => (4u8, v[i]).hash(state),
+            ColumnData::Float64(v) => {
+                let f = v[i];
+                if f.fract() == 0.0 && f.abs() < 9e15 {
+                    (4u8, f as i64).hash(state);
+                } else {
+                    (5u8, f.to_bits()).hash(state);
+                }
+            }
+            ColumnData::Bool(v) => (1u8, v[i]).hash(state),
+            ColumnData::Dict { dict, codes } => (2u8, dict[codes[i] as usize].as_str()).hash(state),
+            ColumnData::Other(v) => v[i].group_hash(state),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Builders
+// ----------------------------------------------------------------------
+
+enum BuilderData {
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    Bool(Vec<bool>),
+    Dict {
+        dict: Vec<String>,
+        index: HashMap<String, u32>,
+        codes: Vec<u32>,
+    },
+    Other(Vec<Value>),
+}
+
+/// Incremental [`Column`] builder. Starts in typed storage chosen from the
+/// declared type and degrades to boxed-`Value` storage on the first value
+/// whose variant does not match — preserving exact round-trips.
+pub struct ColumnBuilder {
+    dtype: DataType,
+    nulls: Bitmap,
+    data: BuilderData,
+}
+
+impl ColumnBuilder {
+    pub fn new(dtype: DataType) -> ColumnBuilder {
+        let data = match dtype {
+            DataType::Int8
+            | DataType::Int16
+            | DataType::Int32
+            | DataType::Int64
+            | DataType::Timestamp => BuilderData::Int64(Vec::new()),
+            DataType::Float32 | DataType::Float64 => BuilderData::Float64(Vec::new()),
+            DataType::Boolean => BuilderData::Bool(Vec::new()),
+            DataType::Utf8 => BuilderData::Dict {
+                dict: Vec::new(),
+                index: HashMap::new(),
+                codes: Vec::new(),
+            },
+            DataType::Binary => BuilderData::Other(Vec::new()),
+        };
+        ColumnBuilder {
+            dtype,
+            nulls: Bitmap::default(),
+            data,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn push_null(&mut self) {
+        match &mut self.data {
+            BuilderData::Int64(v) => v.push(0),
+            BuilderData::Float64(v) => v.push(0.0),
+            BuilderData::Bool(v) => v.push(false),
+            BuilderData::Dict { codes, .. } => codes.push(NULL_CODE),
+            BuilderData::Other(v) => v.push(Value::Null),
+        }
+        self.nulls.push(true);
+    }
+
+    pub fn push(&mut self, value: &Value) {
+        if value.is_null() {
+            self.push_null();
+            return;
+        }
+        let matched = match (&mut self.data, value) {
+            (BuilderData::Int64(v), Value::Int8(x)) if self.dtype == DataType::Int8 => {
+                v.push(*x as i64);
+                true
+            }
+            (BuilderData::Int64(v), Value::Int16(x)) if self.dtype == DataType::Int16 => {
+                v.push(*x as i64);
+                true
+            }
+            (BuilderData::Int64(v), Value::Int32(x)) if self.dtype == DataType::Int32 => {
+                v.push(*x as i64);
+                true
+            }
+            (BuilderData::Int64(v), Value::Int64(x)) if self.dtype == DataType::Int64 => {
+                v.push(*x);
+                true
+            }
+            (BuilderData::Int64(v), Value::Timestamp(x)) if self.dtype == DataType::Timestamp => {
+                v.push(*x);
+                true
+            }
+            (BuilderData::Float64(v), Value::Float32(x)) if self.dtype == DataType::Float32 => {
+                // f32 -> f64 is exact, so the round-trip back to f32 is too.
+                v.push(*x as f64);
+                true
+            }
+            (BuilderData::Float64(v), Value::Float64(x)) if self.dtype == DataType::Float64 => {
+                v.push(*x);
+                true
+            }
+            (BuilderData::Bool(v), Value::Boolean(b)) if self.dtype == DataType::Boolean => {
+                v.push(*b);
+                true
+            }
+            (BuilderData::Dict { dict, index, codes }, Value::Utf8(s))
+                if self.dtype == DataType::Utf8 =>
+            {
+                let code = match index.get(s.as_str()) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(s.clone());
+                        index.insert(s.clone(), c);
+                        c
+                    }
+                };
+                codes.push(code);
+                true
+            }
+            (BuilderData::Other(v), value) => {
+                v.push(value.clone());
+                true
+            }
+            _ => false,
+        };
+        if matched {
+            self.nulls.push(false);
+        } else {
+            self.degrade();
+            self.push(value);
+        }
+    }
+
+    /// Append position `i` of `col`, staying typed when the storages line
+    /// up (the join-output fast path) and falling back to `push` otherwise.
+    pub fn append_from(&mut self, col: &Column, i: usize) {
+        if col.is_null(i) {
+            self.push_null();
+            return;
+        }
+        match (&mut self.data, &col.data) {
+            (BuilderData::Int64(dst), ColumnData::Int64(src)) if self.dtype == col.dtype => {
+                dst.push(src[i]);
+                self.nulls.push(false);
+            }
+            (BuilderData::Float64(dst), ColumnData::Float64(src)) if self.dtype == col.dtype => {
+                dst.push(src[i]);
+                self.nulls.push(false);
+            }
+            (BuilderData::Bool(dst), ColumnData::Bool(src)) if self.dtype == col.dtype => {
+                dst.push(src[i]);
+                self.nulls.push(false);
+            }
+            (
+                BuilderData::Dict { dict, index, codes },
+                ColumnData::Dict {
+                    dict: sdict,
+                    codes: scodes,
+                },
+            ) if self.dtype == DataType::Utf8 && col.dtype == DataType::Utf8 => {
+                let s = &sdict[scodes[i] as usize];
+                let code = match index.get(s.as_str()) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(s.clone());
+                        index.insert(s.clone(), c);
+                        c
+                    }
+                };
+                codes.push(code);
+                self.nulls.push(false);
+            }
+            _ => self.push(&col.value(i)),
+        }
+    }
+
+    /// Switch to boxed-`Value` storage, re-materializing what was pushed so
+    /// far so nothing already accepted is coerced.
+    fn degrade(&mut self) {
+        let n = self.nulls.len();
+        let mut values = Vec::with_capacity(n);
+        for i in 0..n {
+            if self.nulls.get(i) {
+                values.push(Value::Null);
+                continue;
+            }
+            values.push(match &self.data {
+                BuilderData::Int64(v) => match self.dtype {
+                    DataType::Int8 => Value::Int8(v[i] as i8),
+                    DataType::Int16 => Value::Int16(v[i] as i16),
+                    DataType::Int32 => Value::Int32(v[i] as i32),
+                    DataType::Timestamp => Value::Timestamp(v[i]),
+                    _ => Value::Int64(v[i]),
+                },
+                BuilderData::Float64(v) => match self.dtype {
+                    DataType::Float32 => Value::Float32(v[i] as f32),
+                    _ => Value::Float64(v[i]),
+                },
+                BuilderData::Bool(v) => Value::Boolean(v[i]),
+                BuilderData::Dict { dict, codes, .. } => {
+                    Value::Utf8(dict[codes[i] as usize].clone())
+                }
+                BuilderData::Other(v) => v[i].clone(),
+            });
+        }
+        self.data = BuilderData::Other(values);
+    }
+
+    pub fn finish(self) -> Column {
+        let data = match self.data {
+            BuilderData::Int64(v) => ColumnData::Int64(v),
+            BuilderData::Float64(v) => ColumnData::Float64(v),
+            BuilderData::Bool(v) => ColumnData::Bool(v),
+            BuilderData::Dict { dict, codes, .. } => ColumnData::Dict {
+                dict: Arc::new(dict),
+                codes,
+            },
+            BuilderData::Other(v) => ColumnData::Other(v),
+        };
+        Column {
+            dtype: self.dtype,
+            nulls: self.nulls,
+            data,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// ColumnarBatch
+// ----------------------------------------------------------------------
+
+/// A fixed-capacity batch of rows in columnar layout. Columns are shared
+/// (`Arc`), so projection is a pointer copy, not a data copy.
+#[derive(Clone, Debug)]
+pub struct ColumnarBatch {
+    columns: Vec<Arc<Column>>,
+    num_rows: usize,
+}
+
+impl ColumnarBatch {
+    pub fn new(columns: Vec<Arc<Column>>) -> ColumnarBatch {
+        let num_rows = columns.first().map_or(0, |c| c.len());
+        ColumnarBatch::with_row_count(columns, num_rows)
+    }
+
+    /// Like [`new`](Self::new) with an explicit row count — required for
+    /// zero-column batches (e.g. a `COUNT(*)` scan with an empty projection
+    /// pushed down), whose cardinality cannot be derived from the columns.
+    pub fn with_row_count(columns: Vec<Arc<Column>>, num_rows: usize) -> ColumnarBatch {
+        debug_assert!(columns.iter().all(|c| c.len() == num_rows));
+        ColumnarBatch { columns, num_rows }
+    }
+
+    /// Columnarize a run of rows. `dtypes` declares each column's type;
+    /// mismatching values degrade their column to boxed storage, so the
+    /// conversion is always lossless.
+    pub fn from_rows(dtypes: &[DataType], rows: &[Row]) -> ColumnarBatch {
+        let mut builders: Vec<ColumnBuilder> =
+            dtypes.iter().map(|&d| ColumnBuilder::new(d)).collect();
+        for row in rows {
+            for (c, b) in builders.iter_mut().enumerate() {
+                match row.values.get(c) {
+                    Some(v) => b.push(v),
+                    None => b.push_null(),
+                }
+            }
+        }
+        ColumnarBatch::with_row_count(
+            builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
+            rows.len(),
+        )
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    pub fn dtypes(&self) -> Vec<DataType> {
+        self.columns.iter().map(|c| c.dtype).collect()
+    }
+
+    /// Materialize row `i`.
+    pub fn row_at(&self, i: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.value(i)).collect())
+    }
+
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.num_rows).map(|i| self.row_at(i)).collect()
+    }
+
+    /// Row-equivalent byte accounting (see [`Column::byte_size`]).
+    pub fn byte_size(&self) -> usize {
+        8 * self.num_rows + self.columns.iter().map(|c| c.byte_size()).sum::<usize>()
+    }
+
+    /// Take the listed row positions from every column.
+    pub fn gather(&self, idx: &[u32]) -> ColumnarBatch {
+        ColumnarBatch {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.gather(idx)))
+                .collect(),
+            num_rows: idx.len(),
+        }
+    }
+
+    /// Apply a selection bitmap; a full mask is a cheap `Arc` clone.
+    pub fn select(&self, mask: &Bitmap) -> ColumnarBatch {
+        if mask.all_set() {
+            self.clone()
+        } else {
+            self.gather(&mask.indices())
+        }
+    }
+
+    /// Keep only the listed columns, in order — a pointer copy per column.
+    pub fn project(&self, indices: &[usize]) -> ColumnarBatch {
+        ColumnarBatch {
+            columns: indices
+                .iter()
+                .map(|&i| Arc::clone(&self.columns[i]))
+                .collect(),
+            num_rows: self.num_rows,
+        }
+    }
+}
+
+/// Builds fixed-size [`ColumnarBatch`]es from a stream of rows, emitting a
+/// full batch every `capacity` rows.
+pub struct BatchBuilder {
+    dtypes: Vec<DataType>,
+    capacity: usize,
+    builders: Vec<ColumnBuilder>,
+    len: usize,
+    batches: Vec<ColumnarBatch>,
+}
+
+impl BatchBuilder {
+    pub fn new(dtypes: Vec<DataType>, capacity: usize) -> BatchBuilder {
+        let builders = dtypes.iter().map(|&d| ColumnBuilder::new(d)).collect();
+        BatchBuilder {
+            dtypes,
+            capacity: capacity.max(1),
+            builders,
+            len: 0,
+            batches: Vec::new(),
+        }
+    }
+
+    pub fn push_row(&mut self, row: &Row) {
+        for (c, b) in self.builders.iter_mut().enumerate() {
+            match row.values.get(c) {
+                Some(v) => b.push(v),
+                None => b.push_null(),
+            }
+        }
+        self.len += 1;
+        if self.len >= self.capacity {
+            self.flush();
+        }
+    }
+
+    /// Seal the in-progress rows into a batch even if under capacity.
+    pub fn flush(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let builders = std::mem::replace(
+            &mut self.builders,
+            self.dtypes.iter().map(|&d| ColumnBuilder::new(d)).collect(),
+        );
+        self.batches.push(ColumnarBatch::with_row_count(
+            builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
+            self.len,
+        ));
+        self.len = 0;
+    }
+
+    /// Take the batches completed so far (streaming consumption).
+    pub fn drain_completed(&mut self) -> Vec<ColumnarBatch> {
+        std::mem::take(&mut self.batches)
+    }
+
+    pub fn finish(mut self) -> Vec<ColumnarBatch> {
+        self.flush();
+        self.batches
+    }
+}
+
+/// Convenience: columnarize rows into `capacity`-sized batches.
+pub fn rows_to_batches(dtypes: &[DataType], rows: &[Row], capacity: usize) -> Vec<ColumnarBatch> {
+    let mut builder = BatchBuilder::new(dtypes.to_vec(), capacity);
+    for row in rows {
+        builder.push_row(row);
+    }
+    builder.finish()
+}
+
+// ----------------------------------------------------------------------
+// PartitionData: the physical layer's execution currency
+// ----------------------------------------------------------------------
+
+/// One partition's worth of intermediate data: either legacy row vectors or
+/// columnar batches. Operators convert at their boundary as needed.
+#[derive(Clone, Debug)]
+pub enum PartitionData {
+    Rows(Vec<Row>),
+    Batches(Vec<ColumnarBatch>),
+}
+
+impl PartitionData {
+    pub fn empty() -> PartitionData {
+        PartitionData::Rows(Vec::new())
+    }
+
+    pub fn num_rows(&self) -> usize {
+        match self {
+            PartitionData::Rows(rows) => rows.len(),
+            PartitionData::Batches(batches) => batches.iter().map(ColumnarBatch::num_rows).sum(),
+        }
+    }
+
+    pub fn byte_size(&self) -> usize {
+        match self {
+            PartitionData::Rows(rows) => crate::row::rows_byte_size(rows),
+            PartitionData::Batches(batches) => batches.iter().map(ColumnarBatch::byte_size).sum(),
+        }
+    }
+
+    /// Number of columnar batches held (0 for row-vector partitions).
+    pub fn batch_count(&self) -> usize {
+        match self {
+            PartitionData::Rows(_) => 0,
+            PartitionData::Batches(batches) => batches.len(),
+        }
+    }
+
+    pub fn into_rows(self) -> Vec<Row> {
+        match self {
+            PartitionData::Rows(rows) => rows,
+            PartitionData::Batches(batches) => {
+                let total = batches.iter().map(ColumnarBatch::num_rows).sum();
+                let mut out = Vec::with_capacity(total);
+                for batch in batches {
+                    for i in 0..batch.num_rows() {
+                        out.push(batch.row_at(i));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The batch view, columnarizing row partitions at the boundary.
+    pub fn into_batches(self, dtypes: &[DataType], capacity: usize) -> Vec<ColumnarBatch> {
+        match self {
+            PartitionData::Rows(rows) => rows_to_batches(dtypes, &rows, capacity),
+            PartitionData::Batches(batches) => batches,
+        }
+    }
+}
+
+impl From<Vec<Row>> for PartitionData {
+    fn from(rows: Vec<Row>) -> Self {
+        PartitionData::Rows(rows)
+    }
+}
+
+impl From<Vec<ColumnarBatch>> for PartitionData {
+    fn from(batches: Vec<ColumnarBatch>) -> Self {
+        PartitionData::Batches(batches)
+    }
+}
+
+/// Flatten partitions into one row vector (driver-side gather).
+pub fn gather_rows(parts: Vec<PartitionData>) -> Vec<Row> {
+    let total: usize = parts.iter().map(PartitionData::num_rows).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p.into_rows());
+    }
+    out
+}
+
+/// Total row-equivalent bytes across partitions.
+pub fn partitions_byte_size(parts: &[PartitionData]) -> usize {
+    parts.iter().map(PartitionData::byte_size).sum()
+}
+
+// ----------------------------------------------------------------------
+// Vectorized predicate kernels
+// ----------------------------------------------------------------------
+
+/// Evaluate `expr` as a SQL predicate over a whole batch, producing a
+/// selection bitmap (bit set = row passes; NULL counts as false, matching
+/// [`BoundExpr::eval_predicate`]). Comparisons over typed columns run as
+/// tight loops; `AND`/`OR` compose selection masks bitwise, which is sound
+/// because predicate-truth (NULL→false) distributes over both. `NOT` is
+/// deliberately row-wise: `NOT NULL` is NULL (false as a predicate), so
+/// inverting a selection mask would wrongly select NULL rows.
+pub fn eval_predicate_mask(expr: &BoundExpr, batch: &ColumnarBatch) -> Result<Bitmap> {
+    if let Some(mask) = eval_mask_vectorized(expr, batch)? {
+        return Ok(mask);
+    }
+    let n = batch.num_rows();
+    let mut mask = Bitmap::new(n);
+    for i in 0..n {
+        if expr.eval_predicate(&batch.row_at(i))? {
+            mask.set(i, true);
+        }
+    }
+    Ok(mask)
+}
+
+fn eval_mask_vectorized(expr: &BoundExpr, batch: &ColumnarBatch) -> Result<Option<Bitmap>> {
+    match expr {
+        BoundExpr::BinaryOp {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            let mut mask = eval_predicate_mask(left, batch)?;
+            mask.and_in_place(&eval_predicate_mask(right, batch)?);
+            Ok(Some(mask))
+        }
+        BoundExpr::BinaryOp {
+            left,
+            op: BinaryOp::Or,
+            right,
+        } => {
+            let mut mask = eval_predicate_mask(left, batch)?;
+            mask.or_in_place(&eval_predicate_mask(right, batch)?);
+            Ok(Some(mask))
+        }
+        BoundExpr::BinaryOp { left, op, right } if op.is_comparison() => {
+            Ok(match (&**left, &**right) {
+                (BoundExpr::Column(ci, _), BoundExpr::Literal(v)) => {
+                    cmp_column_literal(batch.column(*ci), *op, v)
+                }
+                (BoundExpr::Literal(v), BoundExpr::Column(ci, _)) => {
+                    cmp_column_literal(batch.column(*ci), flip_comparison(*op), v)
+                }
+                (BoundExpr::Column(a, _), BoundExpr::Column(b, _)) => {
+                    cmp_column_column(batch.column(*a), batch.column(*b), *op)
+                }
+                _ => None,
+            })
+        }
+        BoundExpr::IsNull(e) => Ok(match &**e {
+            BoundExpr::Column(ci, _) => {
+                let col = batch.column(*ci);
+                let mut mask = Bitmap::new(col.len());
+                for i in 0..col.len() {
+                    if col.is_null(i) {
+                        mask.set(i, true);
+                    }
+                }
+                Some(mask)
+            }
+            _ => None,
+        }),
+        BoundExpr::IsNotNull(e) => Ok(match &**e {
+            BoundExpr::Column(ci, _) => {
+                let col = batch.column(*ci);
+                let mut mask = Bitmap::new(col.len());
+                for i in 0..col.len() {
+                    if !col.is_null(i) {
+                        mask.set(i, true);
+                    }
+                }
+                Some(mask)
+            }
+            _ => None,
+        }),
+        _ => Ok(None),
+    }
+}
+
+/// `lit op col` rewritten as `col flip(op) lit`.
+fn flip_comparison(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+fn ord_matches(op: BinaryOp, o: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => o == Ordering::Equal,
+        BinaryOp::NotEq => o != Ordering::Equal,
+        BinaryOp::Lt => o == Ordering::Less,
+        BinaryOp::LtEq => o != Ordering::Greater,
+        BinaryOp::Gt => o == Ordering::Greater,
+        BinaryOp::GtEq => o != Ordering::Less,
+        _ => false,
+    }
+}
+
+/// Column-vs-literal comparison kernel; `None` means no typed kernel
+/// applies (caller falls back to row-wise evaluation). Semantics mirror
+/// [`Value::sql_cmp`]: integers compare exactly, any float promotes both
+/// sides to `f64`, NULL never matches.
+fn cmp_column_literal(col: &Column, op: BinaryOp, lit: &Value) -> Option<Bitmap> {
+    let n = col.len();
+    if lit.is_null() {
+        // Comparison with NULL is NULL — selects nothing.
+        return Some(Bitmap::new(n));
+    }
+    let mut mask = Bitmap::new(n);
+    match &col.data {
+        ColumnData::Int64(vals) => match lit {
+            Value::Float32(_) | Value::Float64(_) => {
+                let rhs = lit.as_f64()?;
+                for (i, v) in vals.iter().enumerate() {
+                    if !col.nulls.get(i) {
+                        if let Some(o) = (*v as f64).partial_cmp(&rhs) {
+                            if ord_matches(op, o) {
+                                mask.set(i, true);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                let rhs = lit.as_i64()?;
+                for (i, v) in vals.iter().enumerate() {
+                    if !col.nulls.get(i) && ord_matches(op, v.cmp(&rhs)) {
+                        mask.set(i, true);
+                    }
+                }
+            }
+        },
+        ColumnData::Float64(vals) => {
+            let rhs = lit.as_f64()?;
+            for (i, v) in vals.iter().enumerate() {
+                if !col.nulls.get(i) {
+                    if let Some(o) = v.partial_cmp(&rhs) {
+                        if ord_matches(op, o) {
+                            mask.set(i, true);
+                        }
+                    }
+                }
+            }
+        }
+        ColumnData::Dict { dict, codes } => {
+            let rhs = lit.as_str()?;
+            // One comparison per distinct value, then a code-indexed map.
+            let hits: Vec<bool> = dict
+                .iter()
+                .map(|d| ord_matches(op, d.as_str().cmp(rhs)))
+                .collect();
+            for (i, &c) in codes.iter().enumerate() {
+                if !col.nulls.get(i) && hits[c as usize] {
+                    mask.set(i, true);
+                }
+            }
+        }
+        ColumnData::Bool(vals) => {
+            let rhs = lit.as_bool()?;
+            for (i, v) in vals.iter().enumerate() {
+                if !col.nulls.get(i) && ord_matches(op, v.cmp(&rhs)) {
+                    mask.set(i, true);
+                }
+            }
+        }
+        ColumnData::Other(_) => return None,
+    }
+    Some(mask)
+}
+
+/// Column-vs-column comparison kernel for same-family typed storages.
+fn cmp_column_column(a: &Column, b: &Column, op: BinaryOp) -> Option<Bitmap> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let n = a.len();
+    let mut mask = Bitmap::new(n);
+    match (&a.data, &b.data) {
+        (ColumnData::Int64(x), ColumnData::Int64(y)) => {
+            for i in 0..n {
+                if !a.nulls.get(i) && !b.nulls.get(i) && ord_matches(op, x[i].cmp(&y[i])) {
+                    mask.set(i, true);
+                }
+            }
+        }
+        (ColumnData::Float64(x), ColumnData::Float64(y)) => {
+            for i in 0..n {
+                if !a.nulls.get(i) && !b.nulls.get(i) {
+                    if let Some(o) = x[i].partial_cmp(&y[i]) {
+                        if ord_matches(op, o) {
+                            mask.set(i, true);
+                        }
+                    }
+                }
+            }
+        }
+        (ColumnData::Int64(x), ColumnData::Float64(y)) => {
+            for i in 0..n {
+                if !a.nulls.get(i) && !b.nulls.get(i) {
+                    if let Some(o) = (x[i] as f64).partial_cmp(&y[i]) {
+                        if ord_matches(op, o) {
+                            mask.set(i, true);
+                        }
+                    }
+                }
+            }
+        }
+        (ColumnData::Float64(x), ColumnData::Int64(y)) => {
+            for i in 0..n {
+                if !a.nulls.get(i) && !b.nulls.get(i) {
+                    if let Some(o) = x[i].partial_cmp(&(y[i] as f64)) {
+                        if ord_matches(op, o) {
+                            mask.set(i, true);
+                        }
+                    }
+                }
+            }
+        }
+        (
+            ColumnData::Dict {
+                dict: da,
+                codes: ca,
+            },
+            ColumnData::Dict {
+                dict: db,
+                codes: cb,
+            },
+        ) => {
+            for i in 0..n {
+                if !a.nulls.get(i)
+                    && !b.nulls.get(i)
+                    && ord_matches(op, da[ca[i] as usize].cmp(&db[cb[i] as usize]))
+                {
+                    mask.set(i, true);
+                }
+            }
+        }
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => {
+            for i in 0..n {
+                if !a.nulls.get(i) && !b.nulls.get(i) && ord_matches(op, x[i].cmp(&y[i])) {
+                    mask.set(i, true);
+                }
+            }
+        }
+        _ => return None,
+    }
+    Some(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::schema::{Field, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("dept", DataType::Utf8),
+            Field::new("score", DataType::Float64),
+        ])
+    }
+
+    fn sample_rows() -> Vec<Row> {
+        (0..10)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int64(i),
+                    if i == 3 {
+                        Value::Null
+                    } else {
+                        Value::Utf8(if i % 2 == 0 { "even" } else { "odd" }.into())
+                    },
+                    if i == 7 {
+                        Value::Null
+                    } else {
+                        Value::Float64(i as f64 / 2.0)
+                    },
+                ])
+            })
+            .collect()
+    }
+
+    fn dtypes() -> Vec<DataType> {
+        vec![DataType::Int64, DataType::Utf8, DataType::Float64]
+    }
+
+    #[test]
+    fn bitmap_push_get_and_ops() {
+        let mut b = Bitmap::default();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        assert!(b.get(0));
+        assert!(!b.get(1));
+        assert!(b.get(129));
+        assert_eq!(b.count_ones(), 44);
+        let idx = b.indices();
+        assert_eq!(idx.len(), 44);
+        assert_eq!(idx[0], 0);
+        assert_eq!(idx[1], 3);
+
+        let mut a = Bitmap::new(130);
+        a.set(0, true);
+        a.set(4, true);
+        a.and_in_place(&b);
+        assert!(a.get(0));
+        assert!(!a.get(4));
+        a.or_in_place(&b);
+        assert_eq!(a.count_ones(), 44);
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let rows = sample_rows();
+        let batch = ColumnarBatch::from_rows(&dtypes(), &rows);
+        assert_eq!(batch.num_rows(), 10);
+        // Dictionary encoding engaged for the string column: 2 distinct.
+        assert_eq!(batch.column(1).dict_size(), Some(2));
+        let back = batch.to_rows();
+        assert_eq!(rows.len(), back.len());
+        for (a, b) in rows.iter().zip(&back) {
+            // Compare debug strings for exact-variant equality (Value's
+            // PartialEq coerces across numeric widths).
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn mismatched_variant_degrades_not_coerces() {
+        // Declared Int32, but an Int64 value arrives mid-column.
+        let rows = vec![
+            Row::new(vec![Value::Int32(1)]),
+            Row::new(vec![Value::Int64(2)]),
+            Row::new(vec![Value::Int32(3)]),
+        ];
+        let batch = ColumnarBatch::from_rows(&[DataType::Int32], &rows);
+        let back = batch.to_rows();
+        assert_eq!(format!("{:?}", back[0].get(0)), "Int32(1)");
+        assert_eq!(format!("{:?}", back[1].get(0)), "Int64(2)");
+        assert_eq!(format!("{:?}", back[2].get(0)), "Int32(3)");
+    }
+
+    #[test]
+    fn byte_size_matches_row_accounting() {
+        let rows = sample_rows();
+        let batch = ColumnarBatch::from_rows(&dtypes(), &rows);
+        assert_eq!(batch.byte_size(), crate::row::rows_byte_size(&rows));
+    }
+
+    #[test]
+    fn gather_and_project() {
+        let batch = ColumnarBatch::from_rows(&dtypes(), &sample_rows());
+        let g = batch.gather(&[1, 3, 5]);
+        assert_eq!(g.num_rows(), 3);
+        assert_eq!(g.row_at(0).get(0), &Value::Int64(1));
+        assert!(g.row_at(1).get(1).is_null());
+        let p = batch.project(&[2, 0]);
+        assert_eq!(p.num_columns(), 2);
+        assert_eq!(p.row_at(4).get(1), &Value::Int64(4));
+    }
+
+    #[test]
+    fn predicate_mask_matches_row_eval() {
+        let schema = schema();
+        let batch = ColumnarBatch::from_rows(&dtypes(), &sample_rows());
+        let exprs = vec![
+            Expr::col("id").gt_eq(Expr::lit(4i64)),
+            Expr::col("dept").eq(Expr::lit("even")),
+            Expr::col("score").lt(Expr::lit(3.0)),
+            Expr::col("id")
+                .gt(Expr::lit(2i64))
+                .and(Expr::col("dept").eq(Expr::lit("odd"))),
+            Expr::col("dept")
+                .eq(Expr::lit("even"))
+                .or(Expr::col("score").gt(Expr::lit(4.0))),
+            // NOT over a nullable column — must go through the row-wise
+            // path and still match.
+            Expr::Not(Box::new(Expr::col("dept").eq(Expr::lit("even")))),
+            Expr::col("dept").is_null(),
+            Expr::col("score").is_not_null(),
+            Expr::lit(1i64).lt(Expr::col("id")),
+        ];
+        for expr in exprs {
+            let bound = expr.bind(&schema).unwrap();
+            let mask = eval_predicate_mask(&bound, &batch).unwrap();
+            for i in 0..batch.num_rows() {
+                let expect = bound.eval_predicate(&batch.row_at(i)).unwrap();
+                assert_eq!(mask.get(i), expect, "{expr:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_data_conversions() {
+        let rows = sample_rows();
+        let pd: PartitionData = rows.clone().into();
+        assert_eq!(pd.num_rows(), 10);
+        assert_eq!(pd.batch_count(), 0);
+        let batches = pd.into_batches(&dtypes(), 4);
+        assert_eq!(batches.len(), 3); // 4 + 4 + 2
+        assert_eq!(batches[2].num_rows(), 2);
+        let pd2 = PartitionData::Batches(batches);
+        assert_eq!(pd2.num_rows(), 10);
+        assert_eq!(pd2.byte_size(), crate::row::rows_byte_size(&rows));
+        let back = pd2.into_rows();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn group_hash_matches_value_group_hash() {
+        use std::hash::Hasher;
+        let batch = ColumnarBatch::from_rows(&dtypes(), &sample_rows());
+        for c in 0..batch.num_columns() {
+            let col = batch.column(c);
+            for i in 0..col.len() {
+                let mut h1 = std::collections::hash_map::DefaultHasher::new();
+                col.group_hash_into(i, &mut h1);
+                let mut h2 = std::collections::hash_map::DefaultHasher::new();
+                col.value(i).group_hash(&mut h2);
+                assert_eq!(h1.finish(), h2.finish(), "col {c} row {i}");
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! hosts for locality) and declares which filters it did NOT fully apply so
 //! the engine can re-apply exactly those.
 
+use crate::columnar::ColumnarBatch;
 use crate::error::Result;
 use crate::row::Row;
 use crate::schema::Schema;
@@ -40,6 +41,24 @@ pub trait ScanPartition: Send + Sync {
             return Ok(());
         }
         on_batch(rows)
+    }
+
+    /// Execute the partition directly as columnar batches of at most
+    /// `batch_size` rows, when the provider can produce them more cheaply
+    /// than row streams (e.g. from a cached columnar representation).
+    /// Returns `Ok(false)` — the default — when the provider has no
+    /// columnar fast path; the engine then falls back to
+    /// [`execute_batched`](Self::execute_batched) and columnarizes the row
+    /// stream itself. Providers that return `Ok(true)` must deliver exactly
+    /// the rows `execute` would, with every pushed filter and projection
+    /// already applied.
+    fn execute_columnar(
+        &self,
+        _running_on: &str,
+        _batch_size: usize,
+        _on_batch: &mut dyn FnMut(ColumnarBatch) -> Result<()>,
+    ) -> Result<bool> {
+        Ok(false)
     }
 
     /// Short description for plan explanations.

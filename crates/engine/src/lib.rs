@@ -10,9 +10,12 @@
 //! * the data source API that connectors plug into — `scan(projection,
 //!   filters)` plus `unhandled_filters`, exactly Spark's
 //!   `PrunedFilteredScan` contract ([`datasource`], [`source_filter`]);
-//! * physical execution with a locality-aware executor pool, broadcast and
-//!   shuffle hash joins, two-phase hash aggregation, and shuffle/memory
-//!   accounting ([`physical`], [`scheduler`], [`shuffle`], [`metrics`]);
+//! * physical execution over columnar batches (typed vectors, null bitmaps,
+//!   dictionary-encoded strings) with vectorized filters, a locality-aware
+//!   executor pool, broadcast and shuffle hash joins chosen adaptively from
+//!   observed stage statistics, two-phase hash aggregation, and
+//!   shuffle/memory accounting ([`columnar`], [`physical`], [`scheduler`],
+//!   [`shuffle`], [`metrics`]);
 //! * introspection: closure-backed virtual tables (`system.*`) and a
 //!   bounded slow-query log recorded by every `collect`
 //!   ([`system`], [`query_log`]).
@@ -41,6 +44,7 @@
 
 pub mod aggregate;
 pub mod analyzer;
+pub mod columnar;
 pub mod dataframe;
 pub mod datasource;
 pub mod error;
@@ -64,6 +68,7 @@ pub mod value;
 /// Common imports for engine users.
 pub mod prelude {
     pub use crate::aggregate::AggFunc;
+    pub use crate::columnar::{Bitmap, Column, ColumnarBatch, PartitionData};
     pub use crate::dataframe::{
         avg, col, count, count_star, lit, max, min, stddev, sum, DataFrame, QueryAnalysis,
     };

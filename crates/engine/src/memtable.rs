@@ -1,22 +1,37 @@
 //! An in-memory table provider — the engine's native source, standing in
 //! for Hive/Parquet tables in the experiments. Fully supports projection
-//! and filter pushdown.
+//! and filter pushdown, and serves vectorized scans from a cached columnar
+//! representation (built lazily on first columnar scan, invalidated by
+//! writes).
 
+use crate::columnar::{rows_to_batches, ColumnarBatch};
 use crate::datasource::{ScanPartition, TableProvider};
 use crate::error::Result;
 use crate::expr::BoundExpr;
 use crate::row::Row;
 use crate::schema::Schema;
 use crate::source_filter::SourceFilter;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use parking_lot::RwLock;
 use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
+
+/// Cached full-width columnar batches, keyed by (partition index,
+/// batch size). Entries are only valid for the data version they were built
+/// against — writes bump the table version, orphaning stale entries.
+type ColumnarCache = HashMap<(usize, usize), (u64, Arc<Vec<ColumnarBatch>>)>;
 
 /// An in-memory, partitioned table.
 pub struct MemTable {
     schema: Schema,
     partitions: RwLock<Vec<Vec<Row>>>,
+    /// Lazily built columnar form of each partition, shared with in-flight
+    /// scan partitions (hence the inner `Arc`).
+    columnar: Arc<RwLock<ColumnarCache>>,
+    /// Data version, bumped by every write; guards the columnar cache.
+    version: AtomicU64,
 }
 
 impl MemTable {
@@ -24,6 +39,8 @@ impl MemTable {
         MemTable {
             schema,
             partitions: RwLock::new(vec![Vec::new(); num_partitions.max(1)]),
+            columnar: Arc::new(RwLock::new(HashMap::new())),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -73,6 +90,11 @@ struct MemPartition {
     schema: Schema,
     projection: Option<Vec<usize>>,
     filters: Vec<SourceFilter>,
+    /// The owning table's columnar cache plus this snapshot's identity in
+    /// it (partition index and data version at scan time).
+    cache: Arc<RwLock<ColumnarCache>>,
+    index: usize,
+    version: u64,
 }
 
 impl ScanPartition for MemPartition {
@@ -91,6 +113,51 @@ impl ScanPartition for MemPartition {
             }
         }
         Ok(out)
+    }
+
+    /// Vectorized scans over unfiltered partitions are served from the
+    /// table's columnar cache: cold scans columnarize this partition once
+    /// (full width, so every projection shares the build), warm scans only
+    /// clone column `Arc`s. Projection is applied per batch as a pointer
+    /// copy. Filtered scans fall back to the row path — source filters
+    /// evaluate row-wise against the full schema.
+    fn execute_columnar(
+        &self,
+        _running_on: &str,
+        batch_size: usize,
+        on_batch: &mut dyn FnMut(ColumnarBatch) -> Result<()>,
+    ) -> Result<bool> {
+        if !self.filters.is_empty() {
+            return Ok(false);
+        }
+        let key = (self.index, batch_size);
+        let cached = self
+            .cache
+            .read()
+            .get(&key)
+            .filter(|(version, _)| *version == self.version)
+            .map(|(_, batches)| Arc::clone(batches));
+        let batches = match cached {
+            Some(batches) => batches,
+            None => {
+                let dtypes: Vec<DataType> = (0..self.schema.len())
+                    .map(|i| self.schema.field(i).data_type)
+                    .collect();
+                let built = Arc::new(rows_to_batches(&dtypes, &self.rows, batch_size));
+                self.cache
+                    .write()
+                    .insert(key, (self.version, Arc::clone(&built)));
+                built
+            }
+        };
+        for batch in batches.iter() {
+            let batch = match &self.projection {
+                Some(indices) => batch.project(indices),
+                None => batch.clone(),
+            };
+            on_batch(batch)?;
+        }
+        Ok(true)
     }
 
     fn describe(&self) -> String {
@@ -118,14 +185,19 @@ impl TableProvider for MemTable {
         filters: &[SourceFilter],
     ) -> Result<Vec<Arc<dyn ScanPartition>>> {
         let partitions = self.partitions.read();
+        let version = self.version.load(AtomicOrdering::Acquire);
         Ok(partitions
             .iter()
-            .map(|rows| {
+            .enumerate()
+            .map(|(index, rows)| {
                 Arc::new(MemPartition {
                     rows: rows.clone(),
                     schema: self.schema.clone(),
                     projection: projection.map(|p| p.to_vec()),
                     filters: filters.to_vec(),
+                    cache: Arc::clone(&self.columnar),
+                    index,
+                    version,
                 }) as Arc<dyn ScanPartition>
             })
             .collect())
@@ -133,6 +205,12 @@ impl TableProvider for MemTable {
 
     fn insert(&self, rows: &[Row]) -> Result<u64> {
         let mut partitions = self.partitions.write();
+        // Orphan cached columnar batches built against the old contents.
+        // The version bump happens under the partition write lock, so a
+        // concurrent scan sees either (old rows, old version) or (new rows,
+        // new version) — never a stale cache hit.
+        self.version.fetch_add(1, AtomicOrdering::AcqRel);
+        self.columnar.write().clear();
         let n = partitions.len();
         let mut bytes = 0u64;
         // Round-robin starting from the current total, for even spread.

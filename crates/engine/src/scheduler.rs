@@ -7,19 +7,20 @@
 //! to any idle executor, where the simulated network then charges the
 //! remote-read penalty.
 
+use crate::columnar::PartitionData;
 use crate::error::{EngineError, Result};
 use crate::metrics::QueryMetrics;
-use crate::row::Row;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// The closure type a task runs: receives the hostname of the executor it
-/// landed on and produces rows. `FnMut` (not `FnOnce`) so a failed attempt
-/// can be re-run on another executor.
-pub type TaskFn = Box<dyn FnMut(&str) -> Result<Vec<Row>> + Send>;
+/// landed on and produces one partition's data (row vectors or columnar
+/// batches). `FnMut` (not `FnOnce`) so a failed attempt can be re-run on
+/// another executor.
+pub type TaskFn = Box<dyn FnMut(&str) -> Result<PartitionData> + Send>;
 
-/// A unit of work: runs on some executor and produces rows.
+/// A unit of work: runs on some executor and produces one partition.
 pub struct Task {
     pub preferred_host: Option<String>,
     pub run: TaskFn,
@@ -30,7 +31,7 @@ pub struct Task {
 impl Task {
     pub fn new(
         preferred_host: Option<String>,
-        run: impl FnMut(&str) -> Result<Vec<Row>> + Send + 'static,
+        run: impl FnMut(&str) -> Result<PartitionData> + Send + 'static,
     ) -> Self {
         Task {
             preferred_host,
@@ -85,7 +86,7 @@ pub fn run_tasks(
     config: &ExecutorConfig,
     tasks: Vec<Task>,
     metrics: &Arc<QueryMetrics>,
-) -> Result<Vec<Vec<Row>>> {
+) -> Result<Vec<PartitionData>> {
     let n_tasks = tasks.len();
     if n_tasks == 0 {
         return Ok(Vec::new());
@@ -123,7 +124,7 @@ pub fn run_tasks(
             _ => any_queue.push_back(slot),
         }
     }
-    type TaskOutcomes = Vec<Option<Result<Vec<Row>>>>;
+    type TaskOutcomes = Vec<Option<Result<PartitionData>>>;
     let host_queues = Arc::new(Mutex::new(host_queues));
     let any_queue = Arc::new(Mutex::new(any_queue));
     let results: Arc<Mutex<TaskOutcomes>> =
@@ -252,6 +253,7 @@ pub fn run_tasks(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::row::Row;
     use crate::value::Value;
 
     fn mk_task(host: Option<&str>, id: i64) -> Task {
@@ -259,7 +261,8 @@ mod tests {
             Ok(vec![Row::new(vec![
                 Value::Int64(id),
                 Value::Utf8(running_on.to_string()),
-            ])])
+            ])]
+            .into())
         })
     }
 
@@ -274,8 +277,8 @@ mod tests {
         let tasks: Vec<Task> = (0..20).map(|i| mk_task(None, i)).collect();
         let results = run_tasks(&cfg, tasks, &metrics).unwrap();
         assert_eq!(results.len(), 20);
-        for (i, rows) in results.iter().enumerate() {
-            assert_eq!(rows[0].get(0), &Value::Int64(i as i64));
+        for (i, part) in results.into_iter().enumerate() {
+            assert_eq!(part.into_rows()[0].get(0), &Value::Int64(i as i64));
         }
         assert_eq!(metrics.snapshot().tasks, 20);
     }
@@ -299,11 +302,11 @@ mod tests {
         // an executor and queues drain locally first), though work stealing
         // makes this probabilistic — assert at least half were local.
         let local = results
-            .iter()
+            .into_iter()
             .enumerate()
-            .filter(|(i, rows)| {
+            .filter(|(i, part)| {
                 let want = if i % 2 == 0 { "h0" } else { "h1" };
-                rows[0].get(1).as_str() == Some(want)
+                part.clone().into_rows()[0].get(1).as_str() == Some(want)
             })
             .count();
         assert!(local >= 2, "local = {local}");
@@ -319,7 +322,10 @@ mod tests {
         };
         let metrics = QueryMetrics::new();
         let results = run_tasks(&cfg, vec![mk_task(Some("mars"), 7)], &metrics).unwrap();
-        assert_eq!(results[0][0].get(1).as_str(), Some("h0"));
+        assert_eq!(
+            results[0].clone().into_rows()[0].get(1).as_str(),
+            Some("h0")
+        );
         assert_eq!(metrics.snapshot().local_tasks, 0);
     }
 
@@ -354,12 +360,12 @@ mod tests {
             if c.fetch_add(1, Ordering::SeqCst) == 0 {
                 Err(EngineError::Execution("executor lost".into()))
             } else {
-                Ok(vec![Row::new(vec![Value::Int64(1)])])
+                Ok(vec![Row::new(vec![Value::Int64(1)])].into())
             }
         })
         .with_retries(1);
         let results = run_tasks(&cfg, vec![flaky], &metrics).unwrap();
-        assert_eq!(results[0][0].get(0), &Value::Int64(1));
+        assert_eq!(results[0].clone().into_rows()[0].get(0), &Value::Int64(1));
         assert_eq!(calls.load(Ordering::SeqCst), 2);
         assert_eq!(metrics.snapshot().task_retries, 1);
     }

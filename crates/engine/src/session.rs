@@ -37,6 +37,14 @@ pub struct SessionConfig {
     pub shuffle_partitions: usize,
     pub broadcast_threshold: usize,
     pub partial_agg: bool,
+    /// Execute over columnar batches (vectorized kernels); off = legacy
+    /// row-at-a-time execution.
+    pub vectorized: bool,
+    /// Rows per columnar batch on the vectorized path.
+    pub batch_size: usize,
+    /// Re-choose join strategies and exchange partition counts at stage
+    /// boundaries from observed statistics.
+    pub adaptive: bool,
     pub optimizer: OptimizerConfig,
     /// Queries whose virtual duration exceeds this many modeled µs are
     /// flagged slow in the query log (and in `system.queries`).
@@ -54,6 +62,9 @@ impl Default for SessionConfig {
             shuffle_partitions: 8,
             broadcast_threshold: 512 * 1024,
             partial_agg: true,
+            vectorized: true,
+            batch_size: crate::columnar::DEFAULT_BATCH_ROWS,
+            adaptive: true,
             optimizer: OptimizerConfig::default(),
             slow_query_threshold_us: 100_000,
             query_log_capacity: 128,
@@ -347,6 +358,9 @@ impl Session {
             shuffle_partitions: cfg.shuffle_partitions,
             broadcast_threshold: cfg.broadcast_threshold,
             partial_agg: cfg.partial_agg,
+            vectorized: cfg.vectorized,
+            batch_size: cfg.batch_size,
+            adaptive: cfg.adaptive,
         }
     }
 }
