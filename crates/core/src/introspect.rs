@@ -20,6 +20,8 @@
 //! | `system.events`  | flight-recorder event (store + query journals) |
 //! | `system.alerts`  | alert rule, evaluated at scan time             |
 //! | `system.metrics_history` | retained time-series sample (scrapes at scan time) |
+//! | `system.task_timeline` | task attempt of a retained query timeline |
+//! | `system.stage_stats` | scheduler stage of a retained query timeline, with skew/locality stats |
 
 use parking_lot::Mutex;
 use shc_engine::prelude::*;
@@ -178,6 +180,53 @@ fn metrics_history_schema() -> Schema {
     ])
 }
 
+fn task_timeline_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("trace_id", DataType::Utf8),
+        Field::new("stage_id", DataType::Int64),
+        Field::new("stage_label", DataType::Utf8),
+        Field::new("task_index", DataType::Int64),
+        Field::new("attempt", DataType::Int64),
+        Field::new("executor", DataType::Int64),
+        Field::new("host", DataType::Utf8),
+        Field::new("preferred_host", DataType::Utf8),
+        Field::new("local", DataType::Boolean),
+        Field::new("queue_wait_us", DataType::Int64),
+        Field::new("start_us", DataType::Int64),
+        Field::new("end_us", DataType::Int64),
+        Field::new("cost_us", DataType::Int64),
+        Field::new("rows", DataType::Int64),
+        Field::new("bytes", DataType::Int64),
+        Field::new("straggler", DataType::Boolean),
+        Field::new("speculative", DataType::Boolean),
+        Field::new("winner", DataType::Boolean),
+        Field::new("error", DataType::Utf8),
+    ])
+}
+
+fn stage_stats_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("trace_id", DataType::Utf8),
+        Field::new("stage_id", DataType::Int64),
+        Field::new("label", DataType::Utf8),
+        Field::new("tasks", DataType::Int64),
+        Field::new("rows_min", DataType::Int64),
+        Field::new("rows_median", DataType::Int64),
+        Field::new("rows_max", DataType::Int64),
+        Field::new("bytes_min", DataType::Int64),
+        Field::new("bytes_median", DataType::Int64),
+        Field::new("bytes_max", DataType::Int64),
+        Field::new("skew_ratio", DataType::Float64),
+        Field::new("locality_hit_ratio", DataType::Float64),
+        Field::new("queue_wait_max_us", DataType::Int64),
+        Field::new("run_min_us", DataType::Int64),
+        Field::new("run_median_us", DataType::Int64),
+        Field::new("run_max_us", DataType::Int64),
+        Field::new("stragglers", DataType::Int64),
+        Field::new("speculative_wins", DataType::Int64),
+    ])
+}
+
 /// Build the session's metrics time-series store: scrape sources over the
 /// cluster's counter registry, per-histogram p50/p99 quantiles, and the
 /// live compaction backlog (total and per-server labeled series).
@@ -226,14 +275,14 @@ fn build_tsdb(cluster: &Arc<HBaseCluster>) -> Arc<Tsdb> {
     tsdb
 }
 
-/// Register the eight `system.*` virtual tables on `session`, backed by
+/// Register the ten `system.*` virtual tables on `session`, backed by
 /// `cluster`; install the RPC and storage-I/O probes that let the query
 /// log attribute store RPCs, block reads, cache hits, and WAL appends to
 /// individual queries; wire up the metrics time-series store behind
-/// `system.metrics_history`; and add the four default alert rules
+/// `system.metrics_history`; and add the six default alert rules
 /// (`block_cache_hit_ratio_low`, `task_retry_spike`, `write_stall_rate`,
-/// `compaction_backlog_growth`) to the session's alert engine. Returns the
-/// registered table names.
+/// `compaction_backlog_growth`, `stage_skew_high`, `straggler_spike`) to
+/// the session's alert engine. Returns the registered table names.
 ///
 /// Call once per (session, cluster) pair — typically right after the
 /// session's user tables are registered.
@@ -269,6 +318,11 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
     let alerts_cluster = Arc::clone(cluster);
     let history_tsdb = Arc::clone(&tsdb);
     let history_cluster = Arc::clone(cluster);
+    // The timeline tables read back through the session that owns them, so
+    // they hold it weakly — a strong closure capture would make the session
+    // own a table that owns the session.
+    let timeline_session = Arc::downgrade(session);
+    let stage_session = Arc::downgrade(session);
 
     let catalog = SystemCatalog::new()
         .with_table(SystemTable::new(
@@ -439,6 +493,90 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
                 }
                 rows
             },
+        ))
+        .with_table(SystemTable::new(
+            "system.task_timeline",
+            task_timeline_schema(),
+            move || {
+                let Some(session) = timeline_session.upgrade() else {
+                    return Vec::new();
+                };
+                let mut rows = Vec::new();
+                for tl in session.timelines() {
+                    let trace_id = format!("{:#x}", tl.trace_id());
+                    let labels: std::collections::HashMap<u64, &'static str> =
+                        tl.stages().iter().map(|s| (s.stage_id, s.label)).collect();
+                    for t in tl.tasks() {
+                        for a in &t.attempts {
+                            rows.push(Row::new(vec![
+                                Value::Utf8(trace_id.clone()),
+                                Value::Int64(t.stage_id as i64),
+                                Value::Utf8(
+                                    labels.get(&t.stage_id).copied().unwrap_or("?").to_string(),
+                                ),
+                                Value::Int64(t.task_index as i64),
+                                Value::Int64(a.attempt as i64),
+                                Value::Int64(a.exec as i64),
+                                Value::Utf8(a.host.clone()),
+                                t.preferred_host
+                                    .clone()
+                                    .map(Value::Utf8)
+                                    .unwrap_or(Value::Null),
+                                Value::Boolean(t.local),
+                                Value::Int64(t.queue_wait_us as i64),
+                                Value::Int64(a.start_us as i64),
+                                Value::Int64(a.end_us as i64),
+                                Value::Int64(a.cost_us as i64),
+                                Value::Int64(t.rows as i64),
+                                Value::Int64(t.bytes as i64),
+                                Value::Boolean(t.straggler),
+                                Value::Boolean(a.speculative),
+                                Value::Boolean(a.winner),
+                                a.error.clone().map(Value::Utf8).unwrap_or(Value::Null),
+                            ]));
+                        }
+                    }
+                }
+                rows
+            },
+        ))
+        .with_table(SystemTable::new(
+            "system.stage_stats",
+            stage_stats_schema(),
+            move || {
+                let Some(session) = stage_session.upgrade() else {
+                    return Vec::new();
+                };
+                let mut rows = Vec::new();
+                for tl in session.timelines() {
+                    let trace_id = format!("{:#x}", tl.trace_id());
+                    for s in tl.stage_stats() {
+                        rows.push(Row::new(vec![
+                            Value::Utf8(trace_id.clone()),
+                            Value::Int64(s.stage_id as i64),
+                            Value::Utf8(s.label.to_string()),
+                            Value::Int64(s.tasks as i64),
+                            Value::Int64(s.rows_min as i64),
+                            Value::Int64(s.rows_median as i64),
+                            Value::Int64(s.rows_max as i64),
+                            Value::Int64(s.bytes_min as i64),
+                            Value::Int64(s.bytes_median as i64),
+                            Value::Int64(s.bytes_max as i64),
+                            s.skew_ratio.map(Value::Float64).unwrap_or(Value::Null),
+                            s.locality_hit_ratio
+                                .map(Value::Float64)
+                                .unwrap_or(Value::Null),
+                            Value::Int64(s.queue_wait_max_us as i64),
+                            Value::Int64(s.run_min_us as i64),
+                            Value::Int64(s.run_median_us as i64),
+                            Value::Int64(s.run_max_us as i64),
+                            Value::Int64(s.stragglers as i64),
+                            Value::Int64(s.speculative_wins as i64),
+                        ]));
+                    }
+                }
+                rows
+            },
         ));
     let names = catalog.names();
     catalog.register(session);
@@ -460,6 +598,13 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
 /// * `compaction_backlog_growth` — fires when the cluster-wide compaction
 ///   backlog is growing (any positive byte rate over the rate window):
 ///   flushes are producing files faster than compaction retires them.
+/// * `stage_skew_high` — fires when any stage of the most recent query's
+///   task timeline has a partition-skew ratio above 2 (hottest partition
+///   more than twice the median). Its exemplar is that query's TraceId.
+/// * `straggler_spike` — fires when the straggler detector flagged tasks
+///   since the previous evaluation (a delta, like `task_retry_spike`). Its
+///   exemplar is the latest TraceId recorded against the task run-time
+///   histogram — a query that actually contained the slow task.
 ///
 /// The two rate rules read the session's time-series store, so they only
 /// have data once something scrapes it (a `system.metrics_history` scan or
@@ -538,6 +683,42 @@ fn register_default_alerts(session: &Arc<Session>, cluster: &Arc<HBaseCluster>, 
                 .latest_tail_exemplar()
         }),
     );
+
+    // Weak captures: the rules live on the session's own alert engine.
+    let skew_session = Arc::downgrade(session);
+    let skew_exemplar_session = Arc::downgrade(session);
+    alerts.add_rule(
+        AlertRule::new("stage_skew_high", Comparison::Above, 2.0, 0, move || {
+            let tl = skew_session.upgrade()?.last_timeline()?;
+            tl.stage_stats()
+                .iter()
+                .filter_map(|s| s.skew_ratio)
+                .fold(None, |acc: Option<f64>, r| {
+                    Some(acc.map_or(r, |a| a.max(r)))
+                })
+        })
+        .with_exemplar(move || {
+            skew_exemplar_session
+                .upgrade()
+                .and_then(|s| s.last_timeline())
+                .map(|tl| tl.trace_id())
+                .unwrap_or(0)
+        }),
+    );
+
+    let straggler_metrics = Arc::clone(session.task_metrics());
+    let straggler_exemplar_metrics = Arc::clone(session.task_metrics());
+    let prev_stragglers = Mutex::new(0u64);
+    alerts.add_rule(
+        AlertRule::new("straggler_spike", Comparison::Above, 0.0, 0, move || {
+            let current = straggler_metrics.snapshot().stragglers;
+            let mut prev = prev_stragglers.lock();
+            let delta = current.saturating_sub(*prev);
+            *prev = current;
+            Some(delta as f64)
+        })
+        .with_exemplar(move || straggler_exemplar_metrics.run_us.latest_tail_exemplar()),
+    );
 }
 
 #[cfg(test)]
@@ -571,7 +752,7 @@ mod tests {
         }
         let session = Session::new_default();
         let names = register_system_tables(&session, &cluster);
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 10);
 
         let rows = session
             .sql("SELECT table_name, SUM(write_requests) FROM system.regions GROUP BY table_name")
@@ -685,17 +866,22 @@ mod tests {
             .unwrap()
             .collect()
             .unwrap();
-        assert_eq!(rows.len(), 4);
-        assert_eq!(rows[0].get(0).as_str(), Some("block_cache_hit_ratio_low"));
-        // Nothing has read a block, no task retried, and no series has
-        // enough samples for a rate: every rule reads healthy.
-        assert_eq!(rows[0].get(1).as_str(), Some("ok"));
-        assert_eq!(rows[1].get(0).as_str(), Some("compaction_backlog_growth"));
-        assert_eq!(rows[1].get(1).as_str(), Some("ok"));
-        assert_eq!(rows[2].get(0).as_str(), Some("task_retry_spike"));
-        assert_eq!(rows[2].get(1).as_str(), Some("ok"));
-        assert_eq!(rows[3].get(0).as_str(), Some("write_stall_rate"));
-        assert_eq!(rows[3].get(1).as_str(), Some("ok"));
+        assert_eq!(rows.len(), 6);
+        // Nothing has read a block, no task retried or straggled, no query
+        // timeline shows skew, and no series has enough samples for a rate:
+        // every rule reads healthy.
+        let expected = [
+            "block_cache_hit_ratio_low",
+            "compaction_backlog_growth",
+            "stage_skew_high",
+            "straggler_spike",
+            "task_retry_spike",
+            "write_stall_rate",
+        ];
+        for (row, name) in rows.iter().zip(expected) {
+            assert_eq!(row.get(0).as_str(), Some(name));
+            assert_eq!(row.get(1).as_str(), Some("ok"), "{name} should be ok");
+        }
     }
 
     #[test]

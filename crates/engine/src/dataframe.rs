@@ -163,13 +163,18 @@ impl DataFrame {
     /// log entry carries a deterministic duration and per-query RPC count.
     pub fn collect(&self) -> Result<Vec<Row>> {
         let plan = self.optimized_plan()?;
-        let ctx = self.session.exec_context();
+        let mut ctx = self.session.exec_context();
         if self.session.query_log().capacity() == 0 {
             return physical::collect(&plan, &ctx);
         }
         let rpc_before = self.session.rpc_probe_value();
         let io_before = self.session.io_probe_value();
         let trace_id = self.session.mint_trace_id();
+        let timeline = crate::task_timeline::TaskTimeline::new(
+            trace_id,
+            crate::task_timeline::DEFAULT_TIMELINE_CAPACITY,
+        );
+        ctx.timeline = Some(Arc::clone(&timeline));
         let tracer = shc_obs::Tracer::with_id(trace_id);
         tracer.attach_journal(Arc::clone(self.session.events()));
         let result = {
@@ -194,6 +199,7 @@ impl DataFrame {
                     },
                 );
                 self.session.store_trace(tracer.finish());
+                self.session.store_timeline(timeline);
                 Ok(rows)
             }
             Err(e) => {
@@ -202,6 +208,7 @@ impl DataFrame {
                 self.session
                     .note_query_error(trace_id, duration_us, &e.to_string());
                 self.session.store_trace(tracer.finish());
+                self.session.store_timeline(timeline);
                 Err(e)
             }
         }
@@ -214,10 +221,15 @@ impl DataFrame {
     /// the same query over the same data produce identical traces.
     pub fn collect_analyzed(&self) -> Result<QueryAnalysis> {
         let plan = self.optimized_plan()?;
-        let ctx = self.session.exec_context();
+        let mut ctx = self.session.exec_context();
         let rpc_before = self.session.rpc_probe_value();
         let io_before = self.session.io_probe_value();
         let trace_id = self.session.mint_trace_id();
+        let timeline = crate::task_timeline::TaskTimeline::new(
+            trace_id,
+            crate::task_timeline::DEFAULT_TIMELINE_CAPACITY,
+        );
+        ctx.timeline = Some(Arc::clone(&timeline));
         let tracer = shc_obs::Tracer::with_id(trace_id);
         tracer.attach_journal(Arc::clone(self.session.events()));
         let (rows, profile) = {
@@ -241,6 +253,7 @@ impl DataFrame {
         );
         let trace = tracer.finish();
         self.session.store_trace(trace.clone());
+        self.session.store_timeline(Arc::clone(&timeline));
         attach_region_attribution(&profile, &trace);
         Ok(QueryAnalysis {
             rows,
@@ -248,6 +261,7 @@ impl DataFrame {
             trace,
             plan,
             io,
+            timeline,
         })
     }
 
@@ -257,7 +271,7 @@ impl DataFrame {
     /// scan attribution. The EXPLAIN ANALYZE of this engine.
     pub fn explain_analyze(&self) -> Result<String> {
         let analysis = self.collect_analyzed()?;
-        Ok(format!(
+        let mut out = format!(
             "== Physical Plan (analyzed, {} rows returned) ==\n{}I/O: blocks_read={} \
              block_cache_hits={} wal_bytes_appended={}\n",
             analysis.rows.len(),
@@ -265,7 +279,34 @@ impl DataFrame {
             analysis.io.blocks_read,
             analysis.io.block_cache_hits,
             analysis.io.wal_bytes_appended,
-        ))
+        );
+        for stats in analysis.timeline.stage_stats() {
+            let skew = stats
+                .skew_ratio
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "n/a".into());
+            let locality = stats
+                .locality_hit_ratio
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "n/a".into());
+            out.push_str(&format!(
+                "skew: stage {} [{}] ratio={} rows={}/{}/{} bytes={}/{}/{}\n",
+                stats.stage_id,
+                stats.label,
+                skew,
+                stats.rows_min,
+                stats.rows_median,
+                stats.rows_max,
+                stats.bytes_min,
+                stats.bytes_median,
+                stats.bytes_max,
+            ));
+            out.push_str(&format!(
+                "locality: stage {} [{}] hit_ratio={} stragglers={} spec_wins={}\n",
+                stats.stage_id, stats.label, locality, stats.stragglers, stats.speculative_wins,
+            ));
+        }
+        Ok(out)
     }
 
     pub fn count(&self) -> Result<usize> {
@@ -303,6 +344,12 @@ pub struct QueryAnalysis {
     /// Storage I/O attributed to this execution (all zero when the session
     /// has no I/O probe).
     pub io: crate::query_log::QueryIo,
+    /// Per-task execution timeline of this run: one [`TaskProfile`]
+    /// (placement, queue wait, attempts) per scheduled task, grouped into
+    /// stages with skew and locality statistics.
+    ///
+    /// [`TaskProfile`]: crate::task_timeline::TaskProfile
+    pub timeline: Arc<crate::task_timeline::TaskTimeline>,
 }
 
 /// Copy per-region scan rows out of the trace into the matching scan

@@ -63,6 +63,7 @@ pub mod session;
 pub mod shuffle;
 pub mod source_filter;
 pub mod system;
+pub mod task_timeline;
 pub mod value;
 
 /// Common imports for engine users.
@@ -77,15 +78,21 @@ pub mod prelude {
     pub use crate::expr::{BinaryOp, BoundExpr, Expr};
     pub use crate::logical::{AggExpr, JoinType, LogicalPlan};
     pub use crate::memtable::MemTable;
-    pub use crate::metrics::{QueryMetrics, QueryMetricsSnapshot};
+    pub use crate::metrics::{
+        EdgeStat, QueryMetrics, QueryMetricsSnapshot, ShuffleEdges, TaskMetrics,
+        TaskMetricsSnapshot,
+    };
     pub use crate::optimizer::OptimizerConfig;
     pub use crate::physical::{OpProfile, RegionScanProfile};
     pub use crate::query_log::{QueryIo, QueryLog, QueryLogEntry};
     pub use crate::row::Row;
-    pub use crate::scheduler::ExecutorConfig;
+    pub use crate::scheduler::{ExecutorConfig, SchedulerFaults};
     pub use crate::schema::{Field, Schema};
     pub use crate::session::{Session, SessionConfig};
     pub use crate::source_filter::SourceFilter;
     pub use crate::system::{SystemCatalog, SystemTable};
+    pub use crate::task_timeline::{
+        StageRecord, StageStats, TaskAttempt, TaskProfile, TaskTimeline,
+    };
     pub use crate::value::{DataType, Value};
 }

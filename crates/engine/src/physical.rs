@@ -23,10 +23,11 @@ use crate::expr::BoundExpr;
 use crate::logical::{AggExpr, JoinType, LogicalPlan};
 use crate::metrics::QueryMetrics;
 use crate::row::{rows_byte_size, Row};
-use crate::scheduler::{run_tasks, ExecutorConfig, Task};
+use crate::scheduler::{run_stage, ExecutorConfig, SchedulerFaults, StageObs, Task};
 use crate::schema::Schema;
 use crate::shuffle::{hash_key, shuffle_batches_by_key};
 use crate::source_filter::SourceFilter;
+use crate::task_timeline::TaskTimeline;
 use crate::value::{DataType, Value};
 use parking_lot::Mutex;
 use shc_obs::trace;
@@ -60,6 +61,23 @@ pub struct ExecContext {
     /// boundaries from observed input statistics. Off = trust the plan-time
     /// estimates unconditionally.
     pub adaptive: bool,
+    /// Session-level task-execution metrics: straggler/speculation counters
+    /// plus the `shc_task_{queue_wait_us,run_us}` histograms.
+    pub task_metrics: Arc<crate::metrics::TaskMetrics>,
+    /// Per-exchange-edge shuffle attribution (labeled split of the global
+    /// `shuffle_bytes` counter).
+    pub shuffle_edges: Arc<crate::metrics::ShuffleEdges>,
+    /// Per-query task timeline scheduler stages record into; `None` for
+    /// untraced queries (timelines ride the query trace).
+    pub timeline: Option<Arc<TaskTimeline>>,
+    /// Launch speculative duplicate attempts for detected stragglers.
+    pub speculative: bool,
+    /// Straggler cutoff multiplier over the stage's median run cost.
+    pub straggler_k: f64,
+    /// Absolute straggler floor in virtual µs.
+    pub straggler_min_run_us: u64,
+    /// Scheduler-level fault injection (tests and examples).
+    pub sched_faults: Option<Arc<SchedulerFaults>>,
 }
 
 impl Default for ExecContext {
@@ -73,6 +91,29 @@ impl Default for ExecContext {
             vectorized: true,
             batch_size: DEFAULT_BATCH_ROWS,
             adaptive: true,
+            task_metrics: crate::metrics::TaskMetrics::new(),
+            shuffle_edges: crate::metrics::ShuffleEdges::new(),
+            timeline: None,
+            speculative: false,
+            straggler_k: 3.0,
+            straggler_min_run_us: 1_000,
+            sched_faults: None,
+        }
+    }
+}
+
+impl ExecContext {
+    /// Scheduler observability context for one stage of this query.
+    fn stage_obs(&self, label: &'static str, prof: Option<&Arc<OpProfile>>) -> StageObs {
+        StageObs {
+            timeline: self.timeline.clone(),
+            task_metrics: Some(Arc::clone(&self.task_metrics)),
+            label,
+            op: prof.map(|p| p.id),
+            speculative: self.speculative,
+            straggler_k: self.straggler_k,
+            straggler_min_run_us: self.straggler_min_run_us,
+            faults: self.sched_faults.clone(),
         }
     }
 }
@@ -761,7 +802,12 @@ fn exec_scan(
             .with_retries(ctx.executors.task_retries)
         })
         .collect();
-    let out = run_tasks(&ctx.executors, tasks, &ctx.metrics)?;
+    let out = run_stage(
+        &ctx.executors,
+        tasks,
+        &ctx.metrics,
+        &ctx.stage_obs("scan", prof),
+    )?;
     record_stage_memory(&out, ctx);
     Ok(out)
 }
@@ -1122,11 +1168,31 @@ fn exec_join(
                     )
                 }));
             }
-            run_tasks(&ctx.executors, tasks, &ctx.metrics)?
+            run_stage(
+                &ctx.executors,
+                tasks,
+                &ctx.metrics,
+                &ctx.stage_obs("probe", prof),
+            )?
         }
         JoinStrategy::Shuffle { n, build_left } => {
-            let left_shuffled = shuffle_batches_by_key(left_parts, &left_keys, n, &ctx.metrics)?;
-            let right_shuffled = shuffle_batches_by_key(right_parts, &right_keys, n, &ctx.metrics)?;
+            // Each side of the exchange is its own labeled edge, keyed by
+            // the join operator's plan position.
+            let op = prof.map(|p| p.id).unwrap_or(0);
+            let left_shuffled = shuffle_batches_by_key(
+                left_parts,
+                &left_keys,
+                n,
+                &ctx.metrics,
+                Some((&ctx.shuffle_edges, &format!("join#{op}:left"))),
+            )?;
+            let right_shuffled = shuffle_batches_by_key(
+                right_parts,
+                &right_keys,
+                n,
+                &ctx.metrics,
+                Some((&ctx.shuffle_edges, &format!("join#{op}:right"))),
+            )?;
             let (build_shuffled, probe_shuffled) = if build_left {
                 (left_shuffled, right_shuffled)
             } else {
@@ -1171,7 +1237,12 @@ fn exec_join(
                     )
                 }));
             }
-            run_tasks(&ctx.executors, tasks, &ctx.metrics)?
+            run_stage(
+                &ctx.executors,
+                tasks,
+                &ctx.metrics,
+                &ctx.stage_obs("probe", prof),
+            )?
         }
     };
     record_stage_memory(&out, ctx);
@@ -1302,6 +1373,11 @@ fn exec_aggregate(
     }
     ctx.metrics.add(&ctx.metrics.shuffle_bytes, shuffle_bytes);
     ctx.metrics.add(&ctx.metrics.shuffle_rows, shuffle_rows);
+    ctx.shuffle_edges.record(
+        &format!("agg#{}", prof.map(|p| p.id).unwrap_or(0)),
+        shuffle_bytes,
+        shuffle_rows,
+    );
 
     // Phase 3: finalize.
     let mut out: Vec<Vec<Row>> = Vec::with_capacity(n_out);
@@ -1523,7 +1599,12 @@ fn parallel_map(
             })
         })
         .collect();
-    let out = run_tasks(&ctx.executors, tasks, &ctx.metrics)?;
+    let out = run_stage(
+        &ctx.executors,
+        tasks,
+        &ctx.metrics,
+        &ctx.stage_obs("map", None),
+    )?;
     record_stage_memory(&out, ctx);
     Ok(out)
 }

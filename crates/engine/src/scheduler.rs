@@ -4,20 +4,40 @@
 //! Mirrors the paper's execution model (§VI): the driver builds one task per
 //! region server, tasks carry a preferred location, and the scheduler makes
 //! a best effort to run each task on its preferred executor — falling back
-//! to any idle executor, where the simulated network then charges the
+//! to the least-loaded lane, where the simulated network then charges the
 //! remote-read penalty.
+//!
+//! ## Determinism & observability
+//!
+//! Placement is decided **at submit time**: every task is assigned to an
+//! executor lane (preferred host first, then least-loaded, ties to the
+//! lowest lane index), and each lane drains its own FIFO queue on its own
+//! thread. Retries are re-placed onto a deterministically chosen *other*
+//! lane and always land behind that lane's original work, so the sequence
+//! of attempts each lane runs — and therefore every lane-relative
+//! timestamp — is identical across runs regardless of thread interleaving.
+//!
+//! Every stage records per-task [`TaskProfile`]s (queue wait, per-attempt
+//! modeled cost measured via [`shc_obs::trace::thread_cost_us`], full
+//! attempt chains including failures) into the query's [`TaskTimeline`].
+//! At stage end a straggler detector flags tasks whose winning run cost
+//! exceeds `max(k × median, floor)`, journals a `category=straggler` event,
+//! and — when speculation is enabled — re-runs each straggler on the least
+//! loaded other lane with first-result-wins, duplicate-free semantics.
 
 use crate::columnar::PartitionData;
 use crate::error::{EngineError, Result};
-use crate::metrics::QueryMetrics;
+use crate::metrics::{QueryMetrics, TaskMetrics};
+use crate::task_timeline::{TaskAttempt, TaskProfile, TaskTimeline};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The closure type a task runs: receives the hostname of the executor it
 /// landed on and produces one partition's data (row vectors or columnar
 /// batches). `FnMut` (not `FnOnce`) so a failed attempt can be re-run on
-/// another executor.
+/// another executor — and so a speculative duplicate can re-run it.
 pub type TaskFn = Box<dyn FnMut(&str) -> Result<PartitionData> + Send>;
 
 /// A unit of work: runs on some executor and produces one partition.
@@ -41,7 +61,7 @@ impl Task {
     }
 
     /// Allow up to `retries` re-runs after failed attempts. Retried tasks
-    /// are re-placed through the shared queue, so a task whose preferred
+    /// are re-placed onto another executor lane, so a task whose preferred
     /// executor keeps failing it can land somewhere else.
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
@@ -72,20 +92,195 @@ impl Default for ExecutorConfig {
     }
 }
 
-struct TaskSlot {
+/// What a scheduler fault rule injects into a matching task attempt.
+#[derive(Clone, Debug)]
+enum Injection {
+    /// Add this much modeled virtual-µs to the attempt's cost (charged by
+    /// the scheduler at stage end, so an abandoned straggler's delay is
+    /// only charged up to the detection cutoff).
+    DelayUs(u64),
+    /// Fail the attempt before the closure runs.
+    Fail(String),
+}
+
+#[derive(Debug)]
+struct FaultRule {
+    host: String,
+    injection: Injection,
+    /// Remaining firings; `None` = unlimited.
+    remaining: Option<u32>,
+}
+
+/// Deterministic fault injection for the scheduler, keyed by executor
+/// host: slow a host down (straggler seeding) or fail attempts on it
+/// (retry/re-placement testing). Rules fire in registration order, at most
+/// one per attempt; consumption is deterministic as long as each host is
+/// served by a single executor lane.
+#[derive(Debug, Default)]
+pub struct SchedulerFaults {
+    rules: Mutex<Vec<FaultRule>>,
+}
+
+impl SchedulerFaults {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Every attempt on `host` is slowed by `us` modeled microseconds.
+    pub fn delay_on_host(&self, host: &str, us: u64) {
+        self.rules.lock().push(FaultRule {
+            host: host.to_string(),
+            injection: Injection::DelayUs(us),
+            remaining: None,
+        });
+    }
+
+    /// The first attempt on `host` is slowed by `us` modeled microseconds.
+    pub fn delay_once_on_host(&self, host: &str, us: u64) {
+        self.rules.lock().push(FaultRule {
+            host: host.to_string(),
+            injection: Injection::DelayUs(us),
+            remaining: Some(1),
+        });
+    }
+
+    /// The first attempt on `host` fails with `msg` (before running).
+    pub fn fail_once_on_host(&self, host: &str, msg: &str) {
+        self.rules.lock().push(FaultRule {
+            host: host.to_string(),
+            injection: Injection::Fail(msg.to_string()),
+            remaining: Some(1),
+        });
+    }
+
+    /// Consume and return the injection for the next attempt on `host`.
+    fn next(&self, host: &str) -> Option<Injection> {
+        let mut rules = self.rules.lock();
+        for rule in rules.iter_mut() {
+            if rule.host != host {
+                continue;
+            }
+            match &mut rule.remaining {
+                None => return Some(rule.injection.clone()),
+                Some(0) => continue,
+                Some(n) => {
+                    *n -= 1;
+                    return Some(rule.injection.clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Observability context for one scheduler stage: where to record task
+/// profiles and task metrics, and how to detect/speculate stragglers.
+/// [`run_tasks`] uses the default (no recording, no speculation).
+pub struct StageObs {
+    /// Per-query timeline receiving this stage's [`TaskProfile`]s.
+    pub timeline: Option<Arc<TaskTimeline>>,
+    /// Session-level task metrics (queue-wait/run histograms, straggler
+    /// and speculation counters).
+    pub task_metrics: Option<Arc<TaskMetrics>>,
+    /// Stage label for the timeline (`scan`, `probe`, `map`, …).
+    pub label: &'static str,
+    /// Operator id (pre-order index in the physical plan) when known.
+    pub op: Option<usize>,
+    /// Launch speculative duplicates for detected stragglers.
+    pub speculative: bool,
+    /// Straggler cutoff multiplier: a task is a straggler when its winning
+    /// run cost exceeds `max(k × stage median, floor)`. `0` disables.
+    pub straggler_k: f64,
+    /// Absolute floor (virtual µs) under which nothing is a straggler —
+    /// keeps tick-level noise in trivial stages from firing the detector.
+    pub straggler_min_run_us: u64,
+    /// Fault injection for this stage's attempts.
+    pub faults: Option<Arc<SchedulerFaults>>,
+}
+
+impl Default for StageObs {
+    fn default() -> Self {
+        StageObs {
+            timeline: None,
+            task_metrics: None,
+            label: "stage",
+            op: None,
+            speculative: false,
+            straggler_k: 3.0,
+            straggler_min_run_us: 1_000,
+            faults: None,
+        }
+    }
+}
+
+/// One task's mutable scheduling state; moves between lane queues.
+struct Slot {
     index: usize,
     preferred: Option<String>,
     run: TaskFn,
     retries: u32,
-    attempts: u32,
+    attempts_done: u32,
+    queue_wait_us: Option<u64>,
+    attempts: Vec<TaskAttempt>,
+    /// Injected delay per attempt (parallel to `attempts`); kept out of
+    /// the public profile, used for deferred clock charging.
+    injected: Vec<u64>,
+}
+
+/// A finished slot plus its final outcome, staged for stage-end analysis.
+struct Finished {
+    slot: Slot,
+    outcome: Result<PartitionData>,
 }
 
 /// Run a batch of tasks across the executor pool; results come back in task
-/// order. Locality statistics are recorded in `metrics`.
+/// order. Locality statistics are recorded in `metrics`. Equivalent to
+/// [`run_stage`] with a default [`StageObs`] (no timeline, no speculation).
 pub fn run_tasks(
     config: &ExecutorConfig,
     tasks: Vec<Task>,
     metrics: &Arc<QueryMetrics>,
+) -> Result<Vec<PartitionData>> {
+    run_stage(config, tasks, metrics, &StageObs::default())
+}
+
+/// Deterministic placement: preferred host's least-loaded lane when the
+/// host has one, otherwise the least-loaded lane overall; ties go to the
+/// lowest lane index.
+fn place(preferred: Option<&str>, hosts: &[String], load: &[usize]) -> usize {
+    let candidates: Vec<usize> = match preferred {
+        Some(p) if hosts.iter().any(|h| h == p) => {
+            (0..hosts.len()).filter(|&i| hosts[i] == p).collect()
+        }
+        _ => (0..hosts.len()).collect(),
+    };
+    candidates
+        .into_iter()
+        .min_by_key(|&i| (load[i], i))
+        .expect("at least one executor lane")
+}
+
+/// Deterministic re-placement for attempt `attempts_done` of a task whose
+/// previous attempt ran on lane `from`: some *other* lane when one exists.
+fn replace_lane(from: usize, attempts_done: u32, n_exec: usize) -> usize {
+    if n_exec <= 1 {
+        return 0;
+    }
+    let mut t = (from + attempts_done as usize) % n_exec;
+    if t == from {
+        t = (t + 1) % n_exec;
+    }
+    t
+}
+
+/// Run a batch of tasks as one observed stage: records per-task profiles
+/// into the stage's timeline, detects stragglers on the virtual clock, and
+/// (when enabled) launches speculative duplicates for them.
+pub fn run_stage(
+    config: &ExecutorConfig,
+    tasks: Vec<Task>,
+    metrics: &Arc<QueryMetrics>,
+    obs: &StageObs,
 ) -> Result<Vec<PartitionData>> {
     let n_tasks = tasks.len();
     if n_tasks == 0 {
@@ -105,71 +300,64 @@ pub fn run_tasks(
     metrics.add(&metrics.tasks, n_tasks as u64);
     let preferred = tasks.iter().filter(|t| t.preferred_host.is_some()).count() as u64;
     metrics.add(&metrics.preferred_tasks, preferred);
+    let stage_id = obs
+        .timeline
+        .as_ref()
+        .map(|tl| tl.begin_stage(obs.label, obs.op))
+        .unwrap_or(0);
 
-    // Two-level queue: per-host (locality) then a shared overflow queue.
-    let mut host_queues: HashMap<String, VecDeque<TaskSlot>> = HashMap::new();
-    let mut any_queue: VecDeque<TaskSlot> = VecDeque::new();
+    // Submit-time placement: one FIFO queue per executor lane.
+    let mut queues: Vec<VecDeque<Slot>> = (0..n_exec).map(|_| VecDeque::new()).collect();
+    let mut load = vec![0usize; n_exec];
     for (index, task) in tasks.into_iter().enumerate() {
-        let slot = TaskSlot {
+        let lane = place(task.preferred_host.as_deref(), &hosts, &load);
+        load[lane] += 1;
+        queues[lane].push_back(Slot {
             index,
-            preferred: task.preferred_host.clone(),
+            preferred: task.preferred_host,
             run: task.run,
             retries: task.retries,
-            attempts: 0,
-        };
-        match &task.preferred_host {
-            Some(host) if hosts.iter().any(|h| h == host) => {
-                host_queues.entry(host.clone()).or_default().push_back(slot);
-            }
-            _ => any_queue.push_back(slot),
-        }
+            attempts_done: 0,
+            queue_wait_us: None,
+            attempts: Vec::new(),
+            injected: Vec::new(),
+        });
     }
-    type TaskOutcomes = Vec<Option<Result<PartitionData>>>;
-    let host_queues = Arc::new(Mutex::new(host_queues));
-    let any_queue = Arc::new(Mutex::new(any_queue));
-    let results: Arc<Mutex<TaskOutcomes>> =
-        Arc::new(Mutex::new((0..n_tasks).map(|_| None).collect()));
+    let queues: Vec<Mutex<VecDeque<Slot>>> = queues.into_iter().map(Mutex::new).collect();
+    let finished: Mutex<Vec<Option<Finished>>> = Mutex::new((0..n_tasks).map(|_| None).collect());
+    let done = AtomicUsize::new(0);
+    // Final lane-relative clock of each lane (total cost it executed) —
+    // used to pick the least-loaded lane for speculative duplicates.
+    let lane_totals: Mutex<Vec<u64>> = Mutex::new(vec![0; n_exec]);
 
     // Executors run on their own threads: carry the driver's trace context
     // across so task/RPC spans attach to the active query trace.
     let trace_ctx = shc_obs::trace::capture();
     std::thread::scope(|scope| {
-        for host in &hosts {
+        for (me, host) in hosts.iter().enumerate() {
             let host = host.clone();
-            let host_queues = Arc::clone(&host_queues);
-            let any_queue = Arc::clone(&any_queue);
-            let results = Arc::clone(&results);
+            let queues = &queues;
+            let finished = &finished;
+            let done = &done;
+            let lane_totals = &lane_totals;
             let metrics = Arc::clone(metrics);
             let trace_ctx = trace_ctx.clone();
+            let faults = obs.faults.clone();
             scope.spawn(move || {
                 let _trace_ctx = shc_obs::TraceContext::adopt_opt(trace_ctx.as_ref());
-                // Delay scheduling (Spark's locality wait): prefer local
-                // work, then the shared queue; only steal other hosts'
-                // preferred tasks after a patience window, so owners get a
-                // chance to run their own queues data-locally.
-                const STEAL_PATIENCE: u32 = 24;
-                let mut idle_rounds: u32 = 0;
+                // Lane-relative virtual clock: starts at 0 per stage,
+                // advances by the modeled cost of each attempt this lane
+                // runs. All timeline timestamps use it (never the shared
+                // query clock) so profiles are byte-identical across runs.
+                let mut lane_t: u64 = 0;
                 loop {
-                    let slot = {
-                        let mut hq = host_queues.lock();
-                        if let Some(q) = hq.get_mut(&host) {
-                            q.pop_front()
-                        } else {
-                            None
-                        }
-                    }
-                    .or_else(|| any_queue.lock().pop_front())
-                    .or_else(|| {
-                        if idle_rounds >= STEAL_PATIENCE {
-                            let mut hq = host_queues.lock();
-                            hq.values_mut().find_map(VecDeque::pop_front)
-                        } else {
-                            None
-                        }
-                    });
+                    let slot = queues[me].lock().pop_front();
                     match slot {
                         Some(mut slot) => {
-                            idle_rounds = 0;
+                            if slot.queue_wait_us.is_none() {
+                                slot.queue_wait_us = Some(lane_t);
+                            }
+                            let attempt_no = slot.attempts_done + 1;
                             let local = slot.preferred.as_deref() == Some(host.as_str());
                             if local {
                                 metrics.add(&metrics.local_tasks, 1);
@@ -178,76 +366,285 @@ pub fn run_tasks(
                             if sp.is_active() {
                                 sp.annotate("index", slot.index);
                                 sp.annotate("host", &host);
-                                sp.annotate("attempt", slot.attempts + 1);
+                                sp.annotate("exec", me);
+                                sp.annotate("attempt", attempt_no);
                                 sp.annotate("local", local);
                                 if let Some(tid) = shc_obs::trace::current_trace_id() {
                                     sp.annotate("trace_id", format_args!("{tid:#x}"));
                                 }
                             }
-                            // Task duration on the trace's deterministic
-                            // clock (recorded only while tracing — there is
-                            // no wall-clock fallback by design).
-                            let t0 = shc_obs::trace::now_us();
-                            let outcome = (slot.run)(&host);
-                            if let Some(start) = t0 {
-                                if let Some(end) = shc_obs::trace::now_us() {
-                                    metrics.task_duration_us.record(end.saturating_sub(start));
+                            // Attempt cost on the trace's deterministic
+                            // clock, measured as this thread's charge delta
+                            // (other lanes' concurrent charges don't leak
+                            // in). Injected delays are noted here but only
+                            // charged to the query clock at stage end.
+                            let injection = faults.as_ref().and_then(|f| f.next(&host));
+                            let cost0 = shc_obs::trace::thread_cost_us();
+                            let mut injected_us = 0u64;
+                            let outcome = match injection {
+                                Some(Injection::Fail(msg)) => Err(EngineError::Execution(msg)),
+                                Some(Injection::DelayUs(us)) => {
+                                    injected_us = us;
+                                    (slot.run)(&host)
                                 }
+                                None => (slot.run)(&host),
+                            };
+                            let closure_cost =
+                                shc_obs::trace::thread_cost_us().saturating_sub(cost0);
+                            let cost = closure_cost + injected_us;
+                            if shc_obs::trace::active() {
+                                metrics.task_duration_us.record(cost);
                             }
                             drop(sp);
+                            let start_us = lane_t;
+                            lane_t += cost;
+                            slot.attempts_done = attempt_no;
+                            slot.attempts.push(TaskAttempt {
+                                attempt: attempt_no,
+                                exec: me,
+                                host: host.clone(),
+                                start_us,
+                                end_us: lane_t,
+                                cost_us: cost,
+                                error: outcome.as_ref().err().map(|e| e.to_string()),
+                                speculative: false,
+                                winner: false,
+                            });
+                            slot.injected.push(injected_us);
                             match outcome {
-                                Err(_) if slot.attempts < slot.retries => {
-                                    // Re-place the attempt through the shared
-                                    // queue so another executor can pick it
-                                    // up. This worker stays alive until it
-                                    // loops again, so the batch cannot finish
-                                    // with the task in flight.
-                                    slot.attempts += 1;
+                                Err(_) if slot.attempts_done <= slot.retries => {
+                                    // Re-place onto another lane. The retry
+                                    // lands behind that lane's original
+                                    // queue (push_back), so its position —
+                                    // and timing — is race-free.
                                     metrics.add(&metrics.task_retries, 1);
-                                    // Journaled ambiently through the active
-                                    // tracer's attached flight recorder, so
-                                    // the scheduler needs no journal handle.
                                     shc_obs::trace::record_event(
                                         shc_obs::Severity::Warn,
                                         "scheduler",
                                         format!(
                                             "task {} retry (attempt {} of {})",
                                             slot.index,
-                                            slot.attempts + 1,
+                                            slot.attempts_done + 1,
                                             slot.retries + 1
                                         ),
                                     );
-                                    any_queue.lock().push_back(slot);
+                                    let target = replace_lane(me, slot.attempts_done, n_exec);
+                                    queues[target].lock().push_back(slot);
                                 }
                                 outcome => {
-                                    results.lock()[slot.index] = Some(outcome);
+                                    let index = slot.index;
+                                    finished.lock()[index] = Some(Finished { slot, outcome });
+                                    done.fetch_add(1, Ordering::SeqCst);
                                 }
                             }
                         }
                         None => {
-                            // Nothing runnable right now. Exit when every
-                            // queue is drained, otherwise wait a beat.
-                            let empty = any_queue.lock().is_empty()
-                                && host_queues.lock().values().all(VecDeque::is_empty);
-                            if empty {
+                            // Own queue drained. Exit once every task has a
+                            // final outcome; otherwise a retry may still be
+                            // re-placed here — wait a beat.
+                            if done.load(Ordering::SeqCst) >= n_tasks {
                                 break;
                             }
-                            idle_rounds += 1;
                             std::thread::yield_now();
                         }
                     }
                 }
+                lane_totals.lock()[me] = lane_t;
             });
         }
     });
 
-    let collected = Arc::try_unwrap(results)
-        .map_err(|_| EngineError::Execution("scheduler results still shared".into()))?
-        .into_inner();
-    collected
+    let finished = finished.into_inner();
+    let lane_totals = lane_totals.into_inner();
+    finalize_stage(stage_id, finished, &hosts, &lane_totals, obs)
+}
+
+/// Stage-end analysis on the driver: straggler detection, speculation,
+/// deferred clock charging, histogram recording, and timeline persistence.
+fn finalize_stage(
+    stage_id: u64,
+    finished: Vec<Option<Finished>>,
+    hosts: &[String],
+    lane_totals: &[u64],
+    obs: &StageObs,
+) -> Result<Vec<PartitionData>> {
+    let mut finished: Vec<Finished> = finished
         .into_iter()
-        .map(|r| r.unwrap_or_else(|| Err(EngineError::Execution("task never executed".into()))))
-        .collect()
+        .map(|f| f.ok_or_else(|| EngineError::Execution("task never executed".into())))
+        .collect::<Result<_>>()?;
+    let n_exec = hosts.len();
+
+    // Straggler cutoff from the winning run costs of *successful* tasks.
+    let mut runs: Vec<u64> = finished
+        .iter()
+        .filter(|f| f.outcome.is_ok())
+        .map(|f| f.slot.attempts.last().map(|a| a.cost_us).unwrap_or(0))
+        .collect();
+    runs.sort_unstable();
+    let cutoff = if runs.len() >= 2 && obs.straggler_k > 0.0 {
+        let median = runs[(runs.len() - 1) / 2];
+        Some(((median as f64 * obs.straggler_k) as u64).max(obs.straggler_min_run_us))
+    } else {
+        None
+    };
+
+    let mut deferred_charge = 0u64;
+    let mut lane_load: Vec<u64> = lane_totals.to_vec();
+    for f in finished.iter_mut() {
+        let last = f.slot.attempts.len() - 1;
+        let run_us = f.slot.attempts[last].cost_us;
+        let mut winner = last;
+        let is_straggler = f.outcome.is_ok() && cutoff.map(|c| run_us > c).unwrap_or(false);
+        if is_straggler {
+            let cutoff = cutoff.unwrap_or(0);
+            if let Some(tm) = &obs.task_metrics {
+                tm.add(&tm.stragglers, 1);
+            }
+            shc_obs::trace::record_event(
+                shc_obs::Severity::Warn,
+                "straggler",
+                format!(
+                    "stage {} task {} ran {}us (cutoff {}us, k={})",
+                    stage_id, f.slot.index, run_us, cutoff, obs.straggler_k
+                ),
+            );
+            if obs.speculative && n_exec > 1 {
+                // Duplicate attempt on the least-loaded *other* lane,
+                // launched (in virtual time) at the detection cutoff.
+                let orig = f.slot.attempts[last].exec;
+                let lane = (0..n_exec)
+                    .filter(|&i| i != orig)
+                    .min_by_key(|&i| (lane_load[i], i))
+                    .expect("n_exec > 1");
+                if let Some(tm) = &obs.task_metrics {
+                    tm.add(&tm.speculative_launches, 1);
+                }
+                let mut sp = shc_obs::trace::span("task");
+                if sp.is_active() {
+                    sp.annotate("index", f.slot.index);
+                    sp.annotate("host", &hosts[lane]);
+                    sp.annotate("exec", lane);
+                    sp.annotate("attempt", f.slot.attempts_done + 1);
+                    sp.annotate("local", f.slot.preferred.as_deref() == Some(&hosts[lane]));
+                    sp.annotate("speculative", true);
+                    if let Some(tid) = shc_obs::trace::current_trace_id() {
+                        sp.annotate("trace_id", format_args!("{tid:#x}"));
+                    }
+                }
+                let injection = obs.faults.as_ref().and_then(|fa| fa.next(&hosts[lane]));
+                let cost0 = shc_obs::trace::thread_cost_us();
+                let mut injected_us = 0u64;
+                let dup_outcome = match injection {
+                    Some(Injection::Fail(msg)) => Err(EngineError::Execution(msg)),
+                    Some(Injection::DelayUs(us)) => {
+                        injected_us = us;
+                        (f.slot.run)(&hosts[lane])
+                    }
+                    None => (f.slot.run)(&hosts[lane]),
+                };
+                let dup_cost = shc_obs::trace::thread_cost_us().saturating_sub(cost0) + injected_us;
+                drop(sp);
+                lane_load[lane] += dup_cost;
+                f.slot.attempts_done += 1;
+                f.slot.attempts.push(TaskAttempt {
+                    attempt: f.slot.attempts_done,
+                    exec: lane,
+                    host: hosts[lane].clone(),
+                    start_us: cutoff,
+                    end_us: cutoff + dup_cost,
+                    cost_us: dup_cost,
+                    error: dup_outcome.as_ref().err().map(|e| e.to_string()),
+                    speculative: true,
+                    winner: false,
+                });
+                f.slot.injected.push(injected_us);
+                deferred_charge += injected_us;
+                // First result wins: the duplicate only replaces the
+                // original when it finishes earlier in virtual time.
+                if dup_outcome.is_ok() && cutoff + dup_cost < run_us {
+                    if let Some(tm) = &obs.task_metrics {
+                        tm.add(&tm.speculative_wins, 1);
+                    }
+                    winner = f.slot.attempts.len() - 1;
+                    f.outcome = dup_outcome;
+                }
+            }
+        }
+        if f.outcome.is_ok() {
+            f.slot.attempts[winner].winner = true;
+        }
+        // Deferred charging of injected delays: full for every attempt the
+        // scheduler waited out; an abandoned straggler (speculative
+        // duplicate won) is only charged up to the detection cutoff —
+        // that's where the latency win comes from.
+        for (i, &inj) in f.slot.injected.iter().enumerate() {
+            if f.slot.attempts[i].speculative {
+                continue; // already charged at launch above
+            }
+            let abandoned = i == last && winner != last;
+            deferred_charge += if abandoned {
+                let closure = f.slot.attempts[i].cost_us - inj;
+                inj.min(cutoff.unwrap_or(0).saturating_sub(closure))
+            } else {
+                inj
+            };
+        }
+    }
+    shc_obs::trace::advance_us(deferred_charge);
+
+    // Record histograms + timeline profiles, in task order.
+    let traced = shc_obs::trace::active();
+    let trace_id = shc_obs::trace::current_trace_id().unwrap_or(0);
+    let mut profiles = Vec::with_capacity(finished.len());
+    let mut results = Vec::with_capacity(finished.len());
+    for f in finished {
+        let win = f
+            .slot
+            .attempts
+            .iter()
+            .rposition(|a| a.winner)
+            .unwrap_or(f.slot.attempts.len() - 1);
+        let run_us = f.slot.attempts[win].cost_us;
+        let queue_wait_us = f.slot.queue_wait_us.unwrap_or(0);
+        if traced {
+            if let Some(tm) = &obs.task_metrics {
+                tm.queue_wait_us
+                    .record_with_exemplar(queue_wait_us, trace_id);
+                tm.run_us.record_with_exemplar(run_us, trace_id);
+            }
+        }
+        let is_straggler = f
+            .slot
+            .attempts
+            .iter()
+            .any(|a| !a.speculative && cutoff.map(|c| a.cost_us > c).unwrap_or(false));
+        let (rows, bytes) = match &f.outcome {
+            Ok(p) => (p.num_rows() as u64, p.byte_size() as u64),
+            Err(_) => (0, 0),
+        };
+        if obs.timeline.is_some() {
+            let a = &f.slot.attempts[win];
+            profiles.push(TaskProfile {
+                stage_id,
+                task_index: f.slot.index,
+                preferred_host: f.slot.preferred.clone(),
+                host: a.host.clone(),
+                exec: a.exec,
+                local: f.slot.preferred.as_deref() == Some(a.host.as_str()),
+                queue_wait_us,
+                run_us,
+                rows,
+                bytes,
+                straggler: is_straggler,
+                attempts: f.slot.attempts,
+            });
+        }
+        results.push(f.outcome);
+    }
+    if let Some(tl) = &obs.timeline {
+        tl.record_tasks(profiles);
+    }
+    results.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -298,9 +695,8 @@ mod tests {
             mk_task(Some("h1"), 3),
         ];
         let results = run_tasks(&cfg, tasks, &metrics).unwrap();
-        // Every task should have run on its preferred host (both hosts have
-        // an executor and queues drain locally first), though work stealing
-        // makes this probabilistic — assert at least half were local.
+        // Placement is static and preferred-host-first: every task runs on
+        // its preferred host when that host has an executor.
         let local = results
             .into_iter()
             .enumerate()
@@ -392,5 +788,152 @@ mod tests {
         let tasks: Vec<Task> = (0..100).map(|i| mk_task(None, i)).collect();
         let results = run_tasks(&cfg, tasks, &metrics).unwrap();
         assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn retry_records_full_attempt_chain() {
+        let cfg = ExecutorConfig {
+            num_executors: 2,
+            hosts: vec!["h0".into(), "h1".into()],
+            task_retries: 1,
+        };
+        let metrics = QueryMetrics::new();
+        let faults = SchedulerFaults::new();
+        faults.fail_once_on_host("h0", "executor lost");
+        let tl = TaskTimeline::new(0, 64);
+        let obs = StageObs {
+            timeline: Some(Arc::clone(&tl)),
+            faults: Some(faults),
+            label: "scan",
+            ..StageObs::default()
+        };
+        let task = mk_task(Some("h0"), 5).with_retries(1);
+        let results = run_stage(&cfg, vec![task], &metrics, &obs).unwrap();
+        assert_eq!(results.len(), 1);
+        let tasks = tl.tasks();
+        assert_eq!(tasks.len(), 1);
+        let t = &tasks[0];
+        assert_eq!(t.attempts.len(), 2, "failed attempt kept in the chain");
+        assert!(t.attempts[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("executor lost"));
+        assert!(!t.attempts[0].winner);
+        assert!(t.attempts[1].winner);
+        assert_ne!(t.attempts[0].exec, t.attempts[1].exec, "re-placed");
+        assert_eq!(t.host, "h1");
+        assert!(!t.local, "winning attempt ran off the preferred host");
+    }
+
+    #[test]
+    fn straggler_detected_and_speculation_wins_deterministically() {
+        let cfg = ExecutorConfig {
+            num_executors: 3,
+            hosts: vec!["h0".into(), "h1".into(), "h2".into()],
+            task_retries: 1,
+        };
+        let run = |speculative: bool| {
+            let metrics = QueryMetrics::new();
+            let faults = SchedulerFaults::new();
+            faults.delay_once_on_host("h1", 50_000);
+            let tl = TaskTimeline::new(0, 64);
+            let tm = TaskMetrics::new();
+            let obs = StageObs {
+                timeline: Some(Arc::clone(&tl)),
+                task_metrics: Some(Arc::clone(&tm)),
+                faults: Some(faults),
+                speculative,
+                label: "scan",
+                ..StageObs::default()
+            };
+            let tracer = shc_obs::Tracer::new();
+            let (results, latency) = {
+                let _root = tracer.root("query");
+                // Payloads must not depend on the executing host, or the
+                // winning duplicate would legitimately change the bytes.
+                let tasks: Vec<Task> = (0..3)
+                    .map(|i| {
+                        let pref = format!("h{i}");
+                        Task::new(Some(pref), move |_| {
+                            Ok(vec![Row::new(vec![Value::Int64(i)])].into())
+                        })
+                    })
+                    .collect();
+                let results = run_stage(&cfg, tasks, &metrics, &obs).unwrap();
+                (results, tracer.peek_us())
+            };
+            (results, latency, tl, tm)
+        };
+        let (plain_res, plain_latency, plain_tl, plain_tm) = run(false);
+        let (spec_res, spec_latency, spec_tl, spec_tm) = run(true);
+        // Duplicate-free, byte-identical results either way.
+        assert_eq!(format!("{plain_res:?}"), format!("{spec_res:?}"));
+        // Both runs flag the delayed task as a straggler…
+        assert_eq!(plain_tm.snapshot().stragglers, 1);
+        assert_eq!(spec_tm.snapshot().stragglers, 1);
+        assert_eq!(plain_tl.stage_stats()[0].stragglers, 1);
+        // …but only the speculative run launches (and wins) a duplicate.
+        assert_eq!(plain_tm.snapshot().speculative_wins, 0);
+        let spec_snap = spec_tm.snapshot();
+        assert_eq!(spec_snap.speculative_launches, 1);
+        assert_eq!(spec_snap.speculative_wins, 1);
+        assert_eq!(spec_tl.stage_stats()[0].speculative_wins, 1);
+        let straggler = spec_tl
+            .tasks()
+            .into_iter()
+            .find(|t| t.straggler)
+            .expect("straggler profiled");
+        let dup = straggler.attempts.last().unwrap();
+        assert!(dup.speculative && dup.winner);
+        assert_ne!(dup.exec, straggler.attempts[0].exec, "different executor");
+        // Speculation abandons the delayed original at the cutoff, so the
+        // query's virtual-time latency drops.
+        assert!(
+            spec_latency < plain_latency,
+            "spec {spec_latency} >= plain {plain_latency}"
+        );
+        // Same-config runs produce byte-identical timelines.
+        let (_, _, tl2, _) = run(true);
+        assert_eq!(spec_tl.render(), tl2.render());
+    }
+
+    #[test]
+    fn queue_wait_is_lane_relative_and_deterministic() {
+        let cfg = ExecutorConfig {
+            num_executors: 1,
+            hosts: vec!["h0".into()],
+            task_retries: 0,
+        };
+        let run = || {
+            let metrics = QueryMetrics::new();
+            let tl = TaskTimeline::new(0, 64);
+            let obs = StageObs {
+                timeline: Some(Arc::clone(&tl)),
+                label: "map",
+                ..StageObs::default()
+            };
+            let tracer = shc_obs::Tracer::new();
+            {
+                let _root = tracer.root("query");
+                let tasks: Vec<Task> = (0..3)
+                    .map(|i| {
+                        Task::new(None, move |_| {
+                            shc_obs::trace::advance_us(100);
+                            Ok(vec![Row::new(vec![Value::Int64(i)])].into())
+                        })
+                    })
+                    .collect();
+                run_stage(&cfg, tasks, &metrics, &obs).unwrap();
+            }
+            tl
+        };
+        let tl = run();
+        let tasks = tl.tasks();
+        // One lane, FIFO: each task waits behind the previous ones' costs.
+        assert_eq!(tasks[0].queue_wait_us, 0);
+        assert!(tasks[1].queue_wait_us >= 100);
+        assert!(tasks[2].queue_wait_us >= tasks[1].queue_wait_us + 100);
+        assert_eq!(tl.render(), run().render(), "byte-identical timelines");
     }
 }

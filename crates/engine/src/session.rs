@@ -6,12 +6,13 @@ use crate::dataframe::DataFrame;
 use crate::datasource::TableProvider;
 use crate::error::{EngineError, Result};
 use crate::logical::LogicalPlan;
-use crate::metrics::QueryMetrics;
+use crate::metrics::{QueryMetrics, ShuffleEdges, TaskMetrics};
 use crate::optimizer::OptimizerConfig;
 use crate::parser::parse;
 use crate::physical::ExecContext;
 use crate::query_log::{plan_digest, QueryIo, QueryLog, QueryLogEntry};
-use crate::scheduler::ExecutorConfig;
+use crate::scheduler::{ExecutorConfig, SchedulerFaults};
+use crate::task_timeline::TaskTimeline;
 use parking_lot::{Mutex, RwLock};
 use shc_obs::{AlertEngine, EventJournal, Severity, Trace};
 use std::collections::{HashMap, VecDeque};
@@ -53,6 +54,19 @@ pub struct SessionConfig {
     /// entirely (no per-collect tracer is created). Fixed at session
     /// construction.
     pub query_log_capacity: usize,
+    /// Launch a speculative duplicate attempt (on a different executor,
+    /// first result wins) for every task the straggler detector flags.
+    pub speculative_execution: bool,
+    /// Straggler cutoff multiplier: a task is flagged when its winning run
+    /// cost exceeds `max(k × stage median, straggler_min_run_us)`. Zero
+    /// disables detection.
+    pub straggler_threshold: f64,
+    /// Absolute floor (virtual µs) below which nothing counts as a
+    /// straggler — keeps tick-level noise in trivial stages quiet.
+    pub straggler_min_run_us: u64,
+    /// Deterministic scheduler fault injection (tests and examples): delay
+    /// or fail task attempts by executor host.
+    pub scheduler_faults: Option<Arc<SchedulerFaults>>,
 }
 
 impl Default for SessionConfig {
@@ -68,6 +82,10 @@ impl Default for SessionConfig {
             optimizer: OptimizerConfig::default(),
             slow_query_threshold_us: 100_000,
             query_log_capacity: 128,
+            speculative_execution: false,
+            straggler_threshold: 3.0,
+            straggler_min_run_us: 1_000,
+            scheduler_faults: None,
         }
     }
 }
@@ -78,6 +96,12 @@ pub struct Session {
     tables: RwLock<HashMap<String, Arc<dyn TableProvider>>>,
     views: RwLock<HashMap<String, LogicalPlan>>,
     pub metrics: Arc<QueryMetrics>,
+    /// Scheduler task metrics: straggler/speculation counters plus the
+    /// `shc_task_{queue_wait_us,run_us}` histograms.
+    task_metrics: Arc<TaskMetrics>,
+    /// Per-exchange-edge shuffle attribution (labeled split of the global
+    /// `shuffle_bytes` counter).
+    shuffle_edges: Arc<ShuffleEdges>,
     /// The slow-query ring buffer; shared with `system.queries`.
     query_log: Arc<QueryLog>,
     /// Cumulative store-RPC counter, installed by the layer that connects
@@ -102,6 +126,10 @@ pub struct Session {
     /// [`trace_for`](Self::trace_for) — what makes a slow query's TraceId
     /// resolvable to an exportable Chrome trace.
     traces: Mutex<VecDeque<Trace>>,
+    /// Per-query task timelines of recent queries, keyed by TraceId through
+    /// [`timeline_for`](Self::timeline_for); backs `system.task_timeline`
+    /// and `system.stage_stats`.
+    timelines: Mutex<VecDeque<Arc<TaskTimeline>>>,
     /// Flight-recorder dump captured when the most recent query errored or
     /// tripped the slow threshold.
     last_event_dump: Mutex<Option<String>>,
@@ -115,6 +143,8 @@ impl Session {
             tables: RwLock::new(HashMap::new()),
             views: RwLock::new(HashMap::new()),
             metrics: QueryMetrics::new(),
+            task_metrics: TaskMetrics::new(),
+            shuffle_edges: ShuffleEdges::new(),
             query_log,
             rpc_probe: RwLock::new(None),
             io_probe: RwLock::new(None),
@@ -123,6 +153,7 @@ impl Session {
             events: EventJournal::new(1024),
             alerts: AlertEngine::new(),
             traces: Mutex::new(VecDeque::new()),
+            timelines: Mutex::new(VecDeque::new()),
             last_event_dump: Mutex::new(None),
         })
     }
@@ -264,6 +295,52 @@ impl Session {
         self.traces.lock().back().cloned()
     }
 
+    /// Scheduler task metrics (straggler/speculation counters and the
+    /// `shc_task_*` histograms) accumulated across this session's queries.
+    pub fn task_metrics(&self) -> &Arc<TaskMetrics> {
+        &self.task_metrics
+    }
+
+    /// Per-exchange-edge shuffle attribution accumulated across this
+    /// session's queries.
+    pub fn shuffle_edges(&self) -> &Arc<ShuffleEdges> {
+        &self.shuffle_edges
+    }
+
+    /// Remember a finished query's task timeline so its TraceId stays
+    /// resolvable (bounded by the query-log capacity, like traces).
+    pub fn store_timeline(&self, timeline: Arc<TaskTimeline>) {
+        let capacity = self.query_log.capacity();
+        if capacity == 0 {
+            return;
+        }
+        let mut timelines = self.timelines.lock();
+        if timelines.len() == capacity {
+            timelines.pop_front();
+        }
+        timelines.push_back(timeline);
+    }
+
+    /// Resolve a TraceId to its per-task execution timeline.
+    pub fn timeline_for(&self, trace_id: u64) -> Option<Arc<TaskTimeline>> {
+        self.timelines
+            .lock()
+            .iter()
+            .find(|t| t.trace_id() == trace_id)
+            .cloned()
+    }
+
+    /// The most recently stored task timeline, if any.
+    pub fn last_timeline(&self) -> Option<Arc<TaskTimeline>> {
+        self.timelines.lock().back().cloned()
+    }
+
+    /// All retained task timelines, oldest first (backs
+    /// `system.task_timeline` and `system.stage_stats`).
+    pub fn timelines(&self) -> Vec<Arc<TaskTimeline>> {
+        self.timelines.lock().iter().cloned().collect()
+    }
+
     /// The flight-recorder dump captured by the most recent slow or errored
     /// query (cleared and re-captured per incident).
     pub fn last_event_dump(&self) -> Option<String> {
@@ -343,10 +420,18 @@ impl Session {
     }
 
     /// Prometheus-style text exposition of this session's query metrics
-    /// (counters plus task-duration quantiles), suitable for scraping or
-    /// dumping at the end of a run.
+    /// (query counters plus task-duration quantiles, the `shc_task_*`
+    /// scheduler histograms, and per-exchange-edge shuffle counters),
+    /// suitable for scraping or dumping at the end of a run.
     pub fn metrics_exposition(&self) -> String {
-        self.metrics.exposition()
+        let mut out = self.metrics.exposition();
+        out.push_str(&self.task_metrics.exposition());
+        out.push_str(
+            &self
+                .shuffle_edges
+                .exposition(crate::metrics::EXPOSITION_PREFIX),
+        );
+        out
     }
 
     /// The execution context derived from the current configuration.
@@ -355,12 +440,19 @@ impl Session {
         ExecContext {
             executors: cfg.executors.clone(),
             metrics: Arc::clone(&self.metrics),
+            task_metrics: Arc::clone(&self.task_metrics),
+            shuffle_edges: Arc::clone(&self.shuffle_edges),
+            timeline: None,
             shuffle_partitions: cfg.shuffle_partitions,
             broadcast_threshold: cfg.broadcast_threshold,
             partial_agg: cfg.partial_agg,
             vectorized: cfg.vectorized,
             batch_size: cfg.batch_size,
             adaptive: cfg.adaptive,
+            speculative: cfg.speculative_execution,
+            straggler_k: cfg.straggler_threshold,
+            straggler_min_run_us: cfg.straggler_min_run_us,
+            sched_faults: cfg.scheduler_faults.clone(),
         }
     }
 }

@@ -6,10 +6,16 @@
 use crate::columnar::{rows_to_batches, ColumnarBatch, PartitionData};
 use crate::error::Result;
 use crate::expr::BoundExpr;
-use crate::metrics::QueryMetrics;
+use crate::metrics::{QueryMetrics, ShuffleEdges};
 use crate::row::Row;
 use std::hash::Hasher;
 use std::sync::Arc;
+
+/// Optional per-exchange-edge attribution: the [`ShuffleEdges`] registry to
+/// credit plus this exchange's deterministic label (e.g. `join#4:left`).
+/// The global `shuffle_bytes`/`shuffle_rows` counters are always recorded;
+/// the edge, when given, receives the same volume under its label.
+pub type EdgeSink<'a> = Option<(&'a ShuffleEdges, &'a str)>;
 
 /// Hash a key tuple for partitioning; consistent with `Value::group_eq`.
 pub fn hash_key(values: &[crate::value::Value]) -> u64 {
@@ -27,6 +33,7 @@ pub fn shuffle_by_key(
     keys: &[BoundExpr],
     num_output: usize,
     metrics: &Arc<QueryMetrics>,
+    edge: EdgeSink,
 ) -> Result<Vec<Vec<Row>>> {
     let num_output = num_output.max(1);
     let mut out: Vec<Vec<Row>> = vec![Vec::new(); num_output];
@@ -43,6 +50,9 @@ pub fn shuffle_by_key(
     }
     metrics.add(&metrics.shuffle_bytes, bytes);
     metrics.add(&metrics.shuffle_rows, rows);
+    if let Some((edges, label)) = edge {
+        edges.record(label, bytes, rows);
+    }
     Ok(out)
 }
 
@@ -58,6 +68,7 @@ pub fn shuffle_batches_by_key(
     keys: &[BoundExpr],
     num_output: usize,
     metrics: &Arc<QueryMetrics>,
+    edge: EdgeSink,
 ) -> Result<Vec<PartitionData>> {
     let num_output = num_output.max(1);
     let mut out_rows: Vec<Vec<Row>> = vec![Vec::new(); num_output];
@@ -126,6 +137,9 @@ pub fn shuffle_batches_by_key(
     }
     metrics.add(&metrics.shuffle_bytes, bytes);
     metrics.add(&metrics.shuffle_rows, rows);
+    if let Some((edges, label)) = edge {
+        edges.record(label, bytes, rows);
+    }
 
     Ok(out_rows
         .into_iter()
@@ -175,7 +189,7 @@ mod tests {
     #[test]
     fn same_key_lands_in_same_partition() {
         let metrics = QueryMetrics::new();
-        let parts = shuffle_by_key(vec![rows(100)], &[key0()], 4, &metrics).unwrap();
+        let parts = shuffle_by_key(vec![rows(100)], &[key0()], 4, &metrics, None).unwrap();
         assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
         // Each output partition must contain complete key groups.
         for p in &parts {
@@ -195,10 +209,29 @@ mod tests {
     #[test]
     fn shuffle_records_bytes_and_rows() {
         let metrics = QueryMetrics::new();
-        shuffle_by_key(vec![rows(10)], &[key0()], 2, &metrics).unwrap();
+        shuffle_by_key(vec![rows(10)], &[key0()], 2, &metrics, None).unwrap();
         let snap = metrics.snapshot();
         assert_eq!(snap.shuffle_rows, 10);
         assert_eq!(snap.shuffle_bytes, 10 * (8 + 8 + 8));
+    }
+
+    #[test]
+    fn edge_sink_receives_same_volume_as_globals() {
+        let metrics = QueryMetrics::new();
+        let edges = ShuffleEdges::new();
+        shuffle_by_key(
+            vec![rows(10)],
+            &[key0()],
+            2,
+            &metrics,
+            Some((&edges, "join#1:left")),
+        )
+        .unwrap();
+        let snap = metrics.snapshot();
+        let edge = &edges.snapshot()[0];
+        assert_eq!(edge.label, "join#1:left");
+        assert_eq!(edge.bytes, snap.shuffle_bytes);
+        assert_eq!(edge.rows, snap.shuffle_rows);
     }
 
     #[test]
@@ -210,7 +243,7 @@ mod tests {
     #[test]
     fn single_output_partition() {
         let metrics = QueryMetrics::new();
-        let parts = shuffle_by_key(vec![rows(7)], &[key0()], 1, &metrics).unwrap();
+        let parts = shuffle_by_key(vec![rows(7)], &[key0()], 1, &metrics, None).unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].len(), 7);
     }
@@ -223,7 +256,7 @@ mod tests {
     #[test]
     fn batch_shuffle_matches_row_shuffle() {
         let row_metrics = QueryMetrics::new();
-        let by_rows = shuffle_by_key(vec![rows(100)], &[key0()], 4, &row_metrics).unwrap();
+        let by_rows = shuffle_by_key(vec![rows(100)], &[key0()], 4, &row_metrics, None).unwrap();
 
         let batch_metrics = QueryMetrics::new();
         let batches = rows_to_batches(&[DataType::Int64, DataType::Int64], &rows(100), 16);
@@ -232,6 +265,7 @@ mod tests {
             &[key0()],
             4,
             &batch_metrics,
+            None,
         )
         .unwrap();
 

@@ -23,7 +23,7 @@
 //! per-thread buffers into a single [`Trace`] tree.
 
 use parking_lot::Mutex;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
@@ -96,6 +96,13 @@ struct Frame {
 
 thread_local! {
     static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    /// Monotonic per-thread accumulator of every virtual-clock charge made
+    /// from this thread (ticks and modeled advances alike). The global
+    /// clock is shared across threads, so two reads of it straddling a task
+    /// attempt include whatever *other* threads charged in between; this
+    /// counter does not, which is what makes per-attempt costs
+    /// deterministic under parallel execution. See [`thread_cost_us`].
+    static THREAD_COST: Cell<u64> = const { Cell::new(0) };
 }
 
 impl Tracer {
@@ -133,12 +140,14 @@ impl Tracer {
     /// consecutive reads are strictly ordered (same discipline as the
     /// kvstore's deterministic logical clock).
     pub fn now_us(&self) -> u64 {
+        THREAD_COST.with(|c| c.set(c.get() + 1));
         self.inner.clock_us.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Advance the virtual clock by a modeled cost.
     pub fn advance_us(&self, us: u64) {
         if us > 0 {
+            THREAD_COST.with(|c| c.set(c.get() + us));
             self.inner.clock_us.fetch_add(us, Ordering::Relaxed);
         }
     }
@@ -254,6 +263,16 @@ pub fn advance_us(us: u64) {
     if let Some(t) = STACK.with(|s| s.borrow().last().map(|f| f.tracer.clone())) {
         t.advance_us(us);
     }
+}
+
+/// Total virtual-clock microseconds this thread has charged (clock ticks
+/// plus modeled advances), across all tracers it ever touched. Monotonic
+/// and thread-local: the cost of a closure run on this thread is the delta
+/// between two reads, and — unlike deltas of the shared per-query clock —
+/// is unaffected by what other threads charge concurrently. Returns 0 cost
+/// for untraced work (the clock is only touched while a tracer is active).
+pub fn thread_cost_us() -> u64 {
+    THREAD_COST.with(|c| c.get())
 }
 
 /// The active tracer's TraceId, if a tracer is active on this thread.
@@ -451,20 +470,57 @@ impl Trace {
     /// tracing` / Perfetto "JSON Array Format" with a `traceEvents`
     /// envelope). Every span becomes one complete event (`"ph":"X"`) whose
     /// `ts`/`dur` are the span's virtual microseconds; annotations land in
-    /// `args`. Spans are emitted in allocation order and `pid`/`tid` are
-    /// fixed at 1/0 (virtual time has no threads), so the same trace always
-    /// serializes to the same bytes.
+    /// `args`. `pid` is fixed at 1; spans carrying an `exec` annotation
+    /// (scheduler task attempts) land on one lane per executor
+    /// (`tid = exec + 1`, named via `thread_name` metadata events), all
+    /// other spans stay on the driver lane (`tid` 0). Spans are emitted in
+    /// allocation order and lanes in executor order, so the same trace
+    /// always serializes to the same bytes.
     pub fn to_chrome_json(&self) -> String {
+        // Lanes: executor index → (tid, host). Collected in span order, but
+        // emitted sorted by executor index for byte-stable output.
+        let mut lanes: Vec<(u64, String)> = Vec::new();
+        for s in &self.spans {
+            if let Some(exec) = s.attr("exec").and_then(|v| v.parse::<u64>().ok()) {
+                if !lanes.iter().any(|(e, _)| *e == exec) {
+                    lanes.push((exec, s.attr("host").unwrap_or("?").to_string()));
+                }
+            }
+        }
+        lanes.sort_by_key(|(e, _)| *e);
         let mut out = String::from("{\"traceEvents\":[");
-        for (i, s) in self.spans.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        if !lanes.is_empty() {
+            out.push_str(
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+                 \"args\":{\"name\":\"driver\"}}",
+            );
+            for (exec, host) in &lanes {
+                out.push_str(&format!(
+                    ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                     \"args\":{{\"name\":{}}}}}",
+                    exec + 1,
+                    json_string(&format!("executor-{exec} ({host})"))
+                ));
+            }
+            first = false;
+        }
+        for s in self.spans.iter() {
+            if !first {
                 out.push(',');
             }
+            first = false;
+            let tid = s
+                .attr("exec")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(|e| e + 1)
+                .unwrap_or(0);
             out.push_str(&format!(
-                "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":0,\"args\":{{",
+                "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{",
                 json_string(s.name),
                 s.start_us,
-                s.duration_us()
+                s.duration_us(),
+                tid
             ));
             out.push_str(&format!("\"span_id\":{}", s.id));
             if let Some(p) = s.parent {
@@ -689,6 +745,51 @@ mod tests {
             .parse()
             .unwrap();
         assert!(dur >= 250);
+    }
+
+    #[test]
+    fn thread_cost_accumulates_modeled_charges_only_while_traced() {
+        let before = thread_cost_us();
+        advance_us(500); // untraced: no tracer, no charge
+        assert_eq!(thread_cost_us(), before);
+        let tracer = Tracer::new();
+        {
+            let _r = tracer.root("query");
+            let b = thread_cost_us();
+            advance_us(100);
+            let _ = now_us(); // ticks count too
+            assert!(thread_cost_us() - b >= 101);
+        }
+    }
+
+    #[test]
+    fn chrome_json_places_executor_spans_on_lanes() {
+        let tracer = Tracer::new();
+        {
+            let _r = tracer.root("query");
+            {
+                let mut t = span("task");
+                t.annotate("exec", 1);
+                t.annotate("host", "h1");
+            }
+            {
+                let mut t = span("task");
+                t.annotate("exec", 0);
+                t.annotate("host", "h0");
+            }
+        }
+        let json = tracer.finish().to_chrome_json();
+        assert_eq!(json, tracer.finish().to_chrome_json(), "byte-stable");
+        // One named lane per executor plus the driver lane, exec 0 first.
+        assert!(json.contains("\"ph\":\"M\""));
+        let d = json.find("\"name\":\"driver\"").unwrap();
+        let e0 = json.find("\"name\":\"executor-0 (h0)\"").unwrap();
+        let e1 = json.find("\"name\":\"executor-1 (h1)\"").unwrap();
+        assert!(d < e0 && e0 < e1);
+        // Task spans ride their executor's lane; the root stays on tid 0.
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"name\":\"query\",\"ph\":\"X\",\"ts\":0"));
     }
 
     #[test]

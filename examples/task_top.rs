@@ -1,0 +1,163 @@
+//! `top` for task execution — the scheduler observability tour.
+//!
+//! Builds a deliberately skewed pre-split table (one region holds most of
+//! the rows), injects a scheduler delay on one host, turns speculative
+//! execution on, and then answers "where did the time go?" entirely
+//! through the task-observability surface:
+//!
+//! 1. the slowest task attempts, ranked (`system.task_timeline`);
+//! 2. per-stage skew, locality and straggler counts (`system.stage_stats`);
+//! 3. the journaled `straggler` event and the firing alert rules
+//!    (`system.events`, `system.alerts`);
+//! 4. the query's Chrome trace with one lane per executor
+//!    (`CHROME_TRACE_JSON:` — paste into a trace viewer).
+//!
+//! Every timestamp is virtual and every placement is decided at submit
+//! time, so the whole report is byte-identical across runs.
+//!
+//! Run with: `cargo run --release --example task_top`
+
+use shc::core::error::{Result, ShcError};
+use shc::kvstore::client::Connection;
+use shc::kvstore::network::NetworkSim;
+use shc::kvstore::types::{FamilyDescriptor, Put, TableDescriptor, TableName};
+use shc::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 3,
+        network: NetworkSim::gigabit(),
+        ..Default::default()
+    });
+    // Four regions holding 150/30/10/10 of the 200 rows: the first region
+    // is the hot partition every skew statistic should point at.
+    cluster.create_table(
+        TableDescriptor::new(TableName::default_ns("ledger"))
+            .with_family(FamilyDescriptor::new("l"))
+            .with_split_keys(vec!["0150".into(), "0180".into(), "0190".into()]),
+    )?;
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let ledger = conn.table(TableName::default_ns("ledger"));
+    for i in 0..200 {
+        ledger.put(Put::new(format!("{i:04}")).add("l", "amt", format!("{i}")))?;
+    }
+
+    // One executor per region server; the first attempt on host-1 is
+    // slowed far past the straggler cutoff, and speculation re-runs it.
+    let faults = SchedulerFaults::new();
+    faults.delay_once_on_host(&cluster.hostnames()[1], 5_000_000);
+    let session = Session::new(SessionConfig {
+        executors: ExecutorConfig {
+            num_executors: 3,
+            hosts: cluster.hostnames(),
+            task_retries: 1,
+        },
+        speculative_execution: true,
+        scheduler_faults: Some(faults),
+        ..Default::default()
+    });
+    register_system_tables(&session, &cluster);
+    register_hbase_table(
+        &session,
+        Arc::clone(&cluster),
+        Arc::new(HBaseTableCatalog::parse_simple(
+            r#"{"table":{"namespace":"default","name":"ledger"},
+                "rowkey":"key",
+                "columns":{
+                  "txn_id":{"cf":"rowkey","col":"key","type":"string"},
+                  "amount":{"cf":"l","col":"amt","type":"string"}}}"#,
+        )?),
+        SHCConf::default(),
+        "ledger",
+    );
+    let sql = |q: &str| {
+        session
+            .sql(q)
+            .map_err(ShcError::from)?
+            .collect()
+            .map_err(ShcError::from)
+    };
+
+    let total = sql("SELECT COUNT(*) FROM ledger")?;
+    println!("ledger rows: {}\n", total[0].get(0).as_i64().unwrap_or(0));
+    let trace_id = session.query_log().entries()[0].trace_id;
+
+    // Evaluate the alert rules now, while the most recent stored timeline
+    // is still the skewed query's — `stage_skew_high` judges the last
+    // query, and the straggler delta clears once it has been observed.
+    let alert_rows = sql(
+        "SELECT name, value, threshold, exemplar_trace_id FROM system.alerts \
+         WHERE state = 'firing' ORDER BY name",
+    )?;
+
+    // The marquee view: the slowest attempts, with their placement.
+    println!("slowest task attempts (system.task_timeline, by cost):");
+    for row in sql(
+        "SELECT stage_label, task_index, attempt, executor, host, cost_us, \
+                speculative, winner \
+         FROM system.task_timeline ORDER BY 6 DESC LIMIT 8",
+    )? {
+        println!(
+            "system.task_timeline | stage={} task={} attempt={} exec={} host={} cost_us={} speculative={} winner={}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1).as_i64().unwrap_or(0),
+            row.get(2).as_i64().unwrap_or(0),
+            row.get(3).as_i64().unwrap_or(0),
+            row.get(4).as_str().unwrap_or("?"),
+            row.get(5).as_i64().unwrap_or(0),
+            row.get(6),
+            row.get(7),
+        );
+    }
+
+    println!("\nper-stage skew and locality (system.stage_stats):");
+    for row in sql(
+        "SELECT stage_id, label, tasks, rows_max, rows_median, skew_ratio, \
+                locality_hit_ratio, stragglers, speculative_wins \
+         FROM system.stage_stats ORDER BY stage_id",
+    )? {
+        println!(
+            "system.stage_stats | stage={} label={} tasks={} rows_max={} rows_median={} skew={} locality={} stragglers={} spec_wins={}",
+            row.get(0).as_i64().unwrap_or(0),
+            row.get(1).as_str().unwrap_or("?"),
+            row.get(2).as_i64().unwrap_or(0),
+            row.get(3).as_i64().unwrap_or(0),
+            row.get(4).as_i64().unwrap_or(0),
+            row.get(5),
+            row.get(6),
+            row.get(7).as_i64().unwrap_or(0),
+            row.get(8).as_i64().unwrap_or(0),
+        );
+    }
+
+    println!("\nstraggler events (system.events):");
+    for row in sql("SELECT trace_id, message FROM system.events WHERE category = 'straggler'")? {
+        println!(
+            "system.events | trace={} {}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1).as_str().unwrap_or("?"),
+        );
+    }
+
+    println!("\nfiring alerts (system.alerts):");
+    for row in alert_rows {
+        println!(
+            "system.alerts | name={} value={} threshold={} exemplar={}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1),
+            row.get(2),
+            row.get(3).as_str().unwrap_or("?"),
+        );
+    }
+
+    // The skewed query's trace, with one lane per executor ("executor-0
+    // (host-0)", …) plus the driver lane — Chrome's about:tracing or
+    // Perfetto render the stage's task layout directly.
+    let trace = session
+        .trace_for(trace_id)
+        .expect("the skewed query's trace is retained");
+    println!("\nCHROME_TRACE_JSON: {}", trace.to_chrome_json());
+
+    Ok(())
+}

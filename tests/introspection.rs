@@ -191,9 +191,13 @@ fn metric_names_are_unique_prefixed_and_snake_case() {
     let session = Session::new_default();
 
     let mut seen = std::collections::HashSet::new();
-    for (exposition, prefix) in [
-        (cluster.metrics.exposition(), "shc_store_"),
-        (session.metrics_exposition(), "shc_query_"),
+    for (exposition, prefixes) in [
+        (cluster.metrics.exposition(), &["shc_store_"][..]),
+        // The session registry hosts both query- and task-level metrics.
+        (
+            session.metrics_exposition(),
+            &["shc_query_", "shc_task_"][..],
+        ),
     ] {
         let mut in_registry = 0;
         for line in exposition.lines() {
@@ -201,7 +205,10 @@ fn metric_names_are_unique_prefixed_and_snake_case() {
                 continue;
             };
             let name = rest.split_whitespace().next().unwrap();
-            assert!(name.starts_with(prefix), "{name} missing prefix {prefix}");
+            assert!(
+                prefixes.iter().any(|p| name.starts_with(p)),
+                "{name} missing one of the prefixes {prefixes:?}"
+            );
             assert!(
                 name.chars()
                     .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
@@ -210,6 +217,9 @@ fn metric_names_are_unique_prefixed_and_snake_case() {
             assert!(seen.insert(name.to_string()), "duplicate metric {name}");
             in_registry += 1;
         }
-        assert!(in_registry > 3, "registry with prefix {prefix} looks empty");
+        assert!(
+            in_registry > 3,
+            "registry with prefixes {prefixes:?} looks empty"
+        );
     }
 }
