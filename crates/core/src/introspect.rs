@@ -22,9 +22,12 @@
 //! | `system.metrics_history` | retained time-series sample (scrapes at scan time) |
 //! | `system.task_timeline` | task attempt of a retained query timeline |
 //! | `system.stage_stats` | scheduler stage of a retained query timeline, with skew/locality stats |
+//! | `system.region_heat` | live region × heat window: request rates, hotspot score, trend |
+//! | `system.shard_advisor` | advisory Split/Merge/Salt recommendation with evidence |
 
 use parking_lot::Mutex;
 use shc_engine::prelude::*;
+use shc_engine::source_filter::SourceFilter;
 use shc_engine::system::{SystemCatalog, SystemTable};
 use shc_kvstore::cluster::HBaseCluster;
 use shc_kvstore::load::RegionLoad;
@@ -39,6 +42,14 @@ const TSDB_CAPACITY_PER_SERIES: usize = 512;
 
 /// Window the default rate alerts look back over, in virtual milliseconds.
 const RATE_WINDOW_MS: u64 = 10_000;
+
+/// Heat score (total requests per virtual second against one region) above
+/// which `region_hot_sustained` starts its debounce timer.
+const HOT_REGION_SCORE_THRESHOLD: f64 = 25.0;
+
+/// How long a region must stay above the threshold before
+/// `region_hot_sustained` fires, in virtual milliseconds.
+const HOT_REGION_DEBOUNCE_MS: u64 = 2_000;
 
 /// Render a region boundary key for display: UTF-8 where possible, with a
 /// leading/trailing empty key shown as the open-interval marker.
@@ -180,6 +191,72 @@ fn metrics_history_schema() -> Schema {
     ])
 }
 
+fn region_heat_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("region_id", DataType::Int64),
+        Field::new("table_name", DataType::Utf8),
+        Field::new("server", DataType::Utf8),
+        Field::new("window_ms", DataType::Int64),
+        Field::new("read_rate", DataType::Float64),
+        Field::new("write_rate", DataType::Float64),
+        Field::new("heat_score", DataType::Float64),
+        Field::new("trend", DataType::Utf8),
+        Field::new("memstore_bytes", DataType::Int64),
+        Field::new("store_file_bytes", DataType::Int64),
+    ])
+}
+
+fn shard_advisor_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("action", DataType::Utf8),
+        Field::new("region_id", DataType::Int64),
+        Field::new("table_name", DataType::Utf8),
+        Field::new("server", DataType::Utf8),
+        Field::new("split_key", DataType::Utf8),
+        Field::new("heat_score", DataType::Float64),
+        Field::new("expected_post_score", DataType::Float64),
+        Field::new("rationale", DataType::Utf8),
+    ])
+}
+
+/// Does a pushed-down predicate set admit this `(metric, labels)` series?
+/// Understands the equality/prefix shapes the optimizer can push for
+/// `system.metrics_history` (`metric = …`, `labels LIKE 'a%'`, `metric IN
+/// (…)`, conjunctions thereof); anything else is conservatively admitted —
+/// the engine re-applies every predicate, so this only prunes
+/// materialization, never correctness.
+fn series_admitted(filters: &[SourceFilter], metric: &str, labels: &str) -> bool {
+    filters.iter().all(|f| filter_admits(f, metric, labels))
+}
+
+fn filter_admits(filter: &SourceFilter, metric: &str, labels: &str) -> bool {
+    let column_value = |col: &str| match col {
+        "metric" => Some(metric),
+        "labels" => Some(labels),
+        _ => None,
+    };
+    match filter {
+        SourceFilter::Eq(col, Value::Utf8(want)) => {
+            column_value(col).map(|have| have == want).unwrap_or(true)
+        }
+        SourceFilter::StringStartsWith(col, prefix) => column_value(col)
+            .map(|have| have.starts_with(prefix.as_str()))
+            .unwrap_or(true),
+        SourceFilter::In(col, values) => column_value(col)
+            .map(|have| {
+                values
+                    .iter()
+                    .any(|v| matches!(v, Value::Utf8(s) if s == have))
+            })
+            .unwrap_or(true),
+        SourceFilter::And(a, b) => {
+            filter_admits(a, metric, labels) && filter_admits(b, metric, labels)
+        }
+        // Disjunctions, ranges, other columns: cannot prune safely here.
+        _ => true,
+    }
+}
+
 fn task_timeline_schema() -> Schema {
     Schema::new(vec![
         Field::new("trace_id", DataType::Utf8),
@@ -275,14 +352,15 @@ fn build_tsdb(cluster: &Arc<HBaseCluster>) -> Arc<Tsdb> {
     tsdb
 }
 
-/// Register the ten `system.*` virtual tables on `session`, backed by
+/// Register the twelve `system.*` virtual tables on `session`, backed by
 /// `cluster`; install the RPC and storage-I/O probes that let the query
 /// log attribute store RPCs, block reads, cache hits, and WAL appends to
 /// individual queries; wire up the metrics time-series store behind
-/// `system.metrics_history`; and add the six default alert rules
+/// `system.metrics_history`; and add the seven default alert rules
 /// (`block_cache_hit_ratio_low`, `task_retry_spike`, `write_stall_rate`,
-/// `compaction_backlog_growth`, `stage_skew_high`, `straggler_spike`) to
-/// the session's alert engine. Returns the registered table names.
+/// `compaction_backlog_growth`, `stage_skew_high`, `straggler_spike`,
+/// `region_hot_sustained`) to the session's alert engine. Returns the
+/// registered table names.
 ///
 /// Call once per (session, cluster) pair — typically right after the
 /// session's user tables are registered.
@@ -318,6 +396,8 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
     let alerts_cluster = Arc::clone(cluster);
     let history_tsdb = Arc::clone(&tsdb);
     let history_cluster = Arc::clone(cluster);
+    let heat_cluster = Arc::clone(cluster);
+    let advisor_cluster = Arc::clone(cluster);
     // The timeline tables read back through the session that owns them, so
     // they hold it weakly — a strong closure capture would make the session
     // own a table that owns the session.
@@ -470,24 +550,41 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
                     .collect()
             },
         ))
-        .with_table(SystemTable::new(
+        .with_table(SystemTable::new_filtered(
             "system.metrics_history",
             metrics_history_schema(),
-            move || {
+            move |filters| {
                 // Scanning the table scrapes every source at the cluster's
                 // current virtual time, then dumps the retained samples —
                 // querying *is* the collection loop, so a run that never
-                // looks at history pays nothing for it.
+                // looks at history pays nothing for it. Dead servers' series
+                // are marked stale first so their frozen counters stop
+                // answering windowed queries. Pushed metric/labels
+                // predicates prune which series materialize rows (the
+                // engine still re-applies every predicate afterwards).
+                let status = history_cluster.master.cluster_status();
+                for server in &status.servers {
+                    let fragment = format!("server=\"{}\"", server.load.server_id);
+                    if server.live {
+                        history_tsdb.mark_live_matching(&fragment);
+                    } else {
+                        history_tsdb.mark_stale_matching(&fragment);
+                    }
+                }
                 history_tsdb.scrape(history_cluster.clock.peek_ms());
                 let mut rows = Vec::new();
-                for (series, samples) in history_tsdb.all_series() {
+                for series in history_tsdb.series_names() {
                     let (metric, labels) = Tsdb::split_series_name(&series);
-                    for s in samples {
+                    if !series_admitted(filters, metric, labels) {
+                        continue;
+                    }
+                    let (metric, labels) = (metric.to_string(), labels.to_string());
+                    for s in history_tsdb.samples(&series) {
                         rows.push(Row::new(vec![
-                            Value::Utf8(metric.to_string()),
+                            Value::Utf8(metric.clone()),
                             Value::Int64(s.ts_ms as i64),
                             Value::Float64(s.value),
-                            Value::Utf8(labels.to_string()),
+                            Value::Utf8(labels.clone()),
                         ]));
                     }
                 }
@@ -577,6 +674,61 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
                 }
                 rows
             },
+        ))
+        .with_table(SystemTable::new(
+            "system.region_heat",
+            region_heat_schema(),
+            move || {
+                // Scanning is the observation loop: a fresh heartbeat round
+                // feeds the observatory and liveness marks dead servers'
+                // series stale, exactly like `system.regions`. Rates need at
+                // least two heartbeats at distinct virtual times.
+                heat_cluster.cluster_status();
+                heat_cluster
+                    .heat()
+                    .region_heat()
+                    .iter()
+                    .map(|h| {
+                        Row::new(vec![
+                            Value::Int64(h.region_id as i64),
+                            Value::Utf8(h.table.clone()),
+                            Value::Utf8(h.server.clone()),
+                            Value::Int64(h.window_ms as i64),
+                            Value::Float64(h.read_rate),
+                            Value::Float64(h.write_rate),
+                            Value::Float64(h.heat_score),
+                            Value::Utf8(h.trend.as_str().to_string()),
+                            Value::Int64(h.memstore_bytes as i64),
+                            Value::Int64(h.store_file_bytes as i64),
+                        ])
+                    })
+                    .collect()
+            },
+        ))
+        .with_table(SystemTable::new(
+            "system.shard_advisor",
+            shard_advisor_schema(),
+            move || {
+                advisor_cluster
+                    .shard_advice()
+                    .iter()
+                    .map(|r| {
+                        Row::new(vec![
+                            Value::Utf8(r.action.as_str().to_string()),
+                            Value::Int64(r.region_id as i64),
+                            Value::Utf8(r.table.clone()),
+                            Value::Utf8(r.server.clone()),
+                            r.split_key
+                                .as_ref()
+                                .map(|k| Value::Utf8(key_display(k)))
+                                .unwrap_or(Value::Null),
+                            Value::Float64(r.heat_score),
+                            Value::Float64(r.expected_post_score),
+                            Value::Utf8(r.rationale.clone()),
+                        ])
+                    })
+                    .collect()
+            },
         ));
     let names = catalog.names();
     catalog.register(session);
@@ -605,6 +757,12 @@ pub fn register_system_tables(session: &Arc<Session>, cluster: &Arc<HBaseCluster
 ///   since the previous evaluation (a delta, like `task_retry_spike`). Its
 ///   exemplar is the latest TraceId recorded against the task run-time
 ///   histogram — a query that actually contained the slow task.
+/// * `region_hot_sustained` — fires when any live region's heat score
+///   (total request rate over the observatory window) stays above
+///   25 req/virtual-second for 2 000 virtual ms — a *sustained* hotspot,
+///   debounced so one bursty heartbeat interval cannot page. Its exemplar
+///   is the TraceId of the most recent traced request against the hottest
+///   region, so the alert names a concrete offending query.
 ///
 /// The two rate rules read the session's time-series store, so they only
 /// have data once something scrapes it (a `system.metrics_history` scan or
@@ -719,6 +877,32 @@ fn register_default_alerts(session: &Arc<Session>, cluster: &Arc<HBaseCluster>, 
         })
         .with_exemplar(move || straggler_exemplar_metrics.run_us.latest_tail_exemplar()),
     );
+
+    let heat_cluster = Arc::clone(cluster);
+    let heat_exemplar_cluster = Arc::clone(cluster);
+    alerts.add_rule(
+        AlertRule::new(
+            "region_hot_sustained",
+            Comparison::Above,
+            HOT_REGION_SCORE_THRESHOLD,
+            HOT_REGION_DEBOUNCE_MS,
+            move || {
+                // cluster_status() heartbeats first, so the observatory sees
+                // fresh samples and stale series from dead servers are muted
+                // before the hottest score is read.
+                heat_cluster.cluster_status();
+                heat_cluster.heat().hotspot_score_max()
+            },
+        )
+        .with_exemplar(move || {
+            heat_exemplar_cluster
+                .master
+                .cluster_status()
+                .hottest_region
+                .map(|h| h.load.last_trace_id)
+                .unwrap_or(0)
+        }),
+    );
 }
 
 #[cfg(test)]
@@ -752,7 +936,7 @@ mod tests {
         }
         let session = Session::new_default();
         let names = register_system_tables(&session, &cluster);
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 12);
 
         let rows = session
             .sql("SELECT table_name, SUM(write_requests) FROM system.regions GROUP BY table_name")
@@ -866,13 +1050,14 @@ mod tests {
             .unwrap()
             .collect()
             .unwrap();
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 7);
         // Nothing has read a block, no task retried or straggled, no query
         // timeline shows skew, and no series has enough samples for a rate:
         // every rule reads healthy.
         let expected = [
             "block_cache_hit_ratio_low",
             "compaction_backlog_growth",
+            "region_hot_sustained",
             "stage_skew_high",
             "straggler_spike",
             "task_retry_spike",

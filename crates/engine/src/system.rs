@@ -8,6 +8,15 @@
 //! Providers report `supports_projection() == false` and leave every filter
 //! unhandled: the tables are tiny, so the engine's own projection/filter
 //! operators do the work and the row producer stays a plain closure.
+//!
+//! One refinement for tables that *derive* many rows from a large backing
+//! store (`system.metrics_history` dumps every retained sample of every
+//! series): [`SystemTable::new_filtered`] hands the pushed-down
+//! [`SourceFilter`]s to the row producer as a **materialization hint**.
+//! Because the provider still reports every filter unhandled, the engine
+//! re-applies the predicates over whatever comes back — the closure may
+//! use the hints to skip building rows it can prove won't survive, and may
+//! just as correctly ignore them.
 
 use crate::datasource::{ScanPartition, TableProvider};
 use crate::error::Result;
@@ -17,8 +26,9 @@ use crate::session::Session;
 use crate::source_filter::SourceFilter;
 use std::sync::Arc;
 
-/// The row producer: called once per scan, returns the table's current rows.
-pub type RowsFn = Arc<dyn Fn() -> Vec<Row> + Send + Sync>;
+/// The row producer: called once per scan with the scan's pushed-down
+/// filters (a pruning hint — the engine re-applies every predicate).
+pub type RowsFn = Arc<dyn Fn(&[SourceFilter]) -> Vec<Row> + Send + Sync>;
 
 /// A live virtual table backed by a row-producing closure.
 pub struct SystemTable {
@@ -32,6 +42,22 @@ impl SystemTable {
         name: impl Into<String>,
         schema: Schema,
         rows: impl Fn() -> Vec<Row> + Send + Sync + 'static,
+    ) -> Self {
+        SystemTable {
+            name: name.into(),
+            schema,
+            rows: Arc::new(move |_filters| rows()),
+        }
+    }
+
+    /// A table whose row producer sees the scan's pushed-down filters and
+    /// may use them to avoid materializing rows that cannot match. The
+    /// filters remain unhandled from the engine's point of view, so acting
+    /// on them is purely an optimization — correctness never depends on it.
+    pub fn new_filtered(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: impl Fn(&[SourceFilter]) -> Vec<Row> + Send + Sync + 'static,
     ) -> Self {
         SystemTable {
             name: name.into(),
@@ -71,12 +97,13 @@ impl TableProvider for SystemTable {
     fn scan(
         &self,
         _projection: Option<&[usize]>,
-        _filters: &[SourceFilter],
+        filters: &[SourceFilter],
     ) -> Result<Vec<Arc<dyn ScanPartition>>> {
         // Snapshot at scan time: one partition, rows frozen here so every
-        // partition of one query sees a consistent view.
+        // partition of one query sees a consistent view. Filters pass
+        // through as a pruning hint only — they all stay unhandled.
         Ok(vec![Arc::new(SystemPartition {
-            rows: (self.rows)(),
+            rows: (self.rows)(filters),
         })])
     }
 
@@ -146,6 +173,37 @@ mod tests {
         counter.store(9, Ordering::Relaxed);
         let rows = table.scan(None, &[]).unwrap()[0].execute("x").unwrap();
         assert_eq!(rows[0].get(0), &Value::Int64(9));
+    }
+
+    #[test]
+    fn filtered_table_sees_pushed_predicates_and_engine_reapplies() {
+        let session = Session::new_default();
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::<SourceFilter>::new()));
+        let seen_in_closure = Arc::clone(&seen);
+        let table = SystemTable::new_filtered(
+            "system.filtered",
+            Schema::new(vec![Field::new("value", DataType::Int64)]),
+            move |filters| {
+                seen_in_closure.lock().extend(filters.iter().cloned());
+                // Deliberately ignore the hint: the engine must still
+                // enforce the predicate on the returned rows.
+                (0..5).map(|i| Row::new(vec![Value::Int64(i)])).collect()
+            },
+        );
+        SystemCatalog::new().with_table(table).register(&session);
+        let rows = session
+            .sql("SELECT value FROM system.filtered WHERE value = 3")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows.len(), 1, "engine re-applied the unhandled filter");
+        assert_eq!(rows[0].get(0), &Value::Int64(3));
+        assert!(
+            seen.lock()
+                .contains(&SourceFilter::Eq("value".into(), Value::Int64(3))),
+            "closure received the pushed filter: {:?}",
+            seen.lock()
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::clock::Clock;
 use crate::error::{KvError, Result};
 use crate::fault::FaultInjector;
+use crate::heat::{self, AdvisorConfig, HeatObservatory, ShardRecommendation};
 use crate::master::Master;
 use crate::metrics::ClusterMetrics;
 use crate::network::NetworkSim;
@@ -104,6 +105,10 @@ pub struct HBaseCluster {
     /// scanner lease expirations, block-cache pressure, and injected faults
     /// all land here, timestamped on the cluster's logical clock.
     events: Arc<shc_obs::EventJournal>,
+    /// Region heat observatory: every heartbeat round records per-region
+    /// load counters as labeled time series; rates, hotspot scores, the
+    /// heat report and the shard advisor all read from it.
+    heat: Arc<HeatObservatory>,
 }
 
 impl HBaseCluster {
@@ -184,6 +189,10 @@ impl HBaseCluster {
             storage,
             faults,
             events,
+            heat: Arc::new(HeatObservatory::new(
+                heat::DEFAULT_HEAT_CAPACITY,
+                heat::DEFAULT_HEAT_WINDOW_MS,
+            )),
         })
     }
 
@@ -309,20 +318,80 @@ impl HBaseCluster {
 
     /// Every *online* server reports its current load to the master, as if
     /// the periodic heartbeat ticker fired once. Crashed servers stay
-    /// silent — that silence is what eventually marks them dead.
+    /// silent — that silence is what eventually marks them dead. Each
+    /// heartbeat is also recorded into the heat observatory as labeled
+    /// per-region time series (which revives series a crash marked stale).
     pub fn heartbeat_all(&self) {
+        let now = self.clock.peek_ms();
         for server in self.servers.read().iter() {
             if server.is_online() {
-                self.master.record_heartbeat(server.server_load());
+                let load = server.server_load();
+                self.heat.observe_server(&load, now);
+                self.master.record_heartbeat(load);
             }
         }
     }
 
     /// Fresh heartbeats from every online server, then the master's
-    /// aggregated [`ClusterStatus`](crate::load::ClusterStatus).
+    /// aggregated [`ClusterStatus`](crate::load::ClusterStatus). Server
+    /// liveness is propagated into the heat observatory: a dead server's
+    /// series go stale so its frozen counters stop reading as live load.
     pub fn cluster_status(&self) -> crate::load::ClusterStatus {
         self.heartbeat_all();
-        self.master.cluster_status()
+        let status = self.master.cluster_status();
+        self.heat.sync_liveness(&status);
+        status
+    }
+
+    /// The region heat observatory (see [`crate::heat`]).
+    pub fn heat(&self) -> &Arc<HeatObservatory> {
+        &self.heat
+    }
+
+    /// Deterministic text heatmap of per-region request activity over the
+    /// observed time span — time buckets × regions, from the observatory's
+    /// series rings. Byte-identical across same-seed runs.
+    pub fn heat_report(&self) -> String {
+        self.heat.heat_report(heat::HEAT_REPORT_BUCKETS)
+    }
+
+    /// The heat grid as one JSON object (see
+    /// [`HeatObservatory::heat_report_json`]).
+    pub fn heat_report_json(&self) -> String {
+        self.heat.heat_report_json(heat::HEAT_REPORT_BUCKETS)
+    }
+
+    /// Run the shard advisor with default thresholds: fresh heartbeats,
+    /// then advisory Split/Merge/Salt recommendations from the current heat
+    /// snapshots and each region's key-distribution sample.
+    pub fn shard_advice(&self) -> Vec<ShardRecommendation> {
+        self.shard_advice_with(&AdvisorConfig {
+            num_servers: self.num_servers(),
+            ..Default::default()
+        })
+    }
+
+    /// [`shard_advice`](Self::shard_advice) with caller-chosen thresholds.
+    pub fn shard_advice_with(&self, config: &AdvisorConfig) -> Vec<ShardRecommendation> {
+        self.cluster_status();
+        let mut inputs = Vec::new();
+        for h in self.heat.region_heat() {
+            // Resolve the live region for its key range and key sample; a
+            // region mid-move (host gone, id unknown) is skipped this round.
+            let Ok(server) = self.server_by_host(&h.server) else {
+                continue;
+            };
+            let Ok(region) = server.region(h.region_id) else {
+                continue;
+            };
+            inputs.push(crate::heat::AdvisorInput {
+                start_key: region.info.start_key.clone(),
+                end_key: region.info.end_key.clone(),
+                key_sample: region.key_sample(),
+                heat: h,
+            });
+        }
+        heat::advise(&inputs, config)
     }
 
     /// Current per-region loads across every online server, with the

@@ -22,7 +22,9 @@
 //! * **Simulation** — deterministic clock, per-RPC network cost model and
 //!   cluster-wide metrics ([`clock`], [`network`], [`metrics`]).
 //! * **Introspection** — per-region/server load accounting, virtual-clock
-//!   heartbeats to the master, and the aggregated cluster status ([`load`]).
+//!   heartbeats to the master, and the aggregated cluster status ([`load`]);
+//!   heartbeat-fed per-region heat time series, key-distribution sampling
+//!   and the advisory split/merge engine ([`heat`]).
 //!
 //! ## Quick start
 //!
@@ -49,6 +51,7 @@ pub mod cluster;
 pub mod error;
 pub mod fault;
 pub mod filter;
+pub mod heat;
 pub mod load;
 pub mod master;
 pub mod memstore;
@@ -74,6 +77,10 @@ pub mod prelude {
         FaultInjector, FaultKind, FaultRule, FileFaultKind, FileFaultRule, FileOp, RpcOp, Trigger,
     };
     pub use crate::filter::{CompareOp, Filter, RowRange};
+    pub use crate::heat::{
+        AdvisorConfig, HeatObservatory, KeySampler, RegionHeat, ShardAction, ShardRecommendation,
+        Trend,
+    };
     pub use crate::load::{
         ClusterStatus, HotRegion, RegionLoad, ServerLoad, ServerStatus, TableLoadSummary,
     };

@@ -27,6 +27,10 @@ pub struct RegionLoadCounters {
     pub cells_scanned: AtomicU64,
     /// Cells shipped back to clients from this region.
     pub cells_returned: AtomicU64,
+    /// TraceId of the most recent traced request against this region
+    /// (0 = none yet). The `region_hot_sustained` alert samples this as its
+    /// exemplar, so a firing alert links to one concrete offending query.
+    pub last_trace_id: AtomicU64,
 }
 
 impl RegionLoadCounters {
@@ -36,10 +40,20 @@ impl RegionLoadCounters {
             .fetch_add(cells_scanned, Ordering::Relaxed);
         self.cells_returned
             .fetch_add(cells_returned, Ordering::Relaxed);
+        self.note_trace();
     }
 
     pub fn record_writes(&self, requests: u64) {
         self.write_requests.fetch_add(requests, Ordering::Relaxed);
+        self.note_trace();
+    }
+
+    /// Remember the active TraceId (if any) as this region's most recent
+    /// traced request.
+    fn note_trace(&self) {
+        if let Some(id) = shc_obs::trace::current_trace_id() {
+            self.last_trace_id.store(id, Ordering::Relaxed);
+        }
     }
 }
 
@@ -62,6 +76,8 @@ pub struct RegionLoad {
     pub store_file_bytes: u64,
     pub flush_count: u64,
     pub compaction_count: u64,
+    /// TraceId of the most recent traced request (0 = none).
+    pub last_trace_id: u64,
 }
 
 impl RegionLoad {

@@ -11,6 +11,7 @@ use crate::block_cache::{load_block, BlockCache, ReadTally};
 use crate::clock::Clock;
 use crate::error::{KvError, Result};
 use crate::fault::FileOp;
+use crate::heat::{self, KeySampler};
 use crate::load::{RegionLoad, RegionLoadCounters};
 use crate::memstore::MemStore;
 use crate::metrics::ClusterMetrics;
@@ -221,6 +222,10 @@ pub struct Region {
     /// Per-region request accounting, bumped by the hosting server's RPC
     /// handlers. Lives on the region so the history follows a move.
     load: RegionLoadCounters,
+    /// Deterministic reservoir over written row keys (seeded by region id);
+    /// merged with store-file block-index keys it names where in the key
+    /// space writes concentrate — the evidence behind an advised split key.
+    key_sampler: Mutex<KeySampler>,
     /// Durable storage for this region's store files, if the cluster has a
     /// data directory. `None` keeps the original in-memory behaviour.
     storage: RwLock<Option<Arc<RegionStorage>>>,
@@ -260,6 +265,7 @@ impl Region {
                 )
             })
             .collect();
+        let key_sampler = Mutex::new(KeySampler::new(info.region_id, heat::KEY_SAMPLE_CAPACITY));
         Region {
             info,
             descriptor,
@@ -272,6 +278,7 @@ impl Region {
             flush_count: AtomicU64::new(0),
             compaction_count: AtomicU64::new(0),
             load: RegionLoadCounters::default(),
+            key_sampler,
             storage: RwLock::new(None),
             flush_notifier: RwLock::new(None),
             metrics: RwLock::new(None),
@@ -399,7 +406,33 @@ impl Region {
             store_file_bytes: self.store_file_bytes(),
             flush_count: self.flush_count(),
             compaction_count: self.compaction_count(),
+            last_trace_id: self.load.last_trace_id.load(Ordering::Relaxed),
         }
+    }
+
+    /// The region's key-distribution sample: the write reservoir (duplicates
+    /// preserved — repeated writes to a hot row weight it) merged with every
+    /// store file's sparse block-index keys (evenly-spaced-by-bytes probes
+    /// into the persisted distribution), sorted.
+    pub fn key_sample(&self) -> Vec<Bytes> {
+        let mut sample: Vec<Bytes> = self.key_sampler.lock().keys().to_vec();
+        let stores = self.stores.read();
+        for store in stores.values() {
+            for file in &store.files {
+                sample.extend(file.block_index_keys().iter().cloned());
+            }
+        }
+        sample.sort();
+        sample
+    }
+
+    /// The split key the key sample advises: the weighted median of
+    /// [`key_sample`](Self::key_sample), clamped inside the region's range.
+    /// `None` when the sample names no viable point — unlike
+    /// [`split_point`](Self::split_point) this never scans the data.
+    pub fn suggest_split_key(&self) -> Option<Bytes> {
+        heat::split_key_from_sample(&self.key_sample(), &self.info.start_key, &self.info.end_key)
+            .map(|(key, _)| key)
     }
 
     // ------------------------------------------------------------------
@@ -448,6 +481,7 @@ impl Region {
         for cell in &mut cells {
             cell.key.seq = seq;
         }
+        self.key_sampler.lock().observe(&put.row);
         {
             let mut stores = self.stores.write();
             for cell in cells {

@@ -320,6 +320,14 @@ impl StoreFile {
         &self.blocks[idx]
     }
 
+    /// The sparse block index: the first row key of every block, ascending.
+    /// These are cheap, evenly-spaced-by-bytes probes into the file's key
+    /// distribution — the key-distribution sampler merges them with the
+    /// memstore reservoir to place split keys without scanning any block.
+    pub fn block_index_keys(&self) -> &[Bytes] {
+        &self.block_index
+    }
+
     /// Index of the first block that can contain a cell with row `>= start`,
     /// from the sparse index alone — no block is touched. The answer may be
     /// one block early when a row spans a block boundary; callers skip

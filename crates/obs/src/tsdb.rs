@@ -22,7 +22,7 @@
 //! parts back into `metric` and `labels` columns.
 
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -44,6 +44,11 @@ pub struct Tsdb {
     /// `BTreeMap` so iteration (and therefore every rendered or SQL-visible
     /// ordering) is deterministic.
     series: Mutex<BTreeMap<String, VecDeque<Sample>>>,
+    /// Series whose source is known dead (a crashed server). Stale series
+    /// keep their history but answer `None` to every windowed query — a
+    /// frozen counter must not masquerade as a zero-rate live one. A fresh
+    /// [`record`](Self::record) revives the series.
+    stale: Mutex<BTreeSet<String>>,
     sources: RwLock<Vec<ScrapeFn>>,
     /// Lifetime samples recorded (including ones the rings later evicted).
     samples_total: AtomicU64,
@@ -57,6 +62,7 @@ impl Tsdb {
         Arc::new(Tsdb {
             capacity_per_series: capacity_per_series.max(2),
             series: Mutex::new(BTreeMap::new()),
+            stale: Mutex::new(BTreeSet::new()),
             sources: RwLock::new(Vec::new()),
             samples_total: AtomicU64::new(0),
             scrapes_total: AtomicU64::new(0),
@@ -90,6 +96,7 @@ impl Tsdb {
     /// Append one sample directly (what [`scrape`](Self::scrape) does per
     /// reading). Exposed for layers that produce their own observations.
     pub fn record(&self, series: &str, ts_ms: u64, value: f64) {
+        self.stale.lock().remove(series);
         let mut all = self.series.lock();
         let ring = all.entry(series.to_string()).or_default();
         if let Some(last) = ring.back_mut() {
@@ -137,8 +144,51 @@ impl Tsdb {
             .and_then(|r| r.back().copied())
     }
 
+    /// Mark every series whose name contains `fragment` stale. Windowed
+    /// queries ([`delta`](Self::delta), [`rate`](Self::rate),
+    /// [`max_over_window`](Self::max_over_window)) return `None` for stale
+    /// series until a fresh [`record`](Self::record) revives them. Returns
+    /// the number of series newly marked. Typical fragment:
+    /// `server="host-2"` when that server misses its heartbeat deadline.
+    pub fn mark_stale_matching(&self, fragment: &str) -> usize {
+        let all = self.series.lock();
+        let mut stale = self.stale.lock();
+        let mut marked = 0;
+        for name in all.keys() {
+            if name.contains(fragment) && stale.insert(name.clone()) {
+                marked += 1;
+            }
+        }
+        marked
+    }
+
+    /// Clear the stale flag on every series whose name contains `fragment`
+    /// (a server came back before writing new samples). Returns the number
+    /// of series revived.
+    pub fn mark_live_matching(&self, fragment: &str) -> usize {
+        let mut stale = self.stale.lock();
+        let before = stale.len();
+        stale.retain(|name| !name.contains(fragment));
+        before - stale.len()
+    }
+
+    /// Whether a series is currently marked stale.
+    pub fn is_stale(&self, series: &str) -> bool {
+        self.stale.lock().contains(series)
+    }
+
+    /// Every stale series name, sorted.
+    pub fn stale_series(&self) -> Vec<String> {
+        self.stale.lock().iter().cloned().collect()
+    }
+
     /// Samples in the trailing window `[newest.ts - window_ms, newest.ts]`.
+    /// Empty for stale series: a dead server's frozen counters have no
+    /// meaningful trailing window.
     fn window(&self, series: &str, window_ms: u64) -> Vec<Sample> {
+        if self.is_stale(series) {
+            return Vec::new();
+        }
         let all = self.series.lock();
         let Some(ring) = all.get(series) else {
             return Vec::new();
@@ -325,6 +375,66 @@ mod tests {
         assert_eq!(a, build(), "same inputs render byte-identically");
         let first = a.lines().next().unwrap();
         assert!(first.starts_with("a_metric{region=\"3\"} ts=1 value=7.5"));
+    }
+
+    #[test]
+    fn labeled_ring_wraps_and_keeps_newest_window() {
+        let tsdb = Tsdb::new(4);
+        let series = "region_write_requests{region=\"7\",server=\"1\"}";
+        for t in 0..12u64 {
+            tsdb.record(series, t * 100, (t * 5) as f64);
+        }
+        let samples = tsdb.samples(series);
+        assert_eq!(samples.len(), 4, "ring bounded after wraparound");
+        assert_eq!(samples[0].ts_ms, 800, "oldest evicted in order");
+        assert_eq!(samples[3].ts_ms, 1100);
+        // Rates still computable over the surviving suffix.
+        let r = tsdb.rate(series, 10_000).unwrap();
+        assert!((r - 50.0).abs() < 1e-9, "5 per 100ms = 50/s, got {r}");
+        assert_eq!(tsdb.sample_count(), 12, "lifetime count keeps evictions");
+    }
+
+    #[test]
+    fn stale_series_answer_none_until_revived() {
+        let tsdb = Tsdb::new(8);
+        tsdb.record("reqs{server=\"host-0\"}", 0, 0.0);
+        tsdb.record("reqs{server=\"host-0\"}", 1_000, 50.0);
+        tsdb.record("reqs{server=\"host-1\"}", 1_000, 10.0);
+        assert!(tsdb.rate("reqs{server=\"host-0\"}", 5_000).is_some());
+
+        assert_eq!(tsdb.mark_stale_matching("server=\"host-0\""), 1);
+        assert_eq!(
+            tsdb.mark_stale_matching("server=\"host-0\""),
+            0,
+            "idempotent"
+        );
+        assert!(tsdb.is_stale("reqs{server=\"host-0\"}"));
+        assert!(!tsdb.is_stale("reqs{server=\"host-1\"}"));
+        assert_eq!(tsdb.rate("reqs{server=\"host-0\"}", 5_000), None);
+        assert_eq!(tsdb.delta("reqs{server=\"host-0\"}", 5_000), None);
+        assert_eq!(tsdb.max_over_window("reqs{server=\"host-0\"}", 5_000), None);
+        // The untouched sibling still answers.
+        assert!(tsdb
+            .max_over_window("reqs{server=\"host-1\"}", 5_000)
+            .is_some());
+        // History is retained even while stale.
+        assert_eq!(tsdb.samples("reqs{server=\"host-0\"}").len(), 2);
+
+        // A fresh observation (restart heartbeat) revives the series.
+        tsdb.record("reqs{server=\"host-0\"}", 2_000, 55.0);
+        assert!(!tsdb.is_stale("reqs{server=\"host-0\"}"));
+        assert!(tsdb.rate("reqs{server=\"host-0\"}", 5_000).is_some());
+        assert!(tsdb.stale_series().is_empty());
+    }
+
+    #[test]
+    fn mark_live_matching_revives_without_new_samples() {
+        let tsdb = Tsdb::new(8);
+        tsdb.record("a{server=\"2\"}", 0, 1.0);
+        tsdb.record("b{server=\"2\"}", 0, 1.0);
+        assert_eq!(tsdb.mark_stale_matching("server=\"2\""), 2);
+        assert_eq!(tsdb.mark_live_matching("server=\"2\""), 2);
+        assert!(tsdb.stale_series().is_empty());
     }
 
     #[test]

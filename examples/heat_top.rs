@@ -1,0 +1,196 @@
+//! `top` for region load — the heat-observatory tour.
+//!
+//! Builds a pre-split table, drives a deliberately skewed workload (one
+//! region absorbs almost every request, concentrated on a narrow band of
+//! hot rows), and then answers "which region is hot, which way is it
+//! trending, and what should the operator do about it?" entirely through
+//! the observability surface:
+//!
+//! 1. per-region windowed rates, scores and trends (`system.region_heat`),
+//!    fed by heartbeats into labeled time series;
+//! 2. the advisory split/merge engine (`system.shard_advisor`): a Split
+//!    whose key is the *load-weighted* median of the hot region's key
+//!    sample, plus a Merge naming two adjacent cold siblings;
+//! 3. the `region_hot_sustained` alert riding the same score through its
+//!    debounce window, with the hottest region's TraceId as exemplar;
+//! 4. dead-server handling: a crash marks the server's series stale (its
+//!    frozen counters stop reading as live load), a restart heartbeat
+//!    revives them;
+//! 5. the time × region heat grid, as a text heatmap and as one JSON
+//!    object (`HEAT_REPORT_JSON:`).
+//!
+//! Every timestamp is virtual, so the whole report is byte-identical
+//! across runs.
+//!
+//! Run with: `cargo run --release --example heat_top`
+
+use shc::core::error::{Result, ShcError};
+use shc::kvstore::prelude::*;
+use shc::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let cluster = HBaseCluster::start(ClusterConfig {
+        num_servers: 3,
+        ..Default::default()
+    });
+    // Four regions: [∅,"0250") takes the skewed load, ["0250","0500") a
+    // trickle, and the last two stay completely cold — the adjacent pair
+    // the advisor should offer to merge.
+    cluster
+        .create_table(
+            TableDescriptor::new(TableName::default_ns("events"))
+                .with_family(FamilyDescriptor::new("e"))
+                .with_split_keys(vec!["0250".into(), "0500".into(), "0750".into()]),
+        )
+        .map_err(ShcError::from)?;
+    let session = Session::new_default();
+    register_system_tables(&session, &cluster);
+    let sql = |q: &str| {
+        session
+            .sql(q)
+            .map_err(ShcError::from)?
+            .collect()
+            .map_err(ShcError::from)
+    };
+
+    let conn = Connection::open(Arc::clone(&cluster), None);
+    let events = conn.table(TableName::default_ns("events"));
+
+    // The skewed workload runs under a tracer, so the hot region's
+    // last-touch TraceId — the alert exemplar — names this ingest.
+    let tracer = shc::obs::Tracer::with_id(0x6ea7);
+    {
+        let mut root = tracer.root("skewed-ingest");
+        root.annotate("example", "heat_top");
+        for round in 0..6 {
+            // ~120 writes per round into a 40-row hot band; every fourth
+            // one re-hits row 0120, so the key sample is load-weighted
+            // toward the band's center.
+            for i in 0..120 {
+                let key = if i % 4 == 0 {
+                    "0120".to_string()
+                } else {
+                    format!("{:04}", 100 + (i * 7) % 40)
+                };
+                events
+                    .put(Put::new(key).add("e", "n", format!("r{round}i{i}")))
+                    .map_err(ShcError::from)?;
+            }
+            // A trickle for the second region; reads against the hot band.
+            events
+                .put(Put::new(format!("{:04}", 300 + round)).add("e", "n", "warm"))
+                .map_err(ShcError::from)?;
+            for i in 0..8 {
+                let _ = events.get(Get::new(format!("{:04}", 100 + i)));
+            }
+            // The heartbeat round feeds the observatory's labeled series.
+            cluster.cluster_status();
+            println!(
+                "heat-top | round={} t={} hotspot_score_max={:.1}",
+                round,
+                cluster.clock.peek_ms(),
+                cluster.heat().hotspot_score_max().unwrap_or(0.0),
+            );
+        }
+    }
+
+    // 1. Per-region windowed heat, through SQL.
+    println!("\nregion heat (system.region_heat):");
+    for row in sql(
+        "SELECT region_id, table_name, server, read_rate, write_rate, \
+                heat_score, trend \
+         FROM system.region_heat ORDER BY heat_score DESC, region_id",
+    )? {
+        println!(
+            "system.region_heat | region={} table={} server={} read_rate={:.1} write_rate={:.1} score={:.1} trend={}",
+            row.get(0).as_i64().unwrap_or(0),
+            row.get(1).as_str().unwrap_or("?"),
+            row.get(2).as_str().unwrap_or("?"),
+            row.get(3).as_f64().unwrap_or(0.0),
+            row.get(4).as_f64().unwrap_or(0.0),
+            row.get(5).as_f64().unwrap_or(0.0),
+            row.get(6).as_str().unwrap_or("?"),
+        );
+    }
+
+    // 2. The advisory engine: a Split at the weighted median of the hot
+    // region's key sample, a Merge folding the two untouched siblings.
+    println!("\nshard advisor (system.shard_advisor):");
+    for row in sql(
+        "SELECT action, region_id, table_name, split_key, heat_score, \
+                expected_post_score, rationale \
+         FROM system.shard_advisor ORDER BY heat_score DESC, region_id",
+    )? {
+        println!(
+            "system.shard_advisor | action={} region={} table={} split_key={} score={:.1} post={:.1}\n  rationale: {}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1).as_i64().unwrap_or(0),
+            row.get(2).as_str().unwrap_or("?"),
+            row.get(3).as_str().unwrap_or("-"),
+            row.get(4).as_f64().unwrap_or(0.0),
+            row.get(5).as_f64().unwrap_or(0.0),
+            row.get(6).as_str().unwrap_or(""),
+        );
+    }
+
+    // 3. The sustained-hotspot alert. The first evaluation sees the breach
+    // and arms the debounce (pending); after 2s of virtual time with the
+    // score still high, the second evaluation fires — once per episode.
+    sql("SELECT name FROM system.alerts WHERE name = 'region_hot_sustained'")?;
+    for _ in 0..2_100 {
+        cluster.clock.now_ms();
+    }
+    for i in 0..60 {
+        events
+            .put(Put::new(format!("{:04}", 100 + (i * 7) % 40)).add("e", "n", "sustained"))
+            .map_err(ShcError::from)?;
+    }
+    println!("\nsustained hotspot alert (system.alerts):");
+    for row in sql(
+        "SELECT name, state, value, threshold, fired_count, exemplar_trace_id \
+         FROM system.alerts WHERE name = 'region_hot_sustained'",
+    )? {
+        println!(
+            "system.alerts | name={} state={} value={:?} threshold={} fired={} exemplar={}",
+            row.get(0).as_str().unwrap_or("?"),
+            row.get(1).as_str().unwrap_or("?"),
+            row.get(2),
+            row.get(3),
+            row.get(4).as_i64().unwrap_or(0),
+            row.get(5).as_str().unwrap_or("?"),
+        );
+    }
+
+    // 4. Liveness → staleness: a crashed server's frozen counters must not
+    // keep reading as live load. Its regions drop out of the heat view
+    // until a restart heartbeat revives the series.
+    let live = sql("SELECT COUNT(*) FROM system.region_heat")?[0]
+        .get(0)
+        .as_i64()
+        .unwrap_or(0);
+    cluster.server(2).map_err(ShcError::from)?.crash();
+    cluster.master.set_heartbeat_timeout_ms(1_000);
+    for _ in 0..1_200 {
+        cluster.clock.now_ms();
+    }
+    let during = sql("SELECT COUNT(*) FROM system.region_heat")?[0]
+        .get(0)
+        .as_i64()
+        .unwrap_or(0);
+    cluster.server(2).map_err(ShcError::from)?.restart();
+    cluster.cluster_status();
+    let after = sql("SELECT COUNT(*) FROM system.region_heat")?[0]
+        .get(0)
+        .as_i64()
+        .unwrap_or(0);
+    println!(
+        "\nstale-series handling | regions_live={live} during_crash={during} after_restart={after}"
+    );
+
+    // 5. The time × region grid: every request of the run, bucketed.
+    println!("\n{}", cluster.heat_report());
+    println!("HEAT_REPORT_JSON: {}", cluster.heat_report_json());
+
+    Ok(())
+}
